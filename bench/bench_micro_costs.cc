@@ -1,0 +1,138 @@
+// Microbenchmarks for CPI2's own overheads.
+//
+// Section 4.2: "A single correlation-analysis typically takes about 100 us
+// to perform" (on 2011 hardware, against ~50 suspects). Section 3.1: total
+// sampling overhead below 0.1%. These google-benchmark measurements confirm
+// the analysis costs are negligible next to a one-minute sampling cadence.
+
+#include <benchmark/benchmark.h>
+
+#include "core/antagonist_identifier.h"
+#include "core/correlation.h"
+#include "core/outlier_detector.h"
+#include "core/spec_builder.h"
+#include "perf/sampler.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+std::vector<AlignedPair> MakeWindow(int samples, Rng& rng) {
+  std::vector<AlignedPair> pairs;
+  for (int i = 0; i < samples; ++i) {
+    pairs.push_back({static_cast<MicroTime>(i) * kMicrosPerMinute, rng.Uniform(1.0, 4.0),
+                     rng.Uniform(0.0, 2.0)});
+  }
+  return pairs;
+}
+
+void BM_AntagonistCorrelation(benchmark::State& state) {
+  Rng rng(1);
+  const auto pairs = MakeWindow(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AntagonistCorrelation(pairs, 2.0));
+  }
+}
+BENCHMARK(BM_AntagonistCorrelation)->Arg(10)->Arg(60)->Arg(600);
+
+// The paper's full analysis: one victim against ~50 suspects over a
+// 10-minute window (their ~100 us number).
+void BM_FullAnalysisAgainstSuspects(benchmark::State& state) {
+  const int suspects = static_cast<int>(state.range(0));
+  Cpi2Params params;
+  AntagonistIdentifier identifier(params);
+  Rng rng(2);
+  TimeSeries victim;
+  for (int i = 0; i < 10; ++i) {
+    victim.Append(i * kMicrosPerMinute, rng.Uniform(1.0, 4.0));
+  }
+  std::vector<TimeSeries> usage(static_cast<size_t>(suspects));
+  std::vector<AntagonistIdentifier::SuspectInput> inputs;
+  for (int s = 0; s < suspects; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      usage[static_cast<size_t>(s)].Append(i * kMicrosPerMinute, rng.Uniform(0.0, 2.0));
+    }
+    inputs.push_back({StrFormat("task.%d", s), "job", WorkloadClass::kBatch,
+                      JobPriority::kBestEffort, &usage[static_cast<size_t>(s)]});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(identifier.Analyze(victim, 2.0, inputs, 10 * kMicrosPerMinute));
+  }
+}
+BENCHMARK(BM_FullAnalysisAgainstSuspects)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_OutlierDetectorObserve(benchmark::State& state) {
+  OutlierDetector detector(Cpi2Params{});
+  CpiSpec spec;
+  spec.cpi_mean = 2.0;
+  spec.cpi_stddev = 0.2;
+  CpiSample sample;
+  sample.task = "job.0";
+  sample.cpu_usage = 0.5;
+  sample.cpi = 2.2;
+  MicroTime t = 0;
+  for (auto _ : state) {
+    sample.timestamp = (t += kMicrosPerMinute);
+    benchmark::DoNotOptimize(detector.Observe("job.0", sample, spec));
+  }
+}
+BENCHMARK(BM_OutlierDetectorObserve);
+
+void BM_SpecBuilderAddSample(benchmark::State& state) {
+  Cpi2Params params;
+  SpecBuilder builder(params);
+  Rng rng(3);
+  CpiSample sample;
+  sample.jobname = "job";
+  sample.platforminfo = "xeon";
+  sample.task = "job.17";
+  for (auto _ : state) {
+    sample.cpi = rng.Uniform(1.0, 3.0);
+    sample.cpu_usage = rng.Uniform(0.0, 2.0);
+    builder.AddSample(sample);
+  }
+}
+BENCHMARK(BM_SpecBuilderAddSample);
+
+// One simulated-machine tick with a realistic tenant count: bounds the cost
+// of the whole interference model.
+void BM_MachineTick(benchmark::State& state) {
+  Machine machine("m", ReferencePlatform(), 4);
+  const int tasks = static_cast<int>(state.range(0));
+  for (int i = 0; i < tasks; ++i) {
+    (void)machine.AddTask(StrFormat("t.%d", i), FillerServiceSpec(0.2));
+  }
+  MicroTime now = 0;
+  for (auto _ : state) {
+    machine.Tick(now += kMicrosPerSecond, kMicrosPerSecond);
+  }
+}
+BENCHMARK(BM_MachineTick)->Arg(10)->Arg(50)->Arg(100);
+
+// Sampler bookkeeping for a full machine (the per-second agent cost outside
+// the counter windows themselves).
+void BM_SamplerTick(benchmark::State& state) {
+  FakeCounterSource source;
+  CounterSnapshot snapshot;
+  snapshot.cycles = 1000;
+  snapshot.instructions = 500;
+  CpiSampler sampler(&source, CpiSampler::Options{}, nullptr);
+  for (int i = 0; i < 50; ++i) {
+    const std::string name = StrFormat("t.%d", i);
+    source.SetSnapshot(name, snapshot);
+    sampler.AddContainer(name, 0);
+  }
+  MicroTime now = 0;
+  for (auto _ : state) {
+    sampler.Tick(now += kMicrosPerSecond);
+  }
+}
+BENCHMARK(BM_SamplerTick);
+
+}  // namespace
+}  // namespace cpi2
+
+BENCHMARK_MAIN();

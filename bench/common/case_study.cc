@@ -1,0 +1,120 @@
+#include "bench/common/case_study.h"
+
+#include <cstdio>
+
+#include "bench/common/report.h"
+#include "util/string_util.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+// A rotating gallery of realistic co-tenants (the case-1 suspect table's
+// neighbours), lightly randomized so machines differ.
+TaskSpec TenantSpec(int index, Rng& rng) {
+  TaskSpec spec;
+  switch (index % 6) {
+    case 0:
+      spec = ContentDigitizingSpec();
+      break;
+    case 1:
+      spec = ImageFrontendSpec();
+      break;
+    case 2:
+      spec = BigtableTabletSpec();
+      break;
+    case 3:
+      spec = StorageServerSpec();
+      break;
+    case 4:
+      spec = FillerServiceSpec(rng.Uniform(0.1, 0.5));
+      break;
+    default:
+      spec = FillerBatchSpec(rng.Uniform(0.1, 0.4));
+      break;
+  }
+  spec.job_name = StrFormat("%s-%d", spec.job_name.c_str(), index / 6);
+  spec.base_cpu_demand *= rng.Uniform(0.5, 1.3);
+  return spec;
+}
+
+}  // namespace
+
+CaseStudy MakeCaseStudy(const TaskSpec& victim_spec, const CaseStudyOptions& options) {
+  ClusterHarness::Options harness_options;
+  harness_options.cluster.seed = options.seed;
+  harness_options.params = options.params;
+  harness_options.params.min_tasks_for_spec = 5;
+  harness_options.params.min_samples_per_task = 5;
+  harness_options.params.enforcement_enabled = options.enforcement;
+
+  CaseStudy out;
+  out.harness = std::make_unique<ClusterHarness>(harness_options);
+  Cluster& cluster = out.harness->cluster();
+  cluster.AddMachines(ReferencePlatform(), options.machines);
+  cluster.BuildScheduler();
+  out.machine0 = cluster.machine(0);
+
+  Rng rng(options.seed * 31 + 7);
+  // One victim task per machine so the job's spec is statistically robust.
+  for (int m = 0; m < options.machines; ++m) {
+    (void)cluster.machine(static_cast<size_t>(m))
+        ->AddTask(StrFormat("%s.%d", victim_spec.job_name.c_str(), m), victim_spec);
+  }
+  out.victim_task = victim_spec.job_name + ".0";
+
+  // Tenants: many on the case machine, fewer elsewhere, equal CPU budget.
+  for (int m = 0; m < options.machines; ++m) {
+    const int count = m == 0 ? options.tenants_on_case_machine : options.tenants_elsewhere;
+    std::vector<TaskSpec> tenants;
+    double total_demand = 0.0;
+    for (int i = 0; i < count; ++i) {
+      tenants.push_back(TenantSpec(i, rng));
+      total_demand += tenants.back().base_cpu_demand;
+    }
+    const double scale =
+        total_demand > 0.0 ? options.tenant_cpu_budget / total_demand : 1.0;
+    for (TaskSpec& tenant : tenants) {
+      tenant.base_cpu_demand *= scale;
+      tenant.cpu_request *= scale;
+      (void)cluster.machine(static_cast<size_t>(m))
+          ->AddTask(StrFormat("%s.m%d", tenant.job_name.c_str(), m), tenant);
+    }
+  }
+
+  out.harness->WireAgents();
+  out.harness->PrimeSpecs(options.warmup);
+  return out;
+}
+
+void PrintSuspectTable(const Incident& incident, int k) {
+  PrintSection(StrFormat("top %d antagonist suspects", k));
+  PrintTableRow({"Job", "Type", "Correlation"}, 26);
+  int printed = 0;
+  for (const Suspect& suspect : incident.suspects) {
+    if (printed++ >= k) {
+      break;
+    }
+    PrintTableRow({suspect.jobname, WorkloadClassName(suspect.workload_class),
+                   StrFormat("%.2f", suspect.correlation)},
+                  26);
+  }
+}
+
+Incident WaitForIncident(ClusterHarness& harness, const std::string& victim_task,
+                         MicroTime timeout) {
+  const size_t before = harness.incidents().size();
+  const MicroTime deadline = harness.now() + timeout;
+  while (harness.now() < deadline) {
+    harness.cluster().Tick();
+    for (size_t i = before; i < harness.incidents().size(); ++i) {
+      const Incident& incident = harness.incidents().incidents()[i];
+      if (incident.victim_task == victim_task && !incident.suspects.empty()) {
+        return incident;
+      }
+    }
+  }
+  return Incident{};
+}
+
+}  // namespace cpi2

@@ -1,0 +1,58 @@
+// Shared setup for the section-6 case studies (Figures 8-13).
+//
+// Each case study is one busy machine inside a small cluster: a victim task
+// (one task of a job that also runs elsewhere, so its spec is trainable),
+// dozens of co-tenants of mixed classes, and an injected antagonist. The
+// builder returns a primed harness (specs trained antagonist-free) so the
+// case binaries only script the incident itself.
+
+#ifndef CPI2_BENCH_COMMON_CASE_STUDY_H_
+#define CPI2_BENCH_COMMON_CASE_STUDY_H_
+
+#include <memory>
+#include <string>
+
+#include "harness/cluster_harness.h"
+
+namespace cpi2 {
+
+struct CaseStudy {
+  std::unique_ptr<ClusterHarness> harness;
+  std::string victim_task;
+  Machine* machine0 = nullptr;
+};
+
+struct CaseStudyOptions {
+  int machines = 8;
+  // Co-tenants on the case machine (machine 0). The paper's case machines
+  // hosted 29-57 tenants.
+  int tenants_on_case_machine = 40;
+  int tenants_elsewhere = 6;
+  // Total CPU demand of the co-tenants on each machine (CPU-sec/sec): many
+  // tenants means many *small* tenants, as on real shared machines. Keeping
+  // the per-machine budget equal also keeps the victim job's spec honest —
+  // machine 0 is not systematically more contended than its peers before
+  // the antagonist arrives.
+  double tenant_cpu_budget = 5.0;
+  uint64_t seed = 1;
+  // Spec-training warmup before the case begins.
+  MicroTime warmup = 15 * kMicrosPerMinute;
+  Cpi2Params params;
+  bool enforcement = true;
+};
+
+// Builds the world, wires agents, trains specs, returns at t = warmup.
+CaseStudy MakeCaseStudy(const TaskSpec& victim_spec, const CaseStudyOptions& options);
+
+// Prints the top-k suspect table of `incident` in the paper's Figure 8/11
+// format (job, type, correlation).
+void PrintSuspectTable(const Incident& incident, int k);
+
+// Blocks until an incident for `victim_task` appears (or `timeout` passes);
+// returns a COPY of it, or an Incident with empty victim_task on timeout.
+Incident WaitForIncident(ClusterHarness& harness, const std::string& victim_task,
+                         MicroTime timeout);
+
+}  // namespace cpi2
+
+#endif  // CPI2_BENCH_COMMON_CASE_STUDY_H_

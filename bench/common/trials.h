@@ -1,0 +1,78 @@
+// The throttling-trial methodology of section 7.
+//
+// "we periodically look for recently-reported antagonists and manually cap
+// their CPU rate for 5 minutes, and examine the victim's CPI to see if it
+// improves. We collected data for about 400 such trials."
+//
+// Each trial builds a small cluster, trains specs antagonist-free, injects
+// either a genuine antagonist or a confusing situation (a diffuse group of
+// individually-weak antagonists, or nothing), waits for CPI2 to report an
+// incident, then caps the *top suspect* and measures the victim's relative
+// CPI (during / before). A true positive is a CPI drop beyond one spec
+// stddev; a false positive is a rise beyond the same margin (the paper's
+// definition). Figures 14, 15 and 16 are all views over this trial set.
+
+#ifndef CPI2_BENCH_COMMON_TRIALS_H_
+#define CPI2_BENCH_COMMON_TRIALS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpi2 {
+
+struct ThrottleTrial {
+  // Setup.
+  bool production_victim = false;
+  bool has_true_antagonist = false;
+  double antagonist_aggressiveness = 0.0;
+
+  // Detection.
+  bool incident_fired = false;
+  double machine_utilization = 0.0;  // at detection time, [0, 1]
+  double top_correlation = 0.0;
+  std::string top_suspect_job;
+  bool top_is_true_antagonist = false;
+
+  // Spec and victim state.
+  double spec_mean = 0.0;
+  double spec_stddev = 0.0;
+  double pre_cpi = 0.0;       // victim mean CPI in the 3 min before capping
+  double during_cpi = 0.0;    // victim mean CPI in minutes 2-5 of the cap
+  double relative_cpi = 0.0;  // during / pre
+  double cpi_degradation = 0.0;       // pre / spec mean
+  double cpi_increase_sigmas = 0.0;   // (pre - spec mean) / spec stddev
+  double relative_l3_mpi = 0.0;       // during / pre, L3 misses per instruction
+
+  // Post-injection victim CPI relative to spec mean (for Figure 14d), filled
+  // for every trial, fired or not.
+  double observed_relative_to_mean = 0.0;
+
+  enum class Outcome { kNoIncident, kTruePositive, kFalsePositive, kNoise };
+  Outcome Classify(double margin_sigmas = 1.0) const;
+};
+
+struct TrialOptions {
+  int trials = 400;
+  uint64_t seed = 99;
+  // Probability a trial has one genuine strong antagonist (vs a diffuse
+  // group of weak ones that CPI2's single-suspect analysis struggles with).
+  double antagonist_probability = 0.7;
+  double production_fraction = 0.5;
+};
+
+std::vector<ThrottleTrial> RunThrottleTrials(const TrialOptions& options);
+
+// Aggregate TP/FP rates over trials that fired an incident whose top
+// correlation clears `threshold`.
+struct DetectionRates {
+  int considered = 0;
+  double true_positive = 0.0;
+  double false_positive = 0.0;
+};
+DetectionRates ComputeRates(const std::vector<ThrottleTrial>& trials, double threshold,
+                            bool production_only, bool require_production_flag);
+
+}  // namespace cpi2
+
+#endif  // CPI2_BENCH_COMMON_TRIALS_H_

@@ -1,0 +1,170 @@
+// cpi2ctl: offline forensics over archived incident logs.
+//
+// The operator-side counterpart of the paper's Dremel queries (section 5):
+// given an incident archive written by SaveIncidents (see
+// examples/forensics), answer the questions job owners actually ask.
+//
+// Usage:
+//   cpi2ctl top <archive.tsv> [victim_job] [k]
+//       The most aggressive antagonist jobs (optionally for one victim).
+//   cpi2ctl select <archive.tsv> [--job=J] [--machine=M] [--capped-only]
+//                  [--min-corr=C] [--limit=N]
+//       Raw incidents matching the filters, one summary line each.
+//   cpi2ctl stats <archive.tsv>
+//       Aggregate counts: incidents, caps, victims, antagonists.
+//   cpi2ctl demo <archive.tsv>
+//       Writes a small synthetic archive to play with.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/cpi2.h"
+
+namespace {
+
+using namespace cpi2;  // NOLINT: example brevity
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cpi2ctl top <archive> [victim_job] [k]\n"
+               "       cpi2ctl select <archive> [--job=J] [--machine=M] [--capped-only]\n"
+               "                      [--min-corr=C] [--limit=N]\n"
+               "       cpi2ctl stats <archive>\n"
+               "       cpi2ctl demo <archive>\n");
+  return 2;
+}
+
+int RunTop(const IncidentLog& log, int argc, char** argv) {
+  const std::string victim_job = argc > 3 ? argv[3] : "";
+  const int k = argc > 4 ? std::atoi(argv[4]) : 10;
+  const auto top = log.TopAntagonists(victim_job, 0, 0, k);
+  std::printf("%-24s %9s %7s %9s %9s\n", "antagonist job", "incidents", "capped", "max corr",
+              "mean corr");
+  for (const auto& stats : top) {
+    std::printf("%-24s %9d %7d %9.2f %9.2f\n", stats.jobname.c_str(), stats.incidents,
+                stats.times_capped, stats.max_correlation, stats.mean_correlation);
+  }
+  return 0;
+}
+
+int RunSelect(const IncidentLog& log, int argc, char** argv) {
+  IncidentLog::Query query;
+  int limit = 20;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--job=", 0) == 0) {
+      query.victim_job = arg.substr(6);
+    } else if (arg.rfind("--machine=", 0) == 0) {
+      query.machine = arg.substr(10);
+    } else if (arg == "--capped-only") {
+      query.capped_only = true;
+    } else if (arg.rfind("--min-corr=", 0) == 0) {
+      query.min_top_correlation = std::atof(arg.substr(11).c_str());
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      limit = std::atoi(arg.substr(8).c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  const auto rows = log.Select(query);
+  std::printf("%zu incidents match\n", rows.size());
+  int printed = 0;
+  for (const Incident* incident : rows) {
+    if (printed++ >= limit) {
+      std::printf("... (%zu more; raise --limit)\n", rows.size() - static_cast<size_t>(limit));
+      break;
+    }
+    std::printf("t=%-8lld %-8s %s\n", static_cast<long long>(incident->timestamp / kMicrosPerMinute),
+                incident->machine.c_str(), incident->Summary().c_str());
+  }
+  return 0;
+}
+
+int RunStats(const IncidentLog& log) {
+  int caps = 0;
+  std::set<std::string> victims;
+  std::set<std::string> machines;
+  std::map<std::string, int> antagonists;
+  for (const Incident& incident : log.incidents()) {
+    caps += incident.action == IncidentAction::kHardCap ? 1 : 0;
+    victims.insert(incident.victim_job);
+    machines.insert(incident.machine);
+    if (!incident.suspects.empty()) {
+      ++antagonists[incident.suspects.front().jobname];
+    }
+  }
+  std::printf("incidents:        %zu\n", log.size());
+  std::printf("hard-caps:        %d\n", caps);
+  std::printf("victim jobs:      %zu\n", victims.size());
+  std::printf("machines:         %zu\n", machines.size());
+  std::printf("antagonist jobs:  %zu\n", antagonists.size());
+  return 0;
+}
+
+int RunDemo(const std::string& path) {
+  IncidentLog log;
+  for (int i = 0; i < 12; ++i) {
+    Incident incident;
+    incident.timestamp = i * 7 * kMicrosPerMinute;
+    incident.machine = "m000" + std::to_string(i % 3);
+    incident.victim_job = i % 4 == 0 ? "ads-serving" : "websearch";
+    incident.victim_task = incident.victim_job + "." + std::to_string(i);
+    incident.victim_cpi = 3.0 + 0.2 * i;
+    incident.cpi_threshold = 2.2;
+    incident.spec_mean = 1.8;
+    incident.spec_stddev = 0.2;
+    Suspect suspect;
+    suspect.jobname = i % 3 == 0 ? "video-processing" : "mapreduce";
+    suspect.task = suspect.jobname + ".7";
+    suspect.workload_class = WorkloadClass::kBatch;
+    suspect.priority = JobPriority::kBestEffort;
+    suspect.correlation = 0.35 + 0.03 * (i % 5);
+    incident.suspects.push_back(suspect);
+    if (i % 2 == 0) {
+      incident.action = IncidentAction::kHardCap;
+      incident.action_target = suspect.task;
+      incident.cap_level = 0.01;
+    }
+    log.Add(incident);
+  }
+  const Status status = SaveIncidents(path, log);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu demo incidents to %s\n", log.size(), path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  if (command == "demo") {
+    return RunDemo(path);
+  }
+  const auto loaded = LoadIncidents(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  if (command == "top") {
+    return RunTop(*loaded, argc, argv);
+  }
+  if (command == "select") {
+    return RunSelect(*loaded, argc, argv);
+  }
+  if (command == "stats") {
+    return RunStats(*loaded);
+  }
+  return Usage();
+}

@@ -1,0 +1,104 @@
+// forensics: the paper's "Dremel query" use case (section 5).
+//
+// Runs a cluster long enough to accumulate incidents, then answers the
+// canonical operator questions: which jobs are the most aggressive
+// antagonists for my job in this time window? Which incidents led to caps?
+// Finally it feeds the answer back into the scheduler as an
+// avoid-co-location constraint — the paper's future-work loop closed.
+//
+// Usage: forensics [minutes] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/cluster_harness.h"
+#include "util/string_util.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace cpi2;  // NOLINT: example brevity
+
+int Run(int minutes, uint64_t seed) {
+  ClusterHarness::Options options;
+  options.cluster.seed = seed;
+  options.params.min_tasks_for_spec = 5;
+  options.params.min_samples_per_task = 5;
+  ClusterHarness harness(options);
+  const int kMachines = 10;
+  harness.cluster().AddMachines(ReferencePlatform(), kMachines);
+  harness.cluster().BuildScheduler();
+
+  for (int m = 0; m < kMachines; ++m) {
+    Machine* machine = harness.cluster().machine(static_cast<size_t>(m));
+    (void)machine->AddTask(StrFormat("websearch-leaf.%d", m), WebSearchLeafSpec());
+    (void)machine->AddTask(StrFormat("bigtable-tablet.%d", m), BigtableTabletSpec());
+  }
+  harness.WireAgents();
+  harness.PrimeSpecs(12 * kMicrosPerMinute);
+
+  // A rotating cast of antagonists visits different machines.
+  for (int m = 0; m < kMachines; ++m) {
+    TaskSpec antagonist = (m % 3 == 0)   ? VideoProcessingSpec()
+                          : (m % 3 == 1) ? StreamingScanSpec()
+                                         : CacheThrasherSpec(0.7);
+    (void)harness.cluster().machine(static_cast<size_t>(m))->AddTask(
+        StrFormat("%s.%d", antagonist.job_name.c_str(), m), antagonist);
+  }
+  harness.RunFor(minutes * kMicrosPerMinute);
+
+  const IncidentLog& log = harness.incidents();
+  std::printf("collected %zu incidents over %d minutes\n\n", log.size(), minutes);
+
+  // Query 1: most aggressive antagonists for the web-search job.
+  std::printf("top antagonists for job 'websearch-leaf':\n");
+  std::printf("  %-20s %9s %7s %9s %9s\n", "antagonist job", "incidents", "capped",
+              "max corr", "mean corr");
+  const auto top = log.TopAntagonists("websearch-leaf", 0, 0, 5);
+  for (const auto& stats : top) {
+    std::printf("  %-20s %9d %7d %9.2f %9.2f\n", stats.jobname.c_str(), stats.incidents,
+                stats.times_capped, stats.max_correlation, stats.mean_correlation);
+  }
+
+  // Query 2: incidents that resulted in caps, in a time window.
+  IncidentLog::Query query;
+  query.victim_job = "websearch-leaf";
+  query.capped_only = true;
+  query.begin = 15 * kMicrosPerMinute;
+  const auto capped = log.Select(query);
+  std::printf("\nincidents with enforcement after t=15min: %zu\n", capped.size());
+  for (size_t i = 0; i < capped.size() && i < 5; ++i) {
+    std::printf("  %s\n", capped[i]->Summary().c_str());
+  }
+
+  // Query 3: persist the log (offline analysis) and reload it — every query
+  // works identically on the reloaded data.
+  const std::string archive = "/tmp/cpi2_incidents.tsv";
+  if (const Status saved = SaveIncidents(archive, log); saved.ok()) {
+    const auto reloaded = LoadIncidents(archive);
+    std::printf("\narchived %zu incidents to %s (reload check: %s)\n", log.size(),
+                archive.c_str(),
+                reloaded.ok() && reloaded->size() == log.size() ? "ok" : "MISMATCH");
+  }
+
+  // Close the loop automatically: PlacementAdvisor mines the log for repeat
+  // offenders and the scheduler learns to keep them away (paper section 9).
+  PlacementAdvisor advisor(PlacementAdvisor::Options{});
+  const auto advice = advisor.Advise(log, harness.now());
+  for (const auto& item : advice) {
+    harness.cluster().scheduler().AddAntagonistConstraint(item.victim_job,
+                                                          item.antagonist_job);
+    std::printf("scheduler constraint added: %s avoids %s (%d incidents, max corr %.2f)\n",
+                item.victim_job.c_str(), item.antagonist_job.c_str(), item.incidents,
+                item.max_correlation);
+  }
+  return log.size() > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int minutes = argc > 1 ? std::atoi(argv[1]) : 40;
+  const uint64_t seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 11;
+  return Run(minutes, seed);
+}

@@ -1,0 +1,79 @@
+// CPU bandwidth control ("hard-capping") abstraction.
+//
+// Section 5: "we forcibly reduce the antagonist's CPU usage by applying CPU
+// hard-capping. This bounds the amount of CPU a task can use over a short
+// period of time (e.g., 25 ms in each 250 ms window, which corresponds to a
+// cap of 0.1 CPU-sec/sec)." The controller expresses caps directly in
+// CPU-sec/sec; backends translate to quota/period.
+//
+// Implementations: FsCpuController (cgroup-v2 cpu.max, this file's sibling),
+// the simulator's Machine (enforced by its CPU allocator), and
+// FakeCpuController for tests.
+
+#ifndef CPI2_CGROUP_CPU_CONTROLLER_H_
+#define CPI2_CGROUP_CPU_CONTROLLER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace cpi2 {
+
+// The CFS bandwidth window the paper uses (250 ms).
+inline constexpr MicroTime kDefaultCapPeriod = 250 * kMicrosPerMilli;
+
+class CpuController {
+ public:
+  virtual ~CpuController() = default;
+
+  // Caps `container` to at most `cpu_sec_per_sec` CPU-seconds per second.
+  virtual Status SetCap(const std::string& container, double cpu_sec_per_sec) = 0;
+
+  // Removes any cap from `container`.
+  virtual Status RemoveCap(const std::string& container) = 0;
+
+  // Returns the active cap, or nullopt if uncapped / unknown.
+  virtual std::optional<double> GetCap(const std::string& container) const = 0;
+};
+
+// Records caps in memory; used by unit tests and the quickstart example.
+class FakeCpuController : public CpuController {
+ public:
+  Status SetCap(const std::string& container, double cpu_sec_per_sec) override {
+    if (cpu_sec_per_sec <= 0.0) {
+      return InvalidArgumentError("cap must be positive");
+    }
+    caps_[container] = cpu_sec_per_sec;
+    ++set_calls_;
+    return Status::Ok();
+  }
+
+  Status RemoveCap(const std::string& container) override {
+    caps_.erase(container);
+    ++remove_calls_;
+    return Status::Ok();
+  }
+
+  std::optional<double> GetCap(const std::string& container) const override {
+    const auto it = caps_.find(container);
+    if (it == caps_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  int set_calls() const { return set_calls_; }
+  int remove_calls() const { return remove_calls_; }
+
+ private:
+  std::map<std::string, double> caps_;
+  int set_calls_ = 0;
+  int remove_calls_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CGROUP_CPU_CONTROLLER_H_

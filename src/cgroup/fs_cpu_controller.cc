@@ -1,0 +1,106 @@
+#include "cgroup/fs_cpu_controller.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace cpi2 {
+
+FsCpuController::FsCpuController(std::string cgroup_root, MicroTime period,
+                                 CgroupVersion version)
+    : cgroup_root_(std::move(cgroup_root)), period_(period), version_(version) {}
+
+std::string FsCpuController::ControlPath(const std::string& container,
+                                         const char* file) const {
+  return cgroup_root_ + "/" + container + "/" + file;
+}
+
+Status FsCpuController::WriteControlFile(const std::string& path, const std::string& value) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    const int err = errno;
+    const std::string message = "open " + path + ": " + std::strerror(err);
+    return err == EACCES || err == EPERM ? PermissionDeniedError(message)
+                                         : NotFoundError(message);
+  }
+  const size_t written = std::fwrite(value.data(), 1, value.size(), file);
+  const int close_result = std::fclose(file);
+  if (written != value.size() || close_result != 0) {
+    return InternalError("write " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+Status FsCpuController::SetQuota(const std::string& container, long long quota_usec) {
+  const auto period = static_cast<long long>(period_);
+  if (version_ == CgroupVersion::kV2) {
+    const std::string value = quota_usec < 0 ? StrFormat("max %lld", period)
+                                             : StrFormat("%lld %lld", quota_usec, period);
+    return WriteControlFile(ControlPath(container, "cpu.max"), value);
+  }
+  // v1: period first so a shrinking quota is always valid against it.
+  if (const Status status = WriteControlFile(ControlPath(container, "cpu.cfs_period_us"),
+                                             StrFormat("%lld", period));
+      !status.ok()) {
+    return status;
+  }
+  return WriteControlFile(ControlPath(container, "cpu.cfs_quota_us"),
+                          StrFormat("%lld", quota_usec < 0 ? -1LL : quota_usec));
+}
+
+Status FsCpuController::SetCap(const std::string& container, double cpu_sec_per_sec) {
+  if (cpu_sec_per_sec <= 0.0) {
+    return InvalidArgumentError("cap must be positive");
+  }
+  const auto quota = static_cast<long long>(cpu_sec_per_sec * static_cast<double>(period_));
+  if (quota < 1000) {
+    // The kernel rejects quotas below 1ms.
+    return InvalidArgumentError(
+        StrFormat("cap %.4f CPU-s/s yields quota below the 1ms kernel minimum",
+                  cpu_sec_per_sec));
+  }
+  return SetQuota(container, quota);
+}
+
+Status FsCpuController::RemoveCap(const std::string& container) {
+  return SetQuota(container, -1);
+}
+
+std::optional<double> FsCpuController::GetCapV2(const std::string& container) const {
+  std::ifstream file(ControlPath(container, "cpu.max"));
+  if (!file) {
+    return std::nullopt;
+  }
+  std::string quota_str;
+  long long period = 0;
+  file >> quota_str >> period;
+  if (!file || quota_str == "max" || period <= 0) {
+    return std::nullopt;
+  }
+  const long long quota = std::strtoll(quota_str.c_str(), nullptr, 10);
+  if (quota <= 0) {
+    return std::nullopt;
+  }
+  return static_cast<double>(quota) / static_cast<double>(period);
+}
+
+std::optional<double> FsCpuController::GetCapV1(const std::string& container) const {
+  std::ifstream quota_file(ControlPath(container, "cpu.cfs_quota_us"));
+  std::ifstream period_file(ControlPath(container, "cpu.cfs_period_us"));
+  long long quota = 0;
+  long long period = 0;
+  if (!(quota_file >> quota) || !(period_file >> period) || quota <= 0 || period <= 0) {
+    return std::nullopt;
+  }
+  return static_cast<double>(quota) / static_cast<double>(period);
+}
+
+std::optional<double> FsCpuController::GetCap(const std::string& container) const {
+  return version_ == CgroupVersion::kV2 ? GetCapV2(container) : GetCapV1(container);
+}
+
+}  // namespace cpi2

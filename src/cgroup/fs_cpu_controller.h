@@ -1,0 +1,46 @@
+// cgroup filesystem backend for CPU hard-capping (v2 and v1).
+//
+// Translates a cap of C CPU-sec/sec into CFS bandwidth-controller settings
+// with the paper's 250 ms period (Turner et al., "CPU bandwidth control for
+// CFS"): cgroup v2 writes "<quota_usec> <period_usec>" to `cpu.max`; the
+// 2011-era v1 hierarchy the paper ran on writes `cpu.cfs_quota_us` and
+// `cpu.cfs_period_us` separately.
+
+#ifndef CPI2_CGROUP_FS_CPU_CONTROLLER_H_
+#define CPI2_CGROUP_FS_CPU_CONTROLLER_H_
+
+#include <string>
+
+#include "cgroup/cpu_controller.h"
+
+namespace cpi2 {
+
+enum class CgroupVersion { kV2, kV1 };
+
+class FsCpuController : public CpuController {
+ public:
+  // `cgroup_root` is the mounted cgroup hierarchy (e.g. "/sys/fs/cgroup",
+  // or "/sys/fs/cgroup/cpu" for v1); containers are paths relative to it.
+  explicit FsCpuController(std::string cgroup_root,
+                           MicroTime period = kDefaultCapPeriod,
+                           CgroupVersion version = CgroupVersion::kV2);
+
+  Status SetCap(const std::string& container, double cpu_sec_per_sec) override;
+  Status RemoveCap(const std::string& container) override;
+  std::optional<double> GetCap(const std::string& container) const override;
+
+ private:
+  std::string ControlPath(const std::string& container, const char* file) const;
+  Status WriteControlFile(const std::string& path, const std::string& value);
+  Status SetQuota(const std::string& container, long long quota_usec);
+  std::optional<double> GetCapV2(const std::string& container) const;
+  std::optional<double> GetCapV1(const std::string& container) const;
+
+  std::string cgroup_root_;
+  MicroTime period_;
+  CgroupVersion version_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CGROUP_FS_CPU_CONTROLLER_H_

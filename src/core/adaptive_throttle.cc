@@ -1,0 +1,90 @@
+#include "core/adaptive_throttle.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cpi2 {
+
+AdaptiveThrottler::AdaptiveThrottler(const Options& options, CpuController* controller)
+    : options_(options), controller_(controller) {}
+
+Status AdaptiveThrottler::Begin(const std::string& antagonist, MicroTime now) {
+  if (sessions_.count(antagonist) > 0) {
+    return FailedPreconditionError("already throttling " + antagonist);
+  }
+  const Status status = controller_->SetCap(antagonist, options_.initial_cap);
+  if (!status.ok()) {
+    return status;
+  }
+  Session session;
+  session.cap = options_.initial_cap;
+  session.last_adjust = now;
+  sessions_[antagonist] = session;
+  return Status::Ok();
+}
+
+double AdaptiveThrottler::ObserveVictim(const std::string& antagonist, double victim_cpi,
+                                        double spec_cpi_mean, MicroTime now) {
+  const auto it = sessions_.find(antagonist);
+  if (it == sessions_.end()) {
+    return 0.0;
+  }
+  Session& session = it->second;
+  const bool healthy =
+      spec_cpi_mean > 0.0 && victim_cpi <= options_.target_degradation * spec_cpi_mean;
+
+  if (healthy) {
+    if (session.healthy_since < 0) {
+      session.healthy_since = now;
+    }
+    // Fully relaxed and persistently healthy: the episode is over.
+    if (session.at_max &&
+        now - session.healthy_since >= options_.release_after_healthy) {
+      const double cap = session.cap;
+      (void)End(antagonist);
+      return cap;
+    }
+  } else {
+    session.healthy_since = -1;
+  }
+
+  if (now - session.last_adjust < options_.adjust_interval) {
+    return session.cap;
+  }
+  session.last_adjust = now;
+
+  const double previous = session.cap;
+  if (healthy) {
+    session.cap = std::min(options_.max_cap, session.cap * options_.loosen_factor);
+  } else {
+    session.cap = std::max(options_.min_cap, session.cap * options_.tighten_factor);
+  }
+  session.at_max = session.cap >= options_.max_cap;
+  if (session.cap != previous) {
+    ++adjustments_made_;
+    const Status status = controller_->SetCap(antagonist, session.cap);
+    if (!status.ok()) {
+      CPI2_LOG(WARNING) << "adaptive cap of " << antagonist
+                        << " failed: " << status.ToString();
+    }
+  }
+  return session.cap;
+}
+
+Status AdaptiveThrottler::End(const std::string& antagonist) {
+  if (sessions_.erase(antagonist) == 0) {
+    return NotFoundError("not throttling " + antagonist);
+  }
+  return controller_->RemoveCap(antagonist);
+}
+
+std::optional<double> AdaptiveThrottler::CurrentCap(const std::string& antagonist) const {
+  const auto it = sessions_.find(antagonist);
+  if (it == sessions_.end()) {
+    return std::nullopt;
+  }
+  return it->second.cap;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,86 @@
+// Feedback-driven adaptive throttling (paper §6.2/§9, future work).
+//
+// The paper's fixed caps are "rather crude": 0.01 CPU-s/s starves an
+// antagonist completely even when far milder throttling would restore the
+// victim. "We hope to introduce a feedback-driven policy that dynamically
+// adjusts the amount of throttling to keep the victim CPI degradation just
+// below an acceptable threshold."
+//
+// AdaptiveThrottler implements that policy as an MIMD (multiplicative
+// increase, multiplicative decrease) controller: while the victim's CPI sits
+// above target_degradation x spec mean, the antagonist's cap tightens; once
+// the victim is healthy, the cap relaxes, handing CPU back to the
+// antagonist. The bench_ablation_adaptive_cap harness quantifies the payoff:
+// comparable victim protection at a fraction of the antagonist's lost work.
+
+#ifndef CPI2_CORE_ADAPTIVE_THROTTLE_H_
+#define CPI2_CORE_ADAPTIVE_THROTTLE_H_
+
+#include <map>
+#include <string>
+
+#include "cgroup/cpu_controller.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace cpi2 {
+
+class AdaptiveThrottler {
+ public:
+  struct Options {
+    // Starting cap when throttling begins (CPU-sec/sec).
+    double initial_cap = 0.5;
+    // Cap bounds. min_cap mirrors the paper's harshest fixed cap.
+    double min_cap = 0.01;
+    double max_cap = 4.0;
+    // Keep victim CPI at or below target_degradation x spec mean.
+    double target_degradation = 1.2;
+    // Multiplicative steps. Tightening is faster than loosening so a
+    // suffering victim recovers promptly (same asymmetry as TCP).
+    double tighten_factor = 0.5;
+    double loosen_factor = 1.3;
+    // Minimum time between adjustments (one CPI sample's worth).
+    MicroTime adjust_interval = kMicrosPerMinute;
+    // When the cap has been fully relaxed (>= max_cap) and the victim has
+    // stayed healthy this long, throttling ends by itself.
+    MicroTime release_after_healthy = 5 * kMicrosPerMinute;
+  };
+
+  AdaptiveThrottler(const Options& options, CpuController* controller);
+
+  // Starts throttling `antagonist` at the initial cap.
+  Status Begin(const std::string& antagonist, MicroTime now);
+
+  // Feeds one victim observation; adjusts the antagonist's cap when due.
+  // Returns the cap now in force (0 if this antagonist is not throttled).
+  double ObserveVictim(const std::string& antagonist, double victim_cpi, double spec_cpi_mean,
+                       MicroTime now);
+
+  // Stops throttling and removes the cap.
+  Status End(const std::string& antagonist);
+
+  bool IsThrottling(const std::string& antagonist) const {
+    return sessions_.count(antagonist) > 0;
+  }
+  // Current cap, or nullopt when not throttling.
+  std::optional<double> CurrentCap(const std::string& antagonist) const;
+
+  int64_t adjustments_made() const { return adjustments_made_; }
+
+ private:
+  struct Session {
+    double cap = 0.0;
+    MicroTime last_adjust = 0;
+    MicroTime healthy_since = -1;  // -1: currently unhealthy or unknown
+    bool at_max = false;
+  };
+
+  Options options_;
+  CpuController* controller_;
+  std::map<std::string, Session> sessions_;
+  int64_t adjustments_made_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_ADAPTIVE_THROTTLE_H_

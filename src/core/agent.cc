@@ -1,0 +1,170 @@
+#include "core/agent.h"
+
+#include "util/logging.h"
+
+namespace cpi2 {
+
+Agent::Agent(Options options, CounterSource* source, CpuController* controller)
+    : options_(std::move(options)),
+      sampler_(source,
+               CpiSampler::Options{options_.params.sample_duration,
+                                   options_.params.sample_period,
+                                   /*stagger_windows=*/true},
+               [this](const std::string& container, const CounterDelta& delta) {
+                 OnWindow(container, delta);
+               }),
+      detector_(options_.params),
+      identifier_(options_.params),
+      enforcement_(options_.params, controller) {}
+
+void Agent::AddTask(const TaskMeta& meta, MicroTime now) {
+  tasks_[meta.task] = meta;
+  series_.emplace(meta.task, TaskSeries{});
+  sampler_.AddContainer(meta.task, now);
+}
+
+void Agent::RemoveTask(const std::string& task) {
+  tasks_.erase(task);
+  series_.erase(task);
+  sampler_.RemoveContainer(task);
+  detector_.ForgetTask(task);
+  enforcement_.ForgetTask(task);
+}
+
+void Agent::UpdateSpec(const CpiSpec& spec) {
+  if (spec.platforminfo != options_.platforminfo) {
+    return;  // Spec for a different CPU type; not applicable here.
+  }
+  specs_[spec.jobname] = spec;
+}
+
+std::optional<CpiSpec> Agent::GetSpec(const std::string& jobname) const {
+  const auto it = specs_.find(jobname);
+  if (it == specs_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Agent::Tick(MicroTime now) {
+  sampler_.Tick(now);
+  enforcement_.Tick(now);
+}
+
+const TimeSeries* Agent::UsageSeries(const std::string& task) const {
+  const auto it = series_.find(task);
+  return it != series_.end() ? &it->second.usage : nullptr;
+}
+
+const TimeSeries* Agent::CpiSeries(const std::string& task) const {
+  const auto it = series_.find(task);
+  return it != series_.end() ? &it->second.cpi : nullptr;
+}
+
+void Agent::OnWindow(const std::string& container, const CounterDelta& delta) {
+  const auto meta_it = tasks_.find(container);
+  if (meta_it == tasks_.end()) {
+    return;  // Task vanished between scheduling the window and finishing it.
+  }
+  const TaskMeta& meta = meta_it->second;
+  const MicroTime now = delta.window_end;
+
+  CpiSample sample;
+  sample.jobname = meta.jobname;
+  sample.platforminfo = options_.platforminfo;
+  sample.timestamp = now;
+  sample.cpu_usage = delta.UsageRate();
+  sample.cpi = delta.Cpi();
+  sample.task = meta.task;
+  sample.machine = options_.machine_name;
+  sample.l3_miss_per_instruction = delta.L3MissesPerInstruction();
+  ++samples_processed_;
+
+  TaskSeries& series = series_[container];
+  series.usage.Append(now, sample.cpu_usage);
+  if (sample.cpi > 0.0) {
+    series.cpi.Append(now, sample.cpi);
+  }
+  // Bound memory: keep a bit more than the correlation window.
+  const MicroTime cutoff = now - 2 * options_.params.correlation_window;
+  series.usage.TrimBefore(cutoff);
+  series.cpi.TrimBefore(cutoff);
+
+  if (sample_callback_) {
+    sample_callback_(sample);
+  }
+
+  if (sample.cpi <= 0.0) {
+    return;  // No instructions retired in the window; nothing to score.
+  }
+  const auto spec_it = specs_.find(meta.jobname);
+  if (spec_it == specs_.end()) {
+    return;  // No robust prediction for this job yet.
+  }
+  const OutlierDetector::Result result = detector_.Observe(container, sample, spec_it->second);
+  if (result.outlier) {
+    ++outliers_flagged_;
+  }
+  if (result.anomaly) {
+    ++anomalies_detected_;
+    if (identifier_.Allowed(now)) {
+      HandleAnomaly(meta, sample, result.threshold, spec_it->second);
+    }
+  }
+}
+
+void Agent::HandleAnomaly(const TaskMeta& victim, const CpiSample& sample, double threshold,
+                          const CpiSpec& spec) {
+  // Assemble every co-resident task as a suspect.
+  std::vector<AntagonistIdentifier::SuspectInput> inputs;
+  inputs.reserve(tasks_.size());
+  for (const auto& [task, meta] : tasks_) {
+    if (task == victim.task) {
+      continue;
+    }
+    const auto series_it = series_.find(task);
+    if (series_it == series_.end()) {
+      continue;
+    }
+    AntagonistIdentifier::SuspectInput input;
+    input.task = task;
+    input.jobname = meta.jobname;
+    input.workload_class = meta.workload_class;
+    input.priority = meta.priority;
+    input.usage = &series_it->second.usage;
+    inputs.push_back(input);
+  }
+  const auto victim_series = series_.find(victim.task);
+  if (victim_series == series_.end()) {
+    return;
+  }
+  const std::vector<Suspect> ranked =
+      identifier_.Analyze(victim_series->second.cpi, threshold, inputs, sample.timestamp);
+
+  Incident incident;
+  incident.timestamp = sample.timestamp;
+  incident.machine = options_.machine_name;
+  incident.victim_task = victim.task;
+  incident.victim_job = victim.jobname;
+  incident.platforminfo = options_.platforminfo;
+  incident.victim_class = victim.workload_class;
+  incident.victim_cpi = sample.cpi;
+  incident.cpi_threshold = threshold;
+  incident.spec_mean = spec.cpi_mean;
+  incident.spec_stddev = spec.cpi_stddev;
+  incident.suspects = ranked;
+
+  const EnforcementPolicy::Decision decision = enforcement_.OnIncident(
+      victim.workload_class, victim.protection_opt_in, ranked, sample.timestamp);
+  incident.action = decision.action;
+  incident.action_target = decision.target;
+  incident.cap_level = decision.cap_level;
+  incident.note = decision.reason;
+
+  ++incidents_reported_;
+  if (incident_callback_) {
+    incident_callback_(incident);
+  }
+}
+
+}  // namespace cpi2

@@ -1,0 +1,125 @@
+// Per-machine CPI2 management agent.
+//
+// One Agent runs on every machine (Figure 6). It owns the whole local loop:
+//   counters -> duty-cycled sampler -> CpiSamples -> outlier detection
+//   against pushed specs -> antagonist correlation -> enforcement.
+// Samples stream to the cluster aggregator through a callback; completed
+// analyses are reported as Incidents. The agent is backend-agnostic: give
+// it a simulated Machine or real perf_event/cgroupfs backends and it runs
+// identically. All anomaly detection is local (no central bottleneck).
+
+#ifndef CPI2_CORE_AGENT_H_
+#define CPI2_CORE_AGENT_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cgroup/cpu_controller.h"
+#include "core/antagonist_identifier.h"
+#include "core/enforcement.h"
+#include "core/incident.h"
+#include "core/outlier_detector.h"
+#include "core/params.h"
+#include "core/types.h"
+#include "perf/counter_source.h"
+#include "perf/sampler.h"
+#include "util/time_series.h"
+
+namespace cpi2 {
+
+// What the agent must know about a local task to manage it.
+struct TaskMeta {
+  std::string task;  // container id
+  std::string jobname;
+  WorkloadClass workload_class = WorkloadClass::kBatch;
+  JobPriority priority = JobPriority::kNonProduction;
+  // Batch victims are normally not protected; a job can opt in explicitly
+  // (section 5: "because it is explicitly marked as eligible").
+  bool protection_opt_in = false;
+};
+
+class Agent {
+ public:
+  struct Options {
+    Cpi2Params params;
+    std::string machine_name;
+    // The machine's CPU type; stamped into every sample and used to select
+    // the right spec (CPI is computed per job x platform).
+    std::string platforminfo;
+  };
+
+  using SampleCallback = std::function<void(const CpiSample&)>;
+  using IncidentCallback = std::function<void(const Incident&)>;
+
+  Agent(Options options, CounterSource* source, CpuController* controller);
+
+  // --- task lifecycle -------------------------------------------------------
+  void AddTask(const TaskMeta& meta, MicroTime now);
+  void RemoveTask(const std::string& task);
+  bool HasTask(const std::string& task) const { return tasks_.count(task) > 0; }
+  size_t task_count() const { return tasks_.size(); }
+
+  // --- spec distribution (pushed from the aggregator) -----------------------
+  void UpdateSpec(const CpiSpec& spec);
+  std::optional<CpiSpec> GetSpec(const std::string& jobname) const;
+
+  // --- main loop -------------------------------------------------------------
+  // Drives sampling, detection and cap expiry. Call once per second.
+  void Tick(MicroTime now);
+
+  void SetSampleCallback(SampleCallback callback) { sample_callback_ = std::move(callback); }
+  void SetIncidentCallback(IncidentCallback callback) {
+    incident_callback_ = std::move(callback);
+  }
+
+  EnforcementPolicy& enforcement() { return enforcement_; }
+
+  // --- diagnostics -----------------------------------------------------------
+  int64_t samples_processed() const { return samples_processed_; }
+  int64_t outliers_flagged() const { return outliers_flagged_; }
+  int64_t anomalies_detected() const { return anomalies_detected_; }
+  int64_t incidents_reported() const { return incidents_reported_; }
+
+  // Recent CPU-usage series of a task (for tests and forensics).
+  const TimeSeries* UsageSeries(const std::string& task) const;
+  const TimeSeries* CpiSeries(const std::string& task) const;
+
+ private:
+  struct TaskSeries {
+    TimeSeries cpi;
+    TimeSeries usage;
+  };
+
+  // Sampler callback: one completed counting window for `container`.
+  void OnWindow(const std::string& container, const CounterDelta& delta);
+
+  // Runs the anomaly -> identification -> enforcement chain for a victim.
+  void HandleAnomaly(const TaskMeta& victim, const CpiSample& sample, double threshold,
+                     const CpiSpec& spec);
+
+  Options options_;
+  CpiSampler sampler_;
+  OutlierDetector detector_;
+  AntagonistIdentifier identifier_;
+  EnforcementPolicy enforcement_;
+
+  std::map<std::string, TaskMeta> tasks_;
+  std::map<std::string, TaskSeries> series_;
+  // Specs for this machine's platform, keyed by jobname.
+  std::map<std::string, CpiSpec> specs_;
+
+  SampleCallback sample_callback_;
+  IncidentCallback incident_callback_;
+
+  int64_t samples_processed_ = 0;
+  int64_t outliers_flagged_ = 0;
+  int64_t anomalies_detected_ = 0;
+  int64_t incidents_reported_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_AGENT_H_

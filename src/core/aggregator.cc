@@ -1,0 +1,28 @@
+#include "core/aggregator.h"
+
+namespace cpi2 {
+
+void Aggregator::Tick(MicroTime now) {
+  if (last_build_ < 0) {
+    // First tick: start the clock; the first build lands one interval later.
+    last_build_ = now;
+    return;
+  }
+  if (now - last_build_ >= params_.spec_update_interval) {
+    ForceBuild(now);
+  }
+}
+
+std::vector<CpiSpec> Aggregator::ForceBuild(MicroTime now) {
+  last_build_ = now;
+  ++builds_completed_;
+  std::vector<CpiSpec> specs = builder_.BuildSpecs();
+  if (callback_) {
+    for (const CpiSpec& spec : specs) {
+      callback_(spec);
+    }
+  }
+  return specs;
+}
+
+}  // namespace cpi2

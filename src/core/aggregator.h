@@ -1,0 +1,57 @@
+// Cluster-level CPI sample aggregation service (Figure 6).
+//
+// Receives every agent's samples, periodically rebuilds the per-job,
+// per-platform CPI specs through SpecBuilder, and pushes fresh specs back
+// out through a callback (the harness routes them to the machines running
+// each job). The paper rebuilds every 24 hours with a goal of hourly;
+// the interval is a parameter.
+
+#ifndef CPI2_CORE_AGGREGATOR_H_
+#define CPI2_CORE_AGGREGATOR_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/params.h"
+#include "core/spec_builder.h"
+#include "core/types.h"
+
+namespace cpi2 {
+
+class Aggregator {
+ public:
+  using SpecCallback = std::function<void(const CpiSpec&)>;
+
+  explicit Aggregator(const Cpi2Params& params) : params_(params), builder_(params) {}
+
+  void AddSample(const CpiSample& sample) { builder_.AddSample(sample); }
+
+  // Rebuilds specs when the update interval has elapsed. Call regularly.
+  void Tick(MicroTime now);
+
+  // Rebuilds immediately regardless of the interval (used to prime specs at
+  // experiment start and by the paper's "goal: 1 hour" mode).
+  std::vector<CpiSpec> ForceBuild(MicroTime now);
+
+  void SetSpecCallback(SpecCallback callback) { callback_ = std::move(callback); }
+
+  std::optional<CpiSpec> GetSpec(const std::string& jobname,
+                                 const std::string& platforminfo) const {
+    return builder_.GetSpec(jobname, platforminfo);
+  }
+
+  SpecBuilder& builder() { return builder_; }
+  int64_t builds_completed() const { return builds_completed_; }
+
+ private:
+  Cpi2Params params_;
+  SpecBuilder builder_;
+  SpecCallback callback_;
+  MicroTime last_build_ = -1;
+  int64_t builds_completed_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_AGGREGATOR_H_

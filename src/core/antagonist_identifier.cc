@@ -1,0 +1,43 @@
+#include "core/antagonist_identifier.h"
+
+#include <algorithm>
+
+#include "core/correlation.h"
+
+namespace cpi2 {
+
+std::vector<Suspect> AntagonistIdentifier::Analyze(const TimeSeries& victim_cpi,
+                                                   double cpi_threshold,
+                                                   const std::vector<SuspectInput>& suspects,
+                                                   MicroTime now) {
+  last_analysis_ = now;
+  ++analyses_run_;
+
+  const MicroTime begin = now - params_.correlation_window;
+  const MicroTime tolerance = params_.sample_period / 2;
+
+  std::vector<Suspect> scored;
+  scored.reserve(suspects.size());
+  for (const SuspectInput& input : suspects) {
+    if (input.usage == nullptr) {
+      continue;
+    }
+    const std::vector<AlignedPair> pairs =
+        AlignSeries(victim_cpi, *input.usage, begin, now + 1, tolerance);
+    if (pairs.empty()) {
+      continue;
+    }
+    Suspect suspect;
+    suspect.task = input.task;
+    suspect.jobname = input.jobname;
+    suspect.workload_class = input.workload_class;
+    suspect.priority = input.priority;
+    suspect.correlation = AntagonistCorrelation(pairs, cpi_threshold);
+    scored.push_back(suspect);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Suspect& a, const Suspect& b) { return a.correlation > b.correlation; });
+  return scored;
+}
+
+}  // namespace cpi2

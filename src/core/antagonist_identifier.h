@@ -1,0 +1,56 @@
+// Antagonist identification (section 4.2).
+//
+// When a victim task turns anomalous, the identifier cross-correlates the
+// victim's CPI time series with the CPU-usage series of every co-resident
+// suspect over a 10-minute window, using the paper's passive correlation
+// score (core/correlation.h). Analyses are rate-limited to one per second
+// per machine so that the detector itself never becomes the antagonist.
+
+#ifndef CPI2_CORE_ANTAGONIST_IDENTIFIER_H_
+#define CPI2_CORE_ANTAGONIST_IDENTIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/incident.h"
+#include "core/params.h"
+#include "util/time_series.h"
+
+namespace cpi2 {
+
+class AntagonistIdentifier {
+ public:
+  explicit AntagonistIdentifier(const Cpi2Params& params) : params_(params) {}
+
+  struct SuspectInput {
+    std::string task;
+    std::string jobname;
+    WorkloadClass workload_class = WorkloadClass::kBatch;
+    JobPriority priority = JobPriority::kNonProduction;
+    // Suspect's CPU-usage samples (CPU-sec/sec, once a minute).
+    const TimeSeries* usage = nullptr;
+  };
+
+  // Rate limiting: may an analysis run at `now`?
+  bool Allowed(MicroTime now) const {
+    return last_analysis_ < 0 || now - last_analysis_ >= params_.analysis_interval;
+  }
+
+  // Correlates every suspect against the victim's CPI over
+  // [now - correlation_window, now]. Returns ALL suspects with at least one
+  // aligned sample, ranked by correlation (highest first); the caller applies
+  // the naming threshold. Records the analysis for rate-limiting.
+  std::vector<Suspect> Analyze(const TimeSeries& victim_cpi, double cpi_threshold,
+                               const std::vector<SuspectInput>& suspects, MicroTime now);
+
+  int64_t analyses_run() const { return analyses_run_; }
+
+ private:
+  Cpi2Params params_;
+  MicroTime last_analysis_ = -1;
+  int64_t analyses_run_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_ANTAGONIST_IDENTIFIER_H_

@@ -1,0 +1,29 @@
+#include "core/correlation.h"
+
+namespace cpi2 {
+
+double AntagonistCorrelation(const std::vector<AlignedPair>& pairs, double cpi_threshold) {
+  if (pairs.empty() || cpi_threshold <= 0.0) {
+    return 0.0;
+  }
+  double usage_total = 0.0;
+  for (const AlignedPair& pair : pairs) {
+    usage_total += pair.b;
+  }
+  if (usage_total <= 0.0) {
+    return 0.0;
+  }
+  double correlation = 0.0;
+  for (const AlignedPair& pair : pairs) {
+    const double cpi = pair.a;
+    const double usage = pair.b / usage_total;  // sum of normalized usage is 1
+    if (cpi > cpi_threshold) {
+      correlation += usage * (1.0 - cpi_threshold / cpi);
+    } else if (cpi < cpi_threshold && cpi > 0.0) {
+      correlation += usage * (cpi / cpi_threshold - 1.0);
+    }
+  }
+  return correlation;
+}
+
+}  // namespace cpi2

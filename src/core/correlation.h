@@ -1,0 +1,31 @@
+// The paper's antagonist-correlation score (section 4.2).
+//
+// Given time-aligned samples of a victim's CPI {c_i} and a suspect's CPU
+// usage {u_i} (normalized so sum u_i = 1) over a window, and the victim's
+// abnormal-CPI threshold c_thr:
+//
+//   corr = sum over i of:
+//     u_i * (1 - c_thr / c_i)   when c_i > c_thr   (usage during bad CPI)
+//     u_i * (c_i / c_thr - 1)   when c_i < c_thr   (usage during good CPI)
+//
+// The result lies in [-1, 1]: usage spikes coinciding with victim pain push
+// it up; usage during healthy victim periods pushes it down. This is a
+// deliberately simple passive score: no throttle-probing of innocents.
+
+#ifndef CPI2_CORE_CORRELATION_H_
+#define CPI2_CORE_CORRELATION_H_
+
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace cpi2 {
+
+// `pairs` holds (victim CPI, suspect CPU usage) sample pairs: pair.a is the
+// victim's CPI, pair.b the suspect's usage. Usage is normalized internally.
+// Returns 0 for an empty window or an all-idle suspect.
+double AntagonistCorrelation(const std::vector<AlignedPair>& pairs, double cpi_threshold);
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_CORRELATION_H_

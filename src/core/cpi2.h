@@ -1,0 +1,37 @@
+// Umbrella header for the CPI2 library.
+//
+// CPI2 detects CPU performance interference between co-located tasks using
+// cycles-per-instruction statistics, identifies the antagonist with a
+// passive correlation analysis, and (optionally) throttles it with CPU
+// bandwidth hard-capping. Reproduction of Zhang et al., EuroSys 2013.
+//
+// Typical wiring (see examples/quickstart.cpp):
+//
+//   cpi2::Cpi2Params params;                       // Table 2 defaults
+//   cpi2::Agent agent({params, "machine-1", "xeon-2.6GHz"}, &counters, &caps);
+//   agent.AddTask({"search.0", "websearch", cpi2::WorkloadClass::kLatencySensitive,
+//                  cpi2::JobPriority::kProduction}, now);
+//   agent.UpdateSpec(spec);                        // pushed by an Aggregator
+//   agent.SetIncidentCallback([](const cpi2::Incident& i) { ... });
+//   every second: agent.Tick(now);
+
+#ifndef CPI2_CORE_CPI2_H_
+#define CPI2_CORE_CPI2_H_
+
+#include "core/adaptive_throttle.h"
+#include "core/agent.h"
+#include "core/aggregator.h"
+#include "core/antagonist_identifier.h"
+#include "core/correlation.h"
+#include "core/enforcement.h"
+#include "core/incident.h"
+#include "core/incident_log.h"
+#include "core/incident_log_io.h"
+#include "core/outlier_detector.h"
+#include "core/params.h"
+#include "core/placement_advisor.h"
+#include "core/spec_builder.h"
+#include "core/spec_store.h"
+#include "core/types.h"
+
+#endif  // CPI2_CORE_CPI2_H_

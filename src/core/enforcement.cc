@@ -1,0 +1,99 @@
+#include "core/enforcement.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpi2 {
+
+EnforcementPolicy::EnforcementPolicy(const Cpi2Params& params, CpuController* controller)
+    : params_(params), controller_(controller), enabled_(params.enforcement_enabled) {}
+
+EnforcementPolicy::Decision EnforcementPolicy::OnIncident(
+    WorkloadClass victim_class, bool victim_opt_in,
+    const std::vector<Suspect>& ranked_suspects, MicroTime now) {
+  Decision decision;
+  if (!enabled_) {
+    decision.reason = "enforcement disabled";
+    return decision;
+  }
+  if (victim_class != WorkloadClass::kLatencySensitive && !victim_opt_in) {
+    // Batch victims are not protected automatically (they have straggler
+    // mechanisms of their own) unless the job opted in explicitly.
+    decision.reason = "victim not eligible (batch, not opted in)";
+    return decision;
+  }
+  for (const Suspect& suspect : ranked_suspects) {
+    if (suspect.correlation < params_.correlation_threshold) {
+      break;  // Ranked descending: nothing further clears the bar.
+    }
+    if (suspect.workload_class != WorkloadClass::kBatch) {
+      continue;  // Never throttle latency-sensitive suspects automatically.
+    }
+    if (IsCapped(suspect.task)) {
+      decision.action = IncidentAction::kAlreadyCapped;
+      decision.target = suspect.task;
+      decision.reason = "top suspect already capped";
+      // Escalation: capping this offender clearly is not enough.
+      const int stuck = ++stuck_incidents_[suspect.task];
+      if (migration_callback_ && stuck >= params_.recaps_before_migration) {
+        stuck_incidents_[suspect.task] = 0;
+        ++migrations_requested_;
+        decision.reason += "; requesting kill-and-restart elsewhere";
+        CPI2_LOG(INFO) << "escalating " << suspect.task << " to migration";
+        migration_callback_(suspect.task);
+      }
+      return decision;
+    }
+    const double level = CapLevelFor(suspect.priority);
+    const Status status = controller_->SetCap(suspect.task, level);
+    if (!status.ok()) {
+      decision.reason = "cap failed: " + status.ToString();
+      return decision;
+    }
+    active_caps_[suspect.task] = {now + params_.cap_duration, level};
+    ++caps_applied_;
+    decision.action = IncidentAction::kHardCap;
+    decision.target = suspect.task;
+    decision.cap_level = level;
+    decision.reason = StrFormat("correlation %.2f >= %.2f", suspect.correlation,
+                                params_.correlation_threshold);
+    CPI2_LOG(INFO) << "hard-capping " << suspect.task << " to " << level << " CPU-s/s ("
+                   << decision.reason << ")";
+    return decision;
+  }
+  decision.reason = "no throttleable suspect above threshold";
+  return decision;
+}
+
+void EnforcementPolicy::Tick(MicroTime now) {
+  for (auto it = active_caps_.begin(); it != active_caps_.end();) {
+    if (now >= it->second.expires_at) {
+      const Status status = controller_->RemoveCap(it->first);
+      if (!status.ok()) {
+        CPI2_LOG(WARNING) << "uncap " << it->first << " failed: " << status.ToString();
+      }
+      it = active_caps_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status EnforcementPolicy::ManualCap(const std::string& task, double cpu_sec_per_sec,
+                                    MicroTime duration, MicroTime now) {
+  const Status status = controller_->SetCap(task, cpu_sec_per_sec);
+  if (!status.ok()) {
+    return status;
+  }
+  const MicroTime effective = duration > 0 ? duration : params_.cap_duration;
+  active_caps_[task] = {now + effective, cpu_sec_per_sec};
+  ++caps_applied_;
+  return Status::Ok();
+}
+
+Status EnforcementPolicy::ManualUncap(const std::string& task) {
+  active_caps_.erase(task);
+  return controller_->RemoveCap(task);
+}
+
+}  // namespace cpi2

@@ -1,0 +1,103 @@
+// Enforcement policy: dealing with antagonists (section 5).
+//
+// Policy, verbatim from the paper: latency-sensitive victims take
+// precedence over batch antagonists. When the top-correlated suspect that
+// clears the naming threshold is a batch task, it is CPU hard-capped — to
+// 0.01 CPU-s/s for best-effort jobs, 0.1 for other batch — for 5 minutes at
+// a time. If the victim stays anomalous, later analyses pick a different
+// suspect (the capped one's usage, and hence correlation, collapses).
+// Operators can cap/uncap manually and disable automatic mode per cluster;
+// kill-and-restart ("migration") stays a manual action because it wastes
+// checkpoint work.
+
+#ifndef CPI2_CORE_ENFORCEMENT_H_
+#define CPI2_CORE_ENFORCEMENT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cgroup/cpu_controller.h"
+#include "core/incident.h"
+#include "core/params.h"
+
+namespace cpi2 {
+
+class EnforcementPolicy {
+ public:
+  // Invoked when capping a persistent offender keeps failing to relieve the
+  // victim: the cluster scheduler should kill-and-restart `task` elsewhere.
+  using MigrationCallback = std::function<void(const std::string& task)>;
+
+  EnforcementPolicy(const Cpi2Params& params, CpuController* controller);
+
+  struct Decision {
+    IncidentAction action = IncidentAction::kNone;
+    std::string target;
+    double cap_level = 0.0;
+    std::string reason;
+  };
+
+  // Decides and applies the response to one incident: the victim must be
+  // eligible (latency-sensitive, or explicitly opted in), and the chosen
+  // suspect must clear the correlation threshold, be batch, and not already
+  // be capped.
+  Decision OnIncident(WorkloadClass victim_class, bool victim_opt_in,
+                      const std::vector<Suspect>& ranked_suspects, MicroTime now);
+  Decision OnIncident(WorkloadClass victim_class, const std::vector<Suspect>& ranked_suspects,
+                      MicroTime now) {
+    return OnIncident(victim_class, /*victim_opt_in=*/false, ranked_suspects, now);
+  }
+
+  // Expires caps whose duration has elapsed. Call at least once a second.
+  void Tick(MicroTime now);
+
+  // --- operator interface -------------------------------------------------
+  // Cap `task` to `cpu_sec_per_sec` for `duration` (0 = the default).
+  Status ManualCap(const std::string& task, double cpu_sec_per_sec, MicroTime duration,
+                   MicroTime now);
+  Status ManualUncap(const std::string& task);
+  // Per-cluster master switch ("turn CPI protection on or off").
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Escalation: when capping `task` has not helped after
+  // recaps_before_migration incidents, the callback is invoked once and the
+  // counter resets.
+  void SetMigrationCallback(MigrationCallback callback) {
+    migration_callback_ = std::move(callback);
+  }
+  int64_t migrations_requested() const { return migrations_requested_; }
+
+  bool IsCapped(const std::string& task) const { return active_caps_.count(task) > 0; }
+  size_t active_cap_count() const { return active_caps_.size(); }
+  int64_t caps_applied() const { return caps_applied_; }
+
+  // A task went away (exit/migration): forget its cap silently.
+  void ForgetTask(const std::string& task) { active_caps_.erase(task); }
+
+ private:
+  struct ActiveCap {
+    MicroTime expires_at = 0;
+    double level = 0.0;
+  };
+
+  double CapLevelFor(JobPriority priority) const {
+    return priority == JobPriority::kBestEffort ? params_.cap_best_effort : params_.cap_other;
+  }
+
+  Cpi2Params params_;
+  CpuController* controller_;
+  bool enabled_;
+  std::map<std::string, ActiveCap> active_caps_;
+  // Incidents whose best suspect was already capped, per suspect.
+  std::map<std::string, int> stuck_incidents_;
+  MigrationCallback migration_callback_;
+  int64_t caps_applied_ = 0;
+  int64_t migrations_requested_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_ENFORCEMENT_H_

@@ -1,0 +1,26 @@
+#include "core/incident.h"
+
+#include "util/string_util.h"
+
+namespace cpi2 {
+
+std::string Incident::Summary() const {
+  std::string action_text;
+  switch (action) {
+    case IncidentAction::kNone:
+      action_text = "no action";
+      break;
+    case IncidentAction::kHardCap:
+      action_text = StrFormat("hard-capped %s to %.2f CPU-s/s", action_target.c_str(), cap_level);
+      break;
+    case IncidentAction::kAlreadyCapped:
+      action_text = "best suspect already capped";
+      break;
+  }
+  const double top = suspects.empty() ? 0.0 : suspects.front().correlation;
+  return StrFormat("victim %s (job %s) cpi=%.2f thr=%.2f suspects=%zu top-corr=%.2f; %s",
+                   victim_task.c_str(), victim_job.c_str(), victim_cpi, cpi_threshold,
+                   suspects.size(), top, action_text.c_str());
+}
+
+}  // namespace cpi2

@@ -1,0 +1,62 @@
+// Incident record: one detected CPU-interference event.
+//
+// Produced by the per-machine agent when an anomalous task's antagonist
+// analysis completes; consumed by the enforcement policy, the incident log
+// (forensics), and operators.
+
+#ifndef CPI2_CORE_INCIDENT_H_
+#define CPI2_CORE_INCIDENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/clock.h"
+
+namespace cpi2 {
+
+// One co-resident task scored by the antagonist correlation.
+struct Suspect {
+  std::string task;
+  std::string jobname;
+  WorkloadClass workload_class = WorkloadClass::kBatch;
+  JobPriority priority = JobPriority::kNonProduction;
+  double correlation = 0.0;
+};
+
+// Enforcement outcome attached to an incident.
+enum class IncidentAction {
+  kNone,          // no suspect cleared the bar, or enforcement disabled
+  kHardCap,       // a suspect was CPU hard-capped
+  kAlreadyCapped, // the best suspect was already under a cap
+};
+
+struct Incident {
+  MicroTime timestamp = 0;
+  std::string machine;
+
+  std::string victim_task;
+  std::string victim_job;
+  std::string platforminfo;
+  WorkloadClass victim_class = WorkloadClass::kLatencySensitive;
+
+  double victim_cpi = 0.0;
+  double cpi_threshold = 0.0;  // the spec threshold that was crossed
+  double spec_mean = 0.0;
+  double spec_stddev = 0.0;
+
+  // All analyzed suspects, highest correlation first.
+  std::vector<Suspect> suspects;
+
+  IncidentAction action = IncidentAction::kNone;
+  std::string action_target;  // capped task, when action == kHardCap
+  double cap_level = 0.0;     // CPU-sec/sec
+  std::string note;
+
+  // Renders a one-line summary for logs.
+  std::string Summary() const;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_INCIDENT_H_

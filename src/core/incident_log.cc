@@ -1,0 +1,77 @@
+#include "core/incident_log.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cpi2 {
+
+std::vector<const Incident*> IncidentLog::Select(const Query& query) const {
+  std::vector<const Incident*> out;
+  for (const Incident& incident : incidents_) {
+    if (!query.victim_job.empty() && incident.victim_job != query.victim_job) {
+      continue;
+    }
+    if (!query.machine.empty() && incident.machine != query.machine) {
+      continue;
+    }
+    if (query.begin != 0 && incident.timestamp < query.begin) {
+      continue;
+    }
+    if (query.end != 0 && incident.timestamp >= query.end) {
+      continue;
+    }
+    if (query.min_top_correlation > 0.0 &&
+        (incident.suspects.empty() ||
+         incident.suspects.front().correlation < query.min_top_correlation)) {
+      continue;
+    }
+    if (query.capped_only && incident.action != IncidentAction::kHardCap) {
+      continue;
+    }
+    out.push_back(&incident);
+  }
+  return out;
+}
+
+std::vector<IncidentLog::AntagonistStats> IncidentLog::TopAntagonists(
+    const std::string& victim_job, MicroTime begin, MicroTime end, int k) const {
+  Query query;
+  query.victim_job = victim_job;
+  query.begin = begin;
+  query.end = end;
+
+  std::map<std::string, AntagonistStats> by_job;
+  for (const Incident* incident : Select(query)) {
+    if (incident->suspects.empty()) {
+      continue;
+    }
+    const Suspect& top = incident->suspects.front();
+    AntagonistStats& stats = by_job[top.jobname];
+    stats.jobname = top.jobname;
+    ++stats.incidents;
+    if (incident->action == IncidentAction::kHardCap && incident->action_target == top.task) {
+      ++stats.times_capped;
+    }
+    stats.max_correlation = std::max(stats.max_correlation, top.correlation);
+    stats.mean_correlation += (top.correlation - stats.mean_correlation) /
+                              static_cast<double>(stats.incidents);
+  }
+
+  std::vector<AntagonistStats> ranked;
+  ranked.reserve(by_job.size());
+  for (const auto& [job, stats] : by_job) {
+    ranked.push_back(stats);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const AntagonistStats& a, const AntagonistStats& b) {
+    if (a.incidents != b.incidents) {
+      return a.incidents > b.incidents;
+    }
+    return a.max_correlation > b.max_correlation;
+  });
+  if (k > 0 && static_cast<size_t>(k) < ranked.size()) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  return ranked;
+}
+
+}  // namespace cpi2

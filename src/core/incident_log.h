@@ -1,0 +1,61 @@
+// Incident storage and forensics queries.
+//
+// The paper logs CPI and suspected-antagonist data and lets job owners run
+// Dremel (SQL) queries over it, "e.g., to find the most aggressive
+// antagonists for a job in a particular time window" (section 5). This is
+// the equivalent typed query surface: time-range / job / machine filters
+// and a top-K antagonist ranking that can feed the scheduler's
+// avoid-co-location constraints.
+
+#ifndef CPI2_CORE_INCIDENT_LOG_H_
+#define CPI2_CORE_INCIDENT_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/incident.h"
+
+namespace cpi2 {
+
+class IncidentLog {
+ public:
+  void Add(const Incident& incident) { incidents_.push_back(incident); }
+
+  size_t size() const { return incidents_.size(); }
+  const std::vector<Incident>& incidents() const { return incidents_; }
+
+  struct Query {
+    // Empty strings / zero times mean "no constraint".
+    std::string victim_job;
+    std::string machine;
+    MicroTime begin = 0;
+    MicroTime end = 0;
+    // Only incidents whose top suspect clears this correlation.
+    double min_top_correlation = 0.0;
+    // Only incidents where action was taken.
+    bool capped_only = false;
+  };
+
+  std::vector<const Incident*> Select(const Query& query) const;
+
+  // Aggregated view of who keeps hurting a job.
+  struct AntagonistStats {
+    std::string jobname;      // the suspected antagonist job
+    int incidents = 0;        // incidents where it was the top suspect
+    int times_capped = 0;     // incidents where it was actually capped
+    double max_correlation = 0.0;
+    double mean_correlation = 0.0;
+  };
+
+  // The most aggressive antagonist jobs for `victim_job` (all jobs when
+  // empty) in [begin, end) (unbounded when 0), ranked by incident count.
+  std::vector<AntagonistStats> TopAntagonists(const std::string& victim_job, MicroTime begin,
+                                              MicroTime end, int k) const;
+
+ private:
+  std::vector<Incident> incidents_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_INCIDENT_LOG_H_

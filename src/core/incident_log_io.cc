@@ -1,0 +1,161 @@
+#include "core/incident_log_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace cpi2 {
+namespace {
+
+constexpr char kHeader[] = "cpi2-incidents-v1";
+
+// Field separators: '\t' between columns, ';' between suspects, ',' inside
+// one suspect. Rather than escaping, names containing any separator are
+// rejected at save time (task/job names never contain them in practice).
+bool SafeName(const std::string& name) {
+  return name.find_first_of("\t\n;,") == std::string::npos;
+}
+
+std::string EncodeSuspects(const std::vector<Suspect>& suspects) {
+  std::vector<std::string> parts;
+  parts.reserve(suspects.size());
+  for (const Suspect& suspect : suspects) {
+    parts.push_back(StrFormat("%s,%s,%d,%d,%.9g", suspect.task.c_str(),
+                              suspect.jobname.c_str(),
+                              static_cast<int>(suspect.workload_class),
+                              static_cast<int>(suspect.priority), suspect.correlation));
+  }
+  return Join(parts, ";");
+}
+
+StatusOr<std::vector<Suspect>> DecodeSuspects(const std::string& text) {
+  std::vector<Suspect> suspects;
+  if (text.empty()) {
+    return suspects;
+  }
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ';')) {
+    std::istringstream fields(item);
+    Suspect suspect;
+    std::string class_text;
+    std::string priority_text;
+    std::string correlation_text;
+    if (!std::getline(fields, suspect.task, ',') ||
+        !std::getline(fields, suspect.jobname, ',') ||
+        !std::getline(fields, class_text, ',') ||
+        !std::getline(fields, priority_text, ',') ||
+        !std::getline(fields, correlation_text)) {
+      return InvalidArgumentError("malformed suspect record: " + item);
+    }
+    suspect.workload_class = static_cast<WorkloadClass>(std::atoi(class_text.c_str()));
+    suspect.priority = static_cast<JobPriority>(std::atoi(priority_text.c_str()));
+    suspect.correlation = std::atof(correlation_text.c_str());
+    suspects.push_back(std::move(suspect));
+  }
+  return suspects;
+}
+
+}  // namespace
+
+Status SaveIncidents(const std::string& path, const IncidentLog& log) {
+  for (const Incident& incident : log.incidents()) {
+    if (!SafeName(incident.victim_task) || !SafeName(incident.victim_job) ||
+        !SafeName(incident.machine) || !SafeName(incident.action_target)) {
+      return InvalidArgumentError("incident names must not contain separators");
+    }
+    for (const Suspect& suspect : incident.suspects) {
+      if (!SafeName(suspect.task) || !SafeName(suspect.jobname)) {
+        return InvalidArgumentError("suspect names must not contain separators");
+      }
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return InternalError("open " + path + " for write: " + std::strerror(errno));
+  }
+  std::fprintf(file, "%s\n", kHeader);
+  for (const Incident& incident : log.incidents()) {
+    std::string note = incident.note;
+    for (char& c : note) {
+      if (c == '\t' || c == '\n') {
+        c = ' ';
+      }
+    }
+    std::fprintf(file, "%lld\t%s\t%s\t%s\t%s\t%d\t%.9g\t%.9g\t%.9g\t%.9g\t%d\t%s\t%.9g\t%s\t%s\n",
+                 static_cast<long long>(incident.timestamp), incident.machine.c_str(),
+                 incident.victim_task.c_str(), incident.victim_job.c_str(),
+                 incident.platforminfo.c_str(), static_cast<int>(incident.victim_class),
+                 incident.victim_cpi, incident.cpi_threshold, incident.spec_mean,
+                 incident.spec_stddev, static_cast<int>(incident.action),
+                 incident.action_target.c_str(), incident.cap_level, note.c_str(),
+                 EncodeSuspects(incident.suspects).c_str());
+  }
+  if (std::fclose(file) != 0) {
+    return InternalError("close " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<IncidentLog> LoadIncidents(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(file, line) || line != kHeader) {
+    return InvalidArgumentError(path + ": missing or wrong header");
+  }
+  IncidentLog log;
+  int line_number = 1;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream in(line);
+    std::vector<std::string> fields;
+    std::string field;
+    while (std::getline(in, field, '\t')) {
+      fields.push_back(field);
+    }
+    if (fields.size() == 14) {
+      // A trailing empty suspects column is dropped by the splitter.
+      fields.emplace_back();
+    }
+    if (fields.size() != 15) {
+      return InvalidArgumentError(StrFormat("%s:%d: expected 15 fields, got %zu",
+                                            path.c_str(), line_number, fields.size()));
+    }
+    Incident incident;
+    incident.timestamp = std::strtoll(fields[0].c_str(), nullptr, 10);
+    incident.machine = fields[1];
+    incident.victim_task = fields[2];
+    incident.victim_job = fields[3];
+    incident.platforminfo = fields[4];
+    incident.victim_class = static_cast<WorkloadClass>(std::atoi(fields[5].c_str()));
+    incident.victim_cpi = std::atof(fields[6].c_str());
+    incident.cpi_threshold = std::atof(fields[7].c_str());
+    incident.spec_mean = std::atof(fields[8].c_str());
+    incident.spec_stddev = std::atof(fields[9].c_str());
+    incident.action = static_cast<IncidentAction>(std::atoi(fields[10].c_str()));
+    incident.action_target = fields[11];
+    incident.cap_level = std::atof(fields[12].c_str());
+    incident.note = fields[13];
+    auto suspects = DecodeSuspects(fields[14]);
+    if (!suspects.ok()) {
+      return InvalidArgumentError(
+          StrFormat("%s:%d: %s", path.c_str(), line_number,
+                    suspects.status().message().c_str()));
+    }
+    incident.suspects = std::move(*suspects);
+    log.Add(incident);
+  }
+  return log;
+}
+
+}  // namespace cpi2

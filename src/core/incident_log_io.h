@@ -1,0 +1,28 @@
+// Incident log persistence for offline forensics.
+//
+// "To allow offline analysis, we log and store data about CPIs and
+// suspected antagonists. Job owners and administrators can issue SQL-like
+// queries against this data" (section 5). This module gives the incident
+// log a durable form: a versioned TSV with one row per incident (suspects
+// flattened into a ';'-separated column) that round-trips losslessly enough
+// for every IncidentLog query to work on the reloaded data.
+
+#ifndef CPI2_CORE_INCIDENT_LOG_IO_H_
+#define CPI2_CORE_INCIDENT_LOG_IO_H_
+
+#include <string>
+
+#include "core/incident_log.h"
+#include "util/status.h"
+
+namespace cpi2 {
+
+// Writes every incident in `log` to `path`, replacing any existing file.
+Status SaveIncidents(const std::string& path, const IncidentLog& log);
+
+// Loads a saved incident file into a fresh IncidentLog.
+StatusOr<IncidentLog> LoadIncidents(const std::string& path);
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_INCIDENT_LOG_IO_H_

@@ -1,0 +1,34 @@
+#include "core/outlier_detector.h"
+
+namespace cpi2 {
+
+OutlierDetector::Result OutlierDetector::Observe(const std::string& task,
+                                                 const CpiSample& sample, const CpiSpec& spec) {
+  Result result;
+  result.threshold = spec.OutlierThreshold(params_.outlier_sigmas);
+
+  // Ignore low-usage samples: CPI inflates at near-idle for reasons that
+  // have nothing to do with antagonists (case 3).
+  if (sample.cpu_usage < params_.min_cpu_usage) {
+    result.skipped_low_usage = true;
+    return result;
+  }
+
+  if (sample.cpi <= result.threshold) {
+    return result;
+  }
+  result.outlier = true;
+
+  std::deque<MicroTime>& task_flags = flags_[task];
+  task_flags.push_back(sample.timestamp);
+  const MicroTime cutoff = sample.timestamp - params_.violation_window;
+  while (!task_flags.empty() && task_flags.front() < cutoff) {
+    task_flags.pop_front();
+  }
+  result.anomaly = static_cast<int>(task_flags.size()) >= params_.outlier_violations;
+  return result;
+}
+
+void OutlierDetector::ForgetTask(const std::string& task) { flags_.erase(task); }
+
+}  // namespace cpi2

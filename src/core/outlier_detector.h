@@ -1,0 +1,54 @@
+// Per-machine CPI outlier / anomaly detection (section 4.1).
+//
+// A sample is an *outlier* when its CPI exceeds the job spec's 2-sigma
+// threshold AND the task used at least 0.25 CPU-sec/sec (the usage floor
+// filters self-inflicted CPI inflation at idle, case 3). A task is
+// *anomalous* — worth an antagonist analysis — once it accumulates 3
+// outlier flags within a 5-minute window.
+
+#ifndef CPI2_CORE_OUTLIER_DETECTOR_H_
+#define CPI2_CORE_OUTLIER_DETECTOR_H_
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "core/params.h"
+#include "core/types.h"
+
+namespace cpi2 {
+
+class OutlierDetector {
+ public:
+  explicit OutlierDetector(const Cpi2Params& params) : params_(params) {}
+
+  struct Result {
+    // This sample crossed the spec threshold (with sufficient usage).
+    bool outlier = false;
+    // The task has had >= outlier_violations outliers within the window;
+    // antagonist identification should run.
+    bool anomaly = false;
+    // The threshold that was applied (mean + outlier_sigmas * stddev).
+    double threshold = 0.0;
+    // Sample skipped entirely (below the usage floor).
+    bool skipped_low_usage = false;
+  };
+
+  // Scores one sample of `task` against its job's spec.
+  Result Observe(const std::string& task, const CpiSample& sample, const CpiSpec& spec);
+
+  // Drops a task's flag history (task exited or moved away).
+  void ForgetTask(const std::string& task);
+
+  // Number of tasks with at least one recent flag (diagnostics).
+  size_t tracked_tasks() const { return flags_.size(); }
+
+ private:
+  Cpi2Params params_;
+  // Per task: timestamps of recent outlier flags, oldest first.
+  std::map<std::string, std::deque<MicroTime>> flags_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_OUTLIER_DETECTOR_H_

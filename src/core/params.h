@@ -1,0 +1,74 @@
+// CPI2 configuration parameters (Table 2 of the paper).
+//
+// Defaults match the paper's deployed values exactly. Experiments that
+// shrink timescales (e.g. unit tests that cannot simulate 24 hours) override
+// individual fields; the semantics of each knob never change.
+
+#ifndef CPI2_CORE_PARAMS_H_
+#define CPI2_CORE_PARAMS_H_
+
+#include <string>
+
+#include "util/clock.h"
+
+namespace cpi2 {
+
+struct Cpi2Params {
+  // --- collection (section 3.1) -------------------------------------------
+  // "Sampling duration: 10 seconds".
+  MicroTime sample_duration = 10 * kMicrosPerSecond;
+  // "Sampling frequency: every 1 minute".
+  MicroTime sample_period = kMicrosPerMinute;
+
+  // --- aggregation (section 3.1) -------------------------------------------
+  // "Predicted CPI recalculated every 24 hours (goal: 1 hour)".
+  MicroTime spec_update_interval = 24 * kMicrosPerHour;
+  // Historical specs decay: "multiplying the CPI value from the previous
+  // day by about 0.9 before averaging it with the most recent day's data".
+  double history_weight = 0.9;
+  // "We do not perform CPI management for applications with fewer than 5
+  // tasks or fewer than 100 CPI samples per task."
+  int min_tasks_for_spec = 5;
+  int min_samples_per_task = 100;
+
+  // --- anomaly detection (section 4.1) -------------------------------------
+  // "Required CPU usage >= 0.25 CPU-sec/sec".
+  double min_cpu_usage = 0.25;
+  // "Outlier threshold 1: 2 sigma".
+  double outlier_sigmas = 2.0;
+  // "Outlier threshold 2: 3 violations in 5 minutes".
+  int outlier_violations = 3;
+  MicroTime violation_window = 5 * kMicrosPerMinute;
+
+  // --- antagonist identification (section 4.2) ------------------------------
+  // "we typically use a 10-minute window".
+  MicroTime correlation_window = 10 * kMicrosPerMinute;
+  // "requiring a correlation value of at least 0.35 works well".
+  double correlation_threshold = 0.35;
+  // "at most one of these attempts is performed each second".
+  MicroTime analysis_interval = kMicrosPerSecond;
+
+  // --- enforcement (section 5) ----------------------------------------------
+  // "0.01 CPU-sec/sec for low-importance ('best effort') batch jobs and 0.1
+  // CPU-sec/sec for other job types".
+  double cap_best_effort = 0.01;
+  double cap_other = 0.1;
+  // "Performance caps are currently applied for 5 minutes at a time".
+  MicroTime cap_duration = 5 * kMicrosPerMinute;
+  // Master switch for automatic enforcement (operators can disable it per
+  // cluster).
+  bool enforcement_enabled = true;
+  // Escalation (section 6.2 / future work): "if throttling didn't work, it
+  // would ask the cluster scheduler to kill and restart an antagonist task
+  // on another machine". After this many incidents whose best suspect is
+  // already under a cap, the migration callback fires for that suspect.
+  int recaps_before_migration = 3;
+
+  // Renders the parameter table (used by bench_table2_params and --help
+  // style output).
+  std::string ToTable() const;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_PARAMS_H_

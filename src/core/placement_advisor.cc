@@ -1,0 +1,41 @@
+#include "core/placement_advisor.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cpi2 {
+
+std::vector<PlacementAdvisor::Advice> PlacementAdvisor::Advise(const IncidentLog& log,
+                                                               MicroTime now) const {
+  IncidentLog::Query query;
+  if (options_.window > 0) {
+    query.begin = now > options_.window ? now - options_.window : 0;
+  }
+  query.min_top_correlation = options_.min_correlation;
+
+  std::map<std::pair<std::string, std::string>, Advice> pairs;
+  for (const Incident* incident : log.Select(query)) {
+    const Suspect& top = incident->suspects.front();
+    Advice& advice = pairs[{incident->victim_job, top.jobname}];
+    advice.victim_job = incident->victim_job;
+    advice.antagonist_job = top.jobname;
+    ++advice.incidents;
+    advice.max_correlation = std::max(advice.max_correlation, top.correlation);
+  }
+
+  std::vector<Advice> out;
+  for (const auto& [key, advice] : pairs) {
+    if (advice.incidents >= options_.min_incidents) {
+      out.push_back(advice);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Advice& a, const Advice& b) {
+    if (a.incidents != b.incidents) {
+      return a.incidents > b.incidents;
+    }
+    return a.max_correlation > b.max_correlation;
+  });
+  return out;
+}
+
+}  // namespace cpi2

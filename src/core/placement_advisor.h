@@ -1,0 +1,54 @@
+// Antagonist-aware placement advice (paper §5/§9, future work).
+//
+// "Job owners ... can use this information to ask the cluster scheduler to
+// avoid co-locating their job and these antagonists in the future. Although
+// we don't do this today, the data could be used to ... automatically
+// populate the scheduler's list of cross-job interference patterns."
+//
+// PlacementAdvisor mines the incident log for repeat offenders: antagonist
+// jobs that were the top suspect (above the naming correlation) for the
+// same victim job several times inside a window. The advice feeds directly
+// into Scheduler::AddAntagonistConstraint; examples/forensics and
+// bench_ablation_placement close the loop.
+
+#ifndef CPI2_CORE_PLACEMENT_ADVISOR_H_
+#define CPI2_CORE_PLACEMENT_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/incident_log.h"
+
+namespace cpi2 {
+
+class PlacementAdvisor {
+ public:
+  struct Options {
+    // An antagonist must be the confident top suspect this many times...
+    int min_incidents = 3;
+    // ...with at least this correlation each time...
+    double min_correlation = 0.35;
+    // ...within this much history (0 = all history).
+    MicroTime window = 24 * kMicrosPerHour;
+  };
+
+  struct Advice {
+    std::string victim_job;
+    std::string antagonist_job;
+    int incidents = 0;
+    double max_correlation = 0.0;
+  };
+
+  explicit PlacementAdvisor(const Options& options) : options_(options) {}
+
+  // Returns one Advice per (victim, antagonist) pair that crossed the
+  // repeat-offender bar, strongest first.
+  std::vector<Advice> Advise(const IncidentLog& log, MicroTime now) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_PLACEMENT_ADVISOR_H_

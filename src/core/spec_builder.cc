@@ -1,0 +1,110 @@
+#include "core/spec_builder.h"
+
+#include <cmath>
+
+namespace cpi2 {
+
+void SpecBuilder::MomentHistory::Decay(double weight) {
+  count *= weight;
+  m2 *= weight;
+  // mean and usage_mean are location parameters; decay shrinks their weight
+  // in the next merge, not their value.
+}
+
+void SpecBuilder::MomentHistory::Merge(double other_count, double other_mean, double other_m2,
+                                       double other_usage) {
+  if (other_count <= 0.0) {
+    return;
+  }
+  if (count <= 0.0) {
+    count = other_count;
+    mean = other_mean;
+    m2 = other_m2;
+    usage_mean = other_usage;
+    return;
+  }
+  const double total = count + other_count;
+  const double delta = other_mean - mean;
+  m2 += other_m2 + delta * delta * count * other_count / total;
+  mean += delta * other_count / total;
+  usage_mean += (other_usage - usage_mean) * other_count / total;
+  count = total;
+}
+
+void SpecBuilder::AddSample(const CpiSample& sample) {
+  ++samples_seen_;
+  Accumulation& accumulation = current_[{sample.jobname, sample.platforminfo}];
+  accumulation.cpi.Add(sample.cpi);
+  accumulation.usage.Add(sample.cpu_usage);
+  if (!sample.task.empty()) {
+    ++accumulation.samples_per_task[sample.task];
+  }
+}
+
+bool SpecBuilder::Eligible(const Accumulation& accumulation) const {
+  if (static_cast<int>(accumulation.samples_per_task.size()) < params_.min_tasks_for_spec) {
+    return false;
+  }
+  // "fewer than 100 CPI samples per task": require the average per-task
+  // sample count to clear the bar, so a few young tasks don't block a job
+  // with abundant data.
+  const double average =
+      static_cast<double>(accumulation.cpi.count()) /
+      static_cast<double>(accumulation.samples_per_task.size());
+  return average >= static_cast<double>(params_.min_samples_per_task);
+}
+
+std::vector<CpiSpec> SpecBuilder::BuildSpecs() {
+  std::vector<CpiSpec> specs;
+
+  // Decay all history first: a day with no fresh samples still ages.
+  for (auto& [key, history] : history_) {
+    history.Decay(params_.history_weight);
+  }
+
+  for (auto& [key, accumulation] : current_) {
+    MomentHistory& history = history_[key];
+    const bool eligible_now = Eligible(accumulation);
+    history.Merge(static_cast<double>(accumulation.cpi.count()), accumulation.cpi.mean(),
+                  // StreamingStats keeps m2 implicitly; reconstruct it.
+                  accumulation.cpi.population_variance() *
+                      static_cast<double>(accumulation.cpi.count()),
+                  accumulation.usage.mean());
+    if (!eligible_now) {
+      continue;
+    }
+    CpiSpec spec;
+    spec.jobname = key.jobname;
+    spec.platforminfo = key.platforminfo;
+    spec.num_samples = static_cast<int64_t>(history.count);
+    spec.cpu_usage_mean = history.usage_mean;
+    spec.cpi_mean = history.mean;
+    spec.cpi_stddev = std::sqrt(history.Variance());
+    latest_specs_[key] = spec;
+    specs.push_back(spec);
+  }
+  current_.clear();
+  return specs;
+}
+
+std::optional<CpiSpec> SpecBuilder::GetSpec(const std::string& jobname,
+                                            const std::string& platforminfo) const {
+  const auto it = latest_specs_.find({jobname, platforminfo});
+  if (it == latest_specs_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void SpecBuilder::SeedHistory(const CpiSpec& spec) {
+  MomentHistory& history = history_[{spec.jobname, spec.platforminfo}];
+  MomentHistory seeded;
+  seeded.count = static_cast<double>(spec.num_samples);
+  seeded.mean = spec.cpi_mean;
+  seeded.m2 = spec.cpi_stddev * spec.cpi_stddev * static_cast<double>(spec.num_samples);
+  seeded.usage_mean = spec.cpu_usage_mean;
+  history.Merge(seeded.count, seeded.mean, seeded.m2, seeded.usage_mean);
+  latest_specs_[{spec.jobname, spec.platforminfo}] = spec;
+}
+
+}  // namespace cpi2

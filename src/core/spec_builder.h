@@ -1,0 +1,78 @@
+// CPI spec aggregation (section 3.1, "CPI data aggregation").
+//
+// Accumulates CpiSamples per job x platform, and on each build interval
+// produces CpiSpecs (mean, stddev, usage mean) for every key that meets the
+// eligibility rules (>= 5 tasks and >= 100 samples per task). Earlier days'
+// statistics persist with age-weighting: each build multiplies the retained
+// history's effective sample count by history_weight (~0.9) before merging
+// the fresh day, so long-running jobs converge and behaviour drift decays.
+
+#ifndef CPI2_CORE_SPEC_BUILDER_H_
+#define CPI2_CORE_SPEC_BUILDER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "core/types.h"
+#include "stats/streaming.h"
+
+namespace cpi2 {
+
+class SpecBuilder {
+ public:
+  explicit SpecBuilder(const Cpi2Params& params) : params_(params) {}
+
+  // Feeds one sample into the current accumulation window.
+  void AddSample(const CpiSample& sample);
+
+  // Closes the current window: merges it into the age-weighted history and
+  // returns the specs of every eligible job x platform. Keys that fail the
+  // eligibility rules are retained in history but produce no spec.
+  std::vector<CpiSpec> BuildSpecs();
+
+  // The spec from the most recent build, if that key was eligible.
+  std::optional<CpiSpec> GetSpec(const std::string& jobname,
+                                 const std::string& platforminfo) const;
+
+  // Pre-seeds history for a job (e.g. from a previous run's stored spec), so
+  // repeated jobs do not start from scratch.
+  void SeedHistory(const CpiSpec& spec);
+
+  int64_t samples_seen() const { return samples_seen_; }
+
+ private:
+  // Weighted moment history: an (effective_count, mean, m2) triple that can
+  // be decayed and merged.
+  struct MomentHistory {
+    double count = 0.0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double usage_mean = 0.0;
+
+    void Decay(double weight);
+    void Merge(double other_count, double other_mean, double other_m2, double other_usage);
+    double Variance() const { return count > 1.0 ? m2 / (count - 1.0) : 0.0; }
+  };
+
+  struct Accumulation {
+    StreamingStats cpi;
+    StreamingStats usage;
+    std::map<std::string, int64_t> samples_per_task;
+  };
+
+  bool Eligible(const Accumulation& accumulation) const;
+
+  Cpi2Params params_;
+  std::map<JobPlatformKey, Accumulation> current_;
+  std::map<JobPlatformKey, MomentHistory> history_;
+  std::map<JobPlatformKey, CpiSpec> latest_specs_;
+  int64_t samples_seen_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_SPEC_BUILDER_H_

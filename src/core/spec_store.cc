@@ -1,0 +1,100 @@
+#include "core/spec_store.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace cpi2 {
+namespace {
+
+constexpr char kHeader[] = "cpi2-specs-v1";
+
+// Job/platform names travel on their own tab-separated columns; forbid the
+// separators rather than inventing an escaping scheme nothing needs.
+bool SafeName(const std::string& name) {
+  return name.find('\t') == std::string::npos && name.find('\n') == std::string::npos;
+}
+
+}  // namespace
+
+Status SaveSpecs(const std::string& path, const std::vector<CpiSpec>& specs) {
+  for (const CpiSpec& spec : specs) {
+    if (!SafeName(spec.jobname) || !SafeName(spec.platforminfo)) {
+      return InvalidArgumentError("spec names must not contain tabs or newlines: " +
+                                  spec.jobname);
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return InternalError("open " + path + " for write: " + std::strerror(errno));
+  }
+  std::fprintf(file, "%s\n", kHeader);
+  std::fprintf(file, "# jobname\tplatforminfo\tnum_samples\tcpu_usage_mean\tcpi_mean\tcpi_stddev\n");
+  for (const CpiSpec& spec : specs) {
+    std::fprintf(file, "%s\t%s\t%lld\t%.9g\t%.9g\t%.9g\n", spec.jobname.c_str(),
+                 spec.platforminfo.c_str(), static_cast<long long>(spec.num_samples),
+                 spec.cpu_usage_mean, spec.cpi_mean, spec.cpi_stddev);
+  }
+  if (std::fclose(file) != 0) {
+    return InternalError("close " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<CpiSpec>> LoadSpecs(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(file, line) || line != kHeader) {
+    return InvalidArgumentError(path + ": missing or wrong header (want " +
+                                std::string(kHeader) + ")");
+  }
+  std::vector<CpiSpec> specs;
+  int line_number = 1;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream in(line);
+    CpiSpec spec;
+    std::string samples_text;
+    std::string usage_text;
+    std::string mean_text;
+    std::string stddev_text;
+    if (!std::getline(in, spec.jobname, '\t') || !std::getline(in, spec.platforminfo, '\t') ||
+        !std::getline(in, samples_text, '\t') || !std::getline(in, usage_text, '\t') ||
+        !std::getline(in, mean_text, '\t') || !std::getline(in, stddev_text)) {
+      return InvalidArgumentError(
+          StrFormat("%s:%d: expected 6 tab-separated fields", path.c_str(), line_number));
+    }
+    char* end = nullptr;
+    spec.num_samples = std::strtoll(samples_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return InvalidArgumentError(
+          StrFormat("%s:%d: bad num_samples '%s'", path.c_str(), line_number,
+                    samples_text.c_str()));
+    }
+    const auto parse_double = [&](const std::string& text, double* out) {
+      char* text_end = nullptr;
+      *out = std::strtod(text.c_str(), &text_end);
+      return text_end != nullptr && *text_end == '\0' && !text.empty();
+    };
+    if (!parse_double(usage_text, &spec.cpu_usage_mean) ||
+        !parse_double(mean_text, &spec.cpi_mean) ||
+        !parse_double(stddev_text, &spec.cpi_stddev)) {
+      return InvalidArgumentError(
+          StrFormat("%s:%d: bad numeric field", path.c_str(), line_number));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace cpi2

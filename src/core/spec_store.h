@@ -1,0 +1,36 @@
+// CPI spec persistence.
+//
+// "Other jobs run repeatedly, and have similar behavior on each invocation,
+// so historical CPI data has significant value: if we have seen a previous
+// run of a job, we don't have to build a new model of its CPI behavior from
+// scratch" (section 3.1). SpecStore saves the aggregator's specs to a
+// versioned tab-separated file and reloads them, so a restarted aggregator
+// (or the next run of a nightly job) can seed its history
+// (SpecBuilder::SeedHistory).
+//
+// Format (one record per line, '\t'-separated; '#' lines are comments):
+//   cpi2-specs-v1
+//   jobname  platforminfo  num_samples  cpu_usage_mean  cpi_mean  cpi_stddev
+
+#ifndef CPI2_CORE_SPEC_STORE_H_
+#define CPI2_CORE_SPEC_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace cpi2 {
+
+// Writes `specs` to `path`, replacing any existing file.
+Status SaveSpecs(const std::string& path, const std::vector<CpiSpec>& specs);
+
+// Loads specs from `path`. Fails with kNotFound for a missing file, and
+// kInvalidArgument for a malformed or wrong-version file; a partially
+// readable file is never silently half-loaded.
+StatusOr<std::vector<CpiSpec>> LoadSpecs(const std::string& path);
+
+}  // namespace cpi2
+
+#endif  // CPI2_CORE_SPEC_STORE_H_

@@ -1,0 +1,27 @@
+#include "core/types.h"
+
+namespace cpi2 {
+
+const char* WorkloadClassName(WorkloadClass c) {
+  switch (c) {
+    case WorkloadClass::kLatencySensitive:
+      return "latency-sensitive";
+    case WorkloadClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+const char* JobPriorityName(JobPriority p) {
+  switch (p) {
+    case JobPriority::kProduction:
+      return "production";
+    case JobPriority::kNonProduction:
+      return "non-production";
+    case JobPriority::kBestEffort:
+      return "best-effort";
+  }
+  return "?";
+}
+
+}  // namespace cpi2

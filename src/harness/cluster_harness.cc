@@ -1,0 +1,137 @@
+#include "harness/cluster_harness.h"
+
+#include <set>
+
+#include "util/logging.h"
+
+namespace cpi2 {
+
+TaskMeta MetaFromSpec(const std::string& task_name, const TaskSpec& spec) {
+  TaskMeta meta;
+  meta.task = task_name;
+  meta.jobname = spec.job_name;
+  meta.workload_class = spec.sched_class;
+  meta.priority = spec.priority;
+  meta.protection_opt_in = spec.protection_opt_in;
+  return meta;
+}
+
+ClusterHarness::ClusterHarness(Options options)
+    : options_(options), cluster_(options.cluster), aggregator_(options.params) {}
+
+void ClusterHarness::WireAgents() {
+  if (wired_) {
+    return;
+  }
+  wired_ = true;
+  for (Machine* machine : cluster_.machines()) {
+    Agent::Options agent_options;
+    agent_options.params = options_.params;
+    agent_options.machine_name = machine->name();
+    agent_options.platforminfo = machine->platform().name;
+    auto agent = std::make_unique<Agent>(agent_options, machine, machine);
+    agent->SetSampleCallback([this](const CpiSample& sample) {
+      if (options_.sample_drop_rate > 0.0 && drop_rng_.Bernoulli(options_.sample_drop_rate)) {
+        return;  // lost between the machine and the collection pipeline
+      }
+      ++samples_collected_;
+      aggregator_.AddSample(sample);
+    });
+    agent->SetIncidentCallback(
+        [this](const Incident& incident) { incident_log_.Add(incident); });
+    agents_[machine->name()] = std::move(agent);
+  }
+  // Spec push-back: every rebuilt spec goes to every agent; agents keep only
+  // specs matching their own platform.
+  aggregator_.SetSpecCallback([this](const CpiSpec& spec) {
+    for (auto& [name, agent] : agents_) {
+      agent->UpdateSpec(spec);
+    }
+  });
+  cluster_.AddTickListener([this](MicroTime now) { OnTick(now); });
+  cluster_.AddTickListener([this](MicroTime now) { traces_.OnTick(now); });
+}
+
+Agent* ClusterHarness::agent(const std::string& machine_name) {
+  const auto it = agents_.find(machine_name);
+  return it != agents_.end() ? it->second.get() : nullptr;
+}
+
+Agent* ClusterHarness::AgentForTask(const std::string& task_name) {
+  for (Machine* machine : cluster_.machines()) {
+    if (machine->FindTask(task_name) != nullptr) {
+      return agent(machine->name());
+    }
+  }
+  return nullptr;
+}
+
+void ClusterHarness::OnTick(MicroTime now) {
+  for (Machine* machine : cluster_.machines()) {
+    Agent* machine_agent = agents_[machine->name()].get();
+    if (machine_agent == nullptr) {
+      continue;
+    }
+    // Sync: register newly arrived tasks, drop departed ones.
+    std::set<std::string> present;
+    for (Task* task : machine->Tasks()) {
+      present.insert(task->name());
+      if (!machine_agent->HasTask(task->name())) {
+        machine_agent->AddTask(MetaFromSpec(task->name(), task->spec()), now);
+      }
+    }
+    std::vector<std::string> departed;
+    // Agent has no iteration API over tasks; track removals via sampler
+    // failures instead would lag, so ask the machine: anything the agent has
+    // that is no longer present gets removed lazily through RemoveTask.
+    // (Agent::HasTask is the membership source of truth.)
+    // We snapshot agent-held names by probing the present set's complement:
+    // cheaper bookkeeping lives here in the harness.
+    auto& held = held_tasks_[machine->name()];
+    for (const std::string& name : held) {
+      if (present.count(name) == 0) {
+        machine_agent->RemoveTask(name);
+        departed.push_back(name);
+      }
+    }
+    held = std::move(present);
+
+    machine_agent->Tick(now);
+  }
+  aggregator_.Tick(now);
+}
+
+void ClusterHarness::SetEnforcementEnabled(bool enabled) {
+  for (auto& [name, machine_agent] : agents_) {
+    machine_agent->enforcement().SetEnabled(enabled);
+  }
+}
+
+Status ClusterHarness::OperatorCap(const std::string& task, double cpu_sec_per_sec,
+                                   MicroTime duration) {
+  Agent* machine_agent = AgentForTask(task);
+  if (machine_agent == nullptr) {
+    return NotFoundError("no machine runs task " + task);
+  }
+  return machine_agent->enforcement().ManualCap(task, cpu_sec_per_sec, duration,
+                                                cluster_.now());
+}
+
+Status ClusterHarness::OperatorUncap(const std::string& task) {
+  Agent* machine_agent = AgentForTask(task);
+  if (machine_agent == nullptr) {
+    return NotFoundError("no machine runs task " + task);
+  }
+  return machine_agent->enforcement().ManualUncap(task);
+}
+
+Status ClusterHarness::OperatorMigrate(const std::string& task) {
+  return cluster_.scheduler().MigrateTask(task);
+}
+
+void ClusterHarness::PrimeSpecs(MicroTime warmup) {
+  RunFor(warmup);
+  aggregator_.ForceBuild(cluster_.now());
+}
+
+}  // namespace cpi2

@@ -1,0 +1,105 @@
+// End-to-end wiring of CPI2 onto the cluster simulator.
+//
+// ClusterHarness owns a Cluster plus the full CPI2 deployment on it: one
+// Agent per machine (fed by the machine's counters, capping through the
+// machine's CPU controller), a cluster-level Aggregator, the spec push-back
+// path, and an IncidentLog. Task arrivals/exits/migrations are synced to the
+// agents every tick, exactly as a production agent tracks its cgroups.
+//
+// This is the substrate for the integration tests, every figure harness in
+// bench/, and examples/cluster_sim.
+
+#ifndef CPI2_HARNESS_CLUSTER_HARNESS_H_
+#define CPI2_HARNESS_CLUSTER_HARNESS_H_
+
+#include <map>
+#include <set>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cpi2.h"
+#include "util/rng.h"
+#include "sim/cluster.h"
+#include "sim/trace.h"
+
+namespace cpi2 {
+
+class ClusterHarness {
+ public:
+  struct Options {
+    Cluster::Options cluster;
+    Cpi2Params params;
+    // Fraction of agent samples lost on the way to the aggregator (network
+    // drops, collector restarts). Detection is local, so loss only slows
+    // spec convergence — a robustness property the tests pin down.
+    double sample_drop_rate = 0.0;
+  };
+
+  explicit ClusterHarness(Options options);
+
+  Cluster& cluster() { return cluster_; }
+  Aggregator& aggregator() { return aggregator_; }
+  IncidentLog& incidents() { return incident_log_; }
+  TraceRecorder& traces() { return traces_; }
+
+  // Creates one agent per machine and hooks the pipeline together. Call
+  // after machines exist (cluster().AddMachines + BuildScheduler) and
+  // before the first Tick.
+  void WireAgents();
+
+  Agent* agent(const std::string& machine_name);
+  // The agent managing `task_name`, or nullptr.
+  Agent* AgentForTask(const std::string& task_name);
+
+  // Runs the cluster for `warmup`, then force-builds specs from everything
+  // observed and pushes them to all agents. Gives experiments a trained
+  // CPI2 without simulating a full 24 h aggregation cycle.
+  void PrimeSpecs(MicroTime warmup);
+
+  void RunFor(MicroTime duration) { cluster_.RunFor(duration); }
+  MicroTime now() const { return cluster_.now(); }
+
+  // Total samples routed to the aggregator so far.
+  int64_t samples_collected() const { return samples_collected_; }
+
+  // --- operator interface (section 5) ------------------------------------
+  // "We provide an interface to system operators so they can hard-cap
+  // suspects, and turn CPI protection on or off for an entire cluster."
+
+  // Master switch for automatic enforcement across every agent.
+  void SetEnforcementEnabled(bool enabled);
+
+  // Hard-caps `task` wherever it currently runs (0 duration = default).
+  Status OperatorCap(const std::string& task, double cpu_sec_per_sec, MicroTime duration = 0);
+  Status OperatorUncap(const std::string& task);
+
+  // Manual migration: kill the task and restart it on a different machine
+  // through the scheduler (loses work since the last checkpoint, which is
+  // why the paper keeps this manual).
+  Status OperatorMigrate(const std::string& task);
+
+ private:
+  // Tick listener: sync agents' task registries with their machines, then
+  // tick the agents and the aggregator.
+  void OnTick(MicroTime now);
+
+  Options options_;
+  Cluster cluster_;
+  Aggregator aggregator_;
+  IncidentLog incident_log_;
+  TraceRecorder traces_;
+  Rng drop_rng_{0x5eed};
+  std::map<std::string, std::unique_ptr<Agent>> agents_;  // by machine name
+  // Task names each agent currently manages (for arrival/departure sync).
+  std::map<std::string, std::set<std::string>> held_tasks_;
+  bool wired_ = false;
+  int64_t samples_collected_ = 0;
+};
+
+// Converts a sim TaskSpec to the agent-facing metadata record.
+TaskMeta MetaFromSpec(const std::string& task_name, const TaskSpec& spec);
+
+}  // namespace cpi2
+
+#endif  // CPI2_HARNESS_CLUSTER_HARNESS_H_

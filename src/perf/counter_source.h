@@ -1,0 +1,53 @@
+// Backend-agnostic access to per-container performance counters.
+//
+// Two production-relevant implementations exist:
+//  - PerfEventCounterSource (perf/perf_event_source.h): real Linux
+//    perf_event_open counting-mode counters, one group per cgroup.
+//  - Machine (sim/machine.h): the cluster simulator's machines expose the
+//    same interface, computing counters from the interference model.
+// FakeCounterSource below supports unit tests.
+
+#ifndef CPI2_PERF_COUNTER_SOURCE_H_
+#define CPI2_PERF_COUNTER_SOURCE_H_
+
+#include <map>
+#include <string>
+
+#include "perf/counters.h"
+#include "util/status.h"
+
+namespace cpi2 {
+
+class CounterSource {
+ public:
+  virtual ~CounterSource() = default;
+
+  // Reads the cumulative counters of `container` in counting mode. The
+  // counters keep accumulating between reads; callers diff snapshots.
+  virtual StatusOr<CounterSnapshot> Read(const std::string& container) = 0;
+};
+
+// In-memory source for tests: snapshots are set explicitly.
+class FakeCounterSource : public CounterSource {
+ public:
+  void SetSnapshot(const std::string& container, const CounterSnapshot& snapshot) {
+    snapshots_[container] = snapshot;
+  }
+
+  void Remove(const std::string& container) { snapshots_.erase(container); }
+
+  StatusOr<CounterSnapshot> Read(const std::string& container) override {
+    const auto it = snapshots_.find(container);
+    if (it == snapshots_.end()) {
+      return NotFoundError("no counters for container " + container);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, CounterSnapshot> snapshots_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_PERF_COUNTER_SOURCE_H_

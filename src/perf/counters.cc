@@ -1,0 +1,25 @@
+#include "perf/counters.h"
+
+namespace cpi2 {
+namespace {
+
+uint64_t MonotonicDiff(uint64_t begin, uint64_t end) { return end >= begin ? end - begin : 0; }
+
+}  // namespace
+
+CounterDelta DiffSnapshots(const CounterSnapshot& begin, const CounterSnapshot& end) {
+  CounterDelta delta;
+  delta.window_begin = begin.timestamp;
+  delta.window_end = end.timestamp;
+  delta.cycles = MonotonicDiff(begin.cycles, end.cycles);
+  delta.instructions = MonotonicDiff(begin.instructions, end.instructions);
+  delta.l2_misses = MonotonicDiff(begin.l2_misses, end.l2_misses);
+  delta.l3_misses = MonotonicDiff(begin.l3_misses, end.l3_misses);
+  delta.mem_requests = MonotonicDiff(begin.mem_requests, end.mem_requests);
+  delta.cpu_seconds = end.cpu_seconds >= begin.cpu_seconds
+                          ? end.cpu_seconds - begin.cpu_seconds
+                          : 0.0;
+  return delta;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,85 @@
+// Hardware-counter vocabulary for CPI2.
+//
+// The paper derives CPI from two counters collected simultaneously in
+// counting mode per cgroup: CPU_CLK_UNHALTED.REF / INSTRUCTIONS_RETIRED
+// (section 3.1). Section 7.2 additionally examines L2/L3 misses per
+// instruction and memory requests per cycle, so the taxonomy carries those
+// too.
+
+#ifndef CPI2_PERF_COUNTERS_H_
+#define CPI2_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace cpi2 {
+
+enum class HwCounter {
+  kCpuClkUnhaltedRef,
+  kInstructionsRetired,
+  kL2Misses,
+  kL3Misses,
+  kMemRequests,
+};
+
+// Cumulative counter values for one container (cgroup), as read in counting
+// mode at a single instant.
+struct CounterSnapshot {
+  MicroTime timestamp = 0;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t l2_misses = 0;
+  uint64_t l3_misses = 0;
+  uint64_t mem_requests = 0;
+  // CPU time consumed by the container so far, in CPU-seconds.
+  double cpu_seconds = 0.0;
+};
+
+// Counter deltas over one sampling window.
+struct CounterDelta {
+  MicroTime window_begin = 0;
+  MicroTime window_end = 0;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t l2_misses = 0;
+  uint64_t l3_misses = 0;
+  uint64_t mem_requests = 0;
+  double cpu_seconds = 0.0;
+
+  // Cycles per instruction over the window; 0 when no instructions retired.
+  double Cpi() const {
+    return instructions > 0
+               ? static_cast<double>(cycles) / static_cast<double>(instructions)
+               : 0.0;
+  }
+
+  // Average CPU usage rate over the window, in CPU-sec/sec.
+  double UsageRate() const {
+    const double wall = MicrosToSeconds(window_end - window_begin);
+    return wall > 0.0 ? cpu_seconds / wall : 0.0;
+  }
+
+  double L2MissesPerInstruction() const {
+    return instructions > 0
+               ? static_cast<double>(l2_misses) / static_cast<double>(instructions)
+               : 0.0;
+  }
+
+  double L3MissesPerInstruction() const {
+    return instructions > 0
+               ? static_cast<double>(l3_misses) / static_cast<double>(instructions)
+               : 0.0;
+  }
+
+  double MemRequestsPerCycle() const {
+    return cycles > 0 ? static_cast<double>(mem_requests) / static_cast<double>(cycles) : 0.0;
+  }
+};
+
+// Computes the delta between two snapshots of the same container.
+CounterDelta DiffSnapshots(const CounterSnapshot& begin, const CounterSnapshot& end);
+
+}  // namespace cpi2
+
+#endif  // CPI2_PERF_COUNTERS_H_

@@ -1,0 +1,227 @@
+#include "perf/perf_event_source.h"
+
+#include <fcntl.h>
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpi2 {
+namespace {
+
+int PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd, unsigned long flags) {
+  return static_cast<int>(syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+perf_event_attr MakeAttr(uint64_t type, uint64_t config, bool exclude_kernel) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = static_cast<uint32_t>(type);
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = exclude_kernel ? 1 : 0;
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // Count the whole process tree, like per-cgroup counting.
+  attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+Status ErrnoToStatus(int err, const std::string& what) {
+  const std::string message = what + ": " + std::strerror(err);
+  switch (err) {
+    case EACCES:
+    case EPERM:
+      return PermissionDeniedError(message);
+    case ENOENT:
+    case ESRCH:
+      return NotFoundError(message);
+    case ENOSYS:
+    case ENODEV:
+    case EOPNOTSUPP:
+      return UnavailableError(message);
+    default:
+      return InternalError(message);
+  }
+}
+
+// One counter value read from a perf fd, scaled for multiplexing.
+StatusOr<uint64_t> ReadScaled(int fd, const std::string& what) {
+  struct {
+    uint64_t value;
+    uint64_t time_enabled;
+    uint64_t time_running;
+  } data{};
+  const ssize_t n = read(fd, &data, sizeof(data));
+  if (n != static_cast<ssize_t>(sizeof(data))) {
+    return ErrnoToStatus(errno != 0 ? errno : EIO, "read " + what);
+  }
+  if (data.time_running == 0 || data.time_running == data.time_enabled) {
+    return data.value;
+  }
+  // The kernel multiplexed this counter with others; scale up linearly.
+  const double scale =
+      static_cast<double>(data.time_enabled) / static_cast<double>(data.time_running);
+  return static_cast<uint64_t>(static_cast<double>(data.value) * scale);
+}
+
+// CPU seconds consumed by a whole process from /proc/<pid>/stat
+// (utime + stime, in clock ticks).
+double ReadProcCpuSeconds(pid_t pid) {
+  std::ifstream stat("/proc/" + std::to_string(pid) + "/stat");
+  if (!stat) {
+    return 0.0;
+  }
+  std::string line;
+  std::getline(stat, line);
+  // Field 2 (comm) may contain spaces; skip past the closing paren.
+  const size_t close = line.rfind(')');
+  if (close == std::string::npos) {
+    return 0.0;
+  }
+  std::istringstream rest(line.substr(close + 2));
+  std::string field;
+  // Fields 3..13 precede utime (field 14) and stime (field 15).
+  for (int i = 3; i <= 13; ++i) {
+    rest >> field;
+  }
+  unsigned long long utime = 0;
+  unsigned long long stime = 0;
+  rest >> utime >> stime;
+  const long hz = sysconf(_SC_CLK_TCK);
+  return hz > 0 ? static_cast<double>(utime + stime) / static_cast<double>(hz) : 0.0;
+}
+
+}  // namespace
+
+struct PerfEventCounterSource::EventGroup {
+  int cycles_fd = -1;
+  int instructions_fd = -1;
+  int cgroup_fd = -1;
+  pid_t pid = -1;
+  std::string cpuacct_path;  // for cpu_seconds, when available
+
+  ~EventGroup() {
+    if (cycles_fd >= 0) {
+      close(cycles_fd);
+    }
+    if (instructions_fd >= 0) {
+      close(instructions_fd);
+    }
+    if (cgroup_fd >= 0) {
+      close(cgroup_fd);
+    }
+  }
+};
+
+PerfEventCounterSource::PerfEventCounterSource(Options options) : options_(std::move(options)) {}
+
+PerfEventCounterSource::~PerfEventCounterSource() = default;
+
+Status PerfEventCounterSource::Attach(const std::string& container) {
+  auto group = std::make_unique<EventGroup>();
+  pid_t target_pid = -1;
+  unsigned long flags = 0;
+  if (!options_.cgroup_root.empty()) {
+    const std::string path = options_.cgroup_root + "/" + container;
+    group->cgroup_fd = open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (group->cgroup_fd < 0) {
+      return ErrnoToStatus(errno, "open cgroup " + path);
+    }
+    target_pid = group->cgroup_fd;
+    flags = PERF_FLAG_PID_CGROUP;
+    group->cpuacct_path = path + "/cpu.stat";
+  } else {
+    char* end = nullptr;
+    const long pid = std::strtol(container.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || pid <= 0) {
+      return InvalidArgumentError("container must be a pid without cgroup_root: " + container);
+    }
+    target_pid = static_cast<pid_t>(pid);
+    group->pid = target_pid;
+  }
+
+  perf_event_attr cycles =
+      MakeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_REF_CPU_CYCLES, options_.exclude_kernel);
+  group->cycles_fd = PerfEventOpen(&cycles, target_pid, /*cpu=*/-1, /*group_fd=*/-1, flags);
+  if (group->cycles_fd < 0 && errno == EINVAL) {
+    // Older CPUs without a fixed reference-cycles counter: fall back to core
+    // cycles, as perf itself does.
+    cycles = MakeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, options_.exclude_kernel);
+    group->cycles_fd = PerfEventOpen(&cycles, target_pid, -1, -1, flags);
+  }
+  if (group->cycles_fd < 0) {
+    return ErrnoToStatus(errno, "perf_event_open(cycles) for " + container);
+  }
+
+  perf_event_attr instructions =
+      MakeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, options_.exclude_kernel);
+  group->instructions_fd =
+      PerfEventOpen(&instructions, target_pid, -1, group->cycles_fd, flags);
+  if (group->instructions_fd < 0) {
+    return ErrnoToStatus(errno, "perf_event_open(instructions) for " + container);
+  }
+
+  groups_[container] = std::move(group);
+  return Status::Ok();
+}
+
+void PerfEventCounterSource::Detach(const std::string& container) { groups_.erase(container); }
+
+StatusOr<CounterSnapshot> PerfEventCounterSource::Read(const std::string& container) {
+  const auto it = groups_.find(container);
+  if (it == groups_.end()) {
+    return NotFoundError("container not attached: " + container);
+  }
+  const EventGroup& group = *it->second;
+  StatusOr<uint64_t> cycles = ReadScaled(group.cycles_fd, "cycles");
+  if (!cycles.ok()) {
+    return cycles.status();
+  }
+  StatusOr<uint64_t> instructions = ReadScaled(group.instructions_fd, "instructions");
+  if (!instructions.ok()) {
+    return instructions.status();
+  }
+  CounterSnapshot snapshot;
+  snapshot.timestamp = RealClock::Get()->NowMicros();
+  snapshot.cycles = *cycles;
+  snapshot.instructions = *instructions;
+  // cpu_seconds: cgroup v2 cpu.stat in cgroup mode, /proc/<pid>/stat in pid
+  // mode.
+  if (group.pid > 0) {
+    snapshot.cpu_seconds = ReadProcCpuSeconds(group.pid);
+  } else if (!group.cpuacct_path.empty()) {
+    std::ifstream stat(group.cpuacct_path);
+    std::string key;
+    uint64_t value = 0;
+    while (stat >> key >> value) {
+      if (key == "usage_usec") {
+        snapshot.cpu_seconds = static_cast<double>(value) / 1e6;
+        break;
+      }
+    }
+  }
+  return snapshot;
+}
+
+bool PerfEventCounterSource::SupportedOnThisHost() {
+  perf_event_attr attr = MakeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, false);
+  const int fd = PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0);
+  if (fd < 0) {
+    return false;
+  }
+  close(fd);
+  return true;
+}
+
+}  // namespace cpi2

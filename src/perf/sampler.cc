@@ -1,0 +1,64 @@
+#include "perf/sampler.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cpi2 {
+
+CpiSampler::CpiSampler(CounterSource* source, const Options& options, SampleCallback callback)
+    : source_(source), options_(options), callback_(std::move(callback)) {}
+
+void CpiSampler::AddContainer(const std::string& container, MicroTime now) {
+  ContainerState state;
+  MicroTime offset = 0;
+  if (options_.stagger_windows && options_.sample_period > options_.sample_duration) {
+    const MicroTime slack = options_.sample_period - options_.sample_duration;
+    offset = static_cast<MicroTime>(stagger_counter_++ * kMicrosPerSecond) % slack;
+  }
+  state.next_window_start = now + offset;
+  containers_[container] = state;
+}
+
+void CpiSampler::RemoveContainer(const std::string& container) { containers_.erase(container); }
+
+bool CpiSampler::HasContainer(const std::string& container) const {
+  return containers_.count(container) > 0;
+}
+
+void CpiSampler::Tick(MicroTime now) {
+  for (auto& [container, state] : containers_) {
+    if (state.state == State::kIdle && now >= state.next_window_start) {
+      StatusOr<CounterSnapshot> begin = source_->Read(container);
+      if (!begin.ok()) {
+        ++read_failures_;
+        state.next_window_start = now + options_.sample_period;
+        continue;
+      }
+      state.begin_snapshot = *begin;
+      state.begin_snapshot.timestamp = now;
+      state.window_end_due = now + options_.sample_duration;
+      state.state = State::kCounting;
+    } else if (state.state == State::kCounting && now >= state.window_end_due) {
+      StatusOr<CounterSnapshot> end = source_->Read(container);
+      state.state = State::kIdle;
+      state.next_window_start = state.begin_snapshot.timestamp + options_.sample_period;
+      if (state.next_window_start <= now) {
+        state.next_window_start = now + options_.sample_period - options_.sample_duration;
+      }
+      if (!end.ok()) {
+        ++read_failures_;
+        continue;
+      }
+      CounterSnapshot end_snapshot = *end;
+      end_snapshot.timestamp = now;
+      const CounterDelta delta = DiffSnapshots(state.begin_snapshot, end_snapshot);
+      ++samples_emitted_;
+      if (callback_) {
+        callback_(container, delta);
+      }
+    }
+  }
+}
+
+}  // namespace cpi2

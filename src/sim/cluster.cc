@@ -1,0 +1,67 @@
+#include "sim/cluster.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace cpi2 {
+
+Cluster::Cluster(Options options)
+    : options_(options), clock_(options.start_time), rng_(options.seed) {}
+
+void Cluster::AddMachines(const Platform& platform, int count) {
+  assert(scheduler_ == nullptr && "AddMachines must precede BuildScheduler");
+  for (int i = 0; i < count; ++i) {
+    const std::string name =
+        StrFormat("m%04d-%s", static_cast<int>(machines_.size()), platform.name.c_str());
+    machines_.push_back(
+        std::make_unique<Machine>(name, platform, rng_(), options_.interference));
+  }
+}
+
+void Cluster::BuildScheduler() {
+  assert(scheduler_ == nullptr);
+  std::vector<Machine*> raw;
+  raw.reserve(machines_.size());
+  for (auto& machine : machines_) {
+    raw.push_back(machine.get());
+  }
+  scheduler_ = std::make_unique<Scheduler>(std::move(raw), options_.scheduler, rng_());
+}
+
+Scheduler& Cluster::scheduler() {
+  assert(scheduler_ != nullptr && "call BuildScheduler() first");
+  return *scheduler_;
+}
+
+std::vector<Machine*> Cluster::machines() {
+  std::vector<Machine*> raw;
+  raw.reserve(machines_.size());
+  for (auto& machine : machines_) {
+    raw.push_back(machine.get());
+  }
+  return raw;
+}
+
+void Cluster::Tick() {
+  clock_.Advance(options_.tick);
+  const MicroTime now = clock_.NowMicros();
+  for (auto& machine : machines_) {
+    machine->Tick(now, options_.tick);
+  }
+  if (scheduler_ != nullptr) {
+    scheduler_->Maintain(now);
+  }
+  for (const TickListener& listener : listeners_) {
+    listener(now);
+  }
+}
+
+void Cluster::RunFor(MicroTime duration) {
+  const MicroTime end = clock_.NowMicros() + duration;
+  while (clock_.NowMicros() < end) {
+    Tick();
+  }
+}
+
+}  // namespace cpi2

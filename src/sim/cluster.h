@@ -1,0 +1,70 @@
+// Cluster: machines + scheduler + virtual time.
+//
+// Runs the simulation on 1-second ticks of a ManualClock. Tick order is
+// machines first (so counters reflect the tick), then scheduler maintenance
+// (reap/restart), then registered listeners (CPI2 agents, trace recorders),
+// so observers always see a consistent post-tick world.
+
+#ifndef CPI2_SIM_CLUSTER_H_
+#define CPI2_SIM_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/scheduler.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace cpi2 {
+
+class Cluster {
+ public:
+  struct Options {
+    MicroTime tick = kMicrosPerSecond;
+    uint64_t seed = 20130415;  // EuroSys'13 opening day.
+    MicroTime start_time = 0;
+    Scheduler::Options scheduler;
+    InterferenceParams interference;
+  };
+
+  explicit Cluster(Options options);
+
+  // Adds `count` machines of the given platform. Must be called before
+  // BuildScheduler().
+  void AddMachines(const Platform& platform, int count);
+
+  // Finalizes the machine set and constructs the scheduler.
+  void BuildScheduler();
+
+  Scheduler& scheduler();
+  ManualClock& clock() { return clock_; }
+  MicroTime now() const { return clock_.NowMicros(); }
+
+  std::vector<Machine*> machines();
+  Machine* machine(size_t index) { return machines_[index].get(); }
+  size_t machine_count() const { return machines_.size(); }
+
+  // Listeners run after every tick, in registration order.
+  using TickListener = std::function<void(MicroTime now)>;
+  void AddTickListener(TickListener listener) { listeners_.push_back(std::move(listener)); }
+
+  // Advances the world by one tick.
+  void Tick();
+
+  // Runs ticks until `duration` has elapsed.
+  void RunFor(MicroTime duration);
+
+ private:
+  Options options_;
+  ManualClock clock_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<TickListener> listeners_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_SIM_CLUSTER_H_

@@ -1,0 +1,49 @@
+#include "sim/interference.h"
+
+#include <algorithm>
+
+namespace cpi2 {
+
+std::vector<InterferenceResult> ComputeInterference(const Platform& platform,
+                                                    const InterferenceParams& params,
+                                                    const std::vector<TaskLoad>& loads) {
+  std::vector<InterferenceResult> results(loads.size());
+
+  // Totals once, then subtract each task's own contribution.
+  double total_cache_pollution = 0.0;
+  double total_bus_demand = 0.0;
+  for (const TaskLoad& load : loads) {
+    const double footprint = platform.l3_cache_mb > 0.0
+                                 ? std::min(1.0, load.cache_mb / platform.l3_cache_mb)
+                                 : 0.0;
+    total_cache_pollution += load.cpu * footprint;
+    total_bus_demand += load.cpu * load.memory_intensity;
+  }
+
+  for (size_t i = 0; i < loads.size(); ++i) {
+    const TaskLoad& load = loads[i];
+    const double own_footprint = platform.l3_cache_mb > 0.0
+                                     ? std::min(1.0, load.cache_mb / platform.l3_cache_mb)
+                                     : 0.0;
+    const double cache_pressure =
+        std::max(0.0, total_cache_pollution - load.cpu * own_footprint);
+    const double bus_pressure =
+        platform.mem_bandwidth_units > 0.0
+            ? std::max(0.0, total_bus_demand - load.cpu * load.memory_intensity) /
+                  platform.mem_bandwidth_units
+            : 0.0;
+
+    InterferenceResult& r = results[i];
+    const double cache_term = load.sensitivity * params.cache_weight * cache_pressure;
+    const double bw_term =
+        params.bw_weight * bus_pressure * (0.5 + 0.5 * load.memory_intensity);
+    r.cpi_multiplier = 1.0 + cache_term + bw_term;
+
+    const double baseline_mpi = params.base_mpi + params.mpi_per_intensity * load.memory_intensity;
+    r.l3_mpi = baseline_mpi *
+               (1.0 + params.mpi_contention_weight * load.sensitivity * cache_pressure);
+  }
+  return results;
+}
+
+}  // namespace cpi2

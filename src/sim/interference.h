@@ -1,0 +1,63 @@
+// Shared-resource interference model.
+//
+// This is the simulator's substitute for real cache/memory-bus contention
+// (see DESIGN.md, substitutions table). The model captures the one causal
+// relationship CPI2 depends on: when a co-resident task burns CPU while
+// touching lots of cache or memory bandwidth, its neighbours' CPI rises in
+// proportion to that task's CPU usage. Two terms:
+//
+//   cache pressure on task i  = sum_{j != i} cpu_j * min(1, cache_mb_j / L3)
+//   bus pressure on task i    = max(0, sum_j cpu_j * mem_int_j - cpu_i * mem_int_i)
+//                               / platform.mem_bandwidth_units
+//
+//   cpi_i = base_cpi_i * (1 + sensitivity_i * cache_weight * cache_pressure
+//                           + bw_weight * bus_pressure * (0.5 + 0.5 * mem_int_i))
+//
+// L3 misses/instruction scale with the same cache pressure, which is what
+// produces the paper's Figure 15(c) correlation between CPI relief and L3
+// miss relief under throttling.
+
+#ifndef CPI2_SIM_INTERFERENCE_H_
+#define CPI2_SIM_INTERFERENCE_H_
+
+#include <vector>
+
+#include "sim/platform.h"
+
+namespace cpi2 {
+
+struct InterferenceParams {
+  double cache_weight = 0.6;
+  double bw_weight = 0.3;
+  // How strongly contention inflates L3 misses/instruction.
+  double mpi_contention_weight = 1.5;
+  // Baseline L3 misses/instruction for a task with zero memory intensity.
+  double base_mpi = 0.001;
+  // Additional baseline MPI per unit of memory intensity.
+  double mpi_per_intensity = 0.02;
+};
+
+// One co-resident task's contribution to (and susceptibility to) contention.
+struct TaskLoad {
+  double cpu = 0.0;               // CPU-sec/sec it is actually running at
+  double cache_mb = 0.0;          // cache working set
+  double memory_intensity = 0.0;  // [0, 1]
+  double sensitivity = 0.0;       // [0, 1]
+};
+
+struct InterferenceResult {
+  // Multiplier >= 1 on the task's base CPI.
+  double cpi_multiplier = 1.0;
+  // L3 misses per instruction, including contention effects.
+  double l3_mpi = 0.0;
+};
+
+// Computes the interference each task experiences from all the others.
+// Output has one entry per input, in order.
+std::vector<InterferenceResult> ComputeInterference(const Platform& platform,
+                                                    const InterferenceParams& params,
+                                                    const std::vector<TaskLoad>& loads);
+
+}  // namespace cpi2
+
+#endif  // CPI2_SIM_INTERFERENCE_H_

@@ -1,0 +1,175 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpi2 {
+
+Machine::Machine(std::string name, Platform platform, uint64_t seed,
+                 InterferenceParams interference)
+    : name_(std::move(name)),
+      platform_(std::move(platform)),
+      interference_(interference),
+      rng_(seed) {}
+
+Status Machine::AddTask(const std::string& task_name, const TaskSpec& spec) {
+  if (tasks_.count(task_name) > 0) {
+    return InvalidArgumentError("task already on machine: " + task_name);
+  }
+  tasks_[task_name] = std::make_unique<Task>(task_name, spec, rng_.Fork());
+  return Status::Ok();
+}
+
+Status Machine::RemoveTask(const std::string& task_name) {
+  if (tasks_.erase(task_name) == 0) {
+    return NotFoundError("no such task: " + task_name);
+  }
+  return Status::Ok();
+}
+
+Task* Machine::FindTask(const std::string& task_name) {
+  const auto it = tasks_.find(task_name);
+  return it != tasks_.end() ? it->second.get() : nullptr;
+}
+
+const Task* Machine::FindTask(const std::string& task_name) const {
+  const auto it = tasks_.find(task_name);
+  return it != tasks_.end() ? it->second.get() : nullptr;
+}
+
+std::vector<Task*> Machine::Tasks() {
+  std::vector<Task*> out;
+  out.reserve(tasks_.size());
+  for (auto& [name, task] : tasks_) {
+    out.push_back(task.get());
+  }
+  return out;
+}
+
+std::vector<Machine::ExitedTask> Machine::DrainExited() {
+  std::vector<ExitedTask> exited;
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    if (it->second->exited()) {
+      exited.push_back({it->first, it->second->spec()});
+      it = tasks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return exited;
+}
+
+void Machine::Tick(MicroTime now, MicroTime dt) {
+  last_tick_time_ = now;
+  const double tick_seconds = MicrosToSeconds(dt);
+  if (tasks_.empty() || tick_seconds <= 0.0) {
+    last_utilization_ = 0.0;
+    last_batch_satisfaction_ = 1.0;
+    return;
+  }
+
+  std::vector<Task*> tasks = Tasks();
+  const size_t n = tasks.size();
+
+  // 1. Demands, bounded by each task's hard cap.
+  std::vector<double> limit(n);
+  std::vector<bool> latency_sensitive(n);
+  double ls_demand = 0.0;
+  double batch_demand = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double desired = tasks[i]->DesiredCpu(now);
+    limit[i] = std::min(desired, tasks[i]->cap());
+    latency_sensitive[i] = tasks[i]->spec().sched_class == WorkloadClass::kLatencySensitive;
+    (latency_sensitive[i] ? ls_demand : batch_demand) += limit[i];
+  }
+
+  // 2. Allocation: latency-sensitive first (scaled down only if they alone
+  // exceed the machine), batch shares what remains proportionally. This is
+  // the scheduling-priority part Linux *does* isolate well; caches are where
+  // isolation fails, and that is modelled in step 3.
+  const double capacity = static_cast<double>(platform_.cores);
+  const double ls_scale = ls_demand > capacity ? capacity / ls_demand : 1.0;
+  const double ls_used = std::min(ls_demand, capacity);
+  const double batch_capacity = capacity - ls_used;
+  const double batch_scale =
+      batch_demand > batch_capacity && batch_demand > 0.0 ? batch_capacity / batch_demand : 1.0;
+
+  std::vector<double> alloc(n);
+  double used = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    alloc[i] = limit[i] * (latency_sensitive[i] ? ls_scale : batch_scale);
+    used += alloc[i];
+  }
+  last_utilization_ = capacity > 0.0 ? used / capacity : 0.0;
+  last_batch_satisfaction_ = batch_demand > 0.0 ? batch_scale : 1.0;
+
+  // 3. Interference.
+  std::vector<TaskLoad> loads(n);
+  for (size_t i = 0; i < n; ++i) {
+    const TaskSpec& spec = tasks[i]->spec();
+    loads[i] = {alloc[i], spec.cache_mb, spec.memory_intensity, spec.contention_sensitivity};
+  }
+  const std::vector<InterferenceResult> effects =
+      ComputeInterference(platform_, interference_, loads);
+
+  // 4. Accounting.
+  for (size_t i = 0; i < n; ++i) {
+    double cpi = tasks[i]->BaseCpiOn(platform_) * effects[i].cpi_multiplier *
+                 tasks[i]->CpiNoise() * tasks[i]->CpiWalkFactor(now) *
+                 tasks[i]->CpiStepFactor(now);
+    // Self-inflicted CPI inflation when a task barely runs (case 3): cold
+    // caches and wakeup overheads dominate at near-zero usage.
+    const double inflation = tasks[i]->spec().idle_cpi_inflation;
+    if (inflation > 0.0 && alloc[i] < 0.25) {
+      cpi *= 1.0 + inflation * (1.0 - alloc[i] / 0.25);
+    }
+    tasks[i]->Account(now, tick_seconds, alloc[i], cpi, effects[i].l3_mpi, platform_);
+  }
+}
+
+StatusOr<CounterSnapshot> Machine::Read(const std::string& container) {
+  const Task* task = FindTask(container);
+  if (task == nullptr) {
+    return NotFoundError("no counters for container " + container + " on " + name_);
+  }
+  CounterSnapshot snapshot;
+  snapshot.timestamp = last_tick_time_;
+  snapshot.cycles = task->cycles();
+  snapshot.instructions = task->instructions();
+  snapshot.l2_misses = task->l2_misses();
+  snapshot.l3_misses = task->l3_misses();
+  snapshot.mem_requests = task->mem_requests();
+  snapshot.cpu_seconds = task->cpu_seconds();
+  return snapshot;
+}
+
+Status Machine::SetCap(const std::string& container, double cpu_sec_per_sec) {
+  if (cpu_sec_per_sec <= 0.0) {
+    return InvalidArgumentError("cap must be positive");
+  }
+  Task* task = FindTask(container);
+  if (task == nullptr) {
+    return NotFoundError("no such container: " + container);
+  }
+  task->SetCap(cpu_sec_per_sec);
+  return Status::Ok();
+}
+
+Status Machine::RemoveCap(const std::string& container) {
+  Task* task = FindTask(container);
+  if (task == nullptr) {
+    return NotFoundError("no such container: " + container);
+  }
+  task->RemoveCap();
+  return Status::Ok();
+}
+
+std::optional<double> Machine::GetCap(const std::string& container) const {
+  const Task* task = FindTask(container);
+  if (task == nullptr || !task->IsCapped()) {
+    return std::nullopt;
+  }
+  return task->cap();
+}
+
+}  // namespace cpi2

@@ -1,0 +1,96 @@
+// A simulated machine: CPU allocation, interference, and counters.
+//
+// Machine implements the two substrate interfaces CPI2's per-machine agent
+// consumes, so the exact same Agent code runs against the simulator and
+// against real perf_event / cgroupfs backends:
+//   - CounterSource: per-task cumulative counters (container id == task name)
+//   - CpuController: CPU hard-capping of tasks
+//
+// Each tick the machine:
+//   1. asks every running task how much CPU it wants,
+//   2. allocates CPU: latency-sensitive tasks first, then batch tasks share
+//      the remainder proportionally; hard caps always bind,
+//   3. runs the interference model to get each task's effective CPI and L3
+//      miss rate,
+//   4. lets each task account the tick (counters, app metrics, cap
+//      reactions).
+
+#ifndef CPI2_SIM_MACHINE_H_
+#define CPI2_SIM_MACHINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cgroup/cpu_controller.h"
+#include "perf/counter_source.h"
+#include "sim/interference.h"
+#include "sim/platform.h"
+#include "sim/task.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace cpi2 {
+
+class Machine : public CounterSource, public CpuController {
+ public:
+  Machine(std::string name, Platform platform, uint64_t seed,
+          InterferenceParams interference = InterferenceParams());
+
+  const std::string& name() const { return name_; }
+  const Platform& platform() const { return platform_; }
+
+  // --- task management --------------------------------------------------
+  // Creates a task from `spec` under container id `task_name`.
+  // Fails if the name is already in use.
+  Status AddTask(const std::string& task_name, const TaskSpec& spec);
+  Status RemoveTask(const std::string& task_name);
+  Task* FindTask(const std::string& task_name);
+  const Task* FindTask(const std::string& task_name) const;
+  std::vector<Task*> Tasks();
+  size_t task_count() const { return tasks_.size(); }
+
+  // A task that ended on its own (e.g. self-termination under capping).
+  struct ExitedTask {
+    std::string name;
+    TaskSpec spec;
+  };
+
+  // Removes tasks that exited on their own and returns them (name + spec),
+  // so the scheduler can release reservations and reschedule.
+  std::vector<ExitedTask> DrainExited();
+
+  // --- simulation -------------------------------------------------------
+  void Tick(MicroTime now, MicroTime dt);
+
+  // Fraction of cores in use last tick, in [0, 1].
+  double LastUtilization() const { return last_utilization_; }
+
+  // How much of the batch tasks' demand was actually granted last tick,
+  // in [0, 1] (1.0 when there is no batch demand). Sustained starvation is
+  // the scheduler's cue to preempt and move a batch task elsewhere.
+  double LastBatchSatisfaction() const { return last_batch_satisfaction_; }
+
+  // --- CounterSource ------------------------------------------------------
+  StatusOr<CounterSnapshot> Read(const std::string& container) override;
+
+  // --- CpuController ------------------------------------------------------
+  Status SetCap(const std::string& container, double cpu_sec_per_sec) override;
+  Status RemoveCap(const std::string& container) override;
+  std::optional<double> GetCap(const std::string& container) const override;
+
+ private:
+  std::string name_;
+  Platform platform_;
+  InterferenceParams interference_;
+  Rng rng_;
+  std::map<std::string, std::unique_ptr<Task>> tasks_;
+  double last_utilization_ = 0.0;
+  double last_batch_satisfaction_ = 1.0;
+  MicroTime last_tick_time_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_SIM_MACHINE_H_

@@ -1,0 +1,27 @@
+#include "sim/platform.h"
+
+namespace cpi2 {
+
+Platform ReferencePlatform() {
+  Platform p;
+  p.name = "xeon-2.6GHz";
+  p.clock_ghz = 2.6;
+  p.cores = 12;
+  p.l3_cache_mb = 12.0;
+  p.mem_bandwidth_units = 8.0;
+  p.cpi_scale = 1.0;
+  return p;
+}
+
+Platform OlderPlatform() {
+  Platform p;
+  p.name = "opteron-2.2GHz";
+  p.clock_ghz = 2.2;
+  p.cores = 8;
+  p.l3_cache_mb = 6.0;
+  p.mem_bandwidth_units = 5.0;
+  p.cpi_scale = 1.25;
+  return p;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,38 @@
+// Hardware platform descriptions for the cluster simulator.
+//
+// CPI is a function of the hardware platform (section 3.1), so CPI2
+// aggregates specs per job x CPU type. The simulator models platforms with
+// enough fidelity to reproduce that: per-platform clock speed, core count,
+// shared L3 capacity, memory bandwidth, and a relative CPI scale factor
+// (the same binary runs at different CPIs on different microarchitectures).
+
+#ifndef CPI2_SIM_PLATFORM_H_
+#define CPI2_SIM_PLATFORM_H_
+
+#include <string>
+
+namespace cpi2 {
+
+struct Platform {
+  std::string name = "default";
+  double clock_ghz = 2.6;
+  int cores = 12;
+  double l3_cache_mb = 12.0;
+  // Aggregate memory bandwidth available to the socket, in normalized
+  // "pressure units": total antagonist memory intensity beyond this level
+  // saturates the bus.
+  double mem_bandwidth_units = 8.0;
+  // Multiplier on every task's base CPI for this platform (1.0 = the
+  // reference platform a task's base_cpi is quoted on).
+  double cpi_scale = 1.0;
+
+  double CyclesPerSecond() const { return clock_ghz * 1e9; }
+};
+
+// Two representative platforms (the paper's Figure 4 uses two CPU types).
+Platform ReferencePlatform();
+Platform OlderPlatform();
+
+}  // namespace cpi2
+
+#endif  // CPI2_SIM_PLATFORM_H_

@@ -1,0 +1,280 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpi2 {
+
+Scheduler::Scheduler(std::vector<Machine*> machines, Options options, uint64_t seed)
+    : machines_(std::move(machines)), options_(options), rng_(seed) {}
+
+bool Scheduler::ViolatesConstraint(const Machine& machine, const TaskSpec& spec) const {
+  const auto it = avoid_.find(spec.job_name);
+  if (it == avoid_.end()) {
+    return false;
+  }
+  for (const auto& [task_name, location] : locations_) {
+    if (location->name() != machine.name()) {
+      continue;
+    }
+    const Task* task = location->FindTask(task_name);
+    if (task != nullptr && it->second.count(task->spec().job_name) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Scheduler::Fits(const Machine& machine, const TaskSpec& spec) const {
+  const double cores = static_cast<double>(machine.platform().cores);
+  const auto prod_it = production_reserved_.find(machine.name());
+  const double prod = prod_it != production_reserved_.end() ? prod_it->second : 0.0;
+  const auto total_it = total_reserved_.find(machine.name());
+  const double total = total_it != total_reserved_.end() ? total_it->second : 0.0;
+  if (spec.priority == JobPriority::kProduction) {
+    // Production reservations are never oversubscribed.
+    if (prod + spec.cpu_request > cores) {
+      return false;
+    }
+  }
+  // Everything combined may overcommit up to the configured factor.
+  return total + spec.cpu_request <= cores * options_.batch_overcommit;
+}
+
+Machine* Scheduler::PickMachine(const TaskSpec& spec, const std::string& avoid_machine) {
+  // Power-of-two-choices among feasible machines: sample a handful and take
+  // the least reserved, which approximates least-loaded placement without a
+  // full scan being deterministic-hotspot-prone.
+  Machine* best = nullptr;
+  double best_reserved = std::numeric_limits<double>::infinity();
+  constexpr int kProbes = 2;
+  for (int probe = 0; probe < kProbes && !machines_.empty(); ++probe) {
+    Machine* candidate =
+        machines_[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(machines_.size()) - 1))];
+    if (candidate->name() == avoid_machine || !Fits(*candidate, spec) ||
+        ViolatesConstraint(*candidate, spec)) {
+      continue;
+    }
+    const auto it = total_reserved_.find(candidate->name());
+    const double reserved = it != total_reserved_.end() ? it->second : 0.0;
+    if (reserved < best_reserved) {
+      best_reserved = reserved;
+      best = candidate;
+    }
+  }
+  if (best != nullptr) {
+    return best;
+  }
+  // Fall back to a full scan so feasible placements are never missed.
+  for (Machine* candidate : machines_) {
+    if (candidate->name() == avoid_machine || !Fits(*candidate, spec) ||
+        ViolatesConstraint(*candidate, spec)) {
+      continue;
+    }
+    const auto it = total_reserved_.find(candidate->name());
+    const double reserved = it != total_reserved_.end() ? it->second : 0.0;
+    if (reserved < best_reserved) {
+      best_reserved = reserved;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+Status Scheduler::PlaceTask(const std::string& task_name, const TaskSpec& spec) {
+  if (locations_.count(task_name) > 0) {
+    return InvalidArgumentError("task already placed: " + task_name);
+  }
+  Machine* machine = PickMachine(spec, /*avoid_machine=*/"");
+  if (machine == nullptr) {
+    return UnavailableError("no machine fits task " + task_name);
+  }
+  const Status status = machine->AddTask(task_name, spec);
+  if (!status.ok()) {
+    return status;
+  }
+  locations_[task_name] = machine;
+  total_reserved_[machine->name()] += spec.cpu_request;
+  if (spec.priority == JobPriority::kProduction) {
+    production_reserved_[machine->name()] += spec.cpu_request;
+  }
+  ++total_placed_;
+  return Status::Ok();
+}
+
+Status Scheduler::SubmitJob(const JobSpec& spec) {
+  if (spec.task_count <= 0) {
+    return InvalidArgumentError("job needs at least one task: " + spec.name);
+  }
+  // Admission control: place all or nothing.
+  std::vector<std::string> placed;
+  for (int i = 0; i < spec.task_count; ++i) {
+    TaskSpec task = spec.task;
+    task.job_name = spec.name;
+    const std::string task_name = StrFormat("%s.%d", spec.name.c_str(), i);
+    const Status status = PlaceTask(task_name, task);
+    if (!status.ok()) {
+      for (const std::string& name : placed) {
+        EvictTask(name);
+      }
+      return status;
+    }
+    placed.push_back(task_name);
+  }
+  return Status::Ok();
+}
+
+Status Scheduler::EvictTask(const std::string& task_name) {
+  const auto it = locations_.find(task_name);
+  if (it == locations_.end()) {
+    return NotFoundError("task not placed: " + task_name);
+  }
+  Machine* machine = it->second;
+  const Task* task = machine->FindTask(task_name);
+  if (task != nullptr) {
+    const TaskSpec& spec = task->spec();
+    total_reserved_[machine->name()] -= spec.cpu_request;
+    if (spec.priority == JobPriority::kProduction) {
+      production_reserved_[machine->name()] -= spec.cpu_request;
+    }
+    (void)machine->RemoveTask(task_name);
+  }
+  locations_.erase(it);
+  return Status::Ok();
+}
+
+Status Scheduler::MigrateTask(const std::string& task_name) {
+  const auto it = locations_.find(task_name);
+  if (it == locations_.end()) {
+    return NotFoundError("task not placed: " + task_name);
+  }
+  Machine* old_machine = it->second;
+  const Task* task = old_machine->FindTask(task_name);
+  if (task == nullptr) {
+    locations_.erase(it);
+    return NotFoundError("task vanished: " + task_name);
+  }
+  const TaskSpec spec = task->spec();
+  const Status evicted = EvictTask(task_name);
+  if (!evicted.ok()) {
+    return evicted;
+  }
+  Machine* machine = PickMachine(spec, old_machine->name());
+  if (machine == nullptr) {
+    // Nowhere else to go; put it back where it was.
+    (void)old_machine->AddTask(task_name, spec);
+    locations_[task_name] = old_machine;
+    total_reserved_[old_machine->name()] += spec.cpu_request;
+    if (spec.priority == JobPriority::kProduction) {
+      production_reserved_[old_machine->name()] += spec.cpu_request;
+    }
+    return UnavailableError("no other machine fits " + task_name);
+  }
+  const Status status = machine->AddTask(task_name, spec);
+  if (!status.ok()) {
+    return status;
+  }
+  locations_[task_name] = machine;
+  total_reserved_[machine->name()] += spec.cpu_request;
+  if (spec.priority == JobPriority::kProduction) {
+    production_reserved_[machine->name()] += spec.cpu_request;
+  }
+  return Status::Ok();
+}
+
+void Scheduler::Maintain(MicroTime now) {
+  // Reap self-exited tasks: release their reservations and queue restarts.
+  for (Machine* machine : machines_) {
+    for (const Machine::ExitedTask& exited : machine->DrainExited()) {
+      const auto it = locations_.find(exited.name);
+      if (it != locations_.end()) {
+        total_reserved_[machine->name()] -= exited.spec.cpu_request;
+        if (exited.spec.priority == JobPriority::kProduction) {
+          production_reserved_[machine->name()] -= exited.spec.cpu_request;
+        }
+        locations_.erase(it);
+      }
+      CPI2_LOG(DEBUG) << "task exited: " << exited.name << " on " << machine->name();
+      if (options_.restart_exited_tasks) {
+        restart_queue_.push_back(
+            {exited.name, exited.spec, now + options_.restart_delay, machine->name()});
+      }
+    }
+  }
+
+  // Preempt the largest batch task on machines whose batch population has
+  // been starved for too long; the replacement lands elsewhere.
+  if (options_.preemption_satisfaction > 0.0) {
+    for (Machine* machine : machines_) {
+      int& streak = starved_streak_[machine->name()];
+      if (machine->LastBatchSatisfaction() < options_.preemption_satisfaction) {
+        ++streak;
+      } else {
+        streak = 0;
+        continue;
+      }
+      if (streak < options_.preemption_patience) {
+        continue;
+      }
+      streak = 0;
+      Task* largest = nullptr;
+      for (Task* task : machine->Tasks()) {
+        if (task->spec().sched_class != WorkloadClass::kBatch) {
+          continue;
+        }
+        if (largest == nullptr || task->spec().cpu_request > largest->spec().cpu_request) {
+          largest = task;
+        }
+      }
+      if (largest == nullptr) {
+        continue;
+      }
+      const std::string task_name = largest->name();
+      const TaskSpec spec = largest->spec();
+      CPI2_LOG(DEBUG) << "preempting starved batch task " << task_name << " on "
+                      << machine->name();
+      if (EvictTask(task_name).ok()) {
+        ++total_preemptions_;
+        restart_queue_.push_back(
+            {task_name, spec, now + options_.restart_delay, machine->name()});
+      }
+    }
+  }
+
+  // Place due replacements.
+  while (!restart_queue_.empty() && restart_queue_.front().ready_at <= now) {
+    PendingRestart restart = restart_queue_.front();
+    restart_queue_.pop_front();
+    Machine* machine = PickMachine(restart.spec, restart.avoid_machine);
+    if (machine == nullptr) {
+      // Try again later.
+      restart.ready_at = now + options_.restart_delay;
+      restart_queue_.push_back(restart);
+      break;
+    }
+    const Status status = machine->AddTask(restart.task_name, restart.spec);
+    if (status.ok()) {
+      locations_[restart.task_name] = machine;
+      total_reserved_[machine->name()] += restart.spec.cpu_request;
+      if (restart.spec.priority == JobPriority::kProduction) {
+        production_reserved_[machine->name()] += restart.spec.cpu_request;
+      }
+      ++total_restarts_;
+    }
+  }
+}
+
+void Scheduler::AddAntagonistConstraint(const std::string& job,
+                                        const std::string& antagonist_job) {
+  avoid_[job].insert(antagonist_job);
+}
+
+Machine* Scheduler::LocateTask(const std::string& task_name) {
+  const auto it = locations_.find(task_name);
+  return it != locations_.end() ? it->second : nullptr;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,118 @@
+// Central cluster scheduler (admission control + placement).
+//
+// Mirrors the behaviour section 2 of the paper describes: a per-cluster
+// scheduler that never oversubscribes latency-sensitive/production CPU
+// reservations but speculatively over-commits batch work; preempted or
+// self-terminated batch tasks are simply restarted elsewhere. It also
+// supports the paper's "avoid co-locating job J with antagonist A"
+// constraint (section 5 / future work).
+
+#ifndef CPI2_SIM_SCHEDULER_H_
+#define CPI2_SIM_SCHEDULER_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/task.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cpi2 {
+
+// A job: N tasks stamped from one template.
+struct JobSpec {
+  std::string name;
+  int task_count = 1;
+  TaskSpec task;  // task.job_name is overwritten with `name` on submit.
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    // Batch reservations may total up to overcommit * cores per machine.
+    double batch_overcommit = 1.5;
+    // Delay before a failed batch task's replacement is placed.
+    MicroTime restart_delay = 30 * kMicrosPerSecond;
+    // Restart batch tasks that exit; latency-sensitive tasks are restarted
+    // too (their frameworks always do).
+    bool restart_exited_tasks = true;
+
+    // Preemption (section 2: "If the scheduler guesses wrong, it may need
+    // to preempt a batch task and move it to another machine"): when a
+    // machine's batch tasks have been granted less than
+    // preemption_satisfaction of their demand for preemption_patience
+    // consecutive Maintain calls, the largest batch task there is evicted
+    // and requeued elsewhere. 0 disables.
+    double preemption_satisfaction = 0.4;
+    int preemption_patience = 60;
+  };
+
+  Scheduler(std::vector<Machine*> machines, Options options, uint64_t seed);
+
+  // Creates `spec.task_count` tasks named "<job>.<index>" and places them.
+  // Fails (without placing anything) if admission control cannot fit them.
+  Status SubmitJob(const JobSpec& spec);
+
+  // Places a single task; used for replacements and by tests.
+  Status PlaceTask(const std::string& task_name, const TaskSpec& spec);
+
+  // Removes a task from wherever it runs.
+  Status EvictTask(const std::string& task_name);
+
+  // Kill-and-restart elsewhere: the paper's manual "migration" (section 5).
+  // The replacement avoids the current machine.
+  Status MigrateTask(const std::string& task_name);
+
+  // Reaps exited tasks from all machines and schedules replacements.
+  void Maintain(MicroTime now);
+
+  // Records that tasks of `job` should not land on machines running tasks
+  // of `antagonist_job` (and vice versa is NOT implied).
+  void AddAntagonistConstraint(const std::string& job, const std::string& antagonist_job);
+
+  // Where a task currently runs, or nullptr.
+  Machine* LocateTask(const std::string& task_name);
+
+  int pending_restarts() const { return static_cast<int>(restart_queue_.size()); }
+  int total_placed() const { return total_placed_; }
+  int total_restarts() const { return total_restarts_; }
+  int total_preemptions() const { return total_preemptions_; }
+
+ private:
+  struct PendingRestart {
+    std::string task_name;
+    TaskSpec spec;
+    MicroTime ready_at = 0;
+    std::string avoid_machine;
+  };
+
+  // Picks the best machine for `spec`, or nullptr if none fits.
+  Machine* PickMachine(const TaskSpec& spec, const std::string& avoid_machine);
+  bool Fits(const Machine& machine, const TaskSpec& spec) const;
+  bool ViolatesConstraint(const Machine& machine, const TaskSpec& spec) const;
+
+  std::vector<Machine*> machines_;
+  Options options_;
+  Rng rng_;
+  // task name -> machine.
+  std::map<std::string, Machine*> locations_;
+  // machine name -> reserved CPU (production / all).
+  std::map<std::string, double> production_reserved_;
+  std::map<std::string, double> total_reserved_;
+  // job -> set of antagonist jobs to avoid.
+  std::map<std::string, std::set<std::string>> avoid_;
+  std::deque<PendingRestart> restart_queue_;
+  // Consecutive starved Maintain calls per machine.
+  std::map<std::string, int> starved_streak_;
+  int total_placed_ = 0;
+  int total_restarts_ = 0;
+  int total_preemptions_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_SIM_SCHEDULER_H_

@@ -1,0 +1,150 @@
+#include "sim/task.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpi2 {
+
+double DiurnalCurve::Factor(MicroTime now) const {
+  if (amplitude == 0.0) {
+    return 1.0;
+  }
+  const double day_fraction =
+      static_cast<double>((now - peak_offset) % kMicrosPerDay) / static_cast<double>(kMicrosPerDay);
+  return 1.0 + amplitude * std::cos(2.0 * M_PI * day_fraction);
+}
+
+namespace {
+
+// Lognormal multiplicative noise with mean 1 and the given coefficient of
+// variation.
+double LognormalNoise(Rng& rng, double cv) {
+  if (cv <= 0.0) {
+    return 1.0;
+  }
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double sigma = std::sqrt(sigma2);
+  return rng.LogNormal(-0.5 * sigma2, sigma);
+}
+
+}  // namespace
+
+Task::Task(std::string name, TaskSpec spec, Rng rng)
+    : name_(std::move(name)), spec_(std::move(spec)), rng_(rng), threads_(spec_.base_threads) {
+  latency_scale_ = LognormalNoise(rng_, spec_.latency_task_cv);
+  cpi_scale_ = LognormalNoise(rng_, spec_.cpi_task_cv);
+}
+
+double Task::DesiredCpu(MicroTime now) {
+  if (exited_) {
+    return 0.0;
+  }
+  double demand = spec_.base_cpu_demand;
+  if (spec_.alt_cpu_demand >= 0.0 && spec_.mode_half_period > 0 &&
+      now >= spec_.mode_start_time) {
+    const int64_t phase = ((now - spec_.mode_start_time) / spec_.mode_half_period) % 2;
+    demand = phase == 0 ? spec_.alt_cpu_demand : spec_.base_cpu_demand;
+  }
+  demand *= spec_.diurnal.Factor(now);
+  if (spec_.demand_walk_sigma > 0.0) {
+    if (last_walk_update_ < 0 || now - last_walk_update_ >= kMicrosPerMinute) {
+      demand_walk_log_ = (1.0 - spec_.demand_walk_revert) * demand_walk_log_ +
+                         rng_.Normal(0.0, spec_.demand_walk_sigma);
+      last_walk_update_ = now;
+    }
+    demand *= std::exp(demand_walk_log_);
+  }
+  if (now < lame_duck_until_) {
+    demand *= 0.1;  // Lame-duck mode: offload work, keep a trickle running.
+  }
+  demand *= LognormalNoise(rng_, spec_.demand_cv);
+  return std::max(0.0, demand);
+}
+
+double Task::CpiNoise() { return LognormalNoise(rng_, spec_.cpi_noise_cv); }
+
+double Task::CpiWalkFactor(MicroTime now) {
+  if (spec_.cpi_walk_sigma <= 0.0) {
+    return 1.0;
+  }
+  if (last_cpi_walk_update_ < 0 || now - last_cpi_walk_update_ >= kMicrosPerMinute) {
+    cpi_walk_log_ = (1.0 - spec_.cpi_walk_revert) * cpi_walk_log_ +
+                    rng_.Normal(0.0, spec_.cpi_walk_sigma);
+    last_cpi_walk_update_ = now;
+  }
+  return std::exp(cpi_walk_log_);
+}
+
+void Task::Account(MicroTime now, double tick_seconds, double allocated_cpu, double effective_cpi,
+                   double l3_mpi, const Platform& platform) {
+  last_usage_ = allocated_cpu;
+  last_cpi_ = effective_cpi;
+
+  const double cycles_delta = allocated_cpu * tick_seconds * platform.CyclesPerSecond();
+  cycles_ += static_cast<uint64_t>(cycles_delta);
+  const double instr_delta = effective_cpi > 0.0 ? cycles_delta / effective_cpi : 0.0;
+  instructions_ += static_cast<uint64_t>(instr_delta);
+  const double l3_delta = instr_delta * l3_mpi;
+  l3_misses_ += static_cast<uint64_t>(l3_delta);
+  l2_misses_ += static_cast<uint64_t>(l3_delta * 4.0);   // L2 misses a superset of L3's.
+  mem_requests_ += static_cast<uint64_t>(l3_delta * 1.2);  // Misses plus prefetch traffic.
+  cpu_seconds_ += allocated_cpu * tick_seconds;
+
+  // Application-level metrics.
+  if (spec_.base_latency_ms > 0.0) {
+    const double base = BaseCpiOn(platform);
+    const double cpu_part =
+        (1.0 - spec_.latency_io_fraction) * (base > 0.0 ? effective_cpi / base : 1.0);
+    const double io_part =
+        spec_.latency_io_fraction * LognormalNoise(rng_, spec_.latency_io_noise_cv);
+    last_latency_ms_ = spec_.base_latency_ms * latency_scale_ * (cpu_part + io_part);
+  }
+  if (spec_.instr_per_txn > 0.0 && tick_seconds > 0.0) {
+    const double ips = instr_delta / tick_seconds;
+    last_tps_ = ips / spec_.instr_per_txn * LognormalNoise(rng_, spec_.tps_noise_cv);
+  }
+
+  UpdateCapBehavior(now);
+}
+
+void Task::UpdateCapBehavior(MicroTime now) {
+  // A cap only changes behaviour when it actually binds.
+  const bool capped_now = IsCapped() && cap_ < 0.5 * spec_.base_cpu_demand;
+  if (capped_now && !was_capped_last_tick_) {
+    ++cap_episodes_;
+    capped_since_ = now;
+  }
+
+  switch (spec_.cap_behavior) {
+    case CapBehavior::kTolerate:
+      threads_ = spec_.base_threads;
+      break;
+    case CapBehavior::kLameDuck:
+      if (capped_now) {
+        // Starved of CPU, the task's work queues back up and it spawns
+        // handler threads (case 5: 8 threads -> ~80 while capped).
+        const int ceiling = spec_.base_threads * 10;
+        threads_ = std::min(ceiling, threads_ + std::max(1, threads_ / 8));
+      } else if (was_capped_last_tick_) {
+        // Cap just lifted: enter lame-duck mode (case 5: thread count drops
+        // to 2 for tens of minutes before reverting).
+        lame_duck_until_ = now + spec_.lame_duck_duration;
+        threads_ = 2;
+      } else if (now >= lame_duck_until_) {
+        threads_ = spec_.base_threads;
+      }
+      break;
+    case CapBehavior::kSelfTerminate:
+      // Case 6: the MapReduce worker survives its first capping but gives up
+      // partway into a later one, preferring to be rescheduled elsewhere.
+      if (capped_now && cap_episodes_ >= 2 && now - capped_since_ > 2 * kMicrosPerMinute) {
+        exited_ = true;
+        threads_ = 0;
+      }
+      break;
+  }
+
+  was_capped_last_tick_ = capped_now;
+}
+
+}  // namespace cpi2

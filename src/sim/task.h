@@ -1,0 +1,220 @@
+// Task model for the cluster simulator.
+//
+// A task is one instance of a job running on one machine inside its own
+// container (cgroup). The TaskSpec is a purely data-driven description of
+// its behaviour: CPU demand over time, microarchitectural character (base
+// CPI, cache footprint, memory intensity, sensitivity to contention), an
+// application-level performance model (latency / transactions), and its
+// reaction to CPU hard-capping (tolerate / lame-duck / self-terminate,
+// reproducing cases 5 and 6 of the paper).
+
+#ifndef CPI2_SIM_TASK_H_
+#define CPI2_SIM_TASK_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/types.h"
+#include "sim/platform.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace cpi2 {
+
+// Reaction to CPU hard-capping (section 6.2).
+enum class CapBehavior { kTolerate, kLameDuck, kSelfTerminate };
+
+// Sinusoidal daily load modulation: factor(t) in [1-amplitude, 1+amplitude].
+struct DiurnalCurve {
+  double amplitude = 0.0;
+  // Time of daily peak, as an offset into the day.
+  MicroTime peak_offset = 14 * kMicrosPerHour;
+
+  double Factor(MicroTime now) const;
+};
+
+struct TaskSpec {
+  std::string job_name;
+  WorkloadClass sched_class = WorkloadClass::kBatch;
+  JobPriority priority = JobPriority::kNonProduction;
+
+  // CPU the scheduler reserves for the task (CPU-sec/sec).
+  double cpu_request = 1.0;
+  // Mean CPU the task actually tries to use.
+  double base_cpu_demand = 0.8;
+  // Lognormal coefficient of variation on the demand, tick to tick.
+  double demand_cv = 0.1;
+  DiurnalCurve diurnal;
+
+  // Bimodal demand (case 3): when alt_cpu_demand >= 0 the task alternates
+  // between base and alt demand with the given half-period, starting at
+  // mode_start_time (before that it stays in the base mode).
+  double alt_cpu_demand = -1.0;
+  MicroTime mode_half_period = 0;
+  MicroTime mode_start_time = 0;
+
+  // Slow multiplicative random walk on demand (mean-reverting, updated once
+  // a minute). Models input-data phases that change throughput over tens of
+  // minutes, visible in the paper's Figure 2. sigma is the per-step stddev
+  // of log-demand; revert in (0, 1] pulls the walk back toward 1.
+  double demand_walk_sigma = 0.0;
+  double demand_walk_revert = 0.05;
+
+  // Microarchitectural character (quoted on the reference platform).
+  double base_cpi = 1.0;
+  double cpi_noise_cv = 0.03;
+  // Per-task-instance spread of the base CPI (different shards process
+  // different data), drawn once at construction.
+  double cpi_task_cv = 0.0;
+  // Slow mean-reverting random walk on the base CPI (instruction-mix phase
+  // changes; step once a minute). Non-production jobs drift more — the
+  // paper's explanation for their poorer detection accuracy.
+  double cpi_walk_sigma = 0.0;
+  double cpi_walk_revert = 0.05;
+  // One-off behaviour change (a new binary pushed mid-run): from
+  // cpi_step_time on, base CPI is multiplied by cpi_step_factor. Negative
+  // time disables. Non-production experiments do this to CPI2 all the time.
+  MicroTime cpi_step_time = -1;
+  double cpi_step_factor = 1.0;
+  // Cache working set, MB; larger footprints pollute co-runners more.
+  double cache_mb = 2.0;
+  // Memory-bus pressure generated per CPU-sec of execution, in [0, 1].
+  double memory_intensity = 0.2;
+  // How strongly this task's CPI responds to cache/bus contention, [0, 1].
+  double contention_sensitivity = 0.5;
+
+  // Application-level model.
+  // Instructions per transaction; 0 disables TPS reporting.
+  double instr_per_txn = 0.0;
+  // Baseline request latency at base CPI, ms; 0 disables latency reporting.
+  double base_latency_ms = 0.0;
+  // Fraction of latency NOT driven by local CPU (fan-out waits, I/O). A
+  // web-search root node is ~0.9; a leaf ~0.05 (Figure 4).
+  double latency_io_fraction = 0.05;
+  // Tick-to-tick noise on the I/O part (stragglers among children make a
+  // root's waits far noisier than a leaf's disk hits).
+  double latency_io_noise_cv = 0.2;
+  // Per-task spread of the base latency (different shards serve different
+  // content): drawn once per task instance. This is what scatters the
+  // per-task point clouds of Figure 4.
+  double latency_task_cv = 0.1;
+  // Measurement noise on reported transactions/sec (application-side
+  // accounting never matches the counters exactly).
+  double tps_noise_cv = 0.05;
+
+  // Self-inflicted CPI inflation at near-idle CPU usage (case 3: "CPI
+  // sometimes increases significantly if CPU usage drops to near zero").
+  // Effective CPI is multiplied by 1 + inflation * max(0, 1 - usage/0.25).
+  double idle_cpi_inflation = 0.0;
+
+  // Batch jobs may explicitly opt into CPI2 protection (section 5).
+  bool protection_opt_in = false;
+
+  int base_threads = 8;
+  CapBehavior cap_behavior = CapBehavior::kTolerate;
+  // Lame-duck dwell time after a cap ends (case 5 shows tens of minutes).
+  MicroTime lame_duck_duration = 30 * kMicrosPerMinute;
+};
+
+// Mutable task instance state, advanced by its Machine each tick.
+class Task {
+ public:
+  Task(std::string name, TaskSpec spec, Rng rng);
+
+  const std::string& name() const { return name_; }
+  const TaskSpec& spec() const { return spec_; }
+  bool exited() const { return exited_; }
+
+  // --- demand / capping -----------------------------------------------
+  // CPU the task wants this tick, before caps and machine contention.
+  double DesiredCpu(MicroTime now);
+
+  // Hard cap in CPU-sec/sec; infinity when uncapped.
+  double cap() const { return cap_; }
+  void SetCap(double cpu_sec_per_sec) { cap_ = cpu_sec_per_sec; }
+  void RemoveCap() { cap_ = std::numeric_limits<double>::infinity(); }
+  bool IsCapped() const { return cap_ != std::numeric_limits<double>::infinity(); }
+
+  // --- per-tick results (written by Machine) ---------------------------
+  // Called by the machine after allocation+interference are resolved.
+  void Account(MicroTime now, double tick_seconds, double allocated_cpu, double effective_cpi,
+               double l3_mpi, const Platform& platform);
+
+  // Cumulative counters (CounterSource reads these).
+  uint64_t cycles() const { return cycles_; }
+  uint64_t instructions() const { return instructions_; }
+  uint64_t l2_misses() const { return l2_misses_; }
+  uint64_t l3_misses() const { return l3_misses_; }
+  uint64_t mem_requests() const { return mem_requests_; }
+  double cpu_seconds() const { return cpu_seconds_; }
+
+  // Last-tick observables for traces and application metrics.
+  double last_usage() const { return last_usage_; }
+  double last_cpi() const { return last_cpi_; }
+  double last_latency_ms() const { return last_latency_ms_; }
+  double last_tps() const { return last_tps_; }
+  int threads() const { return threads_; }
+
+  // Draws the per-tick multiplicative CPI noise.
+  double CpiNoise();
+
+  // Multiplicative CPI phase factor; advances the slow walk once a minute.
+  double CpiWalkFactor(MicroTime now);
+
+  // One-off step factor (new binary pushed): 1.0 before cpi_step_time.
+  double CpiStepFactor(MicroTime now) const {
+    return spec_.cpi_step_time >= 0 && now >= spec_.cpi_step_time ? spec_.cpi_step_factor
+                                                                  : 1.0;
+  }
+
+  // Base CPI of this task on `platform` (includes the per-instance spread).
+  double BaseCpiOn(const Platform& platform) const {
+    return spec_.base_cpi * cpi_scale_ * platform.cpi_scale;
+  }
+
+ private:
+  // Cap-reaction state machine (cases 5/6), advanced from Account().
+  void UpdateCapBehavior(MicroTime now);
+
+  std::string name_;
+  TaskSpec spec_;
+  Rng rng_;
+
+  double cap_ = std::numeric_limits<double>::infinity();
+  bool exited_ = false;
+
+  uint64_t cycles_ = 0;
+  uint64_t instructions_ = 0;
+  uint64_t l2_misses_ = 0;
+  uint64_t l3_misses_ = 0;
+  uint64_t mem_requests_ = 0;
+  double cpu_seconds_ = 0.0;
+
+  // Drawn once at construction from latency_task_cv / cpi_task_cv.
+  double latency_scale_ = 1.0;
+  double cpi_scale_ = 1.0;
+
+  double last_usage_ = 0.0;
+  double last_cpi_ = 0.0;
+  double last_latency_ms_ = 0.0;
+  double last_tps_ = 0.0;
+  int threads_;
+
+  // Slow demand-walk state (log-space multiplier, updated once a minute).
+  double demand_walk_log_ = 0.0;
+  MicroTime last_walk_update_ = -1;
+  // Slow CPI-walk state.
+  double cpi_walk_log_ = 0.0;
+  MicroTime last_cpi_walk_update_ = -1;
+
+  // Lame-duck / self-terminate bookkeeping.
+  bool was_capped_last_tick_ = false;
+  int cap_episodes_ = 0;
+  MicroTime capped_since_ = 0;
+  MicroTime lame_duck_until_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_SIM_TASK_H_

@@ -1,0 +1,32 @@
+#include "sim/trace.h"
+
+namespace cpi2 {
+
+void TraceRecorder::Watch(Machine* machine, const std::string& task_name) {
+  watched_.insert({task_name, Watched{machine, TaskTrace{}}});
+}
+
+void TraceRecorder::OnTick(MicroTime now) {
+  if (last_sample_ >= 0 && now - last_sample_ < interval_) {
+    return;
+  }
+  last_sample_ = now;
+  for (auto& [task_name, watched] : watched_) {
+    const Task* task = watched.machine->FindTask(task_name);
+    if (task == nullptr) {
+      continue;
+    }
+    watched.trace.cpu_usage.Append(now, task->last_usage());
+    watched.trace.cpi.Append(now, task->last_cpi());
+    watched.trace.latency_ms.Append(now, task->last_latency_ms());
+    watched.trace.tps.Append(now, task->last_tps());
+    watched.trace.threads.Append(now, static_cast<double>(task->threads()));
+  }
+}
+
+const TaskTrace& TraceRecorder::trace(const std::string& task_name) const {
+  const auto it = watched_.find(task_name);
+  return it != watched_.end() ? it->second.trace : empty_;
+}
+
+}  // namespace cpi2

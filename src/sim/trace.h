@@ -1,0 +1,58 @@
+// Per-task time-series recording for the figure harnesses.
+//
+// The case studies (Figures 8-13) plot victim CPI against antagonist CPU
+// usage, thread counts, and latency over wall-clock time. TraceRecorder is
+// a tick listener that samples selected tasks' last-tick observables at a
+// configurable cadence, robust to tasks exiting mid-run.
+
+#ifndef CPI2_SIM_TRACE_H_
+#define CPI2_SIM_TRACE_H_
+
+#include <map>
+#include <string>
+
+#include "sim/machine.h"
+#include "util/clock.h"
+#include "util/time_series.h"
+
+namespace cpi2 {
+
+struct TaskTrace {
+  TimeSeries cpu_usage;
+  TimeSeries cpi;
+  TimeSeries latency_ms;
+  TimeSeries tps;
+  TimeSeries threads;
+};
+
+class TraceRecorder {
+ public:
+  // Samples every `interval` of simulated time.
+  explicit TraceRecorder(MicroTime interval = 10 * kMicrosPerSecond)
+      : interval_(interval) {}
+
+  // Starts recording `task_name`, looked up on `machine` each sample (so a
+  // task that exits simply stops producing points).
+  void Watch(Machine* machine, const std::string& task_name);
+
+  // Tick listener entry point.
+  void OnTick(MicroTime now);
+
+  // Recorded data for a task (empty trace if never watched).
+  const TaskTrace& trace(const std::string& task_name) const;
+
+ private:
+  struct Watched {
+    Machine* machine;
+    TaskTrace trace;
+  };
+
+  MicroTime interval_;
+  MicroTime last_sample_ = -1;
+  std::map<std::string, Watched> watched_;
+  TaskTrace empty_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_SIM_TRACE_H_

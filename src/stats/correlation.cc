@@ -1,0 +1,73 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+namespace cpi2 {
+
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+OlsFit FitOls(const std::vector<double>& x, const std::vector<double>& y) {
+  OlsFit fit;
+  const size_t n = x.size() < y.size() ? x.size() : y.size();
+  fit.n = n;
+  if (n < 2) {
+    return fit;
+  }
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  if (syy > 0.0) {
+    fit.r = sxy / std::sqrt(sxx * syy);
+    fit.r_squared = fit.r * fit.r;
+  }
+  return fit;
+}
+
+}  // namespace cpi2

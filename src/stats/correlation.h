@@ -1,0 +1,34 @@
+// Pearson correlation and ordinary least squares.
+//
+// Pearson correlation quantifies the CPI-vs-application-metric agreement in
+// Figures 2-4 (the paper reports coefficients of 0.97 for TPS/IPS and
+// latency/CPI). OLS backs the L3-miss-vs-CPI analysis of Figure 15(c).
+// Note: this is NOT the paper's antagonist-correlation score, which is an
+// asymmetric accumulation defined in core/correlation.h.
+
+#ifndef CPI2_STATS_CORRELATION_H_
+#define CPI2_STATS_CORRELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cpi2 {
+
+// Pearson product-moment correlation of two equal-length vectors.
+// Returns 0 when fewer than 2 points or either series is constant.
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+struct OlsFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;         // Pearson correlation of x and y.
+  double r_squared = 0.0;
+  size_t n = 0;
+};
+
+// Least-squares fit of y = slope * x + intercept.
+OlsFit FitOls(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace cpi2
+
+#endif  // CPI2_STATS_CORRELATION_H_

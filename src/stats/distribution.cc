@@ -1,0 +1,387 @@
+#include "stats/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "stats/streaming.h"
+#include "util/string_util.h"
+
+namespace cpi2 {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+constexpr double kSqrt2Pi = 2.5066282746310002;
+
+// Generic quantile by bisection on a monotone CDF, for families without a
+// closed-form inverse (Gamma). `lo`/`hi` must bracket the quantile.
+template <typename CdfFn>
+double BisectQuantile(CdfFn cdf, double p, double lo, double hi) {
+  for (int i = 0; i < 200 && hi - lo > 1e-12 * (1.0 + std::fabs(hi)); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double Distribution::LogLikelihood(const std::vector<double>& data) const {
+  double total = 0.0;
+  for (double x : data) {
+    const double p = Pdf(x);
+    total += p > 0.0 ? std::log(p) : -745.0;  // log(DBL_MIN) floor for zero density.
+  }
+  return total;
+}
+
+double StandardNormalCdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+double StandardNormalQuantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q;
+  double r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double RegularizedGammaP(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  const double log_gamma_a = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) {
+        break;
+      }
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+  }
+  // Continued fraction for Q(a, x) = 1 - P(a, x) (Lentz's method).
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) {
+      d = tiny;
+    }
+    c = b + an / c;
+    if (std::fabs(c) < tiny) {
+      c = tiny;
+    }
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) {
+      break;
+    }
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma_a) * h;
+  return 1.0 - q;
+}
+
+// ---------------------------------------------------------------------------
+// Normal
+
+NormalDistribution::NormalDistribution(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  assert(stddev > 0.0);
+}
+
+double NormalDistribution::Pdf(double x) const {
+  const double z = (x - mean_) / stddev_;
+  return std::exp(-0.5 * z * z) / (stddev_ * kSqrt2Pi);
+}
+
+double NormalDistribution::Cdf(double x) const {
+  return StandardNormalCdf((x - mean_) / stddev_);
+}
+
+double NormalDistribution::Quantile(double p) const {
+  return mean_ + stddev_ * StandardNormalQuantile(p);
+}
+
+double NormalDistribution::Sample(Rng& rng) const { return rng.Normal(mean_, stddev_); }
+
+std::string NormalDistribution::ToString() const {
+  return StrFormat("Normal(%.4g, %.4g)", mean_, stddev_);
+}
+
+NormalDistribution NormalDistribution::Fit(const std::vector<double>& data) {
+  StreamingStats stats;
+  for (double x : data) {
+    stats.Add(x);
+  }
+  const double sd = stats.stddev();
+  return NormalDistribution(stats.mean(), sd > 0.0 ? sd : 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Log-normal
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  assert(sigma > 0.0);
+}
+
+double LogNormalDistribution::Pdf(double x) const {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * kSqrt2Pi);
+}
+
+double LogNormalDistribution::Cdf(double x) const {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  return StandardNormalCdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormalDistribution::Quantile(double p) const {
+  return std::exp(mu_ + sigma_ * StandardNormalQuantile(p));
+}
+
+double LogNormalDistribution::Sample(Rng& rng) const { return rng.LogNormal(mu_, sigma_); }
+
+std::string LogNormalDistribution::ToString() const {
+  return StrFormat("LogNormal(%.4g, %.4g)", mu_, sigma_);
+}
+
+LogNormalDistribution LogNormalDistribution::Fit(const std::vector<double>& data) {
+  StreamingStats stats;
+  for (double x : data) {
+    if (x > 0.0) {
+      stats.Add(std::log(x));
+    }
+  }
+  const double sd = stats.stddev();
+  return LogNormalDistribution(stats.mean(), sd > 0.0 ? sd : 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Gamma
+
+GammaDistribution::GammaDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  assert(shape > 0.0 && scale > 0.0);
+}
+
+double GammaDistribution::Pdf(double x) const {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  return std::exp((shape_ - 1.0) * std::log(x) - x / scale_ - std::lgamma(shape_) -
+                  shape_ * std::log(scale_));
+}
+
+double GammaDistribution::Cdf(double x) const {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  return RegularizedGammaP(shape_, x / scale_);
+}
+
+double GammaDistribution::Quantile(double p) const {
+  assert(p > 0.0 && p < 1.0);
+  // Bracket then bisect; mean + 20 sd always brackets for practical p.
+  const double mean = shape_ * scale_;
+  const double sd = std::sqrt(shape_) * scale_;
+  double hi = mean + 20.0 * sd;
+  while (Cdf(hi) < p) {
+    hi *= 2.0;
+  }
+  return BisectQuantile([this](double x) { return Cdf(x); }, p, 0.0, hi);
+}
+
+double GammaDistribution::Sample(Rng& rng) const {
+  // Marsaglia-Tsang for shape >= 1; boost for shape < 1.
+  double k = shape_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    boost = std::pow(rng.NextDouble(), 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng.StandardNormal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return boost * d * v * scale_;
+    }
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return boost * d * v * scale_;
+    }
+  }
+}
+
+std::string GammaDistribution::ToString() const {
+  return StrFormat("Gamma(k=%.4g, theta=%.4g)", shape_, scale_);
+}
+
+GammaDistribution GammaDistribution::Fit(const std::vector<double>& data) {
+  StreamingStats stats;
+  for (double x : data) {
+    stats.Add(x);
+  }
+  const double mean = stats.mean();
+  const double var = stats.variance();
+  if (mean <= 0.0 || var <= 0.0) {
+    return GammaDistribution(1.0, 1.0);
+  }
+  return GammaDistribution(mean * mean / var, var / mean);
+}
+
+// ---------------------------------------------------------------------------
+// GEV
+
+GevDistribution::GevDistribution(double location, double scale, double shape)
+    : location_(location), scale_(scale), shape_(shape) {
+  assert(scale > 0.0);
+}
+
+double GevDistribution::Pdf(double x) const {
+  const double s = (x - location_) / scale_;
+  if (std::fabs(shape_) < 1e-12) {
+    const double t = std::exp(-s);
+    return (t * std::exp(-t)) / scale_;
+  }
+  const double base = 1.0 + shape_ * s;
+  if (base <= 0.0) {
+    return 0.0;
+  }
+  const double t = std::pow(base, -1.0 / shape_);
+  return std::pow(t, shape_ + 1.0) * std::exp(-t) / scale_;
+}
+
+double GevDistribution::Cdf(double x) const {
+  const double s = (x - location_) / scale_;
+  if (std::fabs(shape_) < 1e-12) {
+    return std::exp(-std::exp(-s));
+  }
+  const double base = 1.0 + shape_ * s;
+  if (base <= 0.0) {
+    // Outside the support: below it for xi > 0, above it for xi < 0.
+    return shape_ > 0.0 ? 0.0 : 1.0;
+  }
+  return std::exp(-std::pow(base, -1.0 / shape_));
+}
+
+double GevDistribution::Quantile(double p) const {
+  assert(p > 0.0 && p < 1.0);
+  const double log_term = -std::log(p);
+  if (std::fabs(shape_) < 1e-12) {
+    return location_ - scale_ * std::log(log_term);
+  }
+  return location_ + scale_ * (std::pow(log_term, -shape_) - 1.0) / shape_;
+}
+
+double GevDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  while (u <= 0.0 || u >= 1.0) {
+    u = rng.NextDouble();
+  }
+  return Quantile(u);
+}
+
+std::string GevDistribution::ToString() const {
+  return StrFormat("GEV(%.4g, %.4g, %.4g)", location_, scale_, shape_);
+}
+
+GevDistribution GevDistribution::Fit(const std::vector<double>& data) {
+  // Probability-weighted moments (Hosking 1985). Uses his convention
+  // F(x) = exp(-(1 - k (x - xi)/alpha)^(1/k)); our shape is -k.
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  if (n < 10) {
+    return GevDistribution(0.0, 1.0, 0.0);
+  }
+  double b0 = 0.0;
+  double b1 = 0.0;
+  double b2 = 0.0;
+  const double dn = static_cast<double>(n);
+  for (size_t j = 0; j < n; ++j) {
+    const double x = sorted[j];
+    const double j1 = static_cast<double>(j);  // zero-based rank
+    b0 += x;
+    b1 += x * j1 / (dn - 1.0);
+    b2 += x * j1 * (j1 - 1.0) / ((dn - 1.0) * (dn - 2.0));
+  }
+  b0 /= dn;
+  b1 /= dn;
+  b2 /= dn;
+  const double l1 = b0;
+  const double l2 = 2.0 * b1 - b0;
+  const double l3 = 6.0 * b2 - 6.0 * b1 + b0;
+  if (l2 <= 0.0) {
+    return GevDistribution(l1, 1e-9, 0.0);
+  }
+  const double t3 = l3 / l2;
+  const double c = 2.0 / (3.0 + t3) - std::log(2.0) / std::log(3.0);
+  const double k = 7.8590 * c + 2.9554 * c * c;
+  if (std::fabs(k) < 1e-9) {
+    // Gumbel limit.
+    const double alpha = l2 / std::log(2.0);
+    const double xi = l1 - 0.5772156649015329 * alpha;
+    return GevDistribution(xi, alpha, 0.0);
+  }
+  const double gamma_1k = std::tgamma(1.0 + k);
+  const double alpha = l2 * k / ((1.0 - std::pow(2.0, -k)) * gamma_1k);
+  const double xi = l1 - alpha * (1.0 - gamma_1k) / k;
+  return GevDistribution(xi, alpha > 0.0 ? alpha : 1e-9, -k);
+}
+
+}  // namespace cpi2

@@ -1,0 +1,53 @@
+#include "stats/histogram.h"
+
+#include <cassert>
+
+namespace cpi2 {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  assert(bins > 0 && hi > lo);
+  counts_.assign(static_cast<size_t>(bins), 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<size_t>((x - lo_) / width_);
+  ++counts_[bin < counts_.size() ? bin : counts_.size() - 1];
+}
+
+double Histogram::BinCenter(int i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::BinFraction(int i) const {
+  return total_ > 0
+             ? static_cast<double>(counts_[static_cast<size_t>(i)]) / static_cast<double>(total_)
+             : 0.0;
+}
+
+std::vector<std::pair<double, double>> Histogram::Rows() const {
+  std::vector<std::pair<double, double>> rows;
+  int first = 0;
+  int last = bins() - 1;
+  while (first <= last && counts_[static_cast<size_t>(first)] == 0) {
+    ++first;
+  }
+  while (last >= first && counts_[static_cast<size_t>(last)] == 0) {
+    --last;
+  }
+  for (int i = first; i <= last; ++i) {
+    rows.emplace_back(BinCenter(i), BinFraction(i));
+  }
+  return rows;
+}
+
+}  // namespace cpi2

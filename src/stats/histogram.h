@@ -1,0 +1,49 @@
+// Fixed-width histogram over a bounded range, with overflow/underflow bins.
+//
+// Backs the CPI-distribution plot of Figure 7 and the sample-percentage rows
+// the paper reports there.
+
+#ifndef CPI2_STATS_HISTOGRAM_H_
+#define CPI2_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpi2 {
+
+class Histogram {
+ public:
+  // Bins [lo, hi) into `bins` equal-width buckets. Samples outside the range
+  // land in dedicated underflow/overflow counters.
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x);
+
+  int64_t total() const { return total_; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int bins() const { return static_cast<int>(counts_.size()); }
+
+  // Center x of bin `i`.
+  double BinCenter(int i) const;
+  // Count and fraction of total in bin `i`.
+  int64_t BinCount(int i) const { return counts_[static_cast<size_t>(i)]; }
+  double BinFraction(int i) const;
+
+  // (bin center, fraction) rows for plotting; skips empty edge bins.
+  std::vector<std::pair<double, double>> Rows() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_STATS_HISTOGRAM_H_

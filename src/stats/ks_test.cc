@@ -1,0 +1,26 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpi2 {
+
+double KsStatistic(const std::vector<double>& data, const Distribution& model) {
+  if (data.empty()) {
+    return 1.0;
+  }
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const double f = model.Cdf(sorted[i]);
+    const double ecdf_before = static_cast<double>(i) / n;
+    const double ecdf_after = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::fabs(f - ecdf_before));
+    d = std::max(d, std::fabs(f - ecdf_after));
+  }
+  return d;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,21 @@
+// One-sample Kolmogorov-Smirnov goodness-of-fit statistic.
+//
+// Figure 7's harness fits four distribution families to the same CPI data
+// and picks the best; KS distance is the comparison criterion.
+
+#ifndef CPI2_STATS_KS_TEST_H_
+#define CPI2_STATS_KS_TEST_H_
+
+#include <vector>
+
+#include "stats/distribution.h"
+
+namespace cpi2 {
+
+// Maximum absolute distance between the empirical CDF of `data` and the
+// model CDF. `data` need not be sorted. Returns 1.0 for empty data.
+double KsStatistic(const std::vector<double>& data, const Distribution& model);
+
+}  // namespace cpi2
+
+#endif  // CPI2_STATS_KS_TEST_H_

@@ -1,0 +1,70 @@
+// Streaming (single-pass) moment accumulation using Welford's algorithm.
+//
+// The spec builder aggregates tens of thousands of CPI samples per job per
+// day; it must do so in O(1) memory per job x platform without numerical
+// blow-up. Welford's update is the standard numerically-stable choice.
+
+#ifndef CPI2_STATS_STREAMING_H_
+#define CPI2_STATS_STREAMING_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace cpi2 {
+
+class StreamingStats {
+ public:
+  StreamingStats() = default;
+
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+    sum_ += x;
+  }
+
+  // Merges another accumulator (Chan et al. parallel formula).
+  void Merge(const StreamingStats& other);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+
+  // Population variance (n denominator).
+  double population_variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Coefficient of variation: stddev / mean (0 if mean is 0).
+  double coefficient_of_variation() const;
+
+  void Reset() { *this = StreamingStats(); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_STATS_STREAMING_H_

@@ -1,0 +1,65 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/streaming.h"
+
+namespace cpi2 {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  StreamingStats stats;
+  for (double x : sorted_) {
+    stats.Add(x);
+  }
+  mean_ = stats.mean();
+  stddev_ = stats.stddev();
+}
+
+double EmpiricalDistribution::min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+
+double EmpiricalDistribution::max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+double EmpiricalDistribution::Percentile(double p) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  if (p <= 0.0) {
+    return sorted_.front();
+  }
+  if (p >= 1.0) {
+    return sorted_.back();
+  }
+  const double index = p * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(index));
+  const size_t hi = static_cast<size_t>(std::ceil(index));
+  const double frac = index - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double EmpiricalDistribution::Cdf(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::CdfCurve(int steps) const {
+  std::vector<std::pair<double, double>> curve;
+  if (sorted_.empty() || steps < 2) {
+    return curve;
+  }
+  const double lo = min();
+  const double hi = max();
+  curve.reserve(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(steps - 1);
+    curve.emplace_back(x, Cdf(x));
+  }
+  return curve;
+}
+
+}  // namespace cpi2

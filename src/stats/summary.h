@@ -1,0 +1,49 @@
+// Empirical distribution summaries: percentiles and CDFs.
+//
+// Used by the figure harnesses (CDF plots in Figures 1, 14, 16) and by the
+// distribution-fitting comparison in Figure 7.
+
+#ifndef CPI2_STATS_SUMMARY_H_
+#define CPI2_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cpi2 {
+
+// An immutable empirical distribution over a sorted copy of the input.
+class EmpiricalDistribution {
+ public:
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  bool empty() const { return sorted_.empty(); }
+  size_t size() const { return sorted_.size(); }
+
+  double min() const;
+  double max() const;
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+  // Linear-interpolated percentile, p in [0, 1].
+  double Percentile(double p) const;
+
+  // Empirical CDF: fraction of samples <= x.
+  double Cdf(double x) const;
+
+  // Sorted samples (ascending) for plotting and KS tests.
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  // Evaluates the CDF at `steps` evenly spaced x positions across the data
+  // range; returns (x, F(x)) rows suitable for plotting.
+  std::vector<std::pair<double, double>> CdfCurve(int steps) const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_STATS_SUMMARY_H_

@@ -1,0 +1,17 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace cpi2 {
+
+MicroTime RealClock::NowMicros() const {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+}
+
+RealClock* RealClock::Get() {
+  static RealClock* const kInstance = new RealClock();
+  return kInstance;
+}
+
+}  // namespace cpi2

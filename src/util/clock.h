@@ -1,0 +1,76 @@
+// Clock abstraction used throughout CPI2.
+//
+// All timestamps are microseconds since the epoch (matching the paper's
+// sample schema: "int64 timestamp; // microsec since epoch"). Production
+// code uses RealClock; the simulator and tests use ManualClock so that every
+// run is deterministic.
+
+#ifndef CPI2_UTIL_CLOCK_H_
+#define CPI2_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+namespace cpi2 {
+
+// Microseconds since the Unix epoch.
+using MicroTime = int64_t;
+
+inline constexpr int64_t kMicrosPerMilli = 1000;
+inline constexpr int64_t kMicrosPerSecond = 1000 * 1000;
+inline constexpr int64_t kMicrosPerMinute = 60 * kMicrosPerSecond;
+inline constexpr int64_t kMicrosPerHour = 60 * kMicrosPerMinute;
+inline constexpr int64_t kMicrosPerDay = 24 * kMicrosPerHour;
+
+// Converts seconds (possibly fractional) to MicroTime ticks.
+constexpr MicroTime SecondsToMicros(double seconds) {
+  return static_cast<MicroTime>(seconds * static_cast<double>(kMicrosPerSecond));
+}
+
+// Converts MicroTime ticks to fractional seconds.
+constexpr double MicrosToSeconds(MicroTime micros) {
+  return static_cast<double>(micros) / static_cast<double>(kMicrosPerSecond);
+}
+
+// Interface for reading the current time. Implementations must be
+// thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Returns the current time in microseconds since the epoch.
+  virtual MicroTime NowMicros() const = 0;
+};
+
+// A Clock backed by the system realtime clock.
+class RealClock : public Clock {
+ public:
+  MicroTime NowMicros() const override;
+
+  // Returns a process-wide shared instance.
+  static RealClock* Get();
+};
+
+// A Clock that only moves when told to. Used by the simulator and by tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(MicroTime start = 0) : now_(start) {}
+
+  MicroTime NowMicros() const override { return now_; }
+
+  // Moves the clock forward by `delta` microseconds. Negative deltas are
+  // ignored: simulated time never goes backwards.
+  void Advance(MicroTime delta) {
+    if (delta > 0) {
+      now_ += delta;
+    }
+  }
+
+  void SetTime(MicroTime now) { now_ = now; }
+
+ private:
+  MicroTime now_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_UTIL_CLOCK_H_

@@ -1,0 +1,62 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace cpi2 {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+// Serializes writes so concurrent log lines do not interleave.
+std::mutex& LogMutex() {
+  static std::mutex* const kMutex = new std::mutex();
+  return *kMutex;
+}
+
+char LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) { g_min_level.store(level, std::memory_order_relaxed); }
+
+LogLevel MinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), enabled_(level >= MinLogLevel()) {
+  if (enabled_) {
+    stream_ << LevelTag(level_) << ' ' << Basename(file) << ':' << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) {
+    return;
+  }
+  const std::string text = stream_.str();
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fputs(text.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace cpi2

@@ -1,0 +1,57 @@
+// Minimal leveled logging to stderr.
+//
+// Usage:
+//   CPI2_LOG(INFO) << "spec updated for " << job_name;
+//
+// The log level can be raised globally (e.g. to silence INFO during
+// benchmarks) via SetMinLogLevel().
+
+#ifndef CPI2_UTIL_LOGGING_H_
+#define CPI2_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace cpi2 {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Severity aliases used by the CPI2_LOG macro.
+inline constexpr LogLevel LogSeverity_DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel LogSeverity_INFO = LogLevel::kInfo;
+inline constexpr LogLevel LogSeverity_WARNING = LogLevel::kWarning;
+inline constexpr LogLevel LogSeverity_ERROR = LogLevel::kError;
+
+// Sets the minimum level that is actually emitted. Thread-safe.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+// One log statement. Accumulates the message and emits it (with a timestamp
+// and level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cpi2
+
+#define CPI2_LOG(severity) \
+  ::cpi2::LogMessage(::cpi2::LogSeverity_##severity, __FILE__, __LINE__)
+
+#endif  // CPI2_UTIL_LOGGING_H_

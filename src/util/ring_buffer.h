@@ -1,0 +1,60 @@
+// Fixed-capacity circular buffer.
+//
+// Used for per-task sliding windows (recent CPI samples, recent outlier
+// flags) where the window size is known up front and allocation in the
+// steady state is unacceptable.
+
+#ifndef CPI2_UTIL_RING_BUFFER_H_
+#define CPI2_UTIL_RING_BUFFER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace cpi2 {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : slots_(capacity) {
+    assert(capacity > 0 && "RingBuffer capacity must be positive");
+  }
+
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+
+  // Appends `value`, evicting the oldest element if full.
+  void Push(T value) {
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    if (size_ == slots_.size()) {
+      head_ = (head_ + 1) % slots_.size();
+    } else {
+      ++size_;
+    }
+  }
+
+  // Element `i` positions from the oldest (0 == oldest).
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_UTIL_RING_BUFFER_H_

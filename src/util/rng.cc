@@ -1,0 +1,115 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace cpi2 {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::operator()() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = max() - max() % range;
+  uint64_t value = (*this)();
+  while (value >= limit) {
+    value = (*this)();
+  }
+  return lo + static_cast<int64_t>(value % range);
+}
+
+double Rng::StandardNormal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = NextDouble();
+  while (u1 <= 0.0) {
+    u1 = NextDouble();
+  }
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = radius * std::sin(theta);
+  has_spare_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) { return mean + stddev * StandardNormal(); }
+
+double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+double Rng::Exponential(double rate) {
+  double u = NextDouble();
+  while (u <= 0.0) {
+    u = NextDouble();
+  }
+  return -std::log(u) / rate;
+}
+
+double Rng::Pareto(double scale, double alpha) {
+  double u = NextDouble();
+  while (u <= 0.0) {
+    u = NextDouble();
+  }
+  return scale / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+int Rng::Poisson(double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  const double limit = std::exp(-mean);
+  double product = NextDouble();
+  int count = 0;
+  while (product > limit) {
+    product *= NextDouble();
+    ++count;
+  }
+  return count;
+}
+
+Rng Rng::Fork() { return Rng((*this)()); }
+
+}  // namespace cpi2

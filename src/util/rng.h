@@ -1,0 +1,74 @@
+// Deterministic, seedable random number generation.
+//
+// The standard library's distribution objects are implementation-defined, so
+// two builds can disagree about the exact stream of variates. Every
+// experiment in this repository must be reproducible bit-for-bit from its
+// seed, so we implement both the engine (xoshiro256++) and the variate
+// transformations ourselves.
+
+#ifndef CPI2_UTIL_RNG_H_
+#define CPI2_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace cpi2 {
+
+// xoshiro256++ engine seeded via splitmix64. Satisfies
+// UniformRandomBitGenerator so it can also feed <random> when determinism
+// across platforms is not required.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint64_t>::max(); }
+
+  // Next raw 64 random bits.
+  uint64_t operator()();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (cached spare for efficiency).
+  double StandardNormal();
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Log-normal: exp(Normal(mu, sigma)) in log space.
+  double LogNormal(double mu, double sigma);
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  // Pareto (Lomax-style heavy tail): minimum `scale`, shape `alpha`.
+  double Pareto(double scale, double alpha);
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  // Poisson-distributed count (Knuth's method; fine for small means).
+  int Poisson(double mean);
+
+  // Derives an independent child generator; useful for giving each task or
+  // machine its own stream without correlation.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_UTIL_RNG_H_

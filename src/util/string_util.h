@@ -1,0 +1,23 @@
+// Small string helpers shared by the table printers and logs.
+
+#ifndef CPI2_UTIL_STRING_UTIL_H_
+#define CPI2_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace cpi2 {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts, const std::string& separator);
+
+// Fixed-width left/right padding (spaces), for plain-text tables.
+std::string PadRight(const std::string& s, size_t width);
+std::string PadLeft(const std::string& s, size_t width);
+
+}  // namespace cpi2
+
+#endif  // CPI2_UTIL_STRING_UTIL_H_

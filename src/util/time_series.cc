@@ -1,0 +1,38 @@
+#include "util/time_series.h"
+
+#include <cstdlib>
+
+namespace cpi2 {
+
+double TimeSeries::NearestValue(MicroTime timestamp, MicroTime tolerance, bool* found) const {
+  *found = false;
+  double best_value = 0.0;
+  MicroTime best_distance = tolerance;
+  for (const TimePoint& p : points_) {
+    const MicroTime distance = std::llabs(p.timestamp - timestamp);
+    if (distance <= best_distance) {
+      best_distance = distance;
+      best_value = p.value;
+      *found = true;
+    }
+    if (p.timestamp > timestamp + tolerance) {
+      break;
+    }
+  }
+  return best_value;
+}
+
+std::vector<AlignedPair> AlignSeries(const TimeSeries& a, const TimeSeries& b, MicroTime begin,
+                                     MicroTime end, MicroTime tolerance) {
+  std::vector<AlignedPair> out;
+  for (const TimePoint& pa : a.Window(begin, end)) {
+    bool found = false;
+    const double vb = b.NearestValue(pa.timestamp, tolerance, &found);
+    if (found) {
+      out.push_back({pa.timestamp, pa.value, vb});
+    }
+  }
+  return out;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,87 @@
+// Timestamped value series with window extraction and alignment.
+//
+// The antagonist-correlation analysis (section 4.2 of the paper) needs the
+// victim's CPI samples and each suspect's CPU-usage samples over the same
+// 10-minute window, aligned by timestamp. TimeSeries provides the storage
+// and the alignment primitive.
+
+#ifndef CPI2_UTIL_TIME_SERIES_H_
+#define CPI2_UTIL_TIME_SERIES_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace cpi2 {
+
+struct TimePoint {
+  MicroTime timestamp = 0;
+  double value = 0.0;
+};
+
+// An append-only series of (timestamp, value) points ordered by timestamp.
+// Old points can be trimmed to bound memory.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  // Appends a point. Timestamps must be non-decreasing; out-of-order points
+  // are dropped (network reordering is the caller's problem, and the paper's
+  // one-sample-a-minute cadence makes this a non-issue in practice).
+  void Append(MicroTime timestamp, double value) {
+    if (!points_.empty() && timestamp < points_.back().timestamp) {
+      return;
+    }
+    points_.push_back({timestamp, value});
+  }
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const TimePoint& operator[](size_t i) const { return points_[i]; }
+  const TimePoint& back() const { return points_.back(); }
+
+  // Removes all points with timestamp < `cutoff`.
+  void TrimBefore(MicroTime cutoff) {
+    while (!points_.empty() && points_.front().timestamp < cutoff) {
+      points_.pop_front();
+    }
+  }
+
+  // Returns all points with begin <= timestamp < end, oldest first.
+  std::vector<TimePoint> Window(MicroTime begin, MicroTime end) const {
+    std::vector<TimePoint> out;
+    for (const TimePoint& p : points_) {
+      if (p.timestamp >= begin && p.timestamp < end) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  // Returns the value at the point nearest to `timestamp` within
+  // `tolerance`, or nullopt-like behaviour via `found`.
+  double NearestValue(MicroTime timestamp, MicroTime tolerance, bool* found) const;
+
+ private:
+  std::deque<TimePoint> points_;
+};
+
+// A time-aligned pair of samples from two series.
+struct AlignedPair {
+  MicroTime timestamp = 0;
+  double a = 0.0;
+  double b = 0.0;
+};
+
+// Aligns two series over [begin, end): for each point of `a` in the window,
+// finds the nearest point of `b` within `tolerance`; pairs without a match
+// are skipped. The paper's samples arrive once a minute on a shared cadence,
+// so `tolerance` of half the cadence pairs them exactly.
+std::vector<AlignedPair> AlignSeries(const TimeSeries& a, const TimeSeries& b, MicroTime begin,
+                                     MicroTime end, MicroTime tolerance);
+
+}  // namespace cpi2
+
+#endif  // CPI2_UTIL_TIME_SERIES_H_

@@ -1,0 +1,82 @@
+#include "workload/cluster_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+
+int SampleJobSize(Rng& rng) {
+  // Mixture tuned to the paper's statistics: 96% of tasks in jobs >= 10
+  // tasks, 87% in jobs >= 100. Mostly mid-size jobs with a heavy tail.
+  const double u = rng.NextDouble();
+  if (u < 0.30) {
+    return static_cast<int>(rng.UniformInt(1, 9));  // Many tiny jobs, few tasks total.
+  }
+  if (u < 0.75) {
+    return static_cast<int>(rng.UniformInt(10, 99));
+  }
+  // Pareto tail from 100 tasks up, truncated.
+  const int size = static_cast<int>(rng.Pareto(100.0, 1.2));
+  return std::min(size, 3000);
+}
+
+std::vector<std::string> BuildRepresentativeCluster(Cluster* cluster,
+                                                    const ClusterMixOptions& options) {
+  Rng rng(options.seed);
+
+  const int newer = options.machines * 2 / 3;
+  cluster->AddMachines(ReferencePlatform(), newer);
+  cluster->AddMachines(OlderPlatform(), options.machines - newer);
+  cluster->BuildScheduler();
+
+  const auto target_tasks =
+      static_cast<int64_t>(options.mean_tasks_per_machine * options.machines);
+  std::vector<std::string> jobs;
+  int64_t placed_tasks = 0;
+  int job_index = 0;
+  while (placed_tasks < target_tasks) {
+    const int size = SampleJobSize(rng);
+    const bool latency_sensitive = rng.Bernoulli(options.latency_sensitive_fraction);
+    const bool production = rng.Bernoulli(options.production_job_fraction);
+
+    JobSpec job;
+    job.task_count = size;
+    if (latency_sensitive) {
+      job.task = FillerServiceSpec(rng.Uniform(0.05, 0.5));
+      job.task.base_threads = static_cast<int>(rng.UniformInt(8, 320));
+    } else {
+      job.task = FillerBatchSpec(rng.Uniform(0.1, 0.8));
+      job.task.base_threads = static_cast<int>(rng.UniformInt(2, 40));
+    }
+    job.task.priority = production ? JobPriority::kProduction
+                                   : (rng.Bernoulli(0.3) ? JobPriority::kBestEffort
+                                                         : JobPriority::kNonProduction);
+    // Vary the microarchitectural character across jobs.
+    job.task.base_cpi *= rng.Uniform(0.7, 1.5);
+    job.task.cache_mb *= rng.Uniform(0.5, 2.5);
+    job.task.memory_intensity =
+        std::clamp(job.task.memory_intensity * rng.Uniform(0.5, 2.0), 0.0, 1.0);
+    job.name = StrFormat("%s-%03d", latency_sensitive ? "svc" : "batch", job_index++);
+
+    const Status status = cluster->scheduler().SubmitJob(job);
+    if (status.ok()) {
+      jobs.push_back(job.name);
+      placed_tasks += size;
+    } else if (size > 200) {
+      // Big jobs may simply not fit near the end; try smaller ones.
+      continue;
+    } else {
+      // Cluster is full.
+      break;
+    }
+  }
+  CPI2_LOG(INFO) << "built cluster: " << options.machines << " machines, " << jobs.size()
+                 << " jobs, " << placed_tasks << " tasks";
+  return jobs;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,43 @@
+// Builds representative clusters with the statistical shape of Figure 1.
+//
+// Section 2 of the paper: jobs with many tasks are the norm (96% of tasks
+// in jobs of >= 10 tasks, 87% in jobs of >= 100), ~7% of jobs run at
+// production priority using ~30% of CPU, and the median machine hosts tens
+// of tasks with up to thousands of threads. The builder synthesizes a job
+// mix with those properties and submits it through the normal scheduler, so
+// per-machine task counts emerge from placement rather than being scripted.
+
+#ifndef CPI2_WORKLOAD_CLUSTER_BUILDER_H_
+#define CPI2_WORKLOAD_CLUSTER_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "util/rng.h"
+
+namespace cpi2 {
+
+struct ClusterMixOptions {
+  int machines = 200;
+  // Target mean tasks per machine (drives how many jobs are generated).
+  double mean_tasks_per_machine = 20.0;
+  // Fraction of generated jobs at production priority (paper: ~7%).
+  double production_job_fraction = 0.07;
+  // Fraction of tasks that are latency-sensitive services.
+  double latency_sensitive_fraction = 0.5;
+  uint64_t seed = 1;
+};
+
+// Adds machines (mixing the two reference platforms) and submits a
+// representative job mix. Returns the names of the submitted jobs.
+std::vector<std::string> BuildRepresentativeCluster(Cluster* cluster,
+                                                    const ClusterMixOptions& options);
+
+// Draws a job size from a heavy-tailed distribution matching the paper's
+// job-size statistics (exposed for tests).
+int SampleJobSize(Rng& rng);
+
+}  // namespace cpi2
+
+#endif  // CPI2_WORKLOAD_CLUSTER_BUILDER_H_

@@ -1,0 +1,142 @@
+#include "workload/mapreduce.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+// Finds a task anywhere in the cluster.
+const Task* FindAnywhere(Cluster& cluster, const std::string& name) {
+  for (Machine* machine : cluster.machines()) {
+    const Task* task = machine->FindTask(name);
+    if (task != nullptr) {
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+MapReduceJob::MapReduceJob(Cluster* cluster, MapReduceOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
+  if (options_.worker.job_name.empty()) {
+    options_.worker = MapReduceWorkerSpec();
+  }
+  options_.worker.job_name = options_.name;
+  shards_.resize(static_cast<size_t>(options_.shards));
+}
+
+Status MapReduceJob::Submit() {
+  start_time_ = cluster_->now();
+  std::vector<std::string> placed;
+  for (int i = 0; i < options_.shards; ++i) {
+    const std::string task_name = StrFormat("%s.%d", options_.name.c_str(), i);
+    const Status status = cluster_->scheduler().PlaceTask(task_name, options_.worker);
+    if (!status.ok()) {
+      for (const std::string& name : placed) {
+        (void)cluster_->scheduler().EvictTask(name);
+      }
+      return status;
+    }
+    placed.push_back(task_name);
+    shards_[static_cast<size_t>(i)].replicas = {task_name};
+  }
+  return Status::Ok();
+}
+
+double MapReduceJob::Progress(const std::string& task_name) const {
+  const Task* task = FindAnywhere(*cluster_, task_name);
+  return task != nullptr ? static_cast<double>(task->instructions()) : 0.0;
+}
+
+void MapReduceJob::FinishShard(Shard& shard) {
+  for (const std::string& replica : shard.replicas) {
+    const Task* task = FindAnywhere(*cluster_, replica);
+    if (task != nullptr) {
+      finished_cpu_seconds_ += task->cpu_seconds();
+    }
+    (void)cluster_->scheduler().EvictTask(replica);
+  }
+  shard.replicas.clear();
+  shard.done = true;
+  ++shards_done_;
+}
+
+void MapReduceJob::OnTick(MicroTime now) {
+  if (Done() || start_time_ < 0) {
+    return;
+  }
+
+  // Harvest progress and retire finished shards. The straggler comparison
+  // uses every shard's progress (finished shards count at full work), so a
+  // lone laggard still reads as slow after its peers complete.
+  std::vector<double> all_progress;
+  all_progress.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    if (shard.done) {
+      all_progress.push_back(options_.instructions_per_shard);
+      continue;
+    }
+    for (const std::string& replica : shard.replicas) {
+      shard.best_progress = std::max(shard.best_progress, Progress(replica));
+    }
+    if (shard.best_progress >= options_.instructions_per_shard) {
+      FinishShard(shard);
+      if (Done()) {
+        completion_time_ = now;
+        return;
+      }
+      all_progress.push_back(options_.instructions_per_shard);
+      continue;
+    }
+    all_progress.push_back(shard.best_progress);
+  }
+
+  // Speculative execution: back up shards that have fallen far behind the
+  // median shard.
+  if (!options_.speculative_execution || all_progress.empty() ||
+      now - start_time_ < options_.speculation_grace) {
+    return;
+  }
+  std::nth_element(all_progress.begin(),
+                   all_progress.begin() + static_cast<long>(all_progress.size() / 2),
+                   all_progress.end());
+  const double median = all_progress[all_progress.size() / 2];
+  if (median <= 0.0) {
+    return;
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    if (shard.done || shard.backup_launched || shard.best_progress <= 0.0) {
+      continue;
+    }
+    if (median / shard.best_progress < options_.straggler_factor) {
+      continue;
+    }
+    const std::string backup = StrFormat("%s.%zu.backup", options_.name.c_str(), i);
+    if (cluster_->scheduler().PlaceTask(backup, options_.worker).ok()) {
+      shard.replicas.push_back(backup);
+      shard.backup_launched = true;
+      ++backups_launched_;
+    }
+  }
+}
+
+double MapReduceJob::total_cpu_seconds() const {
+  double total = finished_cpu_seconds_;
+  for (const Shard& shard : shards_) {
+    for (const std::string& replica : shard.replicas) {
+      const Task* task = FindAnywhere(*cluster_, replica);
+      if (task != nullptr) {
+        total += task->cpu_seconds();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace cpi2

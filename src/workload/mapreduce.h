@@ -1,0 +1,90 @@
+// A MapReduce-style batch framework with speculative execution.
+//
+// Section 2 of the paper: "a typical MapReduce job doesn't finish until all
+// its processing has been completed, so slow shards will delay the delivery
+// of results. Although identifying laggards and starting up replacements
+// for them in a timely fashion often improves performance, it typically
+// does so at the cost of additional resources ... Better would be to
+// eliminate the original slowdown."
+//
+// MapReduceJob is a tick-driven master: it places one worker task per shard
+// through the cluster scheduler, tracks shard progress by the instructions
+// its workers retire, optionally launches backup replicas for stragglers
+// (Dean & Ghemawat's speculative execution), and records completion time
+// and total CPU spent. bench_mapreduce_stragglers uses it to quantify the
+// paper's argument: CPI2 removes the slowdown itself, beating speculation
+// on both completion time and wasted resources.
+
+#ifndef CPI2_WORKLOAD_MAPREDUCE_H_
+#define CPI2_WORKLOAD_MAPREDUCE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace cpi2 {
+
+struct MapReduceOptions {
+  std::string name = "mapreduce";
+  int shards = 16;
+  // A shard is complete once its worker has retired this many instructions.
+  double instructions_per_shard = 6e11;  // ~5 min of one busy core
+  // Worker task template; job_name is overwritten per job.
+  TaskSpec worker;
+
+  // Speculative execution: when a shard's projected finish exceeds
+  // straggler_factor x the median shard's, launch one backup replica.
+  bool speculative_execution = false;
+  double straggler_factor = 1.5;
+  // Don't judge stragglers before this much of the job has run.
+  MicroTime speculation_grace = 3 * kMicrosPerMinute;
+};
+
+class MapReduceJob {
+ public:
+  MapReduceJob(Cluster* cluster, MapReduceOptions options);
+
+  // Places one worker per shard via the scheduler. All-or-nothing.
+  Status Submit();
+
+  // Advances the master: harvest progress, retire finished shards (their
+  // tasks are evicted to free resources), launch backups for stragglers.
+  // Call from a cluster tick listener.
+  void OnTick(MicroTime now);
+
+  bool Done() const { return shards_done_ == static_cast<int>(shards_.size()); }
+  // Time of the last shard's completion (only valid once Done()).
+  MicroTime completion_time() const { return completion_time_; }
+  int shards_done() const { return shards_done_; }
+  int backups_launched() const { return backups_launched_; }
+  // Total CPU consumed by all replicas, including redundant backup work.
+  double total_cpu_seconds() const;
+
+ private:
+  struct Shard {
+    // Replica task names still running (primary first).
+    std::vector<std::string> replicas;
+    double best_progress = 0.0;  // instructions retired by the best replica
+    bool done = false;
+    bool backup_launched = false;
+  };
+
+  // Instructions retired by `task_name`, 0 if it no longer exists.
+  double Progress(const std::string& task_name) const;
+  void FinishShard(Shard& shard);
+
+  Cluster* cluster_;
+  MapReduceOptions options_;
+  std::vector<Shard> shards_;
+  MicroTime start_time_ = -1;
+  MicroTime completion_time_ = -1;
+  int shards_done_ = 0;
+  int backups_launched_ = 0;
+  // CPU-seconds banked from already-evicted replicas.
+  double finished_cpu_seconds_ = 0.0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_WORKLOAD_MAPREDUCE_H_

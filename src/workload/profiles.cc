@@ -1,0 +1,360 @@
+#include "workload/profiles.h"
+
+#include <algorithm>
+
+namespace cpi2 {
+
+TaskSpec WebSearchLeafSpec() {
+  TaskSpec spec;
+  spec.job_name = "websearch-leaf";
+  spec.sched_class = WorkloadClass::kLatencySensitive;
+  spec.priority = JobPriority::kProduction;
+  spec.cpu_request = 1.2;
+  spec.base_cpu_demand = 0.6;
+  spec.demand_cv = 0.08;
+  spec.diurnal = {0.25, 14 * kMicrosPerHour};
+  spec.base_cpi = 1.8;  // Figure 7: mean 1.8.
+  spec.cpi_noise_cv = 0.05;
+  spec.cache_mb = 4.0;
+  spec.memory_intensity = 0.4;
+  spec.contention_sensitivity = 0.8;  // Scoring is cache-hungry.
+  spec.instr_per_txn = 1e7;
+  spec.base_latency_ms = 40.0;  // Intro: 40 ms normal leaf latency.
+  spec.latency_io_fraction = 0.08;
+  spec.base_threads = 24;
+  return spec;
+}
+
+TaskSpec WebSearchIntermediateSpec() {
+  TaskSpec spec = WebSearchLeafSpec();
+  spec.job_name = "websearch-intermediate";
+  spec.base_cpu_demand = 0.4;
+  spec.base_cpi = 1.4;
+  spec.cache_mb = 3.0;
+  spec.contention_sensitivity = 0.6;
+  spec.base_latency_ms = 80.0;
+  spec.latency_io_fraction = 0.35;  // Waits on leaves part of the time.
+  return spec;
+}
+
+TaskSpec WebSearchRootSpec() {
+  TaskSpec spec = WebSearchLeafSpec();
+  spec.job_name = "websearch-root";
+  spec.base_cpu_demand = 0.25;
+  spec.base_cpi = 1.2;
+  spec.cache_mb = 2.0;
+  spec.contention_sensitivity = 0.5;
+  spec.base_latency_ms = 120.0;
+  // Figure 4(c): root latency is "largely determined by the response time
+  // of other nodes, not the root node itself" — and straggling children
+  // make those waits noisy.
+  spec.latency_io_fraction = 0.95;
+  spec.latency_io_noise_cv = 0.5;
+  return spec;
+}
+
+TaskSpec TableJobASpec() {
+  TaskSpec spec;
+  spec.job_name = "table-job-a";
+  spec.sched_class = WorkloadClass::kLatencySensitive;
+  spec.priority = JobPriority::kProduction;
+  spec.cpu_request = 0.8;
+  spec.base_cpu_demand = 0.5;
+  spec.base_cpi = 0.88;
+  spec.cpi_noise_cv = 0.07;  // Table 1: 0.88 +/- 0.09.
+  spec.cache_mb = 1.5;
+  spec.memory_intensity = 0.15;
+  spec.contention_sensitivity = 0.3;
+  spec.base_latency_ms = 20.0;
+  return spec;
+}
+
+TaskSpec TableJobBSpec() {
+  TaskSpec spec = TableJobASpec();
+  spec.job_name = "table-job-b";
+  spec.base_cpi = 1.36;
+  spec.cpi_noise_cv = 0.15;  // Table 1: 1.36 +/- 0.26.
+  spec.cache_mb = 3.0;
+  spec.memory_intensity = 0.35;
+  spec.contention_sensitivity = 0.6;
+  return spec;
+}
+
+TaskSpec TableJobCSpec() {
+  TaskSpec spec = TableJobASpec();
+  spec.job_name = "table-job-c";
+  spec.base_cpi = 2.03;
+  spec.cpi_noise_cv = 0.08;  // Table 1: 2.03 +/- 0.20.
+  spec.cache_mb = 5.0;
+  spec.memory_intensity = 0.5;
+  spec.contention_sensitivity = 0.5;
+  return spec;
+}
+
+TaskSpec BatchAnalyticsSpec() {
+  TaskSpec spec;
+  spec.job_name = "batch-analytics";
+  spec.sched_class = WorkloadClass::kBatch;
+  spec.priority = JobPriority::kNonProduction;
+  spec.cpu_request = 1.0;
+  spec.base_cpu_demand = 1.1;
+  spec.demand_cv = 0.12;
+  // Input-data phases move throughput over tens of minutes (Figure 2 shows
+  // ~1x-1.8x swings of 10-minute means over two hours).
+  spec.demand_walk_sigma = 0.08;
+  spec.demand_walk_revert = 0.03;
+  spec.base_cpi = 1.36;
+  spec.cpi_noise_cv = 0.06;
+  spec.cache_mb = 3.0;
+  spec.memory_intensity = 0.45;
+  spec.contention_sensitivity = 0.5;
+  spec.instr_per_txn = 5e7;
+  spec.base_threads = 8;
+  return spec;
+}
+
+TaskSpec MapReduceWorkerSpec() {
+  TaskSpec spec;
+  spec.job_name = "mapreduce-worker";
+  spec.sched_class = WorkloadClass::kBatch;
+  spec.priority = JobPriority::kBestEffort;
+  spec.cpu_request = 0.5;
+  spec.base_cpu_demand = 1.5;
+  spec.demand_cv = 0.25;
+  spec.base_cpi = 1.3;
+  spec.cache_mb = 3.0;
+  spec.memory_intensity = 0.5;
+  spec.contention_sensitivity = 0.3;
+  spec.instr_per_txn = 5e7;
+  spec.cap_behavior = CapBehavior::kSelfTerminate;
+  spec.base_threads = 4;
+  return spec;
+}
+
+TaskSpec ReplayerBatchSpec() {
+  TaskSpec spec;
+  spec.job_name = "replayer-batch";
+  spec.sched_class = WorkloadClass::kBatch;
+  spec.priority = JobPriority::kBestEffort;
+  spec.cpu_request = 0.3;
+  spec.base_cpu_demand = 0.65;
+  spec.demand_cv = 0.15;
+  spec.base_cpi = 1.1;
+  spec.cache_mb = 7.0;
+  spec.memory_intensity = 0.55;
+  spec.contention_sensitivity = 0.2;
+  spec.cap_behavior = CapBehavior::kLameDuck;
+  spec.base_threads = 8;  // Case 5: ~8 threads normally, ~80 when capped.
+  spec.lame_duck_duration = 40 * kMicrosPerMinute;
+  return spec;
+}
+
+TaskSpec VideoProcessingSpec() {
+  TaskSpec spec;
+  spec.job_name = "video-processing";
+  spec.sched_class = WorkloadClass::kBatch;
+  spec.priority = JobPriority::kBestEffort;
+  spec.cpu_request = 1.0;
+  spec.base_cpu_demand = 5.5;  // Case 1: antagonist CPU usage swings up to ~7.
+  spec.demand_cv = 0.35;
+  spec.base_cpi = 0.9;
+  spec.cache_mb = 18.0;  // Exceeds the 12 MB L3: maximal pollution.
+  spec.memory_intensity = 0.9;
+  spec.contention_sensitivity = 0.05;
+  spec.base_threads = 16;
+  return spec;
+}
+
+TaskSpec ScientificSimulationSpec() {
+  TaskSpec spec;
+  spec.job_name = "scientific-simulation";
+  spec.sched_class = WorkloadClass::kBatch;
+  spec.priority = JobPriority::kNonProduction;
+  spec.cpu_request = 1.0;
+  spec.base_cpu_demand = 1.6;
+  spec.demand_cv = 0.2;
+  spec.base_cpi = 1.5;
+  spec.cache_mb = 8.0;
+  spec.memory_intensity = 0.6;
+  spec.contention_sensitivity = 0.2;
+  spec.base_threads = 8;
+  return spec;
+}
+
+TaskSpec CacheThrasherSpec(double aggressiveness) {
+  const double a = std::clamp(aggressiveness, 0.0, 1.0);
+  TaskSpec spec;
+  spec.job_name = "cache-thrasher";
+  spec.sched_class = WorkloadClass::kBatch;
+  spec.priority = JobPriority::kBestEffort;
+  spec.cpu_request = 0.5;
+  // Aggressiveness mostly buys cache/bus abuse, not raw CPU: a thrasher's
+  // damage is disproportionate to its CPU usage (that asymmetry is why
+  // Figure 14 finds antagonism uncorrelated with machine load).
+  spec.base_cpu_demand = 1.2 + 2.0 * a;
+  spec.demand_cv = 0.2;
+  spec.base_cpi = 1.0 + a;
+  spec.cache_mb = 4.0 + 20.0 * a;
+  spec.memory_intensity = 0.35 + 0.65 * a;
+  spec.contention_sensitivity = 0.1;
+  return spec;
+}
+
+TaskSpec StreamingScanSpec() {
+  TaskSpec spec;
+  spec.job_name = "streaming-scan";
+  spec.sched_class = WorkloadClass::kBatch;
+  spec.priority = JobPriority::kBestEffort;
+  spec.cpu_request = 0.5;
+  spec.base_cpu_demand = 2.0;
+  spec.demand_cv = 0.15;
+  spec.base_cpi = 2.2;
+  spec.cache_mb = 14.0;
+  spec.memory_intensity = 1.0;
+  spec.contention_sensitivity = 0.05;
+  return spec;
+}
+
+TaskSpec SpinnerSpec() {
+  TaskSpec spec;
+  spec.job_name = "spinner";
+  spec.sched_class = WorkloadClass::kBatch;
+  spec.priority = JobPriority::kBestEffort;
+  spec.cpu_request = 1.0;
+  spec.base_cpu_demand = 3.0;
+  spec.demand_cv = 0.1;
+  spec.base_cpi = 0.5;   // Register-resident arithmetic.
+  spec.cache_mb = 0.2;   // Touches almost no cache...
+  spec.memory_intensity = 0.02;
+  spec.contention_sensitivity = 0.05;
+  return spec;
+}
+
+TaskSpec ContentDigitizingSpec() {
+  TaskSpec spec;
+  spec.job_name = "content-digitizing";
+  spec.sched_class = WorkloadClass::kLatencySensitive;
+  spec.priority = JobPriority::kNonProduction;
+  spec.cpu_request = 1.0;
+  spec.base_cpu_demand = 0.9;
+  spec.demand_cv = 0.2;
+  spec.base_cpi = 1.5;
+  spec.cache_mb = 5.0;
+  spec.memory_intensity = 0.5;
+  spec.contention_sensitivity = 0.4;
+  spec.base_latency_ms = 60.0;
+  return spec;
+}
+
+TaskSpec ImageFrontendSpec() {
+  TaskSpec spec;
+  spec.job_name = "image-frontend";
+  spec.sched_class = WorkloadClass::kLatencySensitive;
+  spec.priority = JobPriority::kProduction;
+  spec.cpu_request = 0.8;
+  spec.base_cpu_demand = 0.5;
+  spec.demand_cv = 0.2;
+  spec.base_cpi = 1.3;
+  spec.cache_mb = 4.0;
+  spec.memory_intensity = 0.4;
+  spec.contention_sensitivity = 0.5;
+  spec.base_latency_ms = 50.0;
+  return spec;
+}
+
+TaskSpec BigtableTabletSpec() {
+  TaskSpec spec;
+  spec.job_name = "bigtable-tablet";
+  spec.sched_class = WorkloadClass::kLatencySensitive;
+  spec.priority = JobPriority::kProduction;
+  spec.cpu_request = 1.0;
+  spec.base_cpu_demand = 0.6;
+  spec.demand_cv = 0.3;
+  spec.base_cpi = 1.6;
+  spec.cache_mb = 6.0;
+  spec.memory_intensity = 0.55;
+  spec.contention_sensitivity = 0.6;
+  spec.base_latency_ms = 10.0;
+  spec.latency_io_fraction = 0.4;
+  return spec;
+}
+
+TaskSpec StorageServerSpec() {
+  TaskSpec spec;
+  spec.job_name = "storage-server";
+  spec.sched_class = WorkloadClass::kLatencySensitive;
+  spec.priority = JobPriority::kProduction;
+  spec.cpu_request = 0.6;
+  spec.base_cpu_demand = 0.4;
+  spec.demand_cv = 0.35;
+  spec.base_cpi = 1.1;
+  spec.cache_mb = 2.0;
+  spec.memory_intensity = 0.3;
+  spec.contention_sensitivity = 0.3;
+  spec.base_latency_ms = 15.0;
+  spec.latency_io_fraction = 0.7;
+  return spec;
+}
+
+TaskSpec BimodalFrontendSpec() {
+  TaskSpec spec;
+  spec.job_name = "bimodal-frontend";
+  spec.sched_class = WorkloadClass::kLatencySensitive;
+  spec.priority = JobPriority::kProduction;
+  spec.cpu_request = 0.5;
+  // Case 3: CPU usage alternates between ~0.3 and near zero; CPI swings
+  // from ~3 to ~10 entirely self-inflicted.
+  spec.base_cpu_demand = 0.32;
+  spec.alt_cpu_demand = 0.04;
+  spec.mode_half_period = 8 * kMicrosPerMinute;
+  spec.demand_cv = 0.15;
+  spec.base_cpi = 3.0;
+  // A noisy front-end: its spec is wide, which (together with the usage
+  // floor) is why nothing correlates with its self-inflicted swings.
+  spec.cpi_noise_cv = 0.22;
+  spec.cpi_task_cv = 0.12;
+  spec.idle_cpi_inflation = 2.6;
+  spec.cache_mb = 2.0;
+  spec.memory_intensity = 0.3;
+  spec.contention_sensitivity = 0.4;
+  spec.base_latency_ms = 30.0;
+  return spec;
+}
+
+TaskSpec FillerServiceSpec(double cpu_demand) {
+  TaskSpec spec;
+  spec.job_name = "filler-service";
+  spec.sched_class = WorkloadClass::kLatencySensitive;
+  spec.priority = JobPriority::kNonProduction;
+  spec.cpu_request = cpu_demand * 1.3;
+  spec.base_cpu_demand = cpu_demand;
+  spec.demand_cv = 0.2;
+  spec.diurnal = {0.25, 14 * kMicrosPerHour};
+  spec.base_cpi = 1.2;
+  spec.cpi_noise_cv = 0.06;
+  spec.cache_mb = 2.0;
+  spec.memory_intensity = 0.25;
+  spec.contention_sensitivity = 0.4;
+  spec.base_latency_ms = 25.0;
+  spec.base_threads = 12;
+  return spec;
+}
+
+TaskSpec FillerBatchSpec(double cpu_demand) {
+  TaskSpec spec;
+  spec.job_name = "filler-batch";
+  spec.sched_class = WorkloadClass::kBatch;
+  spec.priority = JobPriority::kNonProduction;
+  spec.cpu_request = cpu_demand * 0.8;  // Batch requests are overcommitted.
+  spec.base_cpu_demand = cpu_demand;
+  spec.demand_cv = 0.3;
+  spec.base_cpi = 1.4;
+  spec.cpi_noise_cv = 0.08;
+  spec.cache_mb = 3.0;
+  spec.memory_intensity = 0.35;
+  spec.contention_sensitivity = 0.3;
+  spec.base_threads = 6;
+  return spec;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,69 @@
+// Gallery of workload profiles used across the experiments.
+//
+// Each function returns a TaskSpec modelled on a job that appears in the
+// paper: the web-search tiers of Figures 3-5, the representative
+// latency-sensitive jobs of Table 1, and the antagonists from the case
+// studies of section 6 (video processing, scientific simulation, a
+// replayer batch job with lame-duck behaviour, a MapReduce worker that
+// self-terminates under capping). Parameters are chosen so the simulated
+// magnitudes land near the paper's reported numbers.
+
+#ifndef CPI2_WORKLOAD_PROFILES_H_
+#define CPI2_WORKLOAD_PROFILES_H_
+
+#include "sim/task.h"
+
+namespace cpi2 {
+
+// --- web-search tiers (Figures 3, 4, 5, 7) --------------------------------
+// Leaf: compute-bound scorer; latency tracks CPI closely (corr ~0.97).
+TaskSpec WebSearchLeafSpec();
+// Intermediate mixer: some fan-out waiting, still CPI-correlated.
+TaskSpec WebSearchIntermediateSpec();
+// Root: latency dominated by waiting on children; CPI barely matters.
+TaskSpec WebSearchRootSpec();
+
+// --- Table 1's representative latency-sensitive jobs ----------------------
+TaskSpec TableJobASpec();  // CPI 0.88 +/- 0.09
+TaskSpec TableJobBSpec();  // CPI 1.36 +/- 0.26
+TaskSpec TableJobCSpec();  // CPI 2.03 +/- 0.20
+
+// --- batch jobs ------------------------------------------------------------
+// Large MapReduce-style batch worker reporting transactions (Figure 2).
+TaskSpec BatchAnalyticsSpec();
+// MapReduce worker that gives up under repeated capping (case 6).
+TaskSpec MapReduceWorkerSpec();
+// Replayer batch job with lame-duck mode under capping (case 5).
+TaskSpec ReplayerBatchSpec();
+
+// --- antagonists from the case studies -------------------------------------
+// Video processing: the case-1 culprit. Heavy cache + bandwidth abuser.
+TaskSpec VideoProcessingSpec();
+// Scientific simulation: the only throttleable suspect in case 4.
+TaskSpec ScientificSimulationSpec();
+// Synthetic cache thrasher with tunable aggressiveness in [0, 1].
+TaskSpec CacheThrasherSpec(double aggressiveness);
+// Streaming scan: saturates memory bandwidth, little cache reuse.
+TaskSpec StreamingScanSpec();
+// Spinner: burns CPU in registers; high usage but harmless (an "innocent
+// bystander" that tests false-positive behaviour).
+TaskSpec SpinnerSpec();
+
+// --- latency-sensitive co-tenants (case-1 suspect table) -------------------
+TaskSpec ContentDigitizingSpec();
+TaskSpec ImageFrontendSpec();
+TaskSpec BigtableTabletSpec();
+TaskSpec StorageServerSpec();
+
+// Front-end web service with self-inflicted bimodal CPU usage (case 3).
+TaskSpec BimodalFrontendSpec();
+
+// Small latency-sensitive filler service with the given CPU appetite,
+// used to populate machines with realistic co-tenants.
+TaskSpec FillerServiceSpec(double cpu_demand);
+// Small batch filler.
+TaskSpec FillerBatchSpec(double cpu_demand);
+
+}  // namespace cpi2
+
+#endif  // CPI2_WORKLOAD_PROFILES_H_

@@ -1,0 +1,120 @@
+#include "workload/search_service.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+// Finds a task anywhere in the cluster (tasks may have been placed directly
+// or through the scheduler).
+const Task* FindAnywhere(Cluster& cluster, const std::string& name) {
+  for (Machine* machine : cluster.machines()) {
+    const Task* task = machine->FindTask(name);
+    if (task != nullptr) {
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<SearchService> DeploySearchService(Cluster* cluster,
+                                            const SearchServiceOptions& options) {
+  if (options.leaves <= 0 || options.intermediates <= 0 ||
+      options.leaves < options.intermediates) {
+    return InvalidArgumentError("need at least one leaf per intermediate");
+  }
+  SearchService service;
+  service.options = options;
+  Scheduler& scheduler = cluster->scheduler();
+
+  // The tiers' own CPU latency models stay, but the fan-out parts of their
+  // latency are computed by EvaluateQuery, so strip the io fraction.
+  TaskSpec leaf = WebSearchLeafSpec();
+  leaf.latency_io_fraction = 0.05;
+  TaskSpec intermediate = WebSearchIntermediateSpec();
+  intermediate.latency_io_fraction = 0.05;
+  intermediate.base_latency_ms = 10.0;  // own mixing cost only
+  TaskSpec root = WebSearchRootSpec();
+  root.latency_io_fraction = 0.05;
+  root.base_latency_ms = 8.0;  // own assembly cost only
+
+  JobSpec leaves;
+  leaves.name = leaf.job_name;
+  leaves.task_count = options.leaves;
+  leaves.task = leaf;
+  if (const Status status = scheduler.SubmitJob(leaves); !status.ok()) {
+    return status;
+  }
+  JobSpec intermediates;
+  intermediates.name = intermediate.job_name;
+  intermediates.task_count = options.intermediates;
+  intermediates.task = intermediate;
+  if (const Status status = scheduler.SubmitJob(intermediates); !status.ok()) {
+    return status;
+  }
+  JobSpec roots;
+  roots.name = root.job_name;
+  roots.task_count = 1;
+  roots.task = root;
+  if (const Status status = scheduler.SubmitJob(roots); !status.ok()) {
+    return status;
+  }
+
+  for (int i = 0; i < options.leaves; ++i) {
+    service.leaf_tasks.push_back(StrFormat("%s.%d", leaf.job_name.c_str(), i));
+  }
+  for (int i = 0; i < options.intermediates; ++i) {
+    service.intermediate_tasks.push_back(StrFormat("%s.%d", intermediate.job_name.c_str(), i));
+  }
+  service.root_task = StrFormat("%s.0", root.job_name.c_str());
+  return service;
+}
+
+QueryOutcome EvaluateQuery(Cluster& cluster, const SearchService& service) {
+  QueryOutcome outcome;
+  const int fanout = static_cast<int>(service.intermediate_tasks.size());
+  std::vector<double> intermediate_wait(static_cast<size_t>(fanout), 0.0);
+
+  // Leaves: late replies are discarded rather than waited for.
+  for (size_t i = 0; i < service.leaf_tasks.size(); ++i) {
+    const Task* leaf = FindAnywhere(cluster, service.leaf_tasks[i]);
+    if (leaf == nullptr) {
+      ++outcome.discarded_leaves;  // dead leaf: no reply at all
+      continue;
+    }
+    const double latency = leaf->last_latency_ms();
+    const size_t parent = i % static_cast<size_t>(fanout);
+    if (latency > service.options.discard_deadline_ms) {
+      ++outcome.discarded_leaves;
+      intermediate_wait[parent] =
+          std::max(intermediate_wait[parent], service.options.discard_deadline_ms);
+    } else {
+      intermediate_wait[parent] = std::max(intermediate_wait[parent], latency);
+    }
+  }
+  outcome.result_quality =
+      service.leaf_tasks.empty()
+          ? 0.0
+          : 1.0 - static_cast<double>(outcome.discarded_leaves) /
+                      static_cast<double>(service.leaf_tasks.size());
+
+  // Intermediates add their own mixing cost on top of their slowest leaf.
+  double slowest_branch = 0.0;
+  for (size_t i = 0; i < service.intermediate_tasks.size(); ++i) {
+    const Task* intermediate = FindAnywhere(cluster, service.intermediate_tasks[i]);
+    const double own = intermediate != nullptr ? intermediate->last_latency_ms() : 0.0;
+    slowest_branch = std::max(slowest_branch, own + intermediate_wait[i]);
+  }
+
+  const Task* root = FindAnywhere(cluster, service.root_task);
+  const double root_own = root != nullptr ? root->last_latency_ms() : 0.0;
+  outcome.latency_ms = root_own + slowest_branch;
+  return outcome;
+}
+
+}  // namespace cpi2

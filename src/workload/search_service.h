@@ -1,0 +1,61 @@
+// Multi-tier web-search service with true query fan-out.
+//
+// Section 2 of the paper: "A typical web-search query involves thousands of
+// machines working in parallel ... replies from leaves that take too long
+// to arrive are simply discarded, lowering the quality of the search
+// result." The per-task latency models in sim/task.h treat the fan-out wait
+// as noise; SearchService couples the tiers for real: a query's end-to-end
+// latency is the root's own compute plus the slowest intermediate, each of
+// which waits on the slowest of its leaves (up to the discard deadline).
+// One interfered leaf drags the whole query — which is exactly why CPI2's
+// per-leaf protection matters to user-visible latency.
+
+#ifndef CPI2_WORKLOAD_SEARCH_SERVICE_H_
+#define CPI2_WORKLOAD_SEARCH_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace cpi2 {
+
+struct SearchServiceOptions {
+  int leaves = 12;
+  int intermediates = 3;  // leaves are partitioned evenly among these
+  // Replies arriving after the deadline are discarded (quality loss), so a
+  // query's latency is bounded by it.
+  double discard_deadline_ms = 200.0;
+};
+
+// Handles to the deployed tasks.
+struct SearchService {
+  SearchServiceOptions options;
+  std::string root_task;
+  std::vector<std::string> intermediate_tasks;
+  std::vector<std::string> leaf_tasks;  // leaf i belongs to intermediate i % intermediates
+};
+
+// Deploys root/intermediate/leaf tasks through the cluster's scheduler.
+// Returns an error if placement fails.
+StatusOr<SearchService> DeploySearchService(Cluster* cluster,
+                                            const SearchServiceOptions& options);
+
+// One end-to-end query outcome at the current simulation instant.
+struct QueryOutcome {
+  double latency_ms = 0.0;
+  // Leaves whose reply missed the deadline and was discarded.
+  int discarded_leaves = 0;
+  // Fraction of the corpus that contributed to the result, in (0, 1].
+  double result_quality = 1.0;
+};
+
+// Evaluates a query against the tasks' current per-tier latencies:
+//   leaf wait      = min(leaf latency, deadline)  [late replies discarded]
+//   intermediate i = own latency + max over its leaves' waits
+//   end to end     = root latency + max over intermediates
+QueryOutcome EvaluateQuery(Cluster& cluster, const SearchService& service);
+
+}  // namespace cpi2
+
+#endif  // CPI2_WORKLOAD_SEARCH_SERVICE_H_

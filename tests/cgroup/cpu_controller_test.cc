@@ -1,0 +1,137 @@
+#include "cgroup/cpu_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "cgroup/fs_cpu_controller.h"
+
+namespace cpi2 {
+namespace {
+
+TEST(FakeCpuControllerTest, SetGetRemove) {
+  FakeCpuController controller;
+  EXPECT_FALSE(controller.GetCap("t").has_value());
+  ASSERT_TRUE(controller.SetCap("t", 0.1).ok());
+  ASSERT_TRUE(controller.GetCap("t").has_value());
+  EXPECT_DOUBLE_EQ(*controller.GetCap("t"), 0.1);
+  ASSERT_TRUE(controller.RemoveCap("t").ok());
+  EXPECT_FALSE(controller.GetCap("t").has_value());
+  EXPECT_EQ(controller.set_calls(), 1);
+  EXPECT_EQ(controller.remove_calls(), 1);
+}
+
+TEST(FakeCpuControllerTest, RejectsNonPositiveCap) {
+  FakeCpuController controller;
+  EXPECT_FALSE(controller.SetCap("t", 0.0).ok());
+  EXPECT_FALSE(controller.SetCap("t", -1.0).ok());
+}
+
+class FsCpuControllerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("cpi2_cgroup_test_" + std::to_string(getpid()));
+    std::filesystem::create_directories(root_ / "job1");
+    // Seed an uncapped cpu.max, as the kernel would present.
+    std::ofstream(root_ / "job1" / "cpu.max") << "max 100000\n";
+  }
+
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string ReadCpuMax() {
+    std::ifstream in(root_ / "job1" / "cpu.max");
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    return content;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(FsCpuControllerTest, SetCapWritesQuotaAndPeriod) {
+  FsCpuController controller(root_.string());
+  ASSERT_TRUE(controller.SetCap("job1", 0.1).ok());
+  // 0.1 CPU-s/s over a 250 ms period = 25 ms quota (the paper's example).
+  EXPECT_EQ(ReadCpuMax(), "25000 250000");
+  const auto cap = controller.GetCap("job1");
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_NEAR(*cap, 0.1, 1e-9);
+}
+
+TEST_F(FsCpuControllerTest, RemoveCapWritesMax) {
+  FsCpuController controller(root_.string());
+  ASSERT_TRUE(controller.SetCap("job1", 0.5).ok());
+  ASSERT_TRUE(controller.RemoveCap("job1").ok());
+  EXPECT_EQ(ReadCpuMax(), "max 250000");
+  EXPECT_FALSE(controller.GetCap("job1").has_value());
+}
+
+TEST_F(FsCpuControllerTest, MissingCgroupFailsCleanly) {
+  FsCpuController controller(root_.string());
+  const Status status = controller.SetCap("no-such-job", 0.1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(controller.GetCap("no-such-job").has_value());
+}
+
+TEST_F(FsCpuControllerTest, RejectsSubMillisecondQuota) {
+  FsCpuController controller(root_.string());
+  // 0.001 CPU-s/s * 250 ms = 250 us quota: below the kernel's 1 ms floor.
+  const Status status = controller.SetCap("job1", 0.001);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+class FsCpuControllerV1Test : public FsCpuControllerTest {
+ protected:
+  void SetUp() override {
+    FsCpuControllerTest::SetUp();
+    std::ofstream(root_ / "job1" / "cpu.cfs_quota_us") << "-1\n";
+    std::ofstream(root_ / "job1" / "cpu.cfs_period_us") << "100000\n";
+  }
+
+  std::string ReadFile(const char* name) {
+    std::ifstream in(root_ / "job1" / name);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    return content;
+  }
+};
+
+TEST_F(FsCpuControllerV1Test, SetCapWritesQuotaAndPeriodFiles) {
+  FsCpuController controller(root_.string(), kDefaultCapPeriod, CgroupVersion::kV1);
+  ASSERT_TRUE(controller.SetCap("job1", 0.1).ok());
+  EXPECT_EQ(ReadFile("cpu.cfs_quota_us"), "25000");
+  EXPECT_EQ(ReadFile("cpu.cfs_period_us"), "250000");
+  const auto cap = controller.GetCap("job1");
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_NEAR(*cap, 0.1, 1e-9);
+}
+
+TEST_F(FsCpuControllerV1Test, RemoveCapWritesMinusOne) {
+  FsCpuController controller(root_.string(), kDefaultCapPeriod, CgroupVersion::kV1);
+  ASSERT_TRUE(controller.SetCap("job1", 0.5).ok());
+  ASSERT_TRUE(controller.RemoveCap("job1").ok());
+  EXPECT_EQ(ReadFile("cpu.cfs_quota_us"), "-1");
+  EXPECT_FALSE(controller.GetCap("job1").has_value());
+}
+
+TEST_F(FsCpuControllerV1Test, MissingHierarchyFailsCleanly) {
+  FsCpuController controller(root_.string(), kDefaultCapPeriod, CgroupVersion::kV1);
+  EXPECT_FALSE(controller.SetCap("absent", 0.1).ok());
+  EXPECT_FALSE(controller.GetCap("absent").has_value());
+}
+
+TEST_F(FsCpuControllerTest, BestEffortCapUsesLargerPeriod) {
+  // The paper's 0.01 CPU-s/s best-effort cap needs a period of >= 100 ms to
+  // clear the 1 ms quota floor; with the default 250 ms it yields 2.5 ms.
+  FsCpuController controller(root_.string());
+  ASSERT_TRUE(controller.SetCap("job1", 0.01).ok());
+  EXPECT_EQ(ReadCpuMax(), "2500 250000");
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,130 @@
+#include "core/adaptive_throttle.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+AdaptiveThrottler::Options FastOptions() {
+  AdaptiveThrottler::Options options;
+  options.initial_cap = 0.5;
+  options.adjust_interval = kMicrosPerMinute;
+  return options;
+}
+
+TEST(AdaptiveThrottlerTest, BeginSetsInitialCap) {
+  FakeCpuController controller;
+  AdaptiveThrottler throttler(FastOptions(), &controller);
+  ASSERT_TRUE(throttler.Begin("bad.0", 0).ok());
+  EXPECT_TRUE(throttler.IsThrottling("bad.0"));
+  ASSERT_TRUE(controller.GetCap("bad.0").has_value());
+  EXPECT_DOUBLE_EQ(*controller.GetCap("bad.0"), 0.5);
+  EXPECT_FALSE(throttler.Begin("bad.0", 0).ok()) << "double Begin refused";
+}
+
+TEST(AdaptiveThrottlerTest, TightensWhileVictimSuffers) {
+  FakeCpuController controller;
+  AdaptiveThrottler throttler(FastOptions(), &controller);
+  ASSERT_TRUE(throttler.Begin("bad.0", 0).ok());
+  // Victim CPI at 2x spec mean: unhealthy -> cap halves each minute.
+  double cap = 0.5;
+  for (int minute = 1; minute <= 4; ++minute) {
+    cap = throttler.ObserveVictim("bad.0", /*victim_cpi=*/4.0, /*spec_cpi_mean=*/2.0,
+                                  minute * kMicrosPerMinute);
+  }
+  EXPECT_NEAR(cap, 0.5 * 0.5 * 0.5 * 0.5 * 0.5, 1e-9);
+  EXPECT_GT(throttler.adjustments_made(), 0);
+}
+
+TEST(AdaptiveThrottlerTest, NeverGoesBelowMinCap) {
+  FakeCpuController controller;
+  AdaptiveThrottler throttler(FastOptions(), &controller);
+  ASSERT_TRUE(throttler.Begin("bad.0", 0).ok());
+  double cap = 0.5;
+  for (int minute = 1; minute <= 30; ++minute) {
+    cap = throttler.ObserveVictim("bad.0", 4.0, 2.0, minute * kMicrosPerMinute);
+  }
+  EXPECT_DOUBLE_EQ(cap, FastOptions().min_cap);
+}
+
+TEST(AdaptiveThrottlerTest, LoosensOnceVictimHealthy) {
+  FakeCpuController controller;
+  AdaptiveThrottler throttler(FastOptions(), &controller);
+  ASSERT_TRUE(throttler.Begin("bad.0", 0).ok());
+  (void)throttler.ObserveVictim("bad.0", 4.0, 2.0, 1 * kMicrosPerMinute);  // tighten
+  const double tightened = *throttler.CurrentCap("bad.0");
+  (void)throttler.ObserveVictim("bad.0", 2.0, 2.0, 2 * kMicrosPerMinute);  // healthy
+  EXPECT_GT(*throttler.CurrentCap("bad.0"), tightened);
+}
+
+TEST(AdaptiveThrottlerTest, AdjustsAtMostOncePerInterval) {
+  FakeCpuController controller;
+  AdaptiveThrottler throttler(FastOptions(), &controller);
+  ASSERT_TRUE(throttler.Begin("bad.0", 0).ok());
+  (void)throttler.ObserveVictim("bad.0", 4.0, 2.0, kMicrosPerMinute);
+  const auto after_first = throttler.adjustments_made();
+  // 10 seconds later: too soon, no further adjustment.
+  (void)throttler.ObserveVictim("bad.0", 4.0, 2.0,
+                                kMicrosPerMinute + 10 * kMicrosPerSecond);
+  EXPECT_EQ(throttler.adjustments_made(), after_first);
+}
+
+TEST(AdaptiveThrottlerTest, ReleasesAfterSustainedHealthAtMaxCap) {
+  FakeCpuController controller;
+  AdaptiveThrottler::Options options = FastOptions();
+  options.max_cap = 1.0;
+  options.release_after_healthy = 3 * kMicrosPerMinute;
+  AdaptiveThrottler throttler(options, &controller);
+  ASSERT_TRUE(throttler.Begin("bad.0", 0).ok());
+  // Healthy forever: cap relaxes to max, then the session self-releases.
+  for (int minute = 1; minute <= 12 && throttler.IsThrottling("bad.0"); ++minute) {
+    (void)throttler.ObserveVictim("bad.0", 1.0, 2.0, minute * kMicrosPerMinute);
+  }
+  EXPECT_FALSE(throttler.IsThrottling("bad.0"));
+  EXPECT_FALSE(controller.GetCap("bad.0").has_value()) << "cap removed on release";
+}
+
+TEST(AdaptiveThrottlerTest, ObserveUnknownAntagonistIsNoop) {
+  FakeCpuController controller;
+  AdaptiveThrottler throttler(FastOptions(), &controller);
+  EXPECT_DOUBLE_EQ(throttler.ObserveVictim("ghost.0", 4.0, 2.0, 0), 0.0);
+  EXPECT_FALSE(throttler.End("ghost.0").ok());
+}
+
+// End-to-end against the machine model: the controller must settle at a cap
+// that keeps the victim near its target while granting the antagonist far
+// more CPU than the paper's fixed 0.01 cap would.
+TEST(AdaptiveThrottlerTest, ConvergesOnRealMachineModel) {
+  Machine machine("m0", ReferencePlatform(), 99);
+  TaskSpec victim = WebSearchLeafSpec();
+  victim.diurnal.amplitude = 0.0;
+  ASSERT_TRUE(machine.AddTask("victim", victim).ok());
+  ASSERT_TRUE(machine.AddTask("bad", CacheThrasherSpec(0.8)).ok());
+
+  AdaptiveThrottler::Options options;
+  options.initial_cap = 2.0;
+  options.target_degradation = 1.3;
+  options.adjust_interval = 30 * kMicrosPerSecond;
+  AdaptiveThrottler throttler(options, &machine);
+  ASSERT_TRUE(throttler.Begin("bad", 0).ok());
+
+  const Task* victim_task = machine.FindTask("victim");
+  const Task* bad_task = machine.FindTask("bad");
+  const double spec_mean = victim.base_cpi;  // approximately, for the test
+  MicroTime now = 0;
+  for (int s = 0; s < 1800; ++s) {
+    now += kMicrosPerSecond;
+    machine.Tick(now, kMicrosPerSecond);
+    (void)throttler.ObserveVictim("bad", victim_task->last_cpi(), spec_mean, now);
+  }
+  // The victim should end near its allowed degradation...
+  EXPECT_LT(victim_task->last_cpi(), 1.3 * 1.4 * spec_mean);
+  // ...while the antagonist still gets meaningfully more than 0.01 CPU-s/s.
+  EXPECT_GT(bad_task->cpu_seconds() / 1800.0, 0.05);
+}
+
+}  // namespace
+}  // namespace cpi2

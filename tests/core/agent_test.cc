@@ -1,0 +1,191 @@
+// Agent tests against a single simulated machine (the same CounterSource /
+// CpuController wiring the harness uses, but driven by hand).
+
+#include "core/agent.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+Cpi2Params TestParams() {
+  Cpi2Params params;
+  params.min_tasks_for_spec = 1;
+  params.min_samples_per_task = 1;
+  return params;
+}
+
+CpiSpec LeafSpec(double mean, double stddev) {
+  CpiSpec spec;
+  spec.jobname = "websearch-leaf";
+  spec.platforminfo = ReferencePlatform().name;
+  spec.num_samples = 100000;
+  spec.cpi_mean = mean;
+  spec.cpi_stddev = stddev;
+  spec.cpu_usage_mean = 0.6;
+  return spec;
+}
+
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest()
+      : machine_("m0", ReferencePlatform(), 1),
+        agent_({TestParams(), "m0", ReferencePlatform().name}, &machine_, &machine_) {
+    agent_.SetSampleCallback([this](const CpiSample& sample) { samples_.push_back(sample); });
+    agent_.SetIncidentCallback(
+        [this](const Incident& incident) { incidents_.push_back(incident); });
+  }
+
+  void AddVictim() {
+    TaskSpec spec = WebSearchLeafSpec();
+    spec.diurnal.amplitude = 0.0;
+    ASSERT_TRUE(machine_.AddTask("websearch-leaf.0", spec).ok());
+    agent_.AddTask(MetaFromSpecLocal("websearch-leaf.0", spec), now_);
+  }
+
+  static TaskMeta MetaFromSpecLocal(const std::string& name, const TaskSpec& spec) {
+    TaskMeta meta;
+    meta.task = name;
+    meta.jobname = spec.job_name;
+    meta.workload_class = spec.sched_class;
+    meta.priority = spec.priority;
+    return meta;
+  }
+
+  void Run(MicroTime duration) {
+    const MicroTime end = now_ + duration;
+    while (now_ < end) {
+      now_ += kMicrosPerSecond;
+      machine_.Tick(now_, kMicrosPerSecond);
+      agent_.Tick(now_);
+    }
+  }
+
+  Machine machine_;
+  Agent agent_;
+  MicroTime now_ = 0;
+  std::vector<CpiSample> samples_;
+  std::vector<Incident> incidents_;
+};
+
+TEST_F(AgentTest, ProducesOneSamplePerTaskPerMinute) {
+  AddVictim();
+  Run(5 * kMicrosPerMinute);
+  EXPECT_GE(samples_.size(), 4u);
+  EXPECT_LE(samples_.size(), 6u);
+  const CpiSample& sample = samples_.front();
+  EXPECT_EQ(sample.jobname, "websearch-leaf");
+  EXPECT_EQ(sample.task, "websearch-leaf.0");
+  EXPECT_EQ(sample.machine, "m0");
+  EXPECT_EQ(sample.platforminfo, ReferencePlatform().name);
+  EXPECT_GT(sample.cpi, 0.0);
+  EXPECT_GT(sample.cpu_usage, 0.0);
+  EXPECT_GT(sample.l3_miss_per_instruction, 0.0);
+}
+
+TEST_F(AgentTest, NoDetectionWithoutSpec) {
+  AddVictim();
+  TaskSpec antagonist = VideoProcessingSpec();
+  ASSERT_TRUE(machine_.AddTask("video.0", antagonist).ok());
+  agent_.AddTask(MetaFromSpecLocal("video.0", antagonist), now_);
+  Run(15 * kMicrosPerMinute);
+  EXPECT_GT(agent_.samples_processed(), 0);
+  EXPECT_EQ(agent_.anomalies_detected(), 0) << "no spec -> no prediction -> no anomaly";
+  EXPECT_TRUE(incidents_.empty());
+}
+
+TEST_F(AgentTest, SpecForWrongPlatformIsIgnored) {
+  AddVictim();
+  CpiSpec wrong = LeafSpec(1.8, 0.1);
+  wrong.platforminfo = "some-other-cpu";
+  agent_.UpdateSpec(wrong);
+  EXPECT_FALSE(agent_.GetSpec("websearch-leaf").has_value());
+  agent_.UpdateSpec(LeafSpec(1.8, 0.1));
+  EXPECT_TRUE(agent_.GetSpec("websearch-leaf").has_value());
+}
+
+TEST_F(AgentTest, DetectsInjectedAntagonistAndCaps) {
+  AddVictim();
+  Run(5 * kMicrosPerMinute);  // build the victim's series
+  agent_.UpdateSpec(LeafSpec(1.85, 0.1));
+
+  TaskSpec antagonist = VideoProcessingSpec();
+  ASSERT_TRUE(machine_.AddTask("video.0", antagonist).ok());
+  agent_.AddTask(MetaFromSpecLocal("video.0", antagonist), now_);
+  Run(8 * kMicrosPerMinute);
+
+  EXPECT_GT(agent_.outliers_flagged(), 0);
+  EXPECT_GT(agent_.anomalies_detected(), 0);
+  ASSERT_FALSE(incidents_.empty());
+  const Incident& incident = incidents_.front();
+  EXPECT_EQ(incident.victim_job, "websearch-leaf");
+  EXPECT_EQ(incident.victim_class, WorkloadClass::kLatencySensitive);
+  ASSERT_FALSE(incident.suspects.empty());
+  EXPECT_EQ(incident.suspects.front().task, "video.0");
+  EXPECT_EQ(incident.action, IncidentAction::kHardCap);
+  // The first cap may already have expired by the end of the run (5-minute
+  // duration); what matters is that enforcement fired.
+  EXPECT_GT(agent_.enforcement().caps_applied(), 0);
+}
+
+TEST_F(AgentTest, RemoveTaskStopsSamplingAndClearsState) {
+  AddVictim();
+  Run(2 * kMicrosPerMinute);
+  const auto samples_before = samples_.size();
+  agent_.RemoveTask("websearch-leaf.0");
+  EXPECT_FALSE(agent_.HasTask("websearch-leaf.0"));
+  EXPECT_EQ(agent_.UsageSeries("websearch-leaf.0"), nullptr);
+  Run(3 * kMicrosPerMinute);
+  EXPECT_EQ(samples_.size(), samples_before);
+}
+
+TEST_F(AgentTest, SurvivesTaskVanishingFromMachine) {
+  // Failure injection: the task disappears from the machine but the agent
+  // is not told. Counter reads fail; the agent must keep running.
+  AddVictim();
+  Run(2 * kMicrosPerMinute);
+  ASSERT_TRUE(machine_.RemoveTask("websearch-leaf.0").ok());
+  Run(3 * kMicrosPerMinute);  // must not crash
+  EXPECT_TRUE(agent_.HasTask("websearch-leaf.0"));
+}
+
+TEST_F(AgentTest, IdleTaskWindowsAreRecordedButNotScored) {
+  // A task that never runs retires no instructions: its windows carry
+  // cpi == 0 and must not reach the detector (no false outliers), but its
+  // (zero) usage still lands in the series so it can be exonerated as a
+  // suspect.
+  TaskSpec idle = WebSearchLeafSpec();
+  idle.job_name = "idle-svc";
+  idle.base_cpu_demand = 0.0;
+  idle.demand_cv = 0.0;
+  ASSERT_TRUE(machine_.AddTask("idle-svc.0", idle).ok());
+  agent_.AddTask(MetaFromSpecLocal("idle-svc.0", idle), now_);
+  CpiSpec spec = LeafSpec(1.8, 0.1);
+  spec.jobname = "idle-svc";
+  agent_.UpdateSpec(spec);
+  Run(5 * kMicrosPerMinute);
+  EXPECT_EQ(agent_.outliers_flagged(), 0);
+  const TimeSeries* usage = agent_.UsageSeries("idle-svc.0");
+  ASSERT_NE(usage, nullptr);
+  EXPECT_GE(usage->size(), 3u);
+  const TimeSeries* cpi = agent_.CpiSeries("idle-svc.0");
+  ASSERT_NE(cpi, nullptr);
+  EXPECT_EQ(cpi->size(), 0u) << "cpi==0 windows carry no CPI information";
+}
+
+TEST_F(AgentTest, UsageSeriesTracksSamples) {
+  AddVictim();
+  Run(5 * kMicrosPerMinute);
+  const TimeSeries* usage = agent_.UsageSeries("websearch-leaf.0");
+  ASSERT_NE(usage, nullptr);
+  EXPECT_GE(usage->size(), 4u);
+  const TimeSeries* cpi = agent_.CpiSeries("websearch-leaf.0");
+  ASSERT_NE(cpi, nullptr);
+  EXPECT_GE(cpi->size(), 4u);
+}
+
+}  // namespace
+}  // namespace cpi2

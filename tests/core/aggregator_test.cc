@@ -1,0 +1,77 @@
+#include "core/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace cpi2 {
+namespace {
+
+Cpi2Params SmallParams() {
+  Cpi2Params params;
+  params.min_tasks_for_spec = 2;
+  params.min_samples_per_task = 2;
+  params.spec_update_interval = kMicrosPerHour;
+  return params;
+}
+
+void Feed(Aggregator& aggregator, int tasks, int samples, double cpi) {
+  for (int t = 0; t < tasks; ++t) {
+    for (int s = 0; s < samples; ++s) {
+      CpiSample sample;
+      sample.jobname = "job";
+      sample.platforminfo = "xeon";
+      sample.task = StrFormat("job.%d", t);
+      sample.cpi = cpi;
+      sample.cpu_usage = 0.5;
+      aggregator.AddSample(sample);
+    }
+  }
+}
+
+TEST(AggregatorTest, BuildsOnInterval) {
+  Aggregator aggregator(SmallParams());
+  int pushed = 0;
+  aggregator.SetSpecCallback([&pushed](const CpiSpec&) { ++pushed; });
+
+  Feed(aggregator, 3, 5, 1.5);
+  aggregator.Tick(0);  // arms the timer
+  EXPECT_EQ(aggregator.builds_completed(), 0);
+  aggregator.Tick(30 * kMicrosPerMinute);
+  EXPECT_EQ(aggregator.builds_completed(), 0) << "interval not yet elapsed";
+  aggregator.Tick(kMicrosPerHour);
+  EXPECT_EQ(aggregator.builds_completed(), 1);
+  EXPECT_EQ(pushed, 1);
+  ASSERT_TRUE(aggregator.GetSpec("job", "xeon").has_value());
+  EXPECT_NEAR(aggregator.GetSpec("job", "xeon")->cpi_mean, 1.5, 1e-9);
+}
+
+TEST(AggregatorTest, ForceBuildIgnoresInterval) {
+  Aggregator aggregator(SmallParams());
+  Feed(aggregator, 3, 5, 2.0);
+  const auto specs = aggregator.ForceBuild(0);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(aggregator.builds_completed(), 1);
+}
+
+TEST(AggregatorTest, NoSpecWithoutEnoughData) {
+  Aggregator aggregator(SmallParams());
+  Feed(aggregator, 1, 100, 2.0);  // only one task
+  EXPECT_TRUE(aggregator.ForceBuild(0).empty());
+  EXPECT_FALSE(aggregator.GetSpec("job", "xeon").has_value());
+}
+
+TEST(AggregatorTest, RepeatedBuildsAgeWeightHistory) {
+  Aggregator aggregator(SmallParams());
+  Feed(aggregator, 3, 10, 1.0);
+  (void)aggregator.ForceBuild(0);
+  Feed(aggregator, 3, 10, 3.0);
+  (void)aggregator.ForceBuild(kMicrosPerHour);
+  const auto spec = aggregator.GetSpec("job", "xeon");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_GT(spec->cpi_mean, 1.5);
+  EXPECT_LT(spec->cpi_mean, 3.0);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,110 @@
+#include "core/antagonist_identifier.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+constexpr MicroTime kMinute = kMicrosPerMinute;
+
+// Victim CPI: healthy for 5 minutes, then in pain for 5 minutes.
+TimeSeries PainfulVictim() {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) {
+    series.Append(i * kMinute, i < 5 ? 1.0 : 4.0);
+  }
+  return series;
+}
+
+// Usage series that is active only during [from, to) minutes.
+TimeSeries ActiveDuring(int from, int to, double level = 2.0) {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) {
+    series.Append(i * kMinute, (i >= from && i < to) ? level : 0.0);
+  }
+  return series;
+}
+
+TEST(AntagonistIdentifierTest, RanksCoincidentSuspectFirst) {
+  AntagonistIdentifier identifier(Cpi2Params{});
+  const TimeSeries victim = PainfulVictim();
+  const TimeSeries guilty = ActiveDuring(5, 10);
+  const TimeSeries innocent = ActiveDuring(0, 5);
+  const TimeSeries constant = ActiveDuring(0, 10);
+
+  std::vector<AntagonistIdentifier::SuspectInput> inputs;
+  inputs.push_back({"guilty.0", "guilty", WorkloadClass::kBatch,
+                    JobPriority::kBestEffort, &guilty});
+  inputs.push_back({"innocent.0", "innocent", WorkloadClass::kBatch,
+                    JobPriority::kBestEffort, &innocent});
+  inputs.push_back({"constant.0", "constant", WorkloadClass::kLatencySensitive,
+                    JobPriority::kProduction, &constant});
+
+  const auto ranked = identifier.Analyze(victim, /*cpi_threshold=*/2.0, inputs,
+                                         /*now=*/10 * kMinute);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].task, "guilty.0");
+  EXPECT_GT(ranked[0].correlation, 0.35);
+  EXPECT_EQ(ranked[2].task, "innocent.0");
+  EXPECT_LT(ranked[2].correlation, 0.0);
+  // Ordering is descending.
+  EXPECT_GE(ranked[0].correlation, ranked[1].correlation);
+  EXPECT_GE(ranked[1].correlation, ranked[2].correlation);
+  // Metadata is carried through.
+  EXPECT_EQ(ranked[0].jobname, "guilty");
+  EXPECT_EQ(ranked[0].priority, JobPriority::kBestEffort);
+}
+
+TEST(AntagonistIdentifierTest, RateLimitsToOnePerInterval) {
+  AntagonistIdentifier identifier(Cpi2Params{});
+  EXPECT_TRUE(identifier.Allowed(0));
+  const TimeSeries victim = PainfulVictim();
+  (void)identifier.Analyze(victim, 2.0, {}, 10 * kMinute);
+  EXPECT_FALSE(identifier.Allowed(10 * kMinute));
+  EXPECT_FALSE(identifier.Allowed(10 * kMinute + kMicrosPerSecond / 2));
+  EXPECT_TRUE(identifier.Allowed(10 * kMinute + kMicrosPerSecond));
+  EXPECT_EQ(identifier.analyses_run(), 1);
+}
+
+TEST(AntagonistIdentifierTest, NullUsageSeriesIsSkipped) {
+  AntagonistIdentifier identifier(Cpi2Params{});
+  const TimeSeries victim = PainfulVictim();
+  std::vector<AntagonistIdentifier::SuspectInput> inputs;
+  inputs.push_back({"ghost.0", "ghost", WorkloadClass::kBatch,
+                    JobPriority::kBestEffort, nullptr});
+  EXPECT_TRUE(identifier.Analyze(victim, 2.0, inputs, 10 * kMinute).empty());
+}
+
+TEST(AntagonistIdentifierTest, SuspectOutsideWindowIsSkipped) {
+  // A suspect with samples only before the correlation window contributes
+  // no aligned pairs and is dropped rather than scored.
+  Cpi2Params params;
+  params.correlation_window = 3 * kMinute;
+  AntagonistIdentifier identifier(params);
+  const TimeSeries victim = PainfulVictim();
+  TimeSeries stale;
+  stale.Append(0, 1.0);
+  std::vector<AntagonistIdentifier::SuspectInput> inputs;
+  inputs.push_back({"stale.0", "stale", WorkloadClass::kBatch,
+                    JobPriority::kBestEffort, &stale});
+  EXPECT_TRUE(identifier.Analyze(victim, 2.0, inputs, 10 * kMinute).empty());
+}
+
+TEST(AntagonistIdentifierTest, WindowRestrictsSamples) {
+  // With a 5-minute window ending at minute 10, only the painful half of
+  // the victim series is seen: a constant suspect now looks guilty.
+  Cpi2Params params;
+  params.correlation_window = 5 * kMinute;
+  AntagonistIdentifier identifier(params);
+  const TimeSeries victim = PainfulVictim();
+  const TimeSeries constant = ActiveDuring(0, 10);
+  std::vector<AntagonistIdentifier::SuspectInput> inputs;
+  inputs.push_back({"constant.0", "constant", WorkloadClass::kBatch,
+                    JobPriority::kBestEffort, &constant});
+  const auto ranked = identifier.Analyze(victim, 2.0, inputs, 10 * kMinute);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_GT(ranked[0].correlation, 0.4);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,180 @@
+#include "core/enforcement.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+Suspect MakeSuspect(const std::string& task, double correlation,
+                    WorkloadClass workload_class = WorkloadClass::kBatch,
+                    JobPriority priority = JobPriority::kBestEffort) {
+  Suspect suspect;
+  suspect.task = task;
+  suspect.jobname = task.substr(0, task.find('.'));
+  suspect.workload_class = workload_class;
+  suspect.priority = priority;
+  suspect.correlation = correlation;
+  return suspect;
+}
+
+TEST(EnforcementTest, CapsBestEffortBatchSuspectHard) {
+  FakeCpuController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  const auto decision = policy.OnIncident(WorkloadClass::kLatencySensitive,
+                                          {MakeSuspect("mr.0", 0.5)}, /*now=*/0);
+  EXPECT_EQ(decision.action, IncidentAction::kHardCap);
+  EXPECT_EQ(decision.target, "mr.0");
+  EXPECT_DOUBLE_EQ(decision.cap_level, 0.01) << "best-effort gets the harshest cap";
+  ASSERT_TRUE(controller.GetCap("mr.0").has_value());
+  EXPECT_DOUBLE_EQ(*controller.GetCap("mr.0"), 0.01);
+  EXPECT_TRUE(policy.IsCapped("mr.0"));
+}
+
+TEST(EnforcementTest, NonBestEffortBatchGetsMilderCap) {
+  FakeCpuController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  const auto decision = policy.OnIncident(
+      WorkloadClass::kLatencySensitive,
+      {MakeSuspect("sim.0", 0.5, WorkloadClass::kBatch, JobPriority::kNonProduction)}, 0);
+  EXPECT_EQ(decision.action, IncidentAction::kHardCap);
+  EXPECT_DOUBLE_EQ(decision.cap_level, 0.1);
+}
+
+TEST(EnforcementTest, BelowThresholdTakesNoAction) {
+  FakeCpuController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  const auto decision = policy.OnIncident(WorkloadClass::kLatencySensitive,
+                                          {MakeSuspect("mr.0", 0.34)}, 0);
+  EXPECT_EQ(decision.action, IncidentAction::kNone);
+  EXPECT_FALSE(controller.GetCap("mr.0").has_value());
+}
+
+TEST(EnforcementTest, NeverCapsLatencySensitiveSuspects) {
+  // Case 4: eight of nine suspects were latency-sensitive; only the
+  // scientific simulation (batch) was eligible.
+  FakeCpuController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  std::vector<Suspect> suspects = {
+      MakeSuspect("prod-service.0", 0.66, WorkloadClass::kLatencySensitive,
+                  JobPriority::kProduction),
+      MakeSuspect("compilation.0", 0.63, WorkloadClass::kLatencySensitive,
+                  JobPriority::kProduction),
+      MakeSuspect("scientific-sim.0", 0.36, WorkloadClass::kBatch,
+                  JobPriority::kNonProduction),
+  };
+  const auto decision = policy.OnIncident(WorkloadClass::kLatencySensitive, suspects, 0);
+  EXPECT_EQ(decision.action, IncidentAction::kHardCap);
+  EXPECT_EQ(decision.target, "scientific-sim.0");
+  EXPECT_FALSE(controller.GetCap("prod-service.0").has_value());
+}
+
+TEST(EnforcementTest, BatchVictimsAreNotProtected) {
+  FakeCpuController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  const auto decision =
+      policy.OnIncident(WorkloadClass::kBatch, {MakeSuspect("mr.0", 0.9)}, 0);
+  EXPECT_EQ(decision.action, IncidentAction::kNone);
+}
+
+TEST(EnforcementTest, OptedInBatchVictimIsProtected) {
+  // Section 5: a victim is eligible "because it is latency-sensitive, or
+  // because it is explicitly marked as eligible".
+  FakeCpuController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  const auto refused =
+      policy.OnIncident(WorkloadClass::kBatch, /*victim_opt_in=*/false,
+                        {MakeSuspect("mr.0", 0.9)}, 0);
+  EXPECT_EQ(refused.action, IncidentAction::kNone);
+  const auto protected_decision =
+      policy.OnIncident(WorkloadClass::kBatch, /*victim_opt_in=*/true,
+                        {MakeSuspect("mr.0", 0.9)}, 0);
+  EXPECT_EQ(protected_decision.action, IncidentAction::kHardCap);
+}
+
+TEST(EnforcementTest, DisabledPolicyDoesNothing) {
+  FakeCpuController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  policy.SetEnabled(false);
+  const auto decision = policy.OnIncident(WorkloadClass::kLatencySensitive,
+                                          {MakeSuspect("mr.0", 0.9)}, 0);
+  EXPECT_EQ(decision.action, IncidentAction::kNone);
+  EXPECT_EQ(controller.set_calls(), 0);
+  policy.SetEnabled(true);
+  EXPECT_EQ(policy.OnIncident(WorkloadClass::kLatencySensitive,
+                              {MakeSuspect("mr.0", 0.9)}, 0)
+                .action,
+            IncidentAction::kHardCap);
+}
+
+TEST(EnforcementTest, AlreadyCappedSuspectSuggestsMigration) {
+  FakeCpuController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  (void)policy.OnIncident(WorkloadClass::kLatencySensitive, {MakeSuspect("mr.0", 0.5)}, 0);
+  const auto repeat = policy.OnIncident(WorkloadClass::kLatencySensitive,
+                                        {MakeSuspect("mr.0", 0.5)}, kMicrosPerMinute);
+  EXPECT_EQ(repeat.action, IncidentAction::kAlreadyCapped);
+  EXPECT_EQ(policy.caps_applied(), 1);
+}
+
+TEST(EnforcementTest, CapsExpireAfterDuration) {
+  FakeCpuController controller;
+  Cpi2Params params;
+  EnforcementPolicy policy(params, &controller);
+  (void)policy.OnIncident(WorkloadClass::kLatencySensitive, {MakeSuspect("mr.0", 0.5)}, 0);
+  policy.Tick(params.cap_duration - 1);
+  EXPECT_TRUE(policy.IsCapped("mr.0"));
+  policy.Tick(params.cap_duration);
+  EXPECT_FALSE(policy.IsCapped("mr.0"));
+  EXPECT_FALSE(controller.GetCap("mr.0").has_value());
+  EXPECT_EQ(controller.remove_calls(), 1);
+}
+
+TEST(EnforcementTest, ManualCapAndUncap) {
+  FakeCpuController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  ASSERT_TRUE(policy.ManualCap("task.0", 0.05, /*duration=*/kMicrosPerMinute, /*now=*/0).ok());
+  EXPECT_TRUE(policy.IsCapped("task.0"));
+  EXPECT_DOUBLE_EQ(*controller.GetCap("task.0"), 0.05);
+  ASSERT_TRUE(policy.ManualUncap("task.0").ok());
+  EXPECT_FALSE(policy.IsCapped("task.0"));
+}
+
+TEST(EnforcementTest, ManualCapDefaultDuration) {
+  FakeCpuController controller;
+  Cpi2Params params;
+  EnforcementPolicy policy(params, &controller);
+  ASSERT_TRUE(policy.ManualCap("task.0", 0.05, /*duration=*/0, /*now=*/0).ok());
+  policy.Tick(params.cap_duration);
+  EXPECT_FALSE(policy.IsCapped("task.0")) << "duration 0 uses the default cap duration";
+}
+
+TEST(EnforcementTest, ControllerFailureIsReported) {
+  // A controller wired to a machine where the task no longer exists.
+  class FailingController : public CpuController {
+   public:
+    Status SetCap(const std::string&, double) override {
+      return NotFoundError("task gone");
+    }
+    Status RemoveCap(const std::string&) override { return NotFoundError("task gone"); }
+    std::optional<double> GetCap(const std::string&) const override { return std::nullopt; }
+  };
+  FailingController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  const auto decision = policy.OnIncident(WorkloadClass::kLatencySensitive,
+                                          {MakeSuspect("gone.0", 0.5)}, 0);
+  EXPECT_EQ(decision.action, IncidentAction::kNone);
+  EXPECT_FALSE(policy.IsCapped("gone.0"));
+  EXPECT_NE(decision.reason.find("cap failed"), std::string::npos);
+}
+
+TEST(EnforcementTest, ForgetTaskDropsCapState) {
+  FakeCpuController controller;
+  EnforcementPolicy policy(Cpi2Params{}, &controller);
+  (void)policy.OnIncident(WorkloadClass::kLatencySensitive, {MakeSuspect("mr.0", 0.5)}, 0);
+  policy.ForgetTask("mr.0");
+  EXPECT_FALSE(policy.IsCapped("mr.0"));
+  EXPECT_EQ(policy.active_cap_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cpi2

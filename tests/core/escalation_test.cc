@@ -1,0 +1,81 @@
+// Enforcement escalation: persistent offenders get migration requests.
+
+#include <gtest/gtest.h>
+
+#include "core/enforcement.h"
+
+namespace cpi2 {
+namespace {
+
+Suspect BatchSuspect(const std::string& task, double correlation) {
+  Suspect suspect;
+  suspect.task = task;
+  suspect.jobname = "thrasher";
+  suspect.workload_class = WorkloadClass::kBatch;
+  suspect.priority = JobPriority::kBestEffort;
+  suspect.correlation = correlation;
+  return suspect;
+}
+
+TEST(EscalationTest, MigrationRequestedAfterRepeatedStuckIncidents) {
+  FakeCpuController controller;
+  Cpi2Params params;
+  params.recaps_before_migration = 3;
+  EnforcementPolicy policy(params, &controller);
+  std::vector<std::string> migrations;
+  policy.SetMigrationCallback([&migrations](const std::string& task) {
+    migrations.push_back(task);
+  });
+
+  // First incident caps the suspect.
+  ASSERT_EQ(policy
+                .OnIncident(WorkloadClass::kLatencySensitive, {BatchSuspect("bad.0", 0.5)},
+                            /*now=*/0)
+                .action,
+            IncidentAction::kHardCap);
+  // Three more incidents while it is still capped: the third escalates.
+  for (int i = 1; i <= 3; ++i) {
+    const auto decision = policy.OnIncident(WorkloadClass::kLatencySensitive,
+                                            {BatchSuspect("bad.0", 0.5)},
+                                            i * kMicrosPerMinute);
+    EXPECT_EQ(decision.action, IncidentAction::kAlreadyCapped);
+    if (i < 3) {
+      EXPECT_TRUE(migrations.empty()) << "escalated too early at incident " << i;
+    }
+  }
+  ASSERT_EQ(migrations.size(), 1u);
+  EXPECT_EQ(migrations[0], "bad.0");
+  EXPECT_EQ(policy.migrations_requested(), 1);
+}
+
+TEST(EscalationTest, CounterResetsAfterMigration) {
+  FakeCpuController controller;
+  Cpi2Params params;
+  params.recaps_before_migration = 2;
+  EnforcementPolicy policy(params, &controller);
+  int migrations = 0;
+  policy.SetMigrationCallback([&migrations](const std::string&) { ++migrations; });
+
+  (void)policy.OnIncident(WorkloadClass::kLatencySensitive, {BatchSuspect("bad.0", 0.5)}, 0);
+  for (int i = 1; i <= 4; ++i) {
+    (void)policy.OnIncident(WorkloadClass::kLatencySensitive, {BatchSuspect("bad.0", 0.5)},
+                            i * kMicrosPerMinute);
+  }
+  // 4 stuck incidents with threshold 2 -> exactly 2 escalations.
+  EXPECT_EQ(migrations, 2);
+}
+
+TEST(EscalationTest, NoCallbackMeansNoEscalation) {
+  FakeCpuController controller;
+  Cpi2Params params;
+  params.recaps_before_migration = 1;
+  EnforcementPolicy policy(params, &controller);
+  (void)policy.OnIncident(WorkloadClass::kLatencySensitive, {BatchSuspect("bad.0", 0.5)}, 0);
+  const auto decision = policy.OnIncident(WorkloadClass::kLatencySensitive,
+                                          {BatchSuspect("bad.0", 0.5)}, kMicrosPerMinute);
+  EXPECT_EQ(decision.action, IncidentAction::kAlreadyCapped);
+  EXPECT_EQ(policy.migrations_requested(), 0);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,149 @@
+#include "core/incident_log_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace cpi2 {
+namespace {
+
+class IncidentLogIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cpi2_incidents_" + std::to_string(getpid()));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "incidents.tsv").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static Incident MakeIncident(MicroTime t) {
+    Incident incident;
+    incident.timestamp = t;
+    incident.machine = "m0042";
+    incident.victim_task = "websearch.7";
+    incident.victim_job = "websearch";
+    incident.platforminfo = "xeon-2.6GHz";
+    incident.victim_class = WorkloadClass::kLatencySensitive;
+    incident.victim_cpi = 5.0;
+    incident.cpi_threshold = 2.12;
+    incident.spec_mean = 1.8;
+    incident.spec_stddev = 0.16;
+    incident.action = IncidentAction::kHardCap;
+    incident.action_target = "video.0";
+    incident.cap_level = 0.01;
+    incident.note = "correlation 0.46 >= 0.35";
+    Suspect a;
+    a.task = "video.0";
+    a.jobname = "video";
+    a.workload_class = WorkloadClass::kBatch;
+    a.priority = JobPriority::kBestEffort;
+    a.correlation = 0.46;
+    Suspect b;
+    b.task = "bigtable.3";
+    b.jobname = "bigtable";
+    b.workload_class = WorkloadClass::kLatencySensitive;
+    b.priority = JobPriority::kProduction;
+    b.correlation = 0.39;
+    incident.suspects = {a, b};
+    return incident;
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(IncidentLogIoTest, RoundTripPreservesEverything) {
+  IncidentLog log;
+  log.Add(MakeIncident(kMicrosPerMinute));
+  log.Add(MakeIncident(2 * kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+
+  const auto loaded = LoadIncidents(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  const Incident& incident = loaded->incidents()[0];
+  EXPECT_EQ(incident.timestamp, kMicrosPerMinute);
+  EXPECT_EQ(incident.machine, "m0042");
+  EXPECT_EQ(incident.victim_job, "websearch");
+  EXPECT_EQ(incident.victim_class, WorkloadClass::kLatencySensitive);
+  EXPECT_DOUBLE_EQ(incident.victim_cpi, 5.0);
+  EXPECT_DOUBLE_EQ(incident.spec_stddev, 0.16);
+  EXPECT_EQ(incident.action, IncidentAction::kHardCap);
+  EXPECT_EQ(incident.action_target, "video.0");
+  EXPECT_EQ(incident.note, "correlation 0.46 >= 0.35");
+  ASSERT_EQ(incident.suspects.size(), 2u);
+  EXPECT_EQ(incident.suspects[0].task, "video.0");
+  EXPECT_EQ(incident.suspects[0].priority, JobPriority::kBestEffort);
+  EXPECT_DOUBLE_EQ(incident.suspects[1].correlation, 0.39);
+}
+
+TEST_F(IncidentLogIoTest, QueriesWorkOnReloadedLog) {
+  IncidentLog log;
+  log.Add(MakeIncident(kMicrosPerMinute));
+  log.Add(MakeIncident(2 * kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  const auto loaded = LoadIncidents(path_);
+  ASSERT_TRUE(loaded.ok());
+  const auto top = loaded->TopAntagonists("websearch", 0, 0, 5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].jobname, "video");
+  EXPECT_EQ(top[0].incidents, 2);
+  EXPECT_EQ(top[0].times_capped, 2);
+}
+
+TEST_F(IncidentLogIoTest, IncidentWithNoSuspectsRoundTrips) {
+  IncidentLog log;
+  Incident incident = MakeIncident(0);
+  incident.suspects.clear();
+  incident.action = IncidentAction::kNone;
+  incident.action_target.clear();
+  log.Add(incident);
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  const auto loaded = LoadIncidents(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_TRUE(loaded->incidents()[0].suspects.empty());
+}
+
+TEST_F(IncidentLogIoTest, MissingFileIsNotFound) {
+  const auto loaded = LoadIncidents(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IncidentLogIoTest, WrongHeaderRejected) {
+  std::ofstream(path_) << "not-an-incident-file\n";
+  EXPECT_FALSE(LoadIncidents(path_).ok());
+}
+
+TEST_F(IncidentLogIoTest, TruncatedRowRejected) {
+  std::ofstream(path_) << "cpi2-incidents-v1\n123\tm0\tonly-three-fields\n";
+  const auto loaded = LoadIncidents(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IncidentLogIoTest, SeparatorInNameRejectedAtSave) {
+  IncidentLog log;
+  Incident incident = MakeIncident(0);
+  incident.victim_job = "evil;job";
+  log.Add(incident);
+  EXPECT_FALSE(SaveIncidents(path_, log).ok());
+}
+
+TEST_F(IncidentLogIoTest, NoteWithTabsIsSanitized) {
+  IncidentLog log;
+  Incident incident = MakeIncident(0);
+  incident.note = "line one\tline\ntwo";
+  log.Add(incident);
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  const auto loaded = LoadIncidents(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->incidents()[0].note, "line one line two");
+}
+
+}  // namespace
+}  // namespace cpi2

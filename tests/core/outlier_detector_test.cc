@@ -1,0 +1,132 @@
+#include "core/outlier_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+CpiSpec Spec(double mean, double stddev) {
+  CpiSpec spec;
+  spec.jobname = "job";
+  spec.platforminfo = "xeon";
+  spec.cpi_mean = mean;
+  spec.cpi_stddev = stddev;
+  spec.num_samples = 10000;
+  return spec;
+}
+
+CpiSample Sample(MicroTime t, double cpi, double usage = 0.5) {
+  CpiSample sample;
+  sample.jobname = "job";
+  sample.task = "job.0";
+  sample.timestamp = t;
+  sample.cpi = cpi;
+  sample.cpu_usage = usage;
+  return sample;
+}
+
+TEST(OutlierDetectorTest, BelowThresholdIsNormal) {
+  OutlierDetector detector(Cpi2Params{});
+  const auto result = detector.Observe("job.0", Sample(0, 2.3), Spec(2.0, 0.2));
+  EXPECT_FALSE(result.outlier);
+  EXPECT_FALSE(result.anomaly);
+  EXPECT_DOUBLE_EQ(result.threshold, 2.4);  // mean + 2 sigma
+}
+
+TEST(OutlierDetectorTest, AboveThresholdFlagsOutlier) {
+  OutlierDetector detector(Cpi2Params{});
+  const auto result = detector.Observe("job.0", Sample(0, 2.5), Spec(2.0, 0.2));
+  EXPECT_TRUE(result.outlier);
+  EXPECT_FALSE(result.anomaly) << "one flag is not yet an anomaly";
+}
+
+TEST(OutlierDetectorTest, LowUsageSamplesAreSkipped) {
+  // Case 3: CPI inflation at near-idle usage must not count.
+  OutlierDetector detector(Cpi2Params{});
+  const auto result = detector.Observe("job.0", Sample(0, 10.0, /*usage=*/0.1), Spec(2.0, 0.2));
+  EXPECT_FALSE(result.outlier);
+  EXPECT_TRUE(result.skipped_low_usage);
+}
+
+TEST(OutlierDetectorTest, ThreeViolationsInWindowIsAnomaly) {
+  OutlierDetector detector(Cpi2Params{});
+  const CpiSpec spec = Spec(2.0, 0.2);
+  EXPECT_FALSE(detector.Observe("job.0", Sample(0, 3.0), spec).anomaly);
+  EXPECT_FALSE(
+      detector.Observe("job.0", Sample(kMicrosPerMinute, 3.0), spec).anomaly);
+  EXPECT_TRUE(
+      detector.Observe("job.0", Sample(2 * kMicrosPerMinute, 3.0), spec).anomaly)
+      << "third flag within 5 minutes completes the anomaly";
+}
+
+TEST(OutlierDetectorTest, OldFlagsAgeOutOfTheWindow) {
+  OutlierDetector detector(Cpi2Params{});
+  const CpiSpec spec = Spec(2.0, 0.2);
+  (void)detector.Observe("job.0", Sample(0, 3.0), spec);
+  (void)detector.Observe("job.0", Sample(kMicrosPerMinute, 3.0), spec);
+  // Third violation lands 6 minutes after the first: the first has aged out.
+  const auto result = detector.Observe("job.0", Sample(6 * kMicrosPerMinute, 3.0), spec);
+  EXPECT_TRUE(result.outlier);
+  EXPECT_FALSE(result.anomaly);
+}
+
+TEST(OutlierDetectorTest, NormalSamplesDoNotResetTheWindow) {
+  // Flags at t=0 and t=1min, healthy samples in between, flag at t=4min:
+  // still three flags within 5 minutes -> anomaly.
+  OutlierDetector detector(Cpi2Params{});
+  const CpiSpec spec = Spec(2.0, 0.2);
+  (void)detector.Observe("job.0", Sample(0, 3.0), spec);
+  (void)detector.Observe("job.0", Sample(kMicrosPerMinute, 3.0), spec);
+  (void)detector.Observe("job.0", Sample(2 * kMicrosPerMinute, 2.0), spec);
+  (void)detector.Observe("job.0", Sample(3 * kMicrosPerMinute, 2.0), spec);
+  EXPECT_TRUE(detector.Observe("job.0", Sample(4 * kMicrosPerMinute, 3.0), spec).anomaly);
+}
+
+TEST(OutlierDetectorTest, TasksAreIndependent) {
+  OutlierDetector detector(Cpi2Params{});
+  const CpiSpec spec = Spec(2.0, 0.2);
+  (void)detector.Observe("job.0", Sample(0, 3.0), spec);
+  (void)detector.Observe("job.0", Sample(kMicrosPerMinute, 3.0), spec);
+  // A different task's flag must not complete job.0's anomaly.
+  EXPECT_FALSE(
+      detector.Observe("job.1", Sample(2 * kMicrosPerMinute, 3.0), spec).anomaly);
+  EXPECT_EQ(detector.tracked_tasks(), 2u);
+}
+
+TEST(OutlierDetectorTest, ForgetTaskClearsHistory) {
+  OutlierDetector detector(Cpi2Params{});
+  const CpiSpec spec = Spec(2.0, 0.2);
+  (void)detector.Observe("job.0", Sample(0, 3.0), spec);
+  (void)detector.Observe("job.0", Sample(kMicrosPerMinute, 3.0), spec);
+  detector.ForgetTask("job.0");
+  EXPECT_FALSE(
+      detector.Observe("job.0", Sample(2 * kMicrosPerMinute, 3.0), spec).anomaly);
+}
+
+TEST(OutlierDetectorTest, CustomSigmasAndViolations) {
+  Cpi2Params params;
+  params.outlier_sigmas = 3.0;
+  params.outlier_violations = 1;
+  OutlierDetector detector(params);
+  const CpiSpec spec = Spec(2.0, 0.2);
+  const auto mild = detector.Observe("job.0", Sample(0, 2.5), spec);
+  EXPECT_FALSE(mild.outlier) << "2.5 is below the 3-sigma threshold of 2.6";
+  const auto severe = detector.Observe("job.0", Sample(kMicrosPerMinute, 2.7), spec);
+  EXPECT_TRUE(severe.outlier);
+  EXPECT_TRUE(severe.anomaly) << "with violations=1 the first flag is an anomaly";
+}
+
+TEST(OutlierDetectorTest, AnomalyStaysAssertedWhileViolationsContinue) {
+  OutlierDetector detector(Cpi2Params{});
+  const CpiSpec spec = Spec(2.0, 0.2);
+  for (int i = 0; i < 10; ++i) {
+    const auto result =
+        detector.Observe("job.0", Sample(i * kMicrosPerMinute, 3.0), spec);
+    if (i >= 2) {
+      EXPECT_TRUE(result.anomaly) << "minute " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpi2

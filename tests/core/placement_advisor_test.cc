@@ -1,0 +1,86 @@
+#include "core/placement_advisor.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+Incident MakeIncident(MicroTime t, const std::string& victim, const std::string& antagonist,
+                      double correlation) {
+  Incident incident;
+  incident.timestamp = t;
+  incident.victim_job = victim;
+  Suspect suspect;
+  suspect.jobname = antagonist;
+  suspect.task = antagonist + ".0";
+  suspect.correlation = correlation;
+  incident.suspects.push_back(suspect);
+  return incident;
+}
+
+TEST(PlacementAdvisorTest, RepeatOffenderIsAdvised) {
+  IncidentLog log;
+  for (int i = 0; i < 3; ++i) {
+    log.Add(MakeIncident(i * kMicrosPerMinute, "search", "thrasher", 0.5));
+  }
+  PlacementAdvisor advisor(PlacementAdvisor::Options{});
+  const auto advice = advisor.Advise(log, kMicrosPerHour);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].victim_job, "search");
+  EXPECT_EQ(advice[0].antagonist_job, "thrasher");
+  EXPECT_EQ(advice[0].incidents, 3);
+  EXPECT_DOUBLE_EQ(advice[0].max_correlation, 0.5);
+}
+
+TEST(PlacementAdvisorTest, TooFewIncidentsIsNotAdvised) {
+  IncidentLog log;
+  log.Add(MakeIncident(0, "search", "thrasher", 0.9));
+  log.Add(MakeIncident(kMicrosPerMinute, "search", "thrasher", 0.9));
+  PlacementAdvisor advisor(PlacementAdvisor::Options{});
+  EXPECT_TRUE(advisor.Advise(log, kMicrosPerHour).empty());
+}
+
+TEST(PlacementAdvisorTest, LowCorrelationIncidentsDoNotCount) {
+  IncidentLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.Add(MakeIncident(i * kMicrosPerMinute, "search", "bystander", 0.2));
+  }
+  PlacementAdvisor advisor(PlacementAdvisor::Options{});
+  EXPECT_TRUE(advisor.Advise(log, kMicrosPerHour).empty());
+}
+
+TEST(PlacementAdvisorTest, WindowExcludesStaleIncidents) {
+  IncidentLog log;
+  // Three old incidents, one fresh: below the repeat bar inside the window.
+  for (int i = 0; i < 3; ++i) {
+    log.Add(MakeIncident(i * kMicrosPerMinute, "search", "thrasher", 0.5));
+  }
+  log.Add(MakeIncident(48 * kMicrosPerHour, "search", "thrasher", 0.5));
+  PlacementAdvisor::Options options;
+  options.window = kMicrosPerHour;
+  PlacementAdvisor advisor(options);
+  EXPECT_TRUE(advisor.Advise(log, 48 * kMicrosPerHour + kMicrosPerMinute).empty());
+}
+
+TEST(PlacementAdvisorTest, RanksByIncidentCount) {
+  IncidentLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.Add(MakeIncident(i * kMicrosPerMinute, "search", "worst", 0.4));
+  }
+  for (int i = 0; i < 3; ++i) {
+    log.Add(MakeIncident(i * kMicrosPerMinute, "search", "bad", 0.8));
+  }
+  for (int i = 0; i < 3; ++i) {
+    log.Add(MakeIncident(i * kMicrosPerMinute, "ads", "worst", 0.6));
+  }
+  PlacementAdvisor advisor(PlacementAdvisor::Options{});
+  const auto advice = advisor.Advise(log, kMicrosPerHour);
+  ASSERT_EQ(advice.size(), 3u);
+  EXPECT_EQ(advice[0].antagonist_job, "worst");
+  EXPECT_EQ(advice[0].victim_job, "search");
+  EXPECT_EQ(advice[0].incidents, 5);
+  // Pairs are per victim: (search, bad) and (ads, worst) both have 3.
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,160 @@
+#include "core/spec_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cpi2 {
+namespace {
+
+Cpi2Params SmallParams() {
+  Cpi2Params params;
+  params.min_tasks_for_spec = 3;
+  params.min_samples_per_task = 5;
+  return params;
+}
+
+CpiSample MakeSample(const std::string& job, const std::string& platform,
+                     const std::string& task, double cpi, double usage = 0.5) {
+  CpiSample sample;
+  sample.jobname = job;
+  sample.platforminfo = platform;
+  sample.task = task;
+  sample.cpi = cpi;
+  sample.cpu_usage = usage;
+  return sample;
+}
+
+void FeedJob(SpecBuilder& builder, const std::string& job, const std::string& platform,
+             int tasks, int samples_per_task, double cpi_mean, double cpi_spread,
+             uint64_t seed = 1) {
+  Rng rng(seed);
+  for (int t = 0; t < tasks; ++t) {
+    for (int s = 0; s < samples_per_task; ++s) {
+      builder.AddSample(MakeSample(job, platform, StrFormat("%s.%d", job.c_str(), t),
+                                   cpi_mean + rng.Uniform(-cpi_spread, cpi_spread)));
+    }
+  }
+}
+
+TEST(SpecBuilderTest, BuildsSpecForEligibleJob) {
+  SpecBuilder builder(SmallParams());
+  FeedJob(builder, "job", "xeon", /*tasks=*/5, /*samples_per_task=*/10, 1.5, 0.2);
+  const auto specs = builder.BuildSpecs();
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].jobname, "job");
+  EXPECT_EQ(specs[0].platforminfo, "xeon");
+  EXPECT_EQ(specs[0].num_samples, 50);
+  EXPECT_NEAR(specs[0].cpi_mean, 1.5, 0.05);
+  EXPECT_GT(specs[0].cpi_stddev, 0.0);
+  EXPECT_NEAR(specs[0].cpu_usage_mean, 0.5, 1e-9);
+}
+
+TEST(SpecBuilderTest, TooFewTasksIsIneligible) {
+  SpecBuilder builder(SmallParams());
+  FeedJob(builder, "tiny", "xeon", /*tasks=*/2, /*samples_per_task=*/100, 1.0, 0.1);
+  EXPECT_TRUE(builder.BuildSpecs().empty());
+  EXPECT_FALSE(builder.GetSpec("tiny", "xeon").has_value());
+}
+
+TEST(SpecBuilderTest, TooFewSamplesPerTaskIsIneligible) {
+  SpecBuilder builder(SmallParams());
+  FeedJob(builder, "young", "xeon", /*tasks=*/10, /*samples_per_task=*/2, 1.0, 0.1);
+  EXPECT_TRUE(builder.BuildSpecs().empty());
+}
+
+TEST(SpecBuilderTest, PlatformsAreSeparated) {
+  SpecBuilder builder(SmallParams());
+  FeedJob(builder, "job", "xeon", 5, 10, 1.0, 0.05, 1);
+  FeedJob(builder, "job", "opteron", 5, 10, 1.4, 0.05, 2);
+  const auto specs = builder.BuildSpecs();
+  ASSERT_EQ(specs.size(), 2u);
+  const auto xeon = builder.GetSpec("job", "xeon");
+  const auto opteron = builder.GetSpec("job", "opteron");
+  ASSERT_TRUE(xeon.has_value());
+  ASSERT_TRUE(opteron.has_value());
+  EXPECT_NEAR(xeon->cpi_mean, 1.0, 0.05);
+  EXPECT_NEAR(opteron->cpi_mean, 1.4, 0.05);
+}
+
+TEST(SpecBuilderTest, HistoryIsAgeWeighted) {
+  // Day 1 at CPI 1.0, then day 2 at CPI 2.0: the spec must move toward 2.0
+  // but retain a (decayed) memory of day 1.
+  SpecBuilder builder(SmallParams());
+  FeedJob(builder, "job", "xeon", 5, 20, 1.0, 0.01, 1);
+  (void)builder.BuildSpecs();
+  FeedJob(builder, "job", "xeon", 5, 20, 2.0, 0.01, 2);
+  (void)builder.BuildSpecs();
+  const auto spec = builder.GetSpec("job", "xeon");
+  ASSERT_TRUE(spec.has_value());
+  // weights: 0.9 * 100 old vs 100 new -> mean = (0.9 + 2)/1.9 ~ 1.526.
+  EXPECT_NEAR(spec->cpi_mean, (0.9 * 1.0 + 1.0 * 2.0) / 1.9, 0.02);
+}
+
+TEST(SpecBuilderTest, OldBehaviourDecaysAway) {
+  SpecBuilder builder(SmallParams());
+  FeedJob(builder, "job", "xeon", 5, 20, 1.0, 0.01, 1);
+  (void)builder.BuildSpecs();
+  // Ten days of the new behaviour: the old mean's influence shrinks to
+  // 0.9^10 of its weight.
+  for (int day = 0; day < 10; ++day) {
+    FeedJob(builder, "job", "xeon", 5, 20, 2.0, 0.01, static_cast<uint64_t>(day + 2));
+    (void)builder.BuildSpecs();
+  }
+  const auto spec = builder.GetSpec("job", "xeon");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_GT(spec->cpi_mean, 1.9);
+}
+
+TEST(SpecBuilderTest, SeedHistoryPrimesRepeatedJobs) {
+  // "if we have seen a previous run of a job, we don't have to build a new
+  // model of its CPI behavior from scratch."
+  SpecBuilder builder(SmallParams());
+  CpiSpec previous;
+  previous.jobname = "nightly";
+  previous.platforminfo = "xeon";
+  previous.num_samples = 1000;
+  previous.cpi_mean = 1.8;
+  previous.cpi_stddev = 0.2;
+  previous.cpu_usage_mean = 0.6;
+  builder.SeedHistory(previous);
+  const auto spec = builder.GetSpec("nightly", "xeon");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->cpi_mean, 1.8);
+
+  // New data merges with the seeded history.
+  FeedJob(builder, "nightly", "xeon", 5, 10, 1.0, 0.01);
+  (void)builder.BuildSpecs();
+  const auto updated = builder.GetSpec("nightly", "xeon");
+  ASSERT_TRUE(updated.has_value());
+  EXPECT_LT(updated->cpi_mean, 1.8);
+  EXPECT_GT(updated->cpi_mean, 1.0);
+}
+
+TEST(SpecBuilderTest, OutlierThresholdFollowsSpec) {
+  CpiSpec spec;
+  spec.cpi_mean = 2.0;
+  spec.cpi_stddev = 0.25;
+  EXPECT_DOUBLE_EQ(spec.OutlierThreshold(2.0), 2.5);
+  EXPECT_DOUBLE_EQ(spec.OutlierThreshold(3.0), 2.75);
+}
+
+TEST(SpecBuilderTest, CurrentWindowClearsAfterBuild) {
+  SpecBuilder builder(SmallParams());
+  FeedJob(builder, "job", "xeon", 5, 10, 1.0, 0.01);
+  ASSERT_EQ(builder.BuildSpecs().size(), 1u);
+  // Nothing new: next build produces no fresh specs (history only decays).
+  EXPECT_TRUE(builder.BuildSpecs().empty());
+  // But the last spec remains queryable.
+  EXPECT_TRUE(builder.GetSpec("job", "xeon").has_value());
+}
+
+TEST(SpecBuilderTest, CountsSamples) {
+  SpecBuilder builder(SmallParams());
+  FeedJob(builder, "job", "xeon", 2, 3, 1.0, 0.0);
+  EXPECT_EQ(builder.samples_seen(), 6);
+}
+
+}  // namespace
+}  // namespace cpi2

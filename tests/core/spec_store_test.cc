@@ -1,0 +1,117 @@
+#include "core/spec_store.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/spec_builder.h"
+
+namespace cpi2 {
+namespace {
+
+class SpecStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cpi2_spec_store_" + std::to_string(getpid()));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "specs.tsv").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static CpiSpec MakeSpec(const std::string& job, const std::string& platform, double mean) {
+    CpiSpec spec;
+    spec.jobname = job;
+    spec.platforminfo = platform;
+    spec.num_samples = 12345;
+    spec.cpu_usage_mean = 0.625;
+    spec.cpi_mean = mean;
+    spec.cpi_stddev = mean / 10.0;
+    return spec;
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(SpecStoreTest, RoundTrip) {
+  const std::vector<CpiSpec> specs = {MakeSpec("websearch", "xeon", 1.8),
+                                      MakeSpec("websearch", "opteron", 2.25),
+                                      MakeSpec("ads", "xeon", 0.95)};
+  ASSERT_TRUE(SaveSpecs(path_, specs).ok());
+  const auto loaded = LoadSpecs(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].jobname, "websearch");
+  EXPECT_EQ((*loaded)[1].platforminfo, "opteron");
+  EXPECT_EQ((*loaded)[0].num_samples, 12345);
+  EXPECT_DOUBLE_EQ((*loaded)[2].cpi_mean, 0.95);
+  EXPECT_DOUBLE_EQ((*loaded)[2].cpi_stddev, 0.095);
+  EXPECT_DOUBLE_EQ((*loaded)[0].cpu_usage_mean, 0.625);
+}
+
+TEST_F(SpecStoreTest, EmptyListRoundTrips) {
+  ASSERT_TRUE(SaveSpecs(path_, {}).ok());
+  const auto loaded = LoadSpecs(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(SpecStoreTest, MissingFileIsNotFound) {
+  const auto loaded = LoadSpecs(path_ + ".nope");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SpecStoreTest, WrongHeaderRejected) {
+  std::ofstream(path_) << "some-other-format-v7\njob\tplat\t1\t0\t1\t0\n";
+  const auto loaded = LoadSpecs(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SpecStoreTest, TruncatedRecordRejected) {
+  std::ofstream(path_) << "cpi2-specs-v1\njob\txeon\t100\n";
+  const auto loaded = LoadSpecs(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SpecStoreTest, GarbageNumberRejected) {
+  std::ofstream(path_) << "cpi2-specs-v1\njob\txeon\tmany\t0.5\t1.8\t0.1\n";
+  EXPECT_FALSE(LoadSpecs(path_).ok());
+  std::ofstream(path_) << "cpi2-specs-v1\njob\txeon\t100\t0.5\tfast\t0.1\n";
+  EXPECT_FALSE(LoadSpecs(path_).ok());
+}
+
+TEST_F(SpecStoreTest, CommentsAndBlankLinesIgnored) {
+  std::ofstream(path_) << "cpi2-specs-v1\n# comment\n\njob\txeon\t100\t0.5\t1.8\t0.1\n";
+  const auto loaded = LoadSpecs(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST_F(SpecStoreTest, RejectsTabInJobName) {
+  EXPECT_FALSE(SaveSpecs(path_, {MakeSpec("evil\tjob", "xeon", 1.0)}).ok());
+}
+
+TEST_F(SpecStoreTest, SeedsSpecBuilderAcrossRestart) {
+  // The paper's use case: a restarted aggregator warm-starts from disk.
+  ASSERT_TRUE(SaveSpecs(path_, {MakeSpec("nightly", "xeon", 1.8)}).ok());
+  const auto loaded = LoadSpecs(path_);
+  ASSERT_TRUE(loaded.ok());
+
+  Cpi2Params params;
+  SpecBuilder builder(params);
+  for (const CpiSpec& spec : *loaded) {
+    builder.SeedHistory(spec);
+  }
+  const auto spec = builder.GetSpec("nightly", "xeon");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->cpi_mean, 1.8);
+}
+
+}  // namespace
+}  // namespace cpi2

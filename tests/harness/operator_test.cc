@@ -1,0 +1,91 @@
+// Operator-interface tests: cluster-wide enforcement switch, manual caps
+// routed to the right machine, and manual migration.
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/scenario.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+TEST(OperatorTest, ClusterWideEnforcementSwitch) {
+  VictimScenario scenario = MakeVictimScenario(5, WebSearchLeafSpec(), FastTestParams());
+  ClusterHarness& harness = *scenario.harness;
+  harness.SetEnforcementEnabled(false);
+  harness.PrimeSpecs(12 * kMicrosPerMinute);
+  InjectAntagonist(scenario, VideoProcessingSpec(), "video.x");
+  harness.RunFor(10 * kMicrosPerMinute);
+
+  // Incidents fire, but nothing is capped while protection is off.
+  int caps = 0;
+  for (const Incident& incident : harness.incidents().incidents()) {
+    caps += incident.action == IncidentAction::kHardCap ? 1 : 0;
+  }
+  EXPECT_GT(harness.incidents().size(), 0u);
+  EXPECT_EQ(caps, 0);
+
+  // Flip it on: the very next incidents act.
+  harness.SetEnforcementEnabled(true);
+  harness.RunFor(10 * kMicrosPerMinute);
+  caps = 0;
+  for (const Incident& incident : harness.incidents().incidents()) {
+    caps += incident.action == IncidentAction::kHardCap ? 1 : 0;
+  }
+  EXPECT_GT(caps, 0);
+}
+
+TEST(OperatorTest, ManualCapRoutesToTheRightMachine) {
+  VictimScenario scenario = MakeVictimScenario(4, WebSearchLeafSpec(), FastTestParams());
+  ClusterHarness& harness = *scenario.harness;
+  InjectAntagonist(scenario, VideoProcessingSpec(), "video.x");
+  harness.RunFor(2 * kMicrosPerSecond);  // let the agent register the task
+
+  ASSERT_TRUE(harness.OperatorCap("video.x", 0.05, 2 * kMicrosPerMinute).ok());
+  const Task* antagonist = harness.cluster().machine(0)->FindTask("video.x");
+  ASSERT_NE(antagonist, nullptr);
+  EXPECT_TRUE(antagonist->IsCapped());
+  EXPECT_DOUBLE_EQ(antagonist->cap(), 0.05);
+
+  // The cap expires on schedule.
+  harness.RunFor(3 * kMicrosPerMinute);
+  EXPECT_FALSE(antagonist->IsCapped());
+
+  // And can be removed manually.
+  ASSERT_TRUE(harness.OperatorCap("video.x", 0.05, 30 * kMicrosPerMinute).ok());
+  ASSERT_TRUE(harness.OperatorUncap("video.x").ok());
+  EXPECT_FALSE(antagonist->IsCapped());
+}
+
+TEST(OperatorTest, ManualCapOfUnknownTaskFails) {
+  VictimScenario scenario = MakeVictimScenario(3, WebSearchLeafSpec(), FastTestParams());
+  EXPECT_EQ(scenario.harness->OperatorCap("ghost.0", 0.1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(scenario.harness->OperatorUncap("ghost.0").code(), StatusCode::kNotFound);
+}
+
+TEST(OperatorTest, ManualMigrationMovesSchedulerPlacedTask) {
+  ClusterHarness::Options options;
+  options.cluster.seed = 21;
+  options.params = FastTestParams();
+  ClusterHarness harness(options);
+  harness.cluster().AddMachines(ReferencePlatform(), 3);
+  harness.cluster().BuildScheduler();
+  harness.WireAgents();
+  ASSERT_TRUE(
+      harness.cluster().scheduler().PlaceTask("job.0", FillerServiceSpec(0.3)).ok());
+  Machine* original = harness.cluster().scheduler().LocateTask("job.0");
+  ASSERT_NE(original, nullptr);
+
+  ASSERT_TRUE(harness.OperatorMigrate("job.0").ok());
+  Machine* current = harness.cluster().scheduler().LocateTask("job.0");
+  ASSERT_NE(current, nullptr);
+  EXPECT_NE(current->name(), original->name());
+
+  // Agents resync at the next tick: the old agent forgets, the new knows.
+  harness.RunFor(2 * kMicrosPerSecond);
+  EXPECT_FALSE(harness.agent(original->name())->HasTask("job.0"));
+  EXPECT_TRUE(harness.agent(current->name())->HasTask("job.0"));
+}
+
+}  // namespace
+}  // namespace cpi2

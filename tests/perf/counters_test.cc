@@ -1,0 +1,82 @@
+#include "perf/counters.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+CounterSnapshot MakeSnapshot(MicroTime t, uint64_t cycles, uint64_t instructions,
+                             double cpu_seconds) {
+  CounterSnapshot snapshot;
+  snapshot.timestamp = t;
+  snapshot.cycles = cycles;
+  snapshot.instructions = instructions;
+  snapshot.cpu_seconds = cpu_seconds;
+  return snapshot;
+}
+
+TEST(CounterDeltaTest, CpiIsCyclesOverInstructions) {
+  CounterDelta delta;
+  delta.cycles = 2600;
+  delta.instructions = 1300;
+  EXPECT_DOUBLE_EQ(delta.Cpi(), 2.0);
+}
+
+TEST(CounterDeltaTest, CpiZeroWhenNoInstructions) {
+  CounterDelta delta;
+  delta.cycles = 100;
+  delta.instructions = 0;
+  EXPECT_DOUBLE_EQ(delta.Cpi(), 0.0);
+}
+
+TEST(CounterDeltaTest, UsageRate) {
+  CounterDelta delta;
+  delta.window_begin = 0;
+  delta.window_end = 10 * kMicrosPerSecond;
+  delta.cpu_seconds = 5.0;
+  EXPECT_DOUBLE_EQ(delta.UsageRate(), 0.5);
+}
+
+TEST(CounterDeltaTest, UsageRateZeroWall) {
+  CounterDelta delta;
+  delta.cpu_seconds = 5.0;
+  EXPECT_DOUBLE_EQ(delta.UsageRate(), 0.0);
+}
+
+TEST(CounterDeltaTest, MissRates) {
+  CounterDelta delta;
+  delta.instructions = 1000;
+  delta.cycles = 2000;
+  delta.l2_misses = 40;
+  delta.l3_misses = 10;
+  delta.mem_requests = 12;
+  EXPECT_DOUBLE_EQ(delta.L2MissesPerInstruction(), 0.04);
+  EXPECT_DOUBLE_EQ(delta.L3MissesPerInstruction(), 0.01);
+  EXPECT_DOUBLE_EQ(delta.MemRequestsPerCycle(), 0.006);
+}
+
+TEST(DiffSnapshotsTest, ComputesDeltas) {
+  const CounterSnapshot begin = MakeSnapshot(0, 1000, 500, 1.0);
+  const CounterSnapshot end = MakeSnapshot(10 * kMicrosPerSecond, 3000, 1500, 4.0);
+  const CounterDelta delta = DiffSnapshots(begin, end);
+  EXPECT_EQ(delta.cycles, 2000u);
+  EXPECT_EQ(delta.instructions, 1000u);
+  EXPECT_DOUBLE_EQ(delta.cpu_seconds, 3.0);
+  EXPECT_EQ(delta.window_begin, 0);
+  EXPECT_EQ(delta.window_end, 10 * kMicrosPerSecond);
+  EXPECT_DOUBLE_EQ(delta.Cpi(), 2.0);
+}
+
+TEST(DiffSnapshotsTest, CounterResetClampsToZero) {
+  // If the end snapshot is behind the begin (counter re-created), deltas
+  // clamp to zero instead of wrapping to huge values.
+  const CounterSnapshot begin = MakeSnapshot(0, 5000, 2000, 3.0);
+  const CounterSnapshot end = MakeSnapshot(kMicrosPerSecond, 100, 50, 1.0);
+  const CounterDelta delta = DiffSnapshots(begin, end);
+  EXPECT_EQ(delta.cycles, 0u);
+  EXPECT_EQ(delta.instructions, 0u);
+  EXPECT_DOUBLE_EQ(delta.cpu_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,185 @@
+#include "perf/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "perf/counter_source.h"
+
+namespace cpi2 {
+namespace {
+
+struct Emitted {
+  std::string container;
+  CounterDelta delta;
+};
+
+// A source whose counters advance linearly with the clock we feed it.
+class LinearSource : public CounterSource {
+ public:
+  void SetTime(MicroTime now) { now_ = now; }
+
+  void Fail(bool fail) { fail_ = fail; }
+
+  StatusOr<CounterSnapshot> Read(const std::string& container) override {
+    if (fail_) {
+      return UnavailableError("injected failure");
+    }
+    CounterSnapshot snapshot;
+    snapshot.timestamp = now_;
+    // 1e9 cycles/sec of CPU, CPI 2.0, 40% usage.
+    const double seconds = MicrosToSeconds(now_);
+    snapshot.cpu_seconds = 0.4 * seconds;
+    snapshot.cycles = static_cast<uint64_t>(snapshot.cpu_seconds * 1e9);
+    snapshot.instructions = snapshot.cycles / 2;
+    (void)container;
+    return snapshot;
+  }
+
+ private:
+  MicroTime now_ = 0;
+  bool fail_ = false;
+};
+
+CpiSampler::Options NoStaggerOptions() {
+  CpiSampler::Options options;
+  options.stagger_windows = false;
+  return options;
+}
+
+TEST(CpiSamplerTest, EmitsOneSamplePerMinute) {
+  LinearSource source;
+  std::vector<Emitted> emitted;
+  CpiSampler sampler(&source, NoStaggerOptions(),
+                     [&emitted](const std::string& container, const CounterDelta& delta) {
+                       emitted.push_back({container, delta});
+                     });
+  sampler.AddContainer("t0", 0);
+  for (MicroTime now = 0; now <= 5 * kMicrosPerMinute; now += kMicrosPerSecond) {
+    source.SetTime(now);
+    sampler.Tick(now);
+  }
+  // 5 minutes -> 5 completed windows (the 6th just started).
+  EXPECT_GE(emitted.size(), 5u);
+  EXPECT_LE(emitted.size(), 6u);
+  EXPECT_EQ(emitted.front().container, "t0");
+}
+
+TEST(CpiSamplerTest, WindowCoversSampleDuration) {
+  LinearSource source;
+  std::vector<Emitted> emitted;
+  CpiSampler sampler(&source, NoStaggerOptions(),
+                     [&emitted](const std::string& container, const CounterDelta& delta) {
+                       emitted.push_back({container, delta});
+                     });
+  sampler.AddContainer("t0", 0);
+  for (MicroTime now = 0; now <= 2 * kMicrosPerMinute; now += kMicrosPerSecond) {
+    source.SetTime(now);
+    sampler.Tick(now);
+  }
+  ASSERT_FALSE(emitted.empty());
+  const CounterDelta& delta = emitted.front().delta;
+  EXPECT_EQ(delta.window_end - delta.window_begin, 10 * kMicrosPerSecond);
+  // Usage should be the source's constant 0.4 CPU-s/s.
+  EXPECT_NEAR(delta.UsageRate(), 0.4, 1e-9);
+  EXPECT_NEAR(delta.Cpi(), 2.0, 1e-9);
+}
+
+TEST(CpiSamplerTest, StaggeringSpreadsWindowStarts) {
+  LinearSource source;
+  std::vector<Emitted> emitted;
+  CpiSampler::Options options;  // stagger on by default
+  CpiSampler sampler(&source, options,
+                     [&emitted](const std::string& container, const CounterDelta& delta) {
+                       emitted.push_back({container, delta});
+                     });
+  for (int i = 0; i < 10; ++i) {
+    sampler.AddContainer("t" + std::to_string(i), 0);
+  }
+  for (MicroTime now = 0; now <= 2 * kMicrosPerMinute; now += kMicrosPerSecond) {
+    source.SetTime(now);
+    sampler.Tick(now);
+  }
+  // All containers sampled...
+  ASSERT_GE(emitted.size(), 10u);
+  // ...and their window starts are not all identical.
+  std::set<MicroTime> starts;
+  for (const Emitted& e : emitted) {
+    starts.insert(e.delta.window_begin);
+  }
+  EXPECT_GT(starts.size(), 1u);
+}
+
+TEST(CpiSamplerTest, ReadFailureSkipsWindowAndCountsIt) {
+  LinearSource source;
+  int samples = 0;
+  CpiSampler sampler(&source, NoStaggerOptions(),
+                     [&samples](const std::string&, const CounterDelta&) { ++samples; });
+  sampler.AddContainer("t0", 0);
+  source.Fail(true);
+  for (MicroTime now = 0; now <= 3 * kMicrosPerMinute; now += kMicrosPerSecond) {
+    source.SetTime(now);
+    sampler.Tick(now);
+  }
+  EXPECT_EQ(samples, 0);
+  EXPECT_GT(sampler.read_failures(), 0);
+
+  // Recovery: once reads succeed again, samples resume.
+  source.Fail(false);
+  for (MicroTime now = 3 * kMicrosPerMinute; now <= 6 * kMicrosPerMinute;
+       now += kMicrosPerSecond) {
+    source.SetTime(now);
+    sampler.Tick(now);
+  }
+  EXPECT_GT(samples, 0);
+}
+
+TEST(CpiSamplerTest, RemoveContainerStopsSampling) {
+  LinearSource source;
+  int samples = 0;
+  CpiSampler sampler(&source, NoStaggerOptions(),
+                     [&samples](const std::string&, const CounterDelta&) { ++samples; });
+  sampler.AddContainer("t0", 0);
+  EXPECT_TRUE(sampler.HasContainer("t0"));
+  sampler.RemoveContainer("t0");
+  EXPECT_FALSE(sampler.HasContainer("t0"));
+  for (MicroTime now = 0; now <= 2 * kMicrosPerMinute; now += kMicrosPerSecond) {
+    source.SetTime(now);
+    sampler.Tick(now);
+  }
+  EXPECT_EQ(samples, 0);
+}
+
+TEST(CpiSamplerTest, DutyCycleKeepsOverheadLow) {
+  // The sampler must only hold counters ~10s per 60s: the emitted windows'
+  // total covered time is about 1/6 of wall time.
+  LinearSource source;
+  MicroTime covered = 0;
+  CpiSampler sampler(&source, NoStaggerOptions(),
+                     [&covered](const std::string&, const CounterDelta& delta) {
+                       covered += delta.window_end - delta.window_begin;
+                     });
+  sampler.AddContainer("t0", 0);
+  const MicroTime total = 30 * kMicrosPerMinute;
+  for (MicroTime now = 0; now <= total; now += kMicrosPerSecond) {
+    source.SetTime(now);
+    sampler.Tick(now);
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / static_cast<double>(total), 1.0 / 6.0, 0.02);
+}
+
+TEST(FakeCounterSourceTest, ReturnsSetSnapshots) {
+  FakeCounterSource source;
+  CounterSnapshot snapshot;
+  snapshot.cycles = 7;
+  source.SetSnapshot("a", snapshot);
+  const StatusOr<CounterSnapshot> read = source.Read("a");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->cycles, 7u);
+  EXPECT_FALSE(source.Read("missing").ok());
+  source.Remove("a");
+  EXPECT_FALSE(source.Read("a").ok());
+}
+
+}  // namespace
+}  // namespace cpi2

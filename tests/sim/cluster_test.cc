@@ -1,0 +1,125 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+
+namespace cpi2 {
+namespace {
+
+Cluster::Options FastOptions() {
+  Cluster::Options options;
+  options.seed = 5;
+  return options;
+}
+
+TEST(ClusterTest, TickAdvancesClock) {
+  Cluster cluster(FastOptions());
+  cluster.AddMachines(ReferencePlatform(), 2);
+  cluster.BuildScheduler();
+  EXPECT_EQ(cluster.now(), 0);
+  cluster.Tick();
+  EXPECT_EQ(cluster.now(), kMicrosPerSecond);
+  cluster.RunFor(kMicrosPerMinute);
+  EXPECT_EQ(cluster.now(), kMicrosPerMinute + kMicrosPerSecond);
+}
+
+TEST(ClusterTest, MachineNamesAreUniqueAndPlatformTagged) {
+  Cluster cluster(FastOptions());
+  cluster.AddMachines(ReferencePlatform(), 2);
+  cluster.AddMachines(OlderPlatform(), 1);
+  cluster.BuildScheduler();
+  ASSERT_EQ(cluster.machine_count(), 3u);
+  EXPECT_NE(cluster.machine(0)->name(), cluster.machine(1)->name());
+  EXPECT_NE(cluster.machine(2)->name().find("opteron"), std::string::npos);
+}
+
+TEST(ClusterTest, ListenersFireEveryTickInOrder) {
+  Cluster cluster(FastOptions());
+  cluster.AddMachines(ReferencePlatform(), 1);
+  cluster.BuildScheduler();
+  std::vector<int> order;
+  cluster.AddTickListener([&order](MicroTime) { order.push_back(1); });
+  cluster.AddTickListener([&order](MicroTime) { order.push_back(2); });
+  cluster.Tick();
+  cluster.Tick();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(ClusterTest, TasksRunDuringTicks) {
+  Cluster cluster(FastOptions());
+  cluster.AddMachines(ReferencePlatform(), 1);
+  cluster.BuildScheduler();
+  TaskSpec spec;
+  spec.job_name = "j";
+  spec.base_cpu_demand = 1.0;
+  spec.demand_cv = 0.0;
+  ASSERT_TRUE(cluster.scheduler().PlaceTask("j.0", spec).ok());
+  cluster.RunFor(10 * kMicrosPerSecond);
+  const Task* task = cluster.machine(0)->FindTask("j.0");
+  ASSERT_NE(task, nullptr);
+  EXPECT_NEAR(task->cpu_seconds(), 10.0, 1e-6);
+}
+
+TEST(ClusterTest, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [] {
+    Cluster cluster(FastOptions());
+    cluster.AddMachines(ReferencePlatform(), 1);
+    cluster.BuildScheduler();
+    TaskSpec spec;
+    spec.job_name = "j";
+    spec.base_cpu_demand = 0.7;
+    spec.demand_cv = 0.2;
+    spec.cpi_noise_cv = 0.1;
+    (void)cluster.scheduler().PlaceTask("j.0", spec);
+    cluster.RunFor(kMicrosPerMinute);
+    return cluster.machine(0)->FindTask("j.0")->cycles();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TraceRecorderTest, RecordsWatchedTask) {
+  Cluster cluster(FastOptions());
+  cluster.AddMachines(ReferencePlatform(), 1);
+  cluster.BuildScheduler();
+  TaskSpec spec;
+  spec.job_name = "j";
+  spec.base_cpu_demand = 0.5;
+  spec.demand_cv = 0.0;
+  ASSERT_TRUE(cluster.scheduler().PlaceTask("j.0", spec).ok());
+
+  TraceRecorder recorder(10 * kMicrosPerSecond);
+  recorder.Watch(cluster.machine(0), "j.0");
+  cluster.AddTickListener([&recorder](MicroTime now) { recorder.OnTick(now); });
+  cluster.RunFor(2 * kMicrosPerMinute);
+
+  const TaskTrace& trace = recorder.trace("j.0");
+  EXPECT_GE(trace.cpu_usage.size(), 10u);
+  EXPECT_GE(trace.cpi.size(), 10u);
+  EXPECT_NEAR(trace.cpu_usage.back().value, 0.5, 0.01);
+}
+
+TEST(TraceRecorderTest, SurvivesTaskExit) {
+  Cluster cluster(FastOptions());
+  cluster.AddMachines(ReferencePlatform(), 1);
+  cluster.BuildScheduler();
+  TaskSpec spec;
+  spec.job_name = "j";
+  spec.base_cpu_demand = 0.5;
+  ASSERT_TRUE(cluster.scheduler().PlaceTask("j.0", spec).ok());
+
+  TraceRecorder recorder(kMicrosPerSecond);
+  recorder.Watch(cluster.machine(0), "j.0");
+  cluster.AddTickListener([&recorder](MicroTime now) { recorder.OnTick(now); });
+  cluster.RunFor(5 * kMicrosPerSecond);
+  const size_t before = recorder.trace("j.0").cpu_usage.size();
+  ASSERT_TRUE(cluster.scheduler().EvictTask("j.0").ok());
+  cluster.RunFor(5 * kMicrosPerSecond);  // must not crash
+  EXPECT_EQ(recorder.trace("j.0").cpu_usage.size(), before);
+  EXPECT_EQ(recorder.trace("never-watched").cpu_usage.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,97 @@
+#include "sim/interference.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+TaskLoad Load(double cpu, double cache_mb, double mem, double sens) {
+  return {cpu, cache_mb, mem, sens};
+}
+
+TEST(InterferenceTest, EmptyInput) {
+  EXPECT_TRUE(ComputeInterference(ReferencePlatform(), {}, {}).empty());
+}
+
+TEST(InterferenceTest, LoneTaskSuffersNothing) {
+  const auto results =
+      ComputeInterference(ReferencePlatform(), {}, {Load(2.0, 10.0, 0.9, 1.0)});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].cpi_multiplier, 1.0);
+  EXPECT_GT(results[0].l3_mpi, 0.0);
+}
+
+TEST(InterferenceTest, AntagonistRaisesVictimCpi) {
+  const auto results = ComputeInterference(
+      ReferencePlatform(), {},
+      {Load(0.5, 2.0, 0.2, 0.8), Load(5.0, 18.0, 0.9, 0.0)});  // victim, antagonist
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].cpi_multiplier, 1.5) << "victim must feel the cache thrasher";
+  EXPECT_LT(results[1].cpi_multiplier, 1.2) << "insensitive antagonist barely cares";
+}
+
+TEST(InterferenceTest, MonotoneInAntagonistCpu) {
+  double previous = 0.0;
+  for (double cpu = 0.0; cpu <= 6.0; cpu += 0.5) {
+    const auto results = ComputeInterference(
+        ReferencePlatform(), {}, {Load(0.5, 2.0, 0.2, 0.8), Load(cpu, 18.0, 0.9, 0.0)});
+    EXPECT_GE(results[0].cpi_multiplier, previous)
+        << "victim CPI must not decrease as antagonist CPU rises";
+    previous = results[0].cpi_multiplier;
+  }
+}
+
+TEST(InterferenceTest, InsensitiveVictimUnaffectedByCacheTerm) {
+  InterferenceParams params;
+  params.bw_weight = 0.0;  // isolate the cache term
+  const auto results = ComputeInterference(
+      ReferencePlatform(), params, {Load(0.5, 2.0, 0.0, 0.0), Load(5.0, 18.0, 0.0, 0.0)});
+  EXPECT_DOUBLE_EQ(results[0].cpi_multiplier, 1.0);
+}
+
+TEST(InterferenceTest, CacheFootprintSaturatesAtL3Size) {
+  // 18 MB and 180 MB footprints pollute a 12 MB L3 identically.
+  const auto a = ComputeInterference(
+      ReferencePlatform(), {}, {Load(0.5, 2.0, 0.0, 0.8), Load(3.0, 18.0, 0.0, 0.0)});
+  const auto b = ComputeInterference(
+      ReferencePlatform(), {}, {Load(0.5, 2.0, 0.0, 0.8), Load(3.0, 180.0, 0.0, 0.0)});
+  EXPECT_DOUBLE_EQ(a[0].cpi_multiplier, b[0].cpi_multiplier);
+}
+
+TEST(InterferenceTest, OwnContributionExcluded) {
+  // A task is not its own antagonist: one heavy task alone has multiplier 1.
+  const auto results =
+      ComputeInterference(ReferencePlatform(), {}, {Load(6.0, 20.0, 1.0, 1.0)});
+  EXPECT_DOUBLE_EQ(results[0].cpi_multiplier, 1.0);
+}
+
+TEST(InterferenceTest, L3MissRateGrowsWithContention) {
+  const auto quiet = ComputeInterference(
+      ReferencePlatform(), {}, {Load(0.5, 2.0, 0.2, 0.8)});
+  const auto contended = ComputeInterference(
+      ReferencePlatform(), {}, {Load(0.5, 2.0, 0.2, 0.8), Load(5.0, 18.0, 0.9, 0.0)});
+  EXPECT_GT(contended[0].l3_mpi, quiet[0].l3_mpi)
+      << "Figure 15(c): CPI pain shows up as L3 misses";
+}
+
+TEST(InterferenceTest, SmallerCacheHurtsMore) {
+  // The older platform's 6 MB L3 makes the same antagonist more painful.
+  const auto newer = ComputeInterference(
+      ReferencePlatform(), {}, {Load(0.5, 2.0, 0.2, 0.8), Load(3.0, 5.0, 0.5, 0.0)});
+  const auto older = ComputeInterference(
+      OlderPlatform(), {}, {Load(0.5, 2.0, 0.2, 0.8), Load(3.0, 5.0, 0.5, 0.0)});
+  EXPECT_GT(older[0].cpi_multiplier, newer[0].cpi_multiplier);
+}
+
+TEST(InterferenceTest, BandwidthTermAffectsMemoryHungryVictimMore) {
+  InterferenceParams params;
+  params.cache_weight = 0.0;  // isolate the bandwidth term
+  const auto results = ComputeInterference(
+      ReferencePlatform(), params,
+      {Load(0.5, 2.0, 1.0, 0.5), Load(0.5, 2.0, 0.0, 0.5), Load(4.0, 2.0, 1.0, 0.0)});
+  EXPECT_GT(results[0].cpi_multiplier, results[1].cpi_multiplier)
+      << "a bandwidth-bound victim should suffer more from a streaming antagonist";
+}
+
+}  // namespace
+}  // namespace cpi2

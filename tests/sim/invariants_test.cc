@@ -1,0 +1,165 @@
+// Property tests: simulator invariants that must hold under randomized
+// workloads, seeds and capping patterns.
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+TaskSpec RandomSpec(Rng& rng) {
+  TaskSpec spec;
+  spec.job_name = StrFormat("job%d", static_cast<int>(rng.UniformInt(0, 9)));
+  spec.sched_class =
+      rng.Bernoulli(0.5) ? WorkloadClass::kLatencySensitive : WorkloadClass::kBatch;
+  spec.priority = rng.Bernoulli(0.3) ? JobPriority::kProduction
+                  : rng.Bernoulli(0.5) ? JobPriority::kBestEffort
+                                       : JobPriority::kNonProduction;
+  spec.cpu_request = rng.Uniform(0.05, 2.0);
+  spec.base_cpu_demand = rng.Uniform(0.05, 4.0);
+  spec.demand_cv = rng.Uniform(0.0, 0.5);
+  spec.demand_walk_sigma = rng.Bernoulli(0.3) ? rng.Uniform(0.0, 0.2) : 0.0;
+  spec.base_cpi = rng.Uniform(0.5, 3.0);
+  spec.cpi_noise_cv = rng.Uniform(0.0, 0.3);
+  spec.cpi_task_cv = rng.Uniform(0.0, 0.15);
+  spec.cpi_walk_sigma = rng.Bernoulli(0.3) ? rng.Uniform(0.0, 0.1) : 0.0;
+  spec.cache_mb = rng.Uniform(0.1, 24.0);
+  spec.memory_intensity = rng.Uniform(0.0, 1.0);
+  spec.contention_sensitivity = rng.Uniform(0.0, 1.0);
+  spec.idle_cpi_inflation = rng.Bernoulli(0.2) ? rng.Uniform(0.0, 3.0) : 0.0;
+  return spec;
+}
+
+class MachineInvariantsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MachineInvariantsTest, AllocationCountersAndCapsAreConsistent) {
+  Rng rng(GetParam());
+  Machine machine("m", rng.Bernoulli(0.5) ? ReferencePlatform() : OlderPlatform(), rng());
+  const int task_count = static_cast<int>(rng.UniformInt(1, 25));
+  std::vector<std::string> names;
+  for (int i = 0; i < task_count; ++i) {
+    const std::string name = StrFormat("t%d", i);
+    ASSERT_TRUE(machine.AddTask(name, RandomSpec(rng)).ok());
+    names.push_back(name);
+  }
+
+  std::map<std::string, uint64_t> last_cycles;
+  std::map<std::string, uint64_t> last_instructions;
+  MicroTime now = 0;
+  for (int s = 0; s < 300; ++s) {
+    // Random capping churn.
+    if (rng.Bernoulli(0.05)) {
+      (void)machine.SetCap(names[static_cast<size_t>(rng.UniformInt(0, task_count - 1))],
+                           rng.Uniform(0.01, 1.0));
+    }
+    if (rng.Bernoulli(0.05)) {
+      (void)machine.RemoveCap(names[static_cast<size_t>(rng.UniformInt(0, task_count - 1))]);
+    }
+
+    now += kMicrosPerSecond;
+    machine.Tick(now, kMicrosPerSecond);
+
+    // Invariant 1: total allocation never exceeds capacity.
+    double total = 0.0;
+    for (Task* task : machine.Tasks()) {
+      ASSERT_GE(task->last_usage(), 0.0);
+      total += task->last_usage();
+      // Invariant 2: a hard cap binds (small epsilon for accumulation).
+      if (task->IsCapped()) {
+        EXPECT_LE(task->last_usage(), task->cap() + 1e-9) << task->name();
+      }
+      // Invariant 3: effective CPI is positive and finite.
+      EXPECT_GT(task->last_cpi(), 0.0);
+      EXPECT_LT(task->last_cpi(), 1000.0);
+    }
+    EXPECT_LE(total, machine.platform().cores + 1e-6);
+    EXPECT_GE(machine.LastUtilization(), 0.0);
+    EXPECT_LE(machine.LastUtilization(), 1.0 + 1e-9);
+
+    // Invariant 4: counters are monotone.
+    for (Task* task : machine.Tasks()) {
+      EXPECT_GE(task->cycles(), last_cycles[task->name()]);
+      EXPECT_GE(task->instructions(), last_instructions[task->name()]);
+      last_cycles[task->name()] = task->cycles();
+      last_instructions[task->name()] = task->instructions();
+    }
+  }
+
+  // Invariant 5: CounterSource snapshots agree with the task state.
+  for (const std::string& name : names) {
+    const auto snapshot = machine.Read(name);
+    ASSERT_TRUE(snapshot.ok());
+    EXPECT_EQ(snapshot->cycles, last_cycles[name]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineInvariantsTest, ::testing::Range<uint64_t>(1, 13));
+
+class SchedulerInvariantsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerInvariantsTest, ReservationsNeverOversubscribeProduction) {
+  Rng rng(GetParam());
+  std::vector<std::unique_ptr<Machine>> machines;
+  const int machine_count = static_cast<int>(rng.UniformInt(2, 8));
+  std::vector<Machine*> raw;
+  for (int i = 0; i < machine_count; ++i) {
+    machines.push_back(
+        std::make_unique<Machine>(StrFormat("m%d", i), ReferencePlatform(), rng()));
+    raw.push_back(machines.back().get());
+  }
+  Scheduler::Options options;
+  options.batch_overcommit = rng.Uniform(1.0, 2.5);
+  Scheduler scheduler(raw, options, rng());
+
+  // Random placement / eviction / migration churn.
+  std::vector<std::string> placed;
+  for (int op = 0; op < 200; ++op) {
+    const double coin = rng.NextDouble();
+    if (coin < 0.6) {
+      const std::string name = StrFormat("t%d", op);
+      if (scheduler.PlaceTask(name, RandomSpec(rng)).ok()) {
+        placed.push_back(name);
+      }
+    } else if (coin < 0.8 && !placed.empty()) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(placed.size()) - 1));
+      (void)scheduler.EvictTask(placed[pick]);
+      placed.erase(placed.begin() + static_cast<long>(pick));
+    } else if (!placed.empty()) {
+      (void)scheduler.MigrateTask(
+          placed[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(placed.size()) - 1))]);
+    }
+
+    // Invariant: per machine, production requests <= cores and total
+    // requests <= cores * overcommit — recomputed from the actual tasks.
+    for (Machine* machine : raw) {
+      double production = 0.0;
+      double total = 0.0;
+      for (Task* task : machine->Tasks()) {
+        total += task->spec().cpu_request;
+        if (task->spec().priority == JobPriority::kProduction) {
+          production += task->spec().cpu_request;
+        }
+      }
+      const double cores = machine->platform().cores;
+      EXPECT_LE(production, cores + 1e-9) << machine->name();
+      EXPECT_LE(total, cores * options.batch_overcommit + 1e-9) << machine->name();
+    }
+  }
+
+  // Every placed task is where the scheduler thinks it is.
+  for (const std::string& name : placed) {
+    Machine* location = scheduler.LocateTask(name);
+    ASSERT_NE(location, nullptr) << name;
+    EXPECT_NE(location->FindTask(name), nullptr) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerInvariantsTest, ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace cpi2

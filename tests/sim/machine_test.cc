@@ -1,0 +1,170 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+TaskSpec QuietSpec(double demand) {
+  TaskSpec spec;
+  spec.job_name = "quiet";
+  spec.base_cpu_demand = demand;
+  spec.demand_cv = 0.0;
+  spec.cpi_noise_cv = 0.0;
+  spec.base_cpi = 1.0;
+  spec.cache_mb = 0.0;
+  spec.memory_intensity = 0.0;
+  spec.contention_sensitivity = 0.0;
+  return spec;
+}
+
+TEST(MachineTest, AddRemoveFindTask) {
+  Machine machine("m0", ReferencePlatform(), 1);
+  ASSERT_TRUE(machine.AddTask("a", QuietSpec(1.0)).ok());
+  EXPECT_NE(machine.FindTask("a"), nullptr);
+  EXPECT_EQ(machine.task_count(), 1u);
+  EXPECT_FALSE(machine.AddTask("a", QuietSpec(1.0)).ok()) << "duplicate names rejected";
+  ASSERT_TRUE(machine.RemoveTask("a").ok());
+  EXPECT_EQ(machine.FindTask("a"), nullptr);
+  EXPECT_FALSE(machine.RemoveTask("a").ok());
+}
+
+TEST(MachineTest, AllocationNeverExceedsCapacity) {
+  Machine machine("m0", ReferencePlatform(), 2);  // 12 cores
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(machine.AddTask("t" + std::to_string(i), QuietSpec(2.0)).ok());
+  }
+  machine.Tick(kMicrosPerSecond, kMicrosPerSecond);
+  double total = 0.0;
+  for (Task* task : machine.Tasks()) {
+    total += task->last_usage();
+  }
+  EXPECT_LE(total, 12.0 + 1e-9);
+  EXPECT_NEAR(machine.LastUtilization(), 1.0, 1e-9);
+}
+
+TEST(MachineTest, UndersubscribedTasksGetTheirDemand) {
+  Machine machine("m0", ReferencePlatform(), 3);
+  ASSERT_TRUE(machine.AddTask("a", QuietSpec(2.0)).ok());
+  ASSERT_TRUE(machine.AddTask("b", QuietSpec(3.0)).ok());
+  machine.Tick(kMicrosPerSecond, kMicrosPerSecond);
+  EXPECT_NEAR(machine.FindTask("a")->last_usage(), 2.0, 1e-9);
+  EXPECT_NEAR(machine.FindTask("b")->last_usage(), 3.0, 1e-9);
+  EXPECT_NEAR(machine.LastUtilization(), 5.0 / 12.0, 1e-9);
+}
+
+TEST(MachineTest, LatencySensitiveWinsUnderOverload) {
+  Machine machine("m0", ReferencePlatform(), 4);
+  TaskSpec ls = QuietSpec(8.0);
+  ls.sched_class = WorkloadClass::kLatencySensitive;
+  TaskSpec batch = QuietSpec(8.0);
+  batch.sched_class = WorkloadClass::kBatch;
+  ASSERT_TRUE(machine.AddTask("ls", ls).ok());
+  ASSERT_TRUE(machine.AddTask("batch", batch).ok());
+  machine.Tick(kMicrosPerSecond, kMicrosPerSecond);
+  EXPECT_NEAR(machine.FindTask("ls")->last_usage(), 8.0, 1e-9)
+      << "latency-sensitive demand is satisfied first";
+  EXPECT_NEAR(machine.FindTask("batch")->last_usage(), 4.0, 1e-9)
+      << "batch gets the remainder";
+}
+
+TEST(MachineTest, HardCapBindsAllocation) {
+  Machine machine("m0", ReferencePlatform(), 5);
+  ASSERT_TRUE(machine.AddTask("t", QuietSpec(4.0)).ok());
+  ASSERT_TRUE(machine.SetCap("t", 0.1).ok());
+  machine.Tick(kMicrosPerSecond, kMicrosPerSecond);
+  EXPECT_NEAR(machine.FindTask("t")->last_usage(), 0.1, 1e-9);
+  ASSERT_TRUE(machine.RemoveCap("t").ok());
+  machine.Tick(2 * kMicrosPerSecond, kMicrosPerSecond);
+  EXPECT_NEAR(machine.FindTask("t")->last_usage(), 4.0, 1e-9);
+}
+
+TEST(MachineTest, CpuControllerErrorsOnMissingTask) {
+  Machine machine("m0", ReferencePlatform(), 6);
+  EXPECT_EQ(machine.SetCap("nope", 0.1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(machine.RemoveCap("nope").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(machine.GetCap("nope").has_value());
+  EXPECT_FALSE(machine.SetCap("nope", -1.0).ok());
+}
+
+TEST(MachineTest, GetCapReflectsState) {
+  Machine machine("m0", ReferencePlatform(), 7);
+  ASSERT_TRUE(machine.AddTask("t", QuietSpec(1.0)).ok());
+  EXPECT_FALSE(machine.GetCap("t").has_value());
+  ASSERT_TRUE(machine.SetCap("t", 0.25).ok());
+  ASSERT_TRUE(machine.GetCap("t").has_value());
+  EXPECT_DOUBLE_EQ(*machine.GetCap("t"), 0.25);
+}
+
+TEST(MachineTest, CounterSourceReadsTaskCounters) {
+  Machine machine("m0", ReferencePlatform(), 8);
+  ASSERT_TRUE(machine.AddTask("t", QuietSpec(1.0)).ok());
+  for (int s = 1; s <= 10; ++s) {
+    machine.Tick(s * kMicrosPerSecond, kMicrosPerSecond);
+  }
+  const auto snapshot = machine.Read("t");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_NEAR(snapshot->cpu_seconds, 10.0, 1e-9);
+  // 10 CPU-sec at 2.6 GHz, CPI 1.0.
+  EXPECT_NEAR(static_cast<double>(snapshot->cycles), 2.6e10, 1e6);
+  EXPECT_NEAR(static_cast<double>(snapshot->instructions), 2.6e10, 2e6);
+  EXPECT_EQ(snapshot->timestamp, 10 * kMicrosPerSecond);
+  EXPECT_FALSE(machine.Read("missing").ok());
+}
+
+TEST(MachineTest, InterferenceShowsUpInVictimCpi) {
+  Machine machine("m0", ReferencePlatform(), 9);
+  TaskSpec victim = QuietSpec(0.5);
+  victim.contention_sensitivity = 0.8;
+  victim.cache_mb = 2.0;
+  ASSERT_TRUE(machine.AddTask("victim", victim).ok());
+  machine.Tick(kMicrosPerSecond, kMicrosPerSecond);
+  const double quiet_cpi = machine.FindTask("victim")->last_cpi();
+
+  TaskSpec antagonist = QuietSpec(5.0);
+  antagonist.cache_mb = 18.0;
+  antagonist.memory_intensity = 0.9;
+  ASSERT_TRUE(machine.AddTask("antagonist", antagonist).ok());
+  machine.Tick(2 * kMicrosPerSecond, kMicrosPerSecond);
+  const double contended_cpi = machine.FindTask("victim")->last_cpi();
+  EXPECT_GT(contended_cpi, quiet_cpi * 1.5);
+}
+
+TEST(MachineTest, DrainExitedReturnsSpecAndRemoves) {
+  Machine machine("m0", ReferencePlatform(), 10);
+  TaskSpec spec = QuietSpec(2.0);
+  spec.cap_behavior = CapBehavior::kSelfTerminate;
+  spec.priority = JobPriority::kBestEffort;
+  ASSERT_TRUE(machine.AddTask("t", spec).ok());
+
+  // Force two cap episodes so the task self-terminates.
+  ASSERT_TRUE(machine.SetCap("t", 0.01).ok());
+  MicroTime now = 0;
+  for (int s = 0; s < 60; ++s) {
+    machine.Tick(now += kMicrosPerSecond, kMicrosPerSecond);
+  }
+  ASSERT_TRUE(machine.RemoveCap("t").ok());
+  for (int s = 0; s < 60; ++s) {
+    machine.Tick(now += kMicrosPerSecond, kMicrosPerSecond);
+  }
+  ASSERT_TRUE(machine.SetCap("t", 0.01).ok());
+  for (int s = 0; s < 300; ++s) {
+    machine.Tick(now += kMicrosPerSecond, kMicrosPerSecond);
+  }
+
+  const auto exited = machine.DrainExited();
+  ASSERT_EQ(exited.size(), 1u);
+  EXPECT_EQ(exited[0].name, "t");
+  EXPECT_EQ(exited[0].spec.priority, JobPriority::kBestEffort);
+  EXPECT_EQ(machine.task_count(), 0u);
+  EXPECT_TRUE(machine.DrainExited().empty());
+}
+
+TEST(MachineTest, EmptyMachineTicksSafely) {
+  Machine machine("m0", ReferencePlatform(), 11);
+  machine.Tick(kMicrosPerSecond, kMicrosPerSecond);
+  EXPECT_DOUBLE_EQ(machine.LastUtilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,115 @@
+// Scheduler preemption of starved batch tasks (paper section 2: the
+// scheduler speculatively over-commits batch work, and "if the scheduler
+// guesses wrong, it may need to preempt a batch task and move it to another
+// machine").
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/scheduler.h"
+
+namespace cpi2 {
+namespace {
+
+TaskSpec LsHog(double demand) {
+  TaskSpec spec;
+  spec.job_name = "hog";
+  spec.sched_class = WorkloadClass::kLatencySensitive;
+  spec.priority = JobPriority::kProduction;
+  spec.cpu_request = demand;
+  spec.base_cpu_demand = demand;
+  spec.demand_cv = 0.0;
+  return spec;
+}
+
+TaskSpec BatchWorker(double demand) {
+  TaskSpec spec;
+  spec.job_name = "batch";
+  spec.sched_class = WorkloadClass::kBatch;
+  spec.priority = JobPriority::kBestEffort;
+  spec.cpu_request = demand * 0.5;  // over-committed
+  spec.base_cpu_demand = demand;
+  spec.demand_cv = 0.0;
+  return spec;
+}
+
+class PreemptionTest : public ::testing::Test {
+ protected:
+  void Build(Scheduler::Options options) {
+    for (int i = 0; i < 2; ++i) {
+      machines_.push_back(
+          std::make_unique<Machine>("m" + std::to_string(i), ReferencePlatform(), 7 + i));
+    }
+    std::vector<Machine*> raw{machines_[0].get(), machines_[1].get()};
+    scheduler_ = std::make_unique<Scheduler>(raw, options, 3);
+  }
+
+  void RunTicks(int seconds) {
+    for (int s = 0; s < seconds; ++s) {
+      now_ += kMicrosPerSecond;
+      for (auto& machine : machines_) {
+        machine->Tick(now_, kMicrosPerSecond);
+      }
+      scheduler_->Maintain(now_);
+    }
+  }
+
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::unique_ptr<Scheduler> scheduler_;
+  MicroTime now_ = 0;
+};
+
+TEST_F(PreemptionTest, StarvedBatchTaskIsMovedToAnotherMachine) {
+  Scheduler::Options options;
+  options.preemption_satisfaction = 0.4;
+  options.preemption_patience = 30;
+  options.restart_delay = 5 * kMicrosPerSecond;
+  Build(options);
+
+  // Place the batch task through the scheduler (so it owns the placement),
+  // then drop a latency-sensitive hog directly onto whichever machine it
+  // landed on: LS demand eats all 12 cores and the batch task starves.
+  ASSERT_TRUE(scheduler_->PlaceTask("batch.0", BatchWorker(2.0)).ok());
+  Machine* batch_home = scheduler_->LocateTask("batch.0");
+  ASSERT_NE(batch_home, nullptr);
+  ASSERT_TRUE(batch_home->AddTask("hog.0", LsHog(12.0)).ok());
+  const std::string starved_machine = batch_home->name();
+
+  // The batch task gets ~0 CPU; after the patience window it is preempted
+  // and restarted on the other machine.
+  RunTicks(120);
+  EXPECT_GE(scheduler_->total_preemptions(), 1);
+  Machine* new_home = scheduler_->LocateTask("batch.0");
+  ASSERT_NE(new_home, nullptr);
+  EXPECT_NE(new_home->name(), starved_machine);
+  EXPECT_NE(new_home->FindTask("batch.0"), nullptr);
+}
+
+TEST_F(PreemptionTest, HealthyBatchIsLeftAlone) {
+  Scheduler::Options options;
+  options.preemption_satisfaction = 0.4;
+  options.preemption_patience = 30;
+  Build(options);
+  ASSERT_TRUE(scheduler_->PlaceTask("batch.0", BatchWorker(2.0)).ok());
+  RunTicks(200);
+  EXPECT_EQ(scheduler_->total_preemptions(), 0);
+}
+
+TEST_F(PreemptionTest, DisabledPreemptionNeverFires) {
+  Scheduler::Options options;
+  options.preemption_satisfaction = 0.0;  // disabled
+  Build(options);
+  Machine* m0 = machines_[0].get();
+  ASSERT_TRUE(m0->AddTask("hog.0", LsHog(12.0)).ok());
+  ASSERT_TRUE(scheduler_->PlaceTask("batch.0", BatchWorker(2.0)).ok());
+  Machine* home = scheduler_->LocateTask("batch.0");
+  if (home->FindTask("hog.0") == nullptr) {
+    ASSERT_TRUE(home->AddTask("hog.1", LsHog(12.0)).ok());
+  }
+  RunTicks(200);
+  EXPECT_EQ(scheduler_->total_preemptions(), 0);
+}
+
+}  // namespace
+}  // namespace cpi2

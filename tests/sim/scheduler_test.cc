@@ -1,0 +1,197 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace cpi2 {
+namespace {
+
+TaskSpec SpecWith(double request, JobPriority priority, const std::string& job = "job") {
+  TaskSpec spec;
+  spec.job_name = job;
+  spec.cpu_request = request;
+  spec.base_cpu_demand = request * 0.8;
+  spec.priority = priority;
+  spec.demand_cv = 0.0;
+  return spec;
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void MakeMachines(int count) {
+    for (int i = 0; i < count; ++i) {
+      machines_.push_back(std::make_unique<Machine>("m" + std::to_string(i),
+                                                    ReferencePlatform(),  // 12 cores
+                                                    static_cast<uint64_t>(i + 1)));
+    }
+    std::vector<Machine*> raw;
+    for (auto& machine : machines_) {
+      raw.push_back(machine.get());
+    }
+    scheduler_ = std::make_unique<Scheduler>(raw, options_, /*seed=*/7);
+  }
+
+  Scheduler::Options options_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+TEST_F(SchedulerTest, SubmitJobPlacesAllTasks) {
+  MakeMachines(4);
+  JobSpec job;
+  job.name = "websearch";
+  job.task_count = 8;
+  job.task = SpecWith(1.0, JobPriority::kProduction);
+  ASSERT_TRUE(scheduler_->SubmitJob(job).ok());
+  size_t placed = 0;
+  for (auto& machine : machines_) {
+    placed += machine->task_count();
+  }
+  EXPECT_EQ(placed, 8u);
+  EXPECT_EQ(scheduler_->total_placed(), 8);
+  EXPECT_NE(scheduler_->LocateTask("websearch.0"), nullptr);
+  EXPECT_NE(scheduler_->LocateTask("websearch.7"), nullptr);
+  EXPECT_EQ(scheduler_->LocateTask("websearch.8"), nullptr);
+}
+
+TEST_F(SchedulerTest, ProductionNeverOversubscribed) {
+  MakeMachines(2);  // 24 production-reservable cores total
+  JobSpec job;
+  job.name = "prod";
+  job.task_count = 4;
+  job.task = SpecWith(6.0, JobPriority::kProduction);
+  ASSERT_TRUE(scheduler_->SubmitJob(job).ok());  // fills 24 cores exactly
+
+  JobSpec overflow;
+  overflow.name = "prod2";
+  overflow.task_count = 1;
+  overflow.task = SpecWith(6.0, JobPriority::kProduction);
+  EXPECT_FALSE(scheduler_->SubmitJob(overflow).ok())
+      << "production reservations beyond capacity must be refused";
+}
+
+TEST_F(SchedulerTest, BatchMayOvercommit) {
+  options_.batch_overcommit = 1.5;
+  MakeMachines(1);  // 12 cores, 18 with overcommit
+  JobSpec batch;
+  batch.name = "batch";
+  batch.task_count = 17;
+  batch.task = SpecWith(1.0, JobPriority::kNonProduction);
+  EXPECT_TRUE(scheduler_->SubmitJob(batch).ok());
+
+  JobSpec more;
+  more.name = "more";
+  more.task_count = 2;
+  more.task = SpecWith(1.0, JobPriority::kNonProduction);
+  EXPECT_FALSE(scheduler_->SubmitJob(more).ok()) << "overcommit factor still bounds placement";
+}
+
+TEST_F(SchedulerTest, SubmitIsAllOrNothing) {
+  MakeMachines(1);
+  JobSpec too_big;
+  too_big.name = "big";
+  too_big.task_count = 30;
+  too_big.task = SpecWith(1.0, JobPriority::kNonProduction);
+  EXPECT_FALSE(scheduler_->SubmitJob(too_big).ok());
+  EXPECT_EQ(machines_[0]->task_count(), 0u) << "failed submission must leave nothing behind";
+}
+
+TEST_F(SchedulerTest, EvictReleasesReservation) {
+  MakeMachines(1);
+  JobSpec job;
+  job.name = "a";
+  job.task_count = 12;
+  job.task = SpecWith(1.0, JobPriority::kProduction);
+  ASSERT_TRUE(scheduler_->SubmitJob(job).ok());
+
+  // Full: another production task does not fit...
+  EXPECT_FALSE(scheduler_->PlaceTask("b.0", SpecWith(1.0, JobPriority::kProduction, "b")).ok());
+  // ...until one is evicted.
+  ASSERT_TRUE(scheduler_->EvictTask("a.0").ok());
+  EXPECT_TRUE(scheduler_->PlaceTask("b.0", SpecWith(1.0, JobPriority::kProduction, "b")).ok());
+  EXPECT_FALSE(scheduler_->EvictTask("a.0").ok()) << "double eviction reports NotFound";
+}
+
+TEST_F(SchedulerTest, MigrateMovesToDifferentMachine) {
+  MakeMachines(3);
+  ASSERT_TRUE(scheduler_->PlaceTask("t.0", SpecWith(1.0, JobPriority::kProduction)).ok());
+  Machine* original = scheduler_->LocateTask("t.0");
+  ASSERT_NE(original, nullptr);
+  ASSERT_TRUE(scheduler_->MigrateTask("t.0").ok());
+  Machine* current = scheduler_->LocateTask("t.0");
+  ASSERT_NE(current, nullptr);
+  EXPECT_NE(current->name(), original->name());
+  EXPECT_EQ(original->FindTask("t.0"), nullptr);
+  EXPECT_NE(current->FindTask("t.0"), nullptr);
+}
+
+TEST_F(SchedulerTest, MigrateWithNowhereToGoRestoresTask) {
+  MakeMachines(1);
+  ASSERT_TRUE(scheduler_->PlaceTask("t.0", SpecWith(1.0, JobPriority::kProduction)).ok());
+  EXPECT_FALSE(scheduler_->MigrateTask("t.0").ok());
+  EXPECT_NE(machines_[0]->FindTask("t.0"), nullptr) << "task must survive a failed migration";
+}
+
+TEST_F(SchedulerTest, SelfExitedBatchTaskIsRestartedElsewhere) {
+  options_.restart_delay = 5 * kMicrosPerSecond;
+  MakeMachines(2);
+  TaskSpec spec = SpecWith(1.0, JobPriority::kBestEffort);
+  spec.cap_behavior = CapBehavior::kSelfTerminate;
+  spec.base_cpu_demand = 2.0;
+  ASSERT_TRUE(scheduler_->PlaceTask("mr.0", spec).ok());
+  Machine* original = scheduler_->LocateTask("mr.0");
+  ASSERT_NE(original, nullptr);
+
+  // Drive the task to self-termination: two binding cap episodes.
+  MicroTime now = 0;
+  ASSERT_TRUE(original->SetCap("mr.0", 0.01).ok());
+  auto run = [&](int seconds) {
+    for (int s = 0; s < seconds; ++s) {
+      now += kMicrosPerSecond;
+      original->Tick(now, kMicrosPerSecond);
+      scheduler_->Maintain(now);
+    }
+  };
+  run(60);
+  ASSERT_TRUE(original->RemoveCap("mr.0").ok());
+  run(30);
+  ASSERT_TRUE(original->SetCap("mr.0", 0.01).ok());
+  run(200);
+
+  // The task must have exited and been restarted on the other machine.
+  ASSERT_EQ(scheduler_->total_restarts(), 1);
+  Machine* replacement = scheduler_->LocateTask("mr.0");
+  ASSERT_NE(replacement, nullptr);
+  EXPECT_NE(replacement->name(), original->name());
+}
+
+TEST_F(SchedulerTest, AntagonistConstraintAvoidsColocation) {
+  MakeMachines(2);
+  // Fill machine m0 with the antagonist.
+  TaskSpec antagonist = SpecWith(0.5, JobPriority::kBestEffort, "thrasher");
+  ASSERT_TRUE(scheduler_->PlaceTask("thrasher.0", antagonist).ok());
+  Machine* antagonist_machine = scheduler_->LocateTask("thrasher.0");
+  ASSERT_NE(antagonist_machine, nullptr);
+
+  scheduler_->AddAntagonistConstraint("victim", "thrasher");
+  for (int i = 0; i < 10; ++i) {
+    const std::string name = "victim." + std::to_string(i);
+    ASSERT_TRUE(
+        scheduler_->PlaceTask(name, SpecWith(0.5, JobPriority::kProduction, "victim")).ok());
+    EXPECT_NE(scheduler_->LocateTask(name)->name(), antagonist_machine->name())
+        << "victim tasks must avoid the antagonist's machine";
+  }
+}
+
+TEST_F(SchedulerTest, RejectsEmptyJob) {
+  MakeMachines(1);
+  JobSpec job;
+  job.name = "empty";
+  job.task_count = 0;
+  EXPECT_FALSE(scheduler_->SubmitJob(job).ok());
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,232 @@
+#include "sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/streaming.h"
+
+namespace cpi2 {
+namespace {
+
+TaskSpec BasicSpec() {
+  TaskSpec spec;
+  spec.job_name = "job";
+  spec.base_cpu_demand = 1.0;
+  spec.demand_cv = 0.0;
+  spec.cpi_noise_cv = 0.0;
+  spec.cpi_task_cv = 0.0;
+  spec.latency_task_cv = 0.0;
+  spec.base_cpi = 2.0;
+  return spec;
+}
+
+TEST(DiurnalCurveTest, FlatWhenZeroAmplitude) {
+  DiurnalCurve curve{0.0, 0};
+  EXPECT_DOUBLE_EQ(curve.Factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.Factor(12 * kMicrosPerHour), 1.0);
+}
+
+TEST(DiurnalCurveTest, PeaksAtPeakOffset) {
+  DiurnalCurve curve{0.3, 14 * kMicrosPerHour};
+  EXPECT_NEAR(curve.Factor(14 * kMicrosPerHour), 1.3, 1e-9);
+  EXPECT_NEAR(curve.Factor(2 * kMicrosPerHour), 0.7, 1e-9);  // trough 12 h away
+  // Mean over a day is ~1.
+  double sum = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    sum += curve.Factor(h * kMicrosPerHour);
+  }
+  EXPECT_NEAR(sum / 24.0, 1.0, 1e-6);
+}
+
+TEST(TaskTest, DesiredCpuMatchesBaseWithoutNoise) {
+  Task task("t", BasicSpec(), Rng(1));
+  EXPECT_DOUBLE_EQ(task.DesiredCpu(0), 1.0);
+}
+
+TEST(TaskTest, DesiredCpuNoiseAveragesToBase) {
+  TaskSpec spec = BasicSpec();
+  spec.demand_cv = 0.3;
+  Task task("t", spec, Rng(2));
+  StreamingStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(task.DesiredCpu(i * kMicrosPerSecond));
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.02);
+  EXPECT_NEAR(stats.coefficient_of_variation(), 0.3, 0.02);
+}
+
+TEST(TaskTest, BimodalDemandAlternates) {
+  TaskSpec spec = BasicSpec();
+  spec.base_cpu_demand = 0.4;
+  spec.alt_cpu_demand = 0.05;
+  spec.mode_half_period = 10 * kMicrosPerMinute;
+  spec.mode_start_time = 5 * kMicrosPerMinute;
+  Task task("t", spec, Rng(3));
+  // Before the episode begins: base mode.
+  EXPECT_NEAR(task.DesiredCpu(kMicrosPerMinute), 0.4, 1e-9);
+  // Episode starts in the alternate (low) mode, then flips every half-period.
+  EXPECT_NEAR(task.DesiredCpu(6 * kMicrosPerMinute), 0.05, 1e-9);
+  EXPECT_NEAR(task.DesiredCpu(16 * kMicrosPerMinute), 0.4, 1e-9);
+  EXPECT_NEAR(task.DesiredCpu(26 * kMicrosPerMinute), 0.05, 1e-9);
+}
+
+TEST(TaskTest, CapBoundsAreExposed) {
+  Task task("t", BasicSpec(), Rng(4));
+  EXPECT_FALSE(task.IsCapped());
+  task.SetCap(0.1);
+  EXPECT_TRUE(task.IsCapped());
+  EXPECT_DOUBLE_EQ(task.cap(), 0.1);
+  task.RemoveCap();
+  EXPECT_FALSE(task.IsCapped());
+}
+
+TEST(TaskTest, AccountAccumulatesCounters) {
+  Task task("t", BasicSpec(), Rng(5));
+  const Platform platform = ReferencePlatform();
+  task.Account(0, 1.0, 1.0, 2.0, 0.01, platform);
+  // 1 CPU-sec at 2.6 GHz = 2.6e9 cycles; CPI 2 -> 1.3e9 instructions.
+  EXPECT_EQ(task.cycles(), static_cast<uint64_t>(2.6e9));
+  EXPECT_EQ(task.instructions(), static_cast<uint64_t>(1.3e9));
+  EXPECT_EQ(task.l3_misses(), static_cast<uint64_t>(1.3e7));
+  EXPECT_DOUBLE_EQ(task.cpu_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(task.last_cpi(), 2.0);
+  EXPECT_DOUBLE_EQ(task.last_usage(), 1.0);
+
+  task.Account(kMicrosPerSecond, 1.0, 0.5, 2.0, 0.01, platform);
+  EXPECT_DOUBLE_EQ(task.cpu_seconds(), 1.5);
+}
+
+TEST(TaskTest, LatencyTracksCpiForComputeBoundTask) {
+  TaskSpec spec = BasicSpec();
+  spec.base_latency_ms = 40.0;
+  spec.latency_io_fraction = 0.0;
+  Task task("t", spec, Rng(6));
+  const Platform platform = ReferencePlatform();
+  task.Account(0, 1.0, 1.0, 2.0, 0.01, platform);  // at base CPI
+  EXPECT_NEAR(task.last_latency_ms(), 40.0, 1e-9);
+  task.Account(kMicrosPerSecond, 1.0, 1.0, 4.0, 0.01, platform);  // 2x CPI
+  EXPECT_NEAR(task.last_latency_ms(), 80.0, 1e-9);
+}
+
+TEST(TaskTest, RootNodeLatencyIgnoresCpi) {
+  TaskSpec spec = BasicSpec();
+  spec.base_latency_ms = 100.0;
+  spec.latency_io_fraction = 1.0;
+  Task task("t", spec, Rng(7));
+  const Platform platform = ReferencePlatform();
+  StreamingStats at_base;
+  StreamingStats at_4x;
+  for (int i = 0; i < 1000; ++i) {
+    task.Account(i * kMicrosPerSecond, 1.0, 1.0, 2.0, 0.01, platform);
+    at_base.Add(task.last_latency_ms());
+    task.Account(i * kMicrosPerSecond, 1.0, 1.0, 8.0, 0.01, platform);
+    at_4x.Add(task.last_latency_ms());
+  }
+  EXPECT_NEAR(at_base.mean(), at_4x.mean(), 3.0)
+      << "pure-fanout latency must not react to local CPI";
+}
+
+TEST(TaskTest, TpsFollowsInstructionRate) {
+  TaskSpec spec = BasicSpec();
+  spec.instr_per_txn = 1e6;
+  spec.tps_noise_cv = 0.0;
+  Task task("t", spec, Rng(8));
+  const Platform platform = ReferencePlatform();
+  task.Account(0, 1.0, 1.0, 2.0, 0.001, platform);
+  // IPS = 2.6e9 / 2 = 1.3e9 -> TPS = 1300.
+  EXPECT_NEAR(task.last_tps(), 1300.0, 1.0);
+}
+
+TEST(TaskTest, LameDuckLifecycle) {
+  TaskSpec spec = BasicSpec();
+  spec.cap_behavior = CapBehavior::kLameDuck;
+  spec.base_threads = 8;
+  spec.lame_duck_duration = 10 * kMicrosPerMinute;
+  Task task("t", spec, Rng(9));
+  const Platform platform = ReferencePlatform();
+
+  EXPECT_EQ(task.threads(), 8);
+  // Cap it hard and run a few minutes: threads pile up.
+  task.SetCap(0.01);
+  for (int s = 0; s < 300; ++s) {
+    task.Account(s * kMicrosPerSecond, 1.0, 0.01, 2.0, 0.01, platform);
+  }
+  EXPECT_GT(task.threads(), 40);
+  EXPECT_LE(task.threads(), 80);
+
+  // Lift the cap: lame-duck mode (2 threads, 10% demand).
+  task.RemoveCap();
+  const MicroTime lift = 301 * kMicrosPerSecond;
+  task.Account(lift, 1.0, 0.5, 2.0, 0.01, platform);
+  EXPECT_EQ(task.threads(), 2);
+  EXPECT_LT(task.DesiredCpu(lift + kMicrosPerSecond), 0.2);
+
+  // After the lame-duck dwell, normal behaviour returns.
+  const MicroTime later = lift + 11 * kMicrosPerMinute;
+  task.Account(later, 1.0, 0.5, 2.0, 0.01, platform);
+  EXPECT_EQ(task.threads(), 8);
+  EXPECT_NEAR(task.DesiredCpu(later + kMicrosPerSecond), 1.0, 1e-9);
+}
+
+TEST(TaskTest, SelfTerminateOnSecondCapEpisode) {
+  TaskSpec spec = BasicSpec();
+  spec.cap_behavior = CapBehavior::kSelfTerminate;
+  Task task("t", spec, Rng(10));
+  const Platform platform = ReferencePlatform();
+
+  // First episode: survives.
+  task.SetCap(0.01);
+  MicroTime t = 0;
+  for (; t < 5 * kMicrosPerMinute; t += kMicrosPerSecond) {
+    task.Account(t, 1.0, 0.01, 2.0, 0.01, platform);
+  }
+  EXPECT_FALSE(task.exited());
+  task.RemoveCap();
+  for (; t < 8 * kMicrosPerMinute; t += kMicrosPerSecond) {
+    task.Account(t, 1.0, 1.0, 2.0, 0.01, platform);
+  }
+  EXPECT_FALSE(task.exited());
+
+  // Second episode: gives up after a couple of minutes.
+  task.SetCap(0.01);
+  for (; t < 12 * kMicrosPerMinute && !task.exited(); t += kMicrosPerSecond) {
+    task.Account(t, 1.0, 0.01, 2.0, 0.01, platform);
+  }
+  EXPECT_TRUE(task.exited());
+  EXPECT_DOUBLE_EQ(task.DesiredCpu(t), 0.0);
+}
+
+TEST(TaskTest, ToleratingTaskNeverExits) {
+  TaskSpec spec = BasicSpec();
+  spec.cap_behavior = CapBehavior::kTolerate;
+  Task task("t", spec, Rng(11));
+  const Platform platform = ReferencePlatform();
+  task.SetCap(0.01);
+  for (MicroTime t = 0; t < 30 * kMicrosPerMinute; t += kMicrosPerSecond) {
+    task.Account(t, 1.0, 0.01, 2.0, 0.01, platform);
+  }
+  EXPECT_FALSE(task.exited());
+  EXPECT_EQ(task.threads(), spec.base_threads);
+}
+
+TEST(TaskTest, DemandWalkStaysCentered) {
+  TaskSpec spec = BasicSpec();
+  spec.demand_walk_sigma = 0.08;
+  spec.demand_walk_revert = 0.03;
+  Task task("t", spec, Rng(12));
+  StreamingStats stats;
+  for (MicroTime t = 0; t < 2 * kMicrosPerDay; t += kMicrosPerMinute) {
+    stats.Add(task.DesiredCpu(t));
+  }
+  // Mean reversion keeps the walk near the base demand but with real spread.
+  EXPECT_NEAR(stats.mean(), 1.0, 0.25);
+  EXPECT_GT(stats.coefficient_of_variation(), 0.1);
+}
+
+TEST(TaskTest, BaseCpiScalesWithPlatform) {
+  Task task("t", BasicSpec(), Rng(13));
+  EXPECT_DOUBLE_EQ(task.BaseCpiOn(ReferencePlatform()), 2.0);
+  EXPECT_DOUBLE_EQ(task.BaseCpiOn(OlderPlatform()), 2.0 * 1.25);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,104 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cpi2 {
+namespace {
+
+TEST(PearsonTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(PearsonTest, TooFewPointsIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(PearsonTest, UsesCommonPrefixOnLengthMismatch) {
+  // Only the first 3 pairs participate.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 100}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, IndependentSeriesNearZero) {
+  Rng rng(12);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 20000; ++i) {
+    a.push_back(rng.StandardNormal());
+    b.push_back(rng.StandardNormal());
+  }
+  EXPECT_NEAR(PearsonCorrelation(a, b), 0.0, 0.02);
+}
+
+// Property: correlation is always within [-1, 1] for arbitrary data.
+class PearsonBoundsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PearsonBoundsTest, WithinBounds) {
+  Rng rng(GetParam());
+  std::vector<double> a;
+  std::vector<double> b;
+  const int n = static_cast<int>(rng.UniformInt(2, 200));
+  for (int i = 0; i < n; ++i) {
+    a.push_back(rng.Uniform(-1e6, 1e6));
+    b.push_back(rng.Pareto(1.0, 1.1) * (rng.Bernoulli(0.5) ? 1 : -1));
+  }
+  const double r = PearsonCorrelation(a, b);
+  EXPECT_GE(r, -1.0 - 1e-12);
+  EXPECT_LE(r, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PearsonBoundsTest, ::testing::Range<uint64_t>(1, 21));
+
+TEST(OlsTest, RecoverTrueLine) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 10000; ++i) {
+    const double xi = rng.Uniform(0.0, 10.0);
+    x.push_back(xi);
+    y.push_back(3.0 * xi + 1.0 + rng.Normal(0.0, 0.1));
+  }
+  const OlsFit fit = FitOls(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_EQ(fit.n, 10000u);
+}
+
+TEST(OlsTest, DegenerateInputs) {
+  const OlsFit empty = FitOls({}, {});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.slope, 0.0);
+
+  const OlsFit constant_x = FitOls({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(constant_x.slope, 0.0);
+  EXPECT_DOUBLE_EQ(constant_x.r, 0.0);
+}
+
+TEST(OlsTest, RSquaredIsSquareOfR) {
+  Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = rng.StandardNormal();
+    x.push_back(xi);
+    y.push_back(-2.0 * xi + rng.StandardNormal());
+  }
+  const OlsFit fit = FitOls(x, y);
+  EXPECT_NEAR(fit.r_squared, fit.r * fit.r, 1e-12);
+  EXPECT_LT(fit.r, 0.0);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,63 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+TEST(HistogramTest, BinPlacement) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.Add(0.5);   // bin 0
+  histogram.Add(9.99);  // bin 9
+  histogram.Add(5.0);   // bin 5
+  EXPECT_EQ(histogram.BinCount(0), 1);
+  EXPECT_EQ(histogram.BinCount(9), 1);
+  EXPECT_EQ(histogram.BinCount(5), 1);
+  EXPECT_EQ(histogram.total(), 3);
+}
+
+TEST(HistogramTest, UnderflowAndOverflow) {
+  Histogram histogram(1.0, 2.0, 4);
+  histogram.Add(0.5);
+  histogram.Add(2.0);  // hi is exclusive
+  histogram.Add(99.0);
+  EXPECT_EQ(histogram.underflow(), 1);
+  EXPECT_EQ(histogram.overflow(), 2);
+  EXPECT_EQ(histogram.total(), 3);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram histogram(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(histogram.BinCenter(0), 0.125);
+  EXPECT_DOUBLE_EQ(histogram.BinCenter(3), 0.875);
+}
+
+TEST(HistogramTest, FractionsSumToOneWithoutOverflow) {
+  Histogram histogram(0.0, 10.0, 5);
+  for (int i = 0; i < 100; ++i) {
+    histogram.Add(static_cast<double>(i % 10));
+  }
+  double total_fraction = 0.0;
+  for (int i = 0; i < histogram.bins(); ++i) {
+    total_fraction += histogram.BinFraction(i);
+  }
+  EXPECT_NEAR(total_fraction, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, RowsSkipEmptyEdges) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.Add(4.5);
+  histogram.Add(5.5);
+  const auto rows = histogram.Rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows.front().first, 4.5);
+  EXPECT_DOUBLE_EQ(rows.back().first, 5.5);
+}
+
+TEST(HistogramTest, EmptyRows) {
+  Histogram histogram(0.0, 1.0, 3);
+  EXPECT_TRUE(histogram.Rows().empty());
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,125 @@
+#include "stats/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpi2 {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleValue) {
+  StreamingStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(StreamingStatsTest, KnownValues) {
+  StreamingStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.population_variance(), 4.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+// Property check: Welford must agree with the two-pass formula on random
+// data across magnitudes (numerical stability).
+class StreamingVsTwoPassTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StreamingVsTwoPassTest, AgreesWithTwoPass) {
+  const double offset = GetParam();
+  Rng rng(99);
+  std::vector<double> data;
+  StreamingStats stats;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = offset + rng.Normal(0.0, 3.0);
+    data.push_back(x);
+    stats.Add(x);
+  }
+  double mean = 0.0;
+  for (double x : data) {
+    mean += x;
+  }
+  mean /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (double x : data) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<double>(data.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9 * (1.0 + std::fabs(offset)));
+  EXPECT_NEAR(stats.variance(), var, 1e-6 * var + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, StreamingVsTwoPassTest,
+                         ::testing::Values(0.0, 1.0, 1e3, 1e6, 1e9, -1e6));
+
+TEST(StreamingStatsTest, MergeMatchesSequential) {
+  Rng rng(7);
+  StreamingStats all;
+  StreamingStats left;
+  StreamingStats right;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.LogNormal(0.0, 0.5);
+    all.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmpty) {
+  StreamingStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  StreamingStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  StreamingStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(StreamingStatsTest, CoefficientOfVariation) {
+  StreamingStats stats;
+  stats.Add(9.0);
+  stats.Add(11.0);
+  EXPECT_NEAR(stats.coefficient_of_variation(), std::sqrt(2.0) / 10.0, 1e-12);
+}
+
+TEST(StreamingStatsTest, ResetClearsEverything) {
+  StreamingStats stats;
+  stats.Add(42.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,81 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cpi2 {
+namespace {
+
+TEST(EmpiricalDistributionTest, Empty) {
+  EmpiricalDistribution dist({});
+  EXPECT_TRUE(dist.empty());
+  EXPECT_DOUBLE_EQ(dist.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(1.0), 0.0);
+}
+
+TEST(EmpiricalDistributionTest, SortsInput) {
+  EmpiricalDistribution dist({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(dist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(dist.max(), 3.0);
+  EXPECT_DOUBLE_EQ(dist.sorted()[1], 2.0);
+}
+
+TEST(EmpiricalDistributionTest, PercentileInterpolates) {
+  EmpiricalDistribution dist({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(dist.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(dist.Percentile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(dist.Percentile(0.25), 2.5);
+}
+
+TEST(EmpiricalDistributionTest, PercentileClampsOutOfRange) {
+  EmpiricalDistribution dist({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(dist.Percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(dist.Percentile(1.5), 3.0);
+}
+
+TEST(EmpiricalDistributionTest, CdfCountsInclusive) {
+  EmpiricalDistribution dist({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(dist.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(dist.Cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(dist.Cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(100.0), 1.0);
+}
+
+TEST(EmpiricalDistributionTest, MeanAndStddev) {
+  EmpiricalDistribution dist({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(dist.mean(), 4.0);
+  EXPECT_NEAR(dist.stddev(), 2.0, 1e-12);
+}
+
+TEST(EmpiricalDistributionTest, CdfCurveIsMonotone) {
+  Rng rng(4);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(rng.Normal(10.0, 2.0));
+  }
+  EmpiricalDistribution dist(std::move(samples));
+  const auto curve = dist.CdfCurve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+    EXPECT_GT(curve[i].first, curve[i - 1].first);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalDistributionTest, MedianOfNormalNearMean) {
+  Rng rng(8);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) {
+    samples.push_back(rng.Normal(7.0, 3.0));
+  }
+  EmpiricalDistribution dist(std::move(samples));
+  EXPECT_NEAR(dist.Percentile(0.5), 7.0, 0.05);
+  EXPECT_NEAR(dist.Percentile(0.975), 7.0 + 1.96 * 3.0, 0.15);
+}
+
+}  // namespace
+}  // namespace cpi2

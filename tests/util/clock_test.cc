@@ -1,0 +1,50 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+TEST(ClockTest, ManualClockStartsAtGivenTime) {
+  ManualClock clock(1234);
+  EXPECT_EQ(clock.NowMicros(), 1234);
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock;
+  clock.Advance(kMicrosPerSecond);
+  clock.Advance(5 * kMicrosPerMinute);
+  EXPECT_EQ(clock.NowMicros(), kMicrosPerSecond + 5 * kMicrosPerMinute);
+}
+
+TEST(ClockTest, ManualClockIgnoresNegativeAdvance) {
+  ManualClock clock(100);
+  clock.Advance(-50);
+  EXPECT_EQ(clock.NowMicros(), 100) << "simulated time must never go backwards";
+}
+
+TEST(ClockTest, ManualClockSetTime) {
+  ManualClock clock;
+  clock.SetTime(42 * kMicrosPerHour);
+  EXPECT_EQ(clock.NowMicros(), 42 * kMicrosPerHour);
+}
+
+TEST(ClockTest, RealClockIsMonotonicEnough) {
+  RealClock* clock = RealClock::Get();
+  const MicroTime a = clock->NowMicros();
+  const MicroTime b = clock->NowMicros();
+  EXPECT_GE(b, a);
+  // Sanity: after 2020-01-01 in microseconds.
+  EXPECT_GT(a, 1577836800LL * kMicrosPerSecond);
+}
+
+TEST(ClockTest, ConversionHelpers) {
+  EXPECT_EQ(SecondsToMicros(1.5), 1'500'000);
+  EXPECT_DOUBLE_EQ(MicrosToSeconds(2'500'000), 2.5);
+  EXPECT_EQ(kMicrosPerDay, 24 * kMicrosPerHour);
+  EXPECT_EQ(kMicrosPerHour, 60 * kMicrosPerMinute);
+  EXPECT_EQ(kMicrosPerMinute, 60 * kMicrosPerSecond);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,40 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kDebug);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotFormat) {
+  // A suppressed statement must not evaluate its stream arguments' side
+  // effects through the formatter (enabled_ short-circuits in operator<<).
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  CPI2_LOG(DEBUG) << "this must be cheap and invisible";
+  CPI2_LOG(INFO) << "also invisible";
+  SetMinLogLevel(original);
+  SUCCEED();
+}
+
+TEST(LoggingTest, EmittingDoesNotCrash) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kDebug);
+  CPI2_LOG(DEBUG) << "debug " << 1;
+  CPI2_LOG(INFO) << "info " << 2.5;
+  CPI2_LOG(WARNING) << "warning " << std::string("three");
+  CPI2_LOG(ERROR) << "error";
+  SetMinLogLevel(original);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,70 @@
+#include "util/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cpi2 {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> buffer(4);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_FALSE(buffer.full());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.capacity(), 4u);
+}
+
+TEST(RingBufferTest, PushAndIndex) {
+  RingBuffer<int> buffer(3);
+  buffer.Push(10);
+  buffer.Push(20);
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer[0], 10);
+  EXPECT_EQ(buffer[1], 20);
+  EXPECT_EQ(buffer.front(), 10);
+  EXPECT_EQ(buffer.back(), 20);
+}
+
+TEST(RingBufferTest, EvictsOldestWhenFull) {
+  RingBuffer<int> buffer(3);
+  for (int i = 1; i <= 5; ++i) {
+    buffer.Push(i);
+  }
+  EXPECT_TRUE(buffer.full());
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer[0], 3);
+  EXPECT_EQ(buffer[1], 4);
+  EXPECT_EQ(buffer[2], 5);
+}
+
+TEST(RingBufferTest, WrapsManyTimes) {
+  RingBuffer<int> buffer(7);
+  for (int i = 0; i < 1000; ++i) {
+    buffer.Push(i);
+  }
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(buffer[i], 993 + static_cast<int>(i));
+  }
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<std::string> buffer(2);
+  buffer.Push("a");
+  buffer.Push("b");
+  buffer.Clear();
+  EXPECT_TRUE(buffer.empty());
+  buffer.Push("c");
+  EXPECT_EQ(buffer.front(), "c");
+}
+
+TEST(RingBufferTest, CapacityOne) {
+  RingBuffer<int> buffer(1);
+  buffer.Push(1);
+  buffer.Push(2);
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.front(), 2);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,135 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cpi2 {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const int64_t x = rng.UniformInt(0, 5);
+    ASSERT_GE(x, 0);
+    ASSERT_LE(x, 5);
+    ++counts[static_cast<size_t>(x)];
+  }
+  for (int c : counts) {
+    // Expected 10000 each; require within 10%.
+    EXPECT_NEAR(c, 10000, 1000);
+  }
+}
+
+TEST(RngTest, StandardNormalMoments) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.StandardNormal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ParetoRespectsScaleFloor) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.Pareto(100.0, 1.5), 100.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Poisson(4.0);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(23);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child stream must differ from the parent's subsequent output.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,36 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+TEST(StrFormatTest, BasicFormatting) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string long_string(1000, 'a');
+  EXPECT_EQ(StrFormat("%s", long_string.c_str()).size(), 1000u);
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(PadTest, PadRight) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+TEST(PadTest, PadLeft) {
+  EXPECT_EQ(PadLeft("42", 5), "   42");
+  EXPECT_EQ(PadLeft("123456", 2), "123456");
+}
+
+}  // namespace
+}  // namespace cpi2

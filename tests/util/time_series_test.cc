@@ -1,0 +1,106 @@
+#include "util/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+constexpr MicroTime kMinute = kMicrosPerMinute;
+
+TEST(TimeSeriesTest, AppendAndIndex) {
+  TimeSeries series;
+  series.Append(10, 1.0);
+  series.Append(20, 2.0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].timestamp, 10);
+  EXPECT_DOUBLE_EQ(series[1].value, 2.0);
+  EXPECT_EQ(series.back().timestamp, 20);
+}
+
+TEST(TimeSeriesTest, DropsOutOfOrderPoints) {
+  TimeSeries series;
+  series.Append(100, 1.0);
+  series.Append(50, 2.0);  // out of order: dropped
+  EXPECT_EQ(series.size(), 1u);
+  series.Append(100, 3.0);  // equal timestamps are allowed
+  EXPECT_EQ(series.size(), 2u);
+}
+
+TEST(TimeSeriesTest, TrimBefore) {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) {
+    series.Append(i * kMinute, static_cast<double>(i));
+  }
+  series.TrimBefore(5 * kMinute);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_EQ(series[0].timestamp, 5 * kMinute);
+}
+
+TEST(TimeSeriesTest, WindowIsHalfOpen) {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) {
+    series.Append(i * kMinute, static_cast<double>(i));
+  }
+  const auto window = series.Window(2 * kMinute, 5 * kMinute);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.front().timestamp, 2 * kMinute);
+  EXPECT_EQ(window.back().timestamp, 4 * kMinute);
+}
+
+TEST(TimeSeriesTest, NearestValueWithinTolerance) {
+  TimeSeries series;
+  series.Append(0, 1.0);
+  series.Append(60 * kMicrosPerSecond, 2.0);
+  bool found = false;
+  const double v = series.NearestValue(55 * kMicrosPerSecond, 10 * kMicrosPerSecond, &found);
+  EXPECT_TRUE(found);
+  EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(TimeSeriesTest, NearestValueOutsideTolerance) {
+  TimeSeries series;
+  series.Append(0, 1.0);
+  bool found = true;
+  series.NearestValue(kMinute, kMicrosPerSecond, &found);
+  EXPECT_FALSE(found);
+}
+
+TEST(AlignSeriesTest, PairsMatchingTimestamps) {
+  TimeSeries a;
+  TimeSeries b;
+  for (int i = 0; i < 10; ++i) {
+    a.Append(i * kMinute, static_cast<double>(i));
+    b.Append(i * kMinute + 5 * kMicrosPerSecond, static_cast<double>(10 * i));
+  }
+  const auto pairs = AlignSeries(a, b, 0, 10 * kMinute, 30 * kMicrosPerSecond);
+  ASSERT_EQ(pairs.size(), 10u);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pairs[i].a, static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(pairs[i].b, static_cast<double>(10 * i));
+  }
+}
+
+TEST(AlignSeriesTest, SkipsUnmatchedPoints) {
+  TimeSeries a;
+  TimeSeries b;
+  a.Append(0, 1.0);
+  a.Append(kMinute, 2.0);   // b has nothing near this
+  a.Append(2 * kMinute, 3.0);
+  b.Append(0, 5.0);
+  b.Append(2 * kMinute, 6.0);
+  const auto pairs = AlignSeries(a, b, 0, 3 * kMinute, 10 * kMicrosPerSecond);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(pairs[0].b, 5.0);
+  EXPECT_DOUBLE_EQ(pairs[1].b, 6.0);
+}
+
+TEST(AlignSeriesTest, EmptyWindowYieldsNothing) {
+  TimeSeries a;
+  TimeSeries b;
+  a.Append(kMinute, 1.0);
+  b.Append(kMinute, 1.0);
+  EXPECT_TRUE(AlignSeries(a, b, 2 * kMinute, 3 * kMinute, kMinute).empty());
+}
+
+}  // namespace
+}  // namespace cpi2

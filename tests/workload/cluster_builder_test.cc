@@ -1,0 +1,94 @@
+#include "workload/cluster_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/streaming.h"
+#include "util/rng.h"
+
+namespace cpi2 {
+namespace {
+
+TEST(SampleJobSizeTest, MatchesPaperTaskWeightedShape) {
+  // Section 2: 96% of tasks belong to jobs with >= 10 tasks; 87% to jobs
+  // with >= 100 tasks. Check the generator is in the neighbourhood.
+  Rng rng(1);
+  int64_t total_tasks = 0;
+  int64_t tasks_in_10plus = 0;
+  int64_t tasks_in_100plus = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const int size = SampleJobSize(rng);
+    ASSERT_GE(size, 1);
+    ASSERT_LE(size, 3000);
+    total_tasks += size;
+    if (size >= 10) {
+      tasks_in_10plus += size;
+    }
+    if (size >= 100) {
+      tasks_in_100plus += size;
+    }
+  }
+  const double frac_10 = static_cast<double>(tasks_in_10plus) / total_tasks;
+  const double frac_100 = static_cast<double>(tasks_in_100plus) / total_tasks;
+  EXPECT_GT(frac_10, 0.90);
+  EXPECT_GT(frac_100, 0.60);
+}
+
+TEST(ClusterBuilderTest, PopulatesMachinesWithTargetDensity) {
+  Cluster::Options options;
+  options.seed = 2;
+  Cluster cluster(options);
+  ClusterMixOptions mix;
+  mix.machines = 50;
+  mix.mean_tasks_per_machine = 15.0;
+  mix.seed = 3;
+  const auto jobs = BuildRepresentativeCluster(&cluster, mix);
+  EXPECT_GT(jobs.size(), 5u);
+
+  StreamingStats per_machine;
+  for (Machine* machine : cluster.machines()) {
+    per_machine.Add(static_cast<double>(machine->task_count()));
+  }
+  EXPECT_EQ(per_machine.count(), 50);
+  EXPECT_GT(per_machine.mean(), 8.0);
+  EXPECT_LT(per_machine.mean(), 25.0);
+  // Figure 1(a): a wide spread of tasks/machine, not a constant.
+  EXPECT_GT(per_machine.max(), per_machine.min() + 5.0);
+}
+
+TEST(ClusterBuilderTest, MixesPlatforms) {
+  Cluster::Options options;
+  options.seed = 4;
+  Cluster cluster(options);
+  ClusterMixOptions mix;
+  mix.machines = 30;
+  mix.seed = 5;
+  BuildRepresentativeCluster(&cluster, mix);
+  int newer = 0;
+  int older = 0;
+  for (Machine* machine : cluster.machines()) {
+    (machine->platform().name == ReferencePlatform().name ? newer : older) += 1;
+  }
+  EXPECT_GT(newer, 0);
+  EXPECT_GT(older, 0);
+}
+
+TEST(ClusterBuilderTest, DeterministicForSeed) {
+  auto build = [](uint64_t seed) {
+    Cluster::Options options;
+    options.seed = seed;
+    Cluster cluster(options);
+    ClusterMixOptions mix;
+    mix.machines = 20;
+    mix.seed = seed;
+    const auto jobs = BuildRepresentativeCluster(&cluster, mix);
+    size_t tasks = 0;
+    for (Machine* machine : cluster.machines()) {
+      tasks += machine->task_count();
+    }
+    return std::make_pair(jobs.size(), tasks);
+  };
+  EXPECT_EQ(build(7), build(7));
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,119 @@
+#include "workload/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+Cluster MakeCluster(int machines, uint64_t seed = 17) {
+  Cluster::Options options;
+  options.seed = seed;
+  Cluster cluster(options);
+  cluster.AddMachines(ReferencePlatform(), machines);
+  cluster.BuildScheduler();
+  return cluster;
+}
+
+MapReduceOptions SmallJob(int shards) {
+  MapReduceOptions options;
+  options.name = "mr";
+  options.shards = shards;
+  // ~40s of work per shard at 1.5 CPU, CPI 1.3, 2.6 GHz.
+  options.instructions_per_shard = 1.2e11;
+  return options;
+}
+
+TEST(MapReduceTest, CompletesOnQuietCluster) {
+  Cluster cluster = MakeCluster(4);
+  MapReduceJob job(&cluster, SmallJob(8));
+  ASSERT_TRUE(job.Submit().ok());
+  cluster.AddTickListener([&job](MicroTime now) { job.OnTick(now); });
+  cluster.RunFor(10 * kMicrosPerMinute);
+  ASSERT_TRUE(job.Done());
+  EXPECT_EQ(job.shards_done(), 8);
+  EXPECT_GT(job.completion_time(), 0);
+  EXPECT_EQ(job.backups_launched(), 0);
+  EXPECT_GT(job.total_cpu_seconds(), 0.0);
+  // Finished shards' tasks were evicted to free resources.
+  size_t remaining = 0;
+  for (Machine* machine : cluster.machines()) {
+    remaining += machine->task_count();
+  }
+  EXPECT_EQ(remaining, 0u);
+}
+
+TEST(MapReduceTest, SubmitIsAllOrNothing) {
+  Cluster cluster = MakeCluster(1);
+  MapReduceOptions options = SmallJob(200);  // cannot fit
+  MapReduceJob job(&cluster, options);
+  EXPECT_FALSE(job.Submit().ok());
+  EXPECT_EQ(cluster.machine(0)->task_count(), 0u);
+}
+
+TEST(MapReduceTest, SpeculationClonesTheStraggler) {
+  Cluster cluster = MakeCluster(6, 23);
+  MapReduceOptions options = SmallJob(6);
+  options.speculative_execution = true;
+  options.speculation_grace = kMicrosPerMinute;
+  MapReduceJob job(&cluster, options);
+  ASSERT_TRUE(job.Submit().ok());
+
+  // Starve one shard's machine with a heavy antagonist.
+  Machine* victim_machine = cluster.scheduler().LocateTask("mr.0");
+  ASSERT_NE(victim_machine, nullptr);
+  TaskSpec antagonist = VideoProcessingSpec();
+  antagonist.base_cpu_demand = 10.0;  // make mr.0 a dramatic straggler
+  ASSERT_TRUE(victim_machine->AddTask("video.x", antagonist).ok());
+
+  cluster.AddTickListener([&job](MicroTime now) { job.OnTick(now); });
+  cluster.RunFor(20 * kMicrosPerMinute);
+  EXPECT_GE(job.backups_launched(), 1);
+  EXPECT_TRUE(job.Done()) << job.shards_done() << " of 6 shards done";
+}
+
+TEST(MapReduceTest, NoSpeculationMeansNoBackups) {
+  Cluster cluster = MakeCluster(6, 23);
+  MapReduceOptions options = SmallJob(6);
+  options.speculative_execution = false;
+  MapReduceJob job(&cluster, options);
+  ASSERT_TRUE(job.Submit().ok());
+  Machine* victim_machine = cluster.scheduler().LocateTask("mr.0");
+  ASSERT_NE(victim_machine, nullptr);
+  ASSERT_TRUE(victim_machine->AddTask("video.x", VideoProcessingSpec()).ok());
+  cluster.AddTickListener([&job](MicroTime now) { job.OnTick(now); });
+  cluster.RunFor(20 * kMicrosPerMinute);
+  EXPECT_EQ(job.backups_launched(), 0);
+}
+
+TEST(MapReduceTest, BackupCostsExtraCpu) {
+  // The same interfered job, with and without speculation: speculation must
+  // finish sooner but burn more CPU (the paper's resource-cost point).
+  auto run = [](bool speculation) {
+    Cluster cluster = MakeCluster(6, 29);
+    MapReduceOptions options;
+    options.name = "mr";
+    options.shards = 6;
+    options.instructions_per_shard = 1.2e11;
+    options.speculative_execution = speculation;
+    options.speculation_grace = kMicrosPerMinute;
+    MapReduceJob job(&cluster, options);
+    EXPECT_TRUE(job.Submit().ok());
+    Machine* victim_machine = cluster.scheduler().LocateTask("mr.0");
+    TaskSpec antagonist = VideoProcessingSpec();
+    antagonist.base_cpu_demand = 10.0;
+    (void)victim_machine->AddTask("video.x", antagonist);
+    cluster.AddTickListener([&job](MicroTime now) { job.OnTick(now); });
+    cluster.RunFor(30 * kMicrosPerMinute);
+    return std::make_pair(job.Done() ? job.completion_time() : 30 * kMicrosPerMinute,
+                          job.total_cpu_seconds());
+  };
+  const auto [plain_time, plain_cpu] = run(false);
+  const auto [spec_time, spec_cpu] = run(true);
+  EXPECT_LT(spec_time, plain_time) << "speculation should finish sooner";
+  EXPECT_GT(spec_cpu, plain_cpu) << "...at the cost of redundant work";
+}
+
+}  // namespace
+}  // namespace cpi2

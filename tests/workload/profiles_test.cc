@@ -1,0 +1,115 @@
+#include "workload/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "stats/streaming.h"
+
+namespace cpi2 {
+namespace {
+
+// Simulates one task of `spec` alone on a reference machine and returns the
+// mean observed CPI over `minutes` of 1-second ticks.
+StreamingStats SoloCpiStats(const TaskSpec& spec, int minutes, uint64_t seed = 1) {
+  Machine machine("m", ReferencePlatform(), seed);
+  (void)machine.AddTask("t", spec);
+  StreamingStats stats;
+  for (MicroTime now = kMicrosPerSecond; now <= minutes * kMicrosPerMinute;
+       now += kMicrosPerSecond) {
+    machine.Tick(now, kMicrosPerSecond);
+    stats.Add(machine.FindTask("t")->last_cpi());
+  }
+  return stats;
+}
+
+TEST(ProfilesTest, WebSearchTiersHaveExpectedShapes) {
+  const TaskSpec leaf = WebSearchLeafSpec();
+  const TaskSpec intermediate = WebSearchIntermediateSpec();
+  const TaskSpec root = WebSearchRootSpec();
+  EXPECT_EQ(leaf.sched_class, WorkloadClass::kLatencySensitive);
+  EXPECT_EQ(leaf.priority, JobPriority::kProduction);
+  EXPECT_LT(leaf.latency_io_fraction, 0.2) << "leaf latency is CPU-driven";
+  EXPECT_GT(root.latency_io_fraction, 0.8) << "root latency is fanout-driven";
+  EXPECT_GT(intermediate.latency_io_fraction, leaf.latency_io_fraction);
+  EXPECT_LT(intermediate.latency_io_fraction, root.latency_io_fraction);
+  EXPECT_GT(leaf.base_latency_ms, 0.0);
+}
+
+TEST(ProfilesTest, TableJobsReproduceTable1Cpis) {
+  // Table 1: job A 0.88 +/- 0.09, job B 1.36 +/- 0.26, job C 2.03 +/- 0.20.
+  const StreamingStats a = SoloCpiStats(TableJobASpec(), 60);
+  EXPECT_NEAR(a.mean(), 0.88, 0.05);
+  const StreamingStats b = SoloCpiStats(TableJobBSpec(), 60);
+  EXPECT_NEAR(b.mean(), 1.36, 0.08);
+  const StreamingStats c = SoloCpiStats(TableJobCSpec(), 60);
+  EXPECT_NEAR(c.mean(), 2.03, 0.1);
+}
+
+TEST(ProfilesTest, AntagonistsAreBatchAndAggressive) {
+  for (const TaskSpec& spec :
+       {VideoProcessingSpec(), StreamingScanSpec(), CacheThrasherSpec(1.0)}) {
+    EXPECT_EQ(spec.sched_class, WorkloadClass::kBatch) << spec.job_name;
+    EXPECT_GT(spec.cache_mb + 10.0 * spec.memory_intensity, 10.0)
+        << spec.job_name << " should stress shared resources";
+  }
+}
+
+TEST(ProfilesTest, SpinnerIsInnocent) {
+  const TaskSpec spinner = SpinnerSpec();
+  EXPECT_GT(spinner.base_cpu_demand, 2.0) << "spinner burns lots of CPU";
+  EXPECT_LT(spinner.cache_mb, 1.0) << "but touches almost no cache";
+  EXPECT_LT(spinner.memory_intensity, 0.1);
+}
+
+TEST(ProfilesTest, CacheThrasherAggressivenessIsMonotone) {
+  double previous_cache = -1.0;
+  double previous_cpu = -1.0;
+  for (double a = 0.0; a <= 1.0; a += 0.25) {
+    const TaskSpec spec = CacheThrasherSpec(a);
+    EXPECT_GT(spec.cache_mb, previous_cache);
+    EXPECT_GT(spec.base_cpu_demand, previous_cpu);
+    previous_cache = spec.cache_mb;
+    previous_cpu = spec.base_cpu_demand;
+  }
+  // Clamped outside [0, 1].
+  EXPECT_DOUBLE_EQ(CacheThrasherSpec(2.0).cache_mb, CacheThrasherSpec(1.0).cache_mb);
+  EXPECT_DOUBLE_EQ(CacheThrasherSpec(-1.0).cache_mb, CacheThrasherSpec(0.0).cache_mb);
+}
+
+TEST(ProfilesTest, CapBehavioursMatchCaseStudies) {
+  EXPECT_EQ(ReplayerBatchSpec().cap_behavior, CapBehavior::kLameDuck) << "case 5";
+  EXPECT_EQ(MapReduceWorkerSpec().cap_behavior, CapBehavior::kSelfTerminate) << "case 6";
+  EXPECT_EQ(VideoProcessingSpec().cap_behavior, CapBehavior::kTolerate);
+}
+
+TEST(ProfilesTest, BimodalFrontendSwingsUsageAndCpi) {
+  // Case 3: high CPI at low usage, self-inflicted.
+  Machine machine("m", ReferencePlatform(), 3);
+  (void)machine.AddTask("t", BimodalFrontendSpec());
+  StreamingStats high_usage_cpi;
+  StreamingStats low_usage_cpi;
+  for (MicroTime now = kMicrosPerSecond; now <= 40 * kMicrosPerMinute;
+       now += kMicrosPerSecond) {
+    machine.Tick(now, kMicrosPerSecond);
+    const Task* task = machine.FindTask("t");
+    if (task->last_usage() >= 0.25) {
+      high_usage_cpi.Add(task->last_cpi());
+    } else {
+      low_usage_cpi.Add(task->last_cpi());
+    }
+  }
+  ASSERT_GT(high_usage_cpi.count(), 0);
+  ASSERT_GT(low_usage_cpi.count(), 0);
+  EXPECT_GT(low_usage_cpi.mean(), 2.0 * high_usage_cpi.mean())
+      << "CPI must spike in the low-usage mode";
+}
+
+TEST(ProfilesTest, FillerSpecsScaleWithDemand) {
+  EXPECT_NEAR(FillerServiceSpec(0.3).base_cpu_demand, 0.3, 1e-9);
+  EXPECT_NEAR(FillerBatchSpec(0.7).base_cpu_demand, 0.7, 1e-9);
+  EXPECT_EQ(FillerServiceSpec(0.1).sched_class, WorkloadClass::kLatencySensitive);
+  EXPECT_EQ(FillerBatchSpec(0.1).sched_class, WorkloadClass::kBatch);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,123 @@
+#include "workload/search_service.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+Cluster MakeCluster(int machines, uint64_t seed = 9) {
+  Cluster::Options options;
+  options.seed = seed;
+  Cluster cluster(options);
+  cluster.AddMachines(ReferencePlatform(), machines);
+  cluster.BuildScheduler();
+  return cluster;
+}
+
+TEST(SearchServiceTest, DeploysAllTiers) {
+  Cluster cluster = MakeCluster(6);
+  SearchServiceOptions options;
+  options.leaves = 9;
+  options.intermediates = 3;
+  const auto service = DeploySearchService(&cluster, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ(service->leaf_tasks.size(), 9u);
+  EXPECT_EQ(service->intermediate_tasks.size(), 3u);
+  size_t placed = 0;
+  for (Machine* machine : cluster.machines()) {
+    placed += machine->task_count();
+  }
+  EXPECT_EQ(placed, 13u);
+}
+
+TEST(SearchServiceTest, RejectsBadShapes) {
+  Cluster cluster = MakeCluster(2);
+  SearchServiceOptions options;
+  options.leaves = 2;
+  options.intermediates = 3;  // more intermediates than leaves
+  EXPECT_FALSE(DeploySearchService(&cluster, options).ok());
+  options.leaves = 0;
+  options.intermediates = 0;
+  EXPECT_FALSE(DeploySearchService(&cluster, options).ok());
+}
+
+TEST(SearchServiceTest, QueryLatencyBoundedByDeadline) {
+  Cluster cluster = MakeCluster(4);
+  SearchServiceOptions options;
+  options.leaves = 8;
+  options.intermediates = 2;
+  options.discard_deadline_ms = 200.0;
+  const auto service = DeploySearchService(&cluster, options);
+  ASSERT_TRUE(service.ok());
+  cluster.RunFor(kMicrosPerMinute);
+  const QueryOutcome outcome = EvaluateQuery(cluster, *service);
+  EXPECT_GT(outcome.latency_ms, 0.0);
+  // e2e <= deadline + intermediate own + root own, generously bounded.
+  EXPECT_LT(outcome.latency_ms, 200.0 + 100.0);
+  EXPECT_EQ(outcome.discarded_leaves, 0) << "quiet cluster: nothing should be late";
+  EXPECT_DOUBLE_EQ(outcome.result_quality, 1.0);
+}
+
+TEST(SearchServiceTest, OneInterferedLeafDragsTheWholeQuery) {
+  // The paper's core motivation: a single slow leaf determines end-to-end
+  // latency (until the deadline discards it).
+  Cluster cluster = MakeCluster(8, 13);
+  SearchServiceOptions options;
+  options.leaves = 8;
+  options.intermediates = 2;
+  options.discard_deadline_ms = 1e9;  // no discarding: see the raw drag
+  const auto service = DeploySearchService(&cluster, options);
+  ASSERT_TRUE(service.ok());
+  cluster.RunFor(kMicrosPerMinute);
+  const double quiet = EvaluateQuery(cluster, *service).latency_ms;
+
+  // Put a heavy antagonist next to exactly one leaf.
+  Machine* victim_machine = cluster.scheduler().LocateTask(service->leaf_tasks[0]);
+  ASSERT_NE(victim_machine, nullptr);
+  ASSERT_TRUE(victim_machine->AddTask("video.x", VideoProcessingSpec()).ok());
+  cluster.RunFor(kMicrosPerMinute);
+  const double contended = EvaluateQuery(cluster, *service).latency_ms;
+  EXPECT_GT(contended, 1.5 * quiet)
+      << "one interfered leaf out of eight must visibly drag the query";
+}
+
+TEST(SearchServiceTest, DeadlineTradesLatencyForQuality) {
+  Cluster cluster = MakeCluster(8, 13);
+  SearchServiceOptions options;
+  options.leaves = 8;
+  options.intermediates = 2;
+  options.discard_deadline_ms = 60.0;  // tight deadline
+  const auto service = DeploySearchService(&cluster, options);
+  ASSERT_TRUE(service.ok());
+  Machine* victim_machine = cluster.scheduler().LocateTask(service->leaf_tasks[0]);
+  ASSERT_NE(victim_machine, nullptr);
+  ASSERT_TRUE(victim_machine->AddTask("video.x", VideoProcessingSpec()).ok());
+  cluster.RunFor(kMicrosPerMinute);
+
+  const QueryOutcome outcome = EvaluateQuery(cluster, *service);
+  // The interfered leaf blows the deadline: its reply is discarded, latency
+  // stays bounded, quality drops below 1.
+  EXPECT_GT(outcome.discarded_leaves, 0);
+  EXPECT_LT(outcome.result_quality, 1.0);
+  EXPECT_LT(outcome.latency_ms, 60.0 + 100.0);
+}
+
+TEST(SearchServiceTest, DeadLeafCountsAsDiscarded) {
+  Cluster cluster = MakeCluster(4);
+  SearchServiceOptions options;
+  options.leaves = 4;
+  options.intermediates = 2;
+  const auto service = DeploySearchService(&cluster, options);
+  ASSERT_TRUE(service.ok());
+  cluster.RunFor(10 * kMicrosPerSecond);
+  ASSERT_TRUE(cluster.scheduler().EvictTask(service->leaf_tasks[0]).ok());
+  cluster.RunFor(kMicrosPerSecond);
+  const QueryOutcome outcome = EvaluateQuery(cluster, *service);
+  EXPECT_EQ(outcome.discarded_leaves, 1);
+  EXPECT_DOUBLE_EQ(outcome.result_quality, 0.75);
+}
+
+}  // namespace
+}  // namespace cpi2
