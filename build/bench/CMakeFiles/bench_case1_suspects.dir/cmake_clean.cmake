@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case1_suspects.dir/bench_case1_suspects.cc.o"
+  "CMakeFiles/bench_case1_suspects.dir/bench_case1_suspects.cc.o.d"
+  "bench_case1_suspects"
+  "bench_case1_suspects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case1_suspects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

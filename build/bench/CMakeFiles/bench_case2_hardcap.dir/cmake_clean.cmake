@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case2_hardcap.dir/bench_case2_hardcap.cc.o"
+  "CMakeFiles/bench_case2_hardcap.dir/bench_case2_hardcap.cc.o.d"
+  "bench_case2_hardcap"
+  "bench_case2_hardcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case2_hardcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

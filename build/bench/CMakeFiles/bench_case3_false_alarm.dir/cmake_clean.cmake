@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case3_false_alarm.dir/bench_case3_false_alarm.cc.o"
+  "CMakeFiles/bench_case3_false_alarm.dir/bench_case3_false_alarm.cc.o.d"
+  "bench_case3_false_alarm"
+  "bench_case3_false_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case3_false_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case4_residual.dir/bench_case4_residual.cc.o"
+  "CMakeFiles/bench_case4_residual.dir/bench_case4_residual.cc.o.d"
+  "bench_case4_residual"
+  "bench_case4_residual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case4_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

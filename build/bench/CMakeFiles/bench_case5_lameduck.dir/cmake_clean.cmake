@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case5_lameduck.dir/bench_case5_lameduck.cc.o"
+  "CMakeFiles/bench_case5_lameduck.dir/bench_case5_lameduck.cc.o.d"
+  "bench_case5_lameduck"
+  "bench_case5_lameduck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case5_lameduck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case6_selfexit.dir/bench_case6_selfexit.cc.o"
+  "CMakeFiles/bench_case6_selfexit.dir/bench_case6_selfexit.cc.o.d"
+  "bench_case6_selfexit"
+  "bench_case6_selfexit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case6_selfexit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

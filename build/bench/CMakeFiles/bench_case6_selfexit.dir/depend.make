@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_case6_selfexit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_cluster_shape.dir/bench_fig01_cluster_shape.cc.o"
+  "CMakeFiles/bench_fig01_cluster_shape.dir/bench_fig01_cluster_shape.cc.o.d"
+  "bench_fig01_cluster_shape"
+  "bench_fig01_cluster_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_cluster_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_tps_ips.dir/bench_fig02_tps_ips.cc.o"
+  "CMakeFiles/bench_fig02_tps_ips.dir/bench_fig02_tps_ips.cc.o.d"
+  "bench_fig02_tps_ips"
+  "bench_fig02_tps_ips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_tps_ips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_latency_cpi.dir/bench_fig03_latency_cpi.cc.o"
+  "CMakeFiles/bench_fig03_latency_cpi.dir/bench_fig03_latency_cpi.cc.o.d"
+  "bench_fig03_latency_cpi"
+  "bench_fig03_latency_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_latency_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_gev_fit.dir/bench_fig07_gev_fit.cc.o"
+  "CMakeFiles/bench_fig07_gev_fit.dir/bench_fig07_gev_fit.cc.o.d"
+  "bench_fig07_gev_fit"
+  "bench_fig07_gev_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_gev_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

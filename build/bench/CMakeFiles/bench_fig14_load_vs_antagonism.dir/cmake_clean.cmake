@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_load_vs_antagonism.dir/bench_fig14_load_vs_antagonism.cc.o"
+  "CMakeFiles/bench_fig14_load_vs_antagonism.dir/bench_fig14_load_vs_antagonism.cc.o.d"
+  "bench_fig14_load_vs_antagonism"
+  "bench_fig14_load_vs_antagonism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_load_vs_antagonism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_production_benefit.dir/bench_fig16_production_benefit.cc.o"
+  "CMakeFiles/bench_fig16_production_benefit.dir/bench_fig16_production_benefit.cc.o.d"
+  "bench_fig16_production_benefit"
+  "bench_fig16_production_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_production_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_tail_latency.dir/bench_intro_tail_latency.cc.o"
+  "CMakeFiles/bench_intro_tail_latency.dir/bench_intro_tail_latency.cc.o.d"
+  "bench_intro_tail_latency"
+  "bench_intro_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

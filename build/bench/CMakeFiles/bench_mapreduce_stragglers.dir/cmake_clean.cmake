@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mapreduce_stragglers.dir/bench_mapreduce_stragglers.cc.o"
+  "CMakeFiles/bench_mapreduce_stragglers.dir/bench_mapreduce_stragglers.cc.o.d"
+  "bench_mapreduce_stragglers"
+  "bench_mapreduce_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapreduce_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

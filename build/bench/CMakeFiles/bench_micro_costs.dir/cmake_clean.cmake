@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_costs.dir/bench_micro_costs.cc.o"
+  "CMakeFiles/bench_micro_costs.dir/bench_micro_costs.cc.o.d"
+  "bench_micro_costs"
+  "bench_micro_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rate_incidents.dir/bench_rate_incidents.cc.o"
+  "CMakeFiles/bench_rate_incidents.dir/bench_rate_incidents.cc.o.d"
+  "bench_rate_incidents"
+  "bench_rate_incidents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rate_incidents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

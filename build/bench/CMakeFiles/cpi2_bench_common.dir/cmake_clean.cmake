@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2_bench_common.dir/common/case_study.cc.o"
+  "CMakeFiles/cpi2_bench_common.dir/common/case_study.cc.o.d"
+  "CMakeFiles/cpi2_bench_common.dir/common/report.cc.o"
+  "CMakeFiles/cpi2_bench_common.dir/common/report.cc.o.d"
+  "CMakeFiles/cpi2_bench_common.dir/common/trials.cc.o"
+  "CMakeFiles/cpi2_bench_common.dir/common/trials.cc.o.d"
+  "libcpi2_bench_common.a"
+  "libcpi2_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cpi2ctl.cpp" "examples/CMakeFiles/cpi2ctl.dir/cpi2ctl.cpp.o" "gcc" "examples/CMakeFiles/cpi2ctl.dir/cpi2ctl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cpi2_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cpi2_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cpi2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpi2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpi2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/cpi2_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/cpi2_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpi2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2ctl.dir/cpi2ctl.cpp.o"
+  "CMakeFiles/cpi2ctl.dir/cpi2ctl.cpp.o.d"
+  "cpi2ctl"
+  "cpi2ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daemon.dir/daemon.cpp.o"
+  "CMakeFiles/daemon.dir/daemon.cpp.o.d"
+  "daemon"
+  "daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

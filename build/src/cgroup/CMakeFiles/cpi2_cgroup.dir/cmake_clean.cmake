@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2_cgroup.dir/fs_cpu_controller.cc.o"
+  "CMakeFiles/cpi2_cgroup.dir/fs_cpu_controller.cc.o.d"
+  "libcpi2_cgroup.a"
+  "libcpi2_cgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2_cgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

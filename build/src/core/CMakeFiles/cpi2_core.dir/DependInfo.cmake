@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_throttle.cc" "src/core/CMakeFiles/cpi2_core.dir/adaptive_throttle.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/adaptive_throttle.cc.o.d"
+  "/root/repo/src/core/agent.cc" "src/core/CMakeFiles/cpi2_core.dir/agent.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/agent.cc.o.d"
+  "/root/repo/src/core/aggregator.cc" "src/core/CMakeFiles/cpi2_core.dir/aggregator.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/aggregator.cc.o.d"
+  "/root/repo/src/core/antagonist_identifier.cc" "src/core/CMakeFiles/cpi2_core.dir/antagonist_identifier.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/antagonist_identifier.cc.o.d"
+  "/root/repo/src/core/correlation.cc" "src/core/CMakeFiles/cpi2_core.dir/correlation.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/correlation.cc.o.d"
+  "/root/repo/src/core/enforcement.cc" "src/core/CMakeFiles/cpi2_core.dir/enforcement.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/enforcement.cc.o.d"
+  "/root/repo/src/core/incident.cc" "src/core/CMakeFiles/cpi2_core.dir/incident.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/incident.cc.o.d"
+  "/root/repo/src/core/incident_log.cc" "src/core/CMakeFiles/cpi2_core.dir/incident_log.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/incident_log.cc.o.d"
+  "/root/repo/src/core/incident_log_io.cc" "src/core/CMakeFiles/cpi2_core.dir/incident_log_io.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/incident_log_io.cc.o.d"
+  "/root/repo/src/core/outlier_detector.cc" "src/core/CMakeFiles/cpi2_core.dir/outlier_detector.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/outlier_detector.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/cpi2_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/params.cc.o.d"
+  "/root/repo/src/core/placement_advisor.cc" "src/core/CMakeFiles/cpi2_core.dir/placement_advisor.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/placement_advisor.cc.o.d"
+  "/root/repo/src/core/spec_builder.cc" "src/core/CMakeFiles/cpi2_core.dir/spec_builder.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/spec_builder.cc.o.d"
+  "/root/repo/src/core/spec_store.cc" "src/core/CMakeFiles/cpi2_core.dir/spec_store.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/spec_store.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/cpi2_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/cpi2_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpi2_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpi2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/cpi2_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/cpi2_cgroup.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

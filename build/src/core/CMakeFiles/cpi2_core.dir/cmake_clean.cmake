@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2_core.dir/adaptive_throttle.cc.o"
+  "CMakeFiles/cpi2_core.dir/adaptive_throttle.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/agent.cc.o"
+  "CMakeFiles/cpi2_core.dir/agent.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/aggregator.cc.o"
+  "CMakeFiles/cpi2_core.dir/aggregator.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/antagonist_identifier.cc.o"
+  "CMakeFiles/cpi2_core.dir/antagonist_identifier.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/correlation.cc.o"
+  "CMakeFiles/cpi2_core.dir/correlation.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/enforcement.cc.o"
+  "CMakeFiles/cpi2_core.dir/enforcement.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/incident.cc.o"
+  "CMakeFiles/cpi2_core.dir/incident.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/incident_log.cc.o"
+  "CMakeFiles/cpi2_core.dir/incident_log.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/incident_log_io.cc.o"
+  "CMakeFiles/cpi2_core.dir/incident_log_io.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/outlier_detector.cc.o"
+  "CMakeFiles/cpi2_core.dir/outlier_detector.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/params.cc.o"
+  "CMakeFiles/cpi2_core.dir/params.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/placement_advisor.cc.o"
+  "CMakeFiles/cpi2_core.dir/placement_advisor.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/spec_builder.cc.o"
+  "CMakeFiles/cpi2_core.dir/spec_builder.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/spec_store.cc.o"
+  "CMakeFiles/cpi2_core.dir/spec_store.cc.o.d"
+  "CMakeFiles/cpi2_core.dir/types.cc.o"
+  "CMakeFiles/cpi2_core.dir/types.cc.o.d"
+  "libcpi2_core.a"
+  "libcpi2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2_harness.dir/cluster_harness.cc.o"
+  "CMakeFiles/cpi2_harness.dir/cluster_harness.cc.o.d"
+  "libcpi2_harness.a"
+  "libcpi2_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpi2_harness.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/counters.cc" "src/perf/CMakeFiles/cpi2_perf.dir/counters.cc.o" "gcc" "src/perf/CMakeFiles/cpi2_perf.dir/counters.cc.o.d"
+  "/root/repo/src/perf/perf_event_source.cc" "src/perf/CMakeFiles/cpi2_perf.dir/perf_event_source.cc.o" "gcc" "src/perf/CMakeFiles/cpi2_perf.dir/perf_event_source.cc.o.d"
+  "/root/repo/src/perf/sampler.cc" "src/perf/CMakeFiles/cpi2_perf.dir/sampler.cc.o" "gcc" "src/perf/CMakeFiles/cpi2_perf.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpi2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

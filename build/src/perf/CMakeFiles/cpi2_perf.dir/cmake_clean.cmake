@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2_perf.dir/counters.cc.o"
+  "CMakeFiles/cpi2_perf.dir/counters.cc.o.d"
+  "CMakeFiles/cpi2_perf.dir/perf_event_source.cc.o"
+  "CMakeFiles/cpi2_perf.dir/perf_event_source.cc.o.d"
+  "CMakeFiles/cpi2_perf.dir/sampler.cc.o"
+  "CMakeFiles/cpi2_perf.dir/sampler.cc.o.d"
+  "libcpi2_perf.a"
+  "libcpi2_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

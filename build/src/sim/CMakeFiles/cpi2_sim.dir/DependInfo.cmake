@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/cpi2_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/cpi2_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/interference.cc" "src/sim/CMakeFiles/cpi2_sim.dir/interference.cc.o" "gcc" "src/sim/CMakeFiles/cpi2_sim.dir/interference.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/cpi2_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/cpi2_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/platform.cc" "src/sim/CMakeFiles/cpi2_sim.dir/platform.cc.o" "gcc" "src/sim/CMakeFiles/cpi2_sim.dir/platform.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/cpi2_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/cpi2_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/task.cc" "src/sim/CMakeFiles/cpi2_sim.dir/task.cc.o" "gcc" "src/sim/CMakeFiles/cpi2_sim.dir/task.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/cpi2_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/cpi2_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpi2_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/cpi2_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/cpi2_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpi2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpi2_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

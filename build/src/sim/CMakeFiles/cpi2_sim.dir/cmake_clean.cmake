@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2_sim.dir/cluster.cc.o"
+  "CMakeFiles/cpi2_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/cpi2_sim.dir/interference.cc.o"
+  "CMakeFiles/cpi2_sim.dir/interference.cc.o.d"
+  "CMakeFiles/cpi2_sim.dir/machine.cc.o"
+  "CMakeFiles/cpi2_sim.dir/machine.cc.o.d"
+  "CMakeFiles/cpi2_sim.dir/platform.cc.o"
+  "CMakeFiles/cpi2_sim.dir/platform.cc.o.d"
+  "CMakeFiles/cpi2_sim.dir/scheduler.cc.o"
+  "CMakeFiles/cpi2_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/cpi2_sim.dir/task.cc.o"
+  "CMakeFiles/cpi2_sim.dir/task.cc.o.d"
+  "CMakeFiles/cpi2_sim.dir/trace.cc.o"
+  "CMakeFiles/cpi2_sim.dir/trace.cc.o.d"
+  "libcpi2_sim.a"
+  "libcpi2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/cpi2_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/cpi2_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/distribution.cc" "src/stats/CMakeFiles/cpi2_stats.dir/distribution.cc.o" "gcc" "src/stats/CMakeFiles/cpi2_stats.dir/distribution.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/cpi2_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/cpi2_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/ks_test.cc" "src/stats/CMakeFiles/cpi2_stats.dir/ks_test.cc.o" "gcc" "src/stats/CMakeFiles/cpi2_stats.dir/ks_test.cc.o.d"
+  "/root/repo/src/stats/streaming.cc" "src/stats/CMakeFiles/cpi2_stats.dir/streaming.cc.o" "gcc" "src/stats/CMakeFiles/cpi2_stats.dir/streaming.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/cpi2_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/cpi2_stats.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpi2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

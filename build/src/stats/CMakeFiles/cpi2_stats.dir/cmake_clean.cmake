@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2_stats.dir/correlation.cc.o"
+  "CMakeFiles/cpi2_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/cpi2_stats.dir/distribution.cc.o"
+  "CMakeFiles/cpi2_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/cpi2_stats.dir/histogram.cc.o"
+  "CMakeFiles/cpi2_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/cpi2_stats.dir/ks_test.cc.o"
+  "CMakeFiles/cpi2_stats.dir/ks_test.cc.o.d"
+  "CMakeFiles/cpi2_stats.dir/streaming.cc.o"
+  "CMakeFiles/cpi2_stats.dir/streaming.cc.o.d"
+  "CMakeFiles/cpi2_stats.dir/summary.cc.o"
+  "CMakeFiles/cpi2_stats.dir/summary.cc.o.d"
+  "libcpi2_stats.a"
+  "libcpi2_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

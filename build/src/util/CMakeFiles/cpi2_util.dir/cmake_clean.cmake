@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2_util.dir/clock.cc.o"
+  "CMakeFiles/cpi2_util.dir/clock.cc.o.d"
+  "CMakeFiles/cpi2_util.dir/logging.cc.o"
+  "CMakeFiles/cpi2_util.dir/logging.cc.o.d"
+  "CMakeFiles/cpi2_util.dir/rng.cc.o"
+  "CMakeFiles/cpi2_util.dir/rng.cc.o.d"
+  "CMakeFiles/cpi2_util.dir/status.cc.o"
+  "CMakeFiles/cpi2_util.dir/status.cc.o.d"
+  "CMakeFiles/cpi2_util.dir/string_util.cc.o"
+  "CMakeFiles/cpi2_util.dir/string_util.cc.o.d"
+  "CMakeFiles/cpi2_util.dir/time_series.cc.o"
+  "CMakeFiles/cpi2_util.dir/time_series.cc.o.d"
+  "libcpi2_util.a"
+  "libcpi2_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cluster_builder.cc" "src/workload/CMakeFiles/cpi2_workload.dir/cluster_builder.cc.o" "gcc" "src/workload/CMakeFiles/cpi2_workload.dir/cluster_builder.cc.o.d"
+  "/root/repo/src/workload/mapreduce.cc" "src/workload/CMakeFiles/cpi2_workload.dir/mapreduce.cc.o" "gcc" "src/workload/CMakeFiles/cpi2_workload.dir/mapreduce.cc.o.d"
+  "/root/repo/src/workload/profiles.cc" "src/workload/CMakeFiles/cpi2_workload.dir/profiles.cc.o" "gcc" "src/workload/CMakeFiles/cpi2_workload.dir/profiles.cc.o.d"
+  "/root/repo/src/workload/search_service.cc" "src/workload/CMakeFiles/cpi2_workload.dir/search_service.cc.o" "gcc" "src/workload/CMakeFiles/cpi2_workload.dir/search_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cpi2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpi2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/cpi2_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/cpi2_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpi2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpi2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

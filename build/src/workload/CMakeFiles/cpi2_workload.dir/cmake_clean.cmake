@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2_workload.dir/cluster_builder.cc.o"
+  "CMakeFiles/cpi2_workload.dir/cluster_builder.cc.o.d"
+  "CMakeFiles/cpi2_workload.dir/mapreduce.cc.o"
+  "CMakeFiles/cpi2_workload.dir/mapreduce.cc.o.d"
+  "CMakeFiles/cpi2_workload.dir/profiles.cc.o"
+  "CMakeFiles/cpi2_workload.dir/profiles.cc.o.d"
+  "CMakeFiles/cpi2_workload.dir/search_service.cc.o"
+  "CMakeFiles/cpi2_workload.dir/search_service.cc.o.d"
+  "libcpi2_workload.a"
+  "libcpi2_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adaptive_throttle_test.cc" "tests/CMakeFiles/core_test.dir/core/adaptive_throttle_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/adaptive_throttle_test.cc.o.d"
+  "/root/repo/tests/core/agent_test.cc" "tests/CMakeFiles/core_test.dir/core/agent_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/agent_test.cc.o.d"
+  "/root/repo/tests/core/aggregator_test.cc" "tests/CMakeFiles/core_test.dir/core/aggregator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/aggregator_test.cc.o.d"
+  "/root/repo/tests/core/antagonist_identifier_test.cc" "tests/CMakeFiles/core_test.dir/core/antagonist_identifier_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/antagonist_identifier_test.cc.o.d"
+  "/root/repo/tests/core/correlation_test.cc" "tests/CMakeFiles/core_test.dir/core/correlation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/correlation_test.cc.o.d"
+  "/root/repo/tests/core/enforcement_test.cc" "tests/CMakeFiles/core_test.dir/core/enforcement_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/enforcement_test.cc.o.d"
+  "/root/repo/tests/core/escalation_test.cc" "tests/CMakeFiles/core_test.dir/core/escalation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/escalation_test.cc.o.d"
+  "/root/repo/tests/core/incident_log_io_test.cc" "tests/CMakeFiles/core_test.dir/core/incident_log_io_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/incident_log_io_test.cc.o.d"
+  "/root/repo/tests/core/incident_log_test.cc" "tests/CMakeFiles/core_test.dir/core/incident_log_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/incident_log_test.cc.o.d"
+  "/root/repo/tests/core/outlier_detector_test.cc" "tests/CMakeFiles/core_test.dir/core/outlier_detector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/outlier_detector_test.cc.o.d"
+  "/root/repo/tests/core/params_test.cc" "tests/CMakeFiles/core_test.dir/core/params_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/params_test.cc.o.d"
+  "/root/repo/tests/core/placement_advisor_test.cc" "tests/CMakeFiles/core_test.dir/core/placement_advisor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/placement_advisor_test.cc.o.d"
+  "/root/repo/tests/core/spec_builder_test.cc" "tests/CMakeFiles/core_test.dir/core/spec_builder_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/spec_builder_test.cc.o.d"
+  "/root/repo/tests/core/spec_store_test.cc" "tests/CMakeFiles/core_test.dir/core/spec_store_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/spec_store_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/cpi2_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/cpi2_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cpi2_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cpi2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpi2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpi2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/cpi2_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/cpi2_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpi2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

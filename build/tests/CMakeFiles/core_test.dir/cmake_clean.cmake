@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/adaptive_throttle_test.cc.o"
+  "CMakeFiles/core_test.dir/core/adaptive_throttle_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/agent_test.cc.o"
+  "CMakeFiles/core_test.dir/core/agent_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/aggregator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/aggregator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/antagonist_identifier_test.cc.o"
+  "CMakeFiles/core_test.dir/core/antagonist_identifier_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/correlation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/correlation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/enforcement_test.cc.o"
+  "CMakeFiles/core_test.dir/core/enforcement_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/escalation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/escalation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/incident_log_io_test.cc.o"
+  "CMakeFiles/core_test.dir/core/incident_log_io_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/incident_log_test.cc.o"
+  "CMakeFiles/core_test.dir/core/incident_log_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/outlier_detector_test.cc.o"
+  "CMakeFiles/core_test.dir/core/outlier_detector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/params_test.cc.o"
+  "CMakeFiles/core_test.dir/core/params_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/placement_advisor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/placement_advisor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/spec_builder_test.cc.o"
+  "CMakeFiles/core_test.dir/core/spec_builder_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/spec_store_test.cc.o"
+  "CMakeFiles/core_test.dir/core/spec_store_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi2_testing.dir/testing/scenario.cc.o"
+  "CMakeFiles/cpi2_testing.dir/testing/scenario.cc.o.d"
+  "libcpi2_testing.a"
+  "libcpi2_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi2_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/cluster_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/cluster_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/interference_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/interference_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/invariants_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/invariants_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/machine_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/machine_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/preemption_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/preemption_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/scheduler_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/scheduler_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/task_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/task_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
