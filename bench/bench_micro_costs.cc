@@ -11,6 +11,7 @@
 #include "core/correlation.h"
 #include "core/outlier_detector.h"
 #include "core/spec_builder.h"
+#include "harness/cluster_harness.h"
 #include "perf/sampler.h"
 #include "sim/machine.h"
 #include "util/rng.h"
@@ -111,6 +112,31 @@ void BM_MachineTick(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MachineTick)->Arg(10)->Arg(50)->Arg(100);
+
+// The whole cluster tick path (machines + scheduler + agents) at a given
+// thread count; bench_tick_engine measures the same loop at full scale and
+// tracks it across PRs in BENCH_tick_engine.json.
+void BM_ClusterHarnessTick(benchmark::State& state) {
+  ClusterHarness::Options options;
+  options.cluster.seed = 11;
+  options.cluster.threads = static_cast<int>(state.range(0));
+  ClusterHarness harness(options);
+  harness.cluster().AddMachines(ReferencePlatform(), 64);
+  harness.cluster().BuildScheduler();
+  for (size_t m = 0; m < harness.cluster().machine_count(); ++m) {
+    for (int t = 0; t < 16; ++t) {
+      (void)harness.cluster().machine(m)->AddTask(
+          StrFormat("t.%zu.%d", m, t), FillerServiceSpec(0.2));
+    }
+  }
+  harness.WireAgents();
+  for (auto _ : state) {
+    harness.cluster().Tick();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(harness.cluster().machine_count()));
+}
+BENCHMARK(BM_ClusterHarnessTick)->Arg(1)->Arg(4);
 
 // Sampler bookkeeping for a full machine (the per-second agent cost outside
 // the counter windows themselves).

@@ -1,0 +1,105 @@
+// Parallel tick engine throughput: machine-ticks per second of wall time.
+//
+// Runs the full harness (machines + agents + aggregator) over a
+// representative 1000-machine cluster at several thread counts and reports
+// the machine-tick rate for each, plus the parallel speedup. Also writes a
+// single JSON line to BENCH_tick_engine.json so CI can track the perf
+// trajectory across PRs.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common/report.h"
+#include "harness/cluster_harness.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "workload/cluster_builder.h"
+
+namespace cpi2 {
+namespace {
+
+constexpr int kMachines = 1000;
+constexpr int kTicks = 90;  // simulated seconds per measurement
+
+struct Measurement {
+  int threads = 0;          // as configured (0 = hardware concurrency)
+  double ticks_per_sec = 0; // machine-ticks per wall second
+  int64_t samples = 0;      // pipeline activity sanity check
+};
+
+Measurement Measure(int threads) {
+  ClusterHarness::Options options;
+  options.cluster.seed = 20130415;
+  options.cluster.threads = threads;
+  ClusterHarness harness(options);
+
+  ClusterMixOptions mix;
+  mix.machines = kMachines;
+  mix.seed = 99;
+  BuildRepresentativeCluster(&harness.cluster(), mix);
+  harness.WireAgents();
+
+  // Warm up: fault in task placement churn, agent registration, and the
+  // scratch buffers so the timed region measures the steady state.
+  harness.RunFor(5 * kMicrosPerSecond);
+
+  const auto start = std::chrono::steady_clock::now();
+  harness.RunFor(kTicks * kMicrosPerSecond);
+  const auto end = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(end - start).count();
+
+  Measurement m;
+  m.threads = threads;
+  m.ticks_per_sec = elapsed > 0.0
+                        ? static_cast<double>(kMachines) * kTicks / elapsed
+                        : 0.0;
+  m.samples = harness.samples_collected();
+  return m;
+}
+
+int Main() {
+  SetMinLogLevel(LogLevel::kWarning);
+  PrintHeader("tick_engine",
+              "Parallel tick engine: machine-ticks/sec vs thread count, "
+              "1000-machine cluster with full CPI2 deployment");
+  PrintPaperClaim("(engineering benchmark, no paper counterpart: the paper samples "
+                  "thousands of machines once a minute; the simulator must tick them "
+                  "as fast as the hardware allows)");
+
+  const std::vector<int> thread_counts = {1, 2, 4, 0};
+  std::vector<Measurement> results;
+  for (int threads : thread_counts) {
+    results.push_back(Measure(threads));
+    const Measurement& m = results.back();
+    PrintResult(StrFormat("machine_ticks_per_sec_threads_%d", m.threads), m.ticks_per_sec);
+  }
+
+  const double serial = results[0].ticks_per_sec;
+  std::string json = StrFormat(
+      "{\"bench\":\"tick_engine\",\"machines\":%d,\"ticks\":%d", kMachines, kTicks);
+  for (const Measurement& m : results) {
+    json += StrFormat(",\"ticks_per_sec_t%d\":%.1f", m.threads, m.ticks_per_sec);
+    if (m.threads > 1 && serial > 0.0) {
+      PrintResult(StrFormat("speedup_threads_%d", m.threads), m.ticks_per_sec / serial);
+      json += StrFormat(",\"speedup_t%d\":%.3f", m.threads, m.ticks_per_sec / serial);
+    }
+    if (m.samples != results[0].samples) {
+      PrintResult("DETERMINISM_MISMATCH_threads", m.threads);
+    }
+  }
+  json += StrFormat(",\"samples_collected\":%lld}", static_cast<long long>(results[0].samples));
+
+  std::printf("%s\n", json.c_str());
+  if (FILE* f = std::fopen("BENCH_tick_engine.json", "w"); f != nullptr) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cpi2
+
+int main() { return cpi2::Main(); }

@@ -61,6 +61,10 @@ class Agent {
   void RemoveTask(const std::string& task);
   bool HasTask(const std::string& task) const { return tasks_.count(task) > 0; }
   size_t task_count() const { return tasks_.size(); }
+  // Every task this agent manages, keyed by container id (name order).
+  // This is the membership source of truth, so callers syncing against a
+  // machine can iterate it directly instead of shadow-tracking membership.
+  const std::map<std::string, TaskMeta>& Tasks() const { return tasks_; }
 
   // --- spec distribution (pushed from the aggregator) -----------------------
   void UpdateSpec(const CpiSpec& spec);

@@ -1,7 +1,5 @@
 #include "harness/cluster_harness.h"
 
-#include <set>
-
 #include "util/logging.h"
 
 namespace cpi2 {
@@ -24,28 +22,37 @@ void ClusterHarness::WireAgents() {
     return;
   }
   wired_ = true;
-  for (Machine* machine : cluster_.machines()) {
+  const std::vector<Machine*>& machines = cluster_.machines();
+  channels_.resize(machines.size());
+  for (size_t i = 0; i < machines.size(); ++i) {
+    Machine* machine = machines[i];
     Agent::Options agent_options;
     agent_options.params = options_.params;
     agent_options.machine_name = machine->name();
     agent_options.platforminfo = machine->platform().name;
     auto agent = std::make_unique<Agent>(agent_options, machine, machine);
-    agent->SetSampleCallback([this](const CpiSample& sample) {
-      if (options_.sample_drop_rate > 0.0 && drop_rng_.Bernoulli(options_.sample_drop_rate)) {
-        return;  // lost between the machine and the collection pipeline
-      }
-      ++samples_collected_;
-      aggregator_.AddSample(sample);
-    });
+    // Callbacks fire while agents tick in parallel, so they only append to
+    // this machine's channel; the shared sinks (drop_rng_, aggregator_,
+    // incident_log_) are fed from the deterministic drain in OnTick.
+    AgentChannel& channel = channels_[i];
+    channel.machine = machine;
+    agent->SetSampleCallback(
+        [&channel](const CpiSample& sample) { channel.samples.push_back(sample); });
     agent->SetIncidentCallback(
-        [this](const Incident& incident) { incident_log_.Add(incident); });
+        [&channel](const Incident& incident) { channel.incidents.push_back(incident); });
+    channel.agent = agent.get();
+    agents_by_platform_[machine->platform().name].push_back(agent.get());
     agents_[machine->name()] = std::move(agent);
   }
-  // Spec push-back: every rebuilt spec goes to every agent; agents keep only
-  // specs matching their own platform.
+  // Spec push-back: every rebuilt spec goes to the agents on its platform;
+  // agents still verify the platform match themselves.
   aggregator_.SetSpecCallback([this](const CpiSpec& spec) {
-    for (auto& [name, agent] : agents_) {
-      agent->UpdateSpec(spec);
+    const auto it = agents_by_platform_.find(spec.platforminfo);
+    if (it == agents_by_platform_.end()) {
+      return;
+    }
+    for (Agent* platform_agent : it->second) {
+      platform_agent->UpdateSpec(spec);
     }
   });
   cluster_.AddTickListener([this](MicroTime now) { OnTick(now); });
@@ -66,37 +73,55 @@ Agent* ClusterHarness::AgentForTask(const std::string& task_name) {
   return nullptr;
 }
 
-void ClusterHarness::OnTick(MicroTime now) {
-  for (Machine* machine : cluster_.machines()) {
-    Agent* machine_agent = agents_[machine->name()].get();
-    if (machine_agent == nullptr) {
-      continue;
+void ClusterHarness::TickChannel(AgentChannel& channel, MicroTime now) {
+  Machine* machine = channel.machine;
+  Agent* machine_agent = channel.agent;
+  // Sync: register newly arrived tasks, drop departed ones. Both sides
+  // iterate in name order, so sampler stagger assignment is deterministic.
+  for (Task* task : machine->Tasks()) {
+    if (!machine_agent->HasTask(task->name())) {
+      machine_agent->AddTask(MetaFromSpec(task->name(), task->spec()), now);
     }
-    // Sync: register newly arrived tasks, drop departed ones.
-    std::set<std::string> present;
-    for (Task* task : machine->Tasks()) {
-      present.insert(task->name());
-      if (!machine_agent->HasTask(task->name())) {
-        machine_agent->AddTask(MetaFromSpec(task->name(), task->spec()), now);
-      }
+  }
+  channel.departed.clear();
+  for (const auto& [name, meta] : machine_agent->Tasks()) {
+    if (machine->FindTask(name) == nullptr) {
+      channel.departed.push_back(name);
     }
-    std::vector<std::string> departed;
-    // Agent has no iteration API over tasks; track removals via sampler
-    // failures instead would lag, so ask the machine: anything the agent has
-    // that is no longer present gets removed lazily through RemoveTask.
-    // (Agent::HasTask is the membership source of truth.)
-    // We snapshot agent-held names by probing the present set's complement:
-    // cheaper bookkeeping lives here in the harness.
-    auto& held = held_tasks_[machine->name()];
-    for (const std::string& name : held) {
-      if (present.count(name) == 0) {
-        machine_agent->RemoveTask(name);
-        departed.push_back(name);
-      }
-    }
-    held = std::move(present);
+  }
+  for (const std::string& name : channel.departed) {
+    machine_agent->RemoveTask(name);
+  }
 
-    machine_agent->Tick(now);
+  machine_agent->Tick(now);
+}
+
+void ClusterHarness::OnTick(MicroTime now) {
+  // Parallel phase: every channel touches only its own machine and agent.
+  ThreadPool* pool = cluster_.pool();
+  if (pool != nullptr && channels_.size() > 1) {
+    pool->ParallelFor(channels_.size(),
+                      [&](size_t i) { TickChannel(channels_[i], now); });
+  } else {
+    for (AgentChannel& channel : channels_) {
+      TickChannel(channel, now);
+    }
+  }
+  // Merge phase: drain buffered cross-machine effects in machine order, so
+  // drop_rng_ draws, sample counts, and log order match a serial run.
+  for (AgentChannel& channel : channels_) {
+    for (const CpiSample& sample : channel.samples) {
+      if (options_.sample_drop_rate > 0.0 && drop_rng_.Bernoulli(options_.sample_drop_rate)) {
+        continue;  // lost between the machine and the collection pipeline
+      }
+      ++samples_collected_;
+      aggregator_.AddSample(sample);
+    }
+    channel.samples.clear();
+    for (const Incident& incident : channel.incidents) {
+      incident_log_.Add(incident);
+    }
+    channel.incidents.clear();
   }
   aggregator_.Tick(now);
 }

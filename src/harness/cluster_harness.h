@@ -6,6 +6,13 @@
 // path, and an IncidentLog. Task arrivals/exits/migrations are synced to the
 // agents every tick, exactly as a production agent tracks its cgroups.
 //
+// Per-machine agent work is sharded across the cluster's thread pool (see
+// Cluster::Options::threads). Each machine's samples and incidents are
+// buffered in a per-machine channel during the parallel phase and drained
+// into the aggregator / incident log in machine order afterwards, so sample
+// loss (drop_rng_), sample counts, and incident sequences are bit-identical
+// for any thread count.
+//
 // This is the substrate for the integration tests, every figure harness in
 // bench/, and examples/cluster_sim.
 
@@ -13,7 +20,6 @@
 #define CPI2_HARNESS_CLUSTER_HARNESS_H_
 
 #include <map>
-#include <set>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,9 +86,24 @@ class ClusterHarness {
   Status OperatorMigrate(const std::string& task);
 
  private:
-  // Tick listener: sync agents' task registries with their machines, then
-  // tick the agents and the aggregator.
+  // One machine's lane through the parallel phase: its agent plus buffers
+  // for the cross-machine effects produced while ticking it. Each channel is
+  // touched by exactly one worker per tick; the buffers are drained (in
+  // machine order) on the single merging thread.
+  struct AgentChannel {
+    Machine* machine = nullptr;
+    Agent* agent = nullptr;
+    std::vector<CpiSample> samples;
+    std::vector<Incident> incidents;
+    std::vector<std::string> departed;  // sync scratch, reused across ticks
+  };
+
+  // Tick listener: sync agents' task registries with their machines and tick
+  // the agents (sharded), then drain the channels and tick the aggregator.
   void OnTick(MicroTime now);
+
+  // The per-machine share of OnTick; runs concurrently across channels.
+  void TickChannel(AgentChannel& channel, MicroTime now);
 
   Options options_;
   Cluster cluster_;
@@ -91,8 +112,10 @@ class ClusterHarness {
   TraceRecorder traces_;
   Rng drop_rng_{0x5eed};
   std::map<std::string, std::unique_ptr<Agent>> agents_;  // by machine name
-  // Task names each agent currently manages (for arrival/departure sync).
-  std::map<std::string, std::set<std::string>> held_tasks_;
+  std::vector<AgentChannel> channels_;                    // machine order
+  // Agents grouped by platform, so spec push-back only visits machines the
+  // spec applies to instead of broadcasting to the whole cluster.
+  std::map<std::string, std::vector<Agent*>> agents_by_platform_;
   bool wired_ = false;
   int64_t samples_collected_ = 0;
 };

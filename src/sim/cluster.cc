@@ -1,6 +1,7 @@
 #include "sim/cluster.h"
 
 #include <cassert>
+#include <thread>
 
 #include "util/string_util.h"
 
@@ -17,16 +18,12 @@ void Cluster::AddMachines(const Platform& platform, int count) {
     machines_.push_back(
         std::make_unique<Machine>(name, platform, rng_(), options_.interference));
   }
+  machines_raw_.clear();
 }
 
 void Cluster::BuildScheduler() {
   assert(scheduler_ == nullptr);
-  std::vector<Machine*> raw;
-  raw.reserve(machines_.size());
-  for (auto& machine : machines_) {
-    raw.push_back(machine.get());
-  }
-  scheduler_ = std::make_unique<Scheduler>(std::move(raw), options_.scheduler, rng_());
+  scheduler_ = std::make_unique<Scheduler>(machines(), options_.scheduler, rng_());
 }
 
 Scheduler& Cluster::scheduler() {
@@ -34,20 +31,45 @@ Scheduler& Cluster::scheduler() {
   return *scheduler_;
 }
 
-std::vector<Machine*> Cluster::machines() {
-  std::vector<Machine*> raw;
-  raw.reserve(machines_.size());
-  for (auto& machine : machines_) {
-    raw.push_back(machine.get());
+const std::vector<Machine*>& Cluster::machines() {
+  if (machines_raw_.size() != machines_.size()) {
+    machines_raw_.clear();
+    machines_raw_.reserve(machines_.size());
+    for (auto& machine : machines_) {
+      machines_raw_.push_back(machine.get());
+    }
   }
-  return raw;
+  return machines_raw_;
+}
+
+ThreadPool* Cluster::pool() {
+  if (!pool_resolved_) {
+    pool_resolved_ = true;
+    int threads = options_.threads;
+    if (threads <= 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    if (threads > 1) {
+      // ParallelFor counts the calling thread as a lane, so N-way parallelism
+      // needs N - 1 workers.
+      pool_ = std::make_unique<ThreadPool>(threads - 1);
+    }
+  }
+  return pool_.get();
 }
 
 void Cluster::Tick() {
   clock_.Advance(options_.tick);
   const MicroTime now = clock_.NowMicros();
-  for (auto& machine : machines_) {
-    machine->Tick(now, options_.tick);
+  ThreadPool* workers = pool();
+  if (workers != nullptr && machines_.size() > 1) {
+    const std::vector<Machine*>& shard = machines();
+    workers->ParallelFor(shard.size(),
+                         [&](size_t i) { shard[i]->Tick(now, options_.tick); });
+  } else {
+    for (auto& machine : machines_) {
+      machine->Tick(now, options_.tick);
+    }
   }
   if (scheduler_ != nullptr) {
     scheduler_->Maintain(now);

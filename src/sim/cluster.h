@@ -4,6 +4,12 @@
 // machines first (so counters reflect the tick), then scheduler maintenance
 // (reap/restart), then registered listeners (CPI2 agents, trace recorders),
 // so observers always see a consistent post-tick world.
+//
+// The machine phase is sharded across a persistent ThreadPool when
+// Options::threads != 1. Machines are mutually independent during Tick (each
+// owns its tasks and its RNG), so a parallel run is bit-identical to a serial
+// one; cross-machine consumers (e.g. ClusterHarness) reuse the same pool via
+// pool() and merge their per-machine effects in deterministic machine order.
 
 #ifndef CPI2_SIM_CLUSTER_H_
 #define CPI2_SIM_CLUSTER_H_
@@ -16,6 +22,7 @@
 #include "sim/scheduler.h"
 #include "util/clock.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace cpi2 {
 
@@ -27,6 +34,10 @@ class Cluster {
     MicroTime start_time = 0;
     Scheduler::Options scheduler;
     InterferenceParams interference;
+    // Threads ticking the machines (and, via pool(), the harness agents).
+    // 0 = hardware concurrency, 1 = the exact legacy serial path. Results
+    // are identical for every value; only wall-clock time changes.
+    int threads = 0;
   };
 
   explicit Cluster(Options options);
@@ -42,9 +53,16 @@ class Cluster {
   ManualClock& clock() { return clock_; }
   MicroTime now() const { return clock_.NowMicros(); }
 
-  std::vector<Machine*> machines();
+  // Machines in creation order. The vector is cached; the reference stays
+  // valid until the next AddMachines call.
+  const std::vector<Machine*>& machines();
   Machine* machine(size_t index) { return machines_[index].get(); }
   size_t machine_count() const { return machines_.size(); }
+
+  // The shared worker pool, or nullptr when Options::threads == 1 (serial).
+  // Listeners doing independent per-machine work may shard across it, as
+  // long as they merge cross-machine effects in a deterministic order.
+  ThreadPool* pool();
 
   // Listeners run after every tick, in registration order.
   using TickListener = std::function<void(MicroTime now)>;
@@ -61,8 +79,11 @@ class Cluster {
   ManualClock clock_;
   Rng rng_;
   std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<Machine*> machines_raw_;  // cached view of machines_
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<TickListener> listeners_;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily by pool()
+  bool pool_resolved_ = false;
 };
 
 }  // namespace cpi2

@@ -7,7 +7,16 @@ namespace cpi2 {
 std::vector<InterferenceResult> ComputeInterference(const Platform& platform,
                                                     const InterferenceParams& params,
                                                     const std::vector<TaskLoad>& loads) {
-  std::vector<InterferenceResult> results(loads.size());
+  std::vector<InterferenceResult> results;
+  ComputeInterference(platform, params, loads, &results);
+  return results;
+}
+
+void ComputeInterference(const Platform& platform, const InterferenceParams& params,
+                         const std::vector<TaskLoad>& loads,
+                         std::vector<InterferenceResult>* out) {
+  std::vector<InterferenceResult>& results = *out;
+  results.assign(loads.size(), InterferenceResult{});
 
   // Totals once, then subtract each task's own contribution.
   double total_cache_pollution = 0.0;
@@ -43,7 +52,6 @@ std::vector<InterferenceResult> ComputeInterference(const Platform& platform,
     r.l3_mpi = baseline_mpi *
                (1.0 + params.mpi_contention_weight * load.sensitivity * cache_pressure);
   }
-  return results;
 }
 
 }  // namespace cpi2

@@ -58,6 +58,13 @@ std::vector<InterferenceResult> ComputeInterference(const Platform& platform,
                                                     const InterferenceParams& params,
                                                     const std::vector<TaskLoad>& loads);
 
+// In-place variant for the per-tick hot path: resizes `*results` to
+// loads.size() and fills it, reusing its capacity so steady-state ticks do
+// not allocate.
+void ComputeInterference(const Platform& platform, const InterferenceParams& params,
+                         const std::vector<TaskLoad>& loads,
+                         std::vector<InterferenceResult>* results);
+
 }  // namespace cpi2
 
 #endif  // CPI2_SIM_INTERFERENCE_H_

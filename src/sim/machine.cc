@@ -17,6 +17,7 @@ Status Machine::AddTask(const std::string& task_name, const TaskSpec& spec) {
     return InvalidArgumentError("task already on machine: " + task_name);
   }
   tasks_[task_name] = std::make_unique<Task>(task_name, spec, rng_.Fork());
+  task_list_dirty_ = true;
   return Status::Ok();
 }
 
@@ -24,6 +25,7 @@ Status Machine::RemoveTask(const std::string& task_name) {
   if (tasks_.erase(task_name) == 0) {
     return NotFoundError("no such task: " + task_name);
   }
+  task_list_dirty_ = true;
   return Status::Ok();
 }
 
@@ -37,13 +39,16 @@ const Task* Machine::FindTask(const std::string& task_name) const {
   return it != tasks_.end() ? it->second.get() : nullptr;
 }
 
-std::vector<Task*> Machine::Tasks() {
-  std::vector<Task*> out;
-  out.reserve(tasks_.size());
-  for (auto& [name, task] : tasks_) {
-    out.push_back(task.get());
+const std::vector<Task*>& Machine::Tasks() {
+  if (task_list_dirty_) {
+    task_list_.clear();
+    task_list_.reserve(tasks_.size());
+    for (auto& [name, task] : tasks_) {
+      task_list_.push_back(task.get());
+    }
+    task_list_dirty_ = false;
   }
-  return out;
+  return task_list_;
 }
 
 std::vector<Machine::ExitedTask> Machine::DrainExited() {
@@ -52,6 +57,7 @@ std::vector<Machine::ExitedTask> Machine::DrainExited() {
     if (it->second->exited()) {
       exited.push_back({it->first, it->second->spec()});
       it = tasks_.erase(it);
+      task_list_dirty_ = true;
     } else {
       ++it;
     }
@@ -68,12 +74,14 @@ void Machine::Tick(MicroTime now, MicroTime dt) {
     return;
   }
 
-  std::vector<Task*> tasks = Tasks();
+  const std::vector<Task*>& tasks = Tasks();
   const size_t n = tasks.size();
 
   // 1. Demands, bounded by each task's hard cap.
-  std::vector<double> limit(n);
-  std::vector<bool> latency_sensitive(n);
+  std::vector<double>& limit = scratch_.limit;
+  std::vector<char>& latency_sensitive = scratch_.latency_sensitive;
+  limit.assign(n, 0.0);
+  latency_sensitive.assign(n, 0);
   double ls_demand = 0.0;
   double batch_demand = 0.0;
   for (size_t i = 0; i < n; ++i) {
@@ -94,7 +102,8 @@ void Machine::Tick(MicroTime now, MicroTime dt) {
   const double batch_scale =
       batch_demand > batch_capacity && batch_demand > 0.0 ? batch_capacity / batch_demand : 1.0;
 
-  std::vector<double> alloc(n);
+  std::vector<double>& alloc = scratch_.alloc;
+  alloc.assign(n, 0.0);
   double used = 0.0;
   for (size_t i = 0; i < n; ++i) {
     alloc[i] = limit[i] * (latency_sensitive[i] ? ls_scale : batch_scale);
@@ -104,13 +113,14 @@ void Machine::Tick(MicroTime now, MicroTime dt) {
   last_batch_satisfaction_ = batch_demand > 0.0 ? batch_scale : 1.0;
 
   // 3. Interference.
-  std::vector<TaskLoad> loads(n);
+  std::vector<TaskLoad>& loads = scratch_.loads;
+  loads.assign(n, TaskLoad{});
   for (size_t i = 0; i < n; ++i) {
     const TaskSpec& spec = tasks[i]->spec();
     loads[i] = {alloc[i], spec.cache_mb, spec.memory_intensity, spec.contention_sensitivity};
   }
-  const std::vector<InterferenceResult> effects =
-      ComputeInterference(platform_, interference_, loads);
+  ComputeInterference(platform_, interference_, loads, &scratch_.effects);
+  const std::vector<InterferenceResult>& effects = scratch_.effects;
 
   // 4. Accounting.
   for (size_t i = 0; i < n; ++i) {

@@ -48,7 +48,10 @@ class Machine : public CounterSource, public CpuController {
   Status RemoveTask(const std::string& task_name);
   Task* FindTask(const std::string& task_name);
   const Task* FindTask(const std::string& task_name) const;
-  std::vector<Task*> Tasks();
+  // Tasks in name order. The vector is cached and only rebuilt after a
+  // membership change; the reference is invalidated by AddTask/RemoveTask/
+  // DrainExited.
+  const std::vector<Task*>& Tasks();
   size_t task_count() const { return tasks_.size(); }
 
   // A task that ended on its own (e.g. self-termination under capping).
@@ -86,6 +89,21 @@ class Machine : public CounterSource, public CpuController {
   InterferenceParams interference_;
   Rng rng_;
   std::map<std::string, std::unique_ptr<Task>> tasks_;
+  // Cached name-ordered view of tasks_, rebuilt lazily after Add/Remove/
+  // DrainExited so Tick and Tasks() do not allocate every call.
+  std::vector<Task*> task_list_;
+  bool task_list_dirty_ = true;
+  // Per-tick scratch, reused across ticks so the hot path is allocation-free
+  // at steady state. Only touched by Tick, which runs on one thread at a
+  // time per machine.
+  struct TickScratch {
+    std::vector<double> limit;
+    std::vector<char> latency_sensitive;
+    std::vector<double> alloc;
+    std::vector<TaskLoad> loads;
+    std::vector<InterferenceResult> effects;
+  };
+  TickScratch scratch_;
   double last_utilization_ = 0.0;
   double last_batch_satisfaction_ = 1.0;
   MicroTime last_tick_time_ = 0;

@@ -1,0 +1,71 @@
+// Persistent worker pool for the parallel tick engine.
+//
+// The simulator's hot loop shards independent per-machine work (Machine::Tick,
+// Agent::Tick) across threads every tick, so the pool is built for many small
+// batches rather than long-lived jobs: workers persist across batches, Submit
+// never allocates beyond the queued closure, and ParallelFor load-balances
+// through a single shared counter (machines have heterogeneous tenant counts,
+// so static sharding would straggle).
+//
+// Determinism contract: the pool only controls *where* work runs, never the
+// result. Callers that need cross-shard effects in a fixed order must buffer
+// them per shard and drain after the barrier (see ClusterHarness::OnTick).
+
+#ifndef CPI2_UTIL_THREAD_POOL_H_
+#define CPI2_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpi2 {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers; <= 0 selects std::thread::hardware_concurrency()
+  // (minimum 1). Note ParallelFor also runs work on the calling thread, so a
+  // pool of W workers gives W+1 lanes of parallelism there.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task for any worker. Pair with Wait() as a barrier.
+  void Submit(std::function<void()> fn);
+
+  // Blocks until every submitted task has finished. If any task threw, the
+  // first exception is rethrown here (later ones are dropped) and the pool
+  // stays usable.
+  void Wait();
+
+  // Runs fn(i) for every i in [0, n), dynamically load-balanced across the
+  // workers plus the calling thread, and blocks until all calls return.
+  // Rethrows the first exception after the batch drains. Must not be called
+  // from inside a pool task (a worker waiting on its own batch deadlocks).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void RecordException();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
+  std::condition_variable done_cv_;  // Wait(): in-flight count reached zero
+  std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_exception_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_UTIL_THREAD_POOL_H_

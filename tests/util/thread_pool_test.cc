@@ -1,0 +1,100 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cpi2 {
+namespace {
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsABarrierAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    // Everything submitted so far must have finished before Wait returned.
+    EXPECT_EQ(counter.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(3, [&ran](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+  pool.ParallelFor(0, [&ran](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForUsesMultipleThreads) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  // Enough chunky items that every lane should pick up at least one.
+  pool.ParallelFor(64, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmittedExceptionPropagatesFromWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool must stay usable after an exception was delivered.
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&ran](size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 13) {
+                                    throw std::runtime_error("unlucky");
+                                  }
+                                }),
+               std::runtime_error);
+  // Healthy indices still ran; the batch fully drained before the rethrow.
+  EXPECT_GE(ran.load(), 1);
+  pool.ParallelFor(10, [&ran](size_t) { ran.fetch_add(1); });
+}
+
+}  // namespace
+}  // namespace cpi2
