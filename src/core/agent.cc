@@ -15,7 +15,8 @@ Agent::Agent(Options options, CounterSource* source, CpuController* controller)
                }),
       detector_(options_.params),
       identifier_(options_.params),
-      enforcement_(options_.params, controller) {}
+      enforcement_(options_.params, controller),
+      jitter_rng_(options_.jitter_seed) {}
 
 void Agent::AddTask(const TaskMeta& meta, MicroTime now) {
   tasks_[meta.task] = meta;
@@ -31,11 +32,11 @@ void Agent::RemoveTask(const std::string& task) {
   enforcement_.ForgetTask(task);
 }
 
-void Agent::UpdateSpec(const CpiSpec& spec) {
+void Agent::UpdateSpec(const CpiSpec& spec, MicroTime now) {
   if (spec.platforminfo != options_.platforminfo) {
     return;  // Spec for a different CPU type; not applicable here.
   }
-  specs_[spec.jobname] = spec;
+  specs_[spec.jobname] = SpecEntry{spec, now};
 }
 
 std::optional<CpiSpec> Agent::GetSpec(const std::string& jobname) const {
@@ -43,12 +44,79 @@ std::optional<CpiSpec> Agent::GetSpec(const std::string& jobname) const {
   if (it == specs_.end()) {
     return std::nullopt;
   }
-  return it->second;
+  return it->second.spec;
+}
+
+std::optional<MicroTime> Agent::SpecReceivedAt(const std::string& jobname) const {
+  const auto it = specs_.find(jobname);
+  if (it == specs_.end()) {
+    return std::nullopt;
+  }
+  return it->second.received_at;
 }
 
 void Agent::Tick(MicroTime now) {
+  last_tick_ = now;
   sampler_.Tick(now);
   enforcement_.Tick(now);
+}
+
+void Agent::Restart(MicroTime now) {
+  tasks_.clear();
+  series_.clear();
+  specs_.clear();
+  sampler_.Clear();
+  detector_.Clear();
+  enforcement_.Reset();
+  outbox_.clear();
+  outbox_retry_at_ = 0;
+  outbox_attempts_ = 0;
+  last_tick_ = now;
+  // Diagnostic counters lived in the dead process's memory; only health_
+  // (conceptually scraped by monitoring) carries across the restart.
+  samples_processed_ = 0;
+  outliers_flagged_ = 0;
+  anomalies_detected_ = 0;
+  incidents_reported_ = 0;
+  ++health_.restarts;
+}
+
+void Agent::FlushOutbox(MicroTime now) {
+  if (!delivery_callback_ || now < outbox_retry_at_) {
+    return;
+  }
+  while (!outbox_.empty()) {
+    const DeliveryResult result = delivery_callback_(outbox_.front());
+    if (result == DeliveryResult::kUnavailable) {
+      ++health_.delivery_retries;
+      // Exponential backoff, capped, with uniform jitter so a fleet of
+      // agents does not hammer a recovering aggregator in lockstep.
+      MicroTime backoff = options_.params.delivery_retry_backoff;
+      for (int i = 0; i < outbox_attempts_ && backoff < options_.params.delivery_retry_backoff_max;
+           ++i) {
+        backoff *= 2;
+      }
+      if (backoff > options_.params.delivery_retry_backoff_max) {
+        backoff = options_.params.delivery_retry_backoff_max;
+      }
+      if (options_.params.delivery_retry_jitter > 0.0) {
+        backoff += static_cast<MicroTime>(
+            jitter_rng_.Uniform(0.0, options_.params.delivery_retry_jitter *
+                                         static_cast<double>(backoff)));
+      }
+      outbox_retry_at_ = now + backoff;
+      ++outbox_attempts_;
+      return;
+    }
+    if (result == DeliveryResult::kAck) {
+      ++health_.samples_delivered;
+    } else {
+      ++health_.samples_lost;
+    }
+    outbox_.pop_front();
+    outbox_attempts_ = 0;
+    outbox_retry_at_ = 0;
+  }
 }
 
 const TimeSeries* Agent::UsageSeries(const std::string& task) const {
@@ -61,10 +129,40 @@ const TimeSeries* Agent::CpiSeries(const std::string& task) const {
   return it != series_.end() ? &it->second.cpi : nullptr;
 }
 
+bool Agent::RejectedBySanityFilter(const CounterDelta& delta) const {
+  if (!options_.params.counter_sanity_filter) {
+    return false;
+  }
+  // Counter went backwards: a reset/zeroed counter makes the CPU-seconds
+  // delta negative (the unsigned cycle counters wrap to huge values, but the
+  // signed CPU time is the reliable tell).
+  if (delta.cpu_seconds < 0.0) {
+    return true;
+  }
+  // More CPU than any machine has, or a CPI no real core can produce:
+  // garbage, not measurement.
+  if (delta.UsageRate() > options_.params.max_plausible_usage) {
+    return true;
+  }
+  if (delta.Cpi() > options_.params.max_plausible_cpi) {
+    return true;
+  }
+  // Cycles burned with zero instructions retired over a full window cannot
+  // happen outside a glitch (our platforms always retire alongside cycles).
+  if (delta.instructions == 0 && delta.cycles > 0) {
+    return true;
+  }
+  return false;
+}
+
 void Agent::OnWindow(const std::string& container, const CounterDelta& delta) {
   const auto meta_it = tasks_.find(container);
   if (meta_it == tasks_.end()) {
     return;  // Task vanished between scheduling the window and finishing it.
+  }
+  if (RejectedBySanityFilter(delta)) {
+    ++health_.counter_rejects;
+    return;
   }
   const TaskMeta& meta = meta_it->second;
   const MicroTime now = delta.window_end;
@@ -93,6 +191,14 @@ void Agent::OnWindow(const std::string& container, const CounterDelta& delta) {
   if (sample_callback_) {
     sample_callback_(sample);
   }
+  if (delivery_callback_) {
+    if (static_cast<int>(outbox_.size()) >= options_.params.sample_outbox_capacity) {
+      outbox_.pop_front();  // bounded queue: evict oldest, keep freshest
+      ++health_.outbox_overflow_drops;
+    }
+    outbox_.push_back(sample);
+    ++health_.samples_enqueued;
+  }
 
   if (sample.cpi <= 0.0) {
     return;  // No instructions retired in the window; nothing to score.
@@ -101,14 +207,32 @@ void Agent::OnWindow(const std::string& container, const CounterDelta& delta) {
   if (spec_it == specs_.end()) {
     return;  // No robust prediction for this job yet.
   }
-  const OutlierDetector::Result result = detector_.Observe(container, sample, spec_it->second);
+  // Staleness policy: a spec that has outlived its TTL is a weakening
+  // prediction — widen the outlier threshold; one past the suppression
+  // horizon is dead data — never cap anyone on it.
+  double sigma_scale = 1.0;
+  if (options_.params.spec_staleness_ttl > 0) {
+    const MicroTime age = now - spec_it->second.received_at;
+    const double suppress_age = options_.params.stale_suppress_factor *
+                                static_cast<double>(options_.params.spec_staleness_ttl);
+    if (static_cast<double>(age) > suppress_age) {
+      ++health_.stale_spec_suppressions;
+      return;
+    }
+    if (age > options_.params.spec_staleness_ttl) {
+      sigma_scale = options_.params.stale_sigma_factor;
+      ++health_.stale_spec_widenings;
+    }
+  }
+  const OutlierDetector::Result result =
+      detector_.Observe(container, sample, spec_it->second.spec, sigma_scale);
   if (result.outlier) {
     ++outliers_flagged_;
   }
   if (result.anomaly) {
     ++anomalies_detected_;
     if (identifier_.Allowed(now)) {
-      HandleAnomaly(meta, sample, result.threshold, spec_it->second);
+      HandleAnomaly(meta, sample, result.threshold, spec_it->second.spec);
     }
   }
 }

@@ -11,6 +11,7 @@
 #ifndef CPI2_CORE_AGENT_H_
 #define CPI2_CORE_AGENT_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -26,6 +27,7 @@
 #include "core/types.h"
 #include "perf/counter_source.h"
 #include "perf/sampler.h"
+#include "util/rng.h"
 #include "util/time_series.h"
 
 namespace cpi2 {
@@ -41,6 +43,28 @@ struct TaskMeta {
   bool protection_opt_in = false;
 };
 
+// Outcome of one attempt to deliver a sample to the collection pipeline.
+enum class DeliveryResult {
+  kAck,          // accepted by the aggregator; done
+  kLost,         // dropped in flight (network loss); do not retry
+  kUnavailable,  // pipeline unreachable; keep the sample and retry later
+};
+
+// Degraded-mode counters for one agent. Every transition into (or event
+// within) a degraded mode is counted here, so operators can tell a healthy
+// fleet from one that is silently riding out faults.
+struct AgentHealth {
+  int64_t restarts = 0;                 // crash/restart cycles survived
+  int64_t samples_enqueued = 0;         // samples that entered the outbox
+  int64_t samples_delivered = 0;        // acked by the pipeline
+  int64_t samples_lost = 0;             // dropped in flight, never retried
+  int64_t delivery_retries = 0;         // kUnavailable results (backoff arms)
+  int64_t outbox_overflow_drops = 0;    // oldest sample evicted, outbox full
+  int64_t counter_rejects = 0;          // sanity filter discarded a window
+  int64_t stale_spec_widenings = 0;     // detection ran with widened threshold
+  int64_t stale_spec_suppressions = 0;  // detection suppressed: spec too old
+};
+
 class Agent {
  public:
   struct Options {
@@ -49,10 +73,16 @@ class Agent {
     // The machine's CPU type; stamped into every sample and used to select
     // the right spec (CPI is computed per job x platform).
     std::string platforminfo;
+    // Seed for the retry-jitter stream. Only drawn from when a delivery
+    // fails, so it has no effect on fault-free runs.
+    uint64_t jitter_seed = 0xa9e27;
   };
 
   using SampleCallback = std::function<void(const CpiSample&)>;
   using IncidentCallback = std::function<void(const Incident&)>;
+  // Attempts to hand one sample to the collection pipeline and reports what
+  // became of it. Invoked only from FlushOutbox (single-threaded).
+  using DeliveryCallback = std::function<DeliveryResult(const CpiSample&)>;
 
   Agent(Options options, CounterSource* source, CpuController* controller);
 
@@ -67,19 +97,48 @@ class Agent {
   const std::map<std::string, TaskMeta>& Tasks() const { return tasks_; }
 
   // --- spec distribution (pushed from the aggregator) -----------------------
-  void UpdateSpec(const CpiSpec& spec);
+  // `now` stamps the spec's arrival time for staleness tracking; the
+  // one-argument form uses the last Tick time (fine for tests and for specs
+  // pushed between ticks).
+  void UpdateSpec(const CpiSpec& spec, MicroTime now);
+  void UpdateSpec(const CpiSpec& spec) { UpdateSpec(spec, last_tick_); }
   std::optional<CpiSpec> GetSpec(const std::string& jobname) const;
+  // Arrival time of the spec for `jobname`, or nullopt if none is cached.
+  std::optional<MicroTime> SpecReceivedAt(const std::string& jobname) const;
 
   // --- main loop -------------------------------------------------------------
   // Drives sampling, detection and cap expiry. Call once per second.
   void Tick(MicroTime now);
 
+  // Simulates the agent process crashing and coming back: every piece of
+  // in-memory state — spec cache, detector history, CPI/usage series, task
+  // registry, sampler schedule, outbox, cap bookkeeping — is gone. Caps
+  // already applied to the CPU controller survive in the kernel; callers
+  // model startup reconciliation by clearing them (see
+  // ClusterHarness::ReconcileCapsAfterRestart).
+  void Restart(MicroTime now);
+
   void SetSampleCallback(SampleCallback callback) { sample_callback_ = std::move(callback); }
   void SetIncidentCallback(IncidentCallback callback) {
     incident_callback_ = std::move(callback);
   }
+  // Installing a delivery callback switches the agent from fire-and-forget
+  // sample reporting to the outbox path: samples queue in a bounded outbox
+  // and FlushOutbox attempts delivery with retry + exponential backoff +
+  // jitter. The plain SampleCallback (if also set) still observes every
+  // emitted sample; it is a tap, not the transport.
+  void SetDeliveryCallback(DeliveryCallback callback) {
+    delivery_callback_ = std::move(callback);
+  }
+
+  // Attempts to deliver queued samples in FIFO order. Stops at the first
+  // kUnavailable result and backs off exponentially (with jitter) before the
+  // next attempt. Call from a single thread (the harness's merge phase).
+  void FlushOutbox(MicroTime now);
+  size_t outbox_size() const { return outbox_.size(); }
 
   EnforcementPolicy& enforcement() { return enforcement_; }
+  const AgentHealth& health() const { return health_; }
 
   // --- diagnostics -----------------------------------------------------------
   int64_t samples_processed() const { return samples_processed_; }
@@ -97,8 +156,18 @@ class Agent {
     TimeSeries usage;
   };
 
+  // A cached spec plus when it arrived, for staleness policy.
+  struct SpecEntry {
+    CpiSpec spec;
+    MicroTime received_at = 0;
+  };
+
   // Sampler callback: one completed counting window for `container`.
   void OnWindow(const std::string& container, const CounterDelta& delta);
+
+  // True when the window's deltas are physically impossible (counter reset,
+  // garbage values): such windows must never reach detection.
+  bool RejectedBySanityFilter(const CounterDelta& delta) const;
 
   // Runs the anomaly -> identification -> enforcement chain for a victim.
   void HandleAnomaly(const TaskMeta& victim, const CpiSample& sample, double threshold,
@@ -113,10 +182,20 @@ class Agent {
   std::map<std::string, TaskMeta> tasks_;
   std::map<std::string, TaskSeries> series_;
   // Specs for this machine's platform, keyed by jobname.
-  std::map<std::string, CpiSpec> specs_;
+  std::map<std::string, SpecEntry> specs_;
 
   SampleCallback sample_callback_;
   IncidentCallback incident_callback_;
+  DeliveryCallback delivery_callback_;
+
+  // Samples awaiting delivery (FIFO, bounded by sample_outbox_capacity).
+  std::deque<CpiSample> outbox_;
+  MicroTime outbox_retry_at_ = 0;  // no attempts before this time
+  int outbox_attempts_ = 0;        // consecutive failed attempts (backoff)
+  Rng jitter_rng_;
+
+  MicroTime last_tick_ = 0;
+  AgentHealth health_;
 
   int64_t samples_processed_ = 0;
   int64_t outliers_flagged_ = 0;

@@ -1,6 +1,38 @@
 #include "core/aggregator.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
 namespace cpi2 {
+namespace {
+
+constexpr char kCheckpointHeader[] = "cpi2-aggregator-ckpt-v1";
+
+}  // namespace
+
+void Aggregator::AddSample(const CpiSample& sample) {
+  if (params_.sample_dedup_window > 0 && !sample.machine.empty()) {
+    if (sample.timestamp > dedup_watermark_) {
+      dedup_watermark_ = sample.timestamp;
+      // Prune entries older than the window; timestamps only move forward,
+      // so the set stays bounded by window x arrival rate.
+      const MicroTime cutoff = dedup_watermark_ - params_.sample_dedup_window;
+      recent_samples_.erase(recent_samples_.begin(),
+                            recent_samples_.lower_bound(SampleKey{cutoff, "", ""}));
+    }
+    if (!recent_samples_.insert(SampleKey{sample.timestamp, sample.machine, sample.task})
+             .second) {
+      ++duplicates_dropped_;
+      return;
+    }
+  }
+  builder_.AddSample(sample);
+}
 
 void Aggregator::Tick(MicroTime now) {
   if (last_build_ < 0) {
@@ -23,6 +55,127 @@ std::vector<CpiSpec> Aggregator::ForceBuild(MicroTime now) {
     }
   }
   return specs;
+}
+
+std::string Aggregator::Checkpoint() const {
+  // Line-oriented records: M = metadata, H = one history entry, S = one
+  // latest spec. %.17g round-trips doubles exactly, which the
+  // restore-equals-crashed-state guarantee depends on.
+  std::string out = std::string(kCheckpointHeader) + "\n";
+  out += StrFormat("M\t%lld\t%lld\t%lld\n", static_cast<long long>(last_build_),
+                   static_cast<long long>(builds_completed_),
+                   static_cast<long long>(builder_.samples_seen()));
+  for (const SpecBuilder::HistoryEntry& entry : builder_.SnapshotHistory()) {
+    out += StrFormat("H\t%s\t%s\t%.17g\t%.17g\t%.17g\t%.17g\n", entry.key.jobname.c_str(),
+                     entry.key.platforminfo.c_str(), entry.count, entry.mean, entry.m2,
+                     entry.usage_mean);
+  }
+  for (const CpiSpec& spec : builder_.SnapshotLatestSpecs()) {
+    out += StrFormat("S\t%s\t%s\t%lld\t%.17g\t%.17g\t%.17g\n", spec.jobname.c_str(),
+                     spec.platforminfo.c_str(), static_cast<long long>(spec.num_samples),
+                     spec.cpu_usage_mean, spec.cpi_mean, spec.cpi_stddev);
+  }
+  return out;
+}
+
+Status Aggregator::Restore(const std::string& checkpoint) {
+  std::istringstream in(checkpoint);
+  std::string line;
+  if (!std::getline(in, line) || line != kCheckpointHeader) {
+    return InvalidArgumentError("aggregator checkpoint: missing or wrong header");
+  }
+  bool have_meta = false;
+  MicroTime last_build = -1;
+  int64_t builds_completed = 0;
+  int64_t samples_seen = 0;
+  std::vector<SpecBuilder::HistoryEntry> history;
+  std::vector<CpiSpec> latest_specs;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields_in(line);
+    std::vector<std::string> fields;
+    std::string field;
+    while (std::getline(fields_in, field, '\t')) {
+      fields.push_back(field);
+    }
+    const auto malformed = [&] {
+      return InvalidArgumentError(
+          StrFormat("aggregator checkpoint line %d: malformed record", line_number));
+    };
+    if (fields[0] == "M") {
+      if (fields.size() != 4) {
+        return malformed();
+      }
+      last_build = std::strtoll(fields[1].c_str(), nullptr, 10);
+      builds_completed = std::strtoll(fields[2].c_str(), nullptr, 10);
+      samples_seen = std::strtoll(fields[3].c_str(), nullptr, 10);
+      have_meta = true;
+    } else if (fields[0] == "H") {
+      if (fields.size() != 7) {
+        return malformed();
+      }
+      SpecBuilder::HistoryEntry entry;
+      entry.key.jobname = fields[1];
+      entry.key.platforminfo = fields[2];
+      entry.count = std::atof(fields[3].c_str());
+      entry.mean = std::atof(fields[4].c_str());
+      entry.m2 = std::atof(fields[5].c_str());
+      entry.usage_mean = std::atof(fields[6].c_str());
+      history.push_back(std::move(entry));
+    } else if (fields[0] == "S") {
+      if (fields.size() != 7) {
+        return malformed();
+      }
+      CpiSpec spec;
+      spec.jobname = fields[1];
+      spec.platforminfo = fields[2];
+      spec.num_samples = std::strtoll(fields[3].c_str(), nullptr, 10);
+      spec.cpu_usage_mean = std::atof(fields[4].c_str());
+      spec.cpi_mean = std::atof(fields[5].c_str());
+      spec.cpi_stddev = std::atof(fields[6].c_str());
+      latest_specs.push_back(std::move(spec));
+    } else {
+      return InvalidArgumentError(
+          StrFormat("aggregator checkpoint line %d: unknown record '%s'", line_number,
+                    fields[0].c_str()));
+    }
+  }
+  if (!have_meta) {
+    return InvalidArgumentError("aggregator checkpoint: missing metadata record");
+  }
+  builder_.RestoreSnapshot(history, latest_specs, samples_seen);
+  last_build_ = last_build;
+  builds_completed_ = builds_completed;
+  recent_samples_.clear();
+  dedup_watermark_ = 0;
+  return Status::Ok();
+}
+
+Status Aggregator::SaveCheckpoint(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return InternalError("open " + path + " for write: " + std::strerror(errno));
+  }
+  const std::string blob = Checkpoint();
+  std::fwrite(blob.data(), 1, blob.size(), file);
+  if (std::fclose(file) != 0) {
+    return InternalError("close " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+Status Aggregator::LoadCheckpoint(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return Restore(buffer.str());
 }
 
 }  // namespace cpi2

@@ -5,17 +5,31 @@
 // out through a callback (the harness routes them to the machines running
 // each job). The paper rebuilds every 24 hours with a goal of hourly;
 // the interval is a parameter.
+//
+// Degraded-mode hardening:
+//  - Checkpoint/restore: the spec state (age-weighted history, latest
+//    specs, build clock) serializes to a versioned TSV blob, so a restarted
+//    aggregator resumes from its last checkpoint instead of forgetting a
+//    day of history. Samples accumulated since the checkpoint are lost —
+//    the loss is bounded by the checkpoint interval.
+//  - Duplicate-sample idempotence: when sample_dedup_window > 0, a
+//    (machine, task, timestamp) triple seen twice within the window is
+//    dropped, so an agent retrying after a lost ack cannot double-count.
 
 #ifndef CPI2_CORE_AGGREGATOR_H_
 #define CPI2_CORE_AGGREGATOR_H_
 
 #include <functional>
 #include <optional>
+#include <set>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/params.h"
 #include "core/spec_builder.h"
 #include "core/types.h"
+#include "util/status.h"
 
 namespace cpi2 {
 
@@ -25,7 +39,7 @@ class Aggregator {
 
   explicit Aggregator(const Cpi2Params& params) : params_(params), builder_(params) {}
 
-  void AddSample(const CpiSample& sample) { builder_.AddSample(sample); }
+  void AddSample(const CpiSample& sample);
 
   // Rebuilds specs when the update interval has elapsed. Call regularly.
   void Tick(MicroTime now);
@@ -43,13 +57,33 @@ class Aggregator {
 
   SpecBuilder& builder() { return builder_; }
   int64_t builds_completed() const { return builds_completed_; }
+  int64_t duplicates_dropped() const { return duplicates_dropped_; }
+
+  // --- checkpoint/restore ---------------------------------------------------
+  // Serializes the spec state (history + latest specs + build clock) to a
+  // self-contained versioned text blob. The in-progress accumulation window
+  // and the dedup set are intentionally excluded; see the header comment.
+  std::string Checkpoint() const;
+  // Replaces this aggregator's spec state with a previously checkpointed
+  // blob. Fails (leaving the current state untouched) on a malformed blob.
+  Status Restore(const std::string& checkpoint);
+  // File-backed convenience wrappers around Checkpoint()/Restore().
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
 
  private:
+  // Sample identity for dedup: timestamp first so pruning old entries is a
+  // single ordered-range erase.
+  using SampleKey = std::tuple<MicroTime, std::string, std::string>;
+
   Cpi2Params params_;
   SpecBuilder builder_;
   SpecCallback callback_;
   MicroTime last_build_ = -1;
   int64_t builds_completed_ = 0;
+  int64_t duplicates_dropped_ = 0;
+  std::set<SampleKey> recent_samples_;  // only used when dedup enabled
+  MicroTime dedup_watermark_ = 0;       // newest timestamp seen
 };
 
 }  // namespace cpi2

@@ -77,6 +77,16 @@ class EnforcementPolicy {
   // A task went away (exit/migration): forget its cap silently.
   void ForgetTask(const std::string& task) { active_caps_.erase(task); }
 
+  // Agent restart: all in-memory cap bookkeeping is lost. Caps already
+  // written to the CPU controller survive in the kernel (cgroup quotas are
+  // not tied to the agent process); startup reconciliation must clear them
+  // separately. The enabled/disabled switch is configuration, not state, so
+  // it survives.
+  void Reset() {
+    active_caps_.clear();
+    stuck_incidents_.clear();
+  }
+
  private:
   struct ActiveCap {
     MicroTime expires_at = 0;

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace cpi2 {
@@ -101,7 +102,7 @@ Status SaveIncidents(const std::string& path, const IncidentLog& log) {
   return Status::Ok();
 }
 
-StatusOr<IncidentLog> LoadIncidents(const std::string& path) {
+StatusOr<IncidentLog> LoadIncidents(const std::string& path, int64_t* lines_skipped) {
   std::ifstream file(path);
   if (!file) {
     return NotFoundError("cannot open " + path);
@@ -111,6 +112,7 @@ StatusOr<IncidentLog> LoadIncidents(const std::string& path) {
     return InvalidArgumentError(path + ": missing or wrong header");
   }
   IncidentLog log;
+  int64_t skipped = 0;
   int line_number = 1;
   while (std::getline(file, line)) {
     ++line_number;
@@ -128,8 +130,12 @@ StatusOr<IncidentLog> LoadIncidents(const std::string& path) {
       fields.emplace_back();
     }
     if (fields.size() != 15) {
-      return InvalidArgumentError(StrFormat("%s:%d: expected 15 fields, got %zu",
-                                            path.c_str(), line_number, fields.size()));
+      // Truncated or torn line (e.g. a crash mid-append): skip it rather
+      // than discarding every intact incident in the file.
+      CPI2_LOG(WARNING) << path << ":" << line_number << ": expected 15 fields, got "
+                        << fields.size() << "; skipping line";
+      ++skipped;
+      continue;
     }
     Incident incident;
     incident.timestamp = std::strtoll(fields[0].c_str(), nullptr, 10);
@@ -148,12 +154,16 @@ StatusOr<IncidentLog> LoadIncidents(const std::string& path) {
     incident.note = fields[13];
     auto suspects = DecodeSuspects(fields[14]);
     if (!suspects.ok()) {
-      return InvalidArgumentError(
-          StrFormat("%s:%d: %s", path.c_str(), line_number,
-                    suspects.status().message().c_str()));
+      CPI2_LOG(WARNING) << path << ":" << line_number << ": "
+                        << suspects.status().message() << "; skipping line";
+      ++skipped;
+      continue;
     }
     incident.suspects = std::move(*suspects);
     log.Add(incident);
+  }
+  if (lines_skipped != nullptr) {
+    *lines_skipped = skipped;
   }
   return log;
 }

@@ -21,7 +21,15 @@ namespace cpi2 {
 Status SaveIncidents(const std::string& path, const IncidentLog& log);
 
 // Loads a saved incident file into a fresh IncidentLog.
-StatusOr<IncidentLog> LoadIncidents(const std::string& path);
+//
+// Robustness: a truncated or corrupted body line (wrong field count,
+// malformed suspect record) is skipped with a logged warning instead of
+// failing the whole load — a forensics store must survive a torn write at
+// its tail. Each skip is counted into `*lines_skipped` (if non-null), so
+// callers can surface "loaded N incidents, skipped M bad lines". Only a
+// missing file or a missing/wrong header still fails.
+StatusOr<IncidentLog> LoadIncidents(const std::string& path,
+                                    int64_t* lines_skipped = nullptr);
 
 }  // namespace cpi2
 

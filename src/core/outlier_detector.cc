@@ -3,9 +3,10 @@
 namespace cpi2 {
 
 OutlierDetector::Result OutlierDetector::Observe(const std::string& task,
-                                                 const CpiSample& sample, const CpiSpec& spec) {
+                                                 const CpiSample& sample, const CpiSpec& spec,
+                                                 double sigma_scale) {
   Result result;
-  result.threshold = spec.OutlierThreshold(params_.outlier_sigmas);
+  result.threshold = spec.OutlierThreshold(sigma_scale * params_.outlier_sigmas);
 
   // Ignore low-usage samples: CPI inflates at near-idle for reasons that
   // have nothing to do with antagonists (case 3).

@@ -34,11 +34,21 @@ class OutlierDetector {
     bool skipped_low_usage = false;
   };
 
-  // Scores one sample of `task` against its job's spec.
-  Result Observe(const std::string& task, const CpiSample& sample, const CpiSpec& spec);
+  // Scores one sample of `task` against its job's spec. `sigma_scale`
+  // widens the outlier threshold (mean + sigma_scale * outlier_sigmas *
+  // stddev); degraded modes pass > 1.0 when the spec is stale so that a
+  // drifting job does not trip on an outdated model.
+  Result Observe(const std::string& task, const CpiSample& sample, const CpiSpec& spec,
+                 double sigma_scale);
+  Result Observe(const std::string& task, const CpiSample& sample, const CpiSpec& spec) {
+    return Observe(task, sample, spec, /*sigma_scale=*/1.0);
+  }
 
   // Drops a task's flag history (task exited or moved away).
   void ForgetTask(const std::string& task);
+
+  // Drops all flag history (agent restart: everything in memory is lost).
+  void Clear() { flags_.clear(); }
 
   // Number of tasks with at least one recent flag (diagnostics).
   size_t tracked_tasks() const { return flags_.size(); }

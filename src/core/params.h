@@ -64,6 +64,37 @@ struct Cpi2Params {
   // already under a cap, the migration callback fires for that suspect.
   int recaps_before_migration = 3;
 
+  // --- degraded modes (robustness hardening; no paper counterpart) ----------
+  // Bounded sample outbox between the agent and the aggregator. Samples wait
+  // here until the delivery callback acknowledges them; when the aggregator
+  // is unreachable the agent retries with exponential backoff plus jitter.
+  // When the outbox is full the oldest sample is dropped (and counted).
+  int sample_outbox_capacity = 256;
+  MicroTime delivery_retry_backoff = 2 * kMicrosPerSecond;
+  MicroTime delivery_retry_backoff_max = kMicrosPerMinute;
+  // Jitter as a fraction of the current backoff, drawn uniformly in
+  // [0, jitter * backoff). Keeps a fleet of agents from retrying in sync.
+  double delivery_retry_jitter = 0.25;
+  // Spec staleness TTL: 0 disables staleness tracking entirely (legacy
+  // behaviour). When set, a spec older than the TTL widens the outlier
+  // threshold by stale_sigma_factor (fewer false alarms on drifting data),
+  // and a spec older than stale_suppress_factor * TTL suppresses detection
+  // for that job outright: never cap on dead data.
+  MicroTime spec_staleness_ttl = 0;
+  double stale_sigma_factor = 1.5;
+  double stale_suppress_factor = 2.0;
+  // Counter sanity filter: windows whose deltas are physically impossible
+  // (counter went backwards, absurd CPI or usage) are rejected before they
+  // reach detection. The bounds are far outside anything a healthy machine
+  // produces, so the filter is inert on clean data.
+  bool counter_sanity_filter = true;
+  double max_plausible_cpi = 1e4;
+  double max_plausible_usage = 1024.0;  // CPU-sec/sec
+  // Aggregator duplicate-sample dedup window: 0 disables. When set, a
+  // (machine, task, timestamp) triple seen twice within the window is
+  // dropped, making retried deliveries after a lost ack idempotent.
+  MicroTime sample_dedup_window = 0;
+
   // Renders the parameter table (used by bench_table2_params and --help
   // style output).
   std::string ToTable() const;

@@ -96,6 +96,49 @@ std::optional<CpiSpec> SpecBuilder::GetSpec(const std::string& jobname,
   return it->second;
 }
 
+std::vector<SpecBuilder::HistoryEntry> SpecBuilder::SnapshotHistory() const {
+  std::vector<HistoryEntry> entries;
+  entries.reserve(history_.size());
+  for (const auto& [key, history] : history_) {
+    HistoryEntry entry;
+    entry.key = key;
+    entry.count = history.count;
+    entry.mean = history.mean;
+    entry.m2 = history.m2;
+    entry.usage_mean = history.usage_mean;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<CpiSpec> SpecBuilder::SnapshotLatestSpecs() const {
+  std::vector<CpiSpec> specs;
+  specs.reserve(latest_specs_.size());
+  for (const auto& [key, spec] : latest_specs_) {
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+void SpecBuilder::RestoreSnapshot(const std::vector<HistoryEntry>& history,
+                                  const std::vector<CpiSpec>& latest_specs,
+                                  int64_t samples_seen) {
+  history_.clear();
+  latest_specs_.clear();
+  current_.clear();
+  for (const HistoryEntry& entry : history) {
+    MomentHistory& moments = history_[entry.key];
+    moments.count = entry.count;
+    moments.mean = entry.mean;
+    moments.m2 = entry.m2;
+    moments.usage_mean = entry.usage_mean;
+  }
+  for (const CpiSpec& spec : latest_specs) {
+    latest_specs_[{spec.jobname, spec.platforminfo}] = spec;
+  }
+  samples_seen_ = samples_seen;
+}
+
 void SpecBuilder::SeedHistory(const CpiSpec& spec) {
   MomentHistory& history = history_[{spec.jobname, spec.platforminfo}];
   MomentHistory seeded;

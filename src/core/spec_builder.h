@@ -44,6 +44,27 @@ class SpecBuilder {
 
   int64_t samples_seen() const { return samples_seen_; }
 
+  // --- checkpoint/restore (degraded-mode hardening) -------------------------
+  // Exact snapshot of one key's age-weighted moment history. Unlike
+  // SeedHistory (which round-trips through a CpiSpec and re-merges), these
+  // entries restore the weighted moments bit-for-bit, so a restored builder
+  // produces the same specs the crashed one would have.
+  struct HistoryEntry {
+    JobPlatformKey key;
+    double count = 0.0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double usage_mean = 0.0;
+  };
+  std::vector<HistoryEntry> SnapshotHistory() const;
+  std::vector<CpiSpec> SnapshotLatestSpecs() const;
+  // Replaces history, latest specs, and the sample counter with the snapshot
+  // contents. The in-progress accumulation window is cleared: a restore
+  // resumes from the last checkpointed build, losing only the samples that
+  // arrived after the checkpoint was taken.
+  void RestoreSnapshot(const std::vector<HistoryEntry>& history,
+                       const std::vector<CpiSpec>& latest_specs, int64_t samples_seen);
+
  private:
   // Weighted moment history: an (effective_count, mean, m2) triple that can
   // be decayed and merged.

@@ -3,6 +3,13 @@
 #include "util/logging.h"
 
 namespace cpi2 {
+namespace {
+
+// Historical drop-stream seed; xor'ed with the cluster seed so seed=0
+// reproduces the stream the pre-fault-plane harness hard-coded.
+constexpr uint64_t kDropSeedSalt = 0x5eed;
+
+}  // namespace
 
 TaskMeta MetaFromSpec(const std::string& task_name, const TaskSpec& spec) {
   TaskMeta meta;
@@ -15,7 +22,10 @@ TaskMeta MetaFromSpec(const std::string& task_name, const TaskSpec& spec) {
 }
 
 ClusterHarness::ClusterHarness(Options options)
-    : options_(options), cluster_(options.cluster), aggregator_(options.params) {}
+    : options_(options),
+      cluster_(options.cluster),
+      aggregator_(options.params),
+      drop_rng_(options.cluster.seed ^ kDropSeedSalt) {}
 
 void ClusterHarness::WireAgents() {
   if (wired_) {
@@ -23,38 +33,57 @@ void ClusterHarness::WireAgents() {
   }
   wired_ = true;
   const std::vector<Machine*>& machines = cluster_.machines();
+
+  FaultPlane::Options fault_options = options_.faults;
+  fault_options.seed = options_.cluster.seed;
+  fault_plane_ = std::make_unique<FaultPlane>(fault_options, static_cast<int>(machines.size()));
+  const bool flaky_counters = fault_options.counter_zero_rate > 0 ||
+                              fault_options.counter_garbage_rate > 0 ||
+                              fault_options.counter_stuck_rate > 0;
+
   channels_.resize(machines.size());
+  flaky_sources_.resize(machines.size());
   for (size_t i = 0; i < machines.size(); ++i) {
     Machine* machine = machines[i];
+    CounterSource* source = machine;
+    if (flaky_counters) {
+      FlakyCounterSource::Options flaky;
+      flaky.seed = fault_plane_->CounterSeedFor(static_cast<int>(i));
+      flaky.zero_rate = fault_options.counter_zero_rate;
+      flaky.garbage_rate = fault_options.counter_garbage_rate;
+      flaky.stuck_rate = fault_options.counter_stuck_rate;
+      flaky_sources_[i] = std::make_unique<FlakyCounterSource>(machine, flaky);
+      source = flaky_sources_[i].get();
+    }
     Agent::Options agent_options;
     agent_options.params = options_.params;
     agent_options.machine_name = machine->name();
     agent_options.platforminfo = machine->platform().name;
-    auto agent = std::make_unique<Agent>(agent_options, machine, machine);
-    // Callbacks fire while agents tick in parallel, so they only append to
-    // this machine's channel; the shared sinks (drop_rng_, aggregator_,
-    // incident_log_) are fed from the deterministic drain in OnTick.
+    // Decorrelate the fleet's retry jitter per machine (only drawn from on
+    // delivery failure, so fault-free runs never touch it).
+    agent_options.jitter_seed =
+        options_.cluster.seed ^ 0xa9e27 ^ (static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
+    auto agent = std::make_unique<Agent>(agent_options, source, machine);
+    // Callbacks fire while agents tick in parallel, so samples queue in the
+    // agent's own outbox and incidents append to this machine's channel; the
+    // shared sinks (drop_rng_, aggregator_, incident_log_) are fed from the
+    // deterministic machine-order drain in OnTick.
     AgentChannel& channel = channels_[i];
     channel.machine = machine;
-    agent->SetSampleCallback(
-        [&channel](const CpiSample& sample) { channel.samples.push_back(sample); });
+    agent->SetDeliveryCallback(
+        [this, i](const CpiSample& sample) { return DeliverSample(i, sample); });
     agent->SetIncidentCallback(
         [&channel](const Incident& incident) { channel.incidents.push_back(incident); });
     channel.agent = agent.get();
-    agents_by_platform_[machine->platform().name].push_back(agent.get());
+    channels_by_platform_[machine->platform().name].push_back(i);
     agents_[machine->name()] = std::move(agent);
   }
-  // Spec push-back: every rebuilt spec goes to the agents on its platform;
-  // agents still verify the platform match themselves.
-  aggregator_.SetSpecCallback([this](const CpiSpec& spec) {
-    const auto it = agents_by_platform_.find(spec.platforminfo);
-    if (it == agents_by_platform_.end()) {
-      return;
-    }
-    for (Agent* platform_agent : it->second) {
-      platform_agent->UpdateSpec(spec);
-    }
-  });
+  // Spec push-back: every rebuilt spec goes through the fault plane, then to
+  // the agents on its platform; agents still verify the platform match
+  // themselves.
+  aggregator_.SetSpecCallback([this](const CpiSpec& spec) { OnSpecPush(spec); });
+  // A crash before the first checkpoint recovers to this pristine state.
+  empty_checkpoint_blob_ = aggregator_.Checkpoint();
   cluster_.AddTickListener([this](MicroTime now) { OnTick(now); });
   cluster_.AddTickListener([this](MicroTime now) { traces_.OnTick(now); });
 }
@@ -96,34 +125,174 @@ void ClusterHarness::TickChannel(AgentChannel& channel, MicroTime now) {
   machine_agent->Tick(now);
 }
 
-void ClusterHarness::OnTick(MicroTime now) {
-  // Parallel phase: every channel touches only its own machine and agent.
-  ThreadPool* pool = cluster_.pool();
-  if (pool != nullptr && channels_.size() > 1) {
-    pool->ParallelFor(channels_.size(),
-                      [&](size_t i) { TickChannel(channels_[i], now); });
-  } else {
-    for (AgentChannel& channel : channels_) {
-      TickChannel(channel, now);
+DeliveryResult ClusterHarness::DeliverSample(size_t machine_index, const CpiSample& sample) {
+  if (fault_plane_->SampleBurstActive(static_cast<int>(machine_index))) {
+    return DeliveryResult::kLost;  // ToR brownout: gone, not queued anywhere
+  }
+  if (options_.sample_drop_rate > 0.0 && drop_rng_.Bernoulli(options_.sample_drop_rate)) {
+    return DeliveryResult::kLost;  // legacy uniform loss shim
+  }
+  if (fault_plane_->AggregatorDown()) {
+    return DeliveryResult::kUnavailable;  // agent keeps it and backs off
+  }
+  ++samples_collected_;
+  aggregator_.AddSample(sample);
+  if (fault_plane_->DrawAckLost(static_cast<int>(machine_index))) {
+    // The aggregator has the sample but the agent doesn't know: it will
+    // retry, and the aggregator's dedup must absorb the duplicate.
+    return DeliveryResult::kUnavailable;
+  }
+  return DeliveryResult::kAck;
+}
+
+void ClusterHarness::DeliverSpec(const CpiSpec& spec) {
+  const auto it = channels_by_platform_.find(spec.platforminfo);
+  if (it == channels_by_platform_.end()) {
+    return;
+  }
+  for (size_t i : it->second) {
+    if (fault_plane_->AgentDown(static_cast<int>(i))) {
+      continue;  // dead process: this push is gone for this machine
+    }
+    channels_[i].agent->UpdateSpec(spec, cluster_.now());
+    ++spec_pushes_delivered_;
+  }
+}
+
+void ClusterHarness::OnSpecPush(const CpiSpec& spec) {
+  if (fault_plane_->DrawSpecPushLost()) {
+    return;
+  }
+  if (fault_plane_->DrawSpecPushDelayed()) {
+    delayed_pushes_.push_back(
+        DelayedPush{cluster_.now() + fault_plane_->options().spec_push_delay, spec});
+    return;
+  }
+  DeliverSpec(spec);
+  if (fault_plane_->DrawSpecPushDuplicated()) {
+    DeliverSpec(spec);  // idempotent at the agent: same spec, fresher stamp
+  }
+}
+
+void ClusterHarness::RestartAgent(AgentChannel& channel, MicroTime now) {
+  // The dead process's kernel caps outlive it. A restarting agent has no
+  // record of them, so startup reconciliation lifts every cap it finds —
+  // deliberately failing open: a missed cap is re-imposed by fresh
+  // detection, while a stuck cap would throttle a task forever.
+  Machine* machine = channel.machine;
+  for (Task* task : machine->Tasks()) {
+    if (machine->GetCap(task->name()).has_value() && machine->RemoveCap(task->name()).ok()) {
+      ++caps_cleared_on_restart_;
     }
   }
-  // Merge phase: drain buffered cross-machine effects in machine order, so
-  // drop_rng_ draws, sample counts, and log order match a serial run.
-  for (AgentChannel& channel : channels_) {
-    for (const CpiSample& sample : channel.samples) {
-      if (options_.sample_drop_rate > 0.0 && drop_rng_.Bernoulli(options_.sample_drop_rate)) {
-        continue;  // lost between the machine and the collection pipeline
-      }
-      ++samples_collected_;
-      aggregator_.AddSample(sample);
+  channel.agent->Restart(now);
+}
+
+void ClusterHarness::OnTick(MicroTime now) {
+  // Fault phase (serial, machine order): advance every fault schedule and
+  // apply the transitions that must precede agent ticking.
+  fault_plane_->BeginTick(now);
+  while (!delayed_pushes_.empty() && delayed_pushes_.front().due <= now) {
+    DeliverSpec(delayed_pushes_.front().spec);
+    delayed_pushes_.pop_front();
+  }
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    if (fault_plane_->AgentRestarting(static_cast<int>(i))) {
+      RestartAgent(channels_[i], now);
     }
-    channel.samples.clear();
+  }
+  if (fault_plane_->AggregatorRecoveredThisTick()) {
+    // The crash wiped the aggregator's memory; it comes back from the last
+    // checkpoint (or pristine, if it never checkpointed).
+    const std::string& blob =
+        last_checkpoint_blob_.empty() ? empty_checkpoint_blob_ : last_checkpoint_blob_;
+    const Status restored = aggregator_.Restore(blob);
+    if (restored.ok()) {
+      ++aggregator_restores_;
+    } else {
+      CPI2_LOG(WARNING) << "aggregator restore failed: " << restored.message();
+    }
+  }
+  if (fault_plane_->CheckpointDue()) {
+    last_checkpoint_blob_ = aggregator_.Checkpoint();
+    ++aggregator_checkpoints_;
+  }
+
+  // Parallel phase: every channel touches only its own machine and agent. A
+  // machine whose agent is down still runs its tasks — only the agent work
+  // is skipped.
+  ThreadPool* pool = cluster_.pool();
+  if (pool != nullptr && channels_.size() > 1) {
+    pool->ParallelFor(channels_.size(), [&](size_t i) {
+      if (!fault_plane_->AgentDown(static_cast<int>(i))) {
+        TickChannel(channels_[i], now);
+      }
+    });
+  } else {
+    for (size_t i = 0; i < channels_.size(); ++i) {
+      if (!fault_plane_->AgentDown(static_cast<int>(i))) {
+        TickChannel(channels_[i], now);
+      }
+    }
+  }
+  // Merge phase: flush outboxes and drain buffered incidents in machine
+  // order, so drop_rng_/ack draws, sample counts, and log order match a
+  // serial run.
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    AgentChannel& channel = channels_[i];
+    if (!fault_plane_->AgentDown(static_cast<int>(i))) {
+      channel.agent->FlushOutbox(now);
+    }
     for (const Incident& incident : channel.incidents) {
       incident_log_.Add(incident);
     }
     channel.incidents.clear();
   }
-  aggregator_.Tick(now);
+  if (!fault_plane_->AggregatorDown()) {
+    aggregator_.Tick(now);
+  }
+}
+
+ClusterHealthReport ClusterHarness::Health() const {
+  ClusterHealthReport report;
+  for (const auto& [name, machine_agent] : agents_) {
+    const AgentHealth& h = machine_agent->health();
+    report.agents.restarts += h.restarts;
+    report.agents.samples_enqueued += h.samples_enqueued;
+    report.agents.samples_delivered += h.samples_delivered;
+    report.agents.samples_lost += h.samples_lost;
+    report.agents.delivery_retries += h.delivery_retries;
+    report.agents.outbox_overflow_drops += h.outbox_overflow_drops;
+    report.agents.counter_rejects += h.counter_rejects;
+    report.agents.stale_spec_widenings += h.stale_spec_widenings;
+    report.agents.stale_spec_suppressions += h.stale_spec_suppressions;
+  }
+  for (const auto& flaky : flaky_sources_) {
+    if (flaky != nullptr) {
+      report.counter_glitches_injected +=
+          flaky->zeroes_injected() + flaky->garbage_injected() + flaky->stuck_injected();
+    }
+  }
+  if (fault_plane_ != nullptr) {
+    report.faults = fault_plane_->stats();
+  }
+  report.caps_cleared_on_restart = caps_cleared_on_restart_;
+  report.aggregator_checkpoints = aggregator_checkpoints_;
+  report.aggregator_restores = aggregator_restores_;
+  report.duplicates_dropped = aggregator_.duplicates_dropped();
+  report.spec_pushes_delivered = spec_pushes_delivered_;
+  return report;
+}
+
+Status ClusterHarness::InjectAgentCrash(const std::string& machine_name,
+                                        MicroTime restart_delay) {
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    if (channels_[i].machine->name() == machine_name) {
+      fault_plane_->InjectAgentCrash(static_cast<int>(i), restart_delay);
+      return Status::Ok();
+    }
+  }
+  return NotFoundError("no wired agent for machine " + machine_name);
 }
 
 void ClusterHarness::SetEnforcementEnabled(bool enabled) {

@@ -7,11 +7,18 @@
 // agents every tick, exactly as a production agent tracks its cgroups.
 //
 // Per-machine agent work is sharded across the cluster's thread pool (see
-// Cluster::Options::threads). Each machine's samples and incidents are
-// buffered in a per-machine channel during the parallel phase and drained
-// into the aggregator / incident log in machine order afterwards, so sample
-// loss (drop_rng_), sample counts, and incident sequences are bit-identical
-// for any thread count.
+// Cluster::Options::threads). Each machine's samples queue in the agent's
+// bounded outbox during the parallel phase and are flushed into the
+// aggregator — and incidents drained into the incident log — in machine
+// order afterwards, so sample loss (drop_rng_), sample counts, and incident
+// sequences are bit-identical for any thread count.
+//
+// A FaultPlane sits at every pipeline boundary (Options::faults): agent
+// crash/restart, aggregator outage windows with optional checkpoint/restore,
+// spec-push loss/delay/duplication, per-machine sample-loss bursts, ack
+// loss, and counter glitches (via a FlakyCounterSource wrapped around each
+// machine's counters). With every fault rate at zero the harness behaves —
+// bit for bit — like the fault plane does not exist.
 //
 // This is the substrate for the integration tests, every figure harness in
 // bench/, and examples/cluster_sim.
@@ -19,27 +26,48 @@
 #ifndef CPI2_HARNESS_CLUSTER_HARNESS_H_
 #define CPI2_HARNESS_CLUSTER_HARNESS_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/cpi2.h"
-#include "util/rng.h"
+#include "perf/flaky_counter_source.h"
 #include "sim/cluster.h"
+#include "sim/fault_plane.h"
 #include "sim/trace.h"
+#include "util/rng.h"
 
 namespace cpi2 {
+
+// Cluster-wide degraded-mode accounting: the hardening side (what the
+// agents/aggregator absorbed) next to the injection side (what the fault
+// plane actually threw at them).
+struct ClusterHealthReport {
+  AgentHealth agents;              // summed over every agent
+  FaultPlane::Stats faults;        // injection-side event counts
+  int64_t caps_cleared_on_restart = 0;  // kernel caps reconciled at restart
+  int64_t aggregator_checkpoints = 0;
+  int64_t aggregator_restores = 0;      // crash recoveries from a checkpoint
+  int64_t duplicates_dropped = 0;       // dedup absorbed a retried sample
+  int64_t spec_pushes_delivered = 0;    // per-agent spec deliveries
+  int64_t counter_glitches_injected = 0;
+};
 
 class ClusterHarness {
  public:
   struct Options {
     Cluster::Options cluster;
     Cpi2Params params;
-    // Fraction of agent samples lost on the way to the aggregator (network
-    // drops, collector restarts). Detection is local, so loss only slows
-    // spec convergence — a robustness property the tests pin down.
+    // Legacy shim: uniform fraction of samples lost on the way to the
+    // aggregator. Kept for compatibility with older experiments; the fault
+    // plane's per-machine loss bursts (faults.sample_burst_*) model the
+    // heavier-tailed reality. Both may be active at once.
     double sample_drop_rate = 0.0;
+    // Fault-injection config. `faults.seed` is overridden with
+    // cluster.seed, so one knob reseeds the whole experiment.
+    FaultPlane::Options faults;
   };
 
   explicit ClusterHarness(Options options);
@@ -48,6 +76,8 @@ class ClusterHarness {
   Aggregator& aggregator() { return aggregator_; }
   IncidentLog& incidents() { return incident_log_; }
   TraceRecorder& traces() { return traces_; }
+  // The fault plane; valid after WireAgents.
+  FaultPlane* fault_plane() { return fault_plane_.get(); }
 
   // Creates one agent per machine and hooks the pipeline together. Call
   // after machines exist (cluster().AddMachines + BuildScheduler) and
@@ -66,8 +96,17 @@ class ClusterHarness {
   void RunFor(MicroTime duration) { cluster_.RunFor(duration); }
   MicroTime now() const { return cluster_.now(); }
 
-  // Total samples routed to the aggregator so far.
+  // Total samples routed to the aggregator so far (post-loss, pre-dedup).
   int64_t samples_collected() const { return samples_collected_; }
+
+  // Degraded-mode accounting across the whole deployment. Per-agent detail
+  // is available via agent(name)->health().
+  ClusterHealthReport Health() const;
+
+  // Crashes `machine_name`'s agent at the next tick (a drill, independent
+  // of the configured crash rate). `restart_delay` < 0 uses the configured
+  // default. Call after WireAgents.
+  Status InjectAgentCrash(const std::string& machine_name, MicroTime restart_delay = -1);
 
   // --- operator interface (section 5) ------------------------------------
   // "We provide an interface to system operators so they can hard-cap
@@ -93,31 +132,68 @@ class ClusterHarness {
   struct AgentChannel {
     Machine* machine = nullptr;
     Agent* agent = nullptr;
-    std::vector<CpiSample> samples;
     std::vector<Incident> incidents;
     std::vector<std::string> departed;  // sync scratch, reused across ticks
   };
 
-  // Tick listener: sync agents' task registries with their machines and tick
-  // the agents (sharded), then drain the channels and tick the aggregator.
+  // A spec push the fault plane delayed in flight.
+  struct DelayedPush {
+    MicroTime due = 0;
+    CpiSpec spec;
+  };
+
+  // Tick listener: advance the fault plane, sync agents' task registries
+  // with their machines and tick the agents (sharded), then flush outboxes /
+  // drain incidents in machine order and tick the aggregator.
   void OnTick(MicroTime now);
 
   // The per-machine share of OnTick; runs concurrently across channels.
   void TickChannel(AgentChannel& channel, MicroTime now);
+
+  // One delivery attempt from machine `machine_index`'s outbox. Applies, in
+  // order: burst loss, the legacy uniform drop, aggregator outage
+  // (retryable), then hands the sample to the aggregator; a lost ack after
+  // acceptance reports kUnavailable so the agent retries (and dedup absorbs
+  // the duplicate).
+  DeliveryResult DeliverSample(size_t machine_index, const CpiSample& sample);
+
+  // Fault-plane wrapper around one spec push. Draw order: lost, delayed,
+  // duplicated.
+  void OnSpecPush(const CpiSpec& spec);
+  // Hands `spec` to every up agent on its platform.
+  void DeliverSpec(const CpiSpec& spec);
+
+  // Models the dead agent process coming back: clears kernel caps the old
+  // process left behind (startup reconciliation), then cold-starts the
+  // agent.
+  void RestartAgent(AgentChannel& channel, MicroTime now);
 
   Options options_;
   Cluster cluster_;
   Aggregator aggregator_;
   IncidentLog incident_log_;
   TraceRecorder traces_;
-  Rng drop_rng_{0x5eed};
+  // Seeded from cluster.seed so experiments reseed with one knob; the xor
+  // keeps seed=0 on the historical 0x5eed stream.
+  Rng drop_rng_;
+  std::unique_ptr<FaultPlane> fault_plane_;
+  // Per-machine counter-glitch decorators (only populated when any counter
+  // fault rate is non-zero); parallel to channels_.
+  std::vector<std::unique_ptr<FlakyCounterSource>> flaky_sources_;
   std::map<std::string, std::unique_ptr<Agent>> agents_;  // by machine name
   std::vector<AgentChannel> channels_;                    // machine order
-  // Agents grouped by platform, so spec push-back only visits machines the
-  // spec applies to instead of broadcasting to the whole cluster.
-  std::map<std::string, std::vector<Agent*>> agents_by_platform_;
+  // Channel indices grouped by platform, so spec push-back only visits
+  // machines the spec applies to instead of broadcasting cluster-wide.
+  std::map<std::string, std::vector<size_t>> channels_by_platform_;
+  std::deque<DelayedPush> delayed_pushes_;  // due-time order (FIFO insert)
+  std::string last_checkpoint_blob_;
+  std::string empty_checkpoint_blob_;  // pristine state, for crashes before any checkpoint
   bool wired_ = false;
   int64_t samples_collected_ = 0;
+  int64_t caps_cleared_on_restart_ = 0;
+  int64_t aggregator_checkpoints_ = 0;
+  int64_t aggregator_restores_ = 0;
+  int64_t spec_pushes_delivered_ = 0;
 };
 
 // Converts a sim TaskSpec to the agent-facing metadata record.

@@ -1,0 +1,52 @@
+#include "perf/flaky_counter_source.h"
+
+namespace cpi2 {
+
+StatusOr<CounterSnapshot> FlakyCounterSource::Read(const std::string& container) {
+  StatusOr<CounterSnapshot> real = wrapped_->Read(container);
+  if (!real.ok()) {
+    return real;  // Pass real failures through; we only add glitches.
+  }
+  CounterSnapshot snapshot = *real;
+
+  // One draw decides the glitch shape, so the three rates partition a single
+  // uniform variate and the fault stream stays one-draw-per-read (easy to
+  // reason about for determinism).
+  const double roll = rng_.NextDouble();
+  const double zero_edge = options_.zero_rate;
+  const double garbage_edge = zero_edge + options_.garbage_rate;
+  const double stuck_edge = garbage_edge + options_.stuck_rate;
+
+  if (roll < zero_edge) {
+    // Counter reset: everything reads as a fresh-boot zero. The next delta
+    // against an earlier snapshot goes "backwards".
+    const MicroTime timestamp = snapshot.timestamp;
+    snapshot = CounterSnapshot{};
+    snapshot.timestamp = timestamp;
+    ++zeroes_injected_;
+  } else if (roll < garbage_edge) {
+    // Garbage: values unrelated to the real counters, the kind a driver bug
+    // or partial MSR read produces. Large and mutually inconsistent.
+    snapshot.cycles = rng_();
+    snapshot.instructions = rng_() % 3 == 0 ? 0 : rng_();
+    snapshot.l2_misses = rng_();
+    snapshot.l3_misses = rng_();
+    snapshot.mem_requests = rng_();
+    snapshot.cpu_seconds = rng_.Uniform(-1e6, 1e6);
+    ++garbage_injected_;
+  } else if (roll < stuck_edge) {
+    const auto it = last_read_.find(container);
+    if (it != last_read_.end()) {
+      // Wedged PMU: report exactly what we reported last time.
+      const MicroTime timestamp = snapshot.timestamp;
+      snapshot = it->second;
+      snapshot.timestamp = timestamp;
+      ++stuck_injected_;
+    }
+  }
+
+  last_read_[container] = snapshot;
+  return snapshot;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,59 @@
+// Fault-injecting CounterSource decorator.
+//
+// Real performance counters glitch: an NMI or firmware update zeroes them, a
+// driver bug returns garbage, a wedged PMU reports the same values forever.
+// FlakyCounterSource wraps any CounterSource and injects exactly those three
+// failure shapes at seeded, per-read probabilities, so the sanity filtering
+// above it (Agent::RejectedBySanityFilter) can be exercised deterministically.
+//
+// The decorator owns its RNG; wrap one source per machine and fork the RNGs
+// from the cluster seed in machine order, and every fault draw is
+// bit-reproducible regardless of thread count (each machine's reads happen
+// on exactly one worker per tick).
+
+#ifndef CPI2_PERF_FLAKY_COUNTER_SOURCE_H_
+#define CPI2_PERF_FLAKY_COUNTER_SOURCE_H_
+
+#include <map>
+#include <string>
+
+#include "perf/counter_source.h"
+#include "util/rng.h"
+
+namespace cpi2 {
+
+class FlakyCounterSource : public CounterSource {
+ public:
+  struct Options {
+    uint64_t seed = 0;
+    // Per-read probabilities of each glitch shape; the remainder of the
+    // probability mass passes the read through untouched.
+    double zero_rate = 0.0;     // counters reset to zero (deltas go negative)
+    double garbage_rate = 0.0;  // uncorrelated garbage values
+    double stuck_rate = 0.0;    // previous read repeated (zero deltas)
+  };
+
+  FlakyCounterSource(CounterSource* wrapped, const Options& options)
+      : wrapped_(wrapped), options_(options), rng_(options.seed) {}
+
+  StatusOr<CounterSnapshot> Read(const std::string& container) override;
+
+  // Glitches injected so far, by shape (diagnostics and tests).
+  int64_t zeroes_injected() const { return zeroes_injected_; }
+  int64_t garbage_injected() const { return garbage_injected_; }
+  int64_t stuck_injected() const { return stuck_injected_; }
+
+ private:
+  CounterSource* wrapped_;
+  Options options_;
+  Rng rng_;
+  // Last snapshot handed out per container, replayed by the "stuck" shape.
+  std::map<std::string, CounterSnapshot> last_read_;
+  int64_t zeroes_injected_ = 0;
+  int64_t garbage_injected_ = 0;
+  int64_t stuck_injected_ = 0;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_PERF_FLAKY_COUNTER_SOURCE_H_

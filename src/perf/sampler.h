@@ -39,6 +39,13 @@ class CpiSampler {
   // Registers a container; its first window starts at or after `now`.
   void AddContainer(const std::string& container, MicroTime now);
   void RemoveContainer(const std::string& container);
+  // Drops every container and the stagger state (agent restart). A restarted
+  // sampler re-registers containers from scratch, so windows re-stagger
+  // exactly as on a fresh process.
+  void Clear() {
+    containers_.clear();
+    stagger_counter_ = 0;
+  }
   bool HasContainer(const std::string& container) const;
   size_t container_count() const { return containers_.size(); }
 

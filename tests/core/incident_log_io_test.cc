@@ -119,11 +119,48 @@ TEST_F(IncidentLogIoTest, WrongHeaderRejected) {
   EXPECT_FALSE(LoadIncidents(path_).ok());
 }
 
-TEST_F(IncidentLogIoTest, TruncatedRowRejected) {
-  std::ofstream(path_) << "cpi2-incidents-v1\n123\tm0\tonly-three-fields\n";
-  const auto loaded = LoadIncidents(path_);
-  ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+TEST_F(IncidentLogIoTest, TruncatedRowSkippedWithCount) {
+  // A torn line (crash mid-append) must not discard the intact incidents
+  // around it: it is skipped, and the skip is counted for the caller.
+  IncidentLog log;
+  log.Add(MakeIncident(kMicrosPerMinute));
+  log.Add(MakeIncident(2 * kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  {
+    std::ofstream file(path_, std::ios::app);
+    file << "123\tm0\tonly-three-fields\n";  // torn tail line
+  }
+  int64_t skipped = -1;
+  const auto loaded = LoadIncidents(path_, &skipped);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(skipped, 1);
+}
+
+TEST_F(IncidentLogIoTest, CorruptSuspectColumnSkippedWithCount) {
+  IncidentLog log;
+  log.Add(MakeIncident(kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  // Corrupt the suspects column of a copy of the valid row: right field
+  // count, malformed suspect record.
+  {
+    std::ofstream file(path_, std::ios::app);
+    file << "5\tm1\tt\tj\tp\t0\t1\t2\t1\t0.1\t0\tx\t0.5\tnote\tbroken-suspect\n";
+  }
+  int64_t skipped = -1;
+  const auto loaded = LoadIncidents(path_, &skipped);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(skipped, 1);
+}
+
+TEST_F(IncidentLogIoTest, CleanFileReportsZeroSkips) {
+  IncidentLog log;
+  log.Add(MakeIncident(kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  int64_t skipped = -1;
+  ASSERT_TRUE(LoadIncidents(path_, &skipped).ok());
+  EXPECT_EQ(skipped, 0);
 }
 
 TEST_F(IncidentLogIoTest, SeparatorInNameRejectedAtSave) {

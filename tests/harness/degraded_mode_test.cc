@@ -1,0 +1,233 @@
+// Degraded-mode hardening: outbox retry through aggregator outages, the
+// spec-staleness TTL ("never cap on dead data"), counter-glitch rejection,
+// and aggregator checkpoint/restore (round-trip and in-harness crash
+// recovery).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "harness/cluster_harness.h"
+#include "tests/testing/scenario.h"
+#include "util/string_util.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+void AddStandardTasks(ClusterHarness& harness, int machines) {
+  for (int i = 0; i < machines; ++i) {
+    (void)harness.cluster().machine(i)->AddTask(StrFormat("websearch-leaf.%d", i),
+                                                WebSearchLeafSpec());
+    (void)harness.cluster().machine(i)->AddTask(StrFormat("filler-svc.%d", i),
+                                                FillerServiceSpec(0.3));
+  }
+}
+
+TEST(DegradedModeTest, OutboxRetriesThroughAggregatorOutage) {
+  ClusterHarness::Options options;
+  options.cluster.seed = 21;
+  options.params = FastTestParams();
+  // A 1-minute outage every 4 minutes: agents must buffer, back off, and
+  // redeliver when the aggregator comes back.
+  options.faults.aggregator_outage_period = 4 * kMicrosPerMinute;
+  options.faults.aggregator_outage_duration = 1 * kMicrosPerMinute;
+  options.faults.aggregator_outage_phase = 1 * kMicrosPerMinute;
+  ClusterHarness harness(options);
+  harness.cluster().AddMachines(ReferencePlatform(), 4);
+  harness.cluster().BuildScheduler();
+  AddStandardTasks(harness, 4);
+  harness.WireAgents();
+  harness.RunFor(12 * kMicrosPerMinute);
+
+  const ClusterHealthReport health = harness.Health();
+  EXPECT_GT(health.faults.aggregator_outages, 0);
+  EXPECT_GT(health.agents.delivery_retries, 0) << "outage must arm backoff";
+  EXPECT_GT(health.agents.samples_delivered, 0);
+  // An outage delays samples but must not lose them: only the bounded
+  // outbox may drop (and at this sample volume it never fills).
+  EXPECT_EQ(health.agents.samples_lost, 0);
+  EXPECT_EQ(health.agents.outbox_overflow_drops, 0);
+  EXPECT_EQ(harness.samples_collected(), health.agents.samples_delivered);
+}
+
+TEST(DegradedModeTest, StaleSpecsWidenThenSuppress) {
+  Cpi2Params params = FastTestParams();
+  params.spec_staleness_ttl = 2 * kMicrosPerMinute;  // suppress at 4 min
+  // Keep the aggregator from refreshing specs during the run, so the primed
+  // specs age past the suppression horizon.
+  params.spec_update_interval = 24 * kMicrosPerHour;
+  VictimScenario scenario = MakeVictimScenario(/*machines=*/8, WebSearchLeafSpec(), params);
+  ClusterHarness& harness = *scenario.harness;
+  harness.PrimeSpecs(12 * kMicrosPerMinute);
+  const MicroTime primed_at = harness.now();
+  InjectAntagonist(scenario, VideoProcessingSpec(), "video-processing.0");
+  harness.RunFor(12 * kMicrosPerMinute);
+
+  const ClusterHealthReport health = harness.Health();
+  EXPECT_GT(health.agents.stale_spec_widenings, 0);
+  EXPECT_GT(health.agents.stale_spec_suppressions, 0);
+
+  // "Never cap on dead data": past the suppression horizon, not a single
+  // incident fires even though the antagonist keeps thrashing the victim.
+  const MicroTime suppress_horizon =
+      primed_at + static_cast<MicroTime>(params.stale_suppress_factor *
+                                         static_cast<double>(params.spec_staleness_ttl));
+  for (const Incident& incident : harness.incidents().incidents()) {
+    EXPECT_LE(incident.timestamp, suppress_horizon)
+        << "incident on a spec past the suppression horizon";
+  }
+}
+
+TEST(DegradedModeTest, CounterGlitchesAreRejectedNotIngested) {
+  struct GlitchRun {
+    int64_t counter_rejects = 0;
+    int64_t glitches_injected = 0;
+    int64_t samples_collected = 0;
+  };
+  auto run = [](bool filter_enabled) {
+    ClusterHarness::Options options;
+    options.cluster.seed = 23;
+    options.params = FastTestParams();
+    options.params.counter_sanity_filter = filter_enabled;
+    options.faults.counter_zero_rate = 0.02;
+    options.faults.counter_garbage_rate = 0.03;
+    options.faults.counter_stuck_rate = 0.02;
+    ClusterHarness harness(options);
+    harness.cluster().AddMachines(ReferencePlatform(), 4);
+    harness.cluster().BuildScheduler();
+    for (int i = 0; i < 4; ++i) {
+      (void)harness.cluster().machine(i)->AddTask(StrFormat("websearch-leaf.%d", i),
+                                                  WebSearchLeafSpec());
+      (void)harness.cluster().machine(i)->AddTask(StrFormat("filler-svc.%d", i),
+                                                  FillerServiceSpec(0.3));
+    }
+    harness.WireAgents();
+    harness.RunFor(10 * kMicrosPerMinute);
+    GlitchRun result;
+    const ClusterHealthReport health = harness.Health();
+    result.counter_rejects = health.agents.counter_rejects;
+    result.glitches_injected = health.counter_glitches_injected;
+    result.samples_collected = harness.samples_collected();
+    return result;
+  };
+
+  const GlitchRun filtered = run(/*filter_enabled=*/true);
+  EXPECT_GT(filtered.glitches_injected, 0);
+  EXPECT_GT(filtered.counter_rejects, 0)
+      << "zero/garbage glitches must trip the sanity filter";
+  EXPECT_GT(filtered.samples_collected, 0) << "clean windows still flow";
+
+  const GlitchRun unfiltered = run(/*filter_enabled=*/false);
+  EXPECT_EQ(unfiltered.counter_rejects, 0);
+  // Without the filter the garbage flows through as samples.
+  EXPECT_GT(unfiltered.samples_collected, filtered.samples_collected);
+}
+
+// Feeds one round of eligible samples (5 tasks x 5 samples) for `job` at
+// CPI values centered on `cpi` around time `base`.
+void FeedRound(Aggregator& aggregator, const std::string& job, double cpi, MicroTime base) {
+  for (int task = 0; task < 5; ++task) {
+    for (int s = 0; s < 5; ++s) {
+      CpiSample sample;
+      sample.jobname = job;
+      sample.platforminfo = "ref-platform";
+      sample.timestamp = base + (task * 5 + s) * kMicrosPerSecond;
+      sample.cpu_usage = 0.5;
+      sample.cpi = cpi + 0.01 * s;
+      sample.task = StrFormat("%s.%d", job.c_str(), task);
+      sample.machine = StrFormat("m%d", task);
+      aggregator.AddSample(sample);
+    }
+  }
+}
+
+std::string SpecFingerprint(const Aggregator& aggregator, const std::string& job) {
+  const auto spec = aggregator.GetSpec(job, "ref-platform");
+  if (!spec.has_value()) {
+    return "<none>";
+  }
+  return StrFormat("n=%lld usage=%.17g mean=%.17g stddev=%.17g",
+                   static_cast<long long>(spec->num_samples), spec->cpu_usage_mean,
+                   spec->cpi_mean, spec->cpi_stddev);
+}
+
+TEST(DegradedModeTest, AggregatorCheckpointRestoreRoundTrip) {
+  const Cpi2Params params = FastTestParams();
+  Aggregator original(params);
+  // Two build rounds, so the checkpoint carries real age-weighted history
+  // (the 0.9-decayed moments), not just a single window.
+  FeedRound(original, "websearch", 1.5, 0);
+  original.ForceBuild(1 * kMicrosPerMinute);
+  FeedRound(original, "websearch", 2.5, 2 * kMicrosPerMinute);
+  original.ForceBuild(3 * kMicrosPerMinute);
+  const std::string before = SpecFingerprint(original, "websearch");
+  ASSERT_NE(before, "<none>");
+
+  const std::string blob = original.Checkpoint();
+  Aggregator restored(params);
+  ASSERT_TRUE(restored.Restore(blob).ok());
+
+  // The restored spec is bit-identical...
+  EXPECT_EQ(SpecFingerprint(restored, "websearch"), before);
+
+  // ...and so is the future: feeding both the same third round must produce
+  // identical specs, which only holds if the decayed history (count, mean,
+  // m2, usage) round-tripped exactly.
+  FeedRound(original, "websearch", 2.0, 5 * kMicrosPerMinute);
+  FeedRound(restored, "websearch", 2.0, 5 * kMicrosPerMinute);
+  original.ForceBuild(6 * kMicrosPerMinute);
+  restored.ForceBuild(6 * kMicrosPerMinute);
+  const std::string after_original = SpecFingerprint(original, "websearch");
+  EXPECT_NE(after_original, before) << "third round must actually move the spec";
+  EXPECT_EQ(SpecFingerprint(restored, "websearch"), after_original);
+}
+
+TEST(DegradedModeTest, RestoreRejectsMalformedBlobLeavingStateIntact) {
+  Aggregator aggregator(FastTestParams());
+  FeedRound(aggregator, "websearch", 1.5, 0);
+  aggregator.ForceBuild(1 * kMicrosPerMinute);
+  const std::string before = SpecFingerprint(aggregator, "websearch");
+
+  EXPECT_FALSE(aggregator.Restore("not a checkpoint").ok());
+  EXPECT_FALSE(aggregator.Restore("cpi2-aggregator-ckpt-v1\nM\tbogus").ok());
+  EXPECT_EQ(SpecFingerprint(aggregator, "websearch"), before);
+}
+
+TEST(DegradedModeTest, AggregatorCrashRecoversFromCheckpointInHarness) {
+  Cpi2Params params = FastTestParams();
+  // Tasks sample once a minute and the build window clears on every build,
+  // so the interval must give each task >= min_samples_per_task per window.
+  params.spec_update_interval = 6 * kMicrosPerMinute;
+  ClusterHarness::Options options;
+  options.cluster.seed = 29;
+  options.params = params;
+  // The crash lands at 8 min, after the ~6 min build has been checkpointed;
+  // a restore wipes the in-progress window, so an earlier crash would keep
+  // the job below eligibility forever.
+  options.faults.aggregator_outage_period = 10 * kMicrosPerMinute;
+  options.faults.aggregator_outage_duration = 30 * kMicrosPerSecond;
+  options.faults.aggregator_outage_phase = 8 * kMicrosPerMinute;
+  options.faults.aggregator_crash_on_outage = true;
+  options.faults.aggregator_checkpoint_interval = 1 * kMicrosPerMinute;
+  ClusterHarness harness(options);
+  // 6 machines so the websearch-leaf job has >= min_tasks_for_spec tasks.
+  harness.cluster().AddMachines(ReferencePlatform(), 6);
+  harness.cluster().BuildScheduler();
+  AddStandardTasks(harness, 6);
+  harness.WireAgents();
+  harness.RunFor(16 * kMicrosPerMinute);
+
+  const ClusterHealthReport health = harness.Health();
+  EXPECT_GT(health.aggregator_checkpoints, 0);
+  EXPECT_GT(health.aggregator_restores, 0);
+  // Crashes lose at most a checkpoint interval of history: the spec state
+  // survives and keeps serving.
+  EXPECT_TRUE(
+      harness.aggregator().GetSpec("websearch-leaf", ReferencePlatform().name).has_value());
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -26,6 +26,7 @@ struct RunResult {
   std::vector<std::string> incidents;  // full sequence, in log order
   std::string victim_spec;
   std::string machine_state;  // per-machine counters after the run
+  std::string health;         // degraded-mode counters (ClusterHealthReport)
 };
 
 std::string Serialize(const Incident& incident) {
@@ -41,12 +42,71 @@ std::string Serialize(const Incident& incident) {
   return out;
 }
 
-RunResult RunScenario(int threads) {
+// Every fault class at once, rates tuned so a 15-minute, 8-machine run sees
+// several events of each kind.
+FaultPlane::Options AllFaultsActive() {
+  FaultPlane::Options faults;
+  faults.agent_crash_per_tick = 0.0005;
+  faults.agent_restart_delay = 10 * kMicrosPerSecond;
+  faults.aggregator_outage_period = 5 * kMicrosPerMinute;
+  faults.aggregator_outage_duration = 30 * kMicrosPerSecond;
+  faults.aggregator_outage_phase = 2 * kMicrosPerMinute;
+  faults.aggregator_crash_on_outage = true;
+  faults.aggregator_checkpoint_interval = 1 * kMicrosPerMinute;
+  faults.spec_push_loss_rate = 0.2;
+  faults.spec_push_delay_rate = 0.2;
+  faults.spec_push_duplicate_rate = 0.2;
+  faults.spec_push_delay = 45 * kMicrosPerSecond;
+  faults.sample_burst_per_tick = 0.001;
+  faults.sample_burst_duration = 20 * kMicrosPerSecond;
+  faults.ack_loss_rate = 0.05;
+  faults.counter_zero_rate = 0.005;
+  faults.counter_garbage_rate = 0.005;
+  faults.counter_stuck_rate = 0.005;
+  return faults;
+}
+
+std::string SerializeHealth(const ClusterHealthReport& health) {
+  return StrFormat(
+      "restarts=%lld enq=%lld del=%lld lost=%lld retries=%lld overflow=%lld "
+      "rejects=%lld widen=%lld suppress=%lld crashes=%lld bursts=%lld "
+      "outages=%lld push_lost=%lld push_delay=%lld push_dup=%lld acks_lost=%lld "
+      "caps_cleared=%lld ckpts=%lld restores=%lld dups=%lld pushes=%lld glitches=%lld",
+      static_cast<long long>(health.agents.restarts),
+      static_cast<long long>(health.agents.samples_enqueued),
+      static_cast<long long>(health.agents.samples_delivered),
+      static_cast<long long>(health.agents.samples_lost),
+      static_cast<long long>(health.agents.delivery_retries),
+      static_cast<long long>(health.agents.outbox_overflow_drops),
+      static_cast<long long>(health.agents.counter_rejects),
+      static_cast<long long>(health.agents.stale_spec_widenings),
+      static_cast<long long>(health.agents.stale_spec_suppressions),
+      static_cast<long long>(health.faults.agent_crashes),
+      static_cast<long long>(health.faults.sample_bursts),
+      static_cast<long long>(health.faults.aggregator_outages),
+      static_cast<long long>(health.faults.spec_pushes_lost),
+      static_cast<long long>(health.faults.spec_pushes_delayed),
+      static_cast<long long>(health.faults.spec_pushes_duplicated),
+      static_cast<long long>(health.faults.acks_lost),
+      static_cast<long long>(health.caps_cleared_on_restart),
+      static_cast<long long>(health.aggregator_checkpoints),
+      static_cast<long long>(health.aggregator_restores),
+      static_cast<long long>(health.duplicates_dropped),
+      static_cast<long long>(health.spec_pushes_delivered),
+      static_cast<long long>(health.counter_glitches_injected));
+}
+
+RunResult RunScenario(int threads, bool with_faults = false) {
   ClusterHarness::Options options;
   options.cluster.seed = 7;
   options.cluster.threads = threads;
   options.params = FastTestParams();
   options.sample_drop_rate = 0.15;  // exercises the drop_rng_ merge path
+  if (with_faults) {
+    options.params.spec_staleness_ttl = 5 * kMicrosPerMinute;
+    options.params.sample_dedup_window = 2 * kMicrosPerMinute;
+    options.faults = AllFaultsActive();
+  }
   ClusterHarness harness(options);
 
   const int kMachines = 8;
@@ -91,6 +151,7 @@ RunResult RunScenario(int threads) {
                   static_cast<long long>(spec->num_samples), spec->cpu_usage_mean,
                   spec->cpi_mean, spec->cpi_stddev);
   }
+  result.health = SerializeHealth(harness.Health());
   return result;
 }
 
@@ -123,6 +184,34 @@ TEST(ParallelDeterminismTest, HardwareConcurrencyMatchesSerial) {
   EXPECT_EQ(serial.victim_spec, parallel.victim_spec);
   EXPECT_EQ(serial.machine_state, parallel.machine_state);
   EXPECT_EQ(serial.incidents, parallel.incidents);
+}
+
+TEST(ParallelDeterminismTest, ActiveFaultsStayBitIdenticalAcrossThreadCounts) {
+  // The fault plane draws only in the serial phases (BeginTick in machine
+  // order, per-sample draws in the merge phase) or in machine-private
+  // streams, so even a run riddled with crashes, outages, bursts, spec-push
+  // faults and counter glitches must be bit-identical for any thread count.
+  const RunResult serial = RunScenario(/*threads=*/1, /*with_faults=*/true);
+  const RunResult parallel = RunScenario(/*threads=*/4, /*with_faults=*/true);
+
+  // The faults must actually fire for the comparison to mean anything.
+  ASSERT_GT(serial.samples_collected, 0);
+  ASSERT_EQ(serial.health.find("crashes=0 "), std::string::npos) << serial.health;
+  ASSERT_EQ(serial.health.find("outages=0 "), std::string::npos) << serial.health;
+
+  EXPECT_EQ(serial.samples_collected, parallel.samples_collected);
+  EXPECT_EQ(serial.outliers, parallel.outliers);
+  EXPECT_EQ(serial.anomalies, parallel.anomalies);
+  EXPECT_EQ(serial.incidents_reported, parallel.incidents_reported);
+  EXPECT_EQ(serial.victim_spec, parallel.victim_spec);
+  EXPECT_EQ(serial.machine_state, parallel.machine_state);
+  EXPECT_EQ(serial.health, parallel.health);
+  EXPECT_EQ(serial.incidents, parallel.incidents);
+
+  const RunResult hw = RunScenario(/*threads=*/0, /*with_faults=*/true);
+  EXPECT_EQ(serial.machine_state, hw.machine_state);
+  EXPECT_EQ(serial.health, hw.health);
+  EXPECT_EQ(serial.incidents, hw.incidents);
 }
 
 TEST(ParallelDeterminismTest, RepeatedRunsAreStable) {

@@ -1,0 +1,145 @@
+// FlakyCounterSource: the three glitch shapes (zero / garbage / stuck), the
+// pass-through guarantees, and determinism of the injection stream.
+
+#include "perf/flaky_counter_source.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cpi2 {
+namespace {
+
+CounterSnapshot MakeSnapshot(MicroTime timestamp, uint64_t base) {
+  CounterSnapshot snapshot;
+  snapshot.timestamp = timestamp;
+  snapshot.cycles = base * 10;
+  snapshot.instructions = base * 7;
+  snapshot.l2_misses = base;
+  snapshot.l3_misses = base / 2;
+  snapshot.mem_requests = base * 3;
+  snapshot.cpu_seconds = static_cast<double>(base) * 0.001;
+  return snapshot;
+}
+
+bool SameCounters(const CounterSnapshot& a, const CounterSnapshot& b) {
+  return a.timestamp == b.timestamp && a.cycles == b.cycles &&
+         a.instructions == b.instructions && a.l2_misses == b.l2_misses &&
+         a.l3_misses == b.l3_misses && a.mem_requests == b.mem_requests &&
+         a.cpu_seconds == b.cpu_seconds;
+}
+
+TEST(FlakyCounterSourceTest, ZeroRatesPassEverythingThrough) {
+  FakeCounterSource fake;
+  FlakyCounterSource flaky(&fake, FlakyCounterSource::Options{});
+  for (uint64_t i = 1; i <= 50; ++i) {
+    const CounterSnapshot real = MakeSnapshot(static_cast<MicroTime>(i) * kMicrosPerSecond,
+                                              i * 1000);
+    fake.SetSnapshot("task", real);
+    const auto read = flaky.Read("task");
+    ASSERT_TRUE(read.ok());
+    EXPECT_TRUE(SameCounters(*read, real)) << "read " << i;
+  }
+  EXPECT_EQ(flaky.zeroes_injected(), 0);
+  EXPECT_EQ(flaky.garbage_injected(), 0);
+  EXPECT_EQ(flaky.stuck_injected(), 0);
+}
+
+TEST(FlakyCounterSourceTest, ZeroShapeKeepsTimestampZeroesCounters) {
+  FakeCounterSource fake;
+  FlakyCounterSource::Options options;
+  options.zero_rate = 1.0;
+  FlakyCounterSource flaky(&fake, options);
+  fake.SetSnapshot("task", MakeSnapshot(5 * kMicrosPerSecond, 1000));
+  const auto read = flaky.Read("task");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->timestamp, 5 * kMicrosPerSecond);
+  EXPECT_EQ(read->cycles, 0u);
+  EXPECT_EQ(read->instructions, 0u);
+  EXPECT_EQ(read->cpu_seconds, 0.0);
+  EXPECT_EQ(flaky.zeroes_injected(), 1);
+}
+
+TEST(FlakyCounterSourceTest, StuckShapeReplaysPreviousRead) {
+  FakeCounterSource fake;
+  FlakyCounterSource::Options options;
+  options.stuck_rate = 1.0;
+  FlakyCounterSource flaky(&fake, options);
+
+  // First read has nothing to replay: it passes through (and is remembered).
+  const CounterSnapshot first = MakeSnapshot(1 * kMicrosPerSecond, 1000);
+  fake.SetSnapshot("task", first);
+  const auto read1 = flaky.Read("task");
+  ASSERT_TRUE(read1.ok());
+  EXPECT_TRUE(SameCounters(*read1, first));
+  EXPECT_EQ(flaky.stuck_injected(), 0);
+
+  // The counters advance, but the wedged PMU reports the old values (at the
+  // new timestamp), so the delta over the window is exactly zero.
+  fake.SetSnapshot("task", MakeSnapshot(2 * kMicrosPerSecond, 9000));
+  const auto read2 = flaky.Read("task");
+  ASSERT_TRUE(read2.ok());
+  EXPECT_EQ(read2->timestamp, 2 * kMicrosPerSecond);
+  EXPECT_EQ(read2->cycles, first.cycles);
+  EXPECT_EQ(read2->instructions, first.instructions);
+  EXPECT_EQ(read2->cpu_seconds, first.cpu_seconds);
+  EXPECT_EQ(flaky.stuck_injected(), 1);
+}
+
+TEST(FlakyCounterSourceTest, GarbageShapeIsSeededDeterministic) {
+  FakeCounterSource fake;
+  FlakyCounterSource::Options options;
+  options.seed = 77;
+  options.garbage_rate = 1.0;
+  FlakyCounterSource a(&fake, options);
+  FlakyCounterSource b(&fake, options);
+  for (uint64_t i = 1; i <= 20; ++i) {
+    fake.SetSnapshot("task", MakeSnapshot(static_cast<MicroTime>(i), i * 100));
+    const auto read_a = a.Read("task");
+    const auto read_b = b.Read("task");
+    ASSERT_TRUE(read_a.ok());
+    ASSERT_TRUE(read_b.ok());
+    EXPECT_TRUE(SameCounters(*read_a, *read_b)) << "read " << i;
+    // Garbage must not equal the real counters (with the values used here).
+    EXPECT_NE(read_a->cycles, i * 100 * 10);
+  }
+  EXPECT_EQ(a.garbage_injected(), 20);
+}
+
+TEST(FlakyCounterSourceTest, RealErrorsPassThroughUntouched) {
+  FakeCounterSource fake;  // no snapshot registered -> NotFound
+  FlakyCounterSource::Options options;
+  options.zero_rate = 1.0;
+  FlakyCounterSource flaky(&fake, options);
+  const auto read = flaky.Read("missing");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(flaky.zeroes_injected(), 0);
+}
+
+TEST(FlakyCounterSourceTest, ShapesPartitionOneDrawPerRead) {
+  // zero+garbage+stuck = 1.0: every read glitches, and the three counts sum
+  // to the read count (one uniform draw selects exactly one shape).
+  FakeCounterSource fake;
+  FlakyCounterSource::Options options;
+  options.seed = 5;
+  options.zero_rate = 0.3;
+  options.garbage_rate = 0.3;
+  options.stuck_rate = 0.4;
+  FlakyCounterSource flaky(&fake, options);
+  const int kReads = 200;
+  for (int i = 1; i <= kReads; ++i) {
+    fake.SetSnapshot("task", MakeSnapshot(i, static_cast<uint64_t>(i) * 100));
+    ASSERT_TRUE(flaky.Read("task").ok());
+  }
+  // "stuck" on the very first read has nothing to replay, so allow a small
+  // shortfall from the first few reads only.
+  EXPECT_GE(flaky.zeroes_injected() + flaky.garbage_injected() + flaky.stuck_injected(),
+            kReads - 1);
+  EXPECT_GT(flaky.zeroes_injected(), 0);
+  EXPECT_GT(flaky.garbage_injected(), 0);
+  EXPECT_GT(flaky.stuck_injected(), 0);
+}
+
+}  // namespace
+}  // namespace cpi2

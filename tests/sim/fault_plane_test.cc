@@ -1,0 +1,192 @@
+// FaultPlane scheduling: fault schedules must be deterministic functions of
+// (seed, machine index, tick), independent of fleet size and of each other.
+
+#include "sim/fault_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cpi2 {
+namespace {
+
+constexpr MicroTime kTick = kMicrosPerSecond;
+
+TEST(FaultPlaneTest, DefaultOptionsInjectNothing) {
+  FaultPlane plane(FaultPlane::Options{}, /*machines=*/4);
+  EXPECT_FALSE(plane.AnyFaultsEnabled());
+  for (int t = 0; t < 100; ++t) {
+    plane.BeginTick(t * kTick);
+    for (int m = 0; m < 4; ++m) {
+      EXPECT_FALSE(plane.AgentDown(m));
+      EXPECT_FALSE(plane.AgentRestarting(m));
+      EXPECT_FALSE(plane.SampleBurstActive(m));
+      EXPECT_FALSE(plane.DrawAckLost(m));
+    }
+    EXPECT_FALSE(plane.AggregatorDown());
+    EXPECT_FALSE(plane.CheckpointDue());
+  }
+  EXPECT_EQ(plane.stats().agent_crashes, 0);
+  EXPECT_EQ(plane.stats().sample_bursts, 0);
+}
+
+TEST(FaultPlaneTest, OutageScheduleIsPureClockArithmetic) {
+  FaultPlane::Options options;
+  options.aggregator_outage_period = 10 * kTick;
+  options.aggregator_outage_duration = 3 * kTick;
+  options.aggregator_outage_phase = 5 * kTick;
+  FaultPlane plane(options, /*machines=*/1);
+  EXPECT_TRUE(plane.AnyFaultsEnabled());
+
+  for (int t = 0; t <= 30; ++t) {
+    plane.BeginTick(t * kTick);
+    const bool in_window = t >= 5 && (t - 5) % 10 < 3;
+    EXPECT_EQ(plane.AggregatorDown(), in_window) << "t=" << t;
+  }
+  EXPECT_EQ(plane.stats().aggregator_outages, 3);  // [5,8) [15,18) [25,28)
+  EXPECT_EQ(plane.stats().aggregator_outage_ticks, 9);
+}
+
+TEST(FaultPlaneTest, CrashOnOutageSignalsBoundaries) {
+  FaultPlane::Options options;
+  options.aggregator_outage_period = 10 * kTick;
+  options.aggregator_outage_duration = 2 * kTick;
+  options.aggregator_crash_on_outage = true;
+  options.aggregator_checkpoint_interval = 4 * kTick;
+  FaultPlane plane(options, /*machines=*/1);
+
+  int crashes = 0;
+  int recoveries = 0;
+  int checkpoints = 0;
+  for (int t = 0; t <= 25; ++t) {
+    plane.BeginTick(t * kTick);
+    crashes += plane.AggregatorCrashedThisTick() ? 1 : 0;
+    recoveries += plane.AggregatorRecoveredThisTick() ? 1 : 0;
+    checkpoints += plane.CheckpointDue() ? 1 : 0;
+    // Checkpoints never land inside an outage (the aggregator is down).
+    EXPECT_FALSE(plane.CheckpointDue() && plane.AggregatorDown()) << "t=" << t;
+  }
+  EXPECT_EQ(crashes, 3);     // outages start at t=0,10,20
+  EXPECT_EQ(recoveries, 3);  // ends at t=2,12,22
+  EXPECT_GT(checkpoints, 3);
+}
+
+TEST(FaultPlaneTest, ManualCrashTakesEffectNextTickAndRestarts) {
+  FaultPlane::Options options;
+  options.agent_restart_delay = 3 * kTick;
+  FaultPlane plane(options, /*machines=*/2);
+
+  plane.BeginTick(10 * kTick);
+  EXPECT_FALSE(plane.AgentDown(0));
+  plane.InjectAgentCrash(0);
+
+  plane.BeginTick(11 * kTick);
+  EXPECT_TRUE(plane.AgentDown(0));
+  EXPECT_FALSE(plane.AgentDown(1));  // faults are per machine
+  plane.BeginTick(12 * kTick);
+  plane.BeginTick(13 * kTick);
+  EXPECT_TRUE(plane.AgentDown(0));
+  EXPECT_FALSE(plane.AgentRestarting(0));
+
+  plane.BeginTick(14 * kTick);  // 11 + 3s restart delay
+  EXPECT_FALSE(plane.AgentDown(0));
+  EXPECT_TRUE(plane.AgentRestarting(0));
+  plane.BeginTick(15 * kTick);
+  EXPECT_FALSE(plane.AgentRestarting(0));
+
+  EXPECT_EQ(plane.stats().agent_crashes, 1);
+  EXPECT_EQ(plane.stats().agent_restarts, 1);
+}
+
+// Serializes the per-machine down/burst schedule over `ticks` ticks.
+std::string Schedule(FaultPlane& plane, int machines, int ticks) {
+  std::string out;
+  for (int t = 0; t < ticks; ++t) {
+    plane.BeginTick(t * kTick);
+    for (int m = 0; m < machines; ++m) {
+      out += plane.AgentDown(m) ? 'D' : '.';
+      out += plane.SampleBurstActive(m) ? 'B' : '.';
+    }
+  }
+  return out;
+}
+
+FaultPlane::Options RandomFaultOptions(uint64_t seed) {
+  FaultPlane::Options options;
+  options.seed = seed;
+  options.agent_crash_per_tick = 0.02;
+  options.agent_restart_delay = 4 * kTick;
+  options.sample_burst_per_tick = 0.03;
+  options.sample_burst_duration = 5 * kTick;
+  return options;
+}
+
+TEST(FaultPlaneTest, SameSeedSameSchedule) {
+  FaultPlane a(RandomFaultOptions(99), 4);
+  FaultPlane b(RandomFaultOptions(99), 4);
+  EXPECT_EQ(Schedule(a, 4, 300), Schedule(b, 4, 300));
+}
+
+TEST(FaultPlaneTest, DifferentSeedDifferentSchedule) {
+  FaultPlane a(RandomFaultOptions(99), 4);
+  FaultPlane b(RandomFaultOptions(100), 4);
+  EXPECT_NE(Schedule(a, 4, 300), Schedule(b, 4, 300));
+}
+
+TEST(FaultPlaneTest, MachineStreamsIndependentOfFleetSize) {
+  // Machine i's fault schedule is a function of (seed, i) alone: growing the
+  // fleet must not reshuffle the schedules of existing machines.
+  FaultPlane small(RandomFaultOptions(7), 2);
+  FaultPlane large(RandomFaultOptions(7), 8);
+  std::vector<std::string> small_sched(2), large_sched(2);
+  for (int t = 0; t < 300; ++t) {
+    small.BeginTick(t * kTick);
+    large.BeginTick(t * kTick);
+    for (int m = 0; m < 2; ++m) {
+      small_sched[m] += small.AgentDown(m) ? 'D' : '.';
+      large_sched[m] += large.AgentDown(m) ? 'D' : '.';
+    }
+  }
+  EXPECT_EQ(small_sched[0], large_sched[0]);
+  EXPECT_EQ(small_sched[1], large_sched[1]);
+}
+
+TEST(FaultPlaneTest, BurstExtendsWithoutRecounting) {
+  FaultPlane::Options options;
+  options.sample_burst_per_tick = 1.0;  // a new burst draw every tick
+  options.sample_burst_duration = 3 * kTick;
+  FaultPlane plane(options, 1);
+  for (int t = 0; t < 50; ++t) {
+    plane.BeginTick(t * kTick);
+    EXPECT_TRUE(plane.SampleBurstActive(0));
+  }
+  // Back-to-back extensions are one continuous burst, not 50.
+  EXPECT_EQ(plane.stats().sample_bursts, 1);
+}
+
+TEST(FaultPlaneTest, SpecPushDrawsCountIntoStats) {
+  FaultPlane::Options options;
+  options.spec_push_loss_rate = 1.0;
+  options.spec_push_delay_rate = 1.0;
+  options.spec_push_duplicate_rate = 1.0;
+  FaultPlane plane(options, 1);
+  EXPECT_TRUE(plane.DrawSpecPushLost());
+  EXPECT_TRUE(plane.DrawSpecPushDelayed());
+  EXPECT_TRUE(plane.DrawSpecPushDuplicated());
+  EXPECT_EQ(plane.stats().spec_pushes_lost, 1);
+  EXPECT_EQ(plane.stats().spec_pushes_delayed, 1);
+  EXPECT_EQ(plane.stats().spec_pushes_duplicated, 1);
+}
+
+TEST(FaultPlaneTest, CounterSeedsDifferPerMachineAndFromFaultStream) {
+  FaultPlane::Options options;
+  options.seed = 1234;
+  FaultPlane plane(options, 3);
+  EXPECT_NE(plane.CounterSeedFor(0), plane.CounterSeedFor(1));
+  EXPECT_NE(plane.CounterSeedFor(1), plane.CounterSeedFor(2));
+  EXPECT_NE(plane.CounterSeedFor(0), options.seed);
+}
+
+}  // namespace
+}  // namespace cpi2
