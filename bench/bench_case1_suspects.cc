@@ -16,7 +16,7 @@ namespace {
 
 double RecentMean(const TimeSeries& series, MicroTime now, MicroTime window) {
   StreamingStats stats;
-  for (const TimePoint& p : series.Window(now - window, now + 1)) {
+  for (const TimePoint& p : View(series, now - window, now + 1)) {
     stats.Add(p.value);
   }
   return stats.mean();

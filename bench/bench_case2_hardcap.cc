@@ -15,7 +15,7 @@ namespace {
 
 double WindowMean(const TimeSeries& series, MicroTime begin, MicroTime end) {
   StreamingStats stats;
-  for (const TimePoint& p : series.Window(begin, end)) {
+  for (const TimePoint& p : View(series, begin, end)) {
     stats.Add(p.value);
   }
   return stats.mean();

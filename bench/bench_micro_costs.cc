@@ -39,6 +39,51 @@ void BM_AntagonistCorrelation(benchmark::State& state) {
 }
 BENCHMARK(BM_AntagonistCorrelation)->Arg(10)->Arg(60)->Arg(600);
 
+// Two series with 1 Hz points over `samples` seconds, plus 100% extra
+// history behind the window (Agent retains 2x the correlation window).
+void MakeSeriesPair(int samples, Rng& rng, TimeSeries* victim, TimeSeries* usage) {
+  for (int i = -samples; i < samples; ++i) {
+    const MicroTime t = (static_cast<MicroTime>(i) + samples) * kMicrosPerSecond;
+    victim->Append(t, rng.Uniform(1.0, 4.0));
+    usage->Append(t, rng.Uniform(0.0, 2.0));
+  }
+}
+
+// Legacy alignment: binary-searched NearestValue per victim point plus the
+// materialized pair vector.
+void BM_AlignSeriesLegacy(benchmark::State& state) {
+  Rng rng(4);
+  TimeSeries victim;
+  TimeSeries usage;
+  const int samples = static_cast<int>(state.range(0));
+  MakeSeriesPair(samples, rng, &victim, &usage);
+  const MicroTime begin = samples * kMicrosPerSecond;
+  const MicroTime end = 2 * samples * kMicrosPerSecond;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AlignSeries(victim, usage, begin, end, kMicrosPerSecond / 2));
+  }
+}
+BENCHMARK(BM_AlignSeriesLegacy)->Arg(10)->Arg(60)->Arg(600);
+
+// The fused merge-join path over the same shapes: alignment + correlation in
+// one allocation-free sweep (compare against BM_AlignSeriesLegacy +
+// BM_AntagonistCorrelation at the same arg).
+void BM_FusedCorrelation(benchmark::State& state) {
+  Rng rng(4);
+  TimeSeries victim;
+  TimeSeries usage;
+  const int samples = static_cast<int>(state.range(0));
+  MakeSeriesPair(samples, rng, &victim, &usage);
+  const MicroTime begin = samples * kMicrosPerSecond;
+  const MicroTime end = 2 * samples * kMicrosPerSecond;
+  for (auto _ : state) {
+    size_t aligned = 0;
+    benchmark::DoNotOptimize(FusedAntagonistCorrelation(victim, usage, begin, end,
+                                                        kMicrosPerSecond / 2, 2.0, &aligned));
+  }
+}
+BENCHMARK(BM_FusedCorrelation)->Arg(10)->Arg(60)->Arg(600);
+
 // The paper's full analysis: one victim against ~50 suspects over a
 // 10-minute window (their ~100 us number).
 void BM_FullAnalysisAgainstSuspects(benchmark::State& state) {

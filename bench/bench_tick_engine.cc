@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,8 +21,10 @@
 namespace cpi2 {
 namespace {
 
-constexpr int kMachines = 1000;
-constexpr int kTicks = 90;  // simulated seconds per measurement
+// Full shape; --smoke shrinks both so the CI perf label can run this in
+// seconds as a does-it-still-work check, not a measurement.
+int g_machines = 1000;
+int g_ticks = 90;  // simulated seconds per measurement
 
 struct Measurement {
   int threads = 0;          // as configured (0 = hardware concurrency)
@@ -36,7 +39,7 @@ Measurement Measure(int threads) {
   ClusterHarness harness(options);
 
   ClusterMixOptions mix;
-  mix.machines = kMachines;
+  mix.machines = g_machines;
   mix.seed = 99;
   BuildRepresentativeCluster(&harness.cluster(), mix);
   harness.WireAgents();
@@ -46,21 +49,25 @@ Measurement Measure(int threads) {
   harness.RunFor(5 * kMicrosPerSecond);
 
   const auto start = std::chrono::steady_clock::now();
-  harness.RunFor(kTicks * kMicrosPerSecond);
+  harness.RunFor(g_ticks * kMicrosPerSecond);
   const auto end = std::chrono::steady_clock::now();
   const double elapsed = std::chrono::duration<double>(end - start).count();
 
   Measurement m;
   m.threads = threads;
   m.ticks_per_sec = elapsed > 0.0
-                        ? static_cast<double>(kMachines) * kTicks / elapsed
+                        ? static_cast<double>(g_machines) * g_ticks / elapsed
                         : 0.0;
   m.samples = harness.samples_collected();
   return m;
 }
 
-int Main() {
+int Main(bool smoke) {
   SetMinLogLevel(LogLevel::kWarning);
+  if (smoke) {
+    g_machines = 16;
+    g_ticks = 5;
+  }
   PrintHeader("tick_engine",
               "Parallel tick engine: machine-ticks/sec vs thread count, "
               "1000-machine cluster with full CPI2 deployment");
@@ -68,7 +75,8 @@ int Main() {
                   "thousands of machines once a minute; the simulator must tick them "
                   "as fast as the hardware allows)");
 
-  const std::vector<int> thread_counts = {1, 2, 4, 0};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 0};
   std::vector<Measurement> results;
   for (int threads : thread_counts) {
     results.push_back(Measure(threads));
@@ -78,7 +86,7 @@ int Main() {
 
   const double serial = results[0].ticks_per_sec;
   std::string json = StrFormat(
-      "{\"bench\":\"tick_engine\",\"machines\":%d,\"ticks\":%d", kMachines, kTicks);
+      "{\"bench\":\"tick_engine\",\"machines\":%d,\"ticks\":%d", g_machines, g_ticks);
   for (const Measurement& m : results) {
     json += StrFormat(",\"ticks_per_sec_t%d\":%.1f", m.threads, m.ticks_per_sec);
     if (m.threads > 1 && serial > 0.0) {
@@ -92,9 +100,12 @@ int Main() {
   json += StrFormat(",\"samples_collected\":%lld}", static_cast<long long>(results[0].samples));
 
   std::printf("%s\n", json.c_str());
-  if (FILE* f = std::fopen("BENCH_tick_engine.json", "w"); f != nullptr) {
-    std::fprintf(f, "%s\n", json.c_str());
-    std::fclose(f);
+  if (!smoke) {
+    // Smoke shapes are not comparable across PRs; don't overwrite the record.
+    if (FILE* f = std::fopen("BENCH_tick_engine.json", "w"); f != nullptr) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
   }
   return 0;
 }
@@ -102,4 +113,12 @@ int Main() {
 }  // namespace
 }  // namespace cpi2
 
-int main() { return cpi2::Main(); }
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  return cpi2::Main(smoke);
+}

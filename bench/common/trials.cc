@@ -60,7 +60,7 @@ TaskSpec VictimSpec(bool production, Rng& rng, MicroTime push_window_start) {
 // Mean of a series over [begin, end).
 double WindowMean(const TimeSeries& series, MicroTime begin, MicroTime end) {
   StreamingStats stats;
-  for (const TimePoint& point : series.Window(begin, end)) {
+  for (const TimePoint& point : View(series, begin, end)) {
     stats.Add(point.value);
   }
   return stats.mean();

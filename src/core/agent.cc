@@ -20,13 +20,15 @@ Agent::Agent(Options options, CounterSource* source, CpuController* controller)
 
 void Agent::AddTask(const TaskMeta& meta, MicroTime now) {
   tasks_[meta.task] = meta;
-  series_.emplace(meta.task, TaskSeries{});
+  series_.emplace(task_ids_.Intern(meta.task), TaskSeries{});
   sampler_.AddContainer(meta.task, now);
 }
 
 void Agent::RemoveTask(const std::string& task) {
   tasks_.erase(task);
-  series_.erase(task);
+  if (const auto id = task_ids_.Find(task); id.has_value()) {
+    series_.erase(*id);
+  }
   sampler_.RemoveContainer(task);
   detector_.ForgetTask(task);
   enforcement_.ForgetTask(task);
@@ -63,7 +65,7 @@ void Agent::Tick(MicroTime now) {
 
 void Agent::Restart(MicroTime now) {
   tasks_.clear();
-  series_.clear();
+  series_.clear();  // task_ids_ survives: ids are process-lifetime stable
   specs_.clear();
   sampler_.Clear();
   detector_.Clear();
@@ -120,12 +122,20 @@ void Agent::FlushOutbox(MicroTime now) {
 }
 
 const TimeSeries* Agent::UsageSeries(const std::string& task) const {
-  const auto it = series_.find(task);
+  const auto id = task_ids_.Find(task);
+  if (!id.has_value()) {
+    return nullptr;
+  }
+  const auto it = series_.find(*id);
   return it != series_.end() ? &it->second.usage : nullptr;
 }
 
 const TimeSeries* Agent::CpiSeries(const std::string& task) const {
-  const auto it = series_.find(task);
+  const auto id = task_ids_.Find(task);
+  if (!id.has_value()) {
+    return nullptr;
+  }
+  const auto it = series_.find(*id);
   return it != series_.end() ? &it->second.cpi : nullptr;
 }
 
@@ -178,10 +188,12 @@ void Agent::OnWindow(const std::string& container, const CounterDelta& delta) {
   sample.l3_miss_per_instruction = delta.L3MissesPerInstruction();
   ++samples_processed_;
 
-  TaskSeries& series = series_[container];
-  series.usage.Append(now, sample.cpu_usage);
-  if (sample.cpi > 0.0) {
-    series.cpi.Append(now, sample.cpi);
+  TaskSeries& series = series_[task_ids_.Intern(container)];
+  if (!series.usage.Append(now, sample.cpu_usage)) {
+    ++health_.series_points_dropped;
+  }
+  if (sample.cpi > 0.0 && !series.cpi.Append(now, sample.cpi)) {
+    ++health_.series_points_dropped;
   }
   // Bound memory: keep a bit more than the correlation window.
   const MicroTime cutoff = now - 2 * options_.params.correlation_window;
@@ -246,7 +258,7 @@ void Agent::HandleAnomaly(const TaskMeta& victim, const CpiSample& sample, doubl
     if (task == victim.task) {
       continue;
     }
-    const auto series_it = series_.find(task);
+    const auto series_it = series_.find(task_ids_.Intern(task));
     if (series_it == series_.end()) {
       continue;
     }
@@ -258,7 +270,7 @@ void Agent::HandleAnomaly(const TaskMeta& victim, const CpiSample& sample, doubl
     input.usage = &series_it->second.usage;
     inputs.push_back(input);
   }
-  const auto victim_series = series_.find(victim.task);
+  const auto victim_series = series_.find(task_ids_.Intern(victim.task));
   if (victim_series == series_.end()) {
     return;
   }

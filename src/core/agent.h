@@ -16,6 +16,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cgroup/cpu_controller.h"
@@ -27,6 +28,7 @@
 #include "core/types.h"
 #include "perf/counter_source.h"
 #include "perf/sampler.h"
+#include "util/interner.h"
 #include "util/rng.h"
 #include "util/time_series.h"
 
@@ -63,6 +65,7 @@ struct AgentHealth {
   int64_t counter_rejects = 0;          // sanity filter discarded a window
   int64_t stale_spec_widenings = 0;     // detection ran with widened threshold
   int64_t stale_spec_suppressions = 0;  // detection suppressed: spec too old
+  int64_t series_points_dropped = 0;    // out-of-order points a task series refused
 };
 
 class Agent {
@@ -180,7 +183,13 @@ class Agent {
   EnforcementPolicy enforcement_;
 
   std::map<std::string, TaskMeta> tasks_;
-  std::map<std::string, TaskSeries> series_;
+  // Task names intern to dense ids once (at AddTask); the per-task series
+  // live in an integer-keyed map, so the per-window and per-analysis lookups
+  // never walk string comparisons. Ids are process-lifetime stable: the
+  // interner deliberately survives Restart() so a task re-registered after a
+  // crash reuses its id.
+  StringInterner task_ids_;
+  std::unordered_map<uint32_t, TaskSeries> series_;
   // Specs for this machine's platform, keyed by jobname.
   std::map<std::string, SpecEntry> specs_;
 

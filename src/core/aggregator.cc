@@ -23,9 +23,11 @@ void Aggregator::AddSample(const CpiSample& sample) {
       // so the set stays bounded by window x arrival rate.
       const MicroTime cutoff = dedup_watermark_ - params_.sample_dedup_window;
       recent_samples_.erase(recent_samples_.begin(),
-                            recent_samples_.lower_bound(SampleKey{cutoff, "", ""}));
+                            recent_samples_.lower_bound(SampleKey{cutoff, 0, 0}));
     }
-    if (!recent_samples_.insert(SampleKey{sample.timestamp, sample.machine, sample.task})
+    if (!recent_samples_
+             .insert(SampleKey{sample.timestamp, dedup_ids_.Intern(sample.machine),
+                               dedup_ids_.Intern(sample.task)})
              .second) {
       ++duplicates_dropped_;
       return;

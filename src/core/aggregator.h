@@ -19,6 +19,7 @@
 #ifndef CPI2_CORE_AGGREGATOR_H_
 #define CPI2_CORE_AGGREGATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <set>
@@ -29,6 +30,7 @@
 #include "core/params.h"
 #include "core/spec_builder.h"
 #include "core/types.h"
+#include "util/interner.h"
 #include "util/status.h"
 
 namespace cpi2 {
@@ -73,12 +75,14 @@ class Aggregator {
 
  private:
   // Sample identity for dedup: timestamp first so pruning old entries is a
-  // single ordered-range erase.
-  using SampleKey = std::tuple<MicroTime, std::string, std::string>;
+  // single ordered-range erase. Machine and task are interned ids — the
+  // per-sample insert compares three integers instead of two heap strings.
+  using SampleKey = std::tuple<MicroTime, uint32_t, uint32_t>;
 
   Cpi2Params params_;
   SpecBuilder builder_;
   SpecCallback callback_;
+  StringInterner dedup_ids_;  // machine and task names share one id space
   MicroTime last_build_ = -1;
   int64_t builds_completed_ = 0;
   int64_t duplicates_dropped_ = 0;

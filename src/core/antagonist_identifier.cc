@@ -22,21 +22,43 @@ std::vector<Suspect> AntagonistIdentifier::Analyze(const TimeSeries& victim_cpi,
     if (input.usage == nullptr) {
       continue;
     }
-    const std::vector<AlignedPair> pairs =
-        AlignSeries(victim_cpi, *input.usage, begin, now + 1, tolerance);
-    if (pairs.empty()) {
-      continue;
+    double correlation = 0.0;
+    if (params_.legacy_correlation_path) {
+      // Reference path: materialize the aligned pairs, then score them.
+      // O(|victim| log |suspect|) plus a vector allocation per suspect.
+      const std::vector<AlignedPair> pairs =
+          AlignSeries(victim_cpi, *input.usage, begin, now + 1, tolerance);
+      if (pairs.empty()) {
+        continue;
+      }
+      correlation = AntagonistCorrelation(pairs, cpi_threshold);
+    } else {
+      // Fast path: merge-join alignment fused with the correlation sum.
+      // O(|victim| + |suspect|) per suspect and no heap work at all —
+      // bit-identical to the reference path (correlation_equivalence_test).
+      size_t aligned = 0;
+      correlation = FusedAntagonistCorrelation(victim_cpi, *input.usage, begin, now + 1,
+                                               tolerance, cpi_threshold, &aligned);
+      if (aligned == 0) {
+        continue;
+      }
     }
     Suspect suspect;
     suspect.task = input.task;
     suspect.jobname = input.jobname;
     suspect.workload_class = input.workload_class;
     suspect.priority = input.priority;
-    suspect.correlation = AntagonistCorrelation(pairs, cpi_threshold);
-    scored.push_back(suspect);
+    suspect.correlation = correlation;
+    scored.push_back(std::move(suspect));
   }
-  std::sort(scored.begin(), scored.end(),
-            [](const Suspect& a, const Suspect& b) { return a.correlation > b.correlation; });
+  // Highest correlation first; equal correlations order by task id so the
+  // ranking (and therefore who gets capped) never depends on input order.
+  std::sort(scored.begin(), scored.end(), [](const Suspect& a, const Suspect& b) {
+    if (a.correlation != b.correlation) {
+      return a.correlation > b.correlation;
+    }
+    return a.task < b.task;
+  });
   return scored;
 }
 

@@ -38,8 +38,13 @@ class AntagonistIdentifier {
 
   // Correlates every suspect against the victim's CPI over
   // [now - correlation_window, now]. Returns ALL suspects with at least one
-  // aligned sample, ranked by correlation (highest first); the caller applies
-  // the naming threshold. Records the analysis for rate-limiting.
+  // aligned sample, ranked by correlation (highest first, ties broken by
+  // ascending task id so the ranking is input-order independent); the caller
+  // applies the naming threshold. Records the analysis for rate-limiting.
+  //
+  // Cost: O(|victim| + |suspect|) per suspect via the fused merge-join
+  // correlation, with no per-suspect heap work beyond the returned records;
+  // params.legacy_correlation_path selects the bit-identical reference path.
   std::vector<Suspect> Analyze(const TimeSeries& victim_cpi, double cpi_threshold,
                                const std::vector<SuspectInput>& suspects, MicroTime now);
 

@@ -26,4 +26,59 @@ double AntagonistCorrelation(const std::vector<AlignedPair>& pairs, double cpi_t
   return correlation;
 }
 
+double FusedAntagonistCorrelation(const TimeSeries& victim_cpi, const TimeSeries& usage,
+                                  MicroTime begin, MicroTime end, MicroTime tolerance,
+                                  double cpi_threshold, size_t* aligned_pairs) {
+  *aligned_pairs = 0;
+  const size_t a_begin = victim_cpi.LowerBound(begin);
+  const size_t a_end = victim_cpi.LowerBound(end);
+  if (a_begin >= a_end || usage.empty()) {
+    return 0.0;
+  }
+
+  // Pass 1: count the aligned pairs and total their usage. Bit-identity with
+  // the legacy path requires the same normalizer accumulated in the same
+  // order, and the pair count decides the caller's skip-this-suspect rule.
+  size_t pairs = 0;
+  double usage_total = 0.0;
+  {
+    NearestCursor cursor(usage);
+    size_t j = 0;
+    for (size_t i = a_begin; i < a_end; ++i) {
+      const MicroTime timestamp = victim_cpi[i].timestamp;
+      if (cursor.Seek(timestamp, tolerance, &j)) {
+        usage_total += usage[j].value;
+        ++pairs;
+      }
+    }
+  }
+  if (pairs == 0) {
+    return 0.0;
+  }
+  *aligned_pairs = pairs;
+  if (cpi_threshold <= 0.0 || usage_total <= 0.0) {
+    return 0.0;
+  }
+
+  // Pass 2: the correlation sum — the same per-pair expressions, values and
+  // order as AntagonistCorrelation, so the result is bit-identical.
+  double correlation = 0.0;
+  NearestCursor cursor(usage);
+  size_t j = 0;
+  for (size_t i = a_begin; i < a_end; ++i) {
+    const TimePoint& victim_point = victim_cpi[i];
+    if (!cursor.Seek(victim_point.timestamp, tolerance, &j)) {
+      continue;
+    }
+    const double cpi = victim_point.value;
+    const double normalized = usage[j].value / usage_total;
+    if (cpi > cpi_threshold) {
+      correlation += normalized * (1.0 - cpi_threshold / cpi);
+    } else if (cpi < cpi_threshold && cpi > 0.0) {
+      correlation += normalized * (cpi / cpi_threshold - 1.0);
+    }
+  }
+  return correlation;
+}
+
 }  // namespace cpi2

@@ -11,10 +11,21 @@
 // The result lies in [-1, 1]: usage spikes coinciding with victim pain push
 // it up; usage during healthy victim periods pushes it down. This is a
 // deliberately simple passive score: no throttle-probing of innocents.
+//
+// Two implementations of the same score:
+//  - AntagonistCorrelation over a pre-aligned pair vector: the legacy
+//    reference path (pairs come from AlignSeries, which allocates and costs
+//    O(|a| log |b|)).
+//  - FusedAntagonistCorrelation over the two raw series: merge-join
+//    alignment fused with the correlation sum, O(|a|+|b|) and zero
+//    allocations. Visits the identical pairs in the identical order with
+//    identical arithmetic, so the two paths are bit-identical
+//    (correlation_equivalence_test proves it on random series).
 
 #ifndef CPI2_CORE_CORRELATION_H_
 #define CPI2_CORE_CORRELATION_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "util/time_series.h"
@@ -25,6 +36,15 @@ namespace cpi2 {
 // victim's CPI, pair.b the suspect's usage. Usage is normalized internally.
 // Returns 0 for an empty window or an all-idle suspect.
 double AntagonistCorrelation(const std::vector<AlignedPair>& pairs, double cpi_threshold);
+
+// Fast path: aligns victim CPI points in [begin, end) against the nearest
+// usage point within `tolerance` (merge-join, two monotone cursors) and
+// computes the correlation in the same sweep. `*aligned_pairs` reports how
+// many points paired up — zero means the suspect had no overlapping data and
+// the caller should skip it, exactly as an empty AlignSeries result would.
+double FusedAntagonistCorrelation(const TimeSeries& victim_cpi, const TimeSeries& usage,
+                                  MicroTime begin, MicroTime end, MicroTime tolerance,
+                                  double cpi_threshold, size_t* aligned_pairs);
 
 }  // namespace cpi2
 

@@ -47,6 +47,13 @@ struct Cpi2Params {
   double correlation_threshold = 0.35;
   // "at most one of these attempts is performed each second".
   MicroTime analysis_interval = kMicrosPerSecond;
+  // Validation escape hatch: route antagonist analyses through the legacy
+  // AlignSeries + AntagonistCorrelation pair (O(|victim| log |suspect|), one
+  // allocation per suspect) instead of the fused merge-join fast path. The
+  // two are bit-identical — correlation_equivalence_test and
+  // ParallelDeterminismTest.LegacyCorrelationPathMatchesFastPath hold the
+  // proof — so this exists only to keep that claim checkable in CI.
+  bool legacy_correlation_path = false;
 
   // --- enforcement (section 5) ----------------------------------------------
   // "0.01 CPU-sec/sec for low-importance ('best effort') batch jobs and 0.1

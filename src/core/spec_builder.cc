@@ -1,5 +1,6 @@
 #include "core/spec_builder.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace cpi2 {
@@ -33,11 +34,13 @@ void SpecBuilder::MomentHistory::Merge(double other_count, double other_mean, do
 
 void SpecBuilder::AddSample(const CpiSample& sample) {
   ++samples_seen_;
-  Accumulation& accumulation = current_[{sample.jobname, sample.platforminfo}];
+  const IdKey key =
+      MakeKey(names_.Intern(sample.jobname), names_.Intern(sample.platforminfo));
+  Accumulation& accumulation = current_[key];
   accumulation.cpi.Add(sample.cpi);
   accumulation.usage.Add(sample.cpu_usage);
   if (!sample.task.empty()) {
-    ++accumulation.samples_per_task[sample.task];
+    ++accumulation.samples_per_task[names_.Intern(sample.task)];
   }
 }
 
@@ -54,6 +57,26 @@ bool SpecBuilder::Eligible(const Accumulation& accumulation) const {
   return average >= static_cast<double>(params_.min_samples_per_task);
 }
 
+bool SpecBuilder::NameOrderLess(IdKey a, IdKey b) const {
+  const std::string& job_a = names_.NameOf(JobOf(a));
+  const std::string& job_b = names_.NameOf(JobOf(b));
+  if (job_a != job_b) {
+    return job_a < job_b;
+  }
+  return names_.NameOf(PlatformOf(a)) < names_.NameOf(PlatformOf(b));
+}
+
+template <typename Map>
+std::vector<SpecBuilder::IdKey> SpecBuilder::SortedKeys(const Map& map) const {
+  std::vector<IdKey> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, unused] : map) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end(), [this](IdKey a, IdKey b) { return NameOrderLess(a, b); });
+  return keys;
+}
+
 std::vector<CpiSpec> SpecBuilder::BuildSpecs() {
   std::vector<CpiSpec> specs;
 
@@ -62,7 +85,10 @@ std::vector<CpiSpec> SpecBuilder::BuildSpecs() {
     history.Decay(params_.history_weight);
   }
 
-  for (auto& [key, accumulation] : current_) {
+  // Per-key merges are independent; the sorted visit only fixes the output
+  // (and spec push-out) order to the legacy string-keyed order.
+  for (const IdKey key : SortedKeys(current_)) {
+    Accumulation& accumulation = current_[key];
     MomentHistory& history = history_[key];
     const bool eligible_now = Eligible(accumulation);
     history.Merge(static_cast<double>(accumulation.cpi.count()), accumulation.cpi.mean(),
@@ -74,8 +100,8 @@ std::vector<CpiSpec> SpecBuilder::BuildSpecs() {
       continue;
     }
     CpiSpec spec;
-    spec.jobname = key.jobname;
-    spec.platforminfo = key.platforminfo;
+    spec.jobname = names_.NameOf(JobOf(key));
+    spec.platforminfo = names_.NameOf(PlatformOf(key));
     spec.num_samples = static_cast<int64_t>(history.count);
     spec.cpu_usage_mean = history.usage_mean;
     spec.cpi_mean = history.mean;
@@ -89,7 +115,12 @@ std::vector<CpiSpec> SpecBuilder::BuildSpecs() {
 
 std::optional<CpiSpec> SpecBuilder::GetSpec(const std::string& jobname,
                                             const std::string& platforminfo) const {
-  const auto it = latest_specs_.find({jobname, platforminfo});
+  const auto job = names_.Find(jobname);
+  const auto platform = names_.Find(platforminfo);
+  if (!job.has_value() || !platform.has_value()) {
+    return std::nullopt;
+  }
+  const auto it = latest_specs_.find(MakeKey(*job, *platform));
   if (it == latest_specs_.end()) {
     return std::nullopt;
   }
@@ -99,9 +130,11 @@ std::optional<CpiSpec> SpecBuilder::GetSpec(const std::string& jobname,
 std::vector<SpecBuilder::HistoryEntry> SpecBuilder::SnapshotHistory() const {
   std::vector<HistoryEntry> entries;
   entries.reserve(history_.size());
-  for (const auto& [key, history] : history_) {
+  for (const IdKey key : SortedKeys(history_)) {
+    const MomentHistory& history = history_.at(key);
     HistoryEntry entry;
-    entry.key = key;
+    entry.key.jobname = names_.NameOf(JobOf(key));
+    entry.key.platforminfo = names_.NameOf(PlatformOf(key));
     entry.count = history.count;
     entry.mean = history.mean;
     entry.m2 = history.m2;
@@ -114,8 +147,8 @@ std::vector<SpecBuilder::HistoryEntry> SpecBuilder::SnapshotHistory() const {
 std::vector<CpiSpec> SpecBuilder::SnapshotLatestSpecs() const {
   std::vector<CpiSpec> specs;
   specs.reserve(latest_specs_.size());
-  for (const auto& [key, spec] : latest_specs_) {
-    specs.push_back(spec);
+  for (const IdKey key : SortedKeys(latest_specs_)) {
+    specs.push_back(latest_specs_.at(key));
   }
   return specs;
 }
@@ -127,27 +160,31 @@ void SpecBuilder::RestoreSnapshot(const std::vector<HistoryEntry>& history,
   latest_specs_.clear();
   current_.clear();
   for (const HistoryEntry& entry : history) {
-    MomentHistory& moments = history_[entry.key];
+    MomentHistory& moments = history_[MakeKey(names_.Intern(entry.key.jobname),
+                                              names_.Intern(entry.key.platforminfo))];
     moments.count = entry.count;
     moments.mean = entry.mean;
     moments.m2 = entry.m2;
     moments.usage_mean = entry.usage_mean;
   }
   for (const CpiSpec& spec : latest_specs) {
-    latest_specs_[{spec.jobname, spec.platforminfo}] = spec;
+    latest_specs_[MakeKey(names_.Intern(spec.jobname), names_.Intern(spec.platforminfo))] =
+        spec;
   }
   samples_seen_ = samples_seen;
 }
 
 void SpecBuilder::SeedHistory(const CpiSpec& spec) {
-  MomentHistory& history = history_[{spec.jobname, spec.platforminfo}];
+  const IdKey key =
+      MakeKey(names_.Intern(spec.jobname), names_.Intern(spec.platforminfo));
+  MomentHistory& history = history_[key];
   MomentHistory seeded;
   seeded.count = static_cast<double>(spec.num_samples);
   seeded.mean = spec.cpi_mean;
   seeded.m2 = spec.cpi_stddev * spec.cpi_stddev * static_cast<double>(spec.num_samples);
   seeded.usage_mean = spec.cpu_usage_mean;
   history.Merge(seeded.count, seeded.mean, seeded.m2, seeded.usage_mean);
-  latest_specs_[{spec.jobname, spec.platforminfo}] = spec;
+  latest_specs_[key] = spec;
 }
 
 }  // namespace cpi2

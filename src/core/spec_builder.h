@@ -6,19 +6,31 @@
 // statistics persist with age-weighting: each build multiplies the retained
 // history's effective sample count by history_weight (~0.9) before merging
 // the fresh day, so long-running jobs converge and behaviour drift decays.
+//
+// Hot-path layout: every sample's (jobname, platforminfo, task) strings
+// intern to dense uint32 ids, and the accumulation/history/latest-spec maps
+// key on a packed uint64 of the two ids. AddSample therefore does no string
+// copies and no string comparisons — identity only. Names reappear solely
+// at the boundaries: spec build-out, GetSpec, and checkpoint snapshots,
+// all of which emit in (jobname, platforminfo) order exactly as the old
+// string-keyed maps did, so downstream ordering (spec push-out, fault-plane
+// draws, checkpoint blobs) is unchanged. Ids never leave the process;
+// checkpoints serialize names, and a restore may re-intern them to
+// different ids with no observable difference.
 
 #ifndef CPI2_CORE_SPEC_BUILDER_H_
 #define CPI2_CORE_SPEC_BUILDER_H_
 
-#include <map>
+#include <cstdint>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/params.h"
 #include "core/types.h"
 #include "stats/streaming.h"
+#include "util/interner.h"
 
 namespace cpi2 {
 
@@ -30,8 +42,9 @@ class SpecBuilder {
   void AddSample(const CpiSample& sample);
 
   // Closes the current window: merges it into the age-weighted history and
-  // returns the specs of every eligible job x platform. Keys that fail the
-  // eligibility rules are retained in history but produce no spec.
+  // returns the specs of every eligible job x platform, in (jobname,
+  // platforminfo) order. Keys that fail the eligibility rules are retained
+  // in history but produce no spec.
   std::vector<CpiSpec> BuildSpecs();
 
   // The spec from the most recent build, if that key was eligible.
@@ -48,7 +61,9 @@ class SpecBuilder {
   // Exact snapshot of one key's age-weighted moment history. Unlike
   // SeedHistory (which round-trips through a CpiSpec and re-merges), these
   // entries restore the weighted moments bit-for-bit, so a restored builder
-  // produces the same specs the crashed one would have.
+  // produces the same specs the crashed one would have. Snapshots translate
+  // interned ids back to names (boundary translation) and emit entries in
+  // (jobname, platforminfo) order.
   struct HistoryEntry {
     JobPlatformKey key;
     double count = 0.0;
@@ -66,6 +81,14 @@ class SpecBuilder {
                        const std::vector<CpiSpec>& latest_specs, int64_t samples_seen);
 
  private:
+  // Packed (jobname id, platforminfo id) map key.
+  using IdKey = uint64_t;
+  static constexpr IdKey MakeKey(uint32_t job, uint32_t platform) {
+    return (static_cast<IdKey>(job) << 32) | platform;
+  }
+  static constexpr uint32_t JobOf(IdKey key) { return static_cast<uint32_t>(key >> 32); }
+  static constexpr uint32_t PlatformOf(IdKey key) { return static_cast<uint32_t>(key); }
+
   // Weighted moment history: an (effective_count, mean, m2) triple that can
   // be decayed and merged.
   struct MomentHistory {
@@ -82,15 +105,24 @@ class SpecBuilder {
   struct Accumulation {
     StreamingStats cpi;
     StreamingStats usage;
-    std::map<std::string, int64_t> samples_per_task;
+    std::unordered_map<uint32_t, int64_t> samples_per_task;  // interned task ids
   };
 
   bool Eligible(const Accumulation& accumulation) const;
 
+  // True when `a` orders before `b` by the interned (jobname, platforminfo)
+  // strings — the legacy string-keyed map order.
+  bool NameOrderLess(IdKey a, IdKey b) const;
+  // The map's keys sorted by NameOrderLess (boundary-only cost).
+  template <typename Map>
+  std::vector<IdKey> SortedKeys(const Map& map) const;
+
   Cpi2Params params_;
-  std::map<JobPlatformKey, Accumulation> current_;
-  std::map<JobPlatformKey, MomentHistory> history_;
-  std::map<JobPlatformKey, CpiSpec> latest_specs_;
+  // Jobnames, platforms, and task names share one id space.
+  StringInterner names_;
+  std::unordered_map<IdKey, Accumulation> current_;
+  std::unordered_map<IdKey, MomentHistory> history_;
+  std::unordered_map<IdKey, CpiSpec> latest_specs_;
   int64_t samples_seen_ = 0;
 };
 

@@ -266,6 +266,7 @@ ClusterHealthReport ClusterHarness::Health() const {
     report.agents.counter_rejects += h.counter_rejects;
     report.agents.stale_spec_widenings += h.stale_spec_widenings;
     report.agents.stale_spec_suppressions += h.stale_spec_suppressions;
+    report.agents.series_points_dropped += h.series_points_dropped;
   }
   for (const auto& flaky : flaky_sources_) {
     if (flaky != nullptr) {

@@ -1,0 +1,31 @@
+#include "util/interner.h"
+
+#include <cassert>
+
+namespace cpi2 {
+
+uint32_t StringInterner::Intern(std::string_view name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::optional<uint32_t> StringInterner::Find(std::string_view name) const {
+  const auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& StringInterner::NameOf(uint32_t id) const {
+  assert(id < names_.size() && "id was not produced by this interner");
+  return names_[id];
+}
+
+}  // namespace cpi2

@@ -1,0 +1,53 @@
+// String interning: dense uint32 ids for job/task/machine/platform names.
+//
+// The sample->spec->antagonist pipeline names everything with strings (the
+// paper's wire records do), but the hot paths — per-sample spec accumulation,
+// duplicate-sample dedup, per-task series lookup — only need identity, not
+// spelling. An interner maps each distinct name to a dense uint32 once, so
+// the inner loops key their maps and sets on integers: no per-sample string
+// copies, no string comparisons, and boundary translation back to names only
+// at serialization points (checkpoints, incident logs, spec push-out).
+//
+// Id-stability guarantees: ids are assigned in first-Intern order, are never
+// reused, and stay valid for the interner's lifetime. They are process-local
+// handles — a checkpoint/restore cycle serializes names, never ids, so a
+// restored component may re-intern the same names to different ids without
+// any observable difference (see DESIGN.md "Analysis data plane").
+
+#ifndef CPI2_UTIL_INTERNER_H_
+#define CPI2_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cpi2 {
+
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  // Returns the id for `name`, assigning the next dense id on first sight.
+  uint32_t Intern(std::string_view name);
+
+  // The id for `name` if it has been interned, without inserting.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  // The name behind `id`. `id` must have come from this interner.
+  const std::string& NameOf(uint32_t id) const;
+
+  // Number of distinct names interned.
+  size_t size() const { return names_.size(); }
+
+ private:
+  // Deque so name storage never moves: ids_ keys are views into names_.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, uint32_t> ids_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_UTIL_INTERNER_H_

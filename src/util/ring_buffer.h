@@ -55,6 +55,82 @@ class RingBuffer {
   size_t size_ = 0;
 };
 
+// Growable power-of-two ring: a deque-shaped container (push at the back,
+// pop at the front, random access) with contiguous-array locality. Indexing
+// is a single add-and-mask, PushBack is amortized O(1) (capacity doubles,
+// never shrinks), and PopFront is a head bump — no per-node allocation and
+// no deque segment walks. Backs TimeSeries, where the steady state is
+// "append one sample a minute, trim a few old ones, binary-search the rest".
+template <typename T>
+class GrowableRing {
+ public:
+  GrowableRing() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  // Appends `value`, doubling the backing store when full.
+  void PushBack(T value) {
+    if (size_ == slots_.size()) {
+      Grow();
+    }
+    slots_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  // Removes the oldest element.
+  void PopFront() {
+    assert(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  // Removes the oldest `n` elements in O(1).
+  void PopFrontN(size_t n) {
+    assert(n <= size_);
+    head_ = (head_ + n) & mask_;
+    size_ -= n;
+  }
+
+  // Element `i` positions from the oldest (0 == oldest).
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) & mask_];
+  }
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return slots_[(head_ + i) & mask_];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 8;
+
+  void Grow() {
+    const size_t new_capacity = slots_.empty() ? kMinCapacity : slots_.size() * 2;
+    std::vector<T> next(new_capacity);
+    for (size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(next);
+    mask_ = new_capacity - 1;
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;  // capacity - 1 once allocated (capacity is a power of two)
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
 }  // namespace cpi2
 
 #endif  // CPI2_UTIL_RING_BUFFER_H_

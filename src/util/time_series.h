@@ -1,18 +1,28 @@
-// Timestamped value series with window extraction and alignment.
+// Timestamped value series with indexed window extraction and alignment.
 //
 // The antagonist-correlation analysis (section 4.2 of the paper) needs the
 // victim's CPI samples and each suspect's CPU-usage samples over the same
 // 10-minute window, aligned by timestamp. TimeSeries provides the storage
-// and the alignment primitive.
+// and the alignment primitives.
+//
+// Storage is a growable power-of-two ring (util/ring_buffer.h): append and
+// trim are allocation-free in the steady state, and the timestamps stay
+// sorted, so every lookup is a binary search instead of a front-to-back
+// scan. Window extraction is an index pair (WindowView) over the ring — no
+// copy — and NearestValue is O(log n). The merge-join fast path
+// (core/correlation.h) builds on NearestCursor below; the legacy
+// AlignSeries is kept as the reference implementation it must match
+// bit-for-bit.
 
 #ifndef CPI2_UTIL_TIME_SERIES_H_
 #define CPI2_UTIL_TIME_SERIES_H_
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <vector>
 
 #include "util/clock.h"
+#include "util/ring_buffer.h"
 
 namespace cpi2 {
 
@@ -29,43 +39,144 @@ class TimeSeries {
 
   // Appends a point. Timestamps must be non-decreasing; out-of-order points
   // are dropped (network reordering is the caller's problem, and the paper's
-  // one-sample-a-minute cadence makes this a non-issue in practice).
-  void Append(MicroTime timestamp, double value) {
+  // one-sample-a-minute cadence makes this a non-issue in practice). Returns
+  // false when the point was dropped; drops are also counted so the fault
+  // plane's reordering is observable (see dropped_points).
+  bool Append(MicroTime timestamp, double value) {
     if (!points_.empty() && timestamp < points_.back().timestamp) {
-      return;
+      ++dropped_;
+      return false;
     }
-    points_.push_back({timestamp, value});
+    points_.PushBack({timestamp, value});
+    return true;
   }
 
   size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }
   const TimePoint& operator[](size_t i) const { return points_[i]; }
+  const TimePoint& front() const { return points_.front(); }
   const TimePoint& back() const { return points_.back(); }
 
-  // Removes all points with timestamp < `cutoff`.
-  void TrimBefore(MicroTime cutoff) {
-    while (!points_.empty() && points_.front().timestamp < cutoff) {
-      points_.pop_front();
-    }
-  }
+  // Points dropped by Append because they arrived out of order.
+  int64_t dropped_points() const { return dropped_; }
 
-  // Returns all points with begin <= timestamp < end, oldest first.
-  std::vector<TimePoint> Window(MicroTime begin, MicroTime end) const {
-    std::vector<TimePoint> out;
-    for (const TimePoint& p : points_) {
-      if (p.timestamp >= begin && p.timestamp < end) {
-        out.push_back(p);
+  // Index of the first point with timestamp >= `timestamp` (== size() when
+  // every point is older). O(log n).
+  size_t LowerBound(MicroTime timestamp) const {
+    size_t lo = 0;
+    size_t hi = points_.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (points_[mid].timestamp < timestamp) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
       }
     }
-    return out;
+    return lo;
   }
 
+  // Removes all points with timestamp < `cutoff`. O(log n).
+  void TrimBefore(MicroTime cutoff) { points_.PopFrontN(LowerBound(cutoff)); }
+
   // Returns the value at the point nearest to `timestamp` within
-  // `tolerance`, or nullopt-like behaviour via `found`.
+  // `tolerance`, or nullopt-like behaviour via `found`. Among equidistant
+  // candidates the latest point wins (matching the historical front-to-back
+  // scan, which NearestCursor and the fused correlation must reproduce
+  // exactly). O(log n).
   double NearestValue(MicroTime timestamp, MicroTime tolerance, bool* found) const;
 
  private:
-  std::deque<TimePoint> points_;
+  GrowableRing<TimePoint> points_;
+  int64_t dropped_ = 0;
+};
+
+// An allocation-free view of the points with begin <= timestamp < end:
+// an (index, index) pair over the series' ring. Valid until the series is
+// appended to or trimmed.
+class WindowView {
+ public:
+  WindowView() = default;
+  WindowView(const TimeSeries* series, size_t begin, size_t end)
+      : series_(series), begin_(begin), end_(end) {}
+
+  size_t size() const { return end_ - begin_; }
+  bool empty() const { return begin_ == end_; }
+  const TimePoint& operator[](size_t i) const { return (*series_)[begin_ + i]; }
+  const TimePoint& front() const { return (*this)[0]; }
+  const TimePoint& back() const { return (*this)[size() - 1]; }
+
+  class Iterator {
+   public:
+    Iterator(const TimeSeries* series, size_t index) : series_(series), index_(index) {}
+    const TimePoint& operator*() const { return (*series_)[index_]; }
+    const TimePoint* operator->() const { return &(*series_)[index_]; }
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    bool operator==(const Iterator& other) const { return index_ == other.index_; }
+    bool operator!=(const Iterator& other) const { return index_ != other.index_; }
+
+   private:
+    const TimeSeries* series_;
+    size_t index_;
+  };
+  Iterator begin() const { return Iterator(series_, begin_); }
+  Iterator end() const { return Iterator(series_, end_); }
+
+ private:
+  const TimeSeries* series_ = nullptr;
+  size_t begin_ = 0;
+  size_t end_ = 0;
+};
+
+// The [begin, end) window of `series` as an index pair; O(log n), no copy.
+inline WindowView View(const TimeSeries& series, MicroTime begin, MicroTime end) {
+  const size_t lo = series.LowerBound(begin);
+  const size_t hi = series.LowerBound(end);
+  return WindowView(&series, lo, hi < lo ? lo : hi);
+}
+
+// Two-pointer nearest-match cursor for merge-join alignment. For a sequence
+// of non-decreasing query timestamps, Seek finds the index of the point the
+// legacy front-to-back NearestValue scan would pick (minimum distance,
+// latest point wins ties) while only ever advancing — amortized O(1) per
+// query, O(|queries| + |series|) for a whole alignment pass.
+class NearestCursor {
+ public:
+  explicit NearestCursor(const TimeSeries& series) : series_(&series) {}
+
+  // Positions the cursor on the nearest point to `timestamp` and stores its
+  // index in `*index`. Returns true when that point is within `tolerance`.
+  // Query timestamps must be non-decreasing across calls.
+  bool Seek(MicroTime timestamp, MicroTime tolerance, size_t* index) {
+    const TimeSeries& series = *series_;
+    const size_t size = series.size();
+    if (size == 0) {
+      return false;
+    }
+    // Greedy advance: each step's distance is computed once and carried into
+    // the next comparison, so a whole alignment pass costs one distance per
+    // (query + advance), not three.
+    MicroTime current = Distance(series[next_].timestamp, timestamp);
+    while (next_ + 1 < size) {
+      const MicroTime candidate = Distance(series[next_ + 1].timestamp, timestamp);
+      if (candidate > current) {
+        break;
+      }
+      current = candidate;
+      ++next_;
+    }
+    *index = next_;
+    return current <= tolerance;
+  }
+
+ private:
+  static MicroTime Distance(MicroTime a, MicroTime b) { return a < b ? b - a : a - b; }
+
+  const TimeSeries* series_;
+  size_t next_ = 0;
 };
 
 // A time-aligned pair of samples from two series.
@@ -79,6 +190,11 @@ struct AlignedPair {
 // finds the nearest point of `b` within `tolerance`; pairs without a match
 // are skipped. The paper's samples arrive once a minute on a shared cadence,
 // so `tolerance` of half the cadence pairs them exactly.
+//
+// This is the legacy reference path: it allocates the output vector and is
+// O(|a| log |b|). The hot path (core/correlation.h FusedAntagonistCorrelation)
+// merge-joins the same pairing in O(|a|+|b|) with zero allocations and is
+// proven bit-identical by correlation_equivalence_test.
 std::vector<AlignedPair> AlignSeries(const TimeSeries& a, const TimeSeries& b, MicroTime begin,
                                      MicroTime end, MicroTime tolerance);
 

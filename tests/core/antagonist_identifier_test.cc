@@ -90,6 +90,36 @@ TEST(AntagonistIdentifierTest, SuspectOutsideWindowIsSkipped) {
   EXPECT_TRUE(identifier.Analyze(victim, 2.0, inputs, 10 * kMinute).empty());
 }
 
+TEST(AntagonistIdentifierTest, EqualCorrelationsBreakTiesByTaskId) {
+  // Two suspects with identical usage series score identically; the ranking
+  // must fall back to ascending task id regardless of input order, so the
+  // capping decision is reproducible.
+  AntagonistIdentifier identifier(Cpi2Params{});
+  const TimeSeries victim = PainfulVictim();
+  const TimeSeries usage_a = ActiveDuring(5, 10);
+  const TimeSeries usage_b = ActiveDuring(5, 10);
+
+  std::vector<AntagonistIdentifier::SuspectInput> inputs;
+  inputs.push_back({"zeta.0", "zeta", WorkloadClass::kBatch,
+                    JobPriority::kBestEffort, &usage_a});
+  inputs.push_back({"alpha.0", "alpha", WorkloadClass::kBatch,
+                    JobPriority::kBestEffort, &usage_b});
+
+  auto ranked = identifier.Analyze(victim, 2.0, inputs, 10 * kMinute);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].correlation, ranked[1].correlation);
+  EXPECT_EQ(ranked[0].task, "alpha.0");
+  EXPECT_EQ(ranked[1].task, "zeta.0");
+
+  // Reversed input order produces the same ranking.
+  std::swap(inputs[0], inputs[1]);
+  AntagonistIdentifier reversed(Cpi2Params{});
+  ranked = reversed.Analyze(victim, 2.0, inputs, 10 * kMinute);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].task, "alpha.0");
+  EXPECT_EQ(ranked[1].task, "zeta.0");
+}
+
 TEST(AntagonistIdentifierTest, WindowRestrictsSamples) {
   // With a 5-minute window ending at minute 10, only the painful half of
   // the victim series is seen: a constant suspect now looks guilty.

@@ -1,0 +1,162 @@
+// Property test: the fused merge-join correlation path is bit-identical to
+// the legacy AlignSeries + AntagonistCorrelation reference path.
+//
+// "Bit-identical" is a hard requirement, not an approximation: the fast path
+// replaces the legacy path by default (params.legacy_correlation_path), and
+// the deterministic-replay guarantees of the harness assume the switch
+// changes no observable double anywhere. The fused implementation therefore
+// visits the identical pairs in the identical order with identical per-pair
+// arithmetic, which this test checks with EXPECT_EQ on raw doubles across
+// 1000 randomized series pairs.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/antagonist_identifier.h"
+#include "core/correlation.h"
+#include "util/time_series.h"
+
+namespace cpi2 {
+namespace {
+
+constexpr MicroTime kSecond = kMicrosPerSecond;
+
+struct RandomSeriesOptions {
+  MicroTime start = 0;
+  MicroTime end = 600 * kSecond;
+  MicroTime base_step = 10 * kSecond;
+  double gap_probability = 0.2;        // skip a step entirely
+  double duplicate_probability = 0.1;  // repeat the previous timestamp
+  MicroTime max_jitter = 0;            // uniform jitter added to each step
+};
+
+TimeSeries RandomSeries(std::mt19937_64& rng, const RandomSeriesOptions& options,
+                        double min_value, double max_value) {
+  TimeSeries series;
+  std::uniform_real_distribution<double> value(min_value, max_value);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  MicroTime t = options.start;
+  while (t < options.end) {
+    if (coin(rng) >= options.gap_probability) {
+      MicroTime timestamp = t;
+      if (options.max_jitter > 0) {
+        timestamp += std::uniform_int_distribution<MicroTime>(0, options.max_jitter)(rng);
+      }
+      series.Append(timestamp, value(rng));
+      while (coin(rng) < options.duplicate_probability) {
+        series.Append(timestamp, value(rng));  // same timestamp, new value
+      }
+    }
+    t += options.base_step;
+  }
+  return series;
+}
+
+// Runs both paths over one (victim, usage) pair and requires exact equality
+// of the pair count and the correlation double.
+void ExpectPathsAgree(const TimeSeries& victim, const TimeSeries& usage, MicroTime begin,
+                      MicroTime end, MicroTime tolerance, double threshold) {
+  const std::vector<AlignedPair> pairs = AlignSeries(victim, usage, begin, end, tolerance);
+  const double legacy = pairs.empty() ? 0.0 : AntagonistCorrelation(pairs, threshold);
+  size_t aligned = 0;
+  const double fused =
+      FusedAntagonistCorrelation(victim, usage, begin, end, tolerance, threshold, &aligned);
+  EXPECT_EQ(aligned, pairs.size());
+  EXPECT_EQ(fused, legacy);  // exact: not EXPECT_DOUBLE_EQ, not near
+}
+
+TEST(CorrelationEquivalenceTest, ThousandRandomSeriesPairs) {
+  std::mt19937_64 rng(20260805);
+  std::uniform_real_distribution<double> threshold_dist(0.5, 4.0);
+  for (int trial = 0; trial < 1000; ++trial) {
+    RandomSeriesOptions victim_options;
+    victim_options.max_jitter = (trial % 3 == 0) ? 2 * kSecond : 0;
+    RandomSeriesOptions usage_options;
+    usage_options.base_step = (trial % 2 == 0) ? 10 * kSecond : 7 * kSecond;
+    usage_options.gap_probability = (trial % 5 == 0) ? 0.6 : 0.2;
+    usage_options.max_jitter = 3 * kSecond;
+    // CPI values deliberately include <= 0 (dropped by both paths) and values
+    // straddling the threshold.
+    const TimeSeries victim = RandomSeries(rng, victim_options, -0.5, 5.0);
+    const TimeSeries usage = RandomSeries(rng, usage_options, 0.0, 3.0);
+    const double threshold = threshold_dist(rng);
+    const MicroTime begin = (trial % 4) * 60 * kSecond;
+    const MicroTime end = 600 * kSecond - (trial % 7) * 30 * kSecond;
+    const MicroTime tolerance = (trial % 6) * kSecond;  // includes zero
+    ExpectPathsAgree(victim, usage, begin, end, tolerance, threshold);
+    if (HasFailure()) {
+      FAIL() << "diverged at trial " << trial;
+    }
+  }
+}
+
+TEST(CorrelationEquivalenceTest, EdgeShapes) {
+  const double threshold = 2.0;
+  const MicroTime tolerance = 5 * kSecond;
+  TimeSeries empty;
+  TimeSeries one;
+  one.Append(10 * kSecond, 1.5);
+  TimeSeries dense;
+  for (int i = 0; i < 100; ++i) {
+    dense.Append(i * kSecond, 1.0 + 0.05 * i);
+  }
+  TimeSeries all_idle;
+  for (int i = 0; i < 100; ++i) {
+    all_idle.Append(i * kSecond, 0.0);
+  }
+  TimeSeries duplicates;
+  for (int i = 0; i < 20; ++i) {
+    duplicates.Append(42 * kSecond, 0.1 * i);
+  }
+
+  const TimeSeries* all[] = {&empty, &one, &dense, &all_idle, &duplicates};
+  for (const TimeSeries* victim : all) {
+    for (const TimeSeries* usage : all) {
+      ExpectPathsAgree(*victim, *usage, 0, 100 * kSecond, tolerance, threshold);
+      ExpectPathsAgree(*victim, *usage, 0, 100 * kSecond, /*tolerance=*/0, threshold);
+      // Inverted and empty windows.
+      ExpectPathsAgree(*victim, *usage, 90 * kSecond, 10 * kSecond, tolerance, threshold);
+    }
+  }
+  // Non-positive thresholds short-circuit identically.
+  ExpectPathsAgree(dense, dense, 0, 100 * kSecond, tolerance, 0.0);
+  ExpectPathsAgree(dense, dense, 0, 100 * kSecond, tolerance, -1.0);
+}
+
+TEST(CorrelationEquivalenceTest, FullAnalyzeMatchesAcrossPaths) {
+  // End-to-end: the identifier's ranking (order, tasks, raw correlation
+  // doubles) is identical with the flag on and off.
+  std::mt19937_64 rng(7);
+  RandomSeriesOptions options;
+  const TimeSeries victim = RandomSeries(rng, options, 0.5, 5.0);
+  std::vector<TimeSeries> usages;
+  for (int i = 0; i < 20; ++i) {
+    usages.push_back(RandomSeries(rng, options, 0.0, 2.0));
+  }
+  std::vector<AntagonistIdentifier::SuspectInput> inputs;
+  for (int i = 0; i < 20; ++i) {
+    inputs.push_back({"task." + std::to_string(i), "job", WorkloadClass::kBatch,
+                      JobPriority::kBestEffort, &usages[i]});
+  }
+
+  Cpi2Params fast_params;
+  fast_params.legacy_correlation_path = false;
+  Cpi2Params legacy_params;
+  legacy_params.legacy_correlation_path = true;
+  AntagonistIdentifier fast(fast_params);
+  AntagonistIdentifier legacy(legacy_params);
+  const auto fast_ranked = fast.Analyze(victim, 2.0, inputs, 600 * kSecond);
+  const auto legacy_ranked = legacy.Analyze(victim, 2.0, inputs, 600 * kSecond);
+  ASSERT_EQ(fast_ranked.size(), legacy_ranked.size());
+  ASSERT_FALSE(fast_ranked.empty());
+  for (size_t i = 0; i < fast_ranked.size(); ++i) {
+    EXPECT_EQ(fast_ranked[i].task, legacy_ranked[i].task);
+    EXPECT_EQ(fast_ranked[i].correlation, legacy_ranked[i].correlation);
+  }
+}
+
+}  // namespace
+}  // namespace cpi2

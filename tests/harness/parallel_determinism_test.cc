@@ -71,7 +71,8 @@ std::string SerializeHealth(const ClusterHealthReport& health) {
       "restarts=%lld enq=%lld del=%lld lost=%lld retries=%lld overflow=%lld "
       "rejects=%lld widen=%lld suppress=%lld crashes=%lld bursts=%lld "
       "outages=%lld push_lost=%lld push_delay=%lld push_dup=%lld acks_lost=%lld "
-      "caps_cleared=%lld ckpts=%lld restores=%lld dups=%lld pushes=%lld glitches=%lld",
+      "caps_cleared=%lld ckpts=%lld restores=%lld dups=%lld pushes=%lld glitches=%lld "
+      "dropped=%lld",
       static_cast<long long>(health.agents.restarts),
       static_cast<long long>(health.agents.samples_enqueued),
       static_cast<long long>(health.agents.samples_delivered),
@@ -93,14 +94,17 @@ std::string SerializeHealth(const ClusterHealthReport& health) {
       static_cast<long long>(health.aggregator_restores),
       static_cast<long long>(health.duplicates_dropped),
       static_cast<long long>(health.spec_pushes_delivered),
-      static_cast<long long>(health.counter_glitches_injected));
+      static_cast<long long>(health.counter_glitches_injected),
+      static_cast<long long>(health.agents.series_points_dropped));
 }
 
-RunResult RunScenario(int threads, bool with_faults = false) {
+RunResult RunScenario(int threads, bool with_faults = false,
+                      bool legacy_correlation = false) {
   ClusterHarness::Options options;
   options.cluster.seed = 7;
   options.cluster.threads = threads;
   options.params = FastTestParams();
+  options.params.legacy_correlation_path = legacy_correlation;
   options.sample_drop_rate = 0.15;  // exercises the drop_rng_ merge path
   if (with_faults) {
     options.params.spec_staleness_ttl = 5 * kMicrosPerMinute;
@@ -212,6 +216,40 @@ TEST(ParallelDeterminismTest, ActiveFaultsStayBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.machine_state, hw.machine_state);
   EXPECT_EQ(serial.health, hw.health);
   EXPECT_EQ(serial.incidents, hw.incidents);
+}
+
+TEST(ParallelDeterminismTest, LegacyCorrelationPathMatchesFastPath) {
+  // The fused merge-join correlation (the default) must change nothing
+  // observable relative to the legacy AlignSeries path: same incidents,
+  // same suspect correlations to the last bit, same health counters —
+  // serial and parallel alike.
+  const RunResult fast = RunScenario(/*threads=*/1, /*with_faults=*/false,
+                                     /*legacy_correlation=*/false);
+  const RunResult legacy = RunScenario(/*threads=*/1, /*with_faults=*/false,
+                                       /*legacy_correlation=*/true);
+  // The clean scenario fires incidents, so the suspect correlations (the
+  // doubles the two paths compute differently enough to diverge if the
+  // fusion were wrong) actually appear in the comparison.
+  ASSERT_FALSE(fast.incidents.empty());
+  EXPECT_EQ(fast.samples_collected, legacy.samples_collected);
+  EXPECT_EQ(fast.outliers, legacy.outliers);
+  EXPECT_EQ(fast.anomalies, legacy.anomalies);
+  EXPECT_EQ(fast.incidents_reported, legacy.incidents_reported);
+  EXPECT_EQ(fast.victim_spec, legacy.victim_spec);
+  EXPECT_EQ(fast.machine_state, legacy.machine_state);
+  EXPECT_EQ(fast.health, legacy.health);
+  EXPECT_EQ(fast.incidents, legacy.incidents);
+
+  // Same comparison under active faults (crash/restart clears series state,
+  // counter glitches feed garbage into the analyses) and in parallel.
+  const RunResult faulted_fast = RunScenario(/*threads=*/4, /*with_faults=*/true,
+                                             /*legacy_correlation=*/false);
+  const RunResult faulted_legacy = RunScenario(/*threads=*/4, /*with_faults=*/true,
+                                               /*legacy_correlation=*/true);
+  EXPECT_EQ(faulted_fast.machine_state, faulted_legacy.machine_state);
+  EXPECT_EQ(faulted_fast.health, faulted_legacy.health);
+  EXPECT_EQ(faulted_fast.incidents, faulted_legacy.incidents);
+  EXPECT_EQ(faulted_fast.victim_spec, faulted_legacy.victim_spec);
 }
 
 TEST(ParallelDeterminismTest, RepeatedRunsAreStable) {

@@ -20,7 +20,7 @@ double RecentMeanCpi(Agent* agent, const std::string& task, MicroTime now, Micro
     return 0.0;
   }
   StreamingStats stats;
-  for (const TimePoint& point : series->Window(now - window, now + 1)) {
+  for (const TimePoint& point : View(*series, now - window, now + 1)) {
     stats.Add(point.value);
   }
   return stats.mean();

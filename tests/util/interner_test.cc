@@ -1,0 +1,56 @@
+#include "util/interner.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cpi2 {
+namespace {
+
+TEST(StringInternerTest, AssignsDenseIdsInFirstSeenOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("beta"), 1u);
+  EXPECT_EQ(interner.Intern("alpha"), 0u);  // idempotent
+  EXPECT_EQ(interner.Intern("gamma"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(StringInternerTest, NameOfRoundTrips) {
+  StringInterner interner;
+  const uint32_t a = interner.Intern("jobs/websearch");
+  const uint32_t b = interner.Intern("");
+  EXPECT_EQ(interner.NameOf(a), "jobs/websearch");
+  EXPECT_EQ(interner.NameOf(b), "");
+}
+
+TEST(StringInternerTest, FindDoesNotInsert) {
+  StringInterner interner;
+  EXPECT_FALSE(interner.Find("missing").has_value());
+  EXPECT_EQ(interner.size(), 0u);
+  const uint32_t id = interner.Intern("present");
+  const auto found = interner.Find("present");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, id);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(StringInternerTest, ReferencesStayValidAcrossGrowth) {
+  // The map keys are views into the name storage; growing to thousands of
+  // entries must not invalidate earlier names.
+  StringInterner interner;
+  const std::string& first = interner.NameOf(interner.Intern("first"));
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(interner.Intern("name-" + std::to_string(i)));
+  }
+  EXPECT_EQ(first, "first");
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(interner.NameOf(ids[i]), "name-" + std::to_string(i));
+    EXPECT_EQ(interner.Intern("name-" + std::to_string(i)), ids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cpi2
