@@ -1,0 +1,288 @@
+// Forensics store: columnar-index queries vs the reference full scan,
+// swept over incident-log size.
+//
+// The log shapes mirror weeks of production forensics: time-ordered
+// incidents across hundreds of victim jobs and machines, most with ranked
+// suspects, a fraction hard-capped. Each size first proves the indexed path
+// result-identical to the scan (same rows, same pointers, same ranking —
+// including tie-breaks), then times the three query kinds the operators
+// run: per-job incident pulls, per-job TopAntagonists, and cluster-wide
+// filtered sweeps over a time window. The acceptance bar is >= 5x on every
+// kind at 100k incidents. Writes BENCH_forensics_query.json (one JSON line)
+// unless --smoke.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common/report.h"
+#include "core/incident_log.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cpi2 {
+namespace {
+
+constexpr int kVictimJobs = 200;
+constexpr int kMachines = 500;
+constexpr int kSuspectJobs = 100;
+
+IncidentLog MakeLog(int incidents) {
+  IncidentLog log;
+  Rng rng(29);
+  for (int i = 0; i < incidents; ++i) {
+    Incident incident;
+    incident.timestamp = static_cast<MicroTime>(i) * kMicrosPerSecond;
+    incident.victim_job = StrFormat("victim.%d", static_cast<int>(rng.Uniform(0, kVictimJobs)));
+    incident.victim_task = incident.victim_job + "/0";
+    incident.machine = StrFormat("m.%d", static_cast<int>(rng.Uniform(0, kMachines)));
+    incident.victim_cpi = rng.Uniform(1.0, 6.0);
+    if (rng.Bernoulli(0.9)) {
+      const int suspect_count = 1 + static_cast<int>(rng.Uniform(0, 3));
+      for (int s = 0; s < suspect_count; ++s) {
+        Suspect suspect;
+        suspect.jobname = StrFormat("antagonist.%d", static_cast<int>(rng.Uniform(0, kSuspectJobs)));
+        suspect.task = suspect.jobname + StrFormat("/%d", s);
+        suspect.correlation = rng.Uniform(0.35, 1.0) - 0.1 * s;
+        incident.suspects.push_back(std::move(suspect));
+      }
+      if (rng.Bernoulli(0.4)) {
+        incident.action = IncidentAction::kHardCap;
+        // Most caps land on the top suspect; some on a runner-up, so the
+        // times_capped bookkeeping is exercised both ways.
+        incident.action_target = rng.Bernoulli(0.7)
+                                     ? incident.suspects.front().task
+                                     : incident.suspects.back().task;
+      }
+    }
+    log.Add(incident);
+  }
+  return log;
+}
+
+bool SameRows(const std::vector<const Incident*>& a, const std::vector<const Incident*>& b) {
+  return a == b;  // both paths return pointers into the same deque
+}
+
+bool SameStats(const std::vector<IncidentLog::AntagonistStats>& a,
+               const std::vector<IncidentLog::AntagonistStats>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].jobname != b[i].jobname || a[i].incidents != b[i].incidents ||
+        a[i].times_capped != b[i].times_capped ||
+        a[i].max_correlation != b[i].max_correlation ||
+        a[i].mean_correlation != b[i].mean_correlation) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Kind {
+  const char* name = "";
+  double legacy_per_sec = 0.0;
+  double fast_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+struct SizeResult {
+  int incidents = 0;
+  bool identical = false;
+  std::vector<Kind> kinds;
+};
+
+// The three operator query shapes against a log of `span` microseconds.
+IncidentLog::Query JobQuery(int job, MicroTime span) {
+  IncidentLog::Query query;
+  query.victim_job = StrFormat("victim.%d", job);
+  query.begin = span / 4;
+  query.end = span / 4 + span / 2;
+  return query;
+}
+
+IncidentLog::Query SweepQuery(MicroTime span) {
+  IncidentLog::Query query;
+  query.begin = span - span / 10;  // the dashboard's "last N minutes" pull
+  query.min_top_correlation = 0.5;
+  query.capped_only = true;
+  return query;
+}
+
+template <typename Fn>
+double MeasureQueries(const Fn& run_one, int min_reps, double min_seconds) {
+  int reps = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    run_one(reps);
+    ++reps;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  } while (reps < min_reps || elapsed < min_seconds);
+  return elapsed > 0.0 ? reps / elapsed : 0.0;
+}
+
+SizeResult RunSize(int incidents, bool smoke) {
+  SizeResult result;
+  result.incidents = incidents;
+  const IncidentLog log = MakeLog(incidents);
+  const MicroTime span = static_cast<MicroTime>(incidents) * kMicrosPerSecond;
+
+  // Result identity across every victim job plus the cluster-wide sweep
+  // before timing anything. Pointer-exact for Select (both paths index the
+  // same deque), field-exact for the rankings.
+  result.identical = true;
+  for (int job = 0; job < kVictimJobs && result.identical; ++job) {
+    const IncidentLog::Query query = JobQuery(job, span);
+    result.identical = SameRows(log.Select(query), log.SelectLegacy(query)) &&
+                       SameStats(log.TopAntagonists(query.victim_job, 0, 0, 10),
+                                 log.TopAntagonistsLegacy(query.victim_job, 0, 0, 10));
+  }
+  if (result.identical) {
+    const IncidentLog::Query sweep = SweepQuery(span);
+    result.identical = SameRows(log.Select(sweep), log.SelectLegacy(sweep)) &&
+                       SameStats(log.TopAntagonists("", span / 3, span, 10),
+                                 log.TopAntagonistsLegacy("", span / 3, span, 10));
+  }
+
+  const int min_reps = smoke ? 2 : 20;
+  const double min_seconds = smoke ? 0.0 : 0.25;
+
+  Kind select_job;
+  select_job.name = "select_by_job";
+  select_job.legacy_per_sec = MeasureQueries(
+      [&](int rep) {
+        volatile size_t sink = log.SelectLegacy(JobQuery(rep % kVictimJobs, span)).size();
+        (void)sink;
+      },
+      min_reps, min_seconds);
+  select_job.fast_per_sec = MeasureQueries(
+      [&](int rep) {
+        volatile size_t sink = log.Select(JobQuery(rep % kVictimJobs, span)).size();
+        (void)sink;
+      },
+      min_reps, min_seconds);
+
+  Kind top_antagonists;
+  top_antagonists.name = "top_antagonists";
+  top_antagonists.legacy_per_sec = MeasureQueries(
+      [&](int rep) {
+        volatile size_t sink =
+            log.TopAntagonistsLegacy(StrFormat("victim.%d", rep % kVictimJobs), span / 4,
+                                     span, 10)
+                .size();
+        (void)sink;
+      },
+      min_reps, min_seconds);
+  top_antagonists.fast_per_sec = MeasureQueries(
+      [&](int rep) {
+        volatile size_t sink =
+            log.TopAntagonists(StrFormat("victim.%d", rep % kVictimJobs), span / 4, span, 10)
+                .size();
+        (void)sink;
+      },
+      min_reps, min_seconds);
+
+  Kind sweep;
+  sweep.name = "filtered_time_sweep";
+  sweep.legacy_per_sec = MeasureQueries(
+      [&](int rep) {
+        (void)rep;
+        volatile size_t sink = log.SelectLegacy(SweepQuery(span)).size();
+        (void)sink;
+      },
+      min_reps, min_seconds);
+  sweep.fast_per_sec = MeasureQueries(
+      [&](int rep) {
+        (void)rep;
+        volatile size_t sink = log.Select(SweepQuery(span)).size();
+        (void)sink;
+      },
+      min_reps, min_seconds);
+
+  result.kinds = {select_job, top_antagonists, sweep};
+  for (Kind& kind : result.kinds) {
+    kind.speedup = kind.legacy_per_sec > 0.0 ? kind.fast_per_sec / kind.legacy_per_sec : 0.0;
+  }
+  return result;
+}
+
+int Main(bool smoke) {
+  SetMinLogLevel(LogLevel::kWarning);
+  PrintHeader("forensics_query",
+              "IncidentLog columnar index vs reference full scan: Select and "
+              "TopAntagonists throughput over log size");
+  PrintPaperClaim("(section 5: incident data feeds Dremel queries like 'the most "
+                  "aggressive antagonists for a job in a time window'; this measures "
+                  "the same queries against the typed store, target >= 5x at 100k)");
+
+  const std::vector<int> sizes = smoke ? std::vector<int>{2000} : std::vector<int>{10000, 100000};
+  std::vector<SizeResult> results;
+  bool all_identical = true;
+  double min_speedup_at_max = 0.0;
+  for (const int incidents : sizes) {
+    results.push_back(RunSize(incidents, smoke));
+    const SizeResult& result = results.back();
+    all_identical = all_identical && result.identical;
+    min_speedup_at_max = 1e300;
+    for (const Kind& kind : result.kinds) {
+      PrintResult(StrFormat("legacy_%s_per_sec_n%d", kind.name, incidents),
+                  kind.legacy_per_sec);
+      PrintResult(StrFormat("fast_%s_per_sec_n%d", kind.name, incidents), kind.fast_per_sec);
+      PrintResult(StrFormat("speedup_%s_n%d", kind.name, incidents), kind.speedup);
+      min_speedup_at_max = std::min(min_speedup_at_max, kind.speedup);
+    }
+    if (!result.identical) {
+      PrintResult(StrFormat("RESULT_IDENTITY_FAILED_n%d", incidents), 1.0);
+    }
+  }
+
+  std::string json = StrFormat("{\"bench\":\"forensics_query\",\"identical\":%s,\"sizes\":[",
+                               all_identical ? "true" : "false");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& result = results[i];
+    json += StrFormat("%s{\"incidents\":%d", i == 0 ? "" : ",", result.incidents);
+    for (const Kind& kind : result.kinds) {
+      json += StrFormat(",\"legacy_%s_per_sec\":%.1f,\"fast_%s_per_sec\":%.1f,"
+                        "\"speedup_%s\":%.2f",
+                        kind.name, kind.legacy_per_sec, kind.name, kind.fast_per_sec,
+                        kind.name, kind.speedup);
+    }
+    json += "}";
+  }
+  json += "]}";
+
+  std::printf("%s\n", json.c_str());
+  if (!smoke) {
+    // Smoke shapes are not comparable across PRs; don't overwrite the record.
+    if (FILE* f = std::fopen("BENCH_forensics_query.json", "w"); f != nullptr) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+  }
+  // Acceptance: identical results, and (full runs) every query kind at the
+  // largest size clears 5x.
+  const bool fast_enough = smoke || min_speedup_at_max >= 5.0;
+  if (!fast_enough) {
+    PrintResult("SPEEDUP_BELOW_5X", min_speedup_at_max);
+  }
+  return all_identical && fast_enough ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cpi2
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  return cpi2::Main(smoke);
+}

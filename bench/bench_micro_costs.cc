@@ -7,8 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/aggregator.h"
 #include "core/antagonist_identifier.h"
 #include "core/correlation.h"
+#include "core/incident_log.h"
 #include "core/outlier_detector.h"
 #include "core/spec_builder.h"
 #include "harness/cluster_harness.h"
@@ -126,6 +128,54 @@ void BM_OutlierDetectorObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OutlierDetectorObserve);
+
+// The aggregator's full per-sample ingest cost with dedup enabled: the
+// interned-key window insert plus routing into the builder's shard staging.
+void BM_AggregatorAddSample(benchmark::State& state) {
+  Cpi2Params params;
+  params.sample_dedup_window = 5 * kMicrosPerMinute;
+  Aggregator aggregator(params);
+  Rng rng(7);
+  CpiSample sample;
+  sample.jobname = "job";
+  sample.platforminfo = "xeon";
+  sample.machine = "m.42";
+  sample.task = "job.17";
+  MicroTime t = 0;
+  for (auto _ : state) {
+    sample.timestamp = (t += kMicrosPerMinute);
+    sample.cpi = rng.Uniform(1.0, 3.0);
+    sample.cpu_usage = rng.Uniform(0.0, 2.0);
+    aggregator.AddSample(sample);
+  }
+}
+BENCHMARK(BM_AggregatorAddSample);
+
+// One TopAntagonists pull against a populated log: columnar index (arg 0)
+// vs the reference scan (arg 1), 10k incidents over 50 victim jobs.
+void BM_IncidentTopAntagonists(benchmark::State& state) {
+  const bool legacy = state.range(0) != 0;
+  IncidentLog log(legacy);
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    Incident incident;
+    incident.timestamp = static_cast<MicroTime>(i) * kMicrosPerSecond;
+    incident.victim_job = StrFormat("victim.%d", i % 50);
+    incident.machine = StrFormat("m.%d", i % 200);
+    Suspect suspect;
+    suspect.jobname = StrFormat("antagonist.%d", i % 20);
+    suspect.task = suspect.jobname + "/0";
+    suspect.correlation = rng.Uniform(0.35, 1.0);
+    incident.suspects.push_back(std::move(suspect));
+    log.Add(incident);
+  }
+  int victim = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        log.TopAntagonists(StrFormat("victim.%d", victim++ % 50), 0, 0, 10));
+  }
+}
+BENCHMARK(BM_IncidentTopAntagonists)->Arg(0)->Arg(1);
 
 void BM_SpecBuilderAddSample(benchmark::State& state) {
   Cpi2Params params;

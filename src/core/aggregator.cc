@@ -11,7 +11,14 @@
 namespace cpi2 {
 namespace {
 
-constexpr char kCheckpointHeader[] = "cpi2-aggregator-ckpt-v1";
+// v2 adds the dedup state (W/D records) and per-shard record interleaving;
+// v1 blobs (global H-then-S order, no dedup records) still load.
+constexpr char kCheckpointHeaderV1[] = "cpi2-aggregator-ckpt-v1";
+constexpr char kCheckpointHeaderV2[] = "cpi2-aggregator-ckpt-v2";
+
+// Dedup records accumulate into a buffer and flush to the sink in chunks,
+// so a large window never materializes as one giant string.
+constexpr size_t kSinkChunkBytes = 64 * 1024;
 
 }  // namespace
 
@@ -33,10 +40,13 @@ void Aggregator::AddSample(const CpiSample& sample) {
       return;
     }
   }
-  builder_.AddSample(sample);
+  builder_.StageSample(sample);
 }
 
 void Aggregator::Tick(MicroTime now) {
+  // Apply the tick's staged batch across the builder shards (in parallel
+  // when a pool is attached) before any build can close the window.
+  builder_.FlushStaged(pool_);
   if (last_build_ < 0) {
     // First tick: start the clock; the first build lands one interval later.
     last_build_ = now;
@@ -50,7 +60,7 @@ void Aggregator::Tick(MicroTime now) {
 std::vector<CpiSpec> Aggregator::ForceBuild(MicroTime now) {
   last_build_ = now;
   ++builds_completed_;
-  std::vector<CpiSpec> specs = builder_.BuildSpecs();
+  std::vector<CpiSpec> specs = builder_.BuildSpecs(pool_);
   if (callback_) {
     for (const CpiSpec& spec : specs) {
       callback_(spec);
@@ -59,37 +69,82 @@ std::vector<CpiSpec> Aggregator::ForceBuild(MicroTime now) {
   return specs;
 }
 
+void Aggregator::WriteCheckpoint(const CheckpointSink& sink) const {
+  // Line-oriented records: M = metadata, W = dedup watermark, D = one dedup
+  // window entry, H = one history entry, S = one latest spec. %.17g
+  // round-trips doubles exactly, which the restore-equals-crashed-state
+  // guarantee depends on.
+  std::string buffer = std::string(kCheckpointHeaderV2) + "\n";
+  buffer += StrFormat("M\t%lld\t%lld\t%lld\n", static_cast<long long>(last_build_),
+                      static_cast<long long>(builds_completed_),
+                      static_cast<long long>(builder_.samples_seen()));
+  buffer += StrFormat("W\t%lld\n", static_cast<long long>(dedup_watermark_));
+  for (const SampleKey& key : recent_samples_) {
+    buffer += StrFormat("D\t%lld\t%s\t%s\n", static_cast<long long>(std::get<0>(key)),
+                        dedup_ids_.NameOf(std::get<1>(key)).c_str(),
+                        dedup_ids_.NameOf(std::get<2>(key)).c_str());
+    if (buffer.size() >= kSinkChunkBytes) {
+      sink(buffer);
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    sink(buffer);
+  }
+
+  // Spec state, shard by shard. A shard whose durable state hasn't changed
+  // since the last checkpoint replays its cached serialization, so
+  // steady-state checkpoints between builds don't re-render every job.
+  const size_t shards = builder_.shard_count();
+  shard_blob_cache_.resize(shards);
+  shard_blob_version_.resize(shards, 0);
+  for (size_t shard = 0; shard < shards; ++shard) {
+    const uint64_t version = builder_.shard_version(shard);
+    if (shard_blob_version_[shard] != version) {
+      std::string& blob = shard_blob_cache_[shard];
+      blob.clear();
+      for (const SpecBuilder::HistoryEntry& entry : builder_.SnapshotShardHistory(shard)) {
+        blob += StrFormat("H\t%s\t%s\t%.17g\t%.17g\t%.17g\t%.17g\n",
+                          entry.key.jobname.c_str(), entry.key.platforminfo.c_str(),
+                          entry.count, entry.mean, entry.m2, entry.usage_mean);
+      }
+      for (const CpiSpec& spec : builder_.SnapshotShardLatestSpecs(shard)) {
+        blob += StrFormat("S\t%s\t%s\t%lld\t%.17g\t%.17g\t%.17g\n", spec.jobname.c_str(),
+                          spec.platforminfo.c_str(), static_cast<long long>(spec.num_samples),
+                          spec.cpu_usage_mean, spec.cpi_mean, spec.cpi_stddev);
+      }
+      shard_blob_version_[shard] = version;
+    }
+    if (!shard_blob_cache_[shard].empty()) {
+      sink(shard_blob_cache_[shard]);
+    }
+  }
+}
+
 std::string Aggregator::Checkpoint() const {
-  // Line-oriented records: M = metadata, H = one history entry, S = one
-  // latest spec. %.17g round-trips doubles exactly, which the
-  // restore-equals-crashed-state guarantee depends on.
-  std::string out = std::string(kCheckpointHeader) + "\n";
-  out += StrFormat("M\t%lld\t%lld\t%lld\n", static_cast<long long>(last_build_),
-                   static_cast<long long>(builds_completed_),
-                   static_cast<long long>(builder_.samples_seen()));
-  for (const SpecBuilder::HistoryEntry& entry : builder_.SnapshotHistory()) {
-    out += StrFormat("H\t%s\t%s\t%.17g\t%.17g\t%.17g\t%.17g\n", entry.key.jobname.c_str(),
-                     entry.key.platforminfo.c_str(), entry.count, entry.mean, entry.m2,
-                     entry.usage_mean);
-  }
-  for (const CpiSpec& spec : builder_.SnapshotLatestSpecs()) {
-    out += StrFormat("S\t%s\t%s\t%lld\t%.17g\t%.17g\t%.17g\n", spec.jobname.c_str(),
-                     spec.platforminfo.c_str(), static_cast<long long>(spec.num_samples),
-                     spec.cpu_usage_mean, spec.cpi_mean, spec.cpi_stddev);
-  }
+  std::string out;
+  WriteCheckpoint([&out](std::string_view chunk) { out.append(chunk); });
   return out;
 }
 
 Status Aggregator::Restore(const std::string& checkpoint) {
   std::istringstream in(checkpoint);
   std::string line;
-  if (!std::getline(in, line) || line != kCheckpointHeader) {
+  if (!std::getline(in, line) ||
+      (line != kCheckpointHeaderV1 && line != kCheckpointHeaderV2)) {
     return InvalidArgumentError("aggregator checkpoint: missing or wrong header");
   }
   bool have_meta = false;
   MicroTime last_build = -1;
   int64_t builds_completed = 0;
   int64_t samples_seen = 0;
+  MicroTime watermark = 0;
+  struct DedupEntry {
+    MicroTime timestamp = 0;
+    std::string machine;
+    std::string task;
+  };
+  std::vector<DedupEntry> dedup_entries;
   std::vector<SpecBuilder::HistoryEntry> history;
   std::vector<CpiSpec> latest_specs;
   int line_number = 1;
@@ -108,14 +163,56 @@ Status Aggregator::Restore(const std::string& checkpoint) {
       return InvalidArgumentError(
           StrFormat("aggregator checkpoint line %d: malformed record", line_number));
     };
+    // Strict numeric parsing: a corrupted field must fail the restore with
+    // the offending line, never silently come back as zero.
+    const auto bad_number = [&](const std::string& value) {
+      return InvalidArgumentError(
+          StrFormat("aggregator checkpoint line %d: bad numeric field '%s'", line_number,
+                    value.c_str()));
+    };
+    const auto parse_int = [&](const std::string& value, int64_t* out, Status* error) {
+      if (!ParseInt64(value, out)) {
+        *error = bad_number(value);
+        return false;
+      }
+      return true;
+    };
+    const auto parse_double = [&](const std::string& value, double* out, Status* error) {
+      if (!ParseDouble(value, out)) {
+        *error = bad_number(value);
+        return false;
+      }
+      return true;
+    };
+    Status error = Status::Ok();
     if (fields[0] == "M") {
       if (fields.size() != 4) {
         return malformed();
       }
-      last_build = std::strtoll(fields[1].c_str(), nullptr, 10);
-      builds_completed = std::strtoll(fields[2].c_str(), nullptr, 10);
-      samples_seen = std::strtoll(fields[3].c_str(), nullptr, 10);
+      if (!parse_int(fields[1], &last_build, &error) ||
+          !parse_int(fields[2], &builds_completed, &error) ||
+          !parse_int(fields[3], &samples_seen, &error)) {
+        return error;
+      }
       have_meta = true;
+    } else if (fields[0] == "W") {
+      if (fields.size() != 2) {
+        return malformed();
+      }
+      if (!parse_int(fields[1], &watermark, &error)) {
+        return error;
+      }
+    } else if (fields[0] == "D") {
+      if (fields.size() != 4) {
+        return malformed();
+      }
+      DedupEntry entry;
+      if (!parse_int(fields[1], &entry.timestamp, &error)) {
+        return error;
+      }
+      entry.machine = fields[2];
+      entry.task = fields[3];
+      dedup_entries.push_back(std::move(entry));
     } else if (fields[0] == "H") {
       if (fields.size() != 7) {
         return malformed();
@@ -123,10 +220,12 @@ Status Aggregator::Restore(const std::string& checkpoint) {
       SpecBuilder::HistoryEntry entry;
       entry.key.jobname = fields[1];
       entry.key.platforminfo = fields[2];
-      entry.count = std::atof(fields[3].c_str());
-      entry.mean = std::atof(fields[4].c_str());
-      entry.m2 = std::atof(fields[5].c_str());
-      entry.usage_mean = std::atof(fields[6].c_str());
+      if (!parse_double(fields[3], &entry.count, &error) ||
+          !parse_double(fields[4], &entry.mean, &error) ||
+          !parse_double(fields[5], &entry.m2, &error) ||
+          !parse_double(fields[6], &entry.usage_mean, &error)) {
+        return error;
+      }
       history.push_back(std::move(entry));
     } else if (fields[0] == "S") {
       if (fields.size() != 7) {
@@ -135,10 +234,12 @@ Status Aggregator::Restore(const std::string& checkpoint) {
       CpiSpec spec;
       spec.jobname = fields[1];
       spec.platforminfo = fields[2];
-      spec.num_samples = std::strtoll(fields[3].c_str(), nullptr, 10);
-      spec.cpu_usage_mean = std::atof(fields[4].c_str());
-      spec.cpi_mean = std::atof(fields[5].c_str());
-      spec.cpi_stddev = std::atof(fields[6].c_str());
+      if (!parse_int(fields[3], &spec.num_samples, &error) ||
+          !parse_double(fields[4], &spec.cpu_usage_mean, &error) ||
+          !parse_double(fields[5], &spec.cpi_mean, &error) ||
+          !parse_double(fields[6], &spec.cpi_stddev, &error)) {
+        return error;
+      }
       latest_specs.push_back(std::move(spec));
     } else {
       return InvalidArgumentError(
@@ -152,8 +253,14 @@ Status Aggregator::Restore(const std::string& checkpoint) {
   builder_.RestoreSnapshot(history, latest_specs, samples_seen);
   last_build_ = last_build;
   builds_completed_ = builds_completed;
+  // Dedup state comes back from the checkpoint (v1 blobs carry none, so a
+  // v1 restore degrades to the old re-accept-after-crash behaviour).
   recent_samples_.clear();
-  dedup_watermark_ = 0;
+  dedup_watermark_ = watermark;
+  for (const DedupEntry& entry : dedup_entries) {
+    recent_samples_.insert(SampleKey{entry.timestamp, dedup_ids_.Intern(entry.machine),
+                                     dedup_ids_.Intern(entry.task)});
+  }
   return Status::Ok();
 }
 
@@ -162,8 +269,9 @@ Status Aggregator::SaveCheckpoint(const std::string& path) const {
   if (file == nullptr) {
     return InternalError("open " + path + " for write: " + std::strerror(errno));
   }
-  const std::string blob = Checkpoint();
-  std::fwrite(blob.data(), 1, blob.size(), file);
+  WriteCheckpoint([file](std::string_view chunk) {
+    std::fwrite(chunk.data(), 1, chunk.size(), file);
+  });
   if (std::fclose(file) != 0) {
     return InternalError("close " + path + " failed");
   }

@@ -1,0 +1,168 @@
+#include "core/incident_columnar.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace cpi2 {
+
+void ForensicsIndex::Add(const Incident& incident) {
+  const size_t row = timestamps_.size();
+  if (row % kSegmentRows == 0) {
+    segments_.push_back(Segment{incident.timestamp, incident.timestamp});
+  } else {
+    Segment& segment = segments_.back();
+    segment.min_ts = std::min(segment.min_ts, incident.timestamp);
+    segment.max_ts = std::max(segment.max_ts, incident.timestamp);
+  }
+  if (row > 0 && incident.timestamp < timestamps_.back()) {
+    time_ordered_ = false;
+  }
+
+  timestamps_.push_back(incident.timestamp);
+  const uint32_t victim = names_.Intern(incident.victim_job);
+  const uint32_t machine = names_.Intern(incident.machine);
+  victim_jobs_.push_back(victim);
+  machines_.push_back(machine);
+  by_victim_[victim].push_back(row);
+  by_machine_[machine].push_back(row);
+
+  uint8_t flags = 0;
+  if (incident.action == IncidentAction::kHardCap) {
+    flags |= kHardCapped;
+  }
+  if (!incident.suspects.empty()) {
+    const Suspect& top = incident.suspects.front();
+    flags |= kHasSuspect;
+    if (incident.action == IncidentAction::kHardCap && incident.action_target == top.task) {
+      flags |= kCappedForTop;
+    }
+    top_suspect_jobs_.push_back(names_.Intern(top.jobname));
+    top_correlations_.push_back(top.correlation);
+  } else {
+    top_suspect_jobs_.push_back(0);
+    top_correlations_.push_back(0.0);
+  }
+  flags_.push_back(flags);
+}
+
+size_t ForensicsIndex::FirstAtOrAfter(const std::vector<size_t>& rows, MicroTime ts) const {
+  return static_cast<size_t>(
+      std::lower_bound(rows.begin(), rows.end(), ts,
+                       [this](size_t row, MicroTime t) { return timestamps_[row] < t; }) -
+      rows.begin());
+}
+
+std::vector<size_t> ForensicsIndex::Select(const Query& query) const {
+  std::vector<size_t> out;
+  std::optional<uint32_t> victim_id;
+  std::optional<uint32_t> machine_id;
+  if (!query.victim_job.empty()) {
+    victim_id = names_.Find(query.victim_job);
+    if (!victim_id.has_value()) {
+      return out;  // name never logged: nothing can match
+    }
+  }
+  if (!query.machine.empty()) {
+    machine_id = names_.Find(query.machine);
+    if (!machine_id.has_value()) {
+      return out;
+    }
+  }
+
+  // The full predicate, identical filter-for-filter to the reference scan.
+  // The driving index below only narrows which rows get tested.
+  const auto matches = [&](size_t row) {
+    if (query.begin != 0 && timestamps_[row] < query.begin) {
+      return false;
+    }
+    if (query.end != 0 && timestamps_[row] >= query.end) {
+      return false;
+    }
+    if (victim_id.has_value() && victim_jobs_[row] != *victim_id) {
+      return false;
+    }
+    if (machine_id.has_value() && machines_[row] != *machine_id) {
+      return false;
+    }
+    if (query.min_top_correlation > 0.0 &&
+        ((flags_[row] & kHasSuspect) == 0 ||
+         top_correlations_[row] < query.min_top_correlation)) {
+      return false;
+    }
+    if (query.capped_only && (flags_[row] & kHardCapped) == 0) {
+      return false;
+    }
+    return true;
+  };
+
+  if (victim_id.has_value() || machine_id.has_value()) {
+    // Drive from the more selective posting list (victim when both given;
+    // the other column stays an ordinary filter in matches()).
+    const auto& lists = victim_id.has_value() ? by_victim_ : by_machine_;
+    const auto it = lists.find(victim_id.has_value() ? *victim_id : *machine_id);
+    if (it == lists.end()) {
+      return out;
+    }
+    const std::vector<size_t>& rows = it->second;
+    size_t lo = 0;
+    size_t hi = rows.size();
+    if (time_ordered_) {
+      // Posting lists are ascending row ids, so in a time-ordered log their
+      // timestamps are non-decreasing: binary search the window.
+      if (query.begin != 0) {
+        lo = FirstAtOrAfter(rows, query.begin);
+      }
+      if (query.end != 0) {
+        hi = FirstAtOrAfter(rows, query.end);
+      }
+    }
+    for (size_t i = lo; i < hi; ++i) {
+      if (matches(rows[i])) {
+        out.push_back(rows[i]);
+      }
+    }
+  } else if (time_ordered_) {
+    const auto begin_it =
+        query.begin == 0 ? timestamps_.begin()
+                         : std::lower_bound(timestamps_.begin(), timestamps_.end(), query.begin);
+    const auto end_it = query.end == 0
+                            ? timestamps_.end()
+                            : std::lower_bound(begin_it, timestamps_.end(), query.end);
+    const size_t hi = static_cast<size_t>(end_it - timestamps_.begin());
+    for (size_t row = static_cast<size_t>(begin_it - timestamps_.begin()); row < hi; ++row) {
+      if (matches(row)) {
+        out.push_back(row);
+      }
+    }
+  } else {
+    // Out-of-order log: min/max pruning skips whole segments outside the
+    // window; rows inside surviving segments are checked individually.
+    for (size_t seg = 0; seg < segments_.size(); ++seg) {
+      if (query.begin != 0 && segments_[seg].max_ts < query.begin) {
+        continue;
+      }
+      if (query.end != 0 && segments_[seg].min_ts >= query.end) {
+        continue;
+      }
+      const size_t first = seg * kSegmentRows;
+      const size_t last = std::min(first + kSegmentRows, timestamps_.size());
+      for (size_t row = first; row < last; ++row) {
+        if (matches(row)) {
+          out.push_back(row);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ForensicsIndex::TopSuspect ForensicsIndex::Top(size_t row) const {
+  TopSuspect top;
+  top.has_suspect = (flags_[row] & kHasSuspect) != 0;
+  top.capped_for_top = (flags_[row] & kCappedForTop) != 0;
+  top.jobname_id = top_suspect_jobs_[row];
+  top.correlation = top_correlations_[row];
+  return top;
+}
+
+}  // namespace cpi2

@@ -6,36 +6,44 @@
 // the equivalent typed query surface: time-range / job / machine filters
 // and a top-K antagonist ranking that can feed the scheduler's
 // avoid-co-location constraints.
+//
+// Storage: incidents append to a deque, so pointers handed out by Select
+// stay valid across later appends (a vector would invalidate them on
+// reallocation). Queries run through the columnar ForensicsIndex in
+// O(log n + matches); construct with legacy_scan_path = true (or set
+// params.legacy_forensics_path) to route them through the reference O(n)
+// scan instead. The two paths return identical results — same rows, same
+// order, same tie-breaks — proven by forensics_equivalence_test.
 
 #ifndef CPI2_CORE_INCIDENT_LOG_H_
 #define CPI2_CORE_INCIDENT_LOG_H_
 
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "core/incident.h"
+#include "core/incident_columnar.h"
 
 namespace cpi2 {
 
 class IncidentLog {
  public:
-  void Add(const Incident& incident) { incidents_.push_back(incident); }
+  explicit IncidentLog(bool legacy_scan_path = false)
+      : legacy_scan_path_(legacy_scan_path) {}
+
+  void Add(const Incident& incident) {
+    incidents_.push_back(incident);
+    index_.Add(incident);
+  }
 
   size_t size() const { return incidents_.size(); }
-  const std::vector<Incident>& incidents() const { return incidents_; }
+  const std::deque<Incident>& incidents() const { return incidents_; }
 
-  struct Query {
-    // Empty strings / zero times mean "no constraint".
-    std::string victim_job;
-    std::string machine;
-    MicroTime begin = 0;
-    MicroTime end = 0;
-    // Only incidents whose top suspect clears this correlation.
-    double min_top_correlation = 0.0;
-    // Only incidents where action was taken.
-    bool capped_only = false;
-  };
+  using Query = ForensicsIndex::Query;
 
+  // Matching incidents in log order. The returned pointers remain valid for
+  // the log's lifetime, including across subsequent Add calls.
   std::vector<const Incident*> Select(const Query& query) const;
 
   // Aggregated view of who keeps hurting a job.
@@ -52,8 +60,21 @@ class IncidentLog {
   std::vector<AntagonistStats> TopAntagonists(const std::string& victim_job, MicroTime begin,
                                               MicroTime end, int k) const;
 
+  // Reference full-scan implementations, kept callable so the equivalence
+  // test and bench_forensics_query can compare both paths on one log.
+  std::vector<const Incident*> SelectLegacy(const Query& query) const;
+  std::vector<AntagonistStats> TopAntagonistsLegacy(const std::string& victim_job,
+                                                    MicroTime begin, MicroTime end, int k) const;
+
  private:
-  std::vector<Incident> incidents_;
+  // Shared ranking tail: sort by (incidents desc, max_correlation desc) and
+  // truncate to k. Both paths feed it the same pre-sort sequence (ascending
+  // jobname), so unstable-sort tie-breaks agree.
+  static std::vector<AntagonistStats> Rank(std::vector<AntagonistStats> ranked, int k);
+
+  bool legacy_scan_path_ = false;
+  std::deque<Incident> incidents_;
+  ForensicsIndex index_;
 };
 
 }  // namespace cpi2

@@ -102,6 +102,22 @@ struct Cpi2Params {
   // dropped, making retried deliveries after a lost ack idempotent.
   MicroTime sample_dedup_window = 0;
 
+  // --- control-plane fast path (engineering; no paper counterpart) ----------
+  // SpecBuilder shards its per-job×platform state by key hash so batched
+  // sample ingest and spec builds run per shard, in parallel when a thread
+  // pool is attached. Shard outputs merge in the legacy string-sorted key
+  // order and the per-key arithmetic is untouched, so specs, push order, and
+  // fault-RNG draws are bit-identical for any shard count; 1 reproduces the
+  // single-map layout. Values < 1 are clamped to 1.
+  int spec_shards = 8;
+  // Validation escape hatch, mirroring legacy_correlation_path: route
+  // IncidentLog::Select / TopAntagonists through the reference O(n) scan
+  // instead of the columnar segment store + posting lists. The two paths are
+  // result-identical (same rows, ordering, and tie-breaks) — proven by
+  // forensics_equivalence_test — so this exists to keep that claim checkable
+  // in CI and as the baseline for bench_forensics_query.
+  bool legacy_forensics_path = false;
+
   // Renders the parameter table (used by bench_table2_params and --help
   // style output).
   std::string ToTable() const;

@@ -4,6 +4,18 @@
 #include <cmath>
 
 namespace cpi2 {
+namespace {
+
+// Below this many staged samples a parallel flush costs more in pool
+// round-trips than it saves; apply serially instead. Purely a scheduling
+// choice — the arithmetic is identical either way.
+constexpr size_t kMinStagedForParallelFlush = 256;
+
+}  // namespace
+
+SpecBuilder::SpecBuilder(const Cpi2Params& params) : params_(params) {
+  shards_.resize(params.spec_shards < 1 ? 1 : static_cast<size_t>(params.spec_shards));
+}
 
 void SpecBuilder::MomentHistory::Decay(double weight) {
   count *= weight;
@@ -32,16 +44,57 @@ void SpecBuilder::MomentHistory::Merge(double other_count, double other_mean, do
   count = total;
 }
 
-void SpecBuilder::AddSample(const CpiSample& sample) {
+size_t SpecBuilder::Route(const CpiSample& sample) {
   ++samples_seen_;
-  const IdKey key =
-      MakeKey(names_.Intern(sample.jobname), names_.Intern(sample.platforminfo));
-  Accumulation& accumulation = current_[key];
-  accumulation.cpi.Add(sample.cpi);
-  accumulation.usage.Add(sample.cpu_usage);
+  StagedSample staged;
+  staged.key = MakeKey(names_.Intern(sample.jobname), names_.Intern(sample.platforminfo));
   if (!sample.task.empty()) {
-    ++accumulation.samples_per_task[names_.Intern(sample.task)];
+    staged.task = names_.Intern(sample.task);
+    staged.has_task = true;
   }
+  staged.cpi = sample.cpi;
+  staged.usage = sample.cpu_usage;
+  const size_t shard = ShardOf(staged.key);
+  shards_[shard].staged.push_back(staged);
+  ++staged_total_;
+  return shard;
+}
+
+void SpecBuilder::StageSample(const CpiSample& sample) { (void)Route(sample); }
+
+void SpecBuilder::AddSample(const CpiSample& sample) {
+  if (staged_total_ > 0) {
+    // Keep arrival order when the two ingest paths are mixed.
+    FlushStaged(nullptr);
+  }
+  ApplyStaged(shards_[Route(sample)]);
+  staged_total_ = 0;
+}
+
+void SpecBuilder::ApplyStaged(Shard& shard) {
+  for (const StagedSample& staged : shard.staged) {
+    Accumulation& accumulation = shard.current[staged.key];
+    accumulation.cpi.Add(staged.cpi);
+    accumulation.usage.Add(staged.usage);
+    if (staged.has_task) {
+      ++accumulation.samples_per_task[staged.task];
+    }
+  }
+  shard.staged.clear();
+}
+
+void SpecBuilder::FlushStaged(ThreadPool* pool) {
+  if (staged_total_ == 0) {
+    return;
+  }
+  if (pool != nullptr && shards_.size() > 1 && staged_total_ >= kMinStagedForParallelFlush) {
+    pool->ParallelFor(shards_.size(), [this](size_t i) { ApplyStaged(shards_[i]); });
+  } else {
+    for (Shard& shard : shards_) {
+      ApplyStaged(shard);
+    }
+  }
+  staged_total_ = 0;
 }
 
 bool SpecBuilder::Eligible(const Accumulation& accumulation) const {
@@ -77,19 +130,31 @@ std::vector<SpecBuilder::IdKey> SpecBuilder::SortedKeys(const Map& map) const {
   return keys;
 }
 
-std::vector<CpiSpec> SpecBuilder::BuildSpecs() {
-  std::vector<CpiSpec> specs;
+template <typename Map>
+std::vector<SpecBuilder::IdKey> SpecBuilder::SortedKeysAllShards(Map Shard::* member) const {
+  std::vector<IdKey> keys;
+  for (const Shard& shard : shards_) {
+    for (const auto& [key, unused] : shard.*member) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end(), [this](IdKey a, IdKey b) { return NameOrderLess(a, b); });
+  return keys;
+}
+
+void SpecBuilder::BuildShard(Shard& shard) {
+  shard.built_keys.clear();
+  const bool durable_state_touched = !shard.history.empty() || !shard.current.empty();
 
   // Decay all history first: a day with no fresh samples still ages.
-  for (auto& [key, history] : history_) {
+  for (auto& [key, history] : shard.history) {
     history.Decay(params_.history_weight);
   }
 
-  // Per-key merges are independent; the sorted visit only fixes the output
-  // (and spec push-out) order to the legacy string-keyed order.
-  for (const IdKey key : SortedKeys(current_)) {
-    Accumulation& accumulation = current_[key];
-    MomentHistory& history = history_[key];
+  // Per-key merges are independent of each other and of visit order; only
+  // the cross-shard output merge fixes the push-out order.
+  for (auto& [key, accumulation] : shard.current) {
+    MomentHistory& history = shard.history[key];
     const bool eligible_now = Eligible(accumulation);
     history.Merge(static_cast<double>(accumulation.cpi.count()), accumulation.cpi.mean(),
                   // StreamingStats keeps m2 implicitly; reconstruct it.
@@ -100,16 +165,45 @@ std::vector<CpiSpec> SpecBuilder::BuildSpecs() {
       continue;
     }
     CpiSpec spec;
-    spec.jobname = names_.NameOf(JobOf(key));
+    spec.jobname = names_.NameOf(JobOf(key));  // read-only interner access
     spec.platforminfo = names_.NameOf(PlatformOf(key));
     spec.num_samples = static_cast<int64_t>(history.count);
     spec.cpu_usage_mean = history.usage_mean;
     spec.cpi_mean = history.mean;
     spec.cpi_stddev = std::sqrt(history.Variance());
-    latest_specs_[key] = spec;
-    specs.push_back(spec);
+    shard.latest_specs[key] = std::move(spec);
+    shard.built_keys.push_back(key);
   }
-  current_.clear();
+  shard.current.clear();
+  if (durable_state_touched) {
+    ++shard.version;
+  }
+}
+
+std::vector<CpiSpec> SpecBuilder::BuildSpecs(ThreadPool* pool) {
+  FlushStaged(pool);
+  if (pool != nullptr && shards_.size() > 1) {
+    pool->ParallelFor(shards_.size(), [this](size_t i) { BuildShard(shards_[i]); });
+  } else {
+    for (Shard& shard : shards_) {
+      BuildShard(shard);
+    }
+  }
+
+  // Deterministic merge: the shard outputs interleave into the legacy
+  // string-sorted key order, so spec push order (and everything downstream
+  // of it, e.g. fault-plane RNG draws) is independent of sharding.
+  std::vector<IdKey> keys;
+  for (const Shard& shard : shards_) {
+    keys.insert(keys.end(), shard.built_keys.begin(), shard.built_keys.end());
+  }
+  std::sort(keys.begin(), keys.end(), [this](IdKey a, IdKey b) { return NameOrderLess(a, b); });
+
+  std::vector<CpiSpec> specs;
+  specs.reserve(keys.size());
+  for (const IdKey key : keys) {
+    specs.push_back(shards_[ShardOf(key)].latest_specs.at(key));
+  }
   return specs;
 }
 
@@ -120,8 +214,10 @@ std::optional<CpiSpec> SpecBuilder::GetSpec(const std::string& jobname,
   if (!job.has_value() || !platform.has_value()) {
     return std::nullopt;
   }
-  const auto it = latest_specs_.find(MakeKey(*job, *platform));
-  if (it == latest_specs_.end()) {
+  const IdKey key = MakeKey(*job, *platform);
+  const Shard& shard = shards_[ShardOf(key)];
+  const auto it = shard.latest_specs.find(key);
+  if (it == shard.latest_specs.end()) {
     return std::nullopt;
   }
   return it->second;
@@ -129,9 +225,8 @@ std::optional<CpiSpec> SpecBuilder::GetSpec(const std::string& jobname,
 
 std::vector<SpecBuilder::HistoryEntry> SpecBuilder::SnapshotHistory() const {
   std::vector<HistoryEntry> entries;
-  entries.reserve(history_.size());
-  for (const IdKey key : SortedKeys(history_)) {
-    const MomentHistory& history = history_.at(key);
+  for (const IdKey key : SortedKeysAllShards(&Shard::history)) {
+    const MomentHistory& history = shards_[ShardOf(key)].history.at(key);
     HistoryEntry entry;
     entry.key.jobname = names_.NameOf(JobOf(key));
     entry.key.platforminfo = names_.NameOf(PlatformOf(key));
@@ -146,9 +241,36 @@ std::vector<SpecBuilder::HistoryEntry> SpecBuilder::SnapshotHistory() const {
 
 std::vector<CpiSpec> SpecBuilder::SnapshotLatestSpecs() const {
   std::vector<CpiSpec> specs;
-  specs.reserve(latest_specs_.size());
-  for (const IdKey key : SortedKeys(latest_specs_)) {
-    specs.push_back(latest_specs_.at(key));
+  for (const IdKey key : SortedKeysAllShards(&Shard::latest_specs)) {
+    specs.push_back(shards_[ShardOf(key)].latest_specs.at(key));
+  }
+  return specs;
+}
+
+std::vector<SpecBuilder::HistoryEntry> SpecBuilder::SnapshotShardHistory(size_t shard) const {
+  std::vector<HistoryEntry> entries;
+  const Shard& s = shards_[shard];
+  entries.reserve(s.history.size());
+  for (const IdKey key : SortedKeys(s.history)) {
+    const MomentHistory& history = s.history.at(key);
+    HistoryEntry entry;
+    entry.key.jobname = names_.NameOf(JobOf(key));
+    entry.key.platforminfo = names_.NameOf(PlatformOf(key));
+    entry.count = history.count;
+    entry.mean = history.mean;
+    entry.m2 = history.m2;
+    entry.usage_mean = history.usage_mean;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<CpiSpec> SpecBuilder::SnapshotShardLatestSpecs(size_t shard) const {
+  std::vector<CpiSpec> specs;
+  const Shard& s = shards_[shard];
+  specs.reserve(s.latest_specs.size());
+  for (const IdKey key : SortedKeys(s.latest_specs)) {
+    specs.push_back(s.latest_specs.at(key));
   }
   return specs;
 }
@@ -156,20 +278,27 @@ std::vector<CpiSpec> SpecBuilder::SnapshotLatestSpecs() const {
 void SpecBuilder::RestoreSnapshot(const std::vector<HistoryEntry>& history,
                                   const std::vector<CpiSpec>& latest_specs,
                                   int64_t samples_seen) {
-  history_.clear();
-  latest_specs_.clear();
-  current_.clear();
+  for (Shard& shard : shards_) {
+    shard.history.clear();
+    shard.latest_specs.clear();
+    shard.current.clear();
+    shard.staged.clear();
+    ++shard.version;
+  }
+  staged_total_ = 0;
   for (const HistoryEntry& entry : history) {
-    MomentHistory& moments = history_[MakeKey(names_.Intern(entry.key.jobname),
-                                              names_.Intern(entry.key.platforminfo))];
+    const IdKey key = MakeKey(names_.Intern(entry.key.jobname),
+                              names_.Intern(entry.key.platforminfo));
+    MomentHistory& moments = shards_[ShardOf(key)].history[key];
     moments.count = entry.count;
     moments.mean = entry.mean;
     moments.m2 = entry.m2;
     moments.usage_mean = entry.usage_mean;
   }
   for (const CpiSpec& spec : latest_specs) {
-    latest_specs_[MakeKey(names_.Intern(spec.jobname), names_.Intern(spec.platforminfo))] =
-        spec;
+    const IdKey key =
+        MakeKey(names_.Intern(spec.jobname), names_.Intern(spec.platforminfo));
+    shards_[ShardOf(key)].latest_specs[key] = spec;
   }
   samples_seen_ = samples_seen;
 }
@@ -177,14 +306,16 @@ void SpecBuilder::RestoreSnapshot(const std::vector<HistoryEntry>& history,
 void SpecBuilder::SeedHistory(const CpiSpec& spec) {
   const IdKey key =
       MakeKey(names_.Intern(spec.jobname), names_.Intern(spec.platforminfo));
-  MomentHistory& history = history_[key];
+  Shard& shard = shards_[ShardOf(key)];
+  MomentHistory& history = shard.history[key];
   MomentHistory seeded;
   seeded.count = static_cast<double>(spec.num_samples);
   seeded.mean = spec.cpi_mean;
   seeded.m2 = spec.cpi_stddev * spec.cpi_stddev * static_cast<double>(spec.num_samples);
   seeded.usage_mean = spec.cpu_usage_mean;
   history.Merge(seeded.count, seeded.mean, seeded.m2, seeded.usage_mean);
-  latest_specs_[key] = spec;
+  shard.latest_specs[key] = spec;
+  ++shard.version;
 }
 
 }  // namespace cpi2

@@ -8,15 +8,20 @@
 // the fresh day, so long-running jobs converge and behaviour drift decays.
 //
 // Hot-path layout: every sample's (jobname, platforminfo, task) strings
-// intern to dense uint32 ids, and the accumulation/history/latest-spec maps
-// key on a packed uint64 of the two ids. AddSample therefore does no string
-// copies and no string comparisons — identity only. Names reappear solely
-// at the boundaries: spec build-out, GetSpec, and checkpoint snapshots,
-// all of which emit in (jobname, platforminfo) order exactly as the old
-// string-keyed maps did, so downstream ordering (spec push-out, fault-plane
-// draws, checkpoint blobs) is unchanged. Ids never leave the process;
-// checkpoints serialize names, and a restore may re-intern them to
-// different ids with no observable difference.
+// intern to dense uint32 ids, and all state keys on a packed uint64 of the
+// two ids. The state itself is sharded by key hash (params.spec_shards):
+// ingest routes each sample to its key's shard on the calling thread, and
+// the per-shard work — applying a staged batch, decaying/merging history at
+// build time — runs shard-by-shard, in parallel when a ThreadPool is handed
+// in. Samples for one key always land in one shard in arrival order and the
+// per-key arithmetic is unchanged, so specs are bit-identical for any shard
+// count and any thread count. Names reappear solely at the boundaries: spec
+// build-out, GetSpec, and checkpoint snapshots, all of which emit in
+// (jobname, platforminfo) order exactly as the old string-keyed maps did, so
+// downstream ordering (spec push-out, fault-plane draws, checkpoint blobs)
+// is unchanged. Ids never leave the process; checkpoints serialize names,
+// and a restore may re-intern them to different ids (and thus different
+// shards) with no observable difference.
 
 #ifndef CPI2_CORE_SPEC_BUILDER_H_
 #define CPI2_CORE_SPEC_BUILDER_H_
@@ -31,21 +36,37 @@
 #include "core/types.h"
 #include "stats/streaming.h"
 #include "util/interner.h"
+#include "util/thread_pool.h"
 
 namespace cpi2 {
 
 class SpecBuilder {
  public:
-  explicit SpecBuilder(const Cpi2Params& params) : params_(params) {}
+  explicit SpecBuilder(const Cpi2Params& params);
 
-  // Feeds one sample into the current accumulation window.
+  // Feeds one sample into the current accumulation window immediately.
+  // Serial-phase only (interns names). Flushes any staged batch first so
+  // arrival order is preserved when callers mix the two ingest paths.
   void AddSample(const CpiSample& sample);
+
+  // Batched ingest fast path: interns and routes the sample to its shard's
+  // pending queue (serial phase, no accumulation work), to be applied by the
+  // next FlushStaged/BuildSpecs. Counts toward samples_seen() immediately.
+  void StageSample(const CpiSample& sample);
+
+  // Applies every staged sample to its shard's accumulation window —
+  // per-shard in parallel on `pool` (nullptr = serial). Shards only touch
+  // their own state and each shard applies its queue in arrival order, so
+  // the result is bit-identical to the serial path.
+  void FlushStaged(ThreadPool* pool);
 
   // Closes the current window: merges it into the age-weighted history and
   // returns the specs of every eligible job x platform, in (jobname,
   // platforminfo) order. Keys that fail the eligibility rules are retained
-  // in history but produce no spec.
-  std::vector<CpiSpec> BuildSpecs();
+  // in history but produce no spec. Per-shard work runs on `pool` when
+  // given; the output order (and therefore spec push order) is the legacy
+  // string-sorted order regardless.
+  std::vector<CpiSpec> BuildSpecs(ThreadPool* pool = nullptr);
 
   // The spec from the most recent build, if that key was eligible.
   std::optional<CpiSpec> GetSpec(const std::string& jobname,
@@ -74,11 +95,23 @@ class SpecBuilder {
   std::vector<HistoryEntry> SnapshotHistory() const;
   std::vector<CpiSpec> SnapshotLatestSpecs() const;
   // Replaces history, latest specs, and the sample counter with the snapshot
-  // contents. The in-progress accumulation window is cleared: a restore
-  // resumes from the last checkpointed build, losing only the samples that
-  // arrived after the checkpoint was taken.
+  // contents. The in-progress accumulation window (staged or applied) is
+  // cleared: a restore resumes from the last checkpointed build, losing only
+  // the samples that arrived after the checkpoint was taken.
   void RestoreSnapshot(const std::vector<HistoryEntry>& history,
                        const std::vector<CpiSpec>& latest_specs, int64_t samples_seen);
+
+  // --- per-shard checkpoint surface ----------------------------------------
+  // The checkpoint writer serializes shard by shard and caches each shard's
+  // blob keyed on its version, so steady-state checkpoints between builds
+  // re-serialize nothing. Versions start at 1 and bump whenever the shard's
+  // durable state (history / latest specs) changes.
+  size_t shard_count() const { return shards_.size(); }
+  uint64_t shard_version(size_t shard) const { return shards_[shard].version; }
+  // Shard-local snapshots, name-sorted within the shard. Concatenating all
+  // shards yields the same record multiset as the global snapshots above.
+  std::vector<HistoryEntry> SnapshotShardHistory(size_t shard) const;
+  std::vector<CpiSpec> SnapshotShardLatestSpecs(size_t shard) const;
 
  private:
   // Packed (jobname id, platforminfo id) map key.
@@ -108,6 +141,39 @@ class SpecBuilder {
     std::unordered_map<uint32_t, int64_t> samples_per_task;  // interned task ids
   };
 
+  // One routed, interned sample waiting in a shard's staging queue.
+  struct StagedSample {
+    IdKey key = 0;
+    uint32_t task = 0;
+    bool has_task = false;
+    double cpi = 0.0;
+    double usage = 0.0;
+  };
+
+  // One hash-shard of the builder state. Only its owning worker touches it
+  // during a parallel flush/build; the staging queue is filled in the serial
+  // ingest phase.
+  struct Shard {
+    std::unordered_map<IdKey, Accumulation> current;
+    std::unordered_map<IdKey, MomentHistory> history;
+    std::unordered_map<IdKey, CpiSpec> latest_specs;
+    std::vector<StagedSample> staged;
+    std::vector<IdKey> built_keys;  // build scratch: this shard's eligible keys
+    uint64_t version = 1;           // durable-state version, for blob caching
+  };
+
+  size_t ShardOf(IdKey key) const {
+    uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h % shards_.size());
+  }
+
+  // Interns, routes, and stages one sample; returns its shard index.
+  size_t Route(const CpiSample& sample);
+  void ApplyStaged(Shard& shard);
+  // Decay + merge + spec build-out for one shard; fills shard.built_keys.
+  void BuildShard(Shard& shard);
+
   bool Eligible(const Accumulation& accumulation) const;
 
   // True when `a` orders before `b` by the interned (jobname, platforminfo)
@@ -116,13 +182,15 @@ class SpecBuilder {
   // The map's keys sorted by NameOrderLess (boundary-only cost).
   template <typename Map>
   std::vector<IdKey> SortedKeys(const Map& map) const;
+  // All shards' keys of one map member, globally name-sorted.
+  template <typename Map>
+  std::vector<IdKey> SortedKeysAllShards(Map Shard::* member) const;
 
   Cpi2Params params_;
   // Jobnames, platforms, and task names share one id space.
   StringInterner names_;
-  std::unordered_map<IdKey, Accumulation> current_;
-  std::unordered_map<IdKey, MomentHistory> history_;
-  std::unordered_map<IdKey, CpiSpec> latest_specs_;
+  std::vector<Shard> shards_;
+  size_t staged_total_ = 0;
   int64_t samples_seen_ = 0;
 };
 

@@ -25,6 +25,7 @@ ClusterHarness::ClusterHarness(Options options)
     : options_(options),
       cluster_(options.cluster),
       aggregator_(options.params),
+      incident_log_(options.params.legacy_forensics_path),
       drop_rng_(options.cluster.seed ^ kDropSeedSalt) {}
 
 void ClusterHarness::WireAgents() {
@@ -82,6 +83,10 @@ void ClusterHarness::WireAgents() {
   // the agents on its platform; agents still verify the platform match
   // themselves.
   aggregator_.SetSpecCallback([this](const CpiSpec& spec) { OnSpecPush(spec); });
+  // Batched sample flushes and per-shard spec builds ride the cluster's
+  // pool (nullptr when threads == 1 — everything stays on this thread).
+  // Both run in OnTick's serial merge phase, never inside a pool task.
+  aggregator_.SetThreadPool(cluster_.pool());
   // A crash before the first checkpoint recovers to this pristine state.
   empty_checkpoint_blob_ = aggregator_.Checkpoint();
   cluster_.AddTickListener([this](MicroTime now) { OnTick(now); });

@@ -1,7 +1,9 @@
 #include "util/string_util.h"
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cpi2 {
 
@@ -20,6 +22,34 @@ std::string StrFormat(const char* format, ...) {
   std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
   va_end(args_copy);
   return out;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 std::string Join(const std::vector<std::string>& parts, const std::string& separator) {

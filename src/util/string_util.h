@@ -11,6 +11,13 @@ namespace cpi2 {
 // printf-style formatting into a std::string.
 std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
 
+// Strict numeric parsing for checkpoint/record fields: the whole string must
+// be one valid number (no empty field, no leading/trailing junk, no
+// overflow). Returns false without touching *out on any violation — unlike
+// atof/strtoll, which silently yield 0 on garbage.
+bool ParseInt64(const std::string& s, int64_t* out);
+bool ParseDouble(const std::string& s, double* out);
+
 // Joins `parts` with `separator`.
 std::string Join(const std::vector<std::string>& parts, const std::string& separator);
 

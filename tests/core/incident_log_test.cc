@@ -94,6 +94,82 @@ TEST_F(IncidentLogTest, TopAntagonistsHonorsK) {
   EXPECT_EQ(log_.TopAntagonists("", 0, 0, 1).size(), 1u);
 }
 
+TEST_F(IncidentLogTest, LegacyScanPathMatchesOnFixtureQueries) {
+  IncidentLog legacy(/*legacy_scan_path=*/true);
+  for (const Incident& incident : log_.incidents()) {
+    legacy.Add(incident);
+  }
+  const std::vector<IncidentLog::Query> queries = [] {
+    std::vector<IncidentLog::Query> qs(5);
+    qs[1].victim_job = "search";
+    qs[2].machine = "m1";
+    qs[3].begin = 2 * kMicrosPerMinute;
+    qs[3].end = 4 * kMicrosPerMinute;
+    qs[4].min_top_correlation = 0.45;
+    qs[4].capped_only = true;
+    return qs;
+  }();
+  for (const IncidentLog::Query& query : queries) {
+    const auto fast = log_.Select(query);
+    const auto scan = legacy.Select(query);
+    ASSERT_EQ(fast.size(), scan.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i]->timestamp, scan[i]->timestamp);
+      EXPECT_EQ(fast[i]->victim_job, scan[i]->victim_job);
+    }
+  }
+  const auto fast_top = log_.TopAntagonists("", 0, 0, 10);
+  const auto scan_top = legacy.TopAntagonists("", 0, 0, 10);
+  ASSERT_EQ(fast_top.size(), scan_top.size());
+  for (size_t i = 0; i < fast_top.size(); ++i) {
+    EXPECT_EQ(fast_top[i].jobname, scan_top[i].jobname);
+    EXPECT_EQ(fast_top[i].incidents, scan_top[i].incidents);
+    EXPECT_EQ(fast_top[i].times_capped, scan_top[i].times_capped);
+    EXPECT_EQ(fast_top[i].max_correlation, scan_top[i].max_correlation);
+    EXPECT_EQ(fast_top[i].mean_correlation, scan_top[i].mean_correlation);
+  }
+}
+
+TEST_F(IncidentLogTest, OutOfOrderTimestampsStillFilterCorrectly) {
+  // Appends behind the log's head: the index drops its binary-search fast
+  // path but time filters must stay exact.
+  log_.Add(MakeIncident(30 * kMicrosPerSecond, "search", "video", 0.7));
+  IncidentLog::Query query;
+  query.begin = 1 * kMicrosPerMinute;
+  query.end = 4 * kMicrosPerMinute;
+  EXPECT_EQ(log_.Select(query).size(), 3u);
+  query.begin = 0;
+  query.end = 1 * kMicrosPerMinute;
+  const auto rows = log_.Select(query);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0]->timestamp, 30 * kMicrosPerSecond);
+}
+
+TEST(IncidentLogStorageTest, SelectPointersSurviveGrowth) {
+  // Regression: Select once returned pointers into a std::vector, which
+  // invalidated them on the next reallocation. Query, append far past any
+  // initial capacity (and across index segment boundaries), then re-read.
+  IncidentLog log;
+  log.Add(MakeIncident(1, "search", "video", 0.5, true));
+  IncidentLog::Query query;
+  query.victim_job = "search";
+  const auto rows = log.Select(query);
+  ASSERT_EQ(rows.size(), 1u);
+  const Incident* pinned = rows[0];
+  const std::string victim_task = pinned->victim_task;
+
+  for (int i = 0; i < 2000; ++i) {
+    log.Add(MakeIncident(2 + i, "ads", "scan", 0.4));
+  }
+
+  EXPECT_EQ(pinned->victim_task, victim_task) << "pointer dangled after growth";
+  EXPECT_EQ(pinned->suspects.front().jobname, "video");
+  const auto again = log.Select(query);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], pinned) << "same row must come back at the same address";
+  EXPECT_EQ(log.Select({}).size(), 2001u);
+}
+
 TEST(IncidentSummaryTest, SummaryMentionsKeyFacts) {
   const Incident incident = MakeIncident(0, "search", "video", 0.52, true);
   const std::string summary = incident.Summary();

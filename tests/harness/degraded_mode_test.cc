@@ -196,6 +196,47 @@ TEST(DegradedModeTest, RestoreRejectsMalformedBlobLeavingStateIntact) {
   EXPECT_EQ(SpecFingerprint(aggregator, "websearch"), before);
 }
 
+TEST(DegradedModeTest, DedupStateSurvivesCheckpointRestore) {
+  // A retried delivery that straddles a crash: the agent sent the sample,
+  // the ack was lost, the aggregator crashed and restored, and the agent
+  // retries. The dedup window travels in the checkpoint, so the replay is
+  // still absorbed instead of double-counting.
+  Cpi2Params params = FastTestParams();
+  params.sample_dedup_window = 10 * kMicrosPerMinute;
+  Aggregator original(params);
+  CpiSample sample;
+  sample.jobname = "websearch";
+  sample.platforminfo = "ref-platform";
+  sample.task = "websearch.0";
+  sample.machine = "m0";
+  sample.timestamp = 3 * kMicrosPerMinute;
+  sample.cpi = 1.5;
+  sample.cpu_usage = 0.5;
+  original.AddSample(sample);
+  EXPECT_EQ(original.duplicates_dropped(), 0);
+  original.AddSample(sample);
+  EXPECT_EQ(original.duplicates_dropped(), 1) << "pre-crash dedup baseline";
+
+  const std::string blob = original.Checkpoint();
+  Aggregator restored(params);
+  ASSERT_TRUE(restored.Restore(blob).ok());
+
+  // The replayed delivery after restore is recognized...
+  restored.AddSample(sample);
+  EXPECT_EQ(restored.duplicates_dropped(), 1);
+  // ...while a genuinely new sample still flows.
+  sample.timestamp += kMicrosPerMinute;
+  restored.AddSample(sample);
+  EXPECT_EQ(restored.duplicates_dropped(), 1);
+
+  // A v1-era blob carries no dedup records: restore succeeds and degrades to
+  // the old accept-the-replay behaviour rather than failing.
+  Aggregator from_v1(params);
+  ASSERT_TRUE(from_v1.Restore("cpi2-aggregator-ckpt-v1\nM\t0\t0\t0\n").ok());
+  from_v1.AddSample(sample);
+  EXPECT_EQ(from_v1.duplicates_dropped(), 0);
+}
+
 TEST(DegradedModeTest, AggregatorCrashRecoversFromCheckpointInHarness) {
   Cpi2Params params = FastTestParams();
   // Tasks sample once a minute and the build window clears on every build,

@@ -27,6 +27,7 @@ struct RunResult {
   std::string victim_spec;
   std::string machine_state;  // per-machine counters after the run
   std::string health;         // degraded-mode counters (ClusterHealthReport)
+  std::string forensics;      // post-run forensics query answers
 };
 
 std::string Serialize(const Incident& incident) {
@@ -98,13 +99,38 @@ std::string SerializeHealth(const ClusterHealthReport& health) {
       static_cast<long long>(health.agents.series_points_dropped));
 }
 
+// The operator queries a post-mortem would run, serialized exactly. Covers
+// the columnar index end to end: posting lists, time bounds, ranking.
+std::string SerializeForensics(const IncidentLog& log, MicroTime now) {
+  std::string out;
+  for (const IncidentLog::AntagonistStats& stats : log.TopAntagonists("", 0, 0, 5)) {
+    out += StrFormat("top %s n=%d capped=%d max=%.17g mean=%.17g\n", stats.jobname.c_str(),
+                     stats.incidents, stats.times_capped, stats.max_correlation,
+                     stats.mean_correlation);
+  }
+  IncidentLog::Query query;
+  query.begin = now / 2;
+  query.capped_only = true;
+  for (const Incident* incident : log.Select(query)) {
+    out += StrFormat("capped t=%lld victim=%s target=%s\n",
+                     static_cast<long long>(incident->timestamp),
+                     incident->victim_job.c_str(), incident->action_target.c_str());
+  }
+  return out;
+}
+
 RunResult RunScenario(int threads, bool with_faults = false,
-                      bool legacy_correlation = false) {
+                      bool legacy_correlation = false, int spec_shards = -1,
+                      bool legacy_forensics = false) {
   ClusterHarness::Options options;
   options.cluster.seed = 7;
   options.cluster.threads = threads;
   options.params = FastTestParams();
   options.params.legacy_correlation_path = legacy_correlation;
+  options.params.legacy_forensics_path = legacy_forensics;
+  if (spec_shards > 0) {
+    options.params.spec_shards = spec_shards;
+  }
   options.sample_drop_rate = 0.15;  // exercises the drop_rng_ merge path
   if (with_faults) {
     options.params.spec_staleness_ttl = 5 * kMicrosPerMinute;
@@ -156,6 +182,7 @@ RunResult RunScenario(int threads, bool with_faults = false,
                   spec->cpi_mean, spec->cpi_stddev);
   }
   result.health = SerializeHealth(harness.Health());
+  result.forensics = SerializeForensics(harness.incidents(), harness.now());
   return result;
 }
 
@@ -250,6 +277,77 @@ TEST(ParallelDeterminismTest, LegacyCorrelationPathMatchesFastPath) {
   EXPECT_EQ(faulted_fast.health, faulted_legacy.health);
   EXPECT_EQ(faulted_fast.incidents, faulted_legacy.incidents);
   EXPECT_EQ(faulted_fast.victim_spec, faulted_legacy.victim_spec);
+}
+
+TEST(ParallelDeterminismTest, SpecShardCountChangesNothingObservable) {
+  // The sharded aggregation contract: specs, push order, downstream
+  // incidents, health counters and fault-RNG draws are bit-identical for
+  // any spec_shards value. The clean scenario proves it on a run that
+  // actually builds specs and fires incidents; the faulted scenario adds
+  // checkpoint blobs and restores into the mix.
+  const RunResult baseline = RunScenario(/*threads=*/4, /*with_faults=*/false,
+                                         /*legacy_correlation=*/false, /*spec_shards=*/1);
+  ASSERT_FALSE(baseline.victim_spec.empty());
+  ASSERT_FALSE(baseline.incidents.empty());
+  ASSERT_FALSE(baseline.forensics.empty());
+
+  for (const int shards : {5, 8, 32}) {
+    const RunResult sharded = RunScenario(/*threads=*/4, /*with_faults=*/false,
+                                          /*legacy_correlation=*/false, shards);
+    EXPECT_EQ(baseline.samples_collected, sharded.samples_collected) << shards;
+    EXPECT_EQ(baseline.victim_spec, sharded.victim_spec) << shards;
+    EXPECT_EQ(baseline.machine_state, sharded.machine_state) << shards;
+    EXPECT_EQ(baseline.health, sharded.health) << shards;
+    EXPECT_EQ(baseline.incidents, sharded.incidents) << shards;
+    EXPECT_EQ(baseline.forensics, sharded.forensics) << shards;
+  }
+
+  // Under active faults the run exercises checkpoint/restore; every
+  // observable must still be shard-count-invariant, and serial must match
+  // parallel at a non-default shard count.
+  const RunResult faulted_one = RunScenario(/*threads=*/4, /*with_faults=*/true,
+                                            /*legacy_correlation=*/false, /*spec_shards=*/1);
+  const RunResult faulted_serial = RunScenario(/*threads=*/1, /*with_faults=*/true,
+                                               /*legacy_correlation=*/false, /*spec_shards=*/5);
+  const RunResult faulted_parallel = RunScenario(/*threads=*/4, /*with_faults=*/true,
+                                                 /*legacy_correlation=*/false, /*spec_shards=*/5);
+  EXPECT_EQ(faulted_one.machine_state, faulted_parallel.machine_state);
+  EXPECT_EQ(faulted_one.health, faulted_parallel.health);
+  EXPECT_EQ(faulted_one.incidents, faulted_parallel.incidents);
+  EXPECT_EQ(faulted_one.forensics, faulted_parallel.forensics);
+  EXPECT_EQ(faulted_serial.machine_state, faulted_parallel.machine_state);
+  EXPECT_EQ(faulted_serial.health, faulted_parallel.health);
+  EXPECT_EQ(faulted_serial.incidents, faulted_parallel.incidents);
+  EXPECT_EQ(faulted_serial.forensics, faulted_parallel.forensics);
+}
+
+TEST(ParallelDeterminismTest, LegacyForensicsPathMatchesColumnar) {
+  // Same run, queried through the columnar index (default) and the
+  // reference scan: the forensics answers must match to the last bit, and
+  // nothing upstream may notice the flag at all.
+  const RunResult fast = RunScenario(/*threads=*/4, /*with_faults=*/false,
+                                     /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                                     /*legacy_forensics=*/false);
+  const RunResult legacy = RunScenario(/*threads=*/4, /*with_faults=*/false,
+                                       /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                                       /*legacy_forensics=*/true);
+  // The clean scenario fires incidents, so the comparison covers real
+  // TopAntagonists rankings and a real capped-incident Select.
+  ASSERT_FALSE(fast.forensics.empty());
+  EXPECT_EQ(fast.forensics, legacy.forensics);
+  EXPECT_EQ(fast.incidents, legacy.incidents);
+  EXPECT_EQ(fast.machine_state, legacy.machine_state);
+  EXPECT_EQ(fast.health, legacy.health);
+
+  const RunResult faulted_fast = RunScenario(/*threads=*/4, /*with_faults=*/true,
+                                             /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                                             /*legacy_forensics=*/false);
+  const RunResult faulted_legacy = RunScenario(/*threads=*/4, /*with_faults=*/true,
+                                               /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                                               /*legacy_forensics=*/true);
+  EXPECT_EQ(faulted_fast.forensics, faulted_legacy.forensics);
+  EXPECT_EQ(faulted_fast.incidents, faulted_legacy.incidents);
+  EXPECT_EQ(faulted_fast.health, faulted_legacy.health);
 }
 
 TEST(ParallelDeterminismTest, RepeatedRunsAreStable) {
