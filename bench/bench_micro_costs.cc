@@ -18,6 +18,7 @@
 #include "sim/machine.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "wire/sample_codec.h"
 #include "workload/profiles.h"
 
 namespace cpi2 {
@@ -232,6 +233,59 @@ void BM_ClusterHarnessTick(benchmark::State& state) {
                           static_cast<int64_t>(harness.cluster().machine_count()));
 }
 BENCHMARK(BM_ClusterHarnessTick)->Arg(1)->Arg(4);
+
+// One agent flush worth of samples with the dictionary shape a real machine
+// produces: one job/platform/machine name, a handful of tasks, monotone
+// timestamps. bench_wire_format measures the same codec against the text
+// baseline at stream scale; this tracks the absolute per-batch cost.
+std::vector<CpiSample> MakeWireBatch(int samples) {
+  std::vector<CpiSample> batch;
+  Rng rng(13);
+  for (int i = 0; i < samples; ++i) {
+    CpiSample sample;
+    sample.jobname = StrFormat("websearch-frontend-%d", i % 3);
+    sample.platforminfo = "intel-xeon-e5-2.6GHz-dl380";
+    sample.task = StrFormat("websearch-frontend-%d/%d", i % 3, i % 16);
+    sample.machine = "cell-a-rack07-machine4";
+    sample.timestamp = static_cast<MicroTime>(i) * kMicrosPerSecond;
+    sample.cpu_usage = rng.Uniform(0.0, 2.0);
+    sample.cpi = rng.Uniform(0.5, 4.0);
+    sample.l3_miss_per_instruction = rng.Uniform(0.0, 0.05);
+    batch.push_back(std::move(sample));
+  }
+  return batch;
+}
+
+void BM_EncodeSampleBatch(benchmark::State& state) {
+  const auto batch = MakeWireBatch(static_cast<int>(state.range(0)));
+  SampleBatchEncoder encoder;
+  for (auto _ : state) {
+    encoder.Reset();
+    for (const auto& sample : batch) {
+      encoder.Add(sample);
+    }
+    benchmark::DoNotOptimize(encoder.Finish());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_EncodeSampleBatch)->Arg(64)->Arg(1000);
+
+void BM_DecodeSampleBatch(benchmark::State& state) {
+  const auto batch = MakeWireBatch(static_cast<int>(state.range(0)));
+  SampleBatchEncoder encoder;
+  for (const auto& sample : batch) {
+    encoder.Add(sample);
+  }
+  const std::string bytes = encoder.Finish();
+  std::vector<CpiSample> decoded;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeSampleBatch(bytes, &decoded));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_DecodeSampleBatch)->Arg(64)->Arg(1000);
 
 // Sampler bookkeeping for a full machine (the per-second agent cost outside
 // the counter windows themselves).

@@ -71,6 +71,11 @@ void Agent::Restart(MicroTime now) {
   detector_.Clear();
   enforcement_.Reset();
   outbox_.clear();
+  batch_outbox_.clear();
+  batch_encoder_.Reset();
+  pending_count_ = 0;
+  pending_consumed_ = 0;
+  pending_opened_at_ = 0;
   outbox_retry_at_ = 0;
   outbox_attempts_ = 0;
   last_tick_ = now;
@@ -83,31 +88,43 @@ void Agent::Restart(MicroTime now) {
   ++health_.restarts;
 }
 
+void Agent::ArmRetryBackoff(MicroTime now) {
+  // Exponential backoff, capped, with uniform jitter so a fleet of agents
+  // does not hammer a recovering aggregator in lockstep.
+  MicroTime backoff = options_.params.delivery_retry_backoff;
+  for (int i = 0; i < outbox_attempts_ && backoff < options_.params.delivery_retry_backoff_max;
+       ++i) {
+    backoff *= 2;
+  }
+  if (backoff > options_.params.delivery_retry_backoff_max) {
+    backoff = options_.params.delivery_retry_backoff_max;
+  }
+  if (options_.params.delivery_retry_jitter > 0.0) {
+    backoff += static_cast<MicroTime>(
+        jitter_rng_.Uniform(0.0, options_.params.delivery_retry_jitter *
+                                     static_cast<double>(backoff)));
+  }
+  outbox_retry_at_ = now + backoff;
+  ++outbox_attempts_;
+}
+
 void Agent::FlushOutbox(MicroTime now) {
-  if (!delivery_callback_ || now < outbox_retry_at_) {
+  if (batch_delivery_callback_) {
+    FlushOutboxBatched(now);
+  } else if (delivery_callback_) {
+    FlushOutboxPerSample(now);
+  }
+}
+
+void Agent::FlushOutboxPerSample(MicroTime now) {
+  if (now < outbox_retry_at_) {
     return;
   }
   while (!outbox_.empty()) {
     const DeliveryResult result = delivery_callback_(outbox_.front());
     if (result == DeliveryResult::kUnavailable) {
       ++health_.delivery_retries;
-      // Exponential backoff, capped, with uniform jitter so a fleet of
-      // agents does not hammer a recovering aggregator in lockstep.
-      MicroTime backoff = options_.params.delivery_retry_backoff;
-      for (int i = 0; i < outbox_attempts_ && backoff < options_.params.delivery_retry_backoff_max;
-           ++i) {
-        backoff *= 2;
-      }
-      if (backoff > options_.params.delivery_retry_backoff_max) {
-        backoff = options_.params.delivery_retry_backoff_max;
-      }
-      if (options_.params.delivery_retry_jitter > 0.0) {
-        backoff += static_cast<MicroTime>(
-            jitter_rng_.Uniform(0.0, options_.params.delivery_retry_jitter *
-                                         static_cast<double>(backoff)));
-      }
-      outbox_retry_at_ = now + backoff;
-      ++outbox_attempts_;
+      ArmRetryBackoff(now);
       return;
     }
     if (result == DeliveryResult::kAck) {
@@ -118,6 +135,118 @@ void Agent::FlushOutbox(MicroTime now) {
     outbox_.pop_front();
     outbox_attempts_ = 0;
     outbox_retry_at_ = 0;
+  }
+}
+
+void Agent::MaybeSealPendingBatch(MicroTime now, bool force) {
+  if (pending_count_ == 0) {
+    return;
+  }
+  if (!force && options_.params.wire_batch_max_age > 0 &&
+      now - pending_opened_at_ < options_.params.wire_batch_max_age) {
+    return;  // Let the open batch accumulate a little longer.
+  }
+  if (pending_consumed_ < pending_count_) {
+    EncodedSampleBatch batch;
+    batch.bytes = batch_encoder_.Finish();
+    batch.sample_count = pending_count_;
+    batch.consumed = pending_consumed_;
+    batch_outbox_.push_back(std::move(batch));
+  }
+  // else: capacity pressure evicted every sample; nothing worth sending.
+  batch_encoder_.Reset();
+  pending_count_ = 0;
+  pending_consumed_ = 0;
+}
+
+void Agent::FlushOutboxBatched(MicroTime now) {
+  // Sealing is independent of backoff: an aged-out open batch must join the
+  // queue even while the transport is waiting out a retry.
+  MaybeSealPendingBatch(now, /*force=*/options_.params.wire_batch_max_age == 0);
+  if (now < outbox_retry_at_) {
+    return;
+  }
+  while (!batch_outbox_.empty()) {
+    EncodedSampleBatch& batch = batch_outbox_.front();
+    const BatchDeliveryOutcome outcome = batch_delivery_callback_(batch);
+    health_.samples_delivered += outcome.delivered;
+    health_.samples_lost += outcome.lost;
+    batch.consumed += static_cast<size_t>(outcome.delivered) +
+                      static_cast<size_t>(outcome.lost);
+    if (outcome.decode_failed) {
+      // The bytes are damaged; retrying cannot help. Every unsettled sample
+      // in the batch is gone.
+      ++health_.wire_decode_errors;
+      health_.samples_lost +=
+          static_cast<int64_t>(batch.sample_count - batch.consumed);
+      batch_outbox_.pop_front();
+      outbox_attempts_ = 0;
+      outbox_retry_at_ = 0;
+      continue;
+    }
+    if (outcome.retry) {
+      ++health_.delivery_retries;
+      if (outcome.delivered + outcome.lost > 0) {
+        // Forward progress resets the backoff ladder, exactly as the
+        // per-sample path resets it on every settled sample.
+        outbox_attempts_ = 0;
+      }
+      ArmRetryBackoff(now);
+      return;
+    }
+    batch_outbox_.pop_front();
+    outbox_attempts_ = 0;
+    outbox_retry_at_ = 0;
+  }
+}
+
+size_t Agent::outbox_size() const {
+  if (!batch_delivery_callback_) {
+    return outbox_.size();
+  }
+  size_t queued = pending_count_ - pending_consumed_;
+  for (const EncodedSampleBatch& batch : batch_outbox_) {
+    queued += batch.sample_count - batch.consumed;
+  }
+  return queued;
+}
+
+void Agent::EnqueueSample(const CpiSample& sample) {
+  const int capacity = options_.params.sample_outbox_capacity;
+  if (!batch_delivery_callback_) {
+    if (static_cast<int>(outbox_.size()) >= capacity) {
+      outbox_.pop_front();  // bounded queue: evict oldest, keep freshest
+      ++health_.outbox_overflow_drops;
+    }
+    outbox_.push_back(sample);
+    ++health_.samples_enqueued;
+    return;
+  }
+  // Batched transport: the bound still counts *samples*, not batches. Evict
+  // the oldest unsettled sample by advancing the front batch's consumed
+  // cursor (or the open batch's, when nothing is sealed) — the receiver
+  // will simply never see it, which is the encoded twin of pop_front().
+  if (static_cast<int>(outbox_size()) >= capacity) {
+    while (!batch_outbox_.empty() &&
+           batch_outbox_.front().consumed >= batch_outbox_.front().sample_count) {
+      batch_outbox_.pop_front();  // fully-evicted husk; shed it
+    }
+    if (!batch_outbox_.empty()) {
+      ++batch_outbox_.front().consumed;
+    } else {
+      ++pending_consumed_;
+    }
+    ++health_.outbox_overflow_drops;
+  }
+  if (pending_count_ == 0) {
+    pending_opened_at_ = sample.timestamp;
+  }
+  batch_encoder_.Add(sample);
+  ++pending_count_;
+  ++health_.samples_enqueued;
+  const int max_samples = options_.params.wire_batch_max_samples;
+  if (max_samples > 0 && pending_count_ >= static_cast<size_t>(max_samples)) {
+    MaybeSealPendingBatch(sample.timestamp, /*force=*/true);
   }
 }
 
@@ -203,13 +332,8 @@ void Agent::OnWindow(const std::string& container, const CounterDelta& delta) {
   if (sample_callback_) {
     sample_callback_(sample);
   }
-  if (delivery_callback_) {
-    if (static_cast<int>(outbox_.size()) >= options_.params.sample_outbox_capacity) {
-      outbox_.pop_front();  // bounded queue: evict oldest, keep freshest
-      ++health_.outbox_overflow_drops;
-    }
-    outbox_.push_back(sample);
-    ++health_.samples_enqueued;
+  if (delivery_callback_ || batch_delivery_callback_) {
+    EnqueueSample(sample);
   }
 
   if (sample.cpi <= 0.0) {

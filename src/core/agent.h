@@ -31,6 +31,7 @@
 #include "util/interner.h"
 #include "util/rng.h"
 #include "util/time_series.h"
+#include "wire/sample_codec.h"
 
 namespace cpi2 {
 
@@ -52,6 +53,29 @@ enum class DeliveryResult {
   kUnavailable,  // pipeline unreachable; keep the sample and retry later
 };
 
+// One sealed batch of samples on the agent→aggregator wire. The agent keeps
+// the encoded bytes, not the structs: a retry re-sends the very same bytes,
+// and `consumed` tells the receiver how many leading samples were already
+// settled (delivered or lost) by earlier attempts, so fault decisions are
+// drawn for exactly the same sample sequence as per-sample delivery.
+struct EncodedSampleBatch {
+  std::string bytes;       // wire/sample_codec encoding, magic through CRC
+  size_t sample_count = 0; // samples encoded in `bytes`
+  size_t consumed = 0;     // leading samples already settled (skip on retry)
+};
+
+// What the receiver did with one delivery attempt of a batch. `delivered` +
+// `lost` samples (counted from `consumed`) are settled; `retry` means the
+// receiver stopped there — the next sample was *not* processed and the batch
+// must be re-sent after backoff. `decode_failed` means the bytes did not
+// decode (corruption); the batch is unsalvageable.
+struct BatchDeliveryOutcome {
+  int delivered = 0;
+  int lost = 0;
+  bool retry = false;
+  bool decode_failed = false;
+};
+
 // Degraded-mode counters for one agent. Every transition into (or event
 // within) a degraded mode is counted here, so operators can tell a healthy
 // fleet from one that is silently riding out faults.
@@ -66,6 +90,7 @@ struct AgentHealth {
   int64_t stale_spec_widenings = 0;     // detection ran with widened threshold
   int64_t stale_spec_suppressions = 0;  // detection suppressed: spec too old
   int64_t series_points_dropped = 0;    // out-of-order points a task series refused
+  int64_t wire_decode_errors = 0;       // sample batches the receiver failed to decode
 };
 
 class Agent {
@@ -86,6 +111,9 @@ class Agent {
   // Attempts to hand one sample to the collection pipeline and reports what
   // became of it. Invoked only from FlushOutbox (single-threaded).
   using DeliveryCallback = std::function<DeliveryResult(const CpiSample&)>;
+  // Attempts to deliver one encoded batch (starting at `consumed`). Invoked
+  // only from FlushOutbox (single-threaded).
+  using BatchDeliveryCallback = std::function<BatchDeliveryOutcome(const EncodedSampleBatch&)>;
 
   Agent(Options options, CounterSource* source, CpuController* controller);
 
@@ -133,12 +161,24 @@ class Agent {
   void SetDeliveryCallback(DeliveryCallback callback) {
     delivery_callback_ = std::move(callback);
   }
+  // The batched transport: samples are dictionary-encoded into
+  // EncodedSampleBatches as they are emitted, sealed by the flush policy
+  // (params.wire_batch_max_samples / wire_batch_max_age), and delivered
+  // batch-at-a-time with the same retry/backoff/jitter machinery as the
+  // per-sample path. At most one of the two delivery callbacks should be
+  // installed; the batch callback wins when both are.
+  void SetBatchDeliveryCallback(BatchDeliveryCallback callback) {
+    batch_delivery_callback_ = std::move(callback);
+  }
 
   // Attempts to deliver queued samples in FIFO order. Stops at the first
-  // kUnavailable result and backs off exponentially (with jitter) before the
-  // next attempt. Call from a single thread (the harness's merge phase).
+  // unavailable/retry result and backs off exponentially (with jitter)
+  // before the next attempt. Call from a single thread (the harness's merge
+  // phase).
   void FlushOutbox(MicroTime now);
-  size_t outbox_size() const { return outbox_.size(); }
+  // Samples currently queued for delivery, whichever transport is active
+  // (in batch mode: unsettled samples across sealed batches + the open one).
+  size_t outbox_size() const;
 
   EnforcementPolicy& enforcement() { return enforcement_; }
   const AgentHealth& health() const { return health_; }
@@ -193,15 +233,38 @@ class Agent {
   // Specs for this machine's platform, keyed by jobname.
   std::map<std::string, SpecEntry> specs_;
 
+  // Queues `sample` for delivery on whichever transport is installed,
+  // evicting the oldest queued sample when the outbox is at capacity.
+  void EnqueueSample(const CpiSample& sample);
+  // Seals the open batch into batch_outbox_ if the flush policy says so
+  // (always when wire_batch_max_age == 0, else once the batch is old
+  // enough). `force` seals regardless of age (capacity-triggered seals).
+  void MaybeSealPendingBatch(MicroTime now, bool force);
+  // Arms the retry backoff after a failed delivery attempt (shared by both
+  // transports; draws jitter exactly once).
+  void ArmRetryBackoff(MicroTime now);
+  void FlushOutboxPerSample(MicroTime now);
+  void FlushOutboxBatched(MicroTime now);
+
   SampleCallback sample_callback_;
   IncidentCallback incident_callback_;
   DeliveryCallback delivery_callback_;
+  BatchDeliveryCallback batch_delivery_callback_;
 
   // Samples awaiting delivery (FIFO, bounded by sample_outbox_capacity).
   std::deque<CpiSample> outbox_;
   MicroTime outbox_retry_at_ = 0;  // no attempts before this time
   int outbox_attempts_ = 0;        // consecutive failed attempts (backoff)
   Rng jitter_rng_;
+
+  // Batched-transport state: sealed batches awaiting delivery plus the open
+  // batch being encoded. pending_consumed_ counts open-batch samples already
+  // evicted by capacity pressure (the seal carries it into the batch).
+  std::deque<EncodedSampleBatch> batch_outbox_;
+  SampleBatchEncoder batch_encoder_;
+  size_t pending_count_ = 0;
+  size_t pending_consumed_ = 0;
+  MicroTime pending_opened_at_ = 0;
 
   MicroTime last_tick_ = 0;
   AgentHealth health_;

@@ -87,7 +87,10 @@ class Aggregator {
   // one chunk per builder shard, each reused from a cached serialization
   // when that shard hasn't changed since the last checkpoint. The
   // in-progress accumulation window is intentionally excluded; see the
-  // header comment.
+  // header comment. Emits the framed binary v3 encoding by default, or the
+  // text v2 encoding when params.legacy_wire_path is set; Restore
+  // auto-detects either (plus text v1), and restoring the two encodings of
+  // one state produces bit-identical aggregators.
   void WriteCheckpoint(const CheckpointSink& sink) const;
   // Convenience wrapper materializing the streamed checkpoint as one blob.
   std::string Checkpoint() const;
@@ -97,10 +100,15 @@ class Aggregator {
   // InvalidArgumentError naming the bad line instead of restoring zeros.
   Status Restore(const std::string& checkpoint);
   // File-backed convenience wrappers around WriteCheckpoint()/Restore().
+  // SaveCheckpoint writes crash-atomically (tmp + fsync + rename), so a
+  // kill mid-save leaves the previous checkpoint intact.
   Status SaveCheckpoint(const std::string& path) const;
   Status LoadCheckpoint(const std::string& path);
 
  private:
+  void WriteCheckpointText(const CheckpointSink& sink) const;
+  void WriteCheckpointBinary(const CheckpointSink& sink) const;
+
   // Sample identity for dedup: timestamp first so pruning old entries is a
   // single ordered-range erase. Machine and task are interned ids — the
   // per-sample insert compares three integers instead of two heap strings.

@@ -1,22 +1,22 @@
 #include "core/incident_log_io.h"
 
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
 #include <sstream>
 
+#include "util/file_util.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "wire/framing.h"
+#include "wire/incident_codec.h"
 
 namespace cpi2 {
 namespace {
 
 constexpr char kHeader[] = "cpi2-incidents-v1";
 
-// Field separators: '\t' between columns, ';' between suspects, ',' inside
-// one suspect. Rather than escaping, names containing any separator are
-// rejected at save time (task/job names never contain them in practice).
+// Text-format field separators: '\t' between columns, ';' between suspects,
+// ',' inside one suspect. Rather than escaping, names containing any
+// separator are rejected at save time (task/job names never contain them in
+// practice). The binary format has no separators and accepts any name.
 bool SafeName(const std::string& name) {
   return name.find_first_of("\t\n;,") == std::string::npos;
 }
@@ -61,9 +61,7 @@ StatusOr<std::vector<Suspect>> DecodeSuspects(const std::string& text) {
   return suspects;
 }
 
-}  // namespace
-
-Status SaveIncidents(const std::string& path, const IncidentLog& log) {
+Status EncodeIncidentsText(const IncidentLog& log, std::string* out) {
   for (const Incident& incident : log.incidents()) {
     if (!SafeName(incident.victim_task) || !SafeName(incident.victim_job) ||
         !SafeName(incident.machine) || !SafeName(incident.action_target)) {
@@ -75,11 +73,9 @@ Status SaveIncidents(const std::string& path, const IncidentLog& log) {
       }
     }
   }
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    return InternalError("open " + path + " for write: " + std::strerror(errno));
-  }
-  std::fprintf(file, "%s\n", kHeader);
+  out->clear();
+  out->append(kHeader);
+  out->push_back('\n');
   for (const Incident& incident : log.incidents()) {
     std::string note = incident.note;
     for (char& c : note) {
@@ -87,32 +83,34 @@ Status SaveIncidents(const std::string& path, const IncidentLog& log) {
         c = ' ';
       }
     }
-    std::fprintf(file, "%lld\t%s\t%s\t%s\t%s\t%d\t%.9g\t%.9g\t%.9g\t%.9g\t%d\t%s\t%.9g\t%s\t%s\n",
-                 static_cast<long long>(incident.timestamp), incident.machine.c_str(),
-                 incident.victim_task.c_str(), incident.victim_job.c_str(),
-                 incident.platforminfo.c_str(), static_cast<int>(incident.victim_class),
-                 incident.victim_cpi, incident.cpi_threshold, incident.spec_mean,
-                 incident.spec_stddev, static_cast<int>(incident.action),
-                 incident.action_target.c_str(), incident.cap_level, note.c_str(),
-                 EncodeSuspects(incident.suspects).c_str());
-  }
-  if (std::fclose(file) != 0) {
-    return InternalError("close " + path + " failed");
+    *out += StrFormat(
+        "%lld\t%s\t%s\t%s\t%s\t%d\t%.9g\t%.9g\t%.9g\t%.9g\t%d\t%s\t%.9g\t%s\t%s\n",
+        static_cast<long long>(incident.timestamp), incident.machine.c_str(),
+        incident.victim_task.c_str(), incident.victim_job.c_str(),
+        incident.platforminfo.c_str(), static_cast<int>(incident.victim_class),
+        incident.victim_cpi, incident.cpi_threshold, incident.spec_mean,
+        incident.spec_stddev, static_cast<int>(incident.action),
+        incident.action_target.c_str(), incident.cap_level, note.c_str(),
+        EncodeSuspects(incident.suspects).c_str());
   }
   return Status::Ok();
 }
 
-StatusOr<IncidentLog> LoadIncidents(const std::string& path, int64_t* lines_skipped) {
-  std::ifstream file(path);
-  if (!file) {
-    return NotFoundError("cannot open " + path);
-  }
+StatusOr<IncidentLog> LoadIncidentsText(const std::string& path, const std::string& contents,
+                                        IncidentLoadStats* stats) {
+  std::istringstream file(contents);
   std::string line;
   if (!std::getline(file, line) || line != kHeader) {
     return InvalidArgumentError(path + ": missing or wrong header");
   }
+  const auto skip = [&](int line_number, const std::string& reason) {
+    CPI2_LOG(WARNING) << path << ":" << line_number << ": " << reason << "; skipping line";
+    if (stats != nullptr) {
+      ++stats->records_skipped;
+      stats->skipped.push_back(StrFormat("%s:%d: %s", path.c_str(), line_number, reason.c_str()));
+    }
+  };
   IncidentLog log;
-  int64_t skipped = 0;
   int line_number = 1;
   while (std::getline(file, line)) {
     ++line_number;
@@ -132,9 +130,8 @@ StatusOr<IncidentLog> LoadIncidents(const std::string& path, int64_t* lines_skip
     if (fields.size() != 15) {
       // Truncated or torn line (e.g. a crash mid-append): skip it rather
       // than discarding every intact incident in the file.
-      CPI2_LOG(WARNING) << path << ":" << line_number << ": expected 15 fields, got "
-                        << fields.size() << "; skipping line";
-      ++skipped;
+      skip(line_number,
+           StrFormat("expected 15 fields, got %zu", fields.size()));
       continue;
     }
     Incident incident;
@@ -154,18 +151,74 @@ StatusOr<IncidentLog> LoadIncidents(const std::string& path, int64_t* lines_skip
     incident.note = fields[13];
     auto suspects = DecodeSuspects(fields[14]);
     if (!suspects.ok()) {
-      CPI2_LOG(WARNING) << path << ":" << line_number << ": "
-                        << suspects.status().message() << "; skipping line";
-      ++skipped;
+      skip(line_number, suspects.status().message());
       continue;
     }
     incident.suspects = std::move(*suspects);
     log.Add(incident);
   }
-  if (lines_skipped != nullptr) {
-    *lines_skipped = skipped;
+  return log;
+}
+
+StatusOr<IncidentLog> LoadIncidentsBinary(const std::string& path, const std::string& contents,
+                                          IncidentLoadStats* stats) {
+  std::vector<Incident> incidents;
+  IncidentDecodeStats decode_stats;
+  const Status status = DecodeIncidentFile(contents, &incidents, &decode_stats);
+  if (!status.ok()) {
+    return InvalidArgumentError(path + ": " + status.message());
+  }
+  for (const std::string& reason : decode_stats.skip_reasons) {
+    CPI2_LOG(WARNING) << path << ": " << reason << "; skipping record";
+    if (stats != nullptr) {
+      stats->skipped.push_back(path + ": " + reason);
+    }
+  }
+  if (stats != nullptr) {
+    stats->records_skipped += decode_stats.records_skipped;
+  }
+  IncidentLog log;
+  for (const Incident& incident : incidents) {
+    log.Add(incident);
   }
   return log;
+}
+
+}  // namespace
+
+Status SaveIncidents(const std::string& path, const IncidentLog& log,
+                     IncidentFileFormat format) {
+  std::string contents;
+  if (format == IncidentFileFormat::kText) {
+    const Status encoded = EncodeIncidentsText(log, &contents);
+    if (!encoded.ok()) {
+      return encoded;
+    }
+  } else {
+    EncodeIncidentFile(log.incidents(), &contents);
+  }
+  return AtomicWriteFile(path, contents);
+}
+
+StatusOr<IncidentLog> LoadIncidentsWithStats(const std::string& path,
+                                             IncidentLoadStats* stats) {
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    return contents.status();
+  }
+  if (HasWireMagic(*contents, kIncidentFileMagic)) {
+    return LoadIncidentsBinary(path, *contents, stats);
+  }
+  return LoadIncidentsText(path, *contents, stats);
+}
+
+StatusOr<IncidentLog> LoadIncidents(const std::string& path, int64_t* lines_skipped) {
+  IncidentLoadStats stats;
+  StatusOr<IncidentLog> loaded = LoadIncidentsWithStats(path, &stats);
+  if (lines_skipped != nullptr) {
+    *lines_skipped = stats.records_skipped;
+  }
+  return loaded;
 }
 
 }  // namespace cpi2

@@ -118,6 +118,22 @@ struct Cpi2Params {
   // in CI and as the baseline for bench_forensics_query.
   bool legacy_forensics_path = false;
 
+  // --- wire & storage formats (engineering; no paper counterpart) -----------
+  // Validation escape hatch, mirroring legacy_correlation_path: route the
+  // agent→aggregator transport through per-sample struct delivery and write
+  // incidents/checkpoints in their text formats, instead of the binary
+  // dictionary-coded wire path. Both paths are observably identical — same
+  // specs, incidents, health counters, and fault-RNG draws — proven by
+  // ParallelDeterminismTest.LegacyWirePathMatchesBinary. Text files remain
+  // loadable forever regardless of this flag.
+  bool legacy_wire_path = false;
+  // Flush policy for the binary sample-batch transport. A batch seals when
+  // it reaches wire_batch_max_samples, or at the first flush opportunity
+  // once it is wire_batch_max_age old (0 = seal at every flush, which makes
+  // batch delivery timing identical to per-sample delivery).
+  int wire_batch_max_samples = 64;
+  MicroTime wire_batch_max_age = 0;
+
   // Renders the parameter table (used by bench_table2_params and --help
   // style output).
   std::string ToTable() const;

@@ -71,8 +71,14 @@ void ClusterHarness::WireAgents() {
     // deterministic machine-order drain in OnTick.
     AgentChannel& channel = channels_[i];
     channel.machine = machine;
-    agent->SetDeliveryCallback(
-        [this, i](const CpiSample& sample) { return DeliverSample(i, sample); });
+    if (options_.params.legacy_wire_path) {
+      agent->SetDeliveryCallback(
+          [this, i](const CpiSample& sample) { return DeliverSample(i, sample); });
+    } else {
+      agent->SetBatchDeliveryCallback([this, i](const EncodedSampleBatch& batch) {
+        return DeliverBatch(i, batch);
+      });
+    }
     agent->SetIncidentCallback(
         [&channel](const Incident& incident) { channel.incidents.push_back(incident); });
     channel.agent = agent.get();
@@ -148,6 +154,36 @@ DeliveryResult ClusterHarness::DeliverSample(size_t machine_index, const CpiSamp
     return DeliveryResult::kUnavailable;
   }
   return DeliveryResult::kAck;
+}
+
+BatchDeliveryOutcome ClusterHarness::DeliverBatch(size_t machine_index,
+                                                  const EncodedSampleBatch& batch) {
+  BatchDeliveryOutcome outcome;
+  // One corruption draw per delivery attempt, before any per-sample draw
+  // (rate 0 draws nothing, keeping the stream identical to the legacy path).
+  std::string_view bytes = batch.bytes;
+  std::string corrupted;
+  if (fault_plane_->DrawWireCorrupt(static_cast<int>(machine_index))) {
+    corrupted = batch.bytes;
+    corrupted[corrupted.size() / 2] ^= 0x40;  // one flipped bit in flight
+    bytes = corrupted;
+  }
+  if (!DecodeSampleBatch(bytes, &batch_scratch_).ok()) {
+    outcome.decode_failed = true;
+    return outcome;
+  }
+  for (size_t s = batch.consumed; s < batch_scratch_.size(); ++s) {
+    const DeliveryResult result = DeliverSample(machine_index, batch_scratch_[s]);
+    if (result == DeliveryResult::kAck) {
+      ++outcome.delivered;
+    } else if (result == DeliveryResult::kLost) {
+      ++outcome.lost;
+    } else {
+      outcome.retry = true;
+      break;
+    }
+  }
+  return outcome;
 }
 
 void ClusterHarness::DeliverSpec(const CpiSpec& spec) {
@@ -272,6 +308,7 @@ ClusterHealthReport ClusterHarness::Health() const {
     report.agents.stale_spec_widenings += h.stale_spec_widenings;
     report.agents.stale_spec_suppressions += h.stale_spec_suppressions;
     report.agents.series_points_dropped += h.series_points_dropped;
+    report.agents.wire_decode_errors += h.wire_decode_errors;
   }
   for (const auto& flaky : flaky_sources_) {
     if (flaky != nullptr) {

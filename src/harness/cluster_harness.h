@@ -157,6 +157,14 @@ class ClusterHarness {
   // the duplicate).
   DeliveryResult DeliverSample(size_t machine_index, const CpiSample& sample);
 
+  // One delivery attempt of an encoded batch (the binary wire path). Draws
+  // the per-batch corruption fault, decodes, then runs every unsettled
+  // sample through DeliverSample — the same code and draw order as
+  // per-sample delivery, which is what makes legacy_wire_path observably
+  // inert. Stops at the first retryable sample so the agent re-sends the
+  // same bytes from that offset after backoff.
+  BatchDeliveryOutcome DeliverBatch(size_t machine_index, const EncodedSampleBatch& batch);
+
   // Fault-plane wrapper around one spec push. Draw order: lost, delayed,
   // duplicated.
   void OnSpecPush(const CpiSpec& spec);
@@ -186,6 +194,9 @@ class ClusterHarness {
   // machines the spec applies to instead of broadcasting cluster-wide.
   std::map<std::string, std::vector<size_t>> channels_by_platform_;
   std::deque<DelayedPush> delayed_pushes_;  // due-time order (FIFO insert)
+  // Decode scratch for DeliverBatch (merge phase only): element and string
+  // capacity is reused across every batch the harness receives.
+  std::vector<CpiSample> batch_scratch_;
   std::string last_checkpoint_blob_;
   std::string empty_checkpoint_blob_;  // pristine state, for crashes before any checkpoint
   bool wired_ = false;

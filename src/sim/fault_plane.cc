@@ -26,7 +26,8 @@ bool FaultPlane::AnyFaultsEnabled() const {
   return options_.agent_crash_per_tick > 0 || options_.aggregator_outage_period > 0 ||
          options_.spec_push_loss_rate > 0 || options_.spec_push_duplicate_rate > 0 ||
          options_.spec_push_delay_rate > 0 || options_.sample_burst_per_tick > 0 ||
-         options_.ack_loss_rate > 0 || options_.counter_zero_rate > 0 ||
+         options_.ack_loss_rate > 0 || options_.wire_corrupt_rate > 0 ||
+         options_.counter_zero_rate > 0 ||
          options_.counter_garbage_rate > 0 || options_.counter_stuck_rate > 0;
 }
 
@@ -113,6 +114,17 @@ bool FaultPlane::DrawAckLost(int machine) {
     ++stats_.acks_lost;
   }
   return lost;
+}
+
+bool FaultPlane::DrawWireCorrupt(int machine) {
+  if (options_.wire_corrupt_rate <= 0) {
+    return false;
+  }
+  const bool corrupted = machines_[machine].rng.Bernoulli(options_.wire_corrupt_rate);
+  if (corrupted) {
+    ++stats_.batches_corrupted;
+  }
+  return corrupted;
 }
 
 bool FaultPlane::DrawSpecPushLost() {

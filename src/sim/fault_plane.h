@@ -79,6 +79,12 @@ class FaultPlane {
     // Probability that a successful delivery's ack is lost: the aggregator
     // has the sample, the agent retries it anyway (exercises dedup).
     double ack_loss_rate = 0.0;
+    // Per-batch probability that a sample batch arrives bit-flipped: the
+    // receiver's CRC check rejects it and every unsettled sample in the
+    // batch is lost (counted as a wire decode error). Only meaningful on
+    // the binary wire path — per-sample struct delivery has no bytes to
+    // corrupt.
+    double wire_corrupt_rate = 0.0;
 
     // --- counter substrate (consumed by perf/FlakyCounterSource) ---------
     double counter_zero_rate = 0.0;
@@ -97,6 +103,7 @@ class FaultPlane {
     int64_t spec_pushes_delayed = 0;
     int64_t spec_pushes_duplicated = 0;
     int64_t acks_lost = 0;
+    int64_t batches_corrupted = 0;
   };
 
   FaultPlane(const Options& options, int machines);
@@ -129,6 +136,9 @@ class FaultPlane {
   // Per-sample ack-loss draw for `machine`. Only call from the merge phase
   // (machine order); draws from that machine's stream.
   bool DrawAckLost(int machine);
+  // Per-batch corruption draw for `machine` (merge phase, machine order):
+  // one draw per batch delivery attempt, before any per-sample draws.
+  bool DrawWireCorrupt(int machine);
   // Per-push spec-channel draws, in this order, from the spec stream.
   bool DrawSpecPushLost();
   bool DrawSpecPushDelayed();

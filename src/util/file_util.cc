@@ -1,0 +1,57 @@
+#include "util/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace cpi2 {
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("open " + tmp_path + " for write: " + std::strerror(errno));
+  }
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), file) == contents.size();
+  // Flush user-space buffers and force the bytes to disk before the rename:
+  // an unsynced rename can commit the name change ahead of the data.
+  ok = ok && std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
+  if (std::fclose(file) != 0) {
+    ok = false;
+  }
+  if (!ok) {
+    std::remove(tmp_path.c_str());
+    return InternalError("write " + tmp_path + " failed: " + std::strerror(errno));
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const Status status =
+        InternalError("rename " + tmp_path + " -> " + path + ": " + std::strerror(errno));
+    std::remove(tmp_path.c_str());
+    return status;
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot open " + path + ": " + std::strerror(errno));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, read);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) {
+    return InternalError("read " + path + " failed");
+  }
+  return contents;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,30 @@
+// Crash-atomic file writes.
+//
+// Writing a checkpoint or incident log with fopen(path, "w") has a window
+// where a crash leaves a half-written file *in place of* the previous good
+// one — the next restore then fails or, worse, silently loads a torn
+// prefix. AtomicWriteFile closes that window the classic POSIX way: write
+// everything to `<path>.tmp`, fsync it, then rename(2) over the target.
+// rename is atomic on the same filesystem, so readers see either the old
+// complete file or the new complete file, never a mixture.
+
+#ifndef CPI2_UTIL_FILE_UTIL_H_
+#define CPI2_UTIL_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cpi2 {
+
+// Atomically replaces `path` with `contents` via write-to-temp + fsync +
+// rename. On any failure the temp file is removed and `path` is untouched.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+// Reads all of `path` into a string. NotFound if the file cannot be opened.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace cpi2
+
+#endif  // CPI2_UTIL_FILE_UTIL_H_

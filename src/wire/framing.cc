@@ -1,0 +1,46 @@
+#include "wire/framing.h"
+
+#include <cassert>
+
+namespace cpi2 {
+
+bool HasWireMagic(std::string_view data, std::string_view magic) {
+  assert(magic.size() == kWireMagicSize);
+  return data.size() >= magic.size() && data.substr(0, magic.size()) == magic;
+}
+
+void AppendWireMagic(std::string* out, std::string_view magic) {
+  assert(magic.size() == kWireMagicSize);
+  out->append(magic.data(), magic.size());
+}
+
+void AppendFramedRecord(std::string* out, std::string_view payload) {
+  WireWriter writer(out);
+  writer.PutVarint(payload.size());
+  out->append(payload.data(), payload.size());
+  writer.PutFixed32(Crc32(payload));
+}
+
+FrameResult ReadFramedRecord(WireReader& reader, std::string_view* payload) {
+  if (reader.remaining() == 0) {
+    return FrameResult::kEnd;
+  }
+  const uint64_t length = reader.GetVarint();
+  if (reader.failed() || length + 4 > reader.remaining()) {
+    // The length itself is unreadable or promises more bytes than exist:
+    // either a torn tail or a corrupted length byte. Framing is lost.
+    return FrameResult::kTruncated;
+  }
+  const std::string_view body = reader.GetSpan(static_cast<size_t>(length));
+  const uint32_t stored_crc = reader.GetFixed32();
+  if (reader.failed()) {
+    return FrameResult::kTruncated;
+  }
+  if (Crc32(body) != stored_crc) {
+    return FrameResult::kCorrupt;
+  }
+  *payload = body;
+  return FrameResult::kRecord;
+}
+
+}  // namespace cpi2

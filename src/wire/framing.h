@@ -1,0 +1,57 @@
+// Record framing shared by the binary incident log and the binary
+// aggregator checkpoint.
+//
+// Layout of a framed file/blob:
+//
+//   magic[8]                      format + major version, e.g. "CPI2INC2"
+//   repeated framed record:
+//     varint payload_length
+//     payload[payload_length]     first payload byte is a record tag
+//     crc32(payload)  fixed32
+//
+// The CRC covers exactly the payload, so any single flipped byte inside a
+// record is caught by that record alone; a truncated tail is caught because
+// the declared length (or the 4 CRC bytes) runs past end-of-buffer. What a
+// reader does with a bad record is its policy: the incident loader skips and
+// counts, the checkpoint loader rejects the whole blob (a half-restored
+// aggregator is worse than none).
+
+#ifndef CPI2_WIRE_FRAMING_H_
+#define CPI2_WIRE_FRAMING_H_
+
+#include <string>
+#include <string_view>
+
+#include "wire/wire_codec.h"
+
+namespace cpi2 {
+
+// Every binary magic is exactly 8 bytes so Sniff* helpers are one memcmp.
+inline constexpr size_t kWireMagicSize = 8;
+
+// True when `data` begins with the 8-byte `magic`.
+bool HasWireMagic(std::string_view data, std::string_view magic);
+
+// Appends `magic` (must be kWireMagicSize bytes) to `out`.
+void AppendWireMagic(std::string* out, std::string_view magic);
+
+// Appends one framed record (length + payload + CRC) to `out`.
+void AppendFramedRecord(std::string* out, std::string_view payload);
+
+// Outcome of pulling one framed record off a reader.
+enum class FrameResult {
+  kRecord,     // *payload holds a CRC-verified record
+  kEnd,        // clean end of buffer, no bytes left over
+  kCorrupt,    // bad CRC: this record is damaged but framing survives
+  kTruncated,  // length or CRC runs past the end: nothing after is readable
+};
+
+// Reads the next framed record from `reader`. On kRecord, `*payload` views
+// the verified payload bytes. On kCorrupt the reader has consumed the
+// damaged record (the caller may continue with the next one); on
+// kTruncated/kEnd the reader is exhausted.
+FrameResult ReadFramedRecord(WireReader& reader, std::string_view* payload);
+
+}  // namespace cpi2
+
+#endif  // CPI2_WIRE_FRAMING_H_

@@ -1,0 +1,212 @@
+#include "wire/incident_codec.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+#include "wire/framing.h"
+
+namespace cpi2 {
+namespace {
+
+constexpr uint8_t kDictTag = 'D';
+constexpr uint8_t kIncidentTag = 'I';
+
+// File-level dictionary builder: names are assigned indices in first-use
+// order while incident payloads are being encoded, then the dict record is
+// emitted before them.
+class FileDict {
+ public:
+  uint32_t Index(const std::string& name) {
+    auto [it, inserted] = ids_.try_emplace(name, static_cast<uint32_t>(names_.size()));
+    if (inserted) {
+      names_.push_back(&it->first);
+    }
+    return it->second;
+  }
+
+  void EncodeRecord(std::string* payload) const {
+    WireWriter writer(payload);
+    writer.PutByte(kDictTag);
+    writer.PutVarint(names_.size());
+    for (const std::string* name : names_) {
+      writer.PutString(*name);
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<const std::string*> names_;
+};
+
+void EncodeIncidentPayload(const Incident& incident, FileDict& dict, std::string* payload) {
+  WireWriter writer(payload);
+  writer.PutByte(kIncidentTag);
+  writer.PutZigzag(incident.timestamp);
+  writer.PutVarint(dict.Index(incident.machine));
+  writer.PutVarint(dict.Index(incident.victim_task));
+  writer.PutVarint(dict.Index(incident.victim_job));
+  writer.PutVarint(dict.Index(incident.platforminfo));
+  writer.PutVarint(dict.Index(incident.action_target));
+  writer.PutByte(static_cast<uint8_t>(incident.victim_class));
+  writer.PutByte(static_cast<uint8_t>(incident.action));
+  writer.PutDouble(incident.victim_cpi);
+  writer.PutDouble(incident.cpi_threshold);
+  writer.PutDouble(incident.spec_mean);
+  writer.PutDouble(incident.spec_stddev);
+  writer.PutDouble(incident.cap_level);
+  writer.PutString(incident.note);
+  writer.PutVarint(incident.suspects.size());
+  for (const Suspect& suspect : incident.suspects) {
+    writer.PutVarint(dict.Index(suspect.task));
+    writer.PutVarint(dict.Index(suspect.jobname));
+    writer.PutByte(static_cast<uint8_t>(suspect.workload_class));
+    writer.PutByte(static_cast<uint8_t>(suspect.priority));
+    writer.PutDouble(suspect.correlation);
+  }
+}
+
+bool DecodeIncidentPayload(std::string_view payload, const std::vector<std::string_view>& dict,
+                           Incident* incident) {
+  WireReader reader(payload);
+  if (reader.GetByte() != kIncidentTag) {
+    return false;
+  }
+  const size_t dict_size = dict.size();
+  auto name = [&](uint64_t index, std::string* out) {
+    if (index >= dict_size) {
+      reader.GetSpan(payload.size());  // latch failure via overrun
+      return;
+    }
+    out->assign(dict[static_cast<size_t>(index)]);
+  };
+  incident->timestamp = reader.GetZigzag();
+  name(reader.GetVarint(), &incident->machine);
+  name(reader.GetVarint(), &incident->victim_task);
+  name(reader.GetVarint(), &incident->victim_job);
+  name(reader.GetVarint(), &incident->platforminfo);
+  name(reader.GetVarint(), &incident->action_target);
+  incident->victim_class = static_cast<WorkloadClass>(reader.GetByte());
+  incident->action = static_cast<IncidentAction>(reader.GetByte());
+  incident->victim_cpi = reader.GetDouble();
+  incident->cpi_threshold = reader.GetDouble();
+  incident->spec_mean = reader.GetDouble();
+  incident->spec_stddev = reader.GetDouble();
+  incident->cap_level = reader.GetDouble();
+  const std::string_view note = reader.GetString();
+  incident->note.assign(note.data(), note.size());
+  const uint64_t suspect_count = reader.GetVarint();
+  if (reader.failed() || suspect_count > reader.remaining()) {
+    return false;
+  }
+  incident->suspects.clear();
+  incident->suspects.reserve(static_cast<size_t>(suspect_count));
+  for (uint64_t i = 0; i < suspect_count; ++i) {
+    Suspect suspect;
+    name(reader.GetVarint(), &suspect.task);
+    name(reader.GetVarint(), &suspect.jobname);
+    suspect.workload_class = static_cast<WorkloadClass>(reader.GetByte());
+    suspect.priority = static_cast<JobPriority>(reader.GetByte());
+    suspect.correlation = reader.GetDouble();
+    incident->suspects.push_back(std::move(suspect));
+  }
+  return !reader.failed() && reader.remaining() == 0;
+}
+
+}  // namespace
+
+void EncodeIncidentFile(const std::deque<Incident>& incidents, std::string* out) {
+  out->clear();
+  FileDict dict;
+  // Encode incident payloads first so the dictionary is complete, then
+  // assemble dict-before-incidents (the loader needs names up front).
+  std::vector<std::string> payloads;
+  payloads.reserve(incidents.size());
+  for (const Incident& incident : incidents) {
+    EncodeIncidentPayload(incident, dict, &payloads.emplace_back());
+  }
+  AppendWireMagic(out, kIncidentFileMagic);
+  WireWriter writer(out);
+  writer.PutVarint(incidents.size());
+  std::string dict_payload;
+  dict.EncodeRecord(&dict_payload);
+  AppendFramedRecord(out, dict_payload);
+  for (const std::string& payload : payloads) {
+    AppendFramedRecord(out, payload);
+  }
+}
+
+Status DecodeIncidentFile(std::string_view bytes, std::vector<Incident>* out,
+                          IncidentDecodeStats* stats) {
+  out->clear();
+  if (!HasWireMagic(bytes, kIncidentFileMagic)) {
+    return InvalidArgumentError("incident file: bad magic");
+  }
+  WireReader reader(bytes.substr(kWireMagicSize));
+  const uint64_t record_count = reader.GetVarint();
+  if (reader.failed()) {
+    return InvalidArgumentError("incident file: unreadable record count");
+  }
+
+  std::string_view payload;
+  FrameResult frame = ReadFramedRecord(reader, &payload);
+  if (frame != FrameResult::kRecord || payload.empty() || payload[0] != kDictTag) {
+    return InvalidArgumentError("incident file: missing or damaged dictionary record");
+  }
+  WireReader dict_reader(payload.substr(1));
+  const uint64_t name_count = dict_reader.GetVarint();
+  if (dict_reader.failed() || name_count > dict_reader.remaining()) {
+    return InvalidArgumentError("incident file: damaged dictionary record");
+  }
+  std::vector<std::string_view> dict(static_cast<size_t>(name_count));
+  for (auto& entry : dict) {
+    entry = dict_reader.GetString();
+  }
+  if (dict_reader.failed()) {
+    return InvalidArgumentError("incident file: damaged dictionary record");
+  }
+
+  auto skip = [&](std::string reason) {
+    if (stats != nullptr) {
+      ++stats->records_skipped;
+      stats->skip_reasons.push_back(std::move(reason));
+    }
+  };
+
+  out->reserve(static_cast<size_t>(record_count));
+  uint64_t record_index = 0;
+  while (record_index < record_count) {
+    frame = ReadFramedRecord(reader, &payload);
+    if (frame == FrameResult::kEnd || frame == FrameResult::kTruncated) {
+      // The writer promised `record_count` records; everything from here to
+      // the promised end was lost to a torn tail.
+      const uint64_t lost = record_count - record_index;
+      if (stats != nullptr) {
+        stats->records_skipped += static_cast<int64_t>(lost);
+        stats->skip_reasons.push_back(
+            lost == 1 ? StrFormat("record %llu: truncated tail",
+                                  static_cast<unsigned long long>(record_index))
+                      : StrFormat("records %llu..%llu: truncated tail",
+                                  static_cast<unsigned long long>(record_index),
+                                  static_cast<unsigned long long>(record_count - 1)));
+      }
+      return Status::Ok();
+    }
+    if (frame == FrameResult::kCorrupt) {
+      skip(StrFormat("record %llu: bad CRC", static_cast<unsigned long long>(record_index)));
+      ++record_index;
+      continue;
+    }
+    Incident incident;
+    if (!DecodeIncidentPayload(payload, dict, &incident)) {
+      skip(StrFormat("record %llu: malformed incident payload",
+                     static_cast<unsigned long long>(record_index)));
+      ++record_index;
+      continue;
+    }
+    out->push_back(std::move(incident));
+    ++record_index;
+  }
+  return Status::Ok();
+}
+
+}  // namespace cpi2

@@ -1,0 +1,63 @@
+// Binary incident-file codec ("v2" of the incident store; v1 is the TSV
+// format in core/incident_log_io).
+//
+// Layout:
+//
+//   magic[8] = "CPI2INC2"
+//   varint record_count            incidents the writer intended to persist
+//   framed dict record  tag 'D'    every name in the file, written once
+//   framed incident record ×N, tag 'I':
+//     zigzag timestamp (absolute — records must survive a skipped neighbour)
+//     machine/victim_task/victim_job/platforminfo/action_target dict indices
+//     victim_class byte, action byte
+//     fixed64 victim_cpi, cpi_threshold, spec_mean, spec_stddev, cap_level
+//     inline note string
+//     suspect_count, then per suspect: task/jobname indices, class byte,
+//     priority byte, fixed64 correlation
+//
+// Each record carries its own CRC (see wire/framing.h), so a flipped byte
+// loses exactly one incident and a torn tail loses only the records after
+// the tear; `record_count` up front lets the loader say *how many* records a
+// truncation swallowed. The dictionary record is the one single point of
+// failure — if it is damaged the file is rejected outright, since every
+// index would dereference garbage.
+
+#ifndef CPI2_WIRE_INCIDENT_CODEC_H_
+#define CPI2_WIRE_INCIDENT_CODEC_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/incident.h"
+#include "util/status.h"
+
+namespace cpi2 {
+
+inline constexpr char kIncidentFileMagic[] = "CPI2INC2";
+
+// Encodes `incidents` as one binary incident file into `*out` (cleared
+// first). Unlike the TSV writer this never rejects a name: there are no
+// in-band separators to collide with.
+void EncodeIncidentFile(const std::deque<Incident>& incidents, std::string* out);
+
+// Per-load accounting of what could not be decoded, and why. Mirrors the
+// text loader's skip-and-count contract, but with record identity.
+struct IncidentDecodeStats {
+  int64_t records_skipped = 0;
+  // One human-readable line per skip, e.g. "record 3: bad CRC" or
+  // "records 7..11: truncated tail". Bounded by the caller's patience, not
+  // by us; real files have zero entries.
+  std::vector<std::string> skip_reasons;
+};
+
+// Decodes a binary incident file. Damaged individual records are skipped and
+// counted into `*stats` (if non-null); only a wrong magic, an unreadable
+// header, or a damaged dictionary fails the whole load.
+Status DecodeIncidentFile(std::string_view bytes, std::vector<Incident>* out,
+                          IncidentDecodeStats* stats);
+
+}  // namespace cpi2
+
+#endif  // CPI2_WIRE_INCIDENT_CODEC_H_

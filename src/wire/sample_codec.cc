@@ -1,0 +1,236 @@
+#include "wire/sample_codec.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+#include "wire/framing.h"
+
+namespace cpi2 {
+
+namespace {
+
+constexpr char kSampleTextHeader[] = "cpi2-samples-v1";
+
+// Assigns `view` into `*out`, reusing the string's existing capacity.
+void AssignView(std::string_view view, std::string* out) {
+  out->assign(view.data(), view.size());
+}
+
+}  // namespace
+
+uint32_t SampleBatchEncoder::DictIndex(const std::string& name) {
+  auto [it, inserted] = dict_ids_.try_emplace(name, generation_, dict_count_);
+  if (!inserted && it->second.first == generation_) {
+    return it->second.second;
+  }
+  // First use of this name in the current batch: append it to the dictionary
+  // section and (re)stamp the resident map entry.
+  it->second = {generation_, dict_count_};
+  WireWriter writer(&dict_buf_);
+  writer.PutString(name);
+  return dict_count_++;
+}
+
+void SampleBatchEncoder::Add(const CpiSample& sample) {
+  WireWriter writer(&body_buf_);
+  writer.PutVarint(DictIndex(sample.jobname));
+  writer.PutVarint(DictIndex(sample.platforminfo));
+  writer.PutVarint(DictIndex(sample.task));
+  writer.PutVarint(DictIndex(sample.machine));
+  writer.PutZigzag(sample.timestamp - prev_timestamp_);
+  prev_timestamp_ = sample.timestamp;
+  writer.PutDouble(sample.cpu_usage);
+  writer.PutDouble(sample.cpi);
+  writer.PutDouble(sample.l3_miss_per_instruction);
+  ++count_;
+}
+
+const std::string& SampleBatchEncoder::Finish() {
+  out_.clear();
+  AppendWireMagic(&out_, kSampleBatchMagic);
+  WireWriter writer(&out_);
+  writer.PutVarint(dict_count_);
+  out_.append(dict_buf_);
+  writer.PutVarint(count_);
+  out_.append(body_buf_);
+  writer.PutFixed32(Crc32(out_));
+  return out_;
+}
+
+void SampleBatchEncoder::Reset() {
+  // Bumping the generation invalidates every resident dictionary entry
+  // without deallocating the map nodes.
+  ++generation_;
+  dict_count_ = 0;
+  dict_buf_.clear();
+  body_buf_.clear();
+  count_ = 0;
+  prev_timestamp_ = 0;
+}
+
+Status DecodeSampleBatch(std::string_view bytes, std::vector<CpiSample>* out) {
+  out->clear();
+  if (!HasWireMagic(bytes, kSampleBatchMagic)) {
+    return InvalidArgumentError("sample batch: bad magic");
+  }
+  if (bytes.size() < kWireMagicSize + 4) {
+    return InvalidArgumentError("sample batch: truncated");
+  }
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  WireReader crc_reader(bytes.substr(bytes.size() - 4));
+  if (Crc32(body) != crc_reader.GetFixed32()) {
+    return InvalidArgumentError("sample batch: CRC mismatch");
+  }
+  WireReader reader(body.substr(kWireMagicSize));
+
+  const uint64_t dict_count = reader.GetVarint();
+  if (reader.failed() || dict_count > reader.remaining()) {
+    return InvalidArgumentError("sample batch: bad dictionary count");
+  }
+  std::vector<std::string_view> dict(static_cast<size_t>(dict_count));
+  for (auto& entry : dict) {
+    entry = reader.GetString();
+  }
+  // A sample record is at least 29 bytes (4 one-byte indices, a one-byte
+  // delta, three fixed64 doubles), which bounds a sane count.
+  const uint64_t sample_count = reader.GetVarint();
+  if (reader.failed() || sample_count > reader.remaining() / 29) {
+    return InvalidArgumentError("sample batch: bad sample count");
+  }
+
+  // Reuse previously-decoded elements (and their string capacity) in place.
+  if (out->size() < sample_count) {
+    out->resize(static_cast<size_t>(sample_count));
+  }
+  MicroTime prev_timestamp = 0;
+  for (uint64_t i = 0; i < sample_count; ++i) {
+    CpiSample& sample = (*out)[static_cast<size_t>(i)];
+    const uint64_t job_idx = reader.GetVarint();
+    const uint64_t platform_idx = reader.GetVarint();
+    const uint64_t task_idx = reader.GetVarint();
+    const uint64_t machine_idx = reader.GetVarint();
+    const int64_t ts_delta = reader.GetZigzag();
+    sample.cpu_usage = reader.GetDouble();
+    sample.cpi = reader.GetDouble();
+    sample.l3_miss_per_instruction = reader.GetDouble();
+    if (reader.failed() || job_idx >= dict_count || platform_idx >= dict_count ||
+        task_idx >= dict_count || machine_idx >= dict_count) {
+      return InvalidArgumentError(
+          StrFormat("sample batch: malformed sample record %llu",
+                    static_cast<unsigned long long>(i)));
+    }
+    AssignView(dict[static_cast<size_t>(job_idx)], &sample.jobname);
+    AssignView(dict[static_cast<size_t>(platform_idx)], &sample.platforminfo);
+    AssignView(dict[static_cast<size_t>(task_idx)], &sample.task);
+    AssignView(dict[static_cast<size_t>(machine_idx)], &sample.machine);
+    sample.timestamp = prev_timestamp + ts_delta;
+    prev_timestamp = sample.timestamp;
+  }
+  if (reader.remaining() != 0) {
+    return InvalidArgumentError("sample batch: trailing bytes after samples");
+  }
+  out->resize(static_cast<size_t>(sample_count));
+  return Status::Ok();
+}
+
+void EncodeSampleBatchText(const std::vector<CpiSample>& samples, std::string* out) {
+  out->clear();
+  out->append(kSampleTextHeader);
+  out->push_back('\n');
+  char line[512];
+  for (const CpiSample& s : samples) {
+    const int n = std::snprintf(
+        line, sizeof(line), "%s\t%s\t%lld\t%.17g\t%.17g\t%s\t%s\t%.17g\n",
+        s.jobname.c_str(), s.platforminfo.c_str(),
+        static_cast<long long>(s.timestamp), s.cpu_usage, s.cpi, s.task.c_str(),
+        s.machine.c_str(), s.l3_miss_per_instruction);
+    if (n > 0 && static_cast<size_t>(n) < sizeof(line)) {
+      out->append(line, static_cast<size_t>(n));
+    } else {
+      // Names too long for the stack buffer: fall back to piecewise append.
+      out->append(s.jobname).push_back('\t');
+      out->append(s.platforminfo).push_back('\t');
+      out->append(StrFormat("%lld\t%.17g\t%.17g\t", static_cast<long long>(s.timestamp),
+                            s.cpu_usage, s.cpi));
+      out->append(s.task).push_back('\t');
+      out->append(s.machine).push_back('\t');
+      out->append(StrFormat("%.17g\n", s.l3_miss_per_instruction));
+    }
+  }
+}
+
+Status DecodeSampleBatchText(std::string_view text, std::vector<CpiSample>* out) {
+  out->clear();
+  size_t pos = 0;
+  auto next_line = [&](std::string_view* line) {
+    if (pos >= text.size()) {
+      return false;
+    }
+    const size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      *line = text.substr(pos);
+      pos = text.size();
+    } else {
+      *line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+    }
+    return true;
+  };
+
+  std::string_view header;
+  if (!next_line(&header) || header != kSampleTextHeader) {
+    return InvalidArgumentError("sample text: missing cpi2-samples-v1 header");
+  }
+  std::string_view line;
+  std::string field;
+  int64_t line_no = 1;
+  while (next_line(&line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    std::string_view fields[8];
+    size_t field_count = 0;
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == '\t') {
+        if (field_count >= 8) {
+          field_count = 9;  // too many fields
+          break;
+        }
+        fields[field_count++] = line.substr(start, i - start);
+        start = i + 1;
+      }
+    }
+    if (field_count != 8) {
+      return InvalidArgumentError(
+          StrFormat("sample text: line %lld has %zu fields, want 8",
+                    static_cast<long long>(line_no), field_count));
+    }
+    CpiSample sample;
+    AssignView(fields[0], &sample.jobname);
+    AssignView(fields[1], &sample.platforminfo);
+    AssignView(fields[5], &sample.task);
+    AssignView(fields[6], &sample.machine);
+    field.assign(fields[2]);
+    if (!ParseInt64(field, &sample.timestamp)) {
+      return InvalidArgumentError(
+          StrFormat("sample text: line %lld: bad timestamp", static_cast<long long>(line_no)));
+    }
+    field.assign(fields[3]);
+    bool ok = ParseDouble(field, &sample.cpu_usage);
+    field.assign(fields[4]);
+    ok = ok && ParseDouble(field, &sample.cpi);
+    field.assign(fields[7]);
+    ok = ok && ParseDouble(field, &sample.l3_miss_per_instruction);
+    if (!ok) {
+      return InvalidArgumentError(
+          StrFormat("sample text: line %lld: bad numeric field", static_cast<long long>(line_no)));
+    }
+    out->push_back(std::move(sample));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cpi2

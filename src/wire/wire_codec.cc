@@ -1,0 +1,67 @@
+#include "wire/wire_codec.h"
+
+#include <array>
+#include <bit>
+
+namespace cpi2 {
+namespace {
+
+// Reflected CRC32 tables for polynomial 0xEDB88320, built once at load.
+// Table 0 is the classic byte-at-a-time table; tables 1..7 extend it for
+// slicing-by-8, which processes eight input bytes per step — the CRC runs
+// over every encoded batch and every framed record, so it is squarely on
+// the wire hot path.
+std::array<std::array<uint32_t, 256>, 8> BuildCrcTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    tables[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables[0][i];
+    for (size_t t = 1; t < 8; ++t) {
+      crc = (crc >> 8) ^ tables[0][crc & 0xff];
+      tables[t][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const std::array<std::array<uint32_t, 256>, 8>& CrcTables() {
+  static const std::array<std::array<uint32_t, 256>, 8> tables = BuildCrcTables();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  const auto& tables = CrcTables();
+  const auto& table = tables[0];
+  uint32_t crc = ~seed;
+  const char* p = data.data();
+  size_t n = data.size();
+  // Slicing-by-8 on the aligned middle (little-endian only: the 64-bit load
+  // must place the first input byte in the low CRC lanes).
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      uint64_t chunk;
+      std::memcpy(&chunk, p, 8);
+      chunk ^= crc;  // fold the running CRC into the first four bytes
+      crc = tables[7][chunk & 0xff] ^ tables[6][(chunk >> 8) & 0xff] ^
+            tables[5][(chunk >> 16) & 0xff] ^ tables[4][(chunk >> 24) & 0xff] ^
+            tables[3][(chunk >> 32) & 0xff] ^ tables[2][(chunk >> 40) & 0xff] ^
+            tables[1][(chunk >> 48) & 0xff] ^ tables[0][chunk >> 56];
+      p += 8;
+      n -= 8;
+    }
+  }
+  for (; n > 0; ++p, --n) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(*p)) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,215 @@
+// Wire-format primitives for the CPI2 data plane.
+//
+// Every durable or transported artifact — sample batches on the
+// agent→aggregator path, the binary incident log, the binary aggregator
+// checkpoint — is built from the same four ingredients:
+//
+//   - LEB128 varints for counts, dictionary indices, and lengths,
+//   - zigzag varints for signed values (timestamp deltas),
+//   - little-endian fixed64 for raw IEEE-754 double bits (samples must
+//     decode bit-identical to the structs that were sent; text round-trips
+//     need 17 significant digits to promise the same thing, at 3x the size),
+//   - CRC32 (IEEE reflected polynomial) so a torn tail or flipped byte is
+//     *detected* instead of silently mis-parsed.
+//
+// WireWriter appends to a caller-owned std::string, so encoders reuse one
+// buffer across batches and the steady-state encode path performs no
+// allocations. WireReader is a bounds-checked cursor over a string_view: any
+// overrun or malformed varint latches a failure flag that callers check once
+// at the end instead of after every field.
+
+#ifndef CPI2_WIRE_WIRE_CODEC_H_
+#define CPI2_WIRE_WIRE_CODEC_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace cpi2 {
+
+// CRC32 (IEEE 802.3, reflected, init/final xor 0xffffffff) of `data`,
+// optionally chained from a previous value.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+// Zigzag mapping: small-magnitude signed values become small varints.
+inline uint64_t ZigzagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t value) {
+  return static_cast<int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+// Appends encoded fields to a caller-owned buffer (never cleared here, so
+// one buffer serves header + body + trailer).
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutByte(uint8_t value) { out_->push_back(static_cast<char>(value)); }
+
+  void PutVarint(uint64_t value) {
+    while (value >= 0x80) {
+      out_->push_back(static_cast<char>((value & 0x7f) | 0x80));
+      value >>= 7;
+    }
+    out_->push_back(static_cast<char>(value));
+  }
+
+  void PutZigzag(int64_t value) { PutVarint(ZigzagEncode(value)); }
+
+  // Raw little-endian 32-bit word (CRC trailers).
+  void PutFixed32(uint32_t value) {
+    char bytes[4];
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(bytes, &value, 4);
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+      }
+    }
+    out_->append(bytes, 4);
+  }
+
+  // Raw IEEE-754 double bits, little-endian: decodes bit-identical.
+  void PutDouble(double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    char bytes[8];
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(bytes, &bits, 8);
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<char>((bits >> (8 * i)) & 0xff);
+      }
+    }
+    out_->append(bytes, 8);
+  }
+
+  // Length-prefixed byte string.
+  void PutString(std::string_view value) {
+    PutVarint(value.size());
+    out_->append(value.data(), value.size());
+  }
+
+  std::string* buffer() { return out_; }
+
+ private:
+  std::string* out_;
+};
+
+// Bounds-checked cursor over an encoded buffer. All getters return a benign
+// zero/empty value once `failed()` latches; decode loops therefore check the
+// flag at natural boundaries (per record, per batch) rather than per field.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  uint8_t GetByte() {
+    if (pos_ >= data_.size()) {
+      failed_ = true;
+      return 0;
+    }
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint64_t GetVarint() {
+    // One-byte fast path: dictionary indices and small deltas dominate.
+    if (pos_ < data_.size()) {
+      const uint8_t first = static_cast<uint8_t>(data_[pos_]);
+      if ((first & 0x80) == 0) {
+        ++pos_;
+        return first;
+      }
+    }
+    uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size() || shift > 63) {
+        failed_ = true;
+        return 0;
+      }
+      const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        return value;
+      }
+      shift += 7;
+    }
+  }
+
+  int64_t GetZigzag() { return ZigzagDecode(GetVarint()); }
+
+  uint32_t GetFixed32() {
+    if (remaining() < 4) {
+      failed_ = true;
+      return 0;
+    }
+    uint32_t value = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&value, data_.data() + pos_, 4);
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        value |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  double GetDouble() {
+    if (remaining() < 8) {
+      failed_ = true;
+      return 0.0;
+    }
+    uint64_t bits = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&bits, data_.data() + pos_, 8);
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+      }
+    }
+    pos_ += 8;
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  // A length-prefixed byte string; the view aliases the underlying buffer.
+  std::string_view GetString() {
+    const uint64_t length = GetVarint();
+    if (failed_ || length > remaining()) {
+      failed_ = true;
+      return {};
+    }
+    const std::string_view value = data_.substr(pos_, length);
+    pos_ += length;
+    return value;
+  }
+
+  // A raw byte span without a length prefix (framed-record payloads).
+  std::string_view GetSpan(size_t length) {
+    if (length > remaining()) {
+      failed_ = true;
+      return {};
+    }
+    const std::string_view value = data_.substr(pos_, length);
+    pos_ += length;
+    return value;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_WIRE_WIRE_CODEC_H_

@@ -160,12 +160,26 @@ TEST(AggregatorCheckpointTest, V1BlobStillLoads) {
   EXPECT_EQ(spec->cpi_mean, 1.5);
   EXPECT_EQ(aggregator.builds_completed(), 1);
 
-  // A fresh checkpoint of the restored state is v2 and round-trips.
+  // A fresh checkpoint of the restored state is binary v3 and round-trips.
   const std::string rewritten = aggregator.Checkpoint();
-  EXPECT_EQ(rewritten.rfind("cpi2-aggregator-ckpt-v2\n", 0), 0u) << rewritten;
+  EXPECT_EQ(rewritten.rfind("CPAGCKP3", 0), 0u);
   Aggregator again(SmallParams());
   ASSERT_TRUE(again.Restore(rewritten).ok());
   EXPECT_EQ(again.GetSpec("job", "xeon")->cpi_mean, 1.5);
+
+  // Under the legacy wire path the checkpoint is still the v2 text blob,
+  // and restoring either encoding yields a bit-identical aggregator.
+  Cpi2Params legacy_params = SmallParams();
+  legacy_params.legacy_wire_path = true;
+  Aggregator legacy(legacy_params);
+  ASSERT_TRUE(legacy.Restore(blob).ok());
+  const std::string text_ckpt = legacy.Checkpoint();
+  EXPECT_EQ(text_ckpt.rfind("cpi2-aggregator-ckpt-v2\n", 0), 0u) << text_ckpt;
+  Aggregator from_text(SmallParams());
+  Aggregator from_binary(SmallParams());
+  ASSERT_TRUE(from_text.Restore(text_ckpt).ok());
+  ASSERT_TRUE(from_binary.Restore(rewritten).ok());
+  EXPECT_EQ(from_text.Checkpoint(), from_binary.Checkpoint());
 }
 
 TEST(AggregatorTest, RepeatedBuildsAgeWeightHistory) {

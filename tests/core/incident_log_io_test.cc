@@ -125,7 +125,7 @@ TEST_F(IncidentLogIoTest, TruncatedRowSkippedWithCount) {
   IncidentLog log;
   log.Add(MakeIncident(kMicrosPerMinute));
   log.Add(MakeIncident(2 * kMicrosPerMinute));
-  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  ASSERT_TRUE(SaveIncidents(path_, log, IncidentFileFormat::kText).ok());
   {
     std::ofstream file(path_, std::ios::app);
     file << "123\tm0\tonly-three-fields\n";  // torn tail line
@@ -137,10 +137,29 @@ TEST_F(IncidentLogIoTest, TruncatedRowSkippedWithCount) {
   EXPECT_EQ(skipped, 1);
 }
 
+TEST_F(IncidentLogIoTest, SkippedLineIsIdentifiedByNumber) {
+  // The load stats name the exact line so an operator can inspect the
+  // damage: "<path>:<line>: <reason>".
+  IncidentLog log;
+  log.Add(MakeIncident(kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log, IncidentFileFormat::kText).ok());
+  {
+    std::ofstream file(path_, std::ios::app);
+    file << "torn\n";
+  }
+  IncidentLoadStats stats;
+  const auto loaded = LoadIncidentsWithStats(path_, &stats);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(stats.skipped.size(), 1u);
+  // Header is line 1, the incident line 2, the torn line 3.
+  EXPECT_NE(stats.skipped[0].find(path_ + ":3:"), std::string::npos)
+      << stats.skipped[0];
+}
+
 TEST_F(IncidentLogIoTest, CorruptSuspectColumnSkippedWithCount) {
   IncidentLog log;
   log.Add(MakeIncident(kMicrosPerMinute));
-  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  ASSERT_TRUE(SaveIncidents(path_, log, IncidentFileFormat::kText).ok());
   // Corrupt the suspects column of a copy of the valid row: right field
   // count, malformed suspect record.
   {
@@ -168,7 +187,24 @@ TEST_F(IncidentLogIoTest, SeparatorInNameRejectedAtSave) {
   Incident incident = MakeIncident(0);
   incident.victim_job = "evil;job";
   log.Add(incident);
-  EXPECT_FALSE(SaveIncidents(path_, log).ok());
+  EXPECT_FALSE(SaveIncidents(path_, log, IncidentFileFormat::kText).ok());
+}
+
+TEST_F(IncidentLogIoTest, RejectedTextSaveLeavesPreviousArchiveIntact) {
+  // Crash-atomicity corollary: a save that fails (here at encode time) must
+  // not clobber the previous archive.
+  IncidentLog good;
+  good.Add(MakeIncident(kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, good, IncidentFileFormat::kText).ok());
+  IncidentLog bad;
+  Incident incident = MakeIncident(0);
+  incident.victim_job = "evil;job";
+  bad.Add(incident);
+  ASSERT_FALSE(SaveIncidents(path_, bad, IncidentFileFormat::kText).ok());
+  const auto loaded = LoadIncidents(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->incidents()[0].victim_job, "websearch");
 }
 
 TEST_F(IncidentLogIoTest, NoteWithTabsIsSanitized) {
@@ -176,10 +212,87 @@ TEST_F(IncidentLogIoTest, NoteWithTabsIsSanitized) {
   Incident incident = MakeIncident(0);
   incident.note = "line one\tline\ntwo";
   log.Add(incident);
-  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  ASSERT_TRUE(SaveIncidents(path_, log, IncidentFileFormat::kText).ok());
   const auto loaded = LoadIncidents(path_);
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->incidents()[0].note, "line one line two");
+}
+
+// --- binary (default) format -----------------------------------------------
+
+TEST_F(IncidentLogIoTest, BinaryAcceptsSeparatorNamesAndTabbedNotes) {
+  // The binary encoding has no in-band separators, so names and notes the
+  // text format rejects or sanitizes round-trip untouched.
+  IncidentLog log;
+  Incident incident = MakeIncident(0);
+  incident.victim_job = "evil;job";
+  incident.note = "line one\tline\ntwo";
+  incident.suspects[0].task = "odd,task;name";
+  log.Add(incident);
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  const auto loaded = LoadIncidents(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->incidents()[0].victim_job, "evil;job");
+  EXPECT_EQ(loaded->incidents()[0].note, "line one\tline\ntwo");
+  EXPECT_EQ(loaded->incidents()[0].suspects[0].task, "odd,task;name");
+}
+
+TEST_F(IncidentLogIoTest, BinaryTornTailSkippedWithIdentity) {
+  IncidentLog log;
+  log.Add(MakeIncident(kMicrosPerMinute));
+  log.Add(MakeIncident(2 * kMicrosPerMinute));
+  log.Add(MakeIncident(3 * kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  // Tear off the last 10 bytes, as a crash mid-write would.
+  const auto full_size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full_size - 10);
+  IncidentLoadStats stats;
+  const auto loaded = LoadIncidentsWithStats(path_, &stats);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(stats.records_skipped, 1);
+  ASSERT_EQ(stats.skipped.size(), 1u);
+  EXPECT_NE(stats.skipped[0].find("truncated"), std::string::npos)
+      << stats.skipped[0];
+}
+
+TEST_F(IncidentLogIoTest, SaveLeavesNoTempFileBehind) {
+  IncidentLog log;
+  log.Add(MakeIncident(kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(IncidentLogIoTest, StaleTempFromKilledSaveIsHarmless) {
+  // Simulate a writer killed mid-save: a partial .tmp exists next to a good
+  // archive. The archive must load untouched, and the next save must
+  // overwrite the stale temp cleanly.
+  IncidentLog log;
+  log.Add(MakeIncident(kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  std::ofstream(path_ + ".tmp") << "CPI2INC2 partial garbage";
+  const auto loaded = LoadIncidents(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  log.Add(MakeIncident(2 * kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log).ok());
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+  const auto reloaded = LoadIncidents(path_);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->size(), 2u);
+}
+
+TEST_F(IncidentLogIoTest, TextArchiveStillLoadsUnderBinaryDefault) {
+  // Auto-detection: an archive written in the v1 text era keeps loading
+  // after the default switched to binary.
+  IncidentLog log;
+  log.Add(MakeIncident(kMicrosPerMinute));
+  ASSERT_TRUE(SaveIncidents(path_, log, IncidentFileFormat::kText).ok());
+  const auto loaded = LoadIncidents(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->incidents()[0].machine, "m0042");
 }
 
 }  // namespace

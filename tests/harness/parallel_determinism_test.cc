@@ -73,7 +73,7 @@ std::string SerializeHealth(const ClusterHealthReport& health) {
       "rejects=%lld widen=%lld suppress=%lld crashes=%lld bursts=%lld "
       "outages=%lld push_lost=%lld push_delay=%lld push_dup=%lld acks_lost=%lld "
       "caps_cleared=%lld ckpts=%lld restores=%lld dups=%lld pushes=%lld glitches=%lld "
-      "dropped=%lld",
+      "dropped=%lld decode_err=%lld corrupted=%lld",
       static_cast<long long>(health.agents.restarts),
       static_cast<long long>(health.agents.samples_enqueued),
       static_cast<long long>(health.agents.samples_delivered),
@@ -96,7 +96,9 @@ std::string SerializeHealth(const ClusterHealthReport& health) {
       static_cast<long long>(health.duplicates_dropped),
       static_cast<long long>(health.spec_pushes_delivered),
       static_cast<long long>(health.counter_glitches_injected),
-      static_cast<long long>(health.agents.series_points_dropped));
+      static_cast<long long>(health.agents.series_points_dropped),
+      static_cast<long long>(health.agents.wire_decode_errors),
+      static_cast<long long>(health.faults.batches_corrupted));
 }
 
 // The operator queries a post-mortem would run, serialized exactly. Covers
@@ -121,13 +123,15 @@ std::string SerializeForensics(const IncidentLog& log, MicroTime now) {
 
 RunResult RunScenario(int threads, bool with_faults = false,
                       bool legacy_correlation = false, int spec_shards = -1,
-                      bool legacy_forensics = false) {
+                      bool legacy_forensics = false, bool legacy_wire = false,
+                      double wire_corrupt_rate = 0.0) {
   ClusterHarness::Options options;
   options.cluster.seed = 7;
   options.cluster.threads = threads;
   options.params = FastTestParams();
   options.params.legacy_correlation_path = legacy_correlation;
   options.params.legacy_forensics_path = legacy_forensics;
+  options.params.legacy_wire_path = legacy_wire;
   if (spec_shards > 0) {
     options.params.spec_shards = spec_shards;
   }
@@ -137,6 +141,7 @@ RunResult RunScenario(int threads, bool with_faults = false,
     options.params.sample_dedup_window = 2 * kMicrosPerMinute;
     options.faults = AllFaultsActive();
   }
+  options.faults.wire_corrupt_rate = wire_corrupt_rate;
   ClusterHarness harness(options);
 
   const int kMachines = 8;
@@ -348,6 +353,81 @@ TEST(ParallelDeterminismTest, LegacyForensicsPathMatchesColumnar) {
   EXPECT_EQ(faulted_fast.forensics, faulted_legacy.forensics);
   EXPECT_EQ(faulted_fast.incidents, faulted_legacy.incidents);
   EXPECT_EQ(faulted_fast.health, faulted_legacy.health);
+}
+
+TEST(ParallelDeterminismTest, LegacyWirePathMatchesBinary) {
+  // The batched binary transport (the default) must change nothing
+  // observable relative to the legacy per-sample text path: same specs,
+  // same incidents, same health counters, same fault-RNG draw sequence —
+  // retried batches replay the same samples through the same per-sample
+  // fault draws the legacy path would have made.
+  const RunResult binary = RunScenario(/*threads=*/1, /*with_faults=*/false,
+                                       /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                                       /*legacy_forensics=*/false, /*legacy_wire=*/false);
+  const RunResult legacy = RunScenario(/*threads=*/1, /*with_faults=*/false,
+                                       /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                                       /*legacy_forensics=*/false, /*legacy_wire=*/true);
+  ASSERT_GT(binary.samples_collected, 0);
+  ASSERT_FALSE(binary.incidents.empty());
+  EXPECT_EQ(binary.samples_collected, legacy.samples_collected);
+  EXPECT_EQ(binary.outliers, legacy.outliers);
+  EXPECT_EQ(binary.anomalies, legacy.anomalies);
+  EXPECT_EQ(binary.incidents_reported, legacy.incidents_reported);
+  EXPECT_EQ(binary.victim_spec, legacy.victim_spec);
+  EXPECT_EQ(binary.machine_state, legacy.machine_state);
+  EXPECT_EQ(binary.health, legacy.health);
+  EXPECT_EQ(binary.incidents, legacy.incidents);
+  EXPECT_EQ(binary.forensics, legacy.forensics);
+
+  // Under active faults the equivalence is the hard part: ack losses and
+  // aggregator outages put the two transports through retry/backoff, bursts
+  // and drop_rng_ consume per-sample draws, crashes clear the outboxes.
+  // Both transports must consume identical draw sequences — any divergence
+  // shows up in the fault counters or downstream incidents. Proven serial
+  // and at two parallel thread counts.
+  const RunResult faulted_binary = RunScenario(/*threads=*/1, /*with_faults=*/true,
+                                               /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                                               /*legacy_forensics=*/false, /*legacy_wire=*/false);
+  ASSERT_EQ(faulted_binary.health.find("acks_lost=0 "), std::string::npos)
+      << faulted_binary.health;
+  for (const int threads : {1, 4, 0}) {
+    const RunResult faulted_legacy =
+        RunScenario(threads, /*with_faults=*/true,
+                    /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                    /*legacy_forensics=*/false, /*legacy_wire=*/true);
+    EXPECT_EQ(faulted_binary.samples_collected, faulted_legacy.samples_collected) << threads;
+    EXPECT_EQ(faulted_binary.victim_spec, faulted_legacy.victim_spec) << threads;
+    EXPECT_EQ(faulted_binary.machine_state, faulted_legacy.machine_state) << threads;
+    EXPECT_EQ(faulted_binary.health, faulted_legacy.health) << threads;
+    EXPECT_EQ(faulted_binary.incidents, faulted_legacy.incidents) << threads;
+    EXPECT_EQ(faulted_binary.forensics, faulted_legacy.forensics) << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, WireCorruptionIsSurfacedAndDeterministic) {
+  // With wire_corrupt_rate active, some batches arrive undecodable: the
+  // receiver must drop them (counted in batches_corrupted on the injection
+  // side and wire_decode_errors on the agent side), never crash, and the
+  // whole run must stay bit-identical across thread counts.
+  const RunResult serial = RunScenario(/*threads=*/1, /*with_faults=*/true,
+                                       /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                                       /*legacy_forensics=*/false, /*legacy_wire=*/false,
+                                       /*wire_corrupt_rate=*/0.05);
+  ASSERT_GT(serial.samples_collected, 0);
+  // The corruption must actually fire and be surfaced through health.
+  EXPECT_EQ(serial.health.find("decode_err=0 "), std::string::npos) << serial.health;
+  EXPECT_EQ(serial.health.find("corrupted=0"), std::string::npos) << serial.health;
+
+  const RunResult parallel = RunScenario(/*threads=*/4, /*with_faults=*/true,
+                                         /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                                         /*legacy_forensics=*/false, /*legacy_wire=*/false,
+                                         /*wire_corrupt_rate=*/0.05);
+  EXPECT_EQ(serial.samples_collected, parallel.samples_collected);
+  EXPECT_EQ(serial.victim_spec, parallel.victim_spec);
+  EXPECT_EQ(serial.machine_state, parallel.machine_state);
+  EXPECT_EQ(serial.health, parallel.health);
+  EXPECT_EQ(serial.incidents, parallel.incidents);
+  EXPECT_EQ(serial.forensics, parallel.forensics);
 }
 
 TEST(ParallelDeterminismTest, RepeatedRunsAreStable) {

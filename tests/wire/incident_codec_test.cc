@@ -1,0 +1,160 @@
+#include "wire/incident_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/incident.h"
+#include "wire/framing.h"
+#include "wire/wire_codec.h"
+
+namespace cpi2 {
+namespace {
+
+Incident MakeIncident(MicroTime t, const std::string& machine) {
+  Incident incident;
+  incident.timestamp = t;
+  incident.machine = machine;
+  incident.victim_task = "websearch.7";
+  incident.victim_job = "websearch";
+  incident.platforminfo = "xeon-2.6GHz";
+  incident.victim_class = WorkloadClass::kLatencySensitive;
+  incident.victim_cpi = 5.0;
+  incident.cpi_threshold = 2.12;
+  incident.spec_mean = 1.8;
+  incident.spec_stddev = 0.16;
+  incident.action = IncidentAction::kHardCap;
+  incident.action_target = "video.0";
+  incident.cap_level = 0.01;
+  incident.note = "correlation 0.46 >= 0.35";
+  Suspect suspect;
+  suspect.task = "video.0";
+  suspect.jobname = "video";
+  suspect.workload_class = WorkloadClass::kBatch;
+  suspect.priority = JobPriority::kBestEffort;
+  suspect.correlation = 0.46;
+  incident.suspects = {suspect};
+  return incident;
+}
+
+std::deque<Incident> MakeIncidents(int n) {
+  std::deque<Incident> incidents;
+  for (int i = 0; i < n; ++i) {
+    incidents.push_back(MakeIncident(1000000ll * (i + 1), "m" + std::to_string(i)));
+  }
+  return incidents;
+}
+
+TEST(IncidentCodecTest, RoundTripPreservesEverything) {
+  const std::deque<Incident> incidents = MakeIncidents(3);
+  std::string bytes;
+  EncodeIncidentFile(incidents, &bytes);
+  EXPECT_TRUE(HasWireMagic(bytes, kIncidentFileMagic));
+  std::vector<Incident> decoded;
+  IncidentDecodeStats stats;
+  ASSERT_TRUE(DecodeIncidentFile(bytes, &decoded, &stats).ok());
+  EXPECT_EQ(stats.records_skipped, 0);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[1].machine, "m1");
+  EXPECT_EQ(decoded[1].timestamp, 2000000);
+  EXPECT_EQ(decoded[1].victim_class, WorkloadClass::kLatencySensitive);
+  EXPECT_DOUBLE_EQ(decoded[1].cpi_threshold, 2.12);
+  EXPECT_EQ(decoded[1].note, "correlation 0.46 >= 0.35");
+  ASSERT_EQ(decoded[1].suspects.size(), 1u);
+  EXPECT_EQ(decoded[1].suspects[0].jobname, "video");
+  EXPECT_EQ(decoded[1].suspects[0].priority, JobPriority::kBestEffort);
+  EXPECT_DOUBLE_EQ(decoded[1].suspects[0].correlation, 0.46);
+}
+
+TEST(IncidentCodecTest, FlippedByteLosesExactlyOneRecord) {
+  const std::deque<Incident> incidents = MakeIncidents(5);
+  std::string bytes;
+  EncodeIncidentFile(incidents, &bytes);
+  // Locate the final framed record: re-encode one fewer incident; the
+  // encodings differ only by the extra dictionary name ("m4", 3 bytes) and
+  // the final record, so that record starts at shorter.size() + 3.
+  std::string shorter;
+  EncodeIncidentFile(MakeIncidents(4), &shorter);
+  ASSERT_LT(shorter.size() + 3, bytes.size());
+  std::string damaged = bytes;
+  damaged[shorter.size() + 3 + 10] ^= 0x40;  // well inside the last payload
+  std::vector<Incident> decoded;
+  IncidentDecodeStats stats;
+  ASSERT_TRUE(DecodeIncidentFile(damaged, &decoded, &stats).ok());
+  EXPECT_EQ(decoded.size(), 4u);
+  EXPECT_EQ(stats.records_skipped, 1);
+  ASSERT_EQ(stats.skip_reasons.size(), 1u);
+  EXPECT_NE(stats.skip_reasons[0].find("record 4: bad CRC"), std::string::npos)
+      << stats.skip_reasons[0];
+}
+
+TEST(IncidentCodecTest, TruncatedTailCountsLostRecords) {
+  const std::deque<Incident> incidents = MakeIncidents(6);
+  std::string bytes;
+  EncodeIncidentFile(incidents, &bytes);
+  std::string shorter;
+  EncodeIncidentFile(MakeIncidents(3), &shorter);
+  // The 6-incident file's dictionary carries three extra names ("m3".."m5",
+  // 9 bytes), so its fourth record starts at shorter.size() + 9. Tear five
+  // bytes into it.
+  const std::string torn = bytes.substr(0, shorter.size() + 9 + 5);
+  std::vector<Incident> decoded;
+  IncidentDecodeStats stats;
+  ASSERT_TRUE(DecodeIncidentFile(torn, &decoded, &stats).ok());
+  EXPECT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(stats.records_skipped, 3);  // records 3..5 swallowed by the tear
+  ASSERT_EQ(stats.skip_reasons.size(), 1u);
+  EXPECT_NE(stats.skip_reasons[0].find("records 3..5: truncated tail"), std::string::npos)
+      << stats.skip_reasons[0];
+}
+
+TEST(IncidentCodecTest, DamagedDictionaryRejectsWholeFile) {
+  std::string bytes;
+  EncodeIncidentFile(MakeIncidents(2), &bytes);
+  // The dictionary is the first framed record after magic + record_count.
+  std::string damaged = bytes;
+  damaged[kWireMagicSize + 2] ^= 0x40;
+  std::vector<Incident> decoded;
+  IncidentDecodeStats stats;
+  EXPECT_FALSE(DecodeIncidentFile(damaged, &decoded, &stats).ok());
+}
+
+TEST(IncidentCodecTest, WrongMagicRejected) {
+  std::string bytes;
+  EncodeIncidentFile(MakeIncidents(1), &bytes);
+  bytes[0] = 'Z';
+  std::vector<Incident> decoded;
+  EXPECT_FALSE(DecodeIncidentFile(bytes, &decoded, nullptr).ok());
+}
+
+TEST(IncidentCodecTest, NoCorruptionEverCrashes) {
+  // The full matrix under ASan: every single-byte flip and every truncation
+  // point either decodes (with skips counted) or errors — never crashes.
+  std::string bytes;
+  EncodeIncidentFile(MakeIncidents(3), &bytes);
+  std::vector<Incident> decoded;
+  IncidentDecodeStats stats;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string damaged = bytes;
+    damaged[i] ^= 0x40;
+    (void)DecodeIncidentFile(damaged, &decoded, &stats);
+  }
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    (void)DecodeIncidentFile(std::string_view(bytes).substr(0, cut), &decoded, &stats);
+  }
+}
+
+TEST(IncidentCodecTest, EmptyLogRoundTrips) {
+  std::string bytes;
+  EncodeIncidentFile({}, &bytes);
+  std::vector<Incident> decoded = {MakeIncident(0, "m")};
+  IncidentDecodeStats stats;
+  ASSERT_TRUE(DecodeIncidentFile(bytes, &decoded, &stats).ok());
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_EQ(stats.records_skipped, 0);
+}
+
+}  // namespace
+}  // namespace cpi2

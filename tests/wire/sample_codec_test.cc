@@ -1,0 +1,222 @@
+#include "wire/sample_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "wire/framing.h"
+
+namespace cpi2 {
+namespace {
+
+CpiSample MakeSample(int i) {
+  CpiSample sample;
+  sample.jobname = "websearch-frontend-" + std::to_string(i % 3);
+  sample.platforminfo = "intel-xeon-e5-2.6GHz-dl380";
+  sample.timestamp = 1000000ll * i + (i % 7);
+  sample.cpu_usage = 0.25 + 0.1 * i;
+  sample.cpi = 1.0 / 3.0 + i;  // not representable: exercises bit identity
+  sample.task = sample.jobname + "." + std::to_string(i);
+  sample.machine = "cell-a-rack07-machine" + std::to_string(i % 5);
+  sample.l3_miss_per_instruction = 0.001 * i;
+  return sample;
+}
+
+bool BitIdentical(double a, double b) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, 8);
+  std::memcpy(&bb, &b, 8);
+  return ab == bb;
+}
+
+void ExpectSamplesEqual(const std::vector<CpiSample>& got,
+                        const std::vector<CpiSample>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].jobname, want[i].jobname) << i;
+    EXPECT_EQ(got[i].platforminfo, want[i].platforminfo) << i;
+    EXPECT_EQ(got[i].timestamp, want[i].timestamp) << i;
+    EXPECT_EQ(got[i].task, want[i].task) << i;
+    EXPECT_EQ(got[i].machine, want[i].machine) << i;
+    EXPECT_TRUE(BitIdentical(got[i].cpu_usage, want[i].cpu_usage)) << i;
+    EXPECT_TRUE(BitIdentical(got[i].cpi, want[i].cpi)) << i;
+    EXPECT_TRUE(
+        BitIdentical(got[i].l3_miss_per_instruction, want[i].l3_miss_per_instruction))
+        << i;
+  }
+}
+
+std::string EncodeAll(const std::vector<CpiSample>& samples) {
+  SampleBatchEncoder encoder;
+  for (const CpiSample& sample : samples) {
+    encoder.Add(sample);
+  }
+  return encoder.Finish();
+}
+
+TEST(SampleCodecTest, RoundTripIsBitIdentical) {
+  std::vector<CpiSample> samples;
+  for (int i = 0; i < 60; ++i) {
+    samples.push_back(MakeSample(i));
+  }
+  const std::string bytes = EncodeAll(samples);
+  std::vector<CpiSample> decoded;
+  ASSERT_TRUE(DecodeSampleBatch(bytes, &decoded).ok());
+  ExpectSamplesEqual(decoded, samples);
+}
+
+TEST(SampleCodecTest, TimestampsMayRunBackwards) {
+  // Delta encoding must survive non-monotonic clocks (zigzag deltas).
+  std::vector<CpiSample> samples = {MakeSample(0), MakeSample(1)};
+  samples[0].timestamp = 5000000;
+  samples[1].timestamp = 1000;
+  const std::string bytes = EncodeAll(samples);
+  std::vector<CpiSample> decoded;
+  ASSERT_TRUE(DecodeSampleBatch(bytes, &decoded).ok());
+  EXPECT_EQ(decoded[0].timestamp, 5000000);
+  EXPECT_EQ(decoded[1].timestamp, 1000);
+}
+
+TEST(SampleCodecTest, EmptyBatchRoundTrips) {
+  SampleBatchEncoder encoder;
+  const std::string bytes = encoder.Finish();
+  std::vector<CpiSample> decoded = {MakeSample(0)};  // must be cleared
+  ASSERT_TRUE(DecodeSampleBatch(bytes, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(SampleCodecTest, DictionaryDeduplicatesRepeatedNames) {
+  // 100 samples from one task: the batch should cost ~24 bytes of doubles
+  // plus a few index/delta bytes per sample, nowhere near re-sending names.
+  std::vector<CpiSample> samples(100, MakeSample(1));
+  const std::string bytes = EncodeAll(samples);
+  const size_t name_bytes = samples[0].jobname.size() + samples[0].platforminfo.size() +
+                            samples[0].task.size() + samples[0].machine.size();
+  EXPECT_LT(bytes.size(), 100 * 32 + name_bytes + 64);
+  std::vector<CpiSample> decoded;
+  ASSERT_TRUE(DecodeSampleBatch(bytes, &decoded).ok());
+  ExpectSamplesEqual(decoded, samples);
+}
+
+TEST(SampleCodecTest, EncoderReusesCleanlyAcrossReset) {
+  SampleBatchEncoder encoder;
+  encoder.Add(MakeSample(0));
+  encoder.Add(MakeSample(1));
+  (void)encoder.Finish();
+  encoder.Reset();
+  EXPECT_EQ(encoder.sample_count(), 0u);
+  // Same names again after Reset: the generation-tagged map must hand out
+  // fresh batch-local indices, not stale ones.
+  const std::vector<CpiSample> second = {MakeSample(1), MakeSample(2)};
+  for (const CpiSample& sample : second) {
+    encoder.Add(sample);
+  }
+  std::vector<CpiSample> decoded;
+  ASSERT_TRUE(DecodeSampleBatch(encoder.Finish(), &decoded).ok());
+  ExpectSamplesEqual(decoded, second);
+}
+
+TEST(SampleCodecTest, TwoEncodersProduceIdenticalBytes) {
+  // Determinism: encoding is a pure function of the sample sequence.
+  std::vector<CpiSample> samples;
+  for (int i = 0; i < 10; ++i) {
+    samples.push_back(MakeSample(i));
+  }
+  EXPECT_EQ(EncodeAll(samples), EncodeAll(samples));
+}
+
+// --- corruption matrix ------------------------------------------------------
+
+TEST(SampleCodecCorruptionTest, WrongMagicRejected) {
+  std::string bytes = EncodeAll({MakeSample(0)});
+  bytes[0] = 'X';
+  std::vector<CpiSample> decoded;
+  EXPECT_FALSE(DecodeSampleBatch(bytes, &decoded).ok());
+}
+
+TEST(SampleCodecCorruptionTest, EveryFlippedByteIsDetected) {
+  const std::string bytes = EncodeAll({MakeSample(0), MakeSample(1)});
+  std::vector<CpiSample> decoded;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string damaged = bytes;
+    damaged[i] ^= 0x40;
+    EXPECT_FALSE(DecodeSampleBatch(damaged, &decoded).ok()) << "byte " << i;
+  }
+}
+
+TEST(SampleCodecCorruptionTest, EveryTruncationPointIsDetected) {
+  const std::string bytes = EncodeAll({MakeSample(0), MakeSample(1)});
+  std::vector<CpiSample> decoded;
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeSampleBatch(std::string_view(bytes).substr(0, cut), &decoded).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(SampleCodecCorruptionTest, TrailingGarbageRejected) {
+  std::string bytes = EncodeAll({MakeSample(0)});
+  bytes += "extra";
+  std::vector<CpiSample> decoded;
+  EXPECT_FALSE(DecodeSampleBatch(bytes, &decoded).ok());
+}
+
+TEST(SampleCodecCorruptionTest, HostileSampleCountFailsCleanly) {
+  // A hand-built buffer claiming 2^40 samples must fail without attempting
+  // a giant allocation.
+  std::string bytes;
+  AppendWireMagic(&bytes, kSampleBatchMagic);
+  WireWriter writer(&bytes);
+  writer.PutVarint(0);           // dict_count
+  writer.PutVarint(1ull << 40);  // sample_count
+  const uint32_t crc = Crc32(bytes);
+  writer.PutFixed32(crc);
+  std::vector<CpiSample> decoded;
+  EXPECT_FALSE(DecodeSampleBatch(bytes, &decoded).ok());
+}
+
+// --- reference text codec ---------------------------------------------------
+
+TEST(SampleCodecTextTest, TextRoundTripIsBitIdentical) {
+  std::vector<CpiSample> samples;
+  for (int i = 0; i < 20; ++i) {
+    samples.push_back(MakeSample(i));
+  }
+  std::string text;
+  EncodeSampleBatchText(samples, &text);
+  std::vector<CpiSample> decoded;
+  ASSERT_TRUE(DecodeSampleBatchText(text, &decoded).ok());
+  ExpectSamplesEqual(decoded, samples);  // %.17g round-trips doubles exactly
+}
+
+TEST(SampleCodecTextTest, TextErrorsNameTheLine) {
+  std::vector<CpiSample> samples = {MakeSample(0)};
+  std::string text;
+  EncodeSampleBatchText(samples, &text);
+  text += "not\ta\tvalid\trow\n";
+  std::vector<CpiSample> decoded;
+  const Status status = DecodeSampleBatchText(text, &decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("3"), std::string::npos) << status.message();
+}
+
+TEST(SampleCodecTextTest, BinaryIsSubstantiallySmallerThanText) {
+  // A realistic batch: one machine's worth of samples from a bounded set of
+  // resident tasks, so the dictionary amortizes.
+  std::vector<CpiSample> samples;
+  for (int i = 0; i < 1000; ++i) {
+    CpiSample sample = MakeSample(i % 40);
+    sample.timestamp = 1000000ll * i;
+    samples.push_back(std::move(sample));
+  }
+  std::string text;
+  EncodeSampleBatchText(samples, &text);
+  const std::string binary = EncodeAll(samples);
+  EXPECT_LT(binary.size() * 3, text.size())
+      << "binary " << binary.size() << " vs text " << text.size();
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,219 @@
+#include "wire/wire_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "wire/framing.h"
+
+namespace cpi2 {
+namespace {
+
+TEST(VarintTest, RoundTripsRepresentativeValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  std::string buffer;
+  WireWriter writer(&buffer);
+  for (const uint64_t value : values) {
+    writer.PutVarint(value);
+  }
+  WireReader reader(buffer);
+  for (const uint64_t value : values) {
+    EXPECT_EQ(reader.GetVarint(), value);
+  }
+  EXPECT_FALSE(reader.failed());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(VarintTest, EncodingLengthsMatchLeb128) {
+  std::string buffer;
+  WireWriter(&buffer).PutVarint(0);
+  EXPECT_EQ(buffer.size(), 1u);
+  buffer.clear();
+  WireWriter(&buffer).PutVarint(127);
+  EXPECT_EQ(buffer.size(), 1u);
+  buffer.clear();
+  WireWriter(&buffer).PutVarint(128);
+  EXPECT_EQ(buffer.size(), 2u);
+  buffer.clear();
+  WireWriter(&buffer).PutVarint(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(buffer.size(), 10u);
+}
+
+TEST(VarintTest, TruncatedVarintLatchesFailure) {
+  const std::string truncated("\x80", 1);  // continuation bit, no next byte
+  WireReader reader(truncated);
+  EXPECT_EQ(reader.GetVarint(), 0u);
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(VarintTest, OverlongVarintLatchesFailure) {
+  // Eleven continuation bytes: more than 64 bits of payload.
+  const std::string overlong(11, '\x80');
+  WireReader reader(overlong);
+  (void)reader.GetVarint();
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(ZigzagTest, RoundTripsSignedExtremes) {
+  const int64_t values[] = {0,
+                            -1,
+                            1,
+                            -2,
+                            2,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (const int64_t value : values) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(value)), value) << value;
+  }
+  // Small magnitudes map to small codes — the point of the transform.
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+}
+
+TEST(WireCodecTest, DoubleRoundTripsBitIdentical) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           0.1,
+                           1e300,
+                           5e-324,  // smallest denormal
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  std::string buffer;
+  WireWriter writer(&buffer);
+  for (const double value : values) {
+    writer.PutDouble(value);
+  }
+  writer.PutDouble(std::nan(""));
+  WireReader reader(buffer);
+  for (const double value : values) {
+    const double decoded = reader.GetDouble();
+    uint64_t want_bits, got_bits;
+    std::memcpy(&want_bits, &value, 8);
+    std::memcpy(&got_bits, &decoded, 8);
+    EXPECT_EQ(got_bits, want_bits);
+  }
+  EXPECT_TRUE(std::isnan(reader.GetDouble()));
+  EXPECT_FALSE(reader.failed());
+}
+
+TEST(WireCodecTest, StringsAreLengthPrefixedAndAliasBuffer) {
+  std::string buffer;
+  WireWriter writer(&buffer);
+  writer.PutString("hello");
+  writer.PutString("");
+  writer.PutString(std::string("embedded\0null", 13));
+  WireReader reader(buffer);
+  EXPECT_EQ(reader.GetString(), "hello");
+  EXPECT_EQ(reader.GetString(), "");
+  EXPECT_EQ(reader.GetString(), std::string_view("embedded\0null", 13));
+  EXPECT_FALSE(reader.failed());
+}
+
+TEST(WireCodecTest, StringLengthPastEndLatchesFailure) {
+  std::string buffer;
+  WireWriter(&buffer).PutVarint(100);  // claims 100 bytes, none follow
+  WireReader reader(buffer);
+  EXPECT_EQ(reader.GetString(), "");
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(WireCodecTest, ReadersStayBenignAfterFailure) {
+  WireReader reader("");
+  (void)reader.GetByte();
+  ASSERT_TRUE(reader.failed());
+  // Every getter keeps returning zero values without touching memory.
+  EXPECT_EQ(reader.GetVarint(), 0u);
+  EXPECT_EQ(reader.GetDouble(), 0.0);
+  EXPECT_EQ(reader.GetFixed32(), 0u);
+  EXPECT_EQ(reader.GetString(), "");
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical IEEE CRC32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data);
+  const uint32_t chained = Crc32(data.substr(9), Crc32(data.substr(0, 9)));
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32Test, DetectsSingleFlippedBit) {
+  std::string data = "some payload bytes";
+  const uint32_t before = Crc32(data);
+  data[5] ^= 0x01;
+  EXPECT_NE(Crc32(data), before);
+}
+
+TEST(FramingTest, RecordRoundTrips) {
+  std::string buffer;
+  AppendFramedRecord(&buffer, "first");
+  AppendFramedRecord(&buffer, "");
+  AppendFramedRecord(&buffer, "second record");
+  WireReader reader(buffer);
+  std::string_view payload;
+  ASSERT_EQ(ReadFramedRecord(reader, &payload), FrameResult::kRecord);
+  EXPECT_EQ(payload, "first");
+  ASSERT_EQ(ReadFramedRecord(reader, &payload), FrameResult::kRecord);
+  EXPECT_EQ(payload, "");
+  ASSERT_EQ(ReadFramedRecord(reader, &payload), FrameResult::kRecord);
+  EXPECT_EQ(payload, "second record");
+  EXPECT_EQ(ReadFramedRecord(reader, &payload), FrameResult::kEnd);
+}
+
+TEST(FramingTest, FlippedByteIsCorruptButFramingSurvives) {
+  std::string buffer;
+  AppendFramedRecord(&buffer, "damaged");
+  const size_t first_size = buffer.size();
+  AppendFramedRecord(&buffer, "survivor");
+  buffer[2] ^= 0x40;  // inside the first payload
+  WireReader reader(buffer);
+  std::string_view payload;
+  EXPECT_EQ(ReadFramedRecord(reader, &payload), FrameResult::kCorrupt);
+  EXPECT_EQ(reader.position(), first_size);  // damaged record fully consumed
+  ASSERT_EQ(ReadFramedRecord(reader, &payload), FrameResult::kRecord);
+  EXPECT_EQ(payload, "survivor");
+  EXPECT_EQ(ReadFramedRecord(reader, &payload), FrameResult::kEnd);
+}
+
+TEST(FramingTest, EveryTruncationPointIsDetected) {
+  std::string buffer;
+  AppendFramedRecord(&buffer, "only record here");
+  std::string_view payload;
+  for (size_t cut = 1; cut < buffer.size(); ++cut) {
+    WireReader reader(std::string_view(buffer).substr(0, cut));
+    const FrameResult result = ReadFramedRecord(reader, &payload);
+    EXPECT_EQ(result, FrameResult::kTruncated) << "cut at " << cut;
+  }
+}
+
+TEST(FramingTest, MagicHelpersMatchExactPrefix) {
+  std::string buffer;
+  AppendWireMagic(&buffer, "CPI2TST1");
+  EXPECT_EQ(buffer.size(), kWireMagicSize);
+  EXPECT_TRUE(HasWireMagic(buffer, "CPI2TST1"));
+  EXPECT_FALSE(HasWireMagic(buffer, "CPI2TST2"));
+  EXPECT_FALSE(HasWireMagic("short", "CPI2TST1"));
+}
+
+}  // namespace
+}  // namespace cpi2
