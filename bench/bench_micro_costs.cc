@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core/aggregator.h"
 #include "core/antagonist_identifier.h"
 #include "core/correlation.h"
@@ -195,9 +197,12 @@ void BM_SpecBuilderAddSample(benchmark::State& state) {
 BENCHMARK(BM_SpecBuilderAddSample);
 
 // One simulated-machine tick with a realistic tenant count: bounds the cost
-// of the whole interference model.
+// of the whole interference model. Arg 0 = tasks; arg 1 selects the layout
+// (0 = SoA TaskTable, 1 = legacy per-Task loop) so the two tick engines
+// stay directly comparable at every population.
 void BM_MachineTick(benchmark::State& state) {
-  Machine machine("m", ReferencePlatform(), 4);
+  const bool legacy = state.range(1) != 0;
+  Machine machine("m", ReferencePlatform(), 4, InterferenceParams(), legacy);
   const int tasks = static_cast<int>(state.range(0));
   for (int i = 0; i < tasks; ++i) {
     (void)machine.AddTask(StrFormat("t.%d", i), FillerServiceSpec(0.2));
@@ -206,8 +211,74 @@ void BM_MachineTick(benchmark::State& state) {
   for (auto _ : state) {
     machine.Tick(now += kMicrosPerSecond, kMicrosPerSecond);
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * tasks);
 }
-BENCHMARK(BM_MachineTick)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK(BM_MachineTick)
+    ->Args({10, 0})
+    ->Args({50, 0})
+    ->Args({100, 0})
+    ->Args({10, 1})
+    ->Args({50, 1})
+    ->Args({100, 1});
+
+// The batched interference kernel alone: one ComputeInterferenceBatch sweep
+// over n co-resident tasks (two name-order total reductions + one
+// vectorizable per-task pass), vs the legacy in-place ComputeInterference
+// over the same inputs (arg 1 = 1).
+void BM_ComputeInterferenceBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool legacy = state.range(1) != 0;
+  const Platform platform = ReferencePlatform();
+  const InterferenceParams params;
+  Rng rng(21);
+  std::vector<double> cpu, footprint, mi, sens_cw, w_sens, half_mi, baseline;
+  std::vector<TaskLoad> loads;
+  for (int i = 0; i < n; ++i) {
+    const double sensitivity = rng.Uniform(0.1, 0.9);
+    TaskLoad load;
+    load.cpu = rng.Uniform(0.0, 1.5);
+    load.cache_mb = rng.Uniform(1.0, 30.0);
+    load.memory_intensity = rng.Uniform(0.0, 1.0);
+    load.sensitivity = sensitivity;
+    loads.push_back(load);
+    cpu.push_back(load.cpu);
+    footprint.push_back(std::min(1.0, load.cache_mb / platform.l3_cache_mb));
+    mi.push_back(load.memory_intensity);
+    sens_cw.push_back(sensitivity * params.cache_weight);
+    w_sens.push_back(params.mpi_contention_weight * sensitivity);
+    half_mi.push_back(0.5 + 0.5 * load.memory_intensity);
+    baseline.push_back(params.base_mpi + params.mpi_per_intensity * load.memory_intensity);
+  }
+  std::vector<double> cpi_out(static_cast<size_t>(n));
+  std::vector<double> mpi_out(static_cast<size_t>(n));
+  std::vector<InterferenceResult> results;
+  for (auto _ : state) {
+    if (legacy) {
+      ComputeInterference(platform, params, loads, &results);
+      benchmark::DoNotOptimize(results.data());
+    } else {
+      InterferenceBatchInputs inputs;
+      inputs.cpu = cpu.data();
+      inputs.footprint = footprint.data();
+      inputs.memory_intensity = mi.data();
+      inputs.sens_cw = sens_cw.data();
+      inputs.w_sens = w_sens.data();
+      inputs.half_mi = half_mi.data();
+      inputs.baseline_mpi = baseline.data();
+      ComputeInterferenceBatch(platform, params, static_cast<size_t>(n), inputs,
+                               cpi_out.data(), mpi_out.data());
+      benchmark::DoNotOptimize(cpi_out.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ComputeInterferenceBatch)
+    ->Args({10, 0})
+    ->Args({50, 0})
+    ->Args({200, 0})
+    ->Args({10, 1})
+    ->Args({50, 1})
+    ->Args({200, 1});
 
 // The whole cluster tick path (machines + scheduler + agents) at a given
 // thread count; bench_tick_engine measures the same loop at full scale and

@@ -2,9 +2,13 @@
 //
 // Runs the full harness (machines + agents + aggregator) over a
 // representative 1000-machine cluster at several thread counts and reports
-// the machine-tick rate for each, plus the parallel speedup. Also writes a
-// single JSON line to BENCH_tick_engine.json so CI can track the perf
-// trajectory across PRs.
+// the machine-tick rate for each, plus the parallel speedup. The serial run
+// is also repeated with `legacy_task_layout` set, measuring the SoA tick
+// engine against the per-Task reference loop on the same scenario and
+// asserting their end states are bit-identical (the process exits nonzero
+// on a mismatch, so the perf-label smoke run doubles as an equivalence
+// gate). Writes a single JSON line to BENCH_tick_engine.json so CI can
+// track the perf trajectory across PRs.
 
 #include <chrono>
 #include <cstdio>
@@ -30,12 +34,46 @@ struct Measurement {
   int threads = 0;          // as configured (0 = hardware concurrency)
   double ticks_per_sec = 0; // machine-ticks per wall second
   int64_t samples = 0;      // pipeline activity sanity check
+  uint64_t state_hash = 0;  // FNV-1a over every task's end-of-run counters
 };
 
-Measurement Measure(int threads) {
+// Order-sensitive digest of everything the tick engine computes per task;
+// any layout divergence — a differently-drawn RNG stream, a reassociated
+// FP product, a skipped task — lands in here.
+uint64_t HashClusterState(Cluster& cluster) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  const auto mix = [&h](const void* data, size_t len) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  for (Machine* machine : cluster.machines()) {
+    for (Task* task : machine->Tasks()) {
+      mix(task->name().data(), task->name().size());
+      const uint64_t cycles = task->cycles();
+      const uint64_t instructions = task->instructions();
+      const uint64_t l3 = task->l3_misses();
+      const double cpu_seconds = task->cpu_seconds();
+      const double last_cpi = task->last_cpi();
+      const double last_latency = task->last_latency_ms();
+      mix(&cycles, sizeof(cycles));
+      mix(&instructions, sizeof(instructions));
+      mix(&l3, sizeof(l3));
+      mix(&cpu_seconds, sizeof(cpu_seconds));
+      mix(&last_cpi, sizeof(last_cpi));
+      mix(&last_latency, sizeof(last_latency));
+    }
+  }
+  return h;
+}
+
+Measurement Measure(int threads, bool legacy_task_layout = false) {
   ClusterHarness::Options options;
   options.cluster.seed = 20130415;
   options.cluster.threads = threads;
+  options.params.legacy_task_layout = legacy_task_layout;
   ClusterHarness harness(options);
 
   ClusterMixOptions mix;
@@ -59,6 +97,7 @@ Measurement Measure(int threads) {
                         ? static_cast<double>(g_machines) * g_ticks / elapsed
                         : 0.0;
   m.samples = harness.samples_collected();
+  m.state_hash = HashClusterState(harness.cluster());
   return m;
 }
 
@@ -84,7 +123,20 @@ int Main(bool smoke) {
     PrintResult(StrFormat("machine_ticks_per_sec_threads_%d", m.threads), m.ticks_per_sec);
   }
 
+  // The same serial scenario through the legacy per-Task layout: the
+  // SoA/legacy throughput ratio is the tick-engine gain this repo tracks,
+  // and the end-state hashes prove the fast path changed nothing.
+  const Measurement legacy_serial = Measure(/*threads=*/1, /*legacy_task_layout=*/true);
+  PrintResult("machine_ticks_per_sec_serial_legacy_layout", legacy_serial.ticks_per_sec);
+  const bool identical = legacy_serial.state_hash == results[0].state_hash &&
+                         legacy_serial.samples == results[0].samples;
+  PrintResult("layout_equivalent", identical ? 1.0 : 0.0);
+
   const double serial = results[0].ticks_per_sec;
+  if (legacy_serial.ticks_per_sec > 0.0) {
+    PrintResult("layout_speedup_serial", serial / legacy_serial.ticks_per_sec);
+  }
+
   std::string json = StrFormat(
       "{\"bench\":\"tick_engine\",\"machines\":%d,\"ticks\":%d", g_machines, g_ticks);
   for (const Measurement& m : results) {
@@ -97,6 +149,14 @@ int Main(bool smoke) {
       PrintResult("DETERMINISM_MISMATCH_threads", m.threads);
     }
   }
+  json += StrFormat(",\"ticks_per_sec_serial_layout_soa\":%.1f", serial);
+  json += StrFormat(",\"ticks_per_sec_serial_layout_legacy\":%.1f",
+                    legacy_serial.ticks_per_sec);
+  if (legacy_serial.ticks_per_sec > 0.0) {
+    json += StrFormat(",\"layout_speedup_serial\":%.3f",
+                      serial / legacy_serial.ticks_per_sec);
+  }
+  json += StrFormat(",\"identical\":%s", identical ? "true" : "false");
   json += StrFormat(",\"samples_collected\":%lld}", static_cast<long long>(results[0].samples));
 
   std::printf("%s\n", json.c_str());
@@ -106,6 +166,16 @@ int Main(bool smoke) {
       std::fprintf(f, "%s\n", json.c_str());
       std::fclose(f);
     }
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: legacy_task_layout and SoA tick engines diverged "
+                 "(hash %llx vs %llx, samples %lld vs %lld)\n",
+                 static_cast<unsigned long long>(legacy_serial.state_hash),
+                 static_cast<unsigned long long>(results[0].state_hash),
+                 static_cast<long long>(legacy_serial.samples),
+                 static_cast<long long>(results[0].samples));
+    return 1;
   }
   return 0;
 }

@@ -19,8 +19,10 @@ Agent::Agent(Options options, CounterSource* source, CpuController* controller)
       jitter_rng_(options_.jitter_seed) {}
 
 void Agent::AddTask(const TaskMeta& meta, MicroTime now) {
-  tasks_[meta.task] = meta;
-  series_.emplace(task_ids_.Intern(meta.task), TaskSeries{});
+  const uint32_t id = task_ids_.Intern(meta.task);
+  TaskMeta& stored = tasks_[meta.task] = meta;
+  stored.series_id = id;  // resolve the name once; the sample path reuses it
+  series_.emplace(id, TaskSeries{});
   sampler_.AddContainer(meta.task, now);
 }
 
@@ -317,7 +319,7 @@ void Agent::OnWindow(const std::string& container, const CounterDelta& delta) {
   sample.l3_miss_per_instruction = delta.L3MissesPerInstruction();
   ++samples_processed_;
 
-  TaskSeries& series = series_[task_ids_.Intern(container)];
+  TaskSeries& series = series_[meta.series_id];
   if (!series.usage.Append(now, sample.cpu_usage)) {
     ++health_.series_points_dropped;
   }
@@ -382,7 +384,7 @@ void Agent::HandleAnomaly(const TaskMeta& victim, const CpiSample& sample, doubl
     if (task == victim.task) {
       continue;
     }
-    const auto series_it = series_.find(task_ids_.Intern(task));
+    const auto series_it = series_.find(meta.series_id);
     if (series_it == series_.end()) {
       continue;
     }
@@ -394,7 +396,7 @@ void Agent::HandleAnomaly(const TaskMeta& victim, const CpiSample& sample, doubl
     input.usage = &series_it->second.usage;
     inputs.push_back(input);
   }
-  const auto victim_series = series_.find(task_ids_.Intern(victim.task));
+  const auto victim_series = series_.find(victim.series_id);
   if (victim_series == series_.end()) {
     return;
   }

@@ -44,6 +44,9 @@ struct TaskMeta {
   // Batch victims are normally not protected; a job can opt in explicitly
   // (section 5: "because it is explicitly marked as eligible").
   bool protection_opt_in = false;
+  // Agent-internal: the dense id keying this task's series bookkeeping,
+  // filled by Agent::AddTask. Callers registering tasks leave the default.
+  uint32_t series_id = 0;
 };
 
 // Outcome of one attempt to deliver a sample to the collection pipeline.

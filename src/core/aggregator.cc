@@ -288,7 +288,8 @@ void Aggregator::AddSample(const CpiSample& sample) {
                             recent_samples_.lower_bound(SampleKey{cutoff, 0, 0}));
     }
     if (!recent_samples_
-             .insert(SampleKey{sample.timestamp, dedup_ids_.Intern(sample.machine),
+             .insert(SampleKey{sample.timestamp,
+                               machine_memo_.Intern(dedup_ids_, sample.machine),
                                dedup_ids_.Intern(sample.task)})
              .second) {
       ++duplicates_dropped_;

@@ -119,6 +119,7 @@ class Aggregator {
   SpecCallback callback_;
   ThreadPool* pool_ = nullptr;  // borrowed; flush/build scheduling only
   StringInterner dedup_ids_;  // machine and task names share one id space
+  InternMemo machine_memo_;   // batches deliver one machine's samples in a row
   MicroTime last_build_ = -1;
   int64_t builds_completed_ = 0;
   int64_t duplicates_dropped_ = 0;

@@ -20,7 +20,16 @@ OutlierDetector::Result OutlierDetector::Observe(const std::string& task,
   }
   result.outlier = true;
 
-  std::deque<MicroTime>& task_flags = flags_[task];
+  const uint32_t id = ids_.Intern(task);
+  if (id >= flags_.size()) {
+    flags_.resize(id + 1);
+    present_.resize(id + 1, 0);
+  }
+  if (!present_[id]) {
+    present_[id] = 1;
+    ++tracked_;
+  }
+  std::deque<MicroTime>& task_flags = flags_[id];
   task_flags.push_back(sample.timestamp);
   const MicroTime cutoff = sample.timestamp - params_.violation_window;
   while (!task_flags.empty() && task_flags.front() < cutoff) {
@@ -30,6 +39,14 @@ OutlierDetector::Result OutlierDetector::Observe(const std::string& task,
   return result;
 }
 
-void OutlierDetector::ForgetTask(const std::string& task) { flags_.erase(task); }
+void OutlierDetector::ForgetTask(const std::string& task) {
+  const std::optional<uint32_t> id = ids_.Find(task);
+  if (!id.has_value() || *id >= present_.size() || !present_[*id]) {
+    return;
+  }
+  flags_[*id].clear();
+  present_[*id] = 0;
+  --tracked_;
+}
 
 }  // namespace cpi2

@@ -9,12 +9,14 @@
 #ifndef CPI2_CORE_OUTLIER_DETECTOR_H_
 #define CPI2_CORE_OUTLIER_DETECTOR_H_
 
+#include <cstdint>
 #include <deque>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "core/params.h"
 #include "core/types.h"
+#include "util/interner.h"
 
 namespace cpi2 {
 
@@ -48,15 +50,25 @@ class OutlierDetector {
   void ForgetTask(const std::string& task);
 
   // Drops all flag history (agent restart: everything in memory is lost).
-  void Clear() { flags_.clear(); }
+  // Interned ids survive: they are stable name handles, not state.
+  void Clear() {
+    flags_.clear();
+    present_.clear();
+    tracked_ = 0;
+  }
 
   // Number of tasks with at least one recent flag (diagnostics).
-  size_t tracked_tasks() const { return flags_.size(); }
+  size_t tracked_tasks() const { return tracked_; }
 
  private:
   Cpi2Params params_;
-  // Per task: timestamps of recent outlier flags, oldest first.
-  std::map<std::string, std::deque<MicroTime>> flags_;
+  // Task names interned once; flag history lives in vectors indexed by id,
+  // so the hot Observe path never allocates or rebalances a map node.
+  StringInterner ids_;
+  // Per task id: timestamps of recent outlier flags, oldest first.
+  std::vector<std::deque<MicroTime>> flags_;
+  std::vector<uint8_t> present_;  // id currently has a flag history
+  size_t tracked_ = 0;            // == count of set bits in present_
 };
 
 }  // namespace cpi2

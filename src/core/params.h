@@ -127,6 +127,16 @@ struct Cpi2Params {
   // ParallelDeterminismTest.LegacyWirePathMatchesBinary. Text files remain
   // loadable forever regardless of this flag.
   bool legacy_wire_path = false;
+
+  // --- machine tick engine (engineering; no paper counterpart) --------------
+  // Validation escape hatch, mirroring legacy_wire_path: run each simulated
+  // machine's tick loop over per-Task method calls instead of the
+  // structure-of-arrays TaskTable fast path. Both layouts draw the same RNG
+  // streams in the same order and every observable — samples, incidents,
+  // counters, health — is bit-identical, proven by
+  // ParallelDeterminismTest.LegacyTaskLayoutMatchesSoA and the in-bench
+  // equivalence check in bench_tick_engine.
+  bool legacy_task_layout = false;
   // Flush policy for the binary sample-batch transport. A batch seals when
   // it reaches wire_batch_max_samples, or at the first flush opportunity
   // once it is wire_batch_max_age old (0 = seal at every flush, which makes

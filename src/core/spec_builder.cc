@@ -47,7 +47,8 @@ void SpecBuilder::MomentHistory::Merge(double other_count, double other_mean, do
 size_t SpecBuilder::Route(const CpiSample& sample) {
   ++samples_seen_;
   StagedSample staged;
-  staged.key = MakeKey(names_.Intern(sample.jobname), names_.Intern(sample.platforminfo));
+  staged.key = MakeKey(job_memo_.Intern(names_, sample.jobname),
+                       platform_memo_.Intern(names_, sample.platforminfo));
   if (!sample.task.empty()) {
     staged.task = names_.Intern(sample.task);
     staged.has_task = true;

@@ -189,6 +189,9 @@ class SpecBuilder {
   Cpi2Params params_;
   // Jobnames, platforms, and task names share one id space.
   StringInterner names_;
+  // Samples arrive in per-machine batch runs: the platform repeats for a
+  // whole batch and jobs cluster, so Route() memoizes both lookups.
+  InternMemo job_memo_, platform_memo_;
   std::vector<Shard> shards_;
   size_t staged_total_ = 0;
   int64_t samples_seen_ = 0;

@@ -9,6 +9,17 @@ namespace {
 // reproduces the stream the pre-fault-plane harness hard-coded.
 constexpr uint64_t kDropSeedSalt = 0x5eed;
 
+// The task-layout escape hatch lives in Cpi2Params next to its siblings
+// (legacy_correlation_path etc.), but machines are built by the Cluster;
+// fold it into the cluster options before construction.
+Cluster::Options ClusterOptionsFor(const ClusterHarness::Options& options) {
+  Cluster::Options merged = options.cluster;
+  if (options.params.legacy_task_layout) {
+    merged.legacy_task_layout = true;
+  }
+  return merged;
+}
+
 }  // namespace
 
 TaskMeta MetaFromSpec(const std::string& task_name, const TaskSpec& spec) {
@@ -23,7 +34,7 @@ TaskMeta MetaFromSpec(const std::string& task_name, const TaskSpec& spec) {
 
 ClusterHarness::ClusterHarness(Options options)
     : options_(options),
-      cluster_(options.cluster),
+      cluster_(ClusterOptionsFor(options_)),
       aggregator_(options.params),
       incident_log_(options.params.legacy_forensics_path),
       drop_rng_(options.cluster.seed ^ kDropSeedSalt) {}
@@ -118,19 +129,27 @@ void ClusterHarness::TickChannel(AgentChannel& channel, MicroTime now) {
   Agent* machine_agent = channel.agent;
   // Sync: register newly arrived tasks, drop departed ones. Both sides
   // iterate in name order, so sampler stagger assignment is deterministic.
-  for (Task* task : machine->Tasks()) {
-    if (!machine_agent->HasTask(task->name())) {
-      machine_agent->AddTask(MetaFromSpec(task->name(), task->spec()), now);
+  // The machine's membership version gates the scan: at steady state (no
+  // arrivals/exits since the last sync) the reconciliation — once a string
+  // lookup per task per tick — is skipped entirely. Agent restarts reset
+  // channel.synced_membership, forcing a full re-registration.
+  const uint64_t version = machine->membership_version();
+  if (channel.synced_membership != version) {
+    for (Task* task : machine->Tasks()) {
+      if (!machine_agent->HasTask(task->name())) {
+        machine_agent->AddTask(MetaFromSpec(task->name(), task->spec()), now);
+      }
     }
-  }
-  channel.departed.clear();
-  for (const auto& [name, meta] : machine_agent->Tasks()) {
-    if (machine->FindTask(name) == nullptr) {
-      channel.departed.push_back(name);
+    channel.departed.clear();
+    for (const auto& [name, meta] : machine_agent->Tasks()) {
+      if (machine->FindTask(name) == nullptr) {
+        channel.departed.push_back(name);
+      }
     }
-  }
-  for (const std::string& name : channel.departed) {
-    machine_agent->RemoveTask(name);
+    for (const std::string& name : channel.departed) {
+      machine_agent->RemoveTask(name);
+    }
+    channel.synced_membership = version;
   }
 
   machine_agent->Tick(now);
@@ -227,6 +246,9 @@ void ClusterHarness::RestartAgent(AgentChannel& channel, MicroTime now) {
     }
   }
   channel.agent->Restart(now);
+  // The restarted process has an empty task registry; force a full resync
+  // on its next tick even if the machine's membership has not changed.
+  channel.synced_membership = AgentChannel::kNeverSynced;
 }
 
 void ClusterHarness::OnTick(MicroTime now) {

@@ -130,10 +130,17 @@ class ClusterHarness {
   // touched by exactly one worker per tick; the buffers are drained (in
   // machine order) on the single merging thread.
   struct AgentChannel {
+    // Sentinel: the agent has never synced (or just restarted) and must
+    // reconcile its task registry regardless of the machine's version.
+    static constexpr uint64_t kNeverSynced = ~0ull;
+
     Machine* machine = nullptr;
     Agent* agent = nullptr;
     std::vector<Incident> incidents;
     std::vector<std::string> departed;  // sync scratch, reused across ticks
+    // Machine::membership_version() at the last registry sync; while it is
+    // unchanged the per-tick reconciliation scan is skipped.
+    uint64_t synced_membership = kNeverSynced;
   };
 
   // A spec push the fault plane delayed in flight.

@@ -10,7 +10,9 @@
 #ifndef CPI2_PERF_COUNTER_SOURCE_H_
 #define CPI2_PERF_COUNTER_SOURCE_H_
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "perf/counters.h"
@@ -25,6 +27,24 @@ class CounterSource {
   // Reads the cumulative counters of `container` in counting mode. The
   // counters keep accumulating between reads; callers diff snapshots.
   virtual StatusOr<CounterSnapshot> Read(const std::string& container) = 0;
+
+  // Optional fast path for steady-state readers (the duty-cycled sampler
+  // reads every container twice a minute, forever). A source that supports
+  // handles returns a value H such that ReadByHandle(H) is equivalent to
+  // Read(container) for the source's whole lifetime — the handle aliases
+  // the *name*, not one registration, so it stays correct across container
+  // churn (re-registration under the same name resolves to the new
+  // container; a removed container fails NotFound, exactly like the string
+  // path). Sources that cannot promise that return nullopt and callers
+  // keep using Read().
+  virtual std::optional<uint64_t> ContainerHandle(const std::string& container) {
+    (void)container;
+    return std::nullopt;
+  }
+  virtual StatusOr<CounterSnapshot> ReadByHandle(uint64_t handle) {
+    (void)handle;
+    return NotFoundError("counter source does not support handles");
+  }
 };
 
 // In-memory source for tests: snapshots are set explicitly.

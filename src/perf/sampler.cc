@@ -1,10 +1,23 @@
 #include "perf/sampler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace cpi2 {
+
+namespace {
+
+// lower_bound over the name-sorted container vector.
+template <typename Vec>
+auto FindContainer(Vec& containers, const std::string& container) {
+  return std::lower_bound(
+      containers.begin(), containers.end(), container,
+      [](const auto& entry, const std::string& name) { return entry.first < name; });
+}
+
+}  // namespace
 
 CpiSampler::CpiSampler(CounterSource* source, const Options& options, SampleCallback callback)
     : source_(source), options_(options), callback_(std::move(callback)) {}
@@ -17,19 +30,43 @@ void CpiSampler::AddContainer(const std::string& container, MicroTime now) {
     offset = static_cast<MicroTime>(stagger_counter_++ * kMicrosPerSecond) % slack;
   }
   state.next_window_start = now + offset;
-  containers_[container] = state;
+  const auto it = FindContainer(containers_, container);
+  if (it != containers_.end() && it->first == container) {
+    it->second = state;  // re-registration resets the window, like map[]=
+  } else {
+    containers_.emplace(it, container, state);
+  }
 }
 
-void CpiSampler::RemoveContainer(const std::string& container) { containers_.erase(container); }
+void CpiSampler::RemoveContainer(const std::string& container) {
+  const auto it = FindContainer(containers_, container);
+  if (it != containers_.end() && it->first == container) {
+    containers_.erase(it);
+  }
+}
 
 bool CpiSampler::HasContainer(const std::string& container) const {
-  return containers_.count(container) > 0;
+  const auto it = FindContainer(containers_, container);
+  return it != containers_.end() && it->first == container;
+}
+
+StatusOr<CounterSnapshot> CpiSampler::ReadCounters(const std::string& container,
+                                                   ContainerState& state) {
+  if (!state.handle_valid) {
+    const std::optional<uint64_t> handle = source_->ContainerHandle(container);
+    if (!handle.has_value()) {
+      return source_->Read(container);  // unsupported (or name unknown yet)
+    }
+    state.handle = *handle;
+    state.handle_valid = true;
+  }
+  return source_->ReadByHandle(state.handle);
 }
 
 void CpiSampler::Tick(MicroTime now) {
   for (auto& [container, state] : containers_) {
     if (state.state == State::kIdle && now >= state.next_window_start) {
-      StatusOr<CounterSnapshot> begin = source_->Read(container);
+      StatusOr<CounterSnapshot> begin = ReadCounters(container, state);
       if (!begin.ok()) {
         ++read_failures_;
         state.next_window_start = now + options_.sample_period;
@@ -40,7 +77,7 @@ void CpiSampler::Tick(MicroTime now) {
       state.window_end_due = now + options_.sample_duration;
       state.state = State::kCounting;
     } else if (state.state == State::kCounting && now >= state.window_end_due) {
-      StatusOr<CounterSnapshot> end = source_->Read(container);
+      StatusOr<CounterSnapshot> end = ReadCounters(container, state);
       state.state = State::kIdle;
       state.next_window_start = state.begin_snapshot.timestamp + options_.sample_period;
       if (state.next_window_start <= now) {

@@ -12,8 +12,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "perf/counter_source.h"
 #include "perf/counters.h"
@@ -65,12 +66,23 @@ class CpiSampler {
     MicroTime next_window_start = 0;
     MicroTime window_end_due = 0;
     CounterSnapshot begin_snapshot;
+    // Resolved once on first read (sources promise a handle aliases the
+    // name for their lifetime, so caching here is safe across churn);
+    // sources without handle support leave handle_valid false forever and
+    // reads stay on the string path.
+    uint64_t handle = 0;
+    bool handle_valid = false;
   };
+
+  StatusOr<CounterSnapshot> ReadCounters(const std::string& container, ContainerState& state);
 
   CounterSource* source_;
   Options options_;
   SampleCallback callback_;
-  std::map<std::string, ContainerState> containers_;
+  // Sorted by container name: the per-tick scan walks one contiguous vector
+  // instead of chasing map nodes, and iteration order (hence sample emission
+  // order) matches the former std::map exactly.
+  std::vector<std::pair<std::string, ContainerState>> containers_;
   uint64_t stagger_counter_ = 0;
   int64_t samples_emitted_ = 0;
   int64_t read_failures_ = 0;

@@ -54,4 +54,38 @@ void ComputeInterference(const Platform& platform, const InterferenceParams& par
   }
 }
 
+void ComputeInterferenceBatch(const Platform& platform, const InterferenceParams& params,
+                              size_t n, const InterferenceBatchInputs& in,
+                              double* cpi_multiplier, double* l3_mpi) {
+  // Totals once, in array order: the additions must associate exactly like
+  // the scalar reference loop's.
+  double total_cache_pollution = 0.0;
+  double total_bus_demand = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total_cache_pollution += in.cpu[i] * in.footprint[i];
+    total_bus_demand += in.cpu[i] * in.memory_intensity[i];
+  }
+
+  const double bw_weight = params.bw_weight;
+  const double mem_bw = platform.mem_bandwidth_units;
+  if (mem_bw > 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      const double cache_pressure =
+          std::max(0.0, total_cache_pollution - in.cpu[i] * in.footprint[i]);
+      const double bus_pressure =
+          std::max(0.0, total_bus_demand - in.cpu[i] * in.memory_intensity[i]) / mem_bw;
+      cpi_multiplier[i] =
+          1.0 + in.sens_cw[i] * cache_pressure + bw_weight * bus_pressure * in.half_mi[i];
+      l3_mpi[i] = in.baseline_mpi[i] * (1.0 + in.w_sens[i] * cache_pressure);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const double cache_pressure =
+          std::max(0.0, total_cache_pollution - in.cpu[i] * in.footprint[i]);
+      cpi_multiplier[i] = 1.0 + in.sens_cw[i] * cache_pressure;
+      l3_mpi[i] = in.baseline_mpi[i] * (1.0 + in.w_sens[i] * cache_pressure);
+    }
+  }
+}
+
 }  // namespace cpi2

@@ -65,6 +65,37 @@ void ComputeInterference(const Platform& platform, const InterferenceParams& par
                          const std::vector<TaskLoad>& loads,
                          std::vector<InterferenceResult>* results);
 
+// Structure-of-arrays inputs for the batched interference kernel. All
+// pointers address `n` elements, one per co-resident task, in the same
+// order the outputs are written. The derived per-task constants are
+// precomputed once per task (TaskTable does this at admission):
+//   footprint    = min(1, cache_mb / platform.l3_cache_mb)   (0 if no L3)
+//   sens_cw      = sensitivity * params.cache_weight
+//   w_sens       = params.mpi_contention_weight * sensitivity
+//   half_mi      = 0.5 + 0.5 * memory_intensity
+//   baseline_mpi = params.base_mpi + params.mpi_per_intensity * memory_intensity
+// Folding them this way keeps every product associated exactly as the
+// scalar ComputeInterference evaluates it, so the batch kernel is
+// bit-identical to the reference loop.
+struct InterferenceBatchInputs {
+  const double* cpu = nullptr;
+  const double* footprint = nullptr;
+  const double* memory_intensity = nullptr;
+  const double* sens_cw = nullptr;
+  const double* w_sens = nullptr;
+  const double* half_mi = nullptr;
+  const double* baseline_mpi = nullptr;
+};
+
+// Batched interference: same math as ComputeInterference but over parallel
+// arrays, with the per-task invariants hoisted out of the tick loop. The
+// totals pass stays a sequential sum (FP addition order is part of the
+// determinism contract); the per-task pass is element-wise and free to
+// vectorize. Writes n entries to cpi_multiplier and l3_mpi.
+void ComputeInterferenceBatch(const Platform& platform, const InterferenceParams& params,
+                              size_t n, const InterferenceBatchInputs& in,
+                              double* cpi_multiplier, double* l3_mpi);
+
 }  // namespace cpi2
 
 #endif  // CPI2_SIM_INTERFERENCE_H_

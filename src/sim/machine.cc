@@ -6,74 +6,68 @@
 namespace cpi2 {
 
 Machine::Machine(std::string name, Platform platform, uint64_t seed,
-                 InterferenceParams interference)
+                 InterferenceParams interference, bool legacy_task_layout)
     : name_(std::move(name)),
       platform_(std::move(platform)),
       interference_(interference),
-      rng_(seed) {}
+      legacy_layout_(legacy_task_layout),
+      cycles_per_second_(platform_.CyclesPerSecond()),
+      rng_(seed),
+      table_(platform_, interference_) {}
 
 Status Machine::AddTask(const std::string& task_name, const TaskSpec& spec) {
-  if (tasks_.count(task_name) > 0) {
+  if (table_.Add(task_name, spec, rng_.Fork()) == nullptr) {
     return InvalidArgumentError("task already on machine: " + task_name);
   }
-  tasks_[task_name] = std::make_unique<Task>(task_name, spec, rng_.Fork());
-  task_list_dirty_ = true;
   return Status::Ok();
 }
 
 Status Machine::RemoveTask(const std::string& task_name) {
-  if (tasks_.erase(task_name) == 0) {
+  if (!table_.Remove(task_name)) {
     return NotFoundError("no such task: " + task_name);
   }
-  task_list_dirty_ = true;
   return Status::Ok();
 }
 
-Task* Machine::FindTask(const std::string& task_name) {
-  const auto it = tasks_.find(task_name);
-  return it != tasks_.end() ? it->second.get() : nullptr;
-}
+Task* Machine::FindTask(const std::string& task_name) { return table_.Find(task_name); }
 
 const Task* Machine::FindTask(const std::string& task_name) const {
-  const auto it = tasks_.find(task_name);
-  return it != tasks_.end() ? it->second.get() : nullptr;
-}
-
-const std::vector<Task*>& Machine::Tasks() {
-  if (task_list_dirty_) {
-    task_list_.clear();
-    task_list_.reserve(tasks_.size());
-    for (auto& [name, task] : tasks_) {
-      task_list_.push_back(task.get());
-    }
-    task_list_dirty_ = false;
-  }
-  return task_list_;
+  return table_.Find(task_name);
 }
 
 std::vector<Machine::ExitedTask> Machine::DrainExited() {
   std::vector<ExitedTask> exited;
-  for (auto it = tasks_.begin(); it != tasks_.end();) {
-    if (it->second->exited()) {
-      exited.push_back({it->first, it->second->spec()});
-      it = tasks_.erase(it);
-      task_list_dirty_ = true;
-    } else {
-      ++it;
+  if (!table_.any_exited()) {
+    return exited;
+  }
+  for (Task* task : table_.TasksByName()) {
+    if (task->exited()) {
+      exited.push_back({task->name(), task->spec()});
     }
   }
+  for (const ExitedTask& e : exited) {
+    table_.Remove(e.name);
+  }
+  table_.AcknowledgeExits();
   return exited;
 }
 
 void Machine::Tick(MicroTime now, MicroTime dt) {
   last_tick_time_ = now;
   const double tick_seconds = MicrosToSeconds(dt);
-  if (tasks_.empty() || tick_seconds <= 0.0) {
+  if (table_.size() == 0 || tick_seconds <= 0.0) {
     last_utilization_ = 0.0;
     last_batch_satisfaction_ = 1.0;
     return;
   }
+  if (legacy_layout_) {
+    TickLegacy(now, tick_seconds);
+  } else {
+    TickSoa(now, tick_seconds);
+  }
+}
 
+void Machine::TickLegacy(MicroTime now, double tick_seconds) {
   const std::vector<Task*>& tasks = Tasks();
   const size_t n = tasks.size();
 
@@ -122,11 +116,14 @@ void Machine::Tick(MicroTime now, MicroTime dt) {
   ComputeInterference(platform_, interference_, loads, &scratch_.effects);
   const std::vector<InterferenceResult>& effects = scratch_.effects;
 
-  // 4. Accounting.
+  // 4. Accounting. The factors are applied one at a time to pin the RNG
+  // draw order (noise, then walk) — the order the SoA path reproduces.
   for (size_t i = 0; i < n; ++i) {
-    double cpi = tasks[i]->BaseCpiOn(platform_) * effects[i].cpi_multiplier *
-                 tasks[i]->CpiNoise() * tasks[i]->CpiWalkFactor(now) *
-                 tasks[i]->CpiStepFactor(now);
+    double cpi = tasks[i]->BaseCpiOn(platform_);
+    cpi *= effects[i].cpi_multiplier;
+    cpi *= tasks[i]->CpiNoise();
+    cpi *= tasks[i]->CpiWalkFactor(now);
+    cpi *= tasks[i]->CpiStepFactor(now);
     // Self-inflicted CPI inflation when a task barely runs (case 3): cold
     // caches and wakeup overheads dominate at near-zero usage.
     const double inflation = tasks[i]->spec().idle_cpi_inflation;
@@ -137,19 +134,213 @@ void Machine::Tick(MicroTime now, MicroTime dt) {
   }
 }
 
+void Machine::TickSoa(MicroTime now, double tick_seconds) {
+  TaskTable& t = table_;
+  const std::vector<uint32_t>& order = t.SlotsByName();
+  const TaskTable::DenseConst& dc = t.DenseInputs();
+  const size_t n = order.size();
+
+  std::vector<double>& limit = scratch_.limit;
+  std::vector<double>& alloc = scratch_.alloc;
+  limit.resize(n);
+  alloc.resize(n);
+
+  // 1. Demands, bounded by each task's hard cap. Scalar pass in name order:
+  // it owns every demand-side RNG draw. Rare features (bimodal modes,
+  // diurnal curves, slow walks) sit behind one flag test; the diurnal
+  // factor is memoized per (amplitude, peak) — most latency-sensitive
+  // filler tasks share one curve, and the factor is a pure function of the
+  // curve and `now`.
+  double ls_demand = 0.0;
+  double batch_demand = 0.0;
+  double memo_amplitude = 0.0;
+  MicroTime memo_peak = 0;
+  double memo_factor = 1.0;
+  bool memo_valid = false;
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t s = order[k];
+    double desired;
+    if (t.exited_[s]) {
+      desired = 0.0;
+    } else {
+      const uint16_t f = t.flags_[s];
+      const TaskTable::HotSpec& hs = t.hot_[s];
+      double demand = hs.base_demand;
+      if (f & kTaskFlagRareDemand) {
+        const TaskSpec& spec = t.slots_[s]->spec();
+        if (f & kTaskFlagBimodal) {
+          if (now >= spec.mode_start_time) {
+            const int64_t phase = ((now - spec.mode_start_time) / spec.mode_half_period) % 2;
+            demand = phase == 0 ? spec.alt_cpu_demand : spec.base_cpu_demand;
+          }
+        }
+        if (f & kTaskFlagDiurnal) {
+          const DiurnalCurve& curve = spec.diurnal;
+          if (!memo_valid || curve.amplitude != memo_amplitude ||
+              curve.peak_offset != memo_peak) {
+            memo_amplitude = curve.amplitude;
+            memo_peak = curve.peak_offset;
+            memo_factor = curve.Factor(now);
+            memo_valid = true;
+          }
+          demand *= memo_factor;
+        }
+        if (f & kTaskFlagDemandWalk) {
+          if (t.last_walk_update_[s] < 0 || now - t.last_walk_update_[s] >= kMicrosPerMinute) {
+            t.demand_walk_log_[s] = (1.0 - spec.demand_walk_revert) * t.demand_walk_log_[s] +
+                                    t.rng_[s].Normal(0.0, spec.demand_walk_sigma);
+            t.last_walk_update_[s] = now;
+            t.demand_walk_factor_[s] = std::exp(t.demand_walk_log_[s]);
+          }
+          demand *= t.demand_walk_factor_[s];
+        }
+      }
+      if (now < t.lame_duck_until_[s]) {
+        demand *= 0.1;  // Lame-duck mode: offload work, keep a trickle running.
+      }
+      if (f & kTaskFlagDemandNoise) {
+        demand *= t.rng_[s].LogNormal(hs.demand_mu, hs.demand_sigma);
+      }
+      desired = std::max(0.0, demand);
+    }
+    limit[k] = std::min(desired, t.cap_[s]);
+    (dc.latency_sensitive[k] ? ls_demand : batch_demand) += limit[k];
+  }
+
+  // 2. Allocation (see TickLegacy for the policy). Element-wise, free to
+  // vectorize; the utilization sum stays in name order.
+  const double capacity = static_cast<double>(platform_.cores);
+  const double ls_scale = ls_demand > capacity ? capacity / ls_demand : 1.0;
+  const double ls_used = std::min(ls_demand, capacity);
+  const double batch_capacity = capacity - ls_used;
+  const double batch_scale =
+      batch_demand > batch_capacity && batch_demand > 0.0 ? batch_capacity / batch_demand : 1.0;
+
+  for (size_t k = 0; k < n; ++k) {
+    alloc[k] = limit[k] * (dc.latency_sensitive[k] ? ls_scale : batch_scale);
+  }
+  double used = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    used += alloc[k];
+  }
+  last_utilization_ = capacity > 0.0 ? used / capacity : 0.0;
+  last_batch_satisfaction_ = batch_demand > 0.0 ? batch_scale : 1.0;
+
+  // 3. Interference over the packed per-task constants.
+  scratch_.cpi_multiplier.resize(n);
+  scratch_.l3_mpi.resize(n);
+  InterferenceBatchInputs inputs;
+  inputs.cpu = alloc.data();
+  inputs.footprint = dc.footprint.data();
+  inputs.memory_intensity = dc.memory_intensity.data();
+  inputs.sens_cw = dc.sens_cw.data();
+  inputs.w_sens = dc.w_sens.data();
+  inputs.half_mi = dc.half_mi.data();
+  inputs.baseline_mpi = dc.baseline_mpi.data();
+  ComputeInterferenceBatch(platform_, interference_, n, inputs,
+                           scratch_.cpi_multiplier.data(), scratch_.l3_mpi.data());
+
+  // 4. Accounting, in name order. Exited tasks are NOT skipped: the legacy
+  // loop accounted them too (zero allocation, but their CPI noise/walk
+  // draws still advance their RNG streams), and equivalence requires the
+  // same draws. Each optional stage multiplies by exactly 1.0 when its
+  // flag is clear, so skipping it never changes a bit.
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t s = order[k];
+    const uint16_t f = t.flags_[s];
+    const TaskTable::HotSpec& hs = t.hot_[s];
+
+    double cpi = hs.base_cpi_platform;
+    cpi *= scratch_.cpi_multiplier[k];
+    if (f & kTaskFlagCpiNoise) {
+      cpi *= t.rng_[s].LogNormal(hs.cpi_mu, hs.cpi_sigma);
+    }
+    if (f & kTaskFlagCpiWalk) {
+      const TaskSpec& spec = t.slots_[s]->spec();
+      if (t.last_cpi_walk_update_[s] < 0 ||
+          now - t.last_cpi_walk_update_[s] >= kMicrosPerMinute) {
+        t.cpi_walk_log_[s] = (1.0 - spec.cpi_walk_revert) * t.cpi_walk_log_[s] +
+                             t.rng_[s].Normal(0.0, spec.cpi_walk_sigma);
+        t.last_cpi_walk_update_[s] = now;
+        t.cpi_walk_factor_[s] = std::exp(t.cpi_walk_log_[s]);
+      }
+      cpi *= t.cpi_walk_factor_[s];
+    }
+    if (f & kTaskFlagCpiStep) {
+      const TaskSpec& spec = t.slots_[s]->spec();
+      if (now >= spec.cpi_step_time) {
+        cpi *= spec.cpi_step_factor;
+      }
+    }
+    if ((f & kTaskFlagIdleInflation) && alloc[k] < 0.25) {
+      cpi *= 1.0 + hs.idle_cpi_inflation * (1.0 - alloc[k] / 0.25);
+    }
+
+    // Inlined Task::Account over the slot arrays.
+    t.last_usage_[s] = alloc[k];
+    t.last_cpi_[s] = cpi;
+    const double cycles_delta = alloc[k] * tick_seconds * cycles_per_second_;
+    t.cycles_[s] += static_cast<uint64_t>(cycles_delta);
+    const double instr_delta = cpi > 0.0 ? cycles_delta / cpi : 0.0;
+    t.instructions_[s] += static_cast<uint64_t>(instr_delta);
+    const double l3_delta = instr_delta * scratch_.l3_mpi[k];
+    t.l3_misses_[s] += static_cast<uint64_t>(l3_delta);
+    t.l2_misses_[s] += static_cast<uint64_t>(l3_delta * 4.0);
+    t.mem_requests_[s] += static_cast<uint64_t>(l3_delta * 1.2);
+    t.cpu_seconds_[s] += alloc[k] * tick_seconds;
+
+    if (f & kTaskFlagLatency) {
+      const double cpu_part =
+          hs.one_minus_io * (hs.base_cpi_platform > 0.0 ? cpi / hs.base_cpi_platform : 1.0);
+      const double io_noise =
+          (f & kTaskFlagLatencyNoise) ? t.rng_[s].LogNormal(hs.lat_mu, hs.lat_sigma) : 1.0;
+      const double io_part = hs.io_fraction * io_noise;
+      t.last_latency_ms_[s] = hs.latency_base_scaled * (cpu_part + io_part);
+    }
+    if (f & kTaskFlagTps) {
+      const double ips = instr_delta / tick_seconds;
+      const double tps_noise =
+          (f & kTaskFlagTpsNoise) ? t.rng_[s].LogNormal(hs.tps_mu, hs.tps_sigma) : 1.0;
+      t.last_tps_[s] = ips / hs.instr_per_txn * tps_noise;
+    }
+
+    if (f & kTaskFlagCapReactive) {
+      t.RunCapBehavior(s, now);
+    }
+  }
+}
+
 StatusOr<CounterSnapshot> Machine::Read(const std::string& container) {
-  const Task* task = FindTask(container);
-  if (task == nullptr) {
+  const std::optional<uint32_t> id = table_.names_.Find(container);
+  if (!id.has_value()) {
     return NotFoundError("no counters for container " + container + " on " + name_);
   }
+  return ReadByHandle(*id);
+}
+
+std::optional<uint64_t> Machine::ContainerHandle(const std::string& container) {
+  const std::optional<uint32_t> id = table_.names_.Find(container);
+  if (!id.has_value()) {
+    return std::nullopt;
+  }
+  return static_cast<uint64_t>(*id);
+}
+
+StatusOr<CounterSnapshot> Machine::ReadByHandle(uint64_t handle) {
+  const TaskTable& t = table_;
+  if (handle >= t.id_to_slot_.size() || t.id_to_slot_[handle] < 0) {
+    return NotFoundError("no counters for container id " + std::to_string(handle) + " on " +
+                         name_);
+  }
+  const uint32_t s = static_cast<uint32_t>(t.id_to_slot_[handle]);
   CounterSnapshot snapshot;
   snapshot.timestamp = last_tick_time_;
-  snapshot.cycles = task->cycles();
-  snapshot.instructions = task->instructions();
-  snapshot.l2_misses = task->l2_misses();
-  snapshot.l3_misses = task->l3_misses();
-  snapshot.mem_requests = task->mem_requests();
-  snapshot.cpu_seconds = task->cpu_seconds();
+  snapshot.cycles = t.cycles_[s];
+  snapshot.instructions = t.instructions_[s];
+  snapshot.l2_misses = t.l2_misses_[s];
+  snapshot.l3_misses = t.l3_misses_[s];
+  snapshot.mem_requests = t.mem_requests_[s];
+  snapshot.cpu_seconds = t.cpu_seconds_[s];
   return snapshot;
 }
 

@@ -14,11 +14,17 @@
 //      miss rate,
 //   4. lets each task account the tick (counters, app metrics, cap
 //      reactions).
+//
+// Tasks live in a TaskTable (dense slots, parallel arrays). The default
+// tick path walks those arrays directly — batched demand/allocation/
+// interference/accounting passes in container-name order. The
+// `legacy_task_layout` constructor flag selects the original per-Task
+// method-call loop instead; both paths draw the same RNG streams in the
+// same order and are bit-identical in every observable (DESIGN.md §14).
 
 #ifndef CPI2_SIM_MACHINE_H_
 #define CPI2_SIM_MACHINE_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +34,7 @@
 #include "sim/interference.h"
 #include "sim/platform.h"
 #include "sim/task.h"
+#include "sim/task_table.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -36,7 +43,8 @@ namespace cpi2 {
 class Machine : public CounterSource, public CpuController {
  public:
   Machine(std::string name, Platform platform, uint64_t seed,
-          InterferenceParams interference = InterferenceParams());
+          InterferenceParams interference = InterferenceParams(),
+          bool legacy_task_layout = false);
 
   const std::string& name() const { return name_; }
   const Platform& platform() const { return platform_; }
@@ -51,8 +59,12 @@ class Machine : public CounterSource, public CpuController {
   // Tasks in name order. The vector is cached and only rebuilt after a
   // membership change; the reference is invalidated by AddTask/RemoveTask/
   // DrainExited.
-  const std::vector<Task*>& Tasks();
-  size_t task_count() const { return tasks_.size(); }
+  const std::vector<Task*>& Tasks() { return table_.TasksByName(); }
+  size_t task_count() const { return table_.size(); }
+
+  // Bumped by every task arrival/removal; consumers mirroring the task set
+  // (the harness agent sync) skip reconciliation while it is unchanged.
+  uint64_t membership_version() const { return table_.membership_version(); }
 
   // A task that ended on its own (e.g. self-termination under capping).
   struct ExitedTask {
@@ -77,6 +89,12 @@ class Machine : public CounterSource, public CpuController {
 
   // --- CounterSource ------------------------------------------------------
   StatusOr<CounterSnapshot> Read(const std::string& container) override;
+  // Handle = the task table's interner id. Ids are assigned per *name* and
+  // never reused, so a handle is a permanent alias for the name: re-arrival
+  // under the same name resolves to the new task, a dead name fails
+  // NotFound — exactly the string path, minus the per-read hash.
+  std::optional<uint64_t> ContainerHandle(const std::string& container) override;
+  StatusOr<CounterSnapshot> ReadByHandle(uint64_t handle) override;
 
   // --- CpuController ------------------------------------------------------
   Status SetCap(const std::string& container, double cpu_sec_per_sec) override;
@@ -84,24 +102,30 @@ class Machine : public CounterSource, public CpuController {
   std::optional<double> GetCap(const std::string& container) const override;
 
  private:
+  // The original per-Task method-call tick loop (legacy_task_layout=true).
+  void TickLegacy(MicroTime now, double tick_seconds);
+  // The SoA fast path: batched passes over the TaskTable arrays.
+  void TickSoa(MicroTime now, double tick_seconds);
+
   std::string name_;
   Platform platform_;
   InterferenceParams interference_;
+  bool legacy_layout_;
+  // platform_.CyclesPerSecond(), hoisted out of the accounting pass.
+  double cycles_per_second_;
   Rng rng_;
-  std::map<std::string, std::unique_ptr<Task>> tasks_;
-  // Cached name-ordered view of tasks_, rebuilt lazily after Add/Remove/
-  // DrainExited so Tick and Tasks() do not allocate every call.
-  std::vector<Task*> task_list_;
-  bool task_list_dirty_ = true;
+  TaskTable table_;
   // Per-tick scratch, reused across ticks so the hot path is allocation-free
   // at steady state. Only touched by Tick, which runs on one thread at a
   // time per machine.
   struct TickScratch {
     std::vector<double> limit;
-    std::vector<char> latency_sensitive;
+    std::vector<char> latency_sensitive;  // legacy path only
     std::vector<double> alloc;
-    std::vector<TaskLoad> loads;
-    std::vector<InterferenceResult> effects;
+    std::vector<TaskLoad> loads;                   // legacy path only
+    std::vector<InterferenceResult> effects;       // legacy path only
+    std::vector<double> cpi_multiplier;  // SoA interference outputs
+    std::vector<double> l3_mpi;
   };
   TickScratch scratch_;
   double last_utilization_ = 0.0;

@@ -1,6 +1,7 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 
 #include "util/logging.h"
@@ -9,7 +10,23 @@
 namespace cpi2 {
 
 Scheduler::Scheduler(std::vector<Machine*> machines, Options options, uint64_t seed)
-    : machines_(std::move(machines)), options_(options), rng_(seed) {}
+    : machines_(std::move(machines)),
+      options_(options),
+      rng_(seed),
+      production_reserved_(machines_.size(), 0.0),
+      total_reserved_(machines_.size(), 0.0),
+      starved_streak_(machines_.size(), 0) {
+  machine_index_.reserve(machines_.size());
+  for (size_t i = 0; i < machines_.size(); ++i) {
+    machine_index_.emplace(machines_[i], i);
+  }
+}
+
+size_t Scheduler::IndexOf(const Machine* machine) const {
+  const auto it = machine_index_.find(machine);
+  assert(it != machine_index_.end() && "machine not managed by this scheduler");
+  return it->second;
+}
 
 bool Scheduler::ViolatesConstraint(const Machine& machine, const TaskSpec& spec) const {
   const auto it = avoid_.find(spec.job_name);
@@ -28,20 +45,16 @@ bool Scheduler::ViolatesConstraint(const Machine& machine, const TaskSpec& spec)
   return false;
 }
 
-bool Scheduler::Fits(const Machine& machine, const TaskSpec& spec) const {
-  const double cores = static_cast<double>(machine.platform().cores);
-  const auto prod_it = production_reserved_.find(machine.name());
-  const double prod = prod_it != production_reserved_.end() ? prod_it->second : 0.0;
-  const auto total_it = total_reserved_.find(machine.name());
-  const double total = total_it != total_reserved_.end() ? total_it->second : 0.0;
+bool Scheduler::Fits(size_t machine_index, const TaskSpec& spec) const {
+  const double cores = static_cast<double>(machines_[machine_index]->platform().cores);
   if (spec.priority == JobPriority::kProduction) {
     // Production reservations are never oversubscribed.
-    if (prod + spec.cpu_request > cores) {
+    if (production_reserved_[machine_index] + spec.cpu_request > cores) {
       return false;
     }
   }
   // Everything combined may overcommit up to the configured factor.
-  return total + spec.cpu_request <= cores * options_.batch_overcommit;
+  return total_reserved_[machine_index] + spec.cpu_request <= cores * options_.batch_overcommit;
 }
 
 Machine* Scheduler::PickMachine(const TaskSpec& spec, const std::string& avoid_machine) {
@@ -52,14 +65,14 @@ Machine* Scheduler::PickMachine(const TaskSpec& spec, const std::string& avoid_m
   double best_reserved = std::numeric_limits<double>::infinity();
   constexpr int kProbes = 2;
   for (int probe = 0; probe < kProbes && !machines_.empty(); ++probe) {
-    Machine* candidate =
-        machines_[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(machines_.size()) - 1))];
-    if (candidate->name() == avoid_machine || !Fits(*candidate, spec) ||
+    const size_t index =
+        static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(machines_.size()) - 1));
+    Machine* candidate = machines_[index];
+    if (candidate->name() == avoid_machine || !Fits(index, spec) ||
         ViolatesConstraint(*candidate, spec)) {
       continue;
     }
-    const auto it = total_reserved_.find(candidate->name());
-    const double reserved = it != total_reserved_.end() ? it->second : 0.0;
+    const double reserved = total_reserved_[index];
     if (reserved < best_reserved) {
       best_reserved = reserved;
       best = candidate;
@@ -69,13 +82,13 @@ Machine* Scheduler::PickMachine(const TaskSpec& spec, const std::string& avoid_m
     return best;
   }
   // Fall back to a full scan so feasible placements are never missed.
-  for (Machine* candidate : machines_) {
-    if (candidate->name() == avoid_machine || !Fits(*candidate, spec) ||
+  for (size_t index = 0; index < machines_.size(); ++index) {
+    Machine* candidate = machines_[index];
+    if (candidate->name() == avoid_machine || !Fits(index, spec) ||
         ViolatesConstraint(*candidate, spec)) {
       continue;
     }
-    const auto it = total_reserved_.find(candidate->name());
-    const double reserved = it != total_reserved_.end() ? it->second : 0.0;
+    const double reserved = total_reserved_[index];
     if (reserved < best_reserved) {
       best_reserved = reserved;
       best = candidate;
@@ -97,9 +110,10 @@ Status Scheduler::PlaceTask(const std::string& task_name, const TaskSpec& spec) 
     return status;
   }
   locations_[task_name] = machine;
-  total_reserved_[machine->name()] += spec.cpu_request;
+  const size_t index = IndexOf(machine);
+  total_reserved_[index] += spec.cpu_request;
   if (spec.priority == JobPriority::kProduction) {
-    production_reserved_[machine->name()] += spec.cpu_request;
+    production_reserved_[index] += spec.cpu_request;
   }
   ++total_placed_;
   return Status::Ok();
@@ -135,12 +149,17 @@ Status Scheduler::EvictTask(const std::string& task_name) {
   Machine* machine = it->second;
   const Task* task = machine->FindTask(task_name);
   if (task != nullptr) {
-    const TaskSpec& spec = task->spec();
-    total_reserved_[machine->name()] -= spec.cpu_request;
-    if (spec.priority == JobPriority::kProduction) {
-      production_reserved_[machine->name()] -= spec.cpu_request;
-    }
+    // Copy the reservation fields out before RemoveTask: the Task (and its
+    // spec) is destroyed by removal, so holding a reference across it would
+    // read freed memory.
+    const double request = task->spec().cpu_request;
+    const bool production = task->spec().priority == JobPriority::kProduction;
     (void)machine->RemoveTask(task_name);
+    const size_t index = IndexOf(machine);
+    total_reserved_[index] -= request;
+    if (production) {
+      production_reserved_[index] -= request;
+    }
   }
   locations_.erase(it);
   return Status::Ok();
@@ -167,9 +186,10 @@ Status Scheduler::MigrateTask(const std::string& task_name) {
     // Nowhere else to go; put it back where it was.
     (void)old_machine->AddTask(task_name, spec);
     locations_[task_name] = old_machine;
-    total_reserved_[old_machine->name()] += spec.cpu_request;
+    const size_t old_index = IndexOf(old_machine);
+    total_reserved_[old_index] += spec.cpu_request;
     if (spec.priority == JobPriority::kProduction) {
-      production_reserved_[old_machine->name()] += spec.cpu_request;
+      production_reserved_[old_index] += spec.cpu_request;
     }
     return UnavailableError("no other machine fits " + task_name);
   }
@@ -178,22 +198,24 @@ Status Scheduler::MigrateTask(const std::string& task_name) {
     return status;
   }
   locations_[task_name] = machine;
-  total_reserved_[machine->name()] += spec.cpu_request;
+  const size_t index = IndexOf(machine);
+  total_reserved_[index] += spec.cpu_request;
   if (spec.priority == JobPriority::kProduction) {
-    production_reserved_[machine->name()] += spec.cpu_request;
+    production_reserved_[index] += spec.cpu_request;
   }
   return Status::Ok();
 }
 
 void Scheduler::Maintain(MicroTime now) {
   // Reap self-exited tasks: release their reservations and queue restarts.
-  for (Machine* machine : machines_) {
+  for (size_t machine_pos = 0; machine_pos < machines_.size(); ++machine_pos) {
+    Machine* machine = machines_[machine_pos];
     for (const Machine::ExitedTask& exited : machine->DrainExited()) {
       const auto it = locations_.find(exited.name);
       if (it != locations_.end()) {
-        total_reserved_[machine->name()] -= exited.spec.cpu_request;
+        total_reserved_[machine_pos] -= exited.spec.cpu_request;
         if (exited.spec.priority == JobPriority::kProduction) {
-          production_reserved_[machine->name()] -= exited.spec.cpu_request;
+          production_reserved_[machine_pos] -= exited.spec.cpu_request;
         }
         locations_.erase(it);
       }
@@ -208,8 +230,9 @@ void Scheduler::Maintain(MicroTime now) {
   // Preempt the largest batch task on machines whose batch population has
   // been starved for too long; the replacement lands elsewhere.
   if (options_.preemption_satisfaction > 0.0) {
-    for (Machine* machine : machines_) {
-      int& streak = starved_streak_[machine->name()];
+    for (size_t machine_pos = 0; machine_pos < machines_.size(); ++machine_pos) {
+      Machine* machine = machines_[machine_pos];
+      int& streak = starved_streak_[machine_pos];
       if (machine->LastBatchSatisfaction() < options_.preemption_satisfaction) {
         ++streak;
       } else {
@@ -258,9 +281,10 @@ void Scheduler::Maintain(MicroTime now) {
     const Status status = machine->AddTask(restart.task_name, restart.spec);
     if (status.ok()) {
       locations_[restart.task_name] = machine;
-      total_reserved_[machine->name()] += restart.spec.cpu_request;
+      const size_t index = IndexOf(machine);
+      total_reserved_[index] += restart.spec.cpu_request;
       if (restart.spec.priority == JobPriority::kProduction) {
-        production_reserved_[machine->name()] += restart.spec.cpu_request;
+        production_reserved_[index] += restart.spec.cpu_request;
       }
       ++total_restarts_;
     }

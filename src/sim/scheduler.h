@@ -14,6 +14,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/machine.h"
@@ -92,22 +93,28 @@ class Scheduler {
 
   // Picks the best machine for `spec`, or nullptr if none fits.
   Machine* PickMachine(const TaskSpec& spec, const std::string& avoid_machine);
-  bool Fits(const Machine& machine, const TaskSpec& spec) const;
+  bool Fits(size_t machine_index, const TaskSpec& spec) const;
   bool ViolatesConstraint(const Machine& machine, const TaskSpec& spec) const;
+  // Position of `machine` in machines_ (the index into the reservation
+  // vectors). Every machine the scheduler touches came from machines_.
+  size_t IndexOf(const Machine* machine) const;
 
   std::vector<Machine*> machines_;
   Options options_;
   Rng rng_;
   // task name -> machine.
   std::map<std::string, Machine*> locations_;
-  // machine name -> reserved CPU (production / all).
-  std::map<std::string, double> production_reserved_;
-  std::map<std::string, double> total_reserved_;
+  // Reserved CPU (production / all), indexed by machine position. Machines
+  // are fixed at construction, so flat vectors replace the former per-name
+  // maps: the hot Fits/PickMachine path indexes instead of hashing strings.
+  std::vector<double> production_reserved_;
+  std::vector<double> total_reserved_;
+  std::unordered_map<const Machine*, size_t> machine_index_;
   // job -> set of antagonist jobs to avoid.
   std::map<std::string, std::set<std::string>> avoid_;
   std::deque<PendingRestart> restart_queue_;
-  // Consecutive starved Maintain calls per machine.
-  std::map<std::string, int> starved_streak_;
+  // Consecutive starved Maintain calls, indexed by machine position.
+  std::vector<int> starved_streak_;
   int total_placed_ = 0;
   int total_restarts_ = 0;
   int total_preemptions_ = 0;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "sim/task_table.h"
 
 namespace cpi2 {
 
@@ -14,10 +17,6 @@ double DiurnalCurve::Factor(MicroTime now) const {
   return 1.0 + amplitude * std::cos(2.0 * M_PI * day_fraction);
 }
 
-namespace {
-
-// Lognormal multiplicative noise with mean 1 and the given coefficient of
-// variation.
 double LognormalNoise(Rng& rng, double cv) {
   if (cv <= 0.0) {
     return 1.0;
@@ -27,16 +26,37 @@ double LognormalNoise(Rng& rng, double cv) {
   return rng.LogNormal(-0.5 * sigma2, sigma);
 }
 
-}  // namespace
+// The method bodies below are the table-backed spelling of the original
+// per-object task model; TaskTable's SoA tick path inlines the same math
+// over whole machines. Every multiplicative stage and RNG draw stays in the
+// original order so both spellings are bit-identical.
 
-Task::Task(std::string name, TaskSpec spec, Rng rng)
-    : name_(std::move(name)), spec_(std::move(spec)), rng_(rng), threads_(spec_.base_threads) {
-  latency_scale_ = LognormalNoise(rng_, spec_.latency_task_cv);
-  cpi_scale_ = LognormalNoise(rng_, spec_.cpi_task_cv);
+bool Task::exited() const { return table_->exited_[slot_] != 0; }
+
+double Task::cap() const { return table_->cap_[slot_]; }
+void Task::SetCap(double cpu_sec_per_sec) { table_->cap_[slot_] = cpu_sec_per_sec; }
+void Task::RemoveCap() { table_->cap_[slot_] = std::numeric_limits<double>::infinity(); }
+bool Task::IsCapped() const {
+  return table_->cap_[slot_] != std::numeric_limits<double>::infinity();
 }
 
+uint64_t Task::cycles() const { return table_->cycles_[slot_]; }
+uint64_t Task::instructions() const { return table_->instructions_[slot_]; }
+uint64_t Task::l2_misses() const { return table_->l2_misses_[slot_]; }
+uint64_t Task::l3_misses() const { return table_->l3_misses_[slot_]; }
+uint64_t Task::mem_requests() const { return table_->mem_requests_[slot_]; }
+double Task::cpu_seconds() const { return table_->cpu_seconds_[slot_]; }
+
+double Task::last_usage() const { return table_->last_usage_[slot_]; }
+double Task::last_cpi() const { return table_->last_cpi_[slot_]; }
+double Task::last_latency_ms() const { return table_->last_latency_ms_[slot_]; }
+double Task::last_tps() const { return table_->last_tps_[slot_]; }
+int Task::threads() const { return table_->threads_[slot_]; }
+
 double Task::DesiredCpu(MicroTime now) {
-  if (exited_) {
+  TaskTable& t = *table_;
+  const uint32_t s = slot_;
+  if (t.exited_[s]) {
     return 0.0;
   }
   double demand = spec_.base_cpu_demand;
@@ -47,48 +67,54 @@ double Task::DesiredCpu(MicroTime now) {
   }
   demand *= spec_.diurnal.Factor(now);
   if (spec_.demand_walk_sigma > 0.0) {
-    if (last_walk_update_ < 0 || now - last_walk_update_ >= kMicrosPerMinute) {
-      demand_walk_log_ = (1.0 - spec_.demand_walk_revert) * demand_walk_log_ +
-                         rng_.Normal(0.0, spec_.demand_walk_sigma);
-      last_walk_update_ = now;
+    if (t.last_walk_update_[s] < 0 || now - t.last_walk_update_[s] >= kMicrosPerMinute) {
+      t.demand_walk_log_[s] = (1.0 - spec_.demand_walk_revert) * t.demand_walk_log_[s] +
+                              t.rng_[s].Normal(0.0, spec_.demand_walk_sigma);
+      t.last_walk_update_[s] = now;
+      t.demand_walk_factor_[s] = std::exp(t.demand_walk_log_[s]);
     }
-    demand *= std::exp(demand_walk_log_);
+    demand *= t.demand_walk_factor_[s];
   }
-  if (now < lame_duck_until_) {
+  if (now < t.lame_duck_until_[s]) {
     demand *= 0.1;  // Lame-duck mode: offload work, keep a trickle running.
   }
-  demand *= LognormalNoise(rng_, spec_.demand_cv);
+  demand *= LognormalNoise(t.rng_[s], spec_.demand_cv);
   return std::max(0.0, demand);
 }
 
-double Task::CpiNoise() { return LognormalNoise(rng_, spec_.cpi_noise_cv); }
+double Task::CpiNoise() { return LognormalNoise(table_->rng_[slot_], spec_.cpi_noise_cv); }
 
 double Task::CpiWalkFactor(MicroTime now) {
   if (spec_.cpi_walk_sigma <= 0.0) {
     return 1.0;
   }
-  if (last_cpi_walk_update_ < 0 || now - last_cpi_walk_update_ >= kMicrosPerMinute) {
-    cpi_walk_log_ = (1.0 - spec_.cpi_walk_revert) * cpi_walk_log_ +
-                    rng_.Normal(0.0, spec_.cpi_walk_sigma);
-    last_cpi_walk_update_ = now;
+  TaskTable& t = *table_;
+  const uint32_t s = slot_;
+  if (t.last_cpi_walk_update_[s] < 0 || now - t.last_cpi_walk_update_[s] >= kMicrosPerMinute) {
+    t.cpi_walk_log_[s] = (1.0 - spec_.cpi_walk_revert) * t.cpi_walk_log_[s] +
+                         t.rng_[s].Normal(0.0, spec_.cpi_walk_sigma);
+    t.last_cpi_walk_update_[s] = now;
+    t.cpi_walk_factor_[s] = std::exp(t.cpi_walk_log_[s]);
   }
-  return std::exp(cpi_walk_log_);
+  return t.cpi_walk_factor_[s];
 }
 
 void Task::Account(MicroTime now, double tick_seconds, double allocated_cpu, double effective_cpi,
                    double l3_mpi, const Platform& platform) {
-  last_usage_ = allocated_cpu;
-  last_cpi_ = effective_cpi;
+  TaskTable& t = *table_;
+  const uint32_t s = slot_;
+  t.last_usage_[s] = allocated_cpu;
+  t.last_cpi_[s] = effective_cpi;
 
   const double cycles_delta = allocated_cpu * tick_seconds * platform.CyclesPerSecond();
-  cycles_ += static_cast<uint64_t>(cycles_delta);
+  t.cycles_[s] += static_cast<uint64_t>(cycles_delta);
   const double instr_delta = effective_cpi > 0.0 ? cycles_delta / effective_cpi : 0.0;
-  instructions_ += static_cast<uint64_t>(instr_delta);
+  t.instructions_[s] += static_cast<uint64_t>(instr_delta);
   const double l3_delta = instr_delta * l3_mpi;
-  l3_misses_ += static_cast<uint64_t>(l3_delta);
-  l2_misses_ += static_cast<uint64_t>(l3_delta * 4.0);   // L2 misses a superset of L3's.
-  mem_requests_ += static_cast<uint64_t>(l3_delta * 1.2);  // Misses plus prefetch traffic.
-  cpu_seconds_ += allocated_cpu * tick_seconds;
+  t.l3_misses_[s] += static_cast<uint64_t>(l3_delta);
+  t.l2_misses_[s] += static_cast<uint64_t>(l3_delta * 4.0);    // L2 misses a superset of L3's.
+  t.mem_requests_[s] += static_cast<uint64_t>(l3_delta * 1.2);  // Misses plus prefetch traffic.
+  t.cpu_seconds_[s] += allocated_cpu * tick_seconds;
 
   // Application-level metrics.
   if (spec_.base_latency_ms > 0.0) {
@@ -96,55 +122,59 @@ void Task::Account(MicroTime now, double tick_seconds, double allocated_cpu, dou
     const double cpu_part =
         (1.0 - spec_.latency_io_fraction) * (base > 0.0 ? effective_cpi / base : 1.0);
     const double io_part =
-        spec_.latency_io_fraction * LognormalNoise(rng_, spec_.latency_io_noise_cv);
-    last_latency_ms_ = spec_.base_latency_ms * latency_scale_ * (cpu_part + io_part);
+        spec_.latency_io_fraction * LognormalNoise(t.rng_[s], spec_.latency_io_noise_cv);
+    t.last_latency_ms_[s] = spec_.base_latency_ms * latency_scale_ * (cpu_part + io_part);
   }
   if (spec_.instr_per_txn > 0.0 && tick_seconds > 0.0) {
     const double ips = instr_delta / tick_seconds;
-    last_tps_ = ips / spec_.instr_per_txn * LognormalNoise(rng_, spec_.tps_noise_cv);
+    t.last_tps_[s] = ips / spec_.instr_per_txn * LognormalNoise(t.rng_[s], spec_.tps_noise_cv);
   }
 
   UpdateCapBehavior(now);
 }
 
 void Task::UpdateCapBehavior(MicroTime now) {
+  TaskTable& t = *table_;
+  const uint32_t s = slot_;
   // A cap only changes behaviour when it actually binds.
-  const bool capped_now = IsCapped() && cap_ < 0.5 * spec_.base_cpu_demand;
-  if (capped_now && !was_capped_last_tick_) {
-    ++cap_episodes_;
-    capped_since_ = now;
+  const bool capped_now = IsCapped() && t.cap_[s] < 0.5 * spec_.base_cpu_demand;
+  if (capped_now && !t.was_capped_last_tick_[s]) {
+    ++t.cap_episodes_[s];
+    t.capped_since_[s] = now;
   }
 
   switch (spec_.cap_behavior) {
     case CapBehavior::kTolerate:
-      threads_ = spec_.base_threads;
+      t.threads_[s] = spec_.base_threads;
       break;
     case CapBehavior::kLameDuck:
       if (capped_now) {
         // Starved of CPU, the task's work queues back up and it spawns
         // handler threads (case 5: 8 threads -> ~80 while capped).
         const int ceiling = spec_.base_threads * 10;
-        threads_ = std::min(ceiling, threads_ + std::max(1, threads_ / 8));
-      } else if (was_capped_last_tick_) {
+        t.threads_[s] = std::min(ceiling, t.threads_[s] + std::max(1, t.threads_[s] / 8));
+      } else if (t.was_capped_last_tick_[s]) {
         // Cap just lifted: enter lame-duck mode (case 5: thread count drops
         // to 2 for tens of minutes before reverting).
-        lame_duck_until_ = now + spec_.lame_duck_duration;
-        threads_ = 2;
-      } else if (now >= lame_duck_until_) {
-        threads_ = spec_.base_threads;
+        t.lame_duck_until_[s] = now + spec_.lame_duck_duration;
+        t.threads_[s] = 2;
+      } else if (now >= t.lame_duck_until_[s]) {
+        t.threads_[s] = spec_.base_threads;
       }
       break;
     case CapBehavior::kSelfTerminate:
       // Case 6: the MapReduce worker survives its first capping but gives up
       // partway into a later one, preferring to be rescheduled elsewhere.
-      if (capped_now && cap_episodes_ >= 2 && now - capped_since_ > 2 * kMicrosPerMinute) {
-        exited_ = true;
-        threads_ = 0;
+      if (capped_now && t.cap_episodes_[s] >= 2 &&
+          now - t.capped_since_[s] > 2 * kMicrosPerMinute) {
+        t.exited_[s] = 1;
+        t.threads_[s] = 0;
+        t.any_exited_ = true;
       }
       break;
   }
 
-  was_capped_last_tick_ = capped_now;
+  t.was_capped_last_tick_[s] = capped_now;
 }
 
 }  // namespace cpi2

@@ -117,24 +117,33 @@ struct TaskSpec {
   MicroTime lame_duck_duration = 30 * kMicrosPerMinute;
 };
 
-// Mutable task instance state, advanced by its Machine each tick.
+// Lognormal multiplicative noise with mean 1 and the given coefficient of
+// variation. cv <= 0 draws nothing and returns exactly 1.
+double LognormalNoise(Rng& rng, double cv);
+
+class TaskTable;
+
+// A live task instance. Tasks live in a TaskTable (one per Machine): the
+// table owns every mutable field in slot-indexed parallel arrays — the SoA
+// tick loop walks those arrays directly — and the Task object is a stable
+// handle carrying the cold identity (name, spec, per-instance scale draws)
+// plus accessors that read and write its slot. Construct through
+// TaskTable::Add; the handle's address is stable until the task is removed.
 class Task {
  public:
-  Task(std::string name, TaskSpec spec, Rng rng);
-
   const std::string& name() const { return name_; }
   const TaskSpec& spec() const { return spec_; }
-  bool exited() const { return exited_; }
+  bool exited() const;
 
   // --- demand / capping -----------------------------------------------
   // CPU the task wants this tick, before caps and machine contention.
   double DesiredCpu(MicroTime now);
 
   // Hard cap in CPU-sec/sec; infinity when uncapped.
-  double cap() const { return cap_; }
-  void SetCap(double cpu_sec_per_sec) { cap_ = cpu_sec_per_sec; }
-  void RemoveCap() { cap_ = std::numeric_limits<double>::infinity(); }
-  bool IsCapped() const { return cap_ != std::numeric_limits<double>::infinity(); }
+  double cap() const;
+  void SetCap(double cpu_sec_per_sec);
+  void RemoveCap();
+  bool IsCapped() const;
 
   // --- per-tick results (written by Machine) ---------------------------
   // Called by the machine after allocation+interference are resolved.
@@ -142,19 +151,19 @@ class Task {
                double l3_mpi, const Platform& platform);
 
   // Cumulative counters (CounterSource reads these).
-  uint64_t cycles() const { return cycles_; }
-  uint64_t instructions() const { return instructions_; }
-  uint64_t l2_misses() const { return l2_misses_; }
-  uint64_t l3_misses() const { return l3_misses_; }
-  uint64_t mem_requests() const { return mem_requests_; }
-  double cpu_seconds() const { return cpu_seconds_; }
+  uint64_t cycles() const;
+  uint64_t instructions() const;
+  uint64_t l2_misses() const;
+  uint64_t l3_misses() const;
+  uint64_t mem_requests() const;
+  double cpu_seconds() const;
 
   // Last-tick observables for traces and application metrics.
-  double last_usage() const { return last_usage_; }
-  double last_cpi() const { return last_cpi_; }
-  double last_latency_ms() const { return last_latency_ms_; }
-  double last_tps() const { return last_tps_; }
-  int threads() const { return threads_; }
+  double last_usage() const;
+  double last_cpi() const;
+  double last_latency_ms() const;
+  double last_tps() const;
+  int threads() const;
 
   // Draws the per-tick multiplicative CPI noise.
   double CpiNoise();
@@ -173,46 +182,31 @@ class Task {
     return spec_.base_cpi * cpi_scale_ * platform.cpi_scale;
   }
 
+  // The task's slot in its TaskTable; only meaningful to the table's owner.
+  uint32_t slot() const { return slot_; }
+
  private:
+  friend class TaskTable;
+
+  Task(TaskTable* table, uint32_t slot, std::string name, TaskSpec spec, double latency_scale,
+       double cpi_scale)
+      : table_(table),
+        slot_(slot),
+        name_(std::move(name)),
+        spec_(std::move(spec)),
+        latency_scale_(latency_scale),
+        cpi_scale_(cpi_scale) {}
+
   // Cap-reaction state machine (cases 5/6), advanced from Account().
   void UpdateCapBehavior(MicroTime now);
 
+  TaskTable* table_;
+  uint32_t slot_;
   std::string name_;
   TaskSpec spec_;
-  Rng rng_;
-
-  double cap_ = std::numeric_limits<double>::infinity();
-  bool exited_ = false;
-
-  uint64_t cycles_ = 0;
-  uint64_t instructions_ = 0;
-  uint64_t l2_misses_ = 0;
-  uint64_t l3_misses_ = 0;
-  uint64_t mem_requests_ = 0;
-  double cpu_seconds_ = 0.0;
-
-  // Drawn once at construction from latency_task_cv / cpi_task_cv.
+  // Drawn once at admission from latency_task_cv / cpi_task_cv.
   double latency_scale_ = 1.0;
   double cpi_scale_ = 1.0;
-
-  double last_usage_ = 0.0;
-  double last_cpi_ = 0.0;
-  double last_latency_ms_ = 0.0;
-  double last_tps_ = 0.0;
-  int threads_;
-
-  // Slow demand-walk state (log-space multiplier, updated once a minute).
-  double demand_walk_log_ = 0.0;
-  MicroTime last_walk_update_ = -1;
-  // Slow CPI-walk state.
-  double cpi_walk_log_ = 0.0;
-  MicroTime last_cpi_walk_update_ = -1;
-
-  // Lame-duck / self-terminate bookkeeping.
-  bool was_capped_last_tick_ = false;
-  int cap_episodes_ = 0;
-  MicroTime capped_since_ = 0;
-  MicroTime lame_duck_until_ = 0;
 };
 
 }  // namespace cpi2

@@ -1,0 +1,238 @@
+#include "sim/task_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cpi2 {
+namespace {
+
+// mu/sigma of a mean-1 lognormal with coefficient of variation `cv` — the
+// exact expressions LognormalNoise evaluates per draw, hoisted to admission
+// time so the tick loop calls Rng::LogNormal directly.
+void LognormalMuSigma(double cv, double* mu, double* sigma) {
+  if (cv <= 0.0) {
+    *mu = 0.0;
+    *sigma = 0.0;
+    return;
+  }
+  const double sigma2 = std::log(1.0 + cv * cv);
+  *sigma = std::sqrt(sigma2);
+  *mu = -0.5 * sigma2;
+}
+
+}  // namespace
+
+TaskTable::TaskTable(const Platform& platform, const InterferenceParams& interference)
+    : platform_(platform), interference_(interference) {}
+
+Task* TaskTable::Add(const std::string& name, const TaskSpec& spec, const Rng& rng) {
+  const uint32_t id = names_.Intern(name);
+  if (id >= id_to_slot_.size()) {
+    id_to_slot_.resize(id + 1, -1);
+  }
+  if (id_to_slot_[id] >= 0) {
+    return nullptr;
+  }
+
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    rng_[slot] = rng;
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+    flags_.emplace_back();
+    hot_.emplace_back();
+    rng_.push_back(rng);
+    cap_.emplace_back();
+    exited_.emplace_back();
+    cycles_.emplace_back();
+    instructions_.emplace_back();
+    l2_misses_.emplace_back();
+    l3_misses_.emplace_back();
+    mem_requests_.emplace_back();
+    cpu_seconds_.emplace_back();
+    last_usage_.emplace_back();
+    last_cpi_.emplace_back();
+    last_latency_ms_.emplace_back();
+    last_tps_.emplace_back();
+    threads_.emplace_back();
+    demand_walk_log_.emplace_back();
+    demand_walk_factor_.emplace_back();
+    last_walk_update_.emplace_back();
+    cpi_walk_log_.emplace_back();
+    cpi_walk_factor_.emplace_back();
+    last_cpi_walk_update_.emplace_back();
+    was_capped_last_tick_.emplace_back();
+    cap_episodes_.emplace_back();
+    capped_since_.emplace_back();
+    lame_duck_until_.emplace_back();
+  }
+
+  // Reset the slot's mutable state to a fresh task's.
+  cap_[slot] = std::numeric_limits<double>::infinity();
+  exited_[slot] = 0;
+  cycles_[slot] = 0;
+  instructions_[slot] = 0;
+  l2_misses_[slot] = 0;
+  l3_misses_[slot] = 0;
+  mem_requests_[slot] = 0;
+  cpu_seconds_[slot] = 0.0;
+  last_usage_[slot] = 0.0;
+  last_cpi_[slot] = 0.0;
+  last_latency_ms_[slot] = 0.0;
+  last_tps_[slot] = 0.0;
+  threads_[slot] = spec.base_threads;
+  demand_walk_log_[slot] = 0.0;
+  demand_walk_factor_[slot] = 1.0;  // exp(0)
+  last_walk_update_[slot] = -1;
+  cpi_walk_log_[slot] = 0.0;
+  cpi_walk_factor_[slot] = 1.0;
+  last_cpi_walk_update_[slot] = -1;
+  was_capped_last_tick_[slot] = 0;
+  cap_episodes_[slot] = 0;
+  capped_since_[slot] = 0;
+  lame_duck_until_[slot] = 0;
+
+  // Per-instance spreads, in the draw order the legacy Task constructor
+  // used: latency first, then CPI.
+  const double latency_scale = LognormalNoise(rng_[slot], spec.latency_task_cv);
+  const double cpi_scale = LognormalNoise(rng_[slot], spec.cpi_task_cv);
+  slots_[slot].reset(new Task(this, slot, name, spec, latency_scale, cpi_scale));
+
+  HotSpec& hs = hot_[slot];
+  hs.base_demand = spec.base_cpu_demand;
+  LognormalMuSigma(spec.demand_cv, &hs.demand_mu, &hs.demand_sigma);
+  LognormalMuSigma(spec.cpi_noise_cv, &hs.cpi_mu, &hs.cpi_sigma);
+  LognormalMuSigma(spec.latency_io_noise_cv, &hs.lat_mu, &hs.lat_sigma);
+  LognormalMuSigma(spec.tps_noise_cv, &hs.tps_mu, &hs.tps_sigma);
+  hs.base_cpi_platform = spec.base_cpi * cpi_scale * platform_.cpi_scale;
+  hs.one_minus_io = 1.0 - spec.latency_io_fraction;
+  hs.io_fraction = spec.latency_io_fraction;
+  hs.latency_base_scaled = spec.base_latency_ms * latency_scale;
+  hs.idle_cpi_inflation = spec.idle_cpi_inflation;
+  hs.instr_per_txn = spec.instr_per_txn;
+  hs.footprint = platform_.l3_cache_mb > 0.0
+                     ? std::min(1.0, spec.cache_mb / platform_.l3_cache_mb)
+                     : 0.0;
+  hs.memory_intensity = spec.memory_intensity;
+  hs.sens_cw = spec.contention_sensitivity * interference_.cache_weight;
+  hs.w_sens = interference_.mpi_contention_weight * spec.contention_sensitivity;
+  hs.half_mi = 0.5 + 0.5 * spec.memory_intensity;
+  hs.baseline_mpi = interference_.base_mpi + interference_.mpi_per_intensity * spec.memory_intensity;
+
+  uint16_t f = 0;
+  if (spec.sched_class == WorkloadClass::kLatencySensitive) f |= kTaskFlagLatencySensitive;
+  if (spec.alt_cpu_demand >= 0.0 && spec.mode_half_period > 0) f |= kTaskFlagBimodal;
+  if (spec.diurnal.amplitude != 0.0) f |= kTaskFlagDiurnal;
+  if (spec.demand_walk_sigma > 0.0) f |= kTaskFlagDemandWalk;
+  if (spec.demand_cv > 0.0) f |= kTaskFlagDemandNoise;
+  if (spec.cpi_noise_cv > 0.0) f |= kTaskFlagCpiNoise;
+  if (spec.cpi_walk_sigma > 0.0) f |= kTaskFlagCpiWalk;
+  if (spec.cpi_step_time >= 0) f |= kTaskFlagCpiStep;
+  if (spec.idle_cpi_inflation > 0.0) f |= kTaskFlagIdleInflation;
+  if (spec.base_latency_ms > 0.0) f |= kTaskFlagLatency;
+  if (spec.latency_io_noise_cv > 0.0) f |= kTaskFlagLatencyNoise;
+  if (spec.instr_per_txn > 0.0) f |= kTaskFlagTps;
+  if (spec.tps_noise_cv > 0.0) f |= kTaskFlagTpsNoise;
+  if (spec.cap_behavior != CapBehavior::kTolerate) f |= kTaskFlagCapReactive;
+  flags_[slot] = f;
+
+  id_to_slot_[id] = static_cast<int32_t>(slot);
+  ++live_count_;
+  ++membership_version_;
+  order_dirty_ = true;
+  return slots_[slot].get();
+}
+
+bool TaskTable::Remove(std::string_view name) {
+  const std::optional<uint32_t> id = names_.Find(name);
+  if (!id.has_value() || *id >= id_to_slot_.size() || id_to_slot_[*id] < 0) {
+    return false;
+  }
+  const uint32_t slot = static_cast<uint32_t>(id_to_slot_[*id]);
+  id_to_slot_[*id] = -1;
+  slots_[slot].reset();
+  free_slots_.push_back(slot);
+  --live_count_;
+  ++membership_version_;
+  order_dirty_ = true;
+  return true;
+}
+
+Task* TaskTable::Find(std::string_view name) {
+  const std::optional<uint32_t> id = names_.Find(name);
+  if (!id.has_value() || *id >= id_to_slot_.size()) {
+    return nullptr;
+  }
+  const int32_t slot = id_to_slot_[*id];
+  return slot >= 0 ? slots_[slot].get() : nullptr;
+}
+
+const Task* TaskTable::Find(std::string_view name) const {
+  return const_cast<TaskTable*>(this)->Find(name);
+}
+
+const std::vector<Task*>& TaskTable::TasksByName() {
+  if (order_dirty_) {
+    RebuildOrder();
+  }
+  return tasks_by_name_;
+}
+
+const std::vector<uint32_t>& TaskTable::SlotsByName() {
+  if (order_dirty_) {
+    RebuildOrder();
+  }
+  return slots_by_name_;
+}
+
+const TaskTable::DenseConst& TaskTable::DenseInputs() {
+  if (order_dirty_) {
+    RebuildOrder();
+  }
+  return dense_;
+}
+
+void TaskTable::RebuildOrder() {
+  tasks_by_name_.clear();
+  tasks_by_name_.reserve(live_count_);
+  for (const std::unique_ptr<Task>& task : slots_) {
+    if (task != nullptr) {
+      tasks_by_name_.push_back(task.get());
+    }
+  }
+  std::sort(tasks_by_name_.begin(), tasks_by_name_.end(),
+            [](const Task* a, const Task* b) { return a->name() < b->name(); });
+
+  const size_t n = tasks_by_name_.size();
+  slots_by_name_.resize(n);
+  dense_.footprint.resize(n);
+  dense_.memory_intensity.resize(n);
+  dense_.sens_cw.resize(n);
+  dense_.w_sens.resize(n);
+  dense_.half_mi.resize(n);
+  dense_.baseline_mpi.resize(n);
+  dense_.latency_sensitive.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t slot = tasks_by_name_[k]->slot();
+    slots_by_name_[k] = slot;
+    const HotSpec& hs = hot_[slot];
+    dense_.footprint[k] = hs.footprint;
+    dense_.memory_intensity[k] = hs.memory_intensity;
+    dense_.sens_cw[k] = hs.sens_cw;
+    dense_.w_sens[k] = hs.w_sens;
+    dense_.half_mi[k] = hs.half_mi;
+    dense_.baseline_mpi[k] = hs.baseline_mpi;
+    dense_.latency_sensitive[k] = (flags_[slot] & kTaskFlagLatencySensitive) != 0 ? 1 : 0;
+  }
+  order_dirty_ = false;
+}
+
+void TaskTable::RunCapBehavior(uint32_t slot, MicroTime now) {
+  slots_[slot]->UpdateCapBehavior(now);
+}
+
+}  // namespace cpi2

@@ -1,0 +1,204 @@
+// Dense slot table for one machine's tasks: the SoA tick engine's storage.
+//
+// The legacy layout kept each Machine's tasks in a
+// std::map<std::string, std::unique_ptr<Task>> and the tick loop chased a
+// pointer per task per field. TaskTable replaces that with:
+//
+//   - a StringInterner assigning every container name a dense uint32 id
+//     (ids are never reused; an id->slot vector gives O(1) name lookup),
+//   - a slot per live task, recycled LIFO through a free list,
+//   - every *mutable* per-task field in a slot-indexed parallel array
+//     (RNG stream, caps, counters, walk state, cap-reaction state), plus a
+//     HotSpec of admission-time-derived constants (lognormal mu/sigma pairs,
+//     platform-folded base CPI, interference coefficients),
+//   - name-ordered views (TasksByName/SlotsByName) rebuilt lazily after a
+//     membership change, so tick iteration order is exactly the order the
+//     legacy map produced — slot numbers never leak into observable output.
+//
+// The Task object survives as a stable *handle* (name, spec, per-instance
+// scale draws) whose accessors read and write its slot; Machine's SoA tick
+// loop bypasses the handles and walks the arrays directly. Both produce
+// bit-identical results — see DESIGN.md §14 for the determinism argument.
+
+#ifndef CPI2_SIM_TASK_TABLE_H_
+#define CPI2_SIM_TASK_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/interference.h"
+#include "sim/platform.h"
+#include "sim/task.h"
+#include "util/clock.h"
+#include "util/interner.h"
+#include "util/rng.h"
+
+namespace cpi2 {
+
+// Per-slot feature bits: which optional per-tick stages a task actually
+// uses. Every gated stage is multiplicative with identity 1.0 (or draws
+// nothing when its cv/sigma is zero), so skipping a cleared stage is
+// bit-identical to the legacy unconditional evaluation.
+enum TaskFlag : uint16_t {
+  kTaskFlagLatencySensitive = 1u << 0,
+  kTaskFlagBimodal = 1u << 1,          // alt_cpu_demand >= 0 && mode_half_period > 0
+  kTaskFlagDiurnal = 1u << 2,          // diurnal.amplitude != 0
+  kTaskFlagDemandWalk = 1u << 3,       // demand_walk_sigma > 0
+  kTaskFlagDemandNoise = 1u << 4,      // demand_cv > 0
+  kTaskFlagCpiNoise = 1u << 5,         // cpi_noise_cv > 0
+  kTaskFlagCpiWalk = 1u << 6,          // cpi_walk_sigma > 0
+  kTaskFlagCpiStep = 1u << 7,          // cpi_step_time >= 0
+  kTaskFlagIdleInflation = 1u << 8,    // idle_cpi_inflation > 0
+  kTaskFlagLatency = 1u << 9,          // base_latency_ms > 0
+  kTaskFlagLatencyNoise = 1u << 10,    // latency_io_noise_cv > 0
+  kTaskFlagTps = 1u << 11,             // instr_per_txn > 0
+  kTaskFlagTpsNoise = 1u << 12,        // tps_noise_cv > 0
+  kTaskFlagCapReactive = 1u << 13,     // cap_behavior != kTolerate
+};
+
+// Demand-shaping features rare enough to share one cold branch in the tick
+// loop's demand pass.
+inline constexpr uint16_t kTaskFlagRareDemand =
+    kTaskFlagBimodal | kTaskFlagDiurnal | kTaskFlagDemandWalk;
+
+class TaskTable {
+ public:
+  // `platform` and `interference` are the owning machine's: the per-task
+  // derived constants fold them in at admission time.
+  TaskTable(const Platform& platform, const InterferenceParams& interference);
+
+  // Task handles hold back-pointers into the table.
+  TaskTable(const TaskTable&) = delete;
+  TaskTable& operator=(const TaskTable&) = delete;
+
+  // Admits a task under `name` with its own RNG stream. Returns nullptr if
+  // a live task already uses the name. The returned Task* keeps its address
+  // until Remove(name); churn in other slots never moves it.
+  Task* Add(const std::string& name, const TaskSpec& spec, const Rng& rng);
+
+  // Frees `name`'s slot (recycled LIFO). Returns false if not live.
+  bool Remove(std::string_view name);
+
+  Task* Find(std::string_view name);
+  const Task* Find(std::string_view name) const;
+
+  size_t size() const { return live_count_; }
+
+  // Live tasks / their slots in container-name order — the iteration order
+  // the legacy std::map layout had, which is the order every observable
+  // side effect (RNG draws, sampler registration, exit draining) happens
+  // in. Rebuilt lazily after a membership change; references invalidated
+  // by Add/Remove.
+  const std::vector<Task*>& TasksByName();
+  const std::vector<uint32_t>& SlotsByName();
+
+  // Bumped by every successful Add/Remove. Consumers mirroring the
+  // membership (the harness agent sync) skip their reconciliation scan
+  // while it is unchanged.
+  uint64_t membership_version() const { return membership_version_; }
+
+  // True once any live task flags itself exited; cleared by
+  // AcknowledgeExits so DrainExited can early-out without scanning.
+  bool any_exited() const { return any_exited_; }
+  void AcknowledgeExits() { any_exited_ = false; }
+
+  // Advances `slot`'s cap-reaction state machine (paper cases 5/6).
+  void RunCapBehavior(uint32_t slot, MicroTime now);
+
+ private:
+  friend class Task;
+  friend class Machine;
+
+  // Admission-time-derived constants, one per slot. The lognormal mu/sigma
+  // pairs are the exact expressions LognormalNoise evaluates per draw,
+  // hoisted; the folded products keep the same association the scalar code
+  // uses, so results stay bit-identical.
+  struct HotSpec {
+    double base_demand = 0.0;
+    double demand_mu = 0.0, demand_sigma = 0.0;  // from demand_cv
+    double cpi_mu = 0.0, cpi_sigma = 0.0;        // from cpi_noise_cv
+    double lat_mu = 0.0, lat_sigma = 0.0;        // from latency_io_noise_cv
+    double tps_mu = 0.0, tps_sigma = 0.0;        // from tps_noise_cv
+    double base_cpi_platform = 0.0;  // base_cpi * cpi_scale * platform.cpi_scale
+    double one_minus_io = 1.0;       // 1 - latency_io_fraction
+    double io_fraction = 0.0;
+    double latency_base_scaled = 0.0;  // base_latency_ms * latency_scale
+    double idle_cpi_inflation = 0.0;
+    double instr_per_txn = 0.0;
+    // Interference-kernel constants (see InterferenceBatchInputs).
+    double footprint = 0.0;
+    double memory_intensity = 0.0;
+    double sens_cw = 0.0;
+    double w_sens = 0.0;
+    double half_mi = 0.0;
+    double baseline_mpi = 0.0;
+  };
+
+  // Name-order (k-indexed) copies of the interference constants, packed
+  // contiguously for ComputeInterferenceBatch; rebuilt with SlotsByName.
+  struct DenseConst {
+    std::vector<double> footprint;
+    std::vector<double> memory_intensity;
+    std::vector<double> sens_cw;
+    std::vector<double> w_sens;
+    std::vector<double> half_mi;
+    std::vector<double> baseline_mpi;
+    std::vector<uint8_t> latency_sensitive;
+  };
+
+  const DenseConst& DenseInputs();
+  void RebuildOrder();
+
+  Platform platform_;
+  InterferenceParams interference_;
+  StringInterner names_;
+  std::vector<int32_t> id_to_slot_;           // interner id -> slot, -1 if not live
+  std::vector<std::unique_ptr<Task>> slots_;  // slot -> handle, null when free
+  std::vector<uint32_t> free_slots_;          // LIFO
+  size_t live_count_ = 0;
+  uint64_t membership_version_ = 0;
+  bool any_exited_ = false;
+  bool order_dirty_ = true;
+  std::vector<Task*> tasks_by_name_;
+  std::vector<uint32_t> slots_by_name_;
+  DenseConst dense_;
+
+  // --- slot-indexed state (the tick loop's working set) -------------------
+  std::vector<uint16_t> flags_;
+  std::vector<HotSpec> hot_;
+  std::vector<Rng> rng_;
+  std::vector<double> cap_;
+  std::vector<uint8_t> exited_;
+  std::vector<uint64_t> cycles_;
+  std::vector<uint64_t> instructions_;
+  std::vector<uint64_t> l2_misses_;
+  std::vector<uint64_t> l3_misses_;
+  std::vector<uint64_t> mem_requests_;
+  std::vector<double> cpu_seconds_;
+  std::vector<double> last_usage_;
+  std::vector<double> last_cpi_;
+  std::vector<double> last_latency_ms_;
+  std::vector<double> last_tps_;
+  std::vector<int> threads_;
+  // Slow-walk state. The factor caches hold exp(walk log), refreshed only
+  // when the walk steps (once a simulated minute) — exp() is deterministic,
+  // so the cache equals the legacy per-tick recomputation bit for bit.
+  std::vector<double> demand_walk_log_;
+  std::vector<double> demand_walk_factor_;
+  std::vector<MicroTime> last_walk_update_;
+  std::vector<double> cpi_walk_log_;
+  std::vector<double> cpi_walk_factor_;
+  std::vector<MicroTime> last_cpi_walk_update_;
+  // Cap-reaction bookkeeping (cases 5/6).
+  std::vector<uint8_t> was_capped_last_tick_;
+  std::vector<int> cap_episodes_;
+  std::vector<MicroTime> capped_since_;
+  std::vector<MicroTime> lame_duck_until_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_SIM_TASK_TABLE_H_

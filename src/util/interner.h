@@ -48,6 +48,29 @@ class StringInterner {
   std::unordered_map<std::string_view, uint32_t> ids_;
 };
 
+// One-entry memo for Intern() call sites that see the same name many times
+// in a row (the per-batch machine name on the sample path, platform
+// strings). A repeat costs one string compare instead of a hash probe.
+// Ids are stable for the interner's lifetime, so a memoized id never goes
+// stale; use one memo per (call site, interner) pair.
+class InternMemo {
+ public:
+  uint32_t Intern(StringInterner& interner, std::string_view name) {
+    if (valid_ && name == name_) {
+      return id_;
+    }
+    id_ = interner.Intern(name);
+    name_.assign(name.data(), name.size());  // capacity retained on repeat sizes
+    valid_ = true;
+    return id_;
+  }
+
+ private:
+  std::string name_;
+  uint32_t id_ = 0;
+  bool valid_ = false;
+};
+
 }  // namespace cpi2
 
 #endif  // CPI2_UTIL_INTERNER_H_

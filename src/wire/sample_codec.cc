@@ -19,25 +19,35 @@ void AssignView(std::string_view view, std::string* out) {
 
 }  // namespace
 
-uint32_t SampleBatchEncoder::DictIndex(const std::string& name) {
-  auto [it, inserted] = dict_ids_.try_emplace(name, generation_, dict_count_);
-  if (!inserted && it->second.first == generation_) {
-    return it->second.second;
+uint32_t SampleBatchEncoder::DictIndex(const std::string& name, DictMemo& memo) {
+  if (memo.hit && memo.generation == generation_ && memo.name == name) {
+    return memo.index;
   }
-  // First use of this name in the current batch: append it to the dictionary
-  // section and (re)stamp the resident map entry.
-  it->second = {generation_, dict_count_};
-  WireWriter writer(&dict_buf_);
-  writer.PutString(name);
-  return dict_count_++;
+  auto [it, inserted] = dict_ids_.try_emplace(name, generation_, dict_count_);
+  uint32_t index;
+  if (!inserted && it->second.first == generation_) {
+    index = it->second.second;
+  } else {
+    // First use of this name in the current batch: append it to the
+    // dictionary section and (re)stamp the resident map entry.
+    it->second = {generation_, dict_count_};
+    WireWriter writer(&dict_buf_);
+    writer.PutString(name);
+    index = dict_count_++;
+  }
+  memo.name = name;  // capacity is retained across assignments
+  memo.index = index;
+  memo.generation = generation_;
+  memo.hit = true;
+  return index;
 }
 
 void SampleBatchEncoder::Add(const CpiSample& sample) {
   WireWriter writer(&body_buf_);
-  writer.PutVarint(DictIndex(sample.jobname));
-  writer.PutVarint(DictIndex(sample.platforminfo));
-  writer.PutVarint(DictIndex(sample.task));
-  writer.PutVarint(DictIndex(sample.machine));
+  writer.PutVarint(DictIndex(sample.jobname, job_memo_));
+  writer.PutVarint(DictIndex(sample.platforminfo, platform_memo_));
+  writer.PutVarint(DictIndex(sample.task, task_memo_));
+  writer.PutVarint(DictIndex(sample.machine, machine_memo_));
   writer.PutZigzag(sample.timestamp - prev_timestamp_);
   prev_timestamp_ = sample.timestamp;
   writer.PutDouble(sample.cpu_usage);

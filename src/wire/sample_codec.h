@@ -56,11 +56,24 @@ class SampleBatchEncoder {
   void Reset();
 
  private:
-  uint32_t DictIndex(const std::string& name);
+  // Consecutive samples from one agent repeat the machine and platform names
+  // every time and the job/task names in runs, so each of Add()'s four
+  // dictionary lookups keeps a one-entry memo: one string compare replaces
+  // the hash-map probe on a repeat. `hit` distinguishes an empty memo from a
+  // memoized empty name.
+  struct DictMemo {
+    std::string name;
+    uint32_t index = 0;
+    uint64_t generation = 0;
+    bool hit = false;
+  };
+
+  uint32_t DictIndex(const std::string& name, DictMemo& memo);
 
   // name -> (generation, index): entries from earlier batches stay resident
   // and are revalidated by generation, so repeat names never re-allocate.
   std::unordered_map<std::string, std::pair<uint64_t, uint32_t>> dict_ids_;
+  DictMemo job_memo_, platform_memo_, task_memo_, machine_memo_;
   uint64_t generation_ = 1;
   uint32_t dict_count_ = 0;
   std::string dict_buf_;  // length-prefixed names, in first-use order

@@ -185,6 +185,45 @@ TEST_F(SchedulerTest, AntagonistConstraintAvoidsColocation) {
   }
 }
 
+TEST_F(SchedulerTest, EvictionNeverHoldsTaskStateAcrossRemoval) {
+  // Regression test for the tick-boundary audit: EvictTask used to hold a
+  // `const TaskSpec&` into the Task while (logically before, but fragile)
+  // calling Machine::RemoveTask, which destroys the Task and its spec. The
+  // reservation fields must be copied out first; under ASan this test reads
+  // freed memory if anyone reintroduces the reference. Exercised through
+  // full evict → re-place → migrate cycles so the reservation accounting is
+  // also verified to balance after removal.
+  MakeMachines(2);  // 12 cores each
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(scheduler_
+                    ->PlaceTask("prod." + std::to_string(i),
+                                SpecWith(2.0, JobPriority::kProduction, "prod"))
+                    .ok());
+  }
+  // Both machines are now production-full (24 cores reserved); one more
+  // production task must not fit anywhere.
+  EXPECT_FALSE(scheduler_->PlaceTask("extra.0", SpecWith(1.0, JobPriority::kProduction)).ok());
+
+  // Evict a few and verify the reservations came back — exactly, or the
+  // re-placements below would be rejected.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(scheduler_->EvictTask("prod." + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(scheduler_
+                    ->PlaceTask("replacement." + std::to_string(i),
+                                SpecWith(2.0, JobPriority::kProduction, "prod"))
+                    .ok());
+  }
+  EXPECT_FALSE(scheduler_->PlaceTask("extra.1", SpecWith(1.0, JobPriority::kProduction)).ok());
+
+  // Migration does evict + re-place in one motion; whether or not another
+  // machine has room, the task must end up placed and accounted somewhere.
+  ASSERT_TRUE(scheduler_->EvictTask("replacement.0").ok());
+  (void)scheduler_->MigrateTask("replacement.1");
+  EXPECT_NE(scheduler_->LocateTask("replacement.1"), nullptr);
+}
+
 TEST_F(SchedulerTest, RejectsEmptyJob) {
   MakeMachines(1);
   JobSpec job;

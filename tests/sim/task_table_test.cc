@@ -1,0 +1,289 @@
+// Churn behaviour of the dense TaskTable: slot recycling, handle stability,
+// and — the property everything else leans on — bit-identical observables
+// between the SoA tick engine and the legacy per-Task layout under
+// arbitrary interleavings of arrivals, exits, caps, and removals.
+
+#include "sim/task_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cpi2 {
+namespace {
+
+TaskSpec QuietSpec(double demand = 0.5) {
+  TaskSpec spec;
+  spec.job_name = "job";
+  spec.base_cpu_demand = demand;
+  spec.demand_cv = 0.0;
+  spec.cpi_noise_cv = 0.0;
+  spec.cpi_task_cv = 0.0;
+  spec.latency_task_cv = 0.0;
+  spec.base_cpi = 1.5;
+  return spec;
+}
+
+TEST(TaskTableTest, SlotsRecycleLifo) {
+  TaskTable table(ReferencePlatform(), InterferenceParams());
+  Task* a = table.Add("a", QuietSpec(), Rng(1));
+  Task* b = table.Add("b", QuietSpec(), Rng(2));
+  Task* c = table.Add("c", QuietSpec(), Rng(3));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(a->slot(), 0u);
+  EXPECT_EQ(b->slot(), 1u);
+  EXPECT_EQ(c->slot(), 2u);
+  EXPECT_EQ(table.size(), 3u);
+
+  // Free b, then c: the free list is LIFO, so the next arrivals take c's
+  // slot first, then b's.
+  ASSERT_TRUE(table.Remove("b"));
+  ASSERT_TRUE(table.Remove("c"));
+  EXPECT_EQ(table.size(), 1u);
+  Task* d = table.Add("d", QuietSpec(), Rng(4));
+  Task* e = table.Add("e", QuietSpec(), Rng(5));
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(d->slot(), 2u);
+  EXPECT_EQ(e->slot(), 1u);
+  // Only after the free list drains does the table grow a new slot.
+  Task* f = table.Add("f", QuietSpec(), Rng(6));
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->slot(), 3u);
+  EXPECT_EQ(table.size(), 4u);
+}
+
+TEST(TaskTableTest, ReArrivalGetsFreshState) {
+  TaskTable table(ReferencePlatform(), InterferenceParams());
+  Task* first = table.Add("t", QuietSpec(), Rng(7));
+  ASSERT_NE(first, nullptr);
+  first->SetCap(0.2);
+  first->Account(0, 1.0, 0.2, 2.0, 0.01, ReferencePlatform());
+  EXPECT_GT(first->cycles(), 0u);
+  EXPECT_TRUE(first->IsCapped());
+
+  // Same name, new incarnation (the scheduler restarting an exited task):
+  // the reused slot must carry nothing over — counters, caps, walk state.
+  const uint32_t first_slot = first->slot();  // handle dies with Remove
+  ASSERT_TRUE(table.Remove("t"));
+  Task* second = table.Add("t", QuietSpec(), Rng(8));
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->slot(), first_slot);  // LIFO reuse of the only slot
+  EXPECT_EQ(second->cycles(), 0u);
+  EXPECT_EQ(second->instructions(), 0u);
+  EXPECT_DOUBLE_EQ(second->cpu_seconds(), 0.0);
+  EXPECT_FALSE(second->IsCapped());
+  EXPECT_FALSE(second->exited());
+  EXPECT_EQ(second->threads(), QuietSpec().base_threads);
+}
+
+TEST(TaskTableTest, HandlesStayPinnedAcrossChurn) {
+  TaskTable table(ReferencePlatform(), InterferenceParams());
+  Task* keeper = table.Add("keeper", QuietSpec(), Rng(9));
+  ASSERT_NE(keeper, nullptr);
+  keeper->Account(0, 1.0, 0.5, 2.0, 0.01, ReferencePlatform());
+  const uint64_t cycles_before = keeper->cycles();
+
+  // Heavy churn around it: the handle's address, identity and state must
+  // be untouched even as its neighbours' slots are freed and recycled.
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_NE(table.Add(StrFormat("churn-%d", i), QuietSpec(), Rng(100 + i)), nullptr);
+    }
+    for (int i = 4; i >= 0; --i) {
+      ASSERT_TRUE(table.Remove(StrFormat("churn-%d", i)));
+    }
+    ASSERT_EQ(table.Find("keeper"), keeper) << "handle moved in round " << round;
+    ASSERT_EQ(keeper->cycles(), cycles_before);
+    ASSERT_EQ(keeper->name(), "keeper");
+  }
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(TaskTableTest, DuplicateNameRejectedWhileLive) {
+  TaskTable table(ReferencePlatform(), InterferenceParams());
+  ASSERT_NE(table.Add("t", QuietSpec(), Rng(10)), nullptr);
+  EXPECT_EQ(table.Add("t", QuietSpec(), Rng(11)), nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  ASSERT_TRUE(table.Remove("t"));
+  EXPECT_NE(table.Add("t", QuietSpec(), Rng(12)), nullptr);
+  EXPECT_FALSE(table.Remove("never-added"));
+}
+
+TEST(TaskTableTest, MembershipVersionTracksChurn) {
+  TaskTable table(ReferencePlatform(), InterferenceParams());
+  const uint64_t v0 = table.membership_version();
+  ASSERT_NE(table.Add("a", QuietSpec(), Rng(13)), nullptr);
+  const uint64_t v1 = table.membership_version();
+  EXPECT_NE(v0, v1);
+  // Failed operations leave the version alone: consumers keyed on it (the
+  // harness agent sync) must not resync for nothing.
+  EXPECT_EQ(table.Add("a", QuietSpec(), Rng(14)), nullptr);
+  EXPECT_FALSE(table.Remove("missing"));
+  EXPECT_EQ(table.membership_version(), v1);
+  ASSERT_TRUE(table.Remove("a"));
+  EXPECT_NE(table.membership_version(), v1);
+}
+
+// --- legacy-vs-SoA fuzz cross-check ---------------------------------------
+
+// A palette of specs covering every optional tick stage: plain, noisy,
+// bimodal, diurnal, walking demand, walking/stepping CPI, latency + TPS
+// reporting, idle inflation, and all three cap behaviors.
+std::vector<TaskSpec> SpecPalette() {
+  std::vector<TaskSpec> palette;
+  {
+    TaskSpec s = QuietSpec(0.4);
+    palette.push_back(s);
+  }
+  {
+    TaskSpec s;
+    s.job_name = "noisy";
+    s.base_cpu_demand = 0.8;
+    s.demand_cv = 0.3;
+    s.cpi_noise_cv = 0.05;
+    s.cpi_task_cv = 0.1;
+    s.sched_class = WorkloadClass::kLatencySensitive;
+    s.base_latency_ms = 40.0;
+    s.latency_io_fraction = 0.3;
+    s.latency_io_noise_cv = 0.2;
+    s.instr_per_txn = 1e6;
+    s.tps_noise_cv = 0.05;
+    palette.push_back(s);
+  }
+  {
+    TaskSpec s;
+    s.job_name = "bimodal";
+    s.base_cpu_demand = 0.6;
+    s.alt_cpu_demand = 0.05;
+    s.mode_half_period = 2 * kMicrosPerMinute;
+    s.mode_start_time = kMicrosPerMinute;
+    s.idle_cpi_inflation = 2.0;
+    palette.push_back(s);
+  }
+  {
+    TaskSpec s;
+    s.job_name = "diurnal-walker";
+    s.base_cpu_demand = 1.2;
+    s.diurnal.amplitude = 0.3;
+    s.demand_walk_sigma = 0.08;
+    s.cpi_walk_sigma = 0.04;
+    s.cpi_step_time = 3 * kMicrosPerMinute;
+    s.cpi_step_factor = 1.4;
+    s.memory_intensity = 0.7;
+    s.cache_mb = 24.0;
+    s.contention_sensitivity = 0.8;
+    palette.push_back(s);
+  }
+  {
+    TaskSpec s;
+    s.job_name = "lameduck";
+    s.base_cpu_demand = 1.5;
+    s.cap_behavior = CapBehavior::kLameDuck;
+    s.lame_duck_duration = 2 * kMicrosPerMinute;
+    palette.push_back(s);
+  }
+  {
+    TaskSpec s;
+    s.job_name = "quitter";
+    s.base_cpu_demand = 1.0;
+    s.cap_behavior = CapBehavior::kSelfTerminate;
+    palette.push_back(s);
+  }
+  return palette;
+}
+
+std::string SnapshotMachine(Machine& machine) {
+  std::string out = StrFormat("util=%.17g batch=%.17g n=%zu\n", machine.LastUtilization(),
+                              machine.LastBatchSatisfaction(), machine.task_count());
+  for (Task* task : machine.Tasks()) {
+    out += StrFormat(
+        "%s cyc=%llu ins=%llu l2=%llu l3=%llu mem=%llu cpu=%.17g usage=%.17g "
+        "cpi=%.17g lat=%.17g tps=%.17g thr=%d exited=%d\n",
+        task->name().c_str(), static_cast<unsigned long long>(task->cycles()),
+        static_cast<unsigned long long>(task->instructions()),
+        static_cast<unsigned long long>(task->l2_misses()),
+        static_cast<unsigned long long>(task->l3_misses()),
+        static_cast<unsigned long long>(task->mem_requests()), task->cpu_seconds(),
+        task->last_usage(), task->last_cpi(), task->last_latency_ms(), task->last_tps(),
+        task->threads(), task->exited() ? 1 : 0);
+  }
+  return out;
+}
+
+TEST(TaskTableTest, FuzzChurnMatchesLegacyLayout) {
+  // Drive two machines — one per layout — through an identical randomized
+  // interleaving of arrivals, removals, caps, exits and ticks, comparing
+  // every observable bit for bit after every round. Any divergence in slot
+  // recycling, RNG stream handoff, or the batched tick math shows up here.
+  const std::vector<TaskSpec> palette = SpecPalette();
+  Machine soa("m", ReferencePlatform(), /*seed=*/42, InterferenceParams(),
+              /*legacy_task_layout=*/false);
+  Machine legacy("m", ReferencePlatform(), /*seed=*/42, InterferenceParams(),
+                 /*legacy_task_layout=*/true);
+
+  Rng fuzz(0xC0FFEE);  // drives the op sequence, not the machines
+  MicroTime now = 0;
+  int next_task = 0;
+  std::vector<std::string> live;
+  for (int round = 0; round < 400; ++round) {
+    const int op = static_cast<int>(fuzz.UniformInt(0, 9));
+    if (op <= 2 || live.empty()) {
+      const std::string name = StrFormat("task-%d", next_task++);
+      const TaskSpec& spec = palette[static_cast<size_t>(fuzz.UniformInt(
+          0, static_cast<int64_t>(palette.size()) - 1))];
+      ASSERT_TRUE(soa.AddTask(name, spec).ok());
+      ASSERT_TRUE(legacy.AddTask(name, spec).ok());
+      live.push_back(name);
+    } else if (op == 3 && live.size() > 2) {
+      const size_t pick =
+          static_cast<size_t>(fuzz.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(soa.RemoveTask(live[pick]).ok());
+      ASSERT_TRUE(legacy.RemoveTask(live[pick]).ok());
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else if (op == 4) {
+      const size_t pick =
+          static_cast<size_t>(fuzz.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(soa.SetCap(live[pick], 0.05).ok());
+      ASSERT_TRUE(legacy.SetCap(live[pick], 0.05).ok());
+    } else if (op == 5) {
+      const size_t pick =
+          static_cast<size_t>(fuzz.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      (void)soa.RemoveCap(live[pick]);
+      (void)legacy.RemoveCap(live[pick]);
+    }
+    // Always advance time so walks, modes, and cap state machines move.
+    const int ticks = 1 + static_cast<int>(fuzz.UniformInt(0, 4));
+    for (int t = 0; t < ticks; ++t) {
+      now += kMicrosPerSecond;
+      soa.Tick(now, kMicrosPerSecond);
+      legacy.Tick(now, kMicrosPerSecond);
+    }
+    // Drain self-terminated tasks identically on both sides.
+    const std::vector<Machine::ExitedTask> gone_soa = soa.DrainExited();
+    const std::vector<Machine::ExitedTask> gone_legacy = legacy.DrainExited();
+    ASSERT_EQ(gone_soa.size(), gone_legacy.size()) << "round " << round;
+    for (size_t i = 0; i < gone_soa.size(); ++i) {
+      ASSERT_EQ(gone_soa[i].name, gone_legacy[i].name) << "round " << round;
+      for (auto it = live.begin(); it != live.end(); ++it) {
+        if (*it == gone_soa[i].name) {
+          live.erase(it);
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(SnapshotMachine(soa), SnapshotMachine(legacy)) << "round " << round;
+  }
+  // The fuzz must actually have churned slots for the comparison to bite.
+  EXPECT_GT(next_task, 100);
+}
+
+}  // namespace
+}  // namespace cpi2

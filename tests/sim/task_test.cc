@@ -2,10 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/task_table.h"
 #include "stats/streaming.h"
 
 namespace cpi2 {
 namespace {
+
+// Tasks live inside a TaskTable (their hot state is in its arrays), so each
+// test builds a one-task table and works through the Task handle.
+struct TableTask {
+  TaskTable table;
+  Task& task;
+  TableTask(const TaskSpec& spec, uint64_t seed)
+      : table(ReferencePlatform(), InterferenceParams()),
+        task(*table.Add("t", spec, Rng(seed))) {}
+};
 
 TaskSpec BasicSpec() {
   TaskSpec spec;
@@ -38,14 +49,16 @@ TEST(DiurnalCurveTest, PeaksAtPeakOffset) {
 }
 
 TEST(TaskTest, DesiredCpuMatchesBaseWithoutNoise) {
-  Task task("t", BasicSpec(), Rng(1));
+  TableTask h(BasicSpec(), 1);
+  Task& task = h.task;
   EXPECT_DOUBLE_EQ(task.DesiredCpu(0), 1.0);
 }
 
 TEST(TaskTest, DesiredCpuNoiseAveragesToBase) {
   TaskSpec spec = BasicSpec();
   spec.demand_cv = 0.3;
-  Task task("t", spec, Rng(2));
+  TableTask h(spec, 2);
+  Task& task = h.task;
   StreamingStats stats;
   for (int i = 0; i < 20000; ++i) {
     stats.Add(task.DesiredCpu(i * kMicrosPerSecond));
@@ -60,7 +73,8 @@ TEST(TaskTest, BimodalDemandAlternates) {
   spec.alt_cpu_demand = 0.05;
   spec.mode_half_period = 10 * kMicrosPerMinute;
   spec.mode_start_time = 5 * kMicrosPerMinute;
-  Task task("t", spec, Rng(3));
+  TableTask h(spec, 3);
+  Task& task = h.task;
   // Before the episode begins: base mode.
   EXPECT_NEAR(task.DesiredCpu(kMicrosPerMinute), 0.4, 1e-9);
   // Episode starts in the alternate (low) mode, then flips every half-period.
@@ -70,7 +84,8 @@ TEST(TaskTest, BimodalDemandAlternates) {
 }
 
 TEST(TaskTest, CapBoundsAreExposed) {
-  Task task("t", BasicSpec(), Rng(4));
+  TableTask h(BasicSpec(), 4);
+  Task& task = h.task;
   EXPECT_FALSE(task.IsCapped());
   task.SetCap(0.1);
   EXPECT_TRUE(task.IsCapped());
@@ -80,7 +95,8 @@ TEST(TaskTest, CapBoundsAreExposed) {
 }
 
 TEST(TaskTest, AccountAccumulatesCounters) {
-  Task task("t", BasicSpec(), Rng(5));
+  TableTask h(BasicSpec(), 5);
+  Task& task = h.task;
   const Platform platform = ReferencePlatform();
   task.Account(0, 1.0, 1.0, 2.0, 0.01, platform);
   // 1 CPU-sec at 2.6 GHz = 2.6e9 cycles; CPI 2 -> 1.3e9 instructions.
@@ -99,7 +115,8 @@ TEST(TaskTest, LatencyTracksCpiForComputeBoundTask) {
   TaskSpec spec = BasicSpec();
   spec.base_latency_ms = 40.0;
   spec.latency_io_fraction = 0.0;
-  Task task("t", spec, Rng(6));
+  TableTask h(spec, 6);
+  Task& task = h.task;
   const Platform platform = ReferencePlatform();
   task.Account(0, 1.0, 1.0, 2.0, 0.01, platform);  // at base CPI
   EXPECT_NEAR(task.last_latency_ms(), 40.0, 1e-9);
@@ -111,7 +128,8 @@ TEST(TaskTest, RootNodeLatencyIgnoresCpi) {
   TaskSpec spec = BasicSpec();
   spec.base_latency_ms = 100.0;
   spec.latency_io_fraction = 1.0;
-  Task task("t", spec, Rng(7));
+  TableTask h(spec, 7);
+  Task& task = h.task;
   const Platform platform = ReferencePlatform();
   StreamingStats at_base;
   StreamingStats at_4x;
@@ -129,7 +147,8 @@ TEST(TaskTest, TpsFollowsInstructionRate) {
   TaskSpec spec = BasicSpec();
   spec.instr_per_txn = 1e6;
   spec.tps_noise_cv = 0.0;
-  Task task("t", spec, Rng(8));
+  TableTask h(spec, 8);
+  Task& task = h.task;
   const Platform platform = ReferencePlatform();
   task.Account(0, 1.0, 1.0, 2.0, 0.001, platform);
   // IPS = 2.6e9 / 2 = 1.3e9 -> TPS = 1300.
@@ -141,7 +160,8 @@ TEST(TaskTest, LameDuckLifecycle) {
   spec.cap_behavior = CapBehavior::kLameDuck;
   spec.base_threads = 8;
   spec.lame_duck_duration = 10 * kMicrosPerMinute;
-  Task task("t", spec, Rng(9));
+  TableTask h(spec, 9);
+  Task& task = h.task;
   const Platform platform = ReferencePlatform();
 
   EXPECT_EQ(task.threads(), 8);
@@ -170,7 +190,8 @@ TEST(TaskTest, LameDuckLifecycle) {
 TEST(TaskTest, SelfTerminateOnSecondCapEpisode) {
   TaskSpec spec = BasicSpec();
   spec.cap_behavior = CapBehavior::kSelfTerminate;
-  Task task("t", spec, Rng(10));
+  TableTask h(spec, 10);
+  Task& task = h.task;
   const Platform platform = ReferencePlatform();
 
   // First episode: survives.
@@ -198,7 +219,8 @@ TEST(TaskTest, SelfTerminateOnSecondCapEpisode) {
 TEST(TaskTest, ToleratingTaskNeverExits) {
   TaskSpec spec = BasicSpec();
   spec.cap_behavior = CapBehavior::kTolerate;
-  Task task("t", spec, Rng(11));
+  TableTask h(spec, 11);
+  Task& task = h.task;
   const Platform platform = ReferencePlatform();
   task.SetCap(0.01);
   for (MicroTime t = 0; t < 30 * kMicrosPerMinute; t += kMicrosPerSecond) {
@@ -212,7 +234,8 @@ TEST(TaskTest, DemandWalkStaysCentered) {
   TaskSpec spec = BasicSpec();
   spec.demand_walk_sigma = 0.08;
   spec.demand_walk_revert = 0.03;
-  Task task("t", spec, Rng(12));
+  TableTask h(spec, 12);
+  Task& task = h.task;
   StreamingStats stats;
   for (MicroTime t = 0; t < 2 * kMicrosPerDay; t += kMicrosPerMinute) {
     stats.Add(task.DesiredCpu(t));
@@ -223,7 +246,8 @@ TEST(TaskTest, DemandWalkStaysCentered) {
 }
 
 TEST(TaskTest, BaseCpiScalesWithPlatform) {
-  Task task("t", BasicSpec(), Rng(13));
+  TableTask h(BasicSpec(), 13);
+  Task& task = h.task;
   EXPECT_DOUBLE_EQ(task.BaseCpiOn(ReferencePlatform()), 2.0);
   EXPECT_DOUBLE_EQ(task.BaseCpiOn(OlderPlatform()), 2.0 * 1.25);
 }
