@@ -252,6 +252,16 @@ void Agent::EnqueueSample(const CpiSample& sample) {
   }
 }
 
+void Agent::OfferSample(const CpiSample& sample) {
+  if (!delivery_callback_ && !batch_delivery_callback_) {
+    return;  // no transport installed; nothing to queue for
+  }
+  if (sample_callback_) {
+    sample_callback_(sample);  // the tap still observes offered samples
+  }
+  EnqueueSample(sample);
+}
+
 const TimeSeries* Agent::UsageSeries(const std::string& task) const {
   const auto id = task_ids_.Find(task);
   if (!id.has_value()) {

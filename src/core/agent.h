@@ -174,6 +174,16 @@ class Agent {
     batch_delivery_callback_ = std::move(callback);
   }
 
+  // Hands one externally produced sample straight to the delivery outbox,
+  // bypassing the counter-sampling path. This is the daemon ingestion hook:
+  // cpi2-agentd feeds samples here and the full outbox machinery — bounded
+  // queue, overflow eviction, batch sealing, retry/backoff — applies
+  // unchanged. Batch sealing happens on capacity here and on age/force in
+  // FlushOutbox, so offered samples are on the wire after the next flush.
+  // Requires a delivery callback; without one the sample is dropped (there
+  // is no transport to queue for).
+  void OfferSample(const CpiSample& sample);
+
   // Attempts to deliver queued samples in FIFO order. Stops at the first
   // unavailable/retry result and backs off exponentially (with jitter)
   // before the next attempt. Call from a single thread (the harness's merge

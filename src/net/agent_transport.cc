@@ -1,0 +1,111 @@
+#include "net/agent_transport.h"
+
+#include <algorithm>
+
+namespace cpi2 {
+
+AgentTransport::AgentTransport(EventLoop* loop, Agent* agent, NetClient* client,
+                               Options options)
+    : loop_(loop), agent_(agent), client_(client), options_(options) {
+  agent_->SetBatchDeliveryCallback(
+      [this](const EncodedSampleBatch& batch) { return OnBatchDelivery(batch); });
+  client_->set_frame_handler([this](std::string_view payload) { OnClientFrame(payload); });
+  client_->set_ready_handler([this] { Flush(); });
+  client_->set_down_handler([this](Connection::CloseReason) {
+    // The in-flight batch (if any) is unsettled: forget the seq so the next
+    // flush after reconnect re-sends the same bytes from the same cursor.
+    if (in_flight_) {
+      ++stats_.inflight_reset;
+      in_flight_ = false;
+    }
+    pending_ack_.reset();
+  });
+}
+
+AgentTransport::~AgentTransport() { Stop(); }
+
+void AgentTransport::Start() {
+  stopped_ = false;
+  ArmFlushTimer();
+}
+
+void AgentTransport::Stop() {
+  stopped_ = true;
+  loop_->CancelTimer(flush_timer_);
+}
+
+void AgentTransport::ArmFlushTimer() {
+  flush_timer_ = loop_->AddTimer(options_.flush_interval, [this] {
+    if (stopped_) {
+      return;
+    }
+    Flush();
+    ArmFlushTimer();
+  });
+}
+
+void AgentTransport::Flush() { agent_->FlushOutbox(MonotonicNowMicros()); }
+
+BatchDeliveryOutcome AgentTransport::OnBatchDelivery(const EncodedSampleBatch& batch) {
+  BatchDeliveryOutcome outcome;
+  if (pending_ack_.has_value()) {
+    // Pass B: the in-flight batch's ack settles it. Clamp against what is
+    // still unsettled — overflow eviction may have advanced the consumed
+    // cursor while the batch was on the wire, and those samples were
+    // already accounted as overflow drops.
+    const BatchAckFrame ack = *pending_ack_;
+    pending_ack_.reset();
+    in_flight_ = false;
+    const size_t remaining = batch.sample_count - batch.consumed;
+    outcome.delivered = static_cast<int>(
+        std::min<uint64_t>(ack.delivered, static_cast<uint64_t>(remaining)));
+    outcome.lost = static_cast<int>(std::min<uint64_t>(
+        ack.lost, static_cast<uint64_t>(remaining) - static_cast<uint64_t>(outcome.delivered)));
+    outcome.decode_failed = ack.decode_failed;
+    const size_t settled = static_cast<size_t>(outcome.delivered) +
+                           static_cast<size_t>(outcome.lost);
+    outcome.retry = !ack.decode_failed && settled < remaining;
+    return outcome;
+  }
+  if (in_flight_) {
+    outcome.retry = true;  // awaiting the ack; keep the batch queued
+    return outcome;
+  }
+  if (!client_->ready()) {
+    outcome.retry = true;
+    return outcome;
+  }
+  std::string payload;
+  BuildSampleBatchPayload(next_seq_, static_cast<uint64_t>(batch.consumed), batch.bytes,
+                          &payload);
+  if (!client_->SendFrame(payload)) {
+    ++stats_.send_backpressure;
+    outcome.retry = true;
+    return outcome;
+  }
+  in_flight_ = true;
+  in_flight_seq_ = next_seq_++;
+  ++stats_.batches_sent;
+  outcome.retry = true;  // outcome unknown until the ack lands
+  return outcome;
+}
+
+void AgentTransport::OnClientFrame(std::string_view payload) {
+  FrameType type;
+  BatchAckFrame ack;
+  if (!ParseFrameType(payload, &type) || type != FrameType::kBatchAck ||
+      !ParseBatchAckPayload(payload, &ack)) {
+    return;  // not for us; ignore rather than poison the connection
+  }
+  if (!in_flight_ || ack.seq != in_flight_seq_) {
+    ++stats_.stale_acks;
+    return;
+  }
+  ++stats_.batches_acked;
+  pending_ack_ = ack;
+  // Settle immediately: the next flush pass consumes the ack and, if the
+  // outbox has more, launches the next batch in the same pass.
+  Flush();
+}
+
+}  // namespace cpi2

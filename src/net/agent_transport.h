@@ -1,0 +1,99 @@
+// AgentTransport: bridges Agent's synchronous batch-delivery outbox onto a
+// NetClient's asynchronous framed connection.
+//
+// The impedance mismatch: Agent::FlushOutbox calls its delivery callback and
+// expects an immediate BatchDeliveryOutcome, but a socket send is only an
+// attempt — the real outcome arrives later as a BatchAck frame (or never,
+// if the connection dies). The bridge resolves it with a one-batch-in-flight
+// protocol:
+//
+//   1. Flush pass A: the front batch is not in flight → frame it
+//      (seq = next unique sequence number, consumed cursor, raw CPI2SMB1
+//      bytes), send it, record it as in-flight, answer {retry = true}.
+//      The agent arms its backoff and keeps the batch queued. (The daemon
+//      configures delivery_retry_backoff = 0: pacing comes from the ack
+//      round-trip, not from a timer race.)
+//   2. The BatchAck for that seq arrives → stash it, immediately flush.
+//   3. Flush pass B: the stashed ack settles the front batch — delivered /
+//      lost / decode_failed map straight onto BatchDeliveryOutcome. If the
+//      batch is fully settled the agent pops it and pass B continues with
+//      the next batch at step 1: the pipeline stays full without ever
+//      having two batches outstanding.
+//
+// Failure folding: a connection drop clears the in-flight marker without
+// settling anything, so after reconnect the SAME bytes re-send from the
+// same consumed cursor (a fresh seq) — the aggregator's dedup window drops
+// whatever it already counted. A stale ack (seq mismatch after a reconnect)
+// is counted and ignored. Send-side backpressure (connection queue full)
+// also answers {retry = true}: the agent's bounded outbox is the overflow
+// domain, exactly as in-process.
+
+#ifndef CPI2_NET_AGENT_TRANSPORT_H_
+#define CPI2_NET_AGENT_TRANSPORT_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/agent.h"
+#include "net/client.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+
+namespace cpi2 {
+
+class AgentTransport {
+ public:
+  struct Options {
+    // Periodic flush cadence; acks and reconnects also trigger flushes, so
+    // this is the floor on latency for newly offered samples.
+    MicroTime flush_interval = 50 * kMicrosPerMilli;
+  };
+
+  struct Stats {
+    int64_t batches_sent = 0;        // frames handed to the connection
+    int64_t batches_acked = 0;       // acks matched to the in-flight seq
+    int64_t stale_acks = 0;          // seq mismatch (reconnect raced an ack)
+    int64_t send_backpressure = 0;   // connection queue full at send time
+    int64_t inflight_reset = 0;      // connection died with a batch in flight
+  };
+
+  // Borrows all three; they must outlive the transport. Installs the batch
+  // delivery callback on `agent` and the frame/ready/down handlers on
+  // `client` — the transport owns those hook points.
+  AgentTransport(EventLoop* loop, Agent* agent, NetClient* client, Options options);
+  ~AgentTransport();
+
+  // Arms the periodic flush. The client is started separately.
+  void Start();
+  void Stop();
+
+  // Flushes the agent outbox now (generation bursts call this after
+  // offering samples instead of waiting out flush_interval).
+  void Flush();
+
+  const Stats& stats() const { return stats_; }
+  bool in_flight() const { return in_flight_; }
+
+ private:
+  BatchDeliveryOutcome OnBatchDelivery(const EncodedSampleBatch& batch);
+  void OnClientFrame(std::string_view payload);
+  void ArmFlushTimer();
+
+  EventLoop* loop_;
+  Agent* agent_;
+  NetClient* client_;
+  Options options_;
+
+  uint64_t next_seq_ = 1;
+  bool in_flight_ = false;
+  uint64_t in_flight_seq_ = 0;
+  std::optional<BatchAckFrame> pending_ack_;
+
+  EventLoop::TimerId flush_timer_ = 0;
+  bool stopped_ = false;
+  Stats stats_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_NET_AGENT_TRANSPORT_H_

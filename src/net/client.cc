@@ -1,0 +1,254 @@
+#include "net/client.h"
+
+#include <unistd.h>
+
+#include "net/socket.h"
+#include "util/logging.h"
+
+namespace cpi2 {
+
+NetClient::NetClient(EventLoop* loop, Options options)
+    : loop_(loop), options_(std::move(options)), jitter_rng_(options_.jitter_seed) {}
+
+NetClient::~NetClient() { Shutdown(); }
+
+void NetClient::Start() {
+  shutdown_ = false;
+  BeginConnect();
+}
+
+void NetClient::Shutdown() {
+  shutdown_ = true;
+  loop_->CancelTimer(reconnect_timer_);
+  loop_->CancelTimer(heartbeat_timer_);
+  loop_->CancelTimer(liveness_timer_);
+  loop_->CancelTimer(connect_timeout_timer_);
+  if (connect_fd_ >= 0) {
+    loop_->UnwatchFd(connect_fd_);
+    close(connect_fd_);
+    connect_fd_ = -1;
+  }
+  if (connection_ != nullptr) {
+    folded_conn_stats_ = connection_stats();
+    connection_->set_close_handler(nullptr);
+    connection_.reset();
+  }
+  graveyard_.reset();
+  state_ = State::kIdle;
+}
+
+Connection::Stats NetClient::connection_stats() const {
+  Connection::Stats total = folded_conn_stats_;
+  if (connection_ != nullptr) {
+    const Connection::Stats& live = connection_->stats();
+    total.frames_sent += live.frames_sent;
+    total.frames_received += live.frames_received;
+    total.bytes_sent += live.bytes_sent;
+    total.bytes_received += live.bytes_received;
+    total.send_rejects += live.send_rejects;
+    total.corrupt_frames += live.corrupt_frames;
+    total.truncated_tails += live.truncated_tails;
+  }
+  return total;
+}
+
+void NetClient::BeginConnect() {
+  if (shutdown_) {
+    return;
+  }
+  // While an injected partition is active, connect attempts blackhole too:
+  // stay in backoff and retry after the window.
+  if (options_.connection.injector != nullptr &&
+      options_.connection.injector->PartitionActive(MonotonicNowMicros())) {
+    state_ = State::kBackoff;
+    reconnect_timer_ = loop_->AddTimer(50 * kMicrosPerMilli, [this] { BeginConnect(); });
+    return;
+  }
+  ++stats_.connect_attempts;
+  state_ = State::kConnecting;
+  StatusOr<int> fd = StartConnect(options_.server_address);
+  if (!fd.ok()) {
+    ScheduleReconnect();
+    return;
+  }
+  connect_fd_ = fd.value();
+  loop_->WatchFd(connect_fd_, EventLoop::kWritable,
+                 [this](uint32_t events) { OnConnectWritable(events); });
+  connect_timeout_timer_ = loop_->AddTimer(options_.connect_timeout, [this] {
+    if (state_ == State::kConnecting && connect_fd_ >= 0) {
+      loop_->UnwatchFd(connect_fd_);
+      close(connect_fd_);
+      connect_fd_ = -1;
+      ScheduleReconnect();
+    }
+  });
+}
+
+void NetClient::ScheduleReconnect() {
+  if (shutdown_) {
+    return;
+  }
+  state_ = State::kBackoff;
+  MicroTime backoff = options_.reconnect_backoff;
+  for (int i = 0; i < backoff_exponent_ && backoff < options_.reconnect_backoff_max; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > options_.reconnect_backoff_max) {
+    backoff = options_.reconnect_backoff_max;
+  }
+  if (options_.reconnect_jitter > 0.0) {
+    backoff += static_cast<MicroTime>(
+        jitter_rng_.Uniform(0.0, options_.reconnect_jitter * static_cast<double>(backoff)));
+  }
+  ++backoff_exponent_;
+  reconnect_timer_ = loop_->AddTimer(backoff, [this] { BeginConnect(); });
+}
+
+void NetClient::OnConnectWritable(uint32_t events) {
+  loop_->CancelTimer(connect_timeout_timer_);
+  const int fd = connect_fd_;
+  connect_fd_ = -1;
+  loop_->UnwatchFd(fd);
+  if ((events & EventLoop::kError) != 0 || !FinishConnect(fd).ok()) {
+    close(fd);
+    ScheduleReconnect();
+    return;
+  }
+  OnConnectionEstablished(fd);
+}
+
+void NetClient::OnConnectionEstablished(int fd) {
+  state_ = State::kHandshaking;
+  connection_ = std::make_unique<Connection>(loop_, fd, options_.connection);
+  connection_->set_frame_handler([this](std::string_view payload) { OnFrame(payload); });
+  connection_->set_close_handler([this](Connection::CloseReason reason, bool) {
+    OnConnectionClosed(reason);
+  });
+  connection_->Start();
+  last_peer_activity_ = MonotonicNowMicros();
+
+  HelloFrame hello;
+  hello.version = kNetProtocolVersion;
+  hello.role = options_.role;
+  hello.peer_name = options_.peer_name;
+  std::string payload;
+  BuildHelloPayload(hello, /*is_ack=*/false, &payload);
+  connection_->SendFrame(payload);
+  ArmLivenessCheck();
+}
+
+void NetClient::OnFrame(std::string_view payload) {
+  last_peer_activity_ = MonotonicNowMicros();
+  FrameType type;
+  if (!ParseFrameType(payload, &type)) {
+    ++stats_.handshake_failures;
+    RecycleConnection(Connection::CloseReason::kCorruptFrame);
+    return;
+  }
+  if (state_ == State::kHandshaking) {
+    HelloFrame ack;
+    bool is_ack = false;
+    if (type != FrameType::kHelloAck || !ParseHelloPayload(payload, &ack, &is_ack) ||
+        !is_ack || ack.version != kNetProtocolVersion) {
+      ++stats_.handshake_failures;
+      RecycleConnection(Connection::CloseReason::kCorruptFrame);
+      return;
+    }
+    state_ = State::kReady;
+    backoff_exponent_ = 0;  // ladder resets only on a completed handshake
+    ++stats_.connects_completed;
+    ArmHeartbeat();
+    if (ready_handler_) {
+      ready_handler_();
+    }
+    return;
+  }
+  switch (type) {
+    case FrameType::kHeartbeatAck:
+      return;  // activity already recorded
+    case FrameType::kHeartbeat: {
+      // Servers normally don't ping, but answering is harmless and keeps
+      // the protocol symmetric.
+      MicroTime send_time;
+      bool is_ack;
+      if (ParseHeartbeatPayload(payload, &send_time, &is_ack) && !is_ack &&
+          connection_ != nullptr) {
+        std::string ack;
+        BuildHeartbeatPayload(send_time, /*is_ack=*/true, &ack);
+        connection_->SendFrame(ack);
+      }
+      return;
+    }
+    case FrameType::kGoaway:
+      ++stats_.goaways_received;
+      RecycleConnection(Connection::CloseReason::kPeerClosed);
+      return;
+    default:
+      if (frame_handler_) {
+        frame_handler_(payload);
+      }
+      return;
+  }
+}
+
+void NetClient::ArmHeartbeat() {
+  heartbeat_timer_ = loop_->AddTimer(options_.heartbeat_interval, [this] {
+    if (state_ != State::kReady || connection_ == nullptr) {
+      return;
+    }
+    std::string payload;
+    BuildHeartbeatPayload(MonotonicNowMicros(), /*is_ack=*/false, &payload);
+    connection_->SendFrame(payload);
+    ++stats_.heartbeats_sent;
+    ArmHeartbeat();
+  });
+}
+
+void NetClient::ArmLivenessCheck() {
+  liveness_timer_ = loop_->AddTimer(options_.heartbeat_timeout / 2, [this] {
+    if (connection_ == nullptr) {
+      return;
+    }
+    if (MonotonicNowMicros() - last_peer_activity_ > options_.heartbeat_timeout) {
+      ++stats_.heartbeat_timeouts;
+      RecycleConnection(Connection::CloseReason::kError);
+      return;
+    }
+    ArmLivenessCheck();
+  });
+}
+
+void NetClient::RecycleConnection(Connection::CloseReason reason) {
+  if (connection_ == nullptr) {
+    return;
+  }
+  // Close() fires our close handler, which runs the common teardown path.
+  connection_->Close(reason);
+}
+
+void NetClient::OnConnectionClosed(Connection::CloseReason reason) {
+  ++stats_.disconnects;
+  loop_->CancelTimer(heartbeat_timer_);
+  loop_->CancelTimer(liveness_timer_);
+  folded_conn_stats_ = connection_stats();
+  // We may be inside the connection's own read handler: defer destruction
+  // to the next loop iteration, then reconnect.
+  graveyard_ = std::move(connection_);
+  reap_timer_ = loop_->AddTimer(0, [this] { graveyard_.reset(); });
+  const bool was_ready = state_ == State::kReady;
+  state_ = State::kBackoff;
+  if (down_handler_) {
+    down_handler_(reason);
+  }
+  (void)was_ready;
+  ScheduleReconnect();
+}
+
+bool NetClient::SendFrame(std::string_view payload) {
+  if (state_ != State::kReady || connection_ == nullptr) {
+    return false;
+  }
+  return connection_->SendFrame(payload);
+}
+
+}  // namespace cpi2

@@ -1,0 +1,137 @@
+// NetClient: the agent-side endpoint of the CPI2NET1 data plane.
+//
+// Owns at most one Connection to the configured server address and runs the
+// failure-first connection lifecycle:
+//
+//   kBackoff --connect timer--> kConnecting --writable--> kHandshaking
+//        ^                          |  connect error           |
+//        |                          v                          v  HelloAck
+//        +----------- any failure or close ceremony <------ kReady
+//
+// Reconnect: capped exponential backoff with per-connection uniform jitter
+// (a fleet of agents must not stampede a recovering aggregator — the same
+// argument as the outbox's retry jitter, applied to SYNs). The backoff
+// ladder resets only after a *completed handshake*, so a server that
+// accepts and immediately dies does not reset the ladder.
+//
+// Liveness: heartbeats every heartbeat_interval once ready; a peer silent
+// for heartbeat_timeout is declared dead and the connection is recycled
+// through backoff. A Goaway from the server (lame duck) closes politely
+// and re-enters backoff, so the client drains back in when the server
+// returns.
+
+#ifndef CPI2_NET_CLIENT_H_
+#define CPI2_NET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/fault_injector.h"
+#include "net/frame.h"
+
+namespace cpi2 {
+
+class NetClient {
+ public:
+  struct Options {
+    std::string server_address;      // "host:port" or "unix:/path"
+    std::string peer_name;           // carried in the hello (machine name)
+    PeerRole role = PeerRole::kAgent;
+    MicroTime reconnect_backoff = 100 * kMicrosPerMilli;
+    MicroTime reconnect_backoff_max = 10 * kMicrosPerSecond;
+    double reconnect_jitter = 0.25;  // fraction of the backoff, uniform
+    MicroTime heartbeat_interval = kMicrosPerSecond;
+    MicroTime heartbeat_timeout = 5 * kMicrosPerSecond;
+    MicroTime connect_timeout = 2 * kMicrosPerSecond;
+    uint64_t jitter_seed = 0x5eed5;
+    Connection::Options connection;  // send-queue bound + fault injector
+  };
+
+  struct Stats {
+    int64_t connect_attempts = 0;
+    int64_t connects_completed = 0;  // handshakes finished (kReady entries)
+    int64_t disconnects = 0;
+    int64_t handshake_failures = 0;  // bad/odd HelloAck or wrong first frame
+    int64_t heartbeats_sent = 0;
+    int64_t heartbeat_timeouts = 0;
+    int64_t goaways_received = 0;
+  };
+
+  enum class State { kIdle, kBackoff, kConnecting, kHandshaking, kReady };
+
+  using ReadyHandler = std::function<void()>;
+  using FrameHandler = std::function<void(std::string_view payload)>;
+  using DownHandler = std::function<void(Connection::CloseReason reason)>;
+
+  NetClient(EventLoop* loop, Options options);
+  ~NetClient();
+
+  // Fires on entering kReady (after every successful handshake).
+  void set_ready_handler(ReadyHandler handler) { ready_handler_ = std::move(handler); }
+  // Non-control frames received while ready (batch acks for the agent).
+  void set_frame_handler(FrameHandler handler) { frame_handler_ = std::move(handler); }
+  // Fires on every transition out of kReady/kConnecting/kHandshaking.
+  void set_down_handler(DownHandler handler) { down_handler_ = std::move(handler); }
+
+  // Starts the connect loop (first attempt immediately).
+  void Start();
+  // Stops reconnecting and closes any live connection. After Shutdown the
+  // client is inert; used for daemon teardown.
+  void Shutdown();
+
+  // Sends one frame if ready and the send queue has room. False = not
+  // connected or backpressured; caller's outbox keeps the data.
+  bool SendFrame(std::string_view payload);
+
+  State state() const { return state_; }
+  bool ready() const { return state_ == State::kReady; }
+  const Stats& stats() const { return stats_; }
+  // Aggregated over every connection this client has owned (a recycled
+  // connection's counts are folded in at teardown).
+  Connection::Stats connection_stats() const;
+  size_t send_queue_bytes() const {
+    return connection_ != nullptr ? connection_->send_queue_bytes() : 0;
+  }
+
+ private:
+  void BeginConnect();
+  void ScheduleReconnect();
+  void OnConnectWritable(uint32_t events);
+  void OnConnectionEstablished(int fd);
+  void OnFrame(std::string_view payload);
+  void OnConnectionClosed(Connection::CloseReason reason);
+  void ArmHeartbeat();
+  void ArmLivenessCheck();
+  void RecycleConnection(Connection::CloseReason reason);
+
+  EventLoop* loop_;
+  Options options_;
+  Rng jitter_rng_;
+  State state_ = State::kIdle;
+  int connect_fd_ = -1;  // in-flight nonblocking connect (pre-Connection)
+  std::unique_ptr<Connection> connection_;
+  std::unique_ptr<Connection> graveyard_;  // closed connection pending reap
+  int backoff_exponent_ = 0;
+  MicroTime last_peer_activity_ = 0;
+  EventLoop::TimerId reconnect_timer_ = 0;
+  EventLoop::TimerId heartbeat_timer_ = 0;
+  EventLoop::TimerId liveness_timer_ = 0;
+  EventLoop::TimerId connect_timeout_timer_ = 0;
+  EventLoop::TimerId reap_timer_ = 0;
+  bool shutdown_ = false;
+
+  ReadyHandler ready_handler_;
+  FrameHandler frame_handler_;
+  DownHandler down_handler_;
+  Stats stats_;
+  Connection::Stats folded_conn_stats_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_NET_CLIENT_H_

@@ -1,0 +1,315 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace cpi2 {
+
+const char* CloseReasonName(Connection::CloseReason reason) {
+  switch (reason) {
+    case Connection::CloseReason::kLocalClose:
+      return "local-close";
+    case Connection::CloseReason::kPeerClosed:
+      return "peer-closed";
+    case Connection::CloseReason::kError:
+      return "error";
+    case Connection::CloseReason::kCorruptFrame:
+      return "corrupt-frame";
+    case Connection::CloseReason::kBadMagic:
+      return "bad-magic";
+    case Connection::CloseReason::kInjectedReset:
+      return "injected-reset";
+  }
+  return "unknown";
+}
+
+Connection::Connection(EventLoop* loop, int fd, const Options& options)
+    : loop_(loop), fd_(fd), options_(options) {}
+
+Connection::~Connection() {
+  if (!closed_) {
+    // Destructor teardown must not fire callbacks into a half-destroyed
+    // owner; drop the handler first.
+    close_handler_ = nullptr;
+    Close(CloseReason::kLocalClose);
+  }
+}
+
+void Connection::Start() {
+  started_ = true;
+  start_time_ = MonotonicNowMicros();
+  std::string magic;
+  AppendWireMagic(&magic, kNetStreamMagic);
+  send_queue_bytes_ += magic.size();
+  send_queue_.push_front(std::move(magic));
+  loop_->WatchFd(fd_, EventLoop::kReadable | EventLoop::kWritable,
+                 [this](uint32_t events) { OnEvents(events); });
+  if (options_.injector != nullptr && options_.injector->options().partition_period > 0) {
+    ArmPartitionTimer();
+  }
+}
+
+bool Connection::Partitioned() const {
+  return options_.injector != nullptr &&
+         options_.injector->PartitionActive(MonotonicNowMicros());
+}
+
+void Connection::ArmPartitionTimer() {
+  // Poll the partition schedule at 10ms granularity: entering a window
+  // freezes the interest set, leaving it restores read/write readiness.
+  partition_timer_ = loop_->AddTimer(10 * kMicrosPerMilli, [this] {
+    if (closed_) {
+      return;
+    }
+    UpdateInterest();
+    ArmPartitionTimer();
+  });
+}
+
+void Connection::UpdateInterest() {
+  if (closed_) {
+    return;
+  }
+  if (Partitioned()) {
+    loop_->SetFdEvents(fd_, 0);  // blackhole: no reads, no writes
+    return;
+  }
+  uint32_t events = EventLoop::kReadable;
+  if (!send_queue_.empty() && !stalled_) {
+    events |= EventLoop::kWritable;
+  }
+  loop_->SetFdEvents(fd_, events);
+}
+
+bool Connection::SendFrame(std::string_view payload) {
+  if (closed_ || draining_) {
+    ++stats_.send_rejects;
+    return false;
+  }
+  // The framed record is payload + ~6 bytes of envelope; bound against the
+  // payload size so the check can run before framing.
+  if (send_queue_bytes_ + payload.size() > options_.max_send_queue_bytes) {
+    ++stats_.send_rejects;
+    return false;
+  }
+  std::string record;
+  AppendNetFrame(&record, payload);
+
+  if (options_.injector != nullptr) {
+    switch (options_.injector->DrawFrameAction()) {
+      case NetFaultInjector::Action::kNone:
+        break;
+      case NetFaultInjector::Action::kCorrupt: {
+        // Flip one bit after the CRC was computed: the receiver's verdict
+        // machinery, not ours, must catch it.
+        const size_t offset = options_.injector->DrawCorruptOffset(record.size());
+        record[offset] = static_cast<char>(record[offset] ^ 0x40);
+        break;
+      }
+      case NetFaultInjector::Action::kTruncate: {
+        record.resize(options_.injector->DrawTruncateLength(record.size()));
+        close_after_flush_ = true;
+        pending_close_reason_ = CloseReason::kInjectedReset;
+        break;
+      }
+      case NetFaultInjector::Action::kReset:
+        close_after_flush_ = true;
+        pending_close_reason_ = CloseReason::kInjectedReset;
+        break;
+      case NetFaultInjector::Action::kKillMidFrame:
+        // Half the frame, then the owner's hook (the daemons raise SIGKILL
+        // here: a deterministic "agent died mid-batch").
+        record.resize(record.size() / 2);
+        close_after_flush_ = true;
+        kill_after_flush_ = true;
+        pending_close_reason_ = CloseReason::kInjectedReset;
+        break;
+    }
+  }
+
+  ++stats_.frames_sent;
+  send_queue_bytes_ += record.size();
+  send_queue_.push_back(std::move(record));
+  if (!stalled_ && options_.injector != nullptr) {
+    const MicroTime stall = options_.injector->DrawStall();
+    if (stall > 0) {
+      stalled_ = true;
+      stall_timer_ = loop_->AddTimer(stall, [this] {
+        stalled_ = false;
+        if (!closed_) {
+          UpdateInterest();
+        }
+      });
+    }
+  }
+  UpdateInterest();
+  return true;
+}
+
+void Connection::CloseWhenDrained() {
+  draining_ = true;
+  if (send_queue_.empty()) {
+    Close(CloseReason::kLocalClose);
+  }
+}
+
+void Connection::Close(CloseReason reason) {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  if (assembler_.HasPartialFrame()) {
+    ++stats_.truncated_tails;
+  }
+  if (reason == CloseReason::kCorruptFrame || reason == CloseReason::kBadMagic) {
+    ++stats_.corrupt_frames;
+  }
+  loop_->CancelTimer(partition_timer_);
+  loop_->CancelTimer(stall_timer_);
+  loop_->UnwatchFd(fd_);
+  if (reason == CloseReason::kInjectedReset) {
+    // Make the injected reset a real RST, not a polite FIN: the peer gets
+    // ECONNRESET, exactly like a crashed kernel socket.
+    const linger hard{1, 0};
+    setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  }
+  close(fd_);
+  fd_ = -1;
+  if (close_handler_) {
+    // One shot; the handler may delete us (owners defer with AddTimer(0)).
+    CloseHandler handler = std::move(close_handler_);
+    close_handler_ = nullptr;
+    handler(reason, stats_.truncated_tails > 0);
+  }
+}
+
+void Connection::OnEvents(uint32_t events) {
+  if (closed_) {
+    return;
+  }
+  if (Partitioned()) {
+    // A ready event raced the partition window opening; freeze and wait.
+    UpdateInterest();
+    return;
+  }
+  // Reads drain BEFORE writes and before acting on error events: when the
+  // peer dies, its last bytes (possibly a truncated tail — evidence the
+  // verdict counters need) sit in our receive buffer while our next write
+  // fails. Writing first would tear the connection down and abandon those
+  // bytes unread.
+  if (events & (EventLoop::kReadable | EventLoop::kError)) {
+    OnReadable();
+    if (closed_) {
+      return;
+    }
+  }
+  if (events & EventLoop::kWritable) {
+    OnWritable();
+    if (closed_) {
+      return;
+    }
+  }
+  if (events & EventLoop::kError) {
+    Close(CloseReason::kError);
+  }
+}
+
+void Connection::OnReadable() {
+  char buf[65536];
+  while (true) {
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      stats_.bytes_received += n;
+      assembler_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      std::string_view payload;
+      while (true) {
+        const FrameAssembler::Result result = assembler_.Next(&payload);
+        if (result == FrameAssembler::Result::kFrame) {
+          ++stats_.frames_received;
+          if (frame_handler_) {
+            frame_handler_(payload);
+          }
+          if (closed_) {
+            return;  // handler closed us (goaway, protocol error)
+          }
+          continue;
+        }
+        if (result == FrameAssembler::Result::kNeedMore) {
+          break;
+        }
+        Close(result == FrameAssembler::Result::kBadMagic ? CloseReason::kBadMagic
+                                                          : CloseReason::kCorruptFrame);
+        return;
+      }
+      if (static_cast<size_t>(n) < sizeof(buf)) {
+        return;  // drained the socket buffer
+      }
+      continue;
+    }
+    if (n == 0) {
+      Close(CloseReason::kPeerClosed);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    Close(CloseReason::kError);
+    return;
+  }
+}
+
+void Connection::OnWritable() {
+  while (!send_queue_.empty()) {
+    const std::string& front = send_queue_.front();
+    const ssize_t n =
+        send(fd_, front.data() + front_offset_, front.size() - front_offset_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      // EPIPE/ECONNRESET: the peer is gone, but its final bytes (possibly a
+      // truncated tail) may still sit in our receive buffer — the readable
+      // event for them might not even have been polled yet. Drain reads
+      // before tearing down so the verdict counters see the evidence.
+      OnReadable();
+      if (!closed_) {
+        Close(CloseReason::kError);
+      }
+      return;
+    }
+    stats_.bytes_sent += n;
+    front_offset_ += static_cast<size_t>(n);
+    if (front_offset_ < front.size()) {
+      break;  // kernel buffer full mid-record
+    }
+    send_queue_bytes_ -= front.size();
+    send_queue_.pop_front();
+    front_offset_ = 0;
+  }
+  if (send_queue_.empty()) {
+    if (kill_after_flush_ && options_.injector != nullptr) {
+      kill_after_flush_ = false;
+      options_.injector->FireHook(NetFaultInjector::Action::kKillMidFrame);
+      // In-process users survive the hook; fall through to the teardown.
+    }
+    if (close_after_flush_) {
+      Close(pending_close_reason_);
+      return;
+    }
+    if (draining_) {
+      Close(CloseReason::kLocalClose);
+      return;
+    }
+  }
+  UpdateInterest();
+}
+
+}  // namespace cpi2

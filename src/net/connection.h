@@ -1,0 +1,139 @@
+// One framed, nonblocking, fault-injectable stream connection.
+//
+// A Connection owns a connected fd and speaks CPI2NET1 on it: it emits the
+// stream magic on Start(), frames every outgoing payload, and reassembles
+// incoming frames through a FrameAssembler. It is deliberately dumb about
+// frame *meaning* — handshake, heartbeats, acks are the owner's business
+// (NetClient / NetServer) — and strict about frame *integrity*: a corrupt
+// or desynced inbound stream closes the connection with a verdict, and a
+// peer that disappears mid-frame is recorded as a truncated tail.
+//
+// Backpressure contract: SendFrame never buffers beyond
+// Options::max_send_queue_bytes. When the queue is full it returns false
+// and counts a reject; the caller's outbox (Agent's bounded sample outbox)
+// is the overflow domain, not this queue. There is no hidden unbounded
+// buffer anywhere on the send path.
+//
+// The fault injector (when present) intercepts the write path: frames can
+// be corrupted post-CRC, truncated (connection dies mid-frame), or followed
+// by an abrupt reset; flushes can stall; partition windows freeze the fd's
+// interest set entirely. All draws are deterministic per endpoint seed.
+
+#ifndef CPI2_NET_CONNECTION_H_
+#define CPI2_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/event_loop.h"
+#include "net/fault_injector.h"
+#include "net/frame.h"
+
+namespace cpi2 {
+
+class Connection {
+ public:
+  enum class CloseReason {
+    kLocalClose,     // owner asked (shutdown, lame-duck drain complete)
+    kPeerClosed,     // clean FIN from the peer
+    kError,          // read/write error (ECONNRESET and friends)
+    kCorruptFrame,   // inbound CRC failure or hostile length: stream poisoned
+    kBadMagic,       // peer did not start with CPI2NET1
+    kInjectedReset,  // our own fault injector tore the connection down
+  };
+
+  struct Options {
+    // Send-queue bound in bytes of framed records; SendFrame returns false
+    // beyond it (backpressure, never unbounded buffering).
+    size_t max_send_queue_bytes = 1 << 20;
+    // Borrowed fault injector; nullptr = clean connection.
+    NetFaultInjector* injector = nullptr;
+  };
+
+  struct Stats {
+    int64_t frames_sent = 0;
+    int64_t frames_received = 0;
+    int64_t bytes_sent = 0;
+    int64_t bytes_received = 0;
+    int64_t send_rejects = 0;     // backpressure: SendFrame returned false
+    int64_t corrupt_frames = 0;   // inbound CRC/length verdicts
+    int64_t truncated_tails = 0;  // closed with a partial inbound frame
+  };
+
+  using FrameHandler = std::function<void(std::string_view payload)>;
+  // `reason` plus whether the inbound stream died mid-frame.
+  using CloseHandler = std::function<void(CloseReason reason, bool truncated_tail)>;
+
+  // Takes ownership of `fd` (already connected, nonblocking).
+  Connection(EventLoop* loop, int fd, const Options& options);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void set_frame_handler(FrameHandler handler) { frame_handler_ = std::move(handler); }
+  void set_close_handler(CloseHandler handler) { close_handler_ = std::move(handler); }
+
+  // Registers with the loop and queues the stream magic. Call once.
+  void Start();
+
+  // Frames `payload` and queues it. False = the send queue is full (or the
+  // connection is closed); the frame was NOT queued and the caller retries
+  // after draining — its own bounded buffer absorbs the overflow.
+  bool SendFrame(std::string_view payload);
+
+  // Closes now (flushes nothing further). Fires the close handler once.
+  void Close(CloseReason reason);
+
+  // Lame-duck: stop accepting new frames (SendFrame returns false), flush
+  // what is queued, then Close(kLocalClose).
+  void CloseWhenDrained();
+
+  bool closed() const { return closed_; }
+  size_t send_queue_bytes() const { return send_queue_bytes_; }
+  const Stats& stats() const { return stats_; }
+  int fd() const { return fd_; }
+
+ private:
+  void OnEvents(uint32_t events);
+  void OnReadable();
+  void OnWritable();
+  void UpdateInterest();
+  // True while an injector partition window blackholes this endpoint.
+  bool Partitioned() const;
+  void ArmPartitionTimer();
+
+  EventLoop* loop_;
+  int fd_;
+  Options options_;
+  FrameAssembler assembler_;
+  FrameHandler frame_handler_;
+  CloseHandler close_handler_;
+
+  std::deque<std::string> send_queue_;  // framed records (magic is front-queued)
+  size_t send_queue_bytes_ = 0;
+  size_t front_offset_ = 0;  // bytes of the front record already written
+
+  bool started_ = false;
+  bool closed_ = false;
+  bool draining_ = false;        // CloseWhenDrained engaged
+  bool stalled_ = false;         // injector stall suspends writes
+  CloseReason pending_close_reason_ = CloseReason::kLocalClose;
+  bool close_after_flush_ = false;  // injector truncate/reset teardown
+  bool kill_after_flush_ = false;   // fire the injector's kill hook post-flush
+  MicroTime start_time_ = 0;        // partition phase reference
+  EventLoop::TimerId partition_timer_ = 0;
+  EventLoop::TimerId stall_timer_ = 0;
+
+  Stats stats_;
+};
+
+// Human-readable close reason for logs and daemon stats.
+const char* CloseReasonName(Connection::CloseReason reason);
+
+}  // namespace cpi2
+
+#endif  // CPI2_NET_CONNECTION_H_

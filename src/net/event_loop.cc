@@ -1,0 +1,180 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace cpi2 {
+
+namespace {
+// Loop-infrastructure failures (epoll_create, epoll_ctl on a live fd) are
+// programming errors or fd exhaustion; neither is recoverable mid-loop.
+void CheckOrDie(bool ok, const char* what) {
+  if (!ok) {
+    CPI2_LOG(ERROR) << "event loop: " << what << " failed: " << std::strerror(errno);
+    std::abort();
+  }
+}
+}  // namespace
+
+MicroTime MonotonicNowMicros() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<MicroTime>(ts.tv_sec) * kMicrosPerSecond + ts.tv_nsec / 1000;
+}
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  CheckOrDie(epoll_fd_ >= 0, "epoll_create1");
+  wakeup_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  CheckOrDie(wakeup_fd_ >= 0, "eventfd");
+  WatchFd(wakeup_fd_, kReadable, [this](uint32_t) {
+    uint64_t drain;
+    while (read(wakeup_fd_, &drain, sizeof(drain)) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_fd_ >= 0) {
+    close(wakeup_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+  }
+}
+
+namespace {
+uint32_t ToEpollMask(uint32_t events) {
+  uint32_t mask = 0;
+  if (events & EventLoop::kReadable) {
+    mask |= EPOLLIN;
+  }
+  if (events & EventLoop::kWritable) {
+    mask |= EPOLLOUT;
+  }
+  return mask;
+}
+}  // namespace
+
+void EventLoop::WatchFd(int fd, uint32_t events, FdHandler handler) {
+  epoll_event ev{};
+  ev.events = ToEpollMask(events);
+  ev.data.fd = fd;
+  const bool known = handlers_.count(fd) > 0;
+  const int rc = epoll_ctl(epoll_fd_, known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, fd, &ev);
+  CheckOrDie(rc == 0, "epoll_ctl add/mod");
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::SetFdEvents(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = ToEpollMask(events);
+  ev.data.fd = fd;
+  const int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  CheckOrDie(rc == 0, "epoll_ctl mod");
+}
+
+void EventLoop::UnwatchFd(int fd) {
+  if (handlers_.erase(fd) > 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+EventLoop::TimerId EventLoop::AddTimer(MicroTime delay, TimerHandler handler) {
+  const TimerId id = next_timer_id_++;
+  const MicroTime now = MonotonicNowMicros();
+  timers_.push(Timer{delay > 0 ? now + delay : now, id});
+  timer_handlers_[id] = std::move(handler);
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) { timer_handlers_.erase(id); }
+
+void EventLoop::FireDueTimers(MicroTime now) {
+  while (!timers_.empty() && timers_.top().deadline <= now) {
+    const TimerId id = timers_.top().id;
+    timers_.pop();
+    auto it = timer_handlers_.find(id);
+    if (it == timer_handlers_.end()) {
+      continue;  // canceled; heap entry was a tombstone
+    }
+    TimerHandler handler = std::move(it->second);
+    timer_handlers_.erase(it);
+    handler();
+  }
+}
+
+MicroTime EventLoop::NextTimerDelay(MicroTime now) const {
+  // Skim canceled tombstones logically: the head may be canceled, in which
+  // case we wake a touch early and FireDueTimers discards it. Cheap and
+  // correct; canceled timers are rare.
+  if (timers_.empty()) {
+    return -1;  // sleep indefinitely
+  }
+  const MicroTime delay = timers_.top().deadline - now;
+  return delay > 0 ? delay : 0;
+}
+
+void EventLoop::RunOnce(MicroTime max_wait) {
+  MicroTime now = MonotonicNowMicros();
+  MicroTime wait = NextTimerDelay(now);
+  if (wait < 0 || wait > max_wait) {
+    wait = max_wait;
+  }
+  epoll_event events[64];
+  const int timeout_ms =
+      wait < 0 ? -1 : static_cast<int>((wait + kMicrosPerMilli - 1) / kMicrosPerMilli);
+  const int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  now = MonotonicNowMicros();
+  FireDueTimers(now);
+  if (n < 0) {
+    CheckOrDie(errno == EINTR, "epoll_wait");
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    // The handler for an earlier event in this batch may have closed this
+    // fd; re-look it up per event instead of caching across dispatches.
+    auto it = handlers_.find(fd);
+    if (it == handlers_.end()) {
+      continue;
+    }
+    uint32_t mask = 0;
+    if (events[i].events & (EPOLLIN | EPOLLRDHUP)) {
+      mask |= kReadable;
+    }
+    if (events[i].events & EPOLLOUT) {
+      mask |= kWritable;
+    }
+    if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+      mask |= kError;
+    }
+    // Copy the handler: it may UnwatchFd(fd) (destroying the stored
+    // std::function) while still executing.
+    FdHandler handler = it->second;
+    handler(mask);
+  }
+}
+
+void EventLoop::Run() {
+  stopped_ = false;
+  while (!stopped_) {
+    RunOnce(100 * kMicrosPerMilli);
+  }
+}
+
+void EventLoop::Wakeup() {
+  const uint64_t one = 1;
+  // Best effort: if the pipe is full the loop is already awake.
+  [[maybe_unused]] const ssize_t rc = write(wakeup_fd_, &one, sizeof(one));
+}
+
+}  // namespace cpi2

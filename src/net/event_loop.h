@@ -1,0 +1,107 @@
+// Single-threaded epoll event loop for the networked data plane.
+//
+// One EventLoop drives one daemon (cpi2-agentd / cpi2-aggregatord) or one
+// in-process test fixture. Everything — fd readiness, timers, deferred
+// callbacks — runs on the thread that calls Run(), so none of the net code
+// needs a lock: the concurrency model is "one loop, many fds", the same
+// discipline the harness uses for its serial merge phase.
+//
+// fd handlers are level-triggered. A handler may close and deregister its
+// own fd (the loop tolerates handlers mutating the registration table
+// mid-dispatch), which is what connection teardown paths do.
+//
+// Timers live in a min-heap keyed on a CLOCK_MONOTONIC deadline; epoll_wait
+// timeouts are derived from the heap head, so an idle loop sleeps in the
+// kernel. Wakeup() (the only thread-safe entry point, via eventfd) lets
+// signal handlers and other threads nudge a sleeping loop.
+
+#ifndef CPI2_NET_EVENT_LOOP_H_
+#define CPI2_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace cpi2 {
+
+// Monotonic microseconds (CLOCK_MONOTONIC): immune to wall-clock steps, the
+// timebase for every deadline in src/net.
+MicroTime MonotonicNowMicros();
+
+class EventLoop {
+ public:
+  // Readiness bitmask handed to fd handlers.
+  enum : uint32_t {
+    kReadable = 1u << 0,
+    kWritable = 1u << 1,
+    kError = 1u << 2,  // EPOLLERR/EPOLLHUP: the fd is dead or half-dead
+  };
+
+  using FdHandler = std::function<void(uint32_t events)>;
+  using TimerHandler = std::function<void()>;
+  using TimerId = uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` with the interest set described by `events`
+  // (kReadable/kWritable). Replaces any previous registration of `fd`.
+  void WatchFd(int fd, uint32_t events, FdHandler handler);
+  // Changes the interest set of an already-watched fd (handler unchanged).
+  void SetFdEvents(int fd, uint32_t events);
+  // Deregisters `fd`. Safe to call from inside the fd's own handler, and on
+  // fds that were never watched (teardown paths don't track registration).
+  void UnwatchFd(int fd);
+
+  // One-shot timer firing `delay` micros from now. Returns an id usable
+  // with CancelTimer. delay <= 0 fires on the next loop iteration.
+  TimerId AddTimer(MicroTime delay, TimerHandler handler);
+  void CancelTimer(TimerId id);
+
+  // Runs until Stop(). Dispatch order per iteration: due timers, then fd
+  // readiness.
+  void Run();
+  // Runs one poll + dispatch cycle, sleeping at most `max_wait` micros
+  // (clamped further by the next timer deadline). For tests.
+  void RunOnce(MicroTime max_wait);
+  // Makes Run() return after the current iteration. Callable from handlers.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  // Thread-safe (and async-signal-safe) nudge: wakes a loop sleeping in
+  // epoll_wait. Used by signal handlers to make Stop() take effect promptly.
+  void Wakeup();
+
+ private:
+  struct Timer {
+    MicroTime deadline;
+    TimerId id;
+    bool operator>(const Timer& other) const {
+      return deadline != other.deadline ? deadline > other.deadline : id > other.id;
+    }
+  };
+
+  void FireDueTimers(MicroTime now);
+  MicroTime NextTimerDelay(MicroTime now) const;
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;  // eventfd; read side drained by the loop itself
+  bool stopped_ = false;
+  std::unordered_map<int, FdHandler> handlers_;
+  // Canceled timers stay in the heap (hole punching a binary heap is not
+  // worth it at our timer counts); the handler map is the source of truth.
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::unordered_map<TimerId, TimerHandler> timer_handlers_;
+  TimerId next_timer_id_ = 1;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_NET_EVENT_LOOP_H_

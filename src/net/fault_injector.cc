@@ -1,0 +1,136 @@
+#include "net/fault_injector.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "net/event_loop.h"
+
+namespace cpi2 {
+
+NetFaultInjector::NetFaultInjector(const Options& options)
+    : options_(options), rng_(options.seed), epoch_(MonotonicNowMicros()) {}
+
+bool NetFaultInjector::AnyFaultsEnabled() const {
+  return options_.corrupt_rate > 0.0 || options_.truncate_rate > 0.0 ||
+         options_.reset_rate > 0.0 || options_.stall_rate > 0.0 ||
+         options_.partition_period > 0 || options_.kill_mid_frame_after > 0;
+}
+
+NetFaultInjector::Action NetFaultInjector::DrawFrameAction() {
+  const int64_t frame = ++stats_.frames_seen;
+  if (options_.kill_mid_frame_after > 0 && frame == options_.kill_mid_frame_after + 1) {
+    ++stats_.frames_truncated;
+    return Action::kKillMidFrame;
+  }
+  if (options_.corrupt_rate > 0.0 && rng_.NextDouble() < options_.corrupt_rate) {
+    ++stats_.frames_corrupted;
+    return Action::kCorrupt;
+  }
+  if (options_.truncate_rate > 0.0 && rng_.NextDouble() < options_.truncate_rate) {
+    ++stats_.frames_truncated;
+    return Action::kTruncate;
+  }
+  if (options_.reset_rate > 0.0 && rng_.NextDouble() < options_.reset_rate) {
+    ++stats_.resets_injected;
+    return Action::kReset;
+  }
+  return Action::kNone;
+}
+
+bool NetFaultInjector::PartitionActive(MicroTime now) const {
+  if (options_.partition_period <= 0 || options_.partition_duration <= 0) {
+    return false;
+  }
+  const MicroTime since_phase = now - epoch_ - options_.partition_phase;
+  if (since_phase < 0) {
+    return false;
+  }
+  return since_phase % options_.partition_period < options_.partition_duration;
+}
+
+MicroTime NetFaultInjector::DrawStall() {
+  if (options_.stall_rate <= 0.0 || rng_.NextDouble() >= options_.stall_rate) {
+    return 0;
+  }
+  ++stats_.stalls_injected;
+  return options_.stall_duration;
+}
+
+size_t NetFaultInjector::DrawCorruptOffset(size_t size) {
+  if (size <= 1) {
+    return 0;
+  }
+  return static_cast<size_t>(rng_.UniformInt(1, static_cast<int64_t>(size) - 1));
+}
+
+size_t NetFaultInjector::DrawTruncateLength(size_t size) {
+  if (size <= 1) {
+    return 0;
+  }
+  return static_cast<size_t>(rng_.UniformInt(1, static_cast<int64_t>(size) - 1));
+}
+
+namespace {
+// Splits on `sep` without pulling in string_util (this file is leaf-level).
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    if (end > start) {
+      parts.push_back(text.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return parts;
+}
+}  // namespace
+
+bool NetFaultInjector::ParseSpec(const std::string& spec, Options* options,
+                                 std::string* error) {
+  for (const std::string& pair : SplitOn(spec, ',')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      *error = "fault spec entry missing '=': " + pair;
+      return false;
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    char* end = nullptr;
+    const double num = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      *error = "bad number in fault spec: " + pair;
+      return false;
+    }
+    if (key == "seed") {
+      options->seed = static_cast<uint64_t>(num);
+    } else if (key == "corrupt_rate") {
+      options->corrupt_rate = num;
+    } else if (key == "truncate_rate") {
+      options->truncate_rate = num;
+    } else if (key == "reset_rate") {
+      options->reset_rate = num;
+    } else if (key == "stall_rate") {
+      options->stall_rate = num;
+    } else if (key == "stall_ms") {
+      options->stall_duration = static_cast<MicroTime>(num) * kMicrosPerMilli;
+    } else if (key == "partition_period_ms") {
+      options->partition_period = static_cast<MicroTime>(num) * kMicrosPerMilli;
+    } else if (key == "partition_duration_ms") {
+      options->partition_duration = static_cast<MicroTime>(num) * kMicrosPerMilli;
+    } else if (key == "partition_phase_ms") {
+      options->partition_phase = static_cast<MicroTime>(num) * kMicrosPerMilli;
+    } else if (key == "kill_mid_frame_after") {
+      options->kill_mid_frame_after = static_cast<int64_t>(num);
+    } else {
+      *error = "unknown fault spec key: " + key;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cpi2

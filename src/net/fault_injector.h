@@ -1,0 +1,135 @@
+// Deterministic fault injector for the networked data plane.
+//
+// Sits inside a Connection's write path (and the client's connect path) and
+// makes the network misbehave on purpose, mirroring sim/fault_plane's
+// philosophy at the socket layer:
+//
+//   - frame corruption: one byte of an outgoing frame is flipped *after*
+//     the frame CRC is computed, so the receiver's CRC verdict fires (the
+//     PR 5 corruption matrix, applied to a live stream),
+//   - frame truncation: only a prefix of the frame reaches the wire and the
+//     connection is torn down mid-frame — the receiver sees a truncated
+//     tail, exactly like a torn file,
+//   - connection reset: the fd is closed abruptly after a frame,
+//   - partition: a window during which the endpoint neither connects nor
+//     exchanges bytes (blackhole, not reset — peers see silence and must
+//     time out via heartbeats),
+//   - stall: outgoing flushes are delayed, modelling bufferbloat/latency.
+//
+// Draw order per outgoing frame: corrupt, truncate, reset. One Rng seeded
+// per endpoint keeps campaigns reproducible; the multi-process loopback
+// test configures injectors through daemon flags and gets the same
+// schedule every run.
+
+#ifndef CPI2_NET_FAULT_INJECTOR_H_
+#define CPI2_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace cpi2 {
+
+class NetFaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 0xfa017;
+
+    // Per-outgoing-frame probabilities.
+    double corrupt_rate = 0.0;   // flip one payload byte post-CRC
+    double truncate_rate = 0.0;  // send a prefix, then kill the connection
+    double reset_rate = 0.0;     // close abruptly after the frame
+
+    // Outgoing flush stall: with `stall_rate`, delay the flush by
+    // `stall_duration` (heartbeat timers keep running, so long stalls look
+    // like dead peers).
+    double stall_rate = 0.0;
+    MicroTime stall_duration = 50 * kMicrosPerMilli;
+
+    // Periodic partition (monotonic clock): during
+    // [phase + k*period, phase + k*period + duration) the endpoint is
+    // blackholed. 0 period = never.
+    MicroTime partition_period = 0;
+    MicroTime partition_duration = 0;
+    MicroTime partition_phase = 0;
+
+    // After this many outgoing frames, the next frame is truncated
+    // mid-payload and `on_fault` fires with kKillMidFrame — daemons wire
+    // that to raise(SIGKILL), making "agent dies mid-batch" a one-flag,
+    // fully deterministic scenario. <= 0 disables.
+    int64_t kill_mid_frame_after = 0;
+  };
+
+  enum class Action {
+    kNone,
+    kCorrupt,
+    kTruncate,
+    kReset,
+    kKillMidFrame,
+  };
+
+  struct Stats {
+    int64_t frames_seen = 0;
+    int64_t frames_corrupted = 0;
+    int64_t frames_truncated = 0;
+    int64_t resets_injected = 0;
+    int64_t stalls_injected = 0;
+  };
+
+  // Invoked after the faulty bytes hit the socket, before teardown; the
+  // daemon's kill hook lives here.
+  using FaultHook = std::function<void(Action)>;
+
+  explicit NetFaultInjector(const Options& options);
+
+  bool AnyFaultsEnabled() const;
+
+  // Draws the fate of the next outgoing frame. Exactly one draw per frame.
+  Action DrawFrameAction();
+
+  // True when the partition schedule blackholes this endpoint at `now`
+  // (monotonic clock; the schedule is anchored to the injector's
+  // construction time, so "partition_phase=0, period=2s" means "2s windows
+  // starting when the endpoint came up").
+  bool PartitionActive(MicroTime now) const;
+
+  // Draws a stall for one flush; returns the delay (0 = none).
+  MicroTime DrawStall();
+
+  // Where to flip / where to cut, for a frame of `size` bytes. Skips the
+  // first byte (the length varint's first byte would desync instead of
+  // corrupt — that case is covered by truncation) and never cuts at a
+  // frame boundary.
+  size_t DrawCorruptOffset(size_t size);
+  size_t DrawTruncateLength(size_t size);
+
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  void FireHook(Action action) {
+    if (fault_hook_) {
+      fault_hook_(action);
+    }
+  }
+
+  const Options& options() const { return options_; }
+  const Stats& stats() const { return stats_; }
+
+  // Parses "key=value,key=value" fault specs from daemon flags, e.g.
+  // "corrupt_rate=0.01,reset_rate=0.005,partition_period_ms=2000,
+  //  partition_duration_ms=300,kill_mid_frame_after=40,seed=7".
+  // Returns false (and fills *error) on an unknown key or bad number.
+  static bool ParseSpec(const std::string& spec, Options* options, std::string* error);
+
+ private:
+  Options options_;
+  Rng rng_;
+  MicroTime epoch_;  // monotonic construction time; partition anchor
+  Stats stats_;
+  FaultHook fault_hook_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_NET_FAULT_INJECTOR_H_

@@ -1,0 +1,238 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "wire/wire_codec.h"
+
+namespace cpi2 {
+
+void BuildHelloPayload(const HelloFrame& hello, bool is_ack, std::string* out) {
+  WireWriter writer(out);
+  writer.PutByte(static_cast<uint8_t>(is_ack ? FrameType::kHelloAck : FrameType::kHello));
+  writer.PutVarint(hello.version);
+  writer.PutByte(static_cast<uint8_t>(hello.role));
+  writer.PutString(hello.peer_name);
+  writer.PutVarint(hello.feature_flags);
+}
+
+void BuildSampleBatchPayload(uint64_t seq, uint64_t consumed, std::string_view batch_bytes,
+                             std::string* out) {
+  WireWriter writer(out);
+  writer.PutByte(static_cast<uint8_t>(FrameType::kSampleBatch));
+  writer.PutVarint(seq);
+  writer.PutVarint(consumed);
+  out->append(batch_bytes.data(), batch_bytes.size());
+}
+
+void BuildBatchAckPayload(const BatchAckFrame& ack, std::string* out) {
+  WireWriter writer(out);
+  writer.PutByte(static_cast<uint8_t>(FrameType::kBatchAck));
+  writer.PutVarint(ack.seq);
+  writer.PutVarint(ack.delivered);
+  writer.PutVarint(ack.lost);
+  writer.PutByte(ack.decode_failed ? 1 : 0);
+}
+
+void BuildHeartbeatPayload(MicroTime send_time, bool is_ack, std::string* out) {
+  WireWriter writer(out);
+  writer.PutByte(
+      static_cast<uint8_t>(is_ack ? FrameType::kHeartbeatAck : FrameType::kHeartbeat));
+  writer.PutZigzag(send_time);
+}
+
+void BuildGoawayPayload(std::string_view reason, std::string* out) {
+  WireWriter writer(out);
+  writer.PutByte(static_cast<uint8_t>(FrameType::kGoaway));
+  writer.PutString(reason);
+}
+
+bool ParseFrameType(std::string_view payload, FrameType* type) {
+  if (payload.empty()) {
+    return false;
+  }
+  switch (payload[0]) {
+    case 'H':
+    case 'h':
+    case 'S':
+    case 'a':
+    case 'p':
+    case 'q':
+    case 'G':
+      *type = static_cast<FrameType>(payload[0]);
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ParseHelloPayload(std::string_view payload, HelloFrame* hello, bool* is_ack) {
+  WireReader reader(payload);
+  const uint8_t tag = reader.GetByte();
+  if (tag != static_cast<uint8_t>(FrameType::kHello) &&
+      tag != static_cast<uint8_t>(FrameType::kHelloAck)) {
+    return false;
+  }
+  *is_ack = tag == static_cast<uint8_t>(FrameType::kHelloAck);
+  hello->version = static_cast<uint32_t>(reader.GetVarint());
+  const uint8_t role = reader.GetByte();
+  if (role != static_cast<uint8_t>(PeerRole::kAgent) &&
+      role != static_cast<uint8_t>(PeerRole::kAggregator) &&
+      role != static_cast<uint8_t>(PeerRole::kControl)) {
+    return false;
+  }
+  hello->role = static_cast<PeerRole>(role);
+  hello->peer_name = std::string(reader.GetString());
+  hello->feature_flags = reader.GetVarint();
+  return !reader.failed() && reader.remaining() == 0;
+}
+
+bool ParseSampleBatchPayload(std::string_view payload, uint64_t* seq, uint64_t* consumed,
+                             std::string_view* batch_bytes) {
+  WireReader reader(payload);
+  if (reader.GetByte() != static_cast<uint8_t>(FrameType::kSampleBatch)) {
+    return false;
+  }
+  *seq = reader.GetVarint();
+  *consumed = reader.GetVarint();
+  if (reader.failed()) {
+    return false;
+  }
+  *batch_bytes = reader.GetSpan(reader.remaining());
+  return true;
+}
+
+bool ParseBatchAckPayload(std::string_view payload, BatchAckFrame* ack) {
+  WireReader reader(payload);
+  if (reader.GetByte() != static_cast<uint8_t>(FrameType::kBatchAck)) {
+    return false;
+  }
+  ack->seq = reader.GetVarint();
+  ack->delivered = static_cast<uint32_t>(reader.GetVarint());
+  ack->lost = static_cast<uint32_t>(reader.GetVarint());
+  ack->decode_failed = reader.GetByte() != 0;
+  return !reader.failed() && reader.remaining() == 0;
+}
+
+bool ParseHeartbeatPayload(std::string_view payload, MicroTime* send_time, bool* is_ack) {
+  WireReader reader(payload);
+  const uint8_t tag = reader.GetByte();
+  if (tag != static_cast<uint8_t>(FrameType::kHeartbeat) &&
+      tag != static_cast<uint8_t>(FrameType::kHeartbeatAck)) {
+    return false;
+  }
+  *is_ack = tag == static_cast<uint8_t>(FrameType::kHeartbeatAck);
+  *send_time = reader.GetZigzag();
+  return !reader.failed() && reader.remaining() == 0;
+}
+
+bool ParseGoawayPayload(std::string_view payload, std::string_view* reason) {
+  WireReader reader(payload);
+  if (reader.GetByte() != static_cast<uint8_t>(FrameType::kGoaway)) {
+    return false;
+  }
+  *reason = reader.GetString();
+  return !reader.failed() && reader.remaining() == 0;
+}
+
+void FrameAssembler::Feed(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+}
+
+bool FrameAssembler::HasPartialFrame() const {
+  if (poisoned_) {
+    return false;  // the poison verdict, not truncation, describes this stream
+  }
+  if (!saw_magic_) {
+    return pos_ < buffer_.size();  // a few bytes of magic count as partial
+  }
+  return pos_ < buffer_.size();
+}
+
+void FrameAssembler::Reset() {
+  buffer_.clear();
+  pos_ = 0;
+  stream_offset_ = 0;
+  saw_magic_ = false;
+  poisoned_ = false;
+}
+
+void FrameAssembler::Compact() {
+  // Shift out the consumed prefix once it dominates the buffer, so a
+  // long-lived connection doesn't grow its read buffer without bound.
+  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+FrameAssembler::Result FrameAssembler::Next(std::string_view* payload) {
+  if (poisoned_) {
+    return poison_verdict_;
+  }
+  // Compact before parsing (never after): the returned payload view must
+  // stay valid until the caller's next call.
+  Compact();
+  if (!saw_magic_) {
+    if (buffer_.size() - pos_ < kWireMagicSize) {
+      return Result::kNeedMore;
+    }
+    if (std::memcmp(buffer_.data() + pos_, kNetStreamMagic, kWireMagicSize) != 0) {
+      poisoned_ = true;
+      poison_verdict_ = Result::kBadMagic;
+      return Result::kBadMagic;
+    }
+    pos_ += kWireMagicSize;
+    stream_offset_ += kWireMagicSize;
+    saw_magic_ = true;
+  }
+  // Decode the length varint by hand so an incomplete varint is kNeedMore
+  // (more bytes coming), not a failure.
+  uint64_t length = 0;
+  int shift = 0;
+  size_t cursor = pos_;
+  while (true) {
+    if (cursor >= buffer_.size()) {
+      return Result::kNeedMore;
+    }
+    const uint8_t byte = static_cast<uint8_t>(buffer_[cursor++]);
+    length |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+    if (shift > 63) {
+      poisoned_ = true;
+      return Result::kCorrupt;  // malformed varint: stream desynced
+    }
+  }
+  if (length == 0 || length > kMaxFramePayload) {
+    // A zero-length frame is never emitted (every payload has a tag byte);
+    // an oversized length is hostile or a flipped length byte. Either way
+    // the record boundary is untrustworthy from here on.
+    poisoned_ = true;
+    return Result::kCorrupt;
+  }
+  if (buffer_.size() - cursor < length + 4) {
+    return Result::kNeedMore;
+  }
+  const std::string_view frame_payload(buffer_.data() + cursor, length);
+  cursor += length;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buffer_.data() + cursor, 4);
+  if constexpr (std::endian::native != std::endian::little) {
+    stored_crc = __builtin_bswap32(stored_crc);
+  }
+  cursor += 4;
+  if (Crc32(frame_payload) != stored_crc) {
+    // stream_offset_ still points at this frame's length byte: the offset
+    // reported for the corrupt frame.
+    poisoned_ = true;
+    return Result::kCorrupt;
+  }
+  stream_offset_ += cursor - pos_;
+  pos_ = cursor;
+  *payload = frame_payload;
+  return Result::kFrame;
+}
+
+}  // namespace cpi2

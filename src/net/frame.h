@@ -1,0 +1,156 @@
+// CPI2NET1: the framed stream protocol between cpi2-agentd and
+// cpi2-aggregatord.
+//
+// Each direction of a connection is a byte stream:
+//
+//   magic[8] = "CPI2NET1"            stream preamble, sent once at connect
+//   repeated framed record:          exactly wire/framing's record layout
+//     varint payload_length          (bounded by kMaxFramePayload)
+//     payload[payload_length]        first byte is a FrameType tag
+//     crc32(payload)  fixed32
+//
+// Reusing the storage-framing record layout means a captured socket stream
+// is triaged by the same tooling as a file: wiredump walks it with
+// ReadFramedRecord and reports the byte offset of any corrupt or truncated
+// frame.
+//
+// Frame vocabulary (first payload byte):
+//   'H' Hello         version, role, peer name, feature flags — first frame
+//                     a client sends; the server rejects anything else.
+//   'h' HelloAck      server's version/name/flags back; completes handshake.
+//   'S' SampleBatch   seq, consumed, then raw CPI2SMB1 bytes. The inner
+//                     batch keeps its own magic + CRC, so the PR 5 sample
+//                     codec (and its corruption verdicts) ride unchanged.
+//   'a' BatchAck      seq, delivered, lost, flags (bit0 = decode_failed).
+//   'p' Heartbeat     sender's monotonic send time (zigzag).
+//   'q' HeartbeatAck  echo of the heartbeat's send time.
+//   'G' Goaway        reason string: lame-duck notice, peer should drain
+//                     and reconnect elsewhere/later.
+//
+// Corruption policy on a live connection: a frame whose CRC fails (or whose
+// declared length is hostile) poisons the stream — a flipped length byte
+// desyncs everything after it — so the receiver counts the verdict and
+// drops the connection; the sender's outbox + reconnect re-deliver, and the
+// aggregator's dedup absorbs any replay. A connection that dies with a
+// partial frame buffered is a "truncated tail" verdict, exactly as a torn
+// file is.
+
+#ifndef CPI2_NET_FRAME_H_
+#define CPI2_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/clock.h"
+#include "wire/framing.h"
+
+namespace cpi2 {
+
+inline constexpr char kNetStreamMagic[] = "CPI2NET1";
+inline constexpr uint32_t kNetProtocolVersion = 1;
+// Upper bound on a frame payload: a sample batch tops out well under this,
+// and a hostile/corrupt length varint must not make a receiver buffer GBs.
+inline constexpr uint64_t kMaxFramePayload = 4u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 'H',
+  kHelloAck = 'h',
+  kSampleBatch = 'S',
+  kBatchAck = 'a',
+  kHeartbeat = 'p',
+  kHeartbeatAck = 'q',
+  kGoaway = 'G',
+};
+
+// Peer roles carried in the hello. The aggregator only speaks to agents
+// (and the loopback test's control probes).
+enum class PeerRole : uint8_t {
+  kAgent = 'A',
+  kAggregator = 'G',
+  kControl = 'C',
+};
+
+struct HelloFrame {
+  uint32_t version = kNetProtocolVersion;
+  PeerRole role = PeerRole::kAgent;
+  std::string peer_name;   // machine name for agents, service name otherwise
+  uint64_t feature_flags = 0;  // reserved; must decode and echo unknown bits
+};
+
+struct BatchAckFrame {
+  uint64_t seq = 0;
+  uint32_t delivered = 0;
+  uint32_t lost = 0;
+  bool decode_failed = false;
+};
+
+// --- payload builders (payload only; framing is AppendNetFrame) -----------
+void BuildHelloPayload(const HelloFrame& hello, bool is_ack, std::string* out);
+void BuildSampleBatchPayload(uint64_t seq, uint64_t consumed, std::string_view batch_bytes,
+                             std::string* out);
+void BuildBatchAckPayload(const BatchAckFrame& ack, std::string* out);
+void BuildHeartbeatPayload(MicroTime send_time, bool is_ack, std::string* out);
+void BuildGoawayPayload(std::string_view reason, std::string* out);
+
+// Appends one framed record (length + payload + CRC) to `out` — the bytes
+// that actually hit the socket.
+inline void AppendNetFrame(std::string* out, std::string_view payload) {
+  AppendFramedRecord(out, payload);
+}
+
+// --- payload parsers ------------------------------------------------------
+// Each returns false on a malformed payload (wrong tag, short buffer,
+// trailing garbage). The connection treats false exactly like a CRC failure.
+bool ParseFrameType(std::string_view payload, FrameType* type);
+bool ParseHelloPayload(std::string_view payload, HelloFrame* hello, bool* is_ack);
+bool ParseSampleBatchPayload(std::string_view payload, uint64_t* seq, uint64_t* consumed,
+                             std::string_view* batch_bytes);
+bool ParseBatchAckPayload(std::string_view payload, BatchAckFrame* ack);
+bool ParseHeartbeatPayload(std::string_view payload, MicroTime* send_time, bool* is_ack);
+bool ParseGoawayPayload(std::string_view payload, std::string_view* reason);
+
+// Incremental decoder for one direction of a CPI2NET1 stream. Feed() bytes
+// as they arrive; Next() yields complete CRC-verified payloads.
+class FrameAssembler {
+ public:
+  enum class Result {
+    kFrame,     // *payload views a verified frame (valid until next call)
+    kNeedMore,  // no complete frame buffered yet
+    kCorrupt,   // CRC failure or hostile length: the stream is poisoned
+    kBadMagic,  // stream did not start with CPI2NET1
+  };
+
+  // Appends raw socket bytes to the buffer.
+  void Feed(std::string_view data);
+
+  // Extracts the next frame. After kCorrupt or kBadMagic the assembler
+  // latches: every further call returns the same verdict (callers must
+  // drop the connection).
+  Result Next(std::string_view* payload);
+
+  // Bytes consumed from the stream so far (offset of the *next* frame);
+  // after kCorrupt this is the offset of the damaged frame — the number
+  // wiredump prints for a captured stream.
+  size_t stream_offset() const { return stream_offset_; }
+
+  // True when the buffer holds a partial frame: a connection closing in
+  // this state is a truncated-tail verdict.
+  bool HasPartialFrame() const;
+
+  void Reset();
+
+ private:
+  void Compact();
+
+  std::string buffer_;
+  size_t pos_ = 0;            // consumed prefix of buffer_
+  size_t stream_offset_ = 0;  // consumed bytes across the whole stream
+  bool saw_magic_ = false;
+  bool poisoned_ = false;
+  Result poison_verdict_ = Result::kCorrupt;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_NET_FRAME_H_

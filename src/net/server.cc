@@ -1,0 +1,231 @@
+#include "net/server.h"
+
+#include <unistd.h>
+
+#include "net/socket.h"
+#include "util/logging.h"
+
+namespace cpi2 {
+
+NetServer::NetServer(EventLoop* loop, Options options)
+    : loop_(loop), options_(std::move(options)) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  StatusOr<int> fd = ListenOn(options_.listen_address);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  listen_fd_ = fd.value();
+  loop_->WatchFd(listen_fd_, EventLoop::kReadable, [this](uint32_t) { OnAcceptable(); });
+  ArmReapTimer();
+  return Status::Ok();
+}
+
+int NetServer::bound_port() const {
+  return listen_fd_ >= 0 ? ListenerBoundPort(listen_fd_) : 0;
+}
+
+void NetServer::OnAcceptable() {
+  // Drain the accept queue: level-triggered epoll would re-fire, but one
+  // pass per wakeup keeps accept storms from starving the data path less.
+  while (true) {
+    StatusOr<int> fd = AcceptOn(listen_fd_);
+    if (!fd.ok()) {
+      return;  // EAGAIN or transient error; epoll re-arms us
+    }
+    if (lame_duck_) {
+      close(fd.value());
+      continue;
+    }
+    DisableNagle(fd.value());
+    ++stats_.connections_accepted;
+    const PeerId id = next_peer_id_++;
+    Peer& peer = peers_[id];
+    peer.id = id;
+    peer.last_activity = MonotonicNowMicros();
+    peer.connection = std::make_unique<Connection>(loop_, fd.value(), options_.connection);
+    Peer* peer_ptr = &peer;
+    peer.connection->set_frame_handler(
+        [this, peer_ptr](std::string_view payload) { OnPeerFrame(peer_ptr, payload); });
+    peer.connection->set_close_handler(
+        [this, id](Connection::CloseReason reason, bool truncated_tail) {
+          OnPeerClosed(id, reason, truncated_tail);
+        });
+    peer.connection->Start();
+  }
+}
+
+void NetServer::OnPeerFrame(Peer* peer, std::string_view payload) {
+  peer->last_activity = MonotonicNowMicros();
+  FrameType type;
+  if (!ParseFrameType(payload, &type)) {
+    peer->connection->Close(Connection::CloseReason::kCorruptFrame);
+    return;
+  }
+  if (!peer->handshaken) {
+    // The handshake gate: the first frame must be a well-formed Hello with
+    // our protocol version. Anything else is a reject, and the close reason
+    // tells the operator why.
+    HelloFrame hello;
+    bool is_ack = false;
+    if (type != FrameType::kHello || !ParseHelloPayload(payload, &hello, &is_ack) ||
+        is_ack || hello.version != kNetProtocolVersion) {
+      ++stats_.handshake_rejects;
+      CPI2_LOG(WARNING) << "net-server: rejecting handshake from peer " << peer->id;
+      peer->connection->Close(Connection::CloseReason::kCorruptFrame);
+      return;
+    }
+    peer->hello = hello;
+    peer->handshaken = true;
+    HelloFrame ack;
+    ack.version = kNetProtocolVersion;
+    ack.role = PeerRole::kAggregator;
+    ack.peer_name = options_.server_name;
+    ack.feature_flags = hello.feature_flags;  // echo unknown bits back
+    std::string reply;
+    BuildHelloPayload(ack, /*is_ack=*/true, &reply);
+    peer->connection->SendFrame(reply);
+    return;
+  }
+  switch (type) {
+    case FrameType::kHeartbeat: {
+      MicroTime send_time;
+      bool is_ack;
+      if (ParseHeartbeatPayload(payload, &send_time, &is_ack) && !is_ack) {
+        std::string ack;
+        BuildHeartbeatPayload(send_time, /*is_ack=*/true, &ack);
+        peer->connection->SendFrame(ack);
+      }
+      return;
+    }
+    case FrameType::kHeartbeatAck:
+      return;  // activity already recorded
+    case FrameType::kHello:
+    case FrameType::kHelloAck:
+      // A second hello is a protocol error.
+      peer->connection->Close(Connection::CloseReason::kCorruptFrame);
+      return;
+    default: {
+      if (frame_handler_) {
+        PeerInfo info;
+        info.id = peer->id;
+        info.hello = peer->hello;
+        frame_handler_(info, payload);
+      }
+      return;
+    }
+  }
+}
+
+void NetServer::OnPeerClosed(PeerId id, Connection::CloseReason reason, bool truncated_tail) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) {
+    return;
+  }
+  ++stats_.connections_closed;
+  const Connection::Stats& conn = it->second.connection->stats();
+  stats_.corrupt_frames += conn.corrupt_frames;
+  stats_.truncated_tails += conn.truncated_tails;
+  if (peer_closed_handler_) {
+    PeerInfo info;
+    info.id = id;
+    info.hello = it->second.hello;
+    peer_closed_handler_(info, reason, truncated_tail);
+  }
+  // We may be inside this connection's own read handler: move it to the
+  // graveyard and reap on the next loop turn.
+  graveyard_.push_back(std::move(it->second.connection));
+  peers_.erase(it);
+  loop_->CancelTimer(graveyard_timer_);
+  graveyard_timer_ = loop_->AddTimer(0, [this] { graveyard_.clear(); });
+}
+
+void NetServer::ArmReapTimer() {
+  // Liveness sweep at half the timeout: a peer silent past
+  // heartbeat_timeout (no frames, not even heartbeats) is presumed dead.
+  reap_timer_ = loop_->AddTimer(options_.heartbeat_timeout / 2, [this] {
+    const MicroTime now = MonotonicNowMicros();
+    std::vector<PeerId> dead;
+    for (const auto& [id, peer] : peers_) {
+      if (now - peer.last_activity > options_.heartbeat_timeout) {
+        dead.push_back(id);
+      }
+    }
+    for (PeerId id : dead) {
+      auto it = peers_.find(id);
+      if (it != peers_.end()) {
+        ++stats_.idle_peer_reaps;
+        CPI2_LOG(WARNING) << "net-server: reaping idle peer " << id << " ("
+                          << it->second.hello.peer_name << ")";
+        it->second.connection->Close(Connection::CloseReason::kError);
+      }
+    }
+    ArmReapTimer();
+  });
+}
+
+bool NetServer::SendToPeer(PeerId peer, std::string_view payload) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.connection == nullptr) {
+    return false;
+  }
+  return it->second.connection->SendFrame(payload);
+}
+
+void NetServer::BeginLameDuck() {
+  if (lame_duck_) {
+    return;
+  }
+  lame_duck_ = true;
+  std::string goaway;
+  BuildGoawayPayload("lame-duck", &goaway);
+  for (auto& [id, peer] : peers_) {
+    (void)id;
+    if (peer.connection->SendFrame(goaway)) {
+      ++stats_.goaways_sent;
+    }
+    peer.connection->CloseWhenDrained();
+  }
+  // Bound the drain: anything still connected after drain_timeout is cut.
+  drain_timer_ = loop_->AddTimer(options_.drain_timeout, [this] {
+    std::vector<PeerId> remaining;
+    remaining.reserve(peers_.size());
+    for (const auto& [id, peer] : peers_) {
+      (void)peer;
+      remaining.push_back(id);
+    }
+    for (PeerId id : remaining) {
+      auto it = peers_.find(id);
+      if (it != peers_.end()) {
+        it->second.connection->Close(Connection::CloseReason::kLocalClose);
+      }
+    }
+  });
+}
+
+void NetServer::Stop() {
+  loop_->CancelTimer(reap_timer_);
+  loop_->CancelTimer(graveyard_timer_);
+  loop_->CancelTimer(drain_timer_);
+  // Detach close handlers first: Stop() runs from the destructor too, and
+  // handler callbacks into a half-dead server would be use-after-free bait.
+  for (auto& [id, peer] : peers_) {
+    (void)id;
+    peer.connection->set_close_handler(nullptr);
+    const Connection::Stats& conn = peer.connection->stats();
+    stats_.corrupt_frames += conn.corrupt_frames;
+    stats_.truncated_tails += conn.truncated_tails;
+    ++stats_.connections_closed;
+  }
+  peers_.clear();
+  graveyard_.clear();
+  if (listen_fd_ >= 0) {
+    loop_->UnwatchFd(listen_fd_);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace cpi2

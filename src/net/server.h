@@ -1,0 +1,130 @@
+// NetServer: the aggregator-side endpoint of the CPI2NET1 data plane.
+//
+// Accepts framed-stream connections, enforces the hello handshake (version
+// + role gate, then HelloAck), tracks per-peer liveness (a peer silent past
+// heartbeat_timeout is reaped), and answers heartbeats. Application frames
+// (sample batches) are handed to the owner's frame handler together with a
+// peer id usable for replies (acks).
+//
+// Failure accounting mirrors the storage side: every connection that dies
+// with a partial inbound frame is a truncated-tail verdict, every CRC or
+// hostile-length failure a corrupt-frame verdict — the same vocabulary the
+// PR 5 incident/checkpoint loaders use for torn files, now applied to
+// sockets, so the loopback fault campaign can assert on them.
+//
+// Lame duck: BeginLameDuck() stops accepting, sends Goaway to every peer,
+// lets send queues drain (bounded by drain_timeout), then closes them. The
+// daemon uses this for SIGTERM so in-flight acks are not torn off the wire.
+
+#ifndef CPI2_NET_SERVER_H_
+#define CPI2_NET_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/fault_injector.h"
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace cpi2 {
+
+class NetServer {
+ public:
+  struct Options {
+    std::string listen_address;  // "host:port" (port 0 ok) or "unix:/path"
+    std::string server_name = "cpi2-aggregatord";
+    MicroTime heartbeat_timeout = 5 * kMicrosPerSecond;
+    MicroTime drain_timeout = 2 * kMicrosPerSecond;  // lame-duck bound
+    Connection::Options connection;  // send-queue bound + fault injector
+  };
+
+  struct Stats {
+    int64_t connections_accepted = 0;
+    int64_t connections_closed = 0;
+    int64_t handshake_rejects = 0;   // bad hello (version/role/parse)
+    int64_t corrupt_frames = 0;      // inbound stream verdicts, summed
+    int64_t truncated_tails = 0;     // connections that died mid-frame
+    int64_t idle_peer_reaps = 0;     // liveness timeouts
+    int64_t goaways_sent = 0;
+  };
+
+  // Identifies one live peer; valid until that peer's close handler runs.
+  using PeerId = uint64_t;
+
+  struct PeerInfo {
+    PeerId id = 0;
+    HelloFrame hello;  // as presented in the handshake
+  };
+
+  // Application frame from a handshaken peer.
+  using FrameHandler = std::function<void(const PeerInfo& peer, std::string_view payload)>;
+  using PeerClosedHandler =
+      std::function<void(const PeerInfo& peer, Connection::CloseReason reason,
+                         bool truncated_tail)>;
+
+  NetServer(EventLoop* loop, Options options);
+  ~NetServer();
+
+  void set_frame_handler(FrameHandler handler) { frame_handler_ = std::move(handler); }
+  void set_peer_closed_handler(PeerClosedHandler handler) {
+    peer_closed_handler_ = std::move(handler);
+  }
+
+  // Binds and starts accepting. Fails on an unusable address.
+  Status Start();
+
+  // The TCP port actually bound (resolves ":0"); 0 for Unix sockets.
+  int bound_port() const;
+
+  // Sends one frame to `peer`. False = unknown peer or backpressure.
+  bool SendToPeer(PeerId peer, std::string_view payload);
+
+  // Lame-duck shutdown: Goaway + drain + close everything, stop accepting.
+  void BeginLameDuck();
+  // Hard stop: close everything now (destructor path).
+  void Stop();
+
+  size_t peer_count() const { return peers_.size(); }
+  const Stats& stats() const { return stats_; }
+  bool lame_duck() const { return lame_duck_; }
+
+ private:
+  struct Peer {
+    PeerId id = 0;
+    std::unique_ptr<Connection> connection;
+    HelloFrame hello;
+    bool handshaken = false;
+    MicroTime last_activity = 0;
+  };
+
+  void OnAcceptable();
+  void OnPeerFrame(Peer* peer, std::string_view payload);
+  void OnPeerClosed(PeerId id, Connection::CloseReason reason, bool truncated_tail);
+  void ArmReapTimer();
+
+  EventLoop* loop_;
+  Options options_;
+  int listen_fd_ = -1;
+  PeerId next_peer_id_ = 1;
+  std::map<PeerId, Peer> peers_;
+  std::vector<std::unique_ptr<Connection>> graveyard_;
+  EventLoop::TimerId reap_timer_ = 0;
+  EventLoop::TimerId graveyard_timer_ = 0;
+  EventLoop::TimerId drain_timer_ = 0;
+  bool lame_duck_ = false;
+  Stats stats_;
+
+  FrameHandler frame_handler_;
+  PeerClosedHandler peer_closed_handler_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_NET_SERVER_H_

@@ -1,0 +1,204 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace cpi2 {
+
+namespace {
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonblockingCloexec(int fd) {
+  if (fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK) < 0) {
+    return ErrnoError("fcntl O_NONBLOCK");
+  }
+  if (fcntl(fd, F_SETFD, fcntl(fd, F_GETFD, 0) | FD_CLOEXEC) < 0) {
+    return ErrnoError("fcntl FD_CLOEXEC");
+  }
+  return Status::Ok();
+}
+
+bool IsUnixAddress(const std::string& address) { return address.rfind("unix:", 0) == 0; }
+
+// Splits "host:port" on the last ':'; fills a sockaddr_in.
+Status ParseTcpAddress(const std::string& address, sockaddr_in* out) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= address.size()) {
+    return InvalidArgumentError("TCP address must be host:port, got '" + address + "'");
+  }
+  const std::string host = address.substr(0, colon);
+  const std::string port_str = address.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    return InvalidArgumentError("bad TCP port in '" + address + "'");
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return InvalidArgumentError("bad IPv4 host in '" + address +
+                                "' (numeric addresses only; no resolver in the data plane)");
+  }
+  return Status::Ok();
+}
+
+Status FillUnixAddress(const std::string& address, sockaddr_un* out) {
+  const std::string path = address.substr(5);  // strip "unix:"
+  if (path.empty() || path.size() >= sizeof(out->sun_path)) {
+    return InvalidArgumentError("unix socket path empty or too long: '" + address + "'");
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sun_family = AF_UNIX;
+  std::memcpy(out->sun_path, path.c_str(), path.size());
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<int> ListenOn(const std::string& address) {
+  int fd = -1;
+  if (IsUnixAddress(address)) {
+    sockaddr_un addr;
+    if (Status s = FillUnixAddress(address, &addr); !s.ok()) {
+      return s;
+    }
+    fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return ErrnoError("socket(AF_UNIX)");
+    }
+    unlink(addr.sun_path);  // stale socket from a killed predecessor
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      Status s = ErrnoError("bind " + address);
+      close(fd);
+      return s;
+    }
+  } else {
+    sockaddr_in addr;
+    if (Status s = ParseTcpAddress(address, &addr); !s.ok()) {
+      return s;
+    }
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return ErrnoError("socket(AF_INET)");
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      Status s = ErrnoError("bind " + address);
+      close(fd);
+      return s;
+    }
+  }
+  if (Status s = SetNonblockingCloexec(fd); !s.ok()) {
+    close(fd);
+    return s;
+  }
+  if (listen(fd, 128) < 0) {
+    Status s = ErrnoError("listen " + address);
+    close(fd);
+    return s;
+  }
+  return fd;
+}
+
+int ListenerBoundPort(int listen_fd) {
+  sockaddr_storage addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return 0;
+  }
+  if (addr.ss_family != AF_INET) {
+    return 0;
+  }
+  return ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+}
+
+StatusOr<int> AcceptOn(int listen_fd) {
+  const int fd = accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return UnavailableError("accept queue empty");
+    }
+    return ErrnoError("accept");
+  }
+  if (Status s = SetNonblockingCloexec(fd); !s.ok()) {
+    close(fd);
+    return s;
+  }
+  DisableNagle(fd);
+  return fd;
+}
+
+StatusOr<int> StartConnect(const std::string& address) {
+  int fd = -1;
+  sockaddr_storage storage;
+  socklen_t addr_len = 0;
+  if (IsUnixAddress(address)) {
+    sockaddr_un addr;
+    if (Status s = FillUnixAddress(address, &addr); !s.ok()) {
+      return s;
+    }
+    fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return ErrnoError("socket(AF_UNIX)");
+    }
+    std::memcpy(&storage, &addr, sizeof(addr));
+    addr_len = sizeof(addr);
+  } else {
+    sockaddr_in addr;
+    if (Status s = ParseTcpAddress(address, &addr); !s.ok()) {
+      return s;
+    }
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return ErrnoError("socket(AF_INET)");
+    }
+    std::memcpy(&storage, &addr, sizeof(addr));
+    addr_len = sizeof(addr);
+  }
+  if (Status s = SetNonblockingCloexec(fd); !s.ok()) {
+    close(fd);
+    return s;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&storage), addr_len) < 0 &&
+      errno != EINPROGRESS) {
+    Status s = ErrnoError("connect " + address);
+    close(fd);
+    return s;
+  }
+  DisableNagle(fd);
+  return fd;
+}
+
+Status FinishConnect(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    return ErrnoError("getsockopt SO_ERROR");
+  }
+  if (err != 0) {
+    return UnavailableError(std::string("connect failed: ") + std::strerror(err));
+  }
+  return Status::Ok();
+}
+
+void DisableNagle(int fd) {
+  const int one = 1;
+  // Fails harmlessly (ENOTSUP/EOPNOTSUPP) on Unix sockets.
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace cpi2

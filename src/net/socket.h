@@ -1,0 +1,48 @@
+// Nonblocking TCP / Unix-domain socket helpers for src/net.
+//
+// Addresses are strings:
+//   "127.0.0.1:4250"   TCP (port 0 = kernel-assigned; see ListenerBoundPort)
+//   "unix:/path/sock"  Unix stream socket (the listener unlinks a stale path)
+//
+// Every fd these helpers return is nonblocking and close-on-exec. Errors
+// come back as Status; callers on the data path treat any failure as
+// "connection dead" and lean on the reconnect machinery.
+
+#ifndef CPI2_NET_SOCKET_H_
+#define CPI2_NET_SOCKET_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace cpi2 {
+
+// Opens a listening socket on `address` (backlog 128). For "host:port"
+// binds TCP with SO_REUSEADDR; for "unix:/path" unlinks any stale socket
+// file first.
+StatusOr<int> ListenOn(const std::string& address);
+
+// The port a TCP listener actually bound (resolves ":0"). Unix listeners
+// return 0.
+int ListenerBoundPort(int listen_fd);
+
+// Accepts one pending connection; returns the connected fd, or
+// kUnavailable when the accept queue is empty (EAGAIN).
+StatusOr<int> AcceptOn(int listen_fd);
+
+// Starts a nonblocking connect to `address`. The fd is usually returned
+// with the connect still in flight (EINPROGRESS): wait for writability,
+// then call FinishConnect.
+StatusOr<int> StartConnect(const std::string& address);
+
+// Resolves an in-flight nonblocking connect once the fd is writable.
+// Ok = established; error = connect failed (caller closes the fd).
+Status FinishConnect(int fd);
+
+// For TCP fds, disables Nagle (the data plane writes whole frames and
+// latency-sensitive acks). No-op for Unix sockets.
+void DisableNagle(int fd);
+
+}  // namespace cpi2
+
+#endif  // CPI2_NET_SOCKET_H_

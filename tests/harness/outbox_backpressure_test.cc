@@ -1,0 +1,102 @@
+// Satellite of the networked data plane PR: the agent's bounded sample
+// outbox under sustained aggregator outage. Overflow is a COUNTED event,
+// not silent loss — `outbox_overflow_drops` in ClusterHealthReport must
+// balance the books exactly, and survive an agent crash/restart monotonely.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/cluster_harness.h"
+#include "tests/testing/scenario.h"
+#include "util/string_util.h"
+#include "workload/profiles.h"
+
+namespace cpi2 {
+namespace {
+
+constexpr int kMachines = 4;
+
+// Small outbox + a long aggregator outage: sampling outruns delivery and
+// the eviction path must engage.
+ClusterHarness::Options StarvedDeliveryOptions() {
+  ClusterHarness::Options options;
+  options.params = FastTestParams();
+  options.params.sample_outbox_capacity = 4;
+  options.faults.aggregator_outage_period = 10 * kMicrosPerMinute;
+  options.faults.aggregator_outage_duration = 6 * kMicrosPerMinute;
+  options.faults.aggregator_outage_phase = 1 * kMicrosPerMinute;
+  return options;
+}
+
+void Populate(ClusterHarness& harness) {
+  harness.cluster().AddMachines(ReferencePlatform(), kMachines);
+  harness.cluster().BuildScheduler();
+  for (int i = 0; i < kMachines; ++i) {
+    Machine* machine = harness.cluster().machine(static_cast<size_t>(i));
+    (void)machine->AddTask(StrFormat("websearch-leaf.%d", i), WebSearchLeafSpec());
+    (void)machine->AddTask(StrFormat("filler-svc.%d", i), FillerServiceSpec(0.3));
+  }
+  harness.WireAgents();
+}
+
+TEST(OutboxBackpressureTest, OverflowAccountingBalancesExactly) {
+  ClusterHarness harness(StarvedDeliveryOptions());
+  Populate(harness);
+  harness.RunFor(10 * kMicrosPerMinute);
+
+  const ClusterHealthReport report = harness.Health();
+  ASSERT_GT(report.agents.outbox_overflow_drops, 0)
+      << "a 6-minute outage against a 4-sample outbox must overflow";
+
+  // The aggregated report is exactly the sum of the per-agent counters, and
+  // each agent's books balance to the sample: everything enqueued is
+  // delivered, lost, evicted (counted), or still sitting in the outbox.
+  int64_t summed_drops = 0;
+  for (int i = 0; i < kMachines; ++i) {
+    Agent* agent = harness.agent(harness.cluster().machine(static_cast<size_t>(i))->name());
+    ASSERT_NE(agent, nullptr);
+    const AgentHealth& health = agent->health();
+    EXPECT_EQ(health.samples_enqueued,
+              health.samples_delivered + health.samples_lost + health.outbox_overflow_drops +
+                  static_cast<int64_t>(agent->outbox_size()))
+        << "conservation identity violated on machine " << i;
+    summed_drops += health.outbox_overflow_drops;
+  }
+  EXPECT_EQ(report.agents.outbox_overflow_drops, summed_drops);
+}
+
+TEST(OutboxBackpressureTest, OverflowCountIsMonotoneAcrossAgentCrashRestart) {
+  ClusterHarness harness(StarvedDeliveryOptions());
+  Populate(harness);
+  harness.RunFor(10 * kMicrosPerMinute);
+
+  const std::string crashed = harness.cluster().machine(0)->name();
+  Agent* agent = harness.agent(crashed);
+  ASSERT_NE(agent, nullptr);
+  const int64_t agent_drops_before = agent->health().outbox_overflow_drops;
+  const int64_t cluster_drops_before = harness.Health().agents.outbox_overflow_drops;
+  ASSERT_GT(cluster_drops_before, 0);
+
+  ASSERT_TRUE(harness.InjectAgentCrash(crashed).ok());
+  harness.RunFor(10 * kMicrosPerMinute);  // outage recurs; overflow continues
+
+  // Health is the one thing a restart must NOT reset: the operator's view
+  // of cumulative loss cannot go backwards because a process bounced.
+  EXPECT_EQ(agent->health().restarts, 1);
+  EXPECT_GE(agent->health().outbox_overflow_drops, agent_drops_before);
+  EXPECT_GE(harness.Health().agents.outbox_overflow_drops, cluster_drops_before);
+
+  // Post-crash the identity weakens to an inequality for the crashed agent:
+  // whatever sat in the outbox at the kill was wiped with the process and
+  // is not double-counted as delivered, lost, or evicted.
+  const AgentHealth& health = agent->health();
+  const int64_t wiped = health.samples_enqueued - health.samples_delivered -
+                        health.samples_lost - health.outbox_overflow_drops -
+                        static_cast<int64_t>(agent->outbox_size());
+  EXPECT_GE(wiped, 0);
+  EXPECT_LE(wiped, 4) << "at most one outbox-full (capacity 4) can vanish in a crash";
+}
+
+}  // namespace
+}  // namespace cpi2

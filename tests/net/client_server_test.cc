@@ -1,0 +1,418 @@
+// In-process integration tests for the networked data plane: NetServer +
+// NetClient + AgentTransport on one event loop, loopback TCP or socketpairs.
+// Covers the handshake gate, batch delivery with acks, backpressure,
+// server-death reconnect with dedup-exact totals, injected corruption and
+// truncation verdicts, heartbeat liveness, and lame-duck draining.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/aggregator.h"
+#include "net/agent_transport.h"
+#include "net/client.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/fault_injector.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "wire/sample_codec.h"
+
+namespace cpi2 {
+namespace {
+
+bool RunUntil(EventLoop& loop, const std::function<bool()>& pred,
+              MicroTime timeout = 10 * kMicrosPerSecond) {
+  const MicroTime deadline = MonotonicNowMicros() + timeout;
+  while (!pred()) {
+    if (MonotonicNowMicros() > deadline) {
+      return false;
+    }
+    loop.RunOnce(5 * kMicrosPerMilli);
+  }
+  return true;
+}
+
+// Same closed-form sample stream the daemons use: (timestamp, machine,
+// task) is unique per index, so replays collide in the dedup window.
+CpiSample MakeSample(const std::string& machine, int64_t i) {
+  CpiSample sample;
+  sample.jobname = "job-" + std::to_string(i % 4);
+  sample.platforminfo = "synthetic-cpu";
+  sample.timestamp = (i + 1) * kMicrosPerSecond;
+  sample.task = machine + "-task-" + std::to_string(i % 8);
+  sample.machine = machine;
+  sample.cpu_usage = 0.5;
+  sample.cpi = 1.5;
+  return sample;
+}
+
+// The aggregator-side frame logic of cpi2-aggregatord, reduced to what the
+// in-process tests need: decode, dedup via a real Aggregator, ack.
+class MiniAggregator {
+ public:
+  explicit MiniAggregator(NetServer* server) : server_(server) {
+    Cpi2Params params;
+    params.sample_dedup_window = int64_t{1} << 60;
+    aggregator_ = std::make_unique<Aggregator>(params);
+    server_->set_frame_handler([this](const NetServer::PeerInfo& peer,
+                                      std::string_view payload) { OnFrame(peer, payload); });
+  }
+
+  // Points an existing aggregator (with its dedup state) at a new server —
+  // the in-process analogue of a restarted aggregatord restoring state.
+  void Reattach(NetServer* server) {
+    server_ = server;
+    server_->set_frame_handler([this](const NetServer::PeerInfo& peer,
+                                      std::string_view payload) { OnFrame(peer, payload); });
+  }
+
+  int64_t accepted() const { return accepted_; }
+  int64_t duplicates() const { return aggregator_->duplicates_dropped(); }
+  int64_t decode_failures() const { return decode_failures_; }
+
+ private:
+  void OnFrame(const NetServer::PeerInfo& peer, std::string_view payload) {
+    FrameType type;
+    ASSERT_TRUE(ParseFrameType(payload, &type));
+    if (type != FrameType::kSampleBatch) {
+      return;
+    }
+    uint64_t seq = 0;
+    uint64_t consumed = 0;
+    std::string_view raw;
+    ASSERT_TRUE(ParseSampleBatchPayload(payload, &seq, &consumed, &raw));
+    BatchAckFrame ack;
+    ack.seq = seq;
+    std::vector<CpiSample> samples;
+    if (!DecodeSampleBatch(raw, &samples).ok()) {
+      ++decode_failures_;
+      ack.decode_failed = true;
+    } else {
+      for (size_t i = consumed; i < samples.size(); ++i) {
+        const int64_t dups_before = aggregator_->duplicates_dropped();
+        aggregator_->AddSample(samples[i]);
+        if (aggregator_->duplicates_dropped() == dups_before) {
+          ++accepted_;
+        }
+        ++ack.delivered;
+      }
+    }
+    std::string ack_payload;
+    BuildBatchAckPayload(ack, &ack_payload);
+    server_->SendToPeer(peer.id, ack_payload);
+  }
+
+  NetServer* server_;
+  std::unique_ptr<Aggregator> aggregator_;
+  int64_t accepted_ = 0;
+  int64_t decode_failures_ = 0;
+};
+
+// Agent + client + transport bundle with the daemon's wire-friendly params.
+struct TestAgent {
+  TestAgent(EventLoop* loop, const std::string& machine, int port,
+            NetFaultInjector* injector = nullptr) {
+    Cpi2Params params;
+    params.sample_outbox_capacity = 4096;
+    params.wire_batch_max_samples = 32;
+    params.wire_batch_max_age = 0;
+    params.delivery_retry_backoff = 0;
+    params.delivery_retry_backoff_max = 0;
+    params.delivery_retry_jitter = 0.0;
+    Agent::Options agent_options;
+    agent_options.params = params;
+    agent_options.machine_name = machine;
+    agent_options.platforminfo = "synthetic-cpu";
+    agent = std::make_unique<Agent>(agent_options, nullptr, nullptr);
+
+    NetClient::Options client_options;
+    client_options.server_address = "127.0.0.1:" + std::to_string(port);
+    client_options.peer_name = machine;
+    client_options.role = PeerRole::kAgent;
+    client_options.reconnect_backoff = 20 * kMicrosPerMilli;
+    client_options.heartbeat_interval = 100 * kMicrosPerMilli;
+    client_options.heartbeat_timeout = kMicrosPerSecond;
+    client_options.connection.injector = injector;
+    client = std::make_unique<NetClient>(loop, client_options);
+
+    transport = std::make_unique<AgentTransport>(loop, agent.get(), client.get(),
+                                                 AgentTransport::Options{});
+    client->Start();
+    transport->Start();
+  }
+
+  void OfferAndFlush(int64_t begin, int64_t end, const std::string& machine) {
+    for (int64_t i = begin; i < end; ++i) {
+      agent->OfferSample(MakeSample(machine, i));
+    }
+    transport->Flush();
+  }
+
+  std::unique_ptr<Agent> agent;
+  std::unique_ptr<NetClient> client;
+  std::unique_ptr<AgentTransport> transport;
+};
+
+TEST(ClientServerTest, HandshakeThenBatchesFlowAndAreAcked) {
+  EventLoop loop;
+  NetServer::Options server_options;
+  server_options.listen_address = "127.0.0.1:0";
+  NetServer server(&loop, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  MiniAggregator mini(&server);
+
+  TestAgent wire(&loop, "m1", server.bound_port());
+  ASSERT_TRUE(RunUntil(loop, [&] { return wire.client->ready(); }));
+  EXPECT_EQ(wire.client->stats().connects_completed, 1);
+
+  wire.OfferAndFlush(0, 100, "m1");
+  ASSERT_TRUE(RunUntil(loop, [&] { return wire.agent->health().samples_delivered == 100; }));
+  EXPECT_EQ(mini.accepted(), 100);
+  EXPECT_EQ(mini.duplicates(), 0);
+  EXPECT_EQ(wire.agent->outbox_size(), 0u);
+  EXPECT_GE(wire.transport->stats().batches_acked, 4);  // 100 samples / 32 per batch
+  EXPECT_EQ(server.stats().connections_accepted, 1);
+  EXPECT_EQ(server.stats().handshake_rejects, 0);
+}
+
+TEST(ClientServerTest, ServerDeathReconnectRedeliversAndDedupKeepsTotalsExact) {
+  EventLoop loop;
+  NetServer::Options server_options;
+  server_options.listen_address = "127.0.0.1:0";
+  auto server = std::make_unique<NetServer>(&loop, server_options);
+  ASSERT_TRUE(server->Start().ok());
+  const int port = server->bound_port();
+  MiniAggregator mini(server.get());
+
+  TestAgent wire(&loop, "m1", port);
+  wire.OfferAndFlush(0, 60, "m1");
+  ASSERT_TRUE(RunUntil(loop, [&] { return mini.accepted() >= 20; }));
+
+  // Kill the server mid-stream. The client must ride the backoff ladder;
+  // the in-flight batch is re-sent and the dedup window absorbs replays.
+  server->Stop();
+  server.reset();
+  wire.OfferAndFlush(60, 120, "m1");
+  loop.RunOnce(5 * kMicrosPerMilli);  // let the client notice the loss
+
+  NetServer::Options revive_options;
+  revive_options.listen_address = "127.0.0.1:" + std::to_string(port);
+  NetServer revived(&loop, revive_options);
+  ASSERT_TRUE(revived.Start().ok());
+  mini.Reattach(&revived);
+
+  ASSERT_TRUE(RunUntil(loop, [&] {
+    return wire.agent->health().samples_delivered == 120 && wire.agent->outbox_size() == 0;
+  }));
+  EXPECT_EQ(mini.accepted(), 120) << "totals must stay exact across the outage";
+  EXPECT_GE(wire.client->stats().connects_completed, 2);
+  EXPECT_GE(wire.client->stats().disconnects, 1);
+  EXPECT_EQ(mini.decode_failures(), 0);
+}
+
+TEST(ClientServerTest, SendQueueBackpressureRejectsInsteadOfBuffering) {
+  EventLoop loop;
+  NetServer::Options server_options;
+  server_options.listen_address = "127.0.0.1:0";
+  NetServer server(&loop, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient::Options client_options;
+  client_options.server_address = "127.0.0.1:" + std::to_string(server.bound_port());
+  client_options.peer_name = "pusher";
+  client_options.connection.max_send_queue_bytes = 2048;
+  NetClient client(&loop, client_options);
+  client.Start();
+  ASSERT_TRUE(RunUntil(loop, [&] { return client.ready(); }));
+
+  // Stuff frames without running the loop: the bounded queue must start
+  // rejecting rather than buffer without limit.
+  const std::string payload(512, 'x');
+  std::string frame;
+  frame.push_back(static_cast<char>(FrameType::kHeartbeat));
+  frame += payload;
+  int sent = 0;
+  int rejected = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (client.SendFrame(frame)) {
+      ++sent;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(sent, 0);
+  EXPECT_GT(rejected, 0);
+  EXPECT_LE(client.send_queue_bytes(), client_options.connection.max_send_queue_bytes + 1024);
+  EXPECT_GE(client.connection_stats().send_rejects, rejected);
+
+  // Once the loop drains the queue, sends succeed again.
+  ASSERT_TRUE(RunUntil(loop, [&] { return client.send_queue_bytes() == 0; }));
+  EXPECT_TRUE(client.SendFrame(frame));
+  client.Shutdown();
+}
+
+// Two raw Connections over a socketpair: the sender's injector corrupts a
+// frame post-CRC and the receiver's verdict machinery must catch it.
+TEST(ClientServerTest, InjectedCorruptionDrawsCorruptVerdictOnReceiver) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+
+  NetFaultInjector::Options fault_options;
+  fault_options.corrupt_rate = 1.0;
+  NetFaultInjector injector(fault_options);
+  Connection::Options sender_options;
+  sender_options.injector = &injector;
+  Connection sender(&loop, fds[0], sender_options);
+  Connection receiver(&loop, fds[1], Connection::Options{});
+
+  bool receiver_closed = false;
+  Connection::CloseReason close_reason = Connection::CloseReason::kLocalClose;
+  receiver.set_close_handler([&](Connection::CloseReason reason, bool) {
+    receiver_closed = true;
+    close_reason = reason;
+  });
+  int frames_received = 0;
+  receiver.set_frame_handler([&](std::string_view) { ++frames_received; });
+
+  sender.Start();
+  receiver.Start();
+  ASSERT_TRUE(sender.SendFrame("payload-that-will-be-mangled"));
+  ASSERT_TRUE(RunUntil(loop, [&] { return receiver_closed; }));
+  EXPECT_EQ(close_reason, Connection::CloseReason::kCorruptFrame);
+  EXPECT_EQ(receiver.stats().corrupt_frames, 1);
+  EXPECT_EQ(frames_received, 0);
+  EXPECT_EQ(injector.stats().frames_corrupted, 1);
+}
+
+TEST(ClientServerTest, InjectedTruncationDrawsTruncatedTailVerdictOnReceiver) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+
+  NetFaultInjector::Options fault_options;
+  fault_options.truncate_rate = 1.0;
+  NetFaultInjector injector(fault_options);
+  Connection::Options sender_options;
+  sender_options.injector = &injector;
+  Connection sender(&loop, fds[0], sender_options);
+  Connection receiver(&loop, fds[1], Connection::Options{});
+
+  bool receiver_closed = false;
+  bool saw_truncated_tail = false;
+  receiver.set_close_handler([&](Connection::CloseReason, bool truncated_tail) {
+    receiver_closed = true;
+    saw_truncated_tail = truncated_tail;
+  });
+
+  sender.Start();
+  receiver.Start();
+  ASSERT_TRUE(sender.SendFrame("this frame only half arrives on the wire"));
+  ASSERT_TRUE(RunUntil(loop, [&] { return receiver_closed; }));
+  EXPECT_TRUE(saw_truncated_tail);
+  EXPECT_EQ(receiver.stats().truncated_tails, 1);
+  EXPECT_EQ(injector.stats().frames_truncated, 1);
+}
+
+// A server that accepts and never answers: the client's liveness check must
+// declare the peer dead and recycle the connection through backoff.
+TEST(ClientServerTest, SilentPeerTripsHeartbeatTimeout) {
+  EventLoop loop;
+  StatusOr<int> listen_fd = ListenOn("127.0.0.1:0");
+  ASSERT_TRUE(listen_fd.ok());
+  const int port = ListenerBoundPort(*listen_fd);
+  std::vector<int> accepted;  // held open, never serviced
+  loop.WatchFd(*listen_fd, EventLoop::kReadable, [&](uint32_t) {
+    while (true) {
+      StatusOr<int> fd = AcceptOn(*listen_fd);
+      if (!fd.ok()) {
+        break;
+      }
+      accepted.push_back(*fd);
+    }
+  });
+
+  NetClient::Options client_options;
+  client_options.server_address = "127.0.0.1:" + std::to_string(port);
+  client_options.peer_name = "impatient";
+  client_options.heartbeat_interval = 20 * kMicrosPerMilli;
+  client_options.heartbeat_timeout = 80 * kMicrosPerMilli;
+  client_options.reconnect_backoff = 20 * kMicrosPerMilli;
+  NetClient client(&loop, client_options);
+  client.Start();
+
+  ASSERT_TRUE(RunUntil(loop, [&] { return client.stats().heartbeat_timeouts >= 2; }));
+  EXPECT_GE(client.stats().disconnects, 2);
+  EXPECT_EQ(client.stats().connects_completed, 0) << "handshake never completed";
+  client.Shutdown();
+  loop.UnwatchFd(*listen_fd);
+  close(*listen_fd);
+  for (const int fd : accepted) {
+    close(fd);
+  }
+}
+
+TEST(ClientServerTest, LameDuckSendsGoawayAndDrainsPeers) {
+  EventLoop loop;
+  NetServer::Options server_options;
+  server_options.listen_address = "127.0.0.1:0";
+  server_options.drain_timeout = 200 * kMicrosPerMilli;
+  NetServer server(&loop, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  MiniAggregator mini(&server);
+
+  TestAgent wire(&loop, "m1", server.bound_port());
+  ASSERT_TRUE(RunUntil(loop, [&] { return wire.client->ready(); }));
+  ASSERT_EQ(server.peer_count(), 1u);
+
+  server.BeginLameDuck();
+  ASSERT_TRUE(RunUntil(loop, [&] { return wire.client->stats().goaways_received >= 1; }));
+  ASSERT_TRUE(RunUntil(loop, [&] { return server.peer_count() == 0; }));
+  EXPECT_EQ(server.stats().goaways_sent, 1);
+  EXPECT_TRUE(server.lame_duck());
+  // New connections are refused while lame: the client's reconnect loop
+  // spins without ever completing a handshake.
+  const int64_t completed = wire.client->stats().connects_completed;
+  loop.RunOnce(50 * kMicrosPerMilli);
+  EXPECT_EQ(wire.client->stats().connects_completed, completed);
+}
+
+TEST(ClientServerTest, ServerRejectsNonHelloFirstFrame) {
+  EventLoop loop;
+  NetServer::Options server_options;
+  server_options.listen_address = "127.0.0.1:0";
+  NetServer server(&loop, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A hand-rolled peer that opens with a heartbeat instead of a hello.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.bound_port()));
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::string stream;
+  AppendWireMagic(&stream, kNetStreamMagic);
+  std::string heartbeat;
+  BuildHeartbeatPayload(12345, /*is_ack=*/false, &heartbeat);
+  AppendNetFrame(&stream, heartbeat);
+  ASSERT_EQ(write(fd, stream.data(), stream.size()), static_cast<ssize_t>(stream.size()));
+
+  ASSERT_TRUE(RunUntil(loop, [&] { return server.stats().handshake_rejects >= 1; }));
+  EXPECT_EQ(server.peer_count(), 0u);
+  close(fd);
+}
+
+}  // namespace
+}  // namespace cpi2

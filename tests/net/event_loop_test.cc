@@ -1,0 +1,146 @@
+// EventLoop: timer ordering/cancellation, fd dispatch, self-deregistration
+// from handlers, and the thread-safe wakeup path.
+
+#include "net/event_loop.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cpi2 {
+namespace {
+
+// Pumps the loop until `pred` holds or `timeout` elapses.
+bool RunUntil(EventLoop& loop, const std::function<bool()>& pred,
+              MicroTime timeout = 5 * kMicrosPerSecond) {
+  const MicroTime deadline = MonotonicNowMicros() + timeout;
+  while (!pred()) {
+    if (MonotonicNowMicros() > deadline) {
+      return false;
+    }
+    loop.RunOnce(10 * kMicrosPerMilli);
+  }
+  return true;
+}
+
+TEST(EventLoopTest, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.AddTimer(30 * kMicrosPerMilli, [&] { order.push_back(3); });
+  loop.AddTimer(10 * kMicrosPerMilli, [&] { order.push_back(1); });
+  loop.AddTimer(20 * kMicrosPerMilli, [&] { order.push_back(2); });
+  ASSERT_TRUE(RunUntil(loop, [&] { return order.size() == 3; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, CanceledTimerNeverFires) {
+  EventLoop loop;
+  bool fired = false;
+  const EventLoop::TimerId id = loop.AddTimer(10 * kMicrosPerMilli, [&] { fired = true; });
+  bool sentinel = false;
+  loop.AddTimer(50 * kMicrosPerMilli, [&] { sentinel = true; });
+  loop.CancelTimer(id);
+  ASSERT_TRUE(RunUntil(loop, [&] { return sentinel; }));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, ZeroDelayTimerFiresOnNextIteration) {
+  EventLoop loop;
+  bool fired = false;
+  loop.AddTimer(0, [&] { fired = true; });
+  ASSERT_TRUE(RunUntil(loop, [&] { return fired; }));
+}
+
+TEST(EventLoopTest, TimerHandlerMayArmAnotherTimer) {
+  EventLoop loop;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 3) {
+      loop.AddTimer(kMicrosPerMilli, step);
+    }
+  };
+  loop.AddTimer(kMicrosPerMilli, step);
+  ASSERT_TRUE(RunUntil(loop, [&] { return chain == 3; }));
+}
+
+TEST(EventLoopTest, FdReadableDispatch) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::string received;
+  loop.WatchFd(fds[0], EventLoop::kReadable, [&](uint32_t events) {
+    ASSERT_TRUE(events & EventLoop::kReadable);
+    char buf[64];
+    const ssize_t n = read(fds[0], buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    received.append(buf, static_cast<size_t>(n));
+  });
+  ASSERT_EQ(write(fds[1], "ping", 4), 4);
+  ASSERT_TRUE(RunUntil(loop, [&] { return received == "ping"; }));
+  loop.UnwatchFd(fds[0]);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(EventLoopTest, HandlerMayUnwatchItsOwnFd) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  int calls = 0;
+  loop.WatchFd(fds[0], EventLoop::kReadable, [&](uint32_t) {
+    ++calls;
+    loop.UnwatchFd(fds[0]);  // deregister from inside our own dispatch
+  });
+  ASSERT_EQ(write(fds[1], "x", 1), 1);
+  ASSERT_TRUE(RunUntil(loop, [&] { return calls == 1; }));
+  // The data was never drained; with the watch gone the handler must not
+  // run again even though the fd stays readable.
+  bool sentinel = false;
+  loop.AddTimer(50 * kMicrosPerMilli, [&] { sentinel = true; });
+  ASSERT_TRUE(RunUntil(loop, [&] { return sentinel; }));
+  EXPECT_EQ(calls, 1);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(EventLoopTest, SetFdEventsMasksReadiness) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  int calls = 0;
+  loop.WatchFd(fds[0], 0, [&](uint32_t) { ++calls; });  // interest: nothing
+  ASSERT_EQ(write(fds[1], "x", 1), 1);
+  bool sentinel = false;
+  loop.AddTimer(50 * kMicrosPerMilli, [&] { sentinel = true; });
+  ASSERT_TRUE(RunUntil(loop, [&] { return sentinel; }));
+  EXPECT_EQ(calls, 0) << "masked fd must not dispatch";
+  loop.SetFdEvents(fds[0], EventLoop::kReadable);
+  ASSERT_TRUE(RunUntil(loop, [&] { return calls > 0; }));
+  loop.UnwatchFd(fds[0]);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(EventLoopTest, WakeupFromAnotherThreadInterruptsSleep) {
+  EventLoop loop;
+  // Sleep for up to 2s; the wakeup from the side thread must cut that
+  // short. Bound the whole test by wall time to prove it.
+  const MicroTime start = MonotonicNowMicros();
+  std::thread nudger([&] { loop.Wakeup(); });
+  loop.RunOnce(2 * kMicrosPerSecond);
+  nudger.join();
+  EXPECT_LT(MonotonicNowMicros() - start, kMicrosPerSecond);
+}
+
+TEST(EventLoopTest, StopMakesRunReturn) {
+  EventLoop loop;
+  loop.AddTimer(5 * kMicrosPerMilli, [&] { loop.Stop(); });
+  loop.Run();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,249 @@
+// CPI2NET1 frame vocabulary: payload round-trips, parser strictness, and
+// the FrameAssembler's verdict machinery (corrupt latch, bad magic,
+// truncated tails, byte offsets).
+
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+namespace cpi2 {
+namespace {
+
+std::string FramedStream(std::initializer_list<std::string_view> payloads) {
+  std::string stream;
+  AppendWireMagic(&stream, kNetStreamMagic);
+  for (const std::string_view payload : payloads) {
+    AppendNetFrame(&stream, payload);
+  }
+  return stream;
+}
+
+TEST(FramePayloadTest, HelloRoundTrip) {
+  HelloFrame hello;
+  hello.version = kNetProtocolVersion;
+  hello.role = PeerRole::kAgent;
+  hello.peer_name = "machine-07";
+  hello.feature_flags = 0x2a;
+  std::string payload;
+  BuildHelloPayload(hello, /*is_ack=*/false, &payload);
+
+  FrameType type;
+  ASSERT_TRUE(ParseFrameType(payload, &type));
+  EXPECT_EQ(type, FrameType::kHello);
+
+  HelloFrame parsed;
+  bool is_ack = true;
+  ASSERT_TRUE(ParseHelloPayload(payload, &parsed, &is_ack));
+  EXPECT_FALSE(is_ack);
+  EXPECT_EQ(parsed.version, hello.version);
+  EXPECT_EQ(parsed.role, PeerRole::kAgent);
+  EXPECT_EQ(parsed.peer_name, "machine-07");
+  EXPECT_EQ(parsed.feature_flags, 0x2au);
+}
+
+TEST(FramePayloadTest, HelloAckRoundTrip) {
+  HelloFrame hello;
+  hello.role = PeerRole::kAggregator;
+  hello.peer_name = "cpi2-aggregatord";
+  std::string payload;
+  BuildHelloPayload(hello, /*is_ack=*/true, &payload);
+
+  HelloFrame parsed;
+  bool is_ack = false;
+  ASSERT_TRUE(ParseHelloPayload(payload, &parsed, &is_ack));
+  EXPECT_TRUE(is_ack);
+  EXPECT_EQ(parsed.role, PeerRole::kAggregator);
+  EXPECT_EQ(parsed.peer_name, "cpi2-aggregatord");
+}
+
+TEST(FramePayloadTest, SampleBatchRoundTripKeepsRawBytes) {
+  const std::string batch_bytes = "CPI2SMB1\x01\x02\x03 raw inner bytes";
+  std::string payload;
+  BuildSampleBatchPayload(/*seq=*/777, /*consumed=*/12, batch_bytes, &payload);
+
+  uint64_t seq = 0;
+  uint64_t consumed = 0;
+  std::string_view raw;
+  ASSERT_TRUE(ParseSampleBatchPayload(payload, &seq, &consumed, &raw));
+  EXPECT_EQ(seq, 777u);
+  EXPECT_EQ(consumed, 12u);
+  EXPECT_EQ(raw, batch_bytes);
+}
+
+TEST(FramePayloadTest, BatchAckRoundTrip) {
+  BatchAckFrame ack;
+  ack.seq = 41;
+  ack.delivered = 63;
+  ack.lost = 1;
+  ack.decode_failed = true;
+  std::string payload;
+  BuildBatchAckPayload(ack, &payload);
+
+  BatchAckFrame parsed;
+  ASSERT_TRUE(ParseBatchAckPayload(payload, &parsed));
+  EXPECT_EQ(parsed.seq, 41u);
+  EXPECT_EQ(parsed.delivered, 63u);
+  EXPECT_EQ(parsed.lost, 1u);
+  EXPECT_TRUE(parsed.decode_failed);
+}
+
+TEST(FramePayloadTest, HeartbeatRoundTripBothDirections) {
+  for (const bool build_ack : {false, true}) {
+    std::string payload;
+    BuildHeartbeatPayload(/*send_time=*/123456789, build_ack, &payload);
+    MicroTime send_time = 0;
+    bool is_ack = !build_ack;
+    ASSERT_TRUE(ParseHeartbeatPayload(payload, &send_time, &is_ack));
+    EXPECT_EQ(send_time, 123456789);
+    EXPECT_EQ(is_ack, build_ack);
+  }
+}
+
+TEST(FramePayloadTest, GoawayRoundTrip) {
+  std::string payload;
+  BuildGoawayPayload("lame-duck", &payload);
+  std::string_view reason;
+  ASSERT_TRUE(ParseGoawayPayload(payload, &reason));
+  EXPECT_EQ(reason, "lame-duck");
+}
+
+TEST(FramePayloadTest, ParsersRejectWrongTag) {
+  std::string hello;
+  BuildHelloPayload(HelloFrame{}, false, &hello);
+  BatchAckFrame ack;
+  EXPECT_FALSE(ParseBatchAckPayload(hello, &ack));
+  uint64_t seq, consumed;
+  std::string_view raw;
+  EXPECT_FALSE(ParseSampleBatchPayload(hello, &seq, &consumed, &raw));
+  std::string_view reason;
+  EXPECT_FALSE(ParseGoawayPayload(hello, &reason));
+}
+
+TEST(FramePayloadTest, ParsersRejectTruncationAndTrailingGarbage) {
+  std::string payload;
+  BuildBatchAckPayload(BatchAckFrame{.seq = 9, .delivered = 3, .lost = 0}, &payload);
+  BatchAckFrame parsed;
+  // Every strict prefix must fail (short buffer)…
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(ParseBatchAckPayload(payload.substr(0, len), &parsed)) << "prefix " << len;
+  }
+  // …and so must extra bytes after a well-formed payload.
+  EXPECT_FALSE(ParseBatchAckPayload(payload + "x", &parsed));
+}
+
+TEST(FramePayloadTest, ParseFrameTypeRejectsUnknownTag) {
+  FrameType type;
+  EXPECT_FALSE(ParseFrameType("", &type));
+  EXPECT_FALSE(ParseFrameType("Zjunk", &type));
+}
+
+TEST(FrameAssemblerTest, YieldsFramesAcrossArbitrarySplits) {
+  const std::string stream = FramedStream({"first", "second-payload", "3"});
+  // Feed one byte at a time: reassembly must not care about packetization.
+  FrameAssembler assembler;
+  std::vector<std::string> frames;
+  for (const char byte : stream) {
+    assembler.Feed(std::string_view(&byte, 1));
+    std::string_view payload;
+    while (assembler.Next(&payload) == FrameAssembler::Result::kFrame) {
+      frames.emplace_back(payload);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], "first");
+  EXPECT_EQ(frames[1], "second-payload");
+  EXPECT_EQ(frames[2], "3");
+  EXPECT_EQ(assembler.stream_offset(), stream.size());
+  EXPECT_FALSE(assembler.HasPartialFrame());
+}
+
+TEST(FrameAssemblerTest, BadMagicVerdictLatches) {
+  FrameAssembler assembler;
+  assembler.Feed("NOTMAGIC........");
+  std::string_view payload;
+  EXPECT_EQ(assembler.Next(&payload), FrameAssembler::Result::kBadMagic);
+  assembler.Feed(FramedStream({"good"}));  // too late: stream is poisoned
+  EXPECT_EQ(assembler.Next(&payload), FrameAssembler::Result::kBadMagic);
+}
+
+TEST(FrameAssemblerTest, CorruptCrcLatchesAndReportsOffset) {
+  std::string stream = FramedStream({"alpha", "beta"});
+  // Flip one byte inside the SECOND frame's payload. Frame 1 is
+  // magic(8) + len(1) + "alpha"(5) + crc(4) = 18 bytes in; frame 2's payload
+  // starts at 19.
+  stream[20] ^= 0x01;
+  FrameAssembler assembler;
+  assembler.Feed(stream);
+  std::string_view payload;
+  ASSERT_EQ(assembler.Next(&payload), FrameAssembler::Result::kFrame);
+  EXPECT_EQ(payload, "alpha");
+  EXPECT_EQ(assembler.Next(&payload), FrameAssembler::Result::kCorrupt);
+  // The offset names the damaged frame — what wiredump prints for a capture.
+  EXPECT_EQ(assembler.stream_offset(), 18u);
+  // Latched: clean bytes after the verdict do not resurrect the stream.
+  assembler.Feed(FramedStream({"gamma"}));
+  EXPECT_EQ(assembler.Next(&payload), FrameAssembler::Result::kCorrupt);
+}
+
+TEST(FrameAssemblerTest, HostileLengthIsCorrupt) {
+  std::string stream;
+  AppendWireMagic(&stream, kNetStreamMagic);
+  // 5-byte varint encoding ~1GB, far over kMaxFramePayload.
+  stream += "\xff\xff\xff\xff\x03";
+  FrameAssembler assembler;
+  assembler.Feed(stream);
+  std::string_view payload;
+  EXPECT_EQ(assembler.Next(&payload), FrameAssembler::Result::kCorrupt);
+}
+
+TEST(FrameAssemblerTest, ZeroLengthFrameIsCorrupt) {
+  std::string stream;
+  AppendWireMagic(&stream, kNetStreamMagic);
+  stream.push_back('\0');  // length varint 0: no payload, no tag
+  FrameAssembler assembler;
+  assembler.Feed(stream);
+  std::string_view payload;
+  EXPECT_EQ(assembler.Next(&payload), FrameAssembler::Result::kCorrupt);
+}
+
+TEST(FrameAssemblerTest, PartialFrameIsATruncatedTail) {
+  const std::string stream = FramedStream({"only-frame"});
+  FrameAssembler assembler;
+  // Everything but the last 2 bytes: the record's CRC cannot complete.
+  assembler.Feed(std::string_view(stream.data(), stream.size() - 2));
+  std::string_view payload;
+  EXPECT_EQ(assembler.Next(&payload), FrameAssembler::Result::kNeedMore);
+  EXPECT_TRUE(assembler.HasPartialFrame());
+  // The tail arrives after all: the frame completes and the tail clears.
+  assembler.Feed(std::string_view(stream.data() + stream.size() - 2, 2));
+  EXPECT_EQ(assembler.Next(&payload), FrameAssembler::Result::kFrame);
+  EXPECT_EQ(payload, "only-frame");
+  EXPECT_FALSE(assembler.HasPartialFrame());
+}
+
+TEST(FrameAssemblerTest, PartialMagicIsNotYetAVerdict) {
+  FrameAssembler assembler;
+  assembler.Feed("CPI2");  // could still become the right magic
+  std::string_view payload;
+  EXPECT_EQ(assembler.Next(&payload), FrameAssembler::Result::kNeedMore);
+  assembler.Feed("NET1");
+  EXPECT_EQ(assembler.Next(&payload), FrameAssembler::Result::kNeedMore);
+  EXPECT_FALSE(assembler.HasPartialFrame());
+}
+
+TEST(FrameAssemblerTest, ResetClearsPoisonAndOffsets) {
+  FrameAssembler assembler;
+  assembler.Feed("XXXXXXXX");
+  std::string_view payload;
+  ASSERT_EQ(assembler.Next(&payload), FrameAssembler::Result::kBadMagic);
+  assembler.Reset();
+  assembler.Feed(FramedStream({"fresh"}));
+  ASSERT_EQ(assembler.Next(&payload), FrameAssembler::Result::kFrame);
+  EXPECT_EQ(payload, "fresh");
+}
+
+}  // namespace
+}  // namespace cpi2

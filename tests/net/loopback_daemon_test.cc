@@ -1,0 +1,345 @@
+// Multi-process loopback fault campaign: the REAL cpi2-agentd and
+// cpi2-aggregatord binaries (paths injected at compile time), Unix-domain
+// sockets in a temp dir, observation via the daemons' atomic JSON stats
+// files. This is where SIGKILL is a test input: daemons die for real,
+// restart, and the end-to-end totals must still be exact.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "util/clock.h"
+
+#ifndef CPI2_AGENTD_PATH
+#error "CPI2_AGENTD_PATH must be defined by the build"
+#endif
+#ifndef CPI2_AGGREGATORD_PATH
+#error "CPI2_AGGREGATORD_PATH must be defined by the build"
+#endif
+
+namespace cpi2 {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return "";
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Pulls `"key": <integer>` out of a daemon stats JSON blob. Returns
+// `missing` when the key (or the file) is absent — callers poll, so a
+// not-yet-written file is just "not there yet".
+int64_t JsonInt(const std::string& json, const std::string& key, int64_t missing = -1) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    return missing;
+  }
+  return std::strtoll(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+bool JsonBool(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = json.find(needle);
+  return pos != std::string::npos && json.compare(pos + needle.size(), 4, "true") == 0;
+}
+
+class DaemonProcess {
+ public:
+  DaemonProcess(const std::string& binary, std::vector<std::string> args)
+      : binary_(binary), args_(std::move(args)) {}
+
+  ~DaemonProcess() {
+    if (pid_ > 0 && !reaped_) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+  }
+
+  void Start() {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary_.c_str()));
+    for (std::string& arg : args_) {
+      argv.push_back(arg.data());
+    }
+    argv.push_back(nullptr);
+    pid_ = fork();
+    ASSERT_GE(pid_, 0);
+    if (pid_ == 0) {
+      execv(binary_.c_str(), argv.data());
+      _exit(127);  // exec failed
+    }
+    reaped_ = false;
+  }
+
+  // Nonblocking liveness probe; remembers the exit status once reaped.
+  bool Running() {
+    if (pid_ <= 0 || reaped_) {
+      return false;
+    }
+    int status = 0;
+    const pid_t r = waitpid(pid_, &status, WNOHANG);
+    if (r == pid_) {
+      reaped_ = true;
+      status_ = status;
+      return false;
+    }
+    return true;
+  }
+
+  // Blocks until the process exits; returns the raw waitpid status.
+  int Wait() {
+    if (!reaped_) {
+      waitpid(pid_, &status_, 0);
+      reaped_ = true;
+    }
+    return status_;
+  }
+
+  void Kill(int sig) { kill(pid_, sig); }
+  pid_t pid() const { return pid_; }
+
+ private:
+  std::string binary_;
+  std::vector<std::string> args_;
+  pid_t pid_ = -1;
+  bool reaped_ = true;
+  int status_ = 0;
+};
+
+bool PollUntil(const std::function<bool()>& pred, MicroTime timeout = 30 * kMicrosPerSecond) {
+  const MicroTime deadline = MonotonicNowMicros() + timeout;
+  while (!pred()) {
+    if (MonotonicNowMicros() > deadline) {
+      return false;
+    }
+    usleep(10 * 1000);
+  }
+  return true;
+}
+
+class LoopbackDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/cpi2-loopback-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    socket_address_ = "unix:" + dir_ + "/agg.sock";
+  }
+
+  void TearDown() override {
+    // Best-effort cleanup; daemons are killed by DaemonProcess dtors first.
+    const std::string cmd = "rm -rf " + dir_;
+    (void)system(cmd.c_str());
+  }
+
+  std::string StatsPath(const std::string& name) const { return dir_ + "/" + name + ".json"; }
+
+  std::vector<std::string> AggregatorArgs(std::vector<std::string> extra = {}) {
+    std::vector<std::string> args = {
+        "--listen=" + socket_address_,
+        "--stats=" + StatsPath("agg"),
+        "--stats-ms=20",
+    };
+    args.insert(args.end(), extra.begin(), extra.end());
+    return args;
+  }
+
+  std::vector<std::string> AgentArgs(const std::string& machine, int64_t samples,
+                                     std::vector<std::string> extra = {}) {
+    std::vector<std::string> args = {
+        "--server=" + socket_address_,
+        "--machine=" + machine,
+        "--samples=" + std::to_string(samples),
+        "--stats=" + StatsPath(machine),
+        "--stats-ms=20",
+        "--reconnect-ms=30",
+        "--oneshot",
+    };
+    args.insert(args.end(), extra.begin(), extra.end());
+    return args;
+  }
+
+  int64_t AggStat(const std::string& key) {
+    return JsonInt(ReadFileOrEmpty(StatsPath("agg")), key);
+  }
+
+  int64_t AgentStat(const std::string& machine, const std::string& key) {
+    return JsonInt(ReadFileOrEmpty(StatsPath(machine)), key);
+  }
+
+  bool AgentDrained(const std::string& machine) {
+    return JsonBool(ReadFileOrEmpty(StatsPath(machine)), "drained");
+  }
+
+  std::string dir_;
+  std::string socket_address_;
+};
+
+TEST_F(LoopbackDaemonTest, CleanDeliveryExactTotals) {
+  DaemonProcess agg(CPI2_AGGREGATORD_PATH, AggregatorArgs());
+  agg.Start();
+  DaemonProcess m1(CPI2_AGENTD_PATH, AgentArgs("m1", 300));
+  DaemonProcess m2(CPI2_AGENTD_PATH, AgentArgs("m2", 400));
+  m1.Start();
+  m2.Start();
+
+  ASSERT_TRUE(PollUntil([&] { return AgentDrained("m1") && AgentDrained("m2"); }));
+  EXPECT_EQ(m1.Wait(), 0);
+  EXPECT_EQ(m2.Wait(), 0);
+  ASSERT_TRUE(PollUntil([&] { return AggStat("samples_accepted") == 700; }));
+
+  const std::string agg_json = ReadFileOrEmpty(StatsPath("agg"));
+  EXPECT_EQ(JsonInt(agg_json, "duplicates_dropped"), 0);
+  EXPECT_EQ(JsonInt(agg_json, "decode_failures"), 0);
+  EXPECT_EQ(JsonInt(agg_json, "corrupt_frames"), 0);
+  EXPECT_EQ(JsonInt(agg_json, "m1"), 300);
+  EXPECT_EQ(JsonInt(agg_json, "m2"), 400);
+  EXPECT_EQ(AgentStat("m1", "samples_delivered"), 300);
+  EXPECT_EQ(AgentStat("m2", "samples_delivered"), 400);
+  EXPECT_EQ(AgentStat("m1", "samples_lost"), 0);
+  EXPECT_EQ(AgentStat("m1", "outbox_overflow_drops"), 0);
+}
+
+// Satellite 4: SIGKILL the agent mid-batch (the injector's deterministic
+// kill_mid_frame), restart it, and demand byte-exact totals: the truncated
+// tail is counted on the aggregator and the regenerated stream's replays
+// are all absorbed by dedup.
+TEST_F(LoopbackDaemonTest, AgentSigkillMidBatchThenRestartKeepsTotalsExact) {
+  DaemonProcess agg(CPI2_AGGREGATORD_PATH, AggregatorArgs());
+  agg.Start();
+
+  DaemonProcess doomed(CPI2_AGENTD_PATH,
+                       AgentArgs("m1", 500, {"--batch=50", "--faults=kill_mid_frame_after=4"}));
+  doomed.Start();
+  const int status = doomed.Wait();
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL) << "the injector's kill hook must SIGKILL the agent";
+
+  // The aggregator read half a frame and then EOF: that is a truncated-tail
+  // verdict, not silence.
+  ASSERT_TRUE(PollUntil([&] { return AggStat("truncated_tails") >= 1; }));
+  const int64_t accepted_before_restart = AggStat("samples_accepted");
+  ASSERT_GT(accepted_before_restart, 0) << "some batches must have landed pre-kill";
+  ASSERT_LT(accepted_before_restart, 500);
+
+  // Same flags minus the kill: the deterministic generator replays the
+  // stream from index 0 and dedup drops everything already counted.
+  DaemonProcess revived(CPI2_AGENTD_PATH, AgentArgs("m1", 500, {"--batch=50"}));
+  revived.Start();
+  ASSERT_TRUE(PollUntil([&] { return AgentDrained("m1"); }));
+  EXPECT_EQ(revived.Wait(), 0);
+  ASSERT_TRUE(PollUntil([&] { return AggStat("samples_accepted") == 500; }));
+
+  const std::string agg_json = ReadFileOrEmpty(StatsPath("agg"));
+  EXPECT_EQ(JsonInt(agg_json, "m1"), 500);
+  EXPECT_GE(JsonInt(agg_json, "duplicates_dropped"), accepted_before_restart)
+      << "every pre-kill sample must re-arrive and be dropped as a duplicate";
+  EXPECT_GE(JsonInt(agg_json, "truncated_tails"), 1);
+}
+
+// A lossy wire (corruption + resets) must slow the stream down, never
+// change what it adds up to.
+TEST_F(LoopbackDaemonTest, FaultCampaignConvergesToExactTotals) {
+  DaemonProcess agg(CPI2_AGGREGATORD_PATH, AggregatorArgs());
+  agg.Start();
+
+  DaemonProcess m1(CPI2_AGENTD_PATH,
+                   AgentArgs("m1", 400,
+                             {"--batch=40",
+                              "--faults=corrupt_rate=0.2,reset_rate=0.1,seed=11"}));
+  m1.Start();
+  ASSERT_TRUE(PollUntil([&] { return AgentDrained("m1"); }));
+  EXPECT_EQ(m1.Wait(), 0);
+  ASSERT_TRUE(PollUntil([&] { return AggStat("samples_accepted") == 400; }));
+
+  const std::string agg_json = ReadFileOrEmpty(StatsPath("agg"));
+  EXPECT_EQ(JsonInt(agg_json, "m1"), 400);
+  // With rate 0.2 and a fixed seed, corrupt draws are certain across the
+  // ~10+ frames (plus retries) this stream takes.
+  EXPECT_GE(JsonInt(agg_json, "corrupt_frames"), 1);
+  EXPECT_GE(JsonInt(agg_json, "connections_accepted"), 2) << "resets force reconnects";
+  EXPECT_GE(AgentStat("m1", "delivery_retries"), 1);
+  EXPECT_EQ(AgentStat("m1", "samples_lost"), 0);
+}
+
+// SIGKILL the AGGREGATOR mid-stream and restart it from its write-ahead
+// state file: counters and dedup watermark come back together, the agent
+// reconnects, and totals land exact.
+TEST_F(LoopbackDaemonTest, AggregatorSigkillRestartFromStateKeepsTotalsExact) {
+  const std::string state = dir_ + "/agg.state";
+  DaemonProcess agg(CPI2_AGGREGATORD_PATH, AggregatorArgs({"--state=" + state}));
+  agg.Start();
+
+  // Slow the stream (small bursts) so the kill lands mid-run.
+  DaemonProcess m1(CPI2_AGENTD_PATH,
+                   AgentArgs("m1", 800, {"--burst=20", "--heartbeat-timeout-ms=1000"}));
+  m1.Start();
+  ASSERT_TRUE(PollUntil([&] {
+    const int64_t accepted = AggStat("samples_accepted");
+    return accepted > 100 && accepted < 700;
+  })) << "kill window missed; accepted=" << AggStat("samples_accepted");
+
+  agg.Kill(SIGKILL);
+  agg.Wait();
+
+  DaemonProcess revived(CPI2_AGGREGATORD_PATH, AggregatorArgs({"--state=" + state}));
+  revived.Start();
+  ASSERT_TRUE(PollUntil([&] { return AgentDrained("m1"); }));
+  EXPECT_EQ(m1.Wait(), 0);
+  ASSERT_TRUE(PollUntil([&] { return AggStat("samples_accepted") == 800; }));
+
+  const std::string agg_json = ReadFileOrEmpty(StatsPath("agg"));
+  EXPECT_EQ(JsonInt(agg_json, "m1"), 800);
+  EXPECT_EQ(JsonInt(agg_json, "decode_failures"), 0);
+  EXPECT_GE(AgentStat("m1", "connects_completed"), 2) << "agent must have reconnected";
+}
+
+// An agent whose aggregator shows up LATE: the tiny outbox overflows (by
+// design — bounded memory beats unbounded buffering), and the books still
+// balance: enqueued == delivered + overflow_drops, and the aggregator holds
+// exactly the delivered remainder.
+TEST_F(LoopbackDaemonTest, LateAggregatorOverflowConservation) {
+  DaemonProcess m1(CPI2_AGENTD_PATH, AgentArgs("m1", 400, {"--outbox=64", "--batch=32"}));
+  m1.Start();
+  ASSERT_TRUE(PollUntil([&] { return AgentStat("m1", "generated") == 400; }));
+  ASSERT_GT(AgentStat("m1", "outbox_overflow_drops"), 0)
+      << "the outbox must have overflowed while unconnected";
+
+  DaemonProcess agg(CPI2_AGGREGATORD_PATH, AggregatorArgs());
+  agg.Start();
+  ASSERT_TRUE(PollUntil([&] { return AgentDrained("m1"); }));
+  EXPECT_EQ(m1.Wait(), 0);
+
+  const std::string m1_json = ReadFileOrEmpty(StatsPath("m1"));
+  const int64_t enqueued = JsonInt(m1_json, "samples_enqueued");
+  const int64_t delivered = JsonInt(m1_json, "samples_delivered");
+  const int64_t lost = JsonInt(m1_json, "samples_lost");
+  const int64_t drops = JsonInt(m1_json, "outbox_overflow_drops");
+  EXPECT_EQ(enqueued, 400);
+  EXPECT_EQ(lost, 0);
+  EXPECT_EQ(enqueued, delivered + lost + drops) << "conservation identity";
+  ASSERT_TRUE(PollUntil([&] { return AggStat("samples_accepted") == delivered; }));
+  EXPECT_EQ(AggStat("duplicates_dropped"), 0);
+}
+
+}  // namespace
+}  // namespace cpi2

@@ -1,0 +1,287 @@
+// cpi2-agentd: the agent-side daemon of the networked data plane.
+//
+// Generates a deterministic synthetic sample stream (a pure function of the
+// machine name and sample index), feeds it through the REAL core Agent's
+// bounded outbox (overflow eviction, batch sealing, retry), and ships the
+// sealed CPI2SMB1 batches to cpi2-aggregatord over a CPI2NET1 connection
+// with reconnect + backpressure via AgentTransport.
+//
+// Determinism is the crash-recovery story: a SIGKILLed agentd restarted
+// with the same flags regenerates the exact same samples from index 0, so
+// everything the aggregator already counted is re-sent and dropped by its
+// dedup window — end-to-end totals stay exact with zero agent-side
+// persistence. (The real deployment persists the outbox instead; the
+// synthetic generator gives the loopback fault campaign a closed form for
+// "what should the aggregator hold".)
+//
+// Progress is exported as a JSON stats file, atomically rewritten — the
+// loopback test's only observation channel.
+//
+// Flags:
+//   --server=ADDR        aggregator address ("host:port" or "unix:/path")
+//   --machine=NAME       machine name (sample stream identity)
+//   --samples=N          synthetic samples to generate (default 1000)
+//   --burst=N            samples offered per 10ms generation tick (def. 50)
+//   --jobs=N             distinct synthetic jobnames (default 4)
+//   --outbox=N           agent outbox capacity in samples (default 4096)
+//   --batch=N            samples per wire batch (default 64)
+//   --stats=PATH         JSON stats file, rewritten every --stats-ms
+//   --stats-ms=MS        stats rewrite cadence (default 50)
+//   --faults=SPEC        NetFaultInjector spec (see fault_injector.h); a
+//                        kill_mid_frame_after entry makes this process
+//                        raise(SIGKILL) mid-frame — deterministically
+//   --heartbeat-ms=MS    heartbeat interval (default 500)
+//   --heartbeat-timeout-ms=MS  peer-silence limit (default 3000)
+//   --reconnect-ms=MS    initial reconnect backoff (default 100)
+//   --oneshot            exit 0 once every sample is settled (drained)
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/agent.h"
+#include "net/agent_transport.h"
+#include "net/client.h"
+#include "net/event_loop.h"
+#include "net/fault_injector.h"
+#include "util/file_util.h"
+#include "util/logging.h"
+
+namespace cpi2 {
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void OnSignal(int sig) { g_signal = sig; }
+
+struct Flags {
+  std::string server;
+  std::string machine = "agentd-1";
+  int64_t samples = 1000;
+  int64_t burst = 50;
+  int64_t jobs = 4;
+  int64_t outbox = 4096;
+  int64_t batch = 64;
+  std::string stats_path;
+  int64_t stats_ms = 50;
+  std::string faults;
+  int64_t heartbeat_ms = 500;
+  int64_t heartbeat_timeout_ms = 3000;
+  int64_t reconnect_ms = 100;
+  bool oneshot = false;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name, std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name, int64_t* out) {
+  std::string text;
+  if (!ParseFlag(arg, name, &text)) {
+    return false;
+  }
+  *out = std::strtoll(text.c_str(), nullptr, 10);
+  return true;
+}
+
+// The deterministic stream: sample `i` of `machine` is always these bytes.
+// Timestamps are distinct per index, so (timestamp, machine, task) — the
+// aggregator's dedup key — is unique across the stream, and a regenerated
+// stream collides exactly with what was already delivered.
+CpiSample MakeSample(const std::string& machine, int64_t i, int64_t jobs) {
+  CpiSample sample;
+  sample.jobname = "job-" + std::to_string(i % jobs);
+  sample.platforminfo = "synthetic-cpu";
+  sample.timestamp = (i + 1) * kMicrosPerSecond;
+  sample.task = machine + "-task-" + std::to_string(i % 8);
+  sample.machine = machine;
+  sample.cpu_usage = 0.25 + 0.001 * static_cast<double>(i % 500);
+  sample.cpi = 1.0 + 0.01 * static_cast<double>((i * 7) % 97);
+  sample.l3_miss_per_instruction = 0.001 * static_cast<double>(i % 11);
+  return sample;
+}
+
+int Run(const Flags& flags) {
+  Cpi2Params params;
+  params.sample_outbox_capacity = static_cast<int>(flags.outbox);
+  params.wire_batch_max_samples = static_cast<int>(flags.batch);
+  params.wire_batch_max_age = 0;  // force-seal at every flush
+  // Pacing comes from the ack round-trip and the flush timer, not from the
+  // in-process retry ladder (which would fight the event loop's clock).
+  params.delivery_retry_backoff = 0;
+  params.delivery_retry_backoff_max = 0;
+  params.delivery_retry_jitter = 0.0;
+
+  Agent::Options agent_options;
+  agent_options.params = params;
+  agent_options.machine_name = flags.machine;
+  agent_options.platforminfo = "synthetic-cpu";
+  Agent agent(agent_options, /*source=*/nullptr, /*controller=*/nullptr);
+
+  EventLoop loop;
+
+  NetFaultInjector::Options fault_options;
+  std::unique_ptr<NetFaultInjector> injector;
+  if (!flags.faults.empty()) {
+    std::string error;
+    if (!NetFaultInjector::ParseSpec(flags.faults, &fault_options, &error)) {
+      CPI2_LOG(ERROR) << "cpi2-agentd: " << error;
+      return 2;
+    }
+    injector = std::make_unique<NetFaultInjector>(fault_options);
+    if (fault_options.kill_mid_frame_after > 0) {
+      injector->set_fault_hook([](NetFaultInjector::Action action) {
+        if (action == NetFaultInjector::Action::kKillMidFrame) {
+          std::raise(SIGKILL);  // die exactly as a crashed agent does
+        }
+      });
+    }
+  }
+
+  NetClient::Options client_options;
+  client_options.server_address = flags.server;
+  client_options.peer_name = flags.machine;
+  client_options.role = PeerRole::kAgent;
+  client_options.reconnect_backoff = flags.reconnect_ms * kMicrosPerMilli;
+  client_options.heartbeat_interval = flags.heartbeat_ms * kMicrosPerMilli;
+  client_options.heartbeat_timeout = flags.heartbeat_timeout_ms * kMicrosPerMilli;
+  client_options.connection.injector = injector.get();
+  NetClient client(&loop, client_options);
+
+  AgentTransport::Options transport_options;
+  AgentTransport transport(&loop, &agent, &client, transport_options);
+
+  client.Start();
+  transport.Start();
+
+  int64_t generated = 0;
+  bool drained = false;
+
+  // Generation tick: offer a burst, then flush so full batches hit the wire
+  // without waiting out the transport's idle timer.
+  std::function<void()> generate = [&] {
+    if (g_signal != 0) {
+      return;
+    }
+    for (int64_t i = 0; i < flags.burst && generated < flags.samples; ++i) {
+      agent.OfferSample(MakeSample(flags.machine, generated, flags.jobs));
+      ++generated;
+    }
+    transport.Flush();
+    loop.AddTimer(10 * kMicrosPerMilli, generate);
+  };
+  loop.AddTimer(0, generate);
+
+  const auto write_stats = [&] {
+    if (flags.stats_path.empty()) {
+      return;
+    }
+    const AgentHealth& health = agent.health();
+    const NetClient::Stats& cs = client.stats();
+    const Connection::Stats conn = client.connection_stats();
+    const AgentTransport::Stats& ts = transport.stats();
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"machine\": \"" << flags.machine << "\",\n"
+         << "  \"generated\": " << generated << ",\n"
+         << "  \"samples_enqueued\": " << health.samples_enqueued << ",\n"
+         << "  \"samples_delivered\": " << health.samples_delivered << ",\n"
+         << "  \"samples_lost\": " << health.samples_lost << ",\n"
+         << "  \"delivery_retries\": " << health.delivery_retries << ",\n"
+         << "  \"outbox_overflow_drops\": " << health.outbox_overflow_drops << ",\n"
+         << "  \"outbox\": " << agent.outbox_size() << ",\n"
+         << "  \"batches_sent\": " << ts.batches_sent << ",\n"
+         << "  \"batches_acked\": " << ts.batches_acked << ",\n"
+         << "  \"stale_acks\": " << ts.stale_acks << ",\n"
+         << "  \"send_backpressure\": " << ts.send_backpressure << ",\n"
+         << "  \"inflight_reset\": " << ts.inflight_reset << ",\n"
+         << "  \"connect_attempts\": " << cs.connect_attempts << ",\n"
+         << "  \"connects_completed\": " << cs.connects_completed << ",\n"
+         << "  \"disconnects\": " << cs.disconnects << ",\n"
+         << "  \"heartbeats_sent\": " << cs.heartbeats_sent << ",\n"
+         << "  \"heartbeat_timeouts\": " << cs.heartbeat_timeouts << ",\n"
+         << "  \"goaways_received\": " << cs.goaways_received << ",\n"
+         << "  \"send_rejects\": " << conn.send_rejects << ",\n"
+         << "  \"frames_sent\": " << conn.frames_sent << ",\n"
+         << "  \"drained\": " << (drained ? "true" : "false") << "\n"
+         << "}\n";
+    const Status status = AtomicWriteFile(flags.stats_path, json.str());
+    if (!status.ok()) {
+      CPI2_LOG(WARNING) << "cpi2-agentd: stats write failed: " << status.message();
+    }
+  };
+
+  std::function<void()> housekeeping = [&] {
+    if (g_signal != 0) {
+      loop.Stop();
+      return;
+    }
+    if (!drained && generated >= flags.samples && agent.outbox_size() == 0 &&
+        !transport.in_flight()) {
+      drained = true;
+      CPI2_LOG(INFO) << "cpi2-agentd: drained (" << generated << " samples settled)";
+    }
+    write_stats();
+    if (drained && flags.oneshot) {
+      loop.Stop();
+      return;
+    }
+    loop.AddTimer(flags.stats_ms * kMicrosPerMilli, housekeeping);
+  };
+  loop.AddTimer(flags.stats_ms * kMicrosPerMilli, housekeeping);
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  loop.Run();
+
+  transport.Stop();
+  client.Shutdown();
+  write_stats();
+  return 0;
+}
+
+}  // namespace
+}  // namespace cpi2
+
+int main(int argc, char** argv) {
+  cpi2::Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--oneshot") {
+      flags.oneshot = true;
+      continue;
+    }
+    if (cpi2::ParseFlag(arg, "server", &flags.server) ||
+        cpi2::ParseFlag(arg, "machine", &flags.machine) ||
+        cpi2::ParseFlag(arg, "samples", &flags.samples) ||
+        cpi2::ParseFlag(arg, "burst", &flags.burst) ||
+        cpi2::ParseFlag(arg, "jobs", &flags.jobs) ||
+        cpi2::ParseFlag(arg, "outbox", &flags.outbox) ||
+        cpi2::ParseFlag(arg, "batch", &flags.batch) ||
+        cpi2::ParseFlag(arg, "stats", &flags.stats_path) ||
+        cpi2::ParseFlag(arg, "stats-ms", &flags.stats_ms) ||
+        cpi2::ParseFlag(arg, "faults", &flags.faults) ||
+        cpi2::ParseFlag(arg, "heartbeat-ms", &flags.heartbeat_ms) ||
+        cpi2::ParseFlag(arg, "heartbeat-timeout-ms", &flags.heartbeat_timeout_ms) ||
+        cpi2::ParseFlag(arg, "reconnect-ms", &flags.reconnect_ms)) {
+      continue;
+    }
+    std::fprintf(stderr, "cpi2-agentd: unknown flag %s\n", arg.c_str());
+    return 2;
+  }
+  if (flags.server.empty()) {
+    std::fprintf(stderr, "cpi2-agentd: --server is required\n");
+    return 2;
+  }
+  return cpi2::Run(flags);
+}

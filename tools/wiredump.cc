@@ -4,11 +4,16 @@
 //   CPI2SMB1  sample batch      -> one row per sample
 //   CPI2INC2  incident log v2   -> one row per incident + skip report
 //   CPAGCKP3  aggregator ckpt   -> the equivalent v2 text checkpoint
+//   CPI2NET1  captured socket stream -> one line per frame, with the BYTE
+//             OFFSET of any corrupt or truncated frame (triage for tcpdump
+//             captures of the agentd->aggregatord data plane)
 // Text-era files (cpi2-incidents-v1, cpi2-aggregator-ckpt-v*,
 // cpi2-samples-v1) are already human-readable and are echoed through.
 //
 // Usage: wiredump <file> [file...]
+//        wiredump -            (read one artifact from stdin)
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,6 +21,7 @@
 #include "core/aggregator.h"
 #include "core/incident.h"
 #include "core/params.h"
+#include "net/frame.h"
 #include "util/file_util.h"
 #include "util/status.h"
 #include "wire/framing.h"
@@ -98,28 +104,166 @@ int DumpCheckpoint(const std::string& contents) {
   return 0;
 }
 
+// Renders one CPI2NET1 frame payload as a single line.
+void PrintNetFrame(size_t offset, std::string_view payload) {
+  FrameType type;
+  if (!ParseFrameType(payload, &type)) {
+    std::printf("%08zu  ?? unknown tag 0x%02x (%zu bytes)\n", offset,
+                static_cast<unsigned>(static_cast<unsigned char>(payload.empty() ? 0 : payload[0])),
+                payload.size());
+    return;
+  }
+  switch (type) {
+    case FrameType::kHello:
+    case FrameType::kHelloAck: {
+      HelloFrame hello;
+      bool is_ack = false;
+      if (ParseHelloPayload(payload, &hello, &is_ack)) {
+        std::printf("%08zu  %-10s v%u role=%c peer=%s flags=0x%llx\n", offset,
+                    is_ack ? "hello-ack" : "hello", hello.version,
+                    static_cast<char>(hello.role), hello.peer_name.c_str(),
+                    static_cast<unsigned long long>(hello.feature_flags));
+      } else {
+        std::printf("%08zu  hello (malformed payload, %zu bytes)\n", offset, payload.size());
+      }
+      return;
+    }
+    case FrameType::kSampleBatch: {
+      uint64_t seq = 0;
+      uint64_t consumed = 0;
+      std::string_view raw;
+      if (ParseSampleBatchPayload(payload, &seq, &consumed, &raw)) {
+        std::vector<CpiSample> samples;
+        const bool decodes = DecodeSampleBatch(raw, &samples).ok();
+        std::printf("%08zu  batch      seq=%llu consumed=%llu samples=%zu inner=%zuB%s\n",
+                    offset, static_cast<unsigned long long>(seq),
+                    static_cast<unsigned long long>(consumed), samples.size(), raw.size(),
+                    decodes ? "" : " [INNER BATCH UNDECODABLE]");
+      } else {
+        std::printf("%08zu  batch (malformed payload, %zu bytes)\n", offset, payload.size());
+      }
+      return;
+    }
+    case FrameType::kBatchAck: {
+      BatchAckFrame ack;
+      if (ParseBatchAckPayload(payload, &ack)) {
+        std::printf("%08zu  batch-ack  seq=%llu delivered=%u lost=%u%s\n", offset,
+                    static_cast<unsigned long long>(ack.seq), ack.delivered, ack.lost,
+                    ack.decode_failed ? " DECODE-FAILED" : "");
+      } else {
+        std::printf("%08zu  batch-ack (malformed payload)\n", offset);
+      }
+      return;
+    }
+    case FrameType::kHeartbeat:
+    case FrameType::kHeartbeatAck: {
+      MicroTime send_time = 0;
+      bool is_ack = false;
+      if (ParseHeartbeatPayload(payload, &send_time, &is_ack)) {
+        std::printf("%08zu  %-10s t=%lld\n", offset, is_ack ? "pong" : "ping",
+                    static_cast<long long>(send_time));
+      } else {
+        std::printf("%08zu  heartbeat (malformed payload)\n", offset);
+      }
+      return;
+    }
+    case FrameType::kGoaway: {
+      std::string_view reason;
+      if (ParseGoawayPayload(payload, &reason)) {
+        std::printf("%08zu  goaway     \"%.*s\"\n", offset, static_cast<int>(reason.size()),
+                    reason.data());
+      } else {
+        std::printf("%08zu  goaway (malformed payload)\n", offset);
+      }
+      return;
+    }
+  }
+}
+
+// Walks one direction of a captured CPI2NET1 socket stream with the same
+// FrameAssembler a live connection uses, so the verdicts (and their byte
+// offsets) are exactly what the receiving daemon would have counted.
+int DumpNetStream(const std::string& contents) {
+  std::printf("CPI2NET1 stream: %zu bytes\n", contents.size());
+  FrameAssembler assembler;
+  assembler.Feed(contents);
+  size_t frames = 0;
+  int rc = 0;
+  while (true) {
+    // The assembler consumes the 8-byte magic lazily inside the first
+    // Next(), so the first frame's length byte is at kWireMagicSize even
+    // though stream_offset() still reads 0 before the call.
+    const size_t offset = std::max(assembler.stream_offset(), kWireMagicSize);
+    std::string_view payload;
+    const FrameAssembler::Result result = assembler.Next(&payload);
+    if (result == FrameAssembler::Result::kFrame) {
+      ++frames;
+      PrintNetFrame(offset, payload);
+      continue;
+    }
+    if (result == FrameAssembler::Result::kNeedMore) {
+      if (assembler.HasPartialFrame()) {
+        std::printf("%08zu  !! TRUNCATED TAIL: stream ends mid-frame (%zu bytes dangling)\n",
+                    assembler.stream_offset(), contents.size() - assembler.stream_offset());
+        rc = 1;
+      }
+      break;
+    }
+    if (result == FrameAssembler::Result::kBadMagic) {
+      std::fprintf(stderr, "stream does not start with CPI2NET1\n");
+      return 1;
+    }
+    std::printf("%08zu  !! CORRUPT FRAME: CRC failure or hostile length at this offset; "
+                "everything after is unreadable\n",
+                assembler.stream_offset());
+    rc = 1;
+    break;
+  }
+  std::printf("%zu frames decoded\n", frames);
+  return rc;
+}
+
+int DumpContents(const std::string& contents);
+
 int DumpFile(const char* path) {
+  if (std::string_view(path) == "-") {
+    std::string contents;
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+      contents.append(buf, n);
+    }
+    std::printf("== (stdin) ==\n");
+    return DumpContents(contents);
+  }
   StatusOr<std::string> contents = ReadFileToString(path);
   if (!contents.ok()) {
     std::fprintf(stderr, "%s: %s\n", path, contents.status().ToString().c_str());
     return 1;
   }
   std::printf("== %s ==\n", path);
-  if (HasWireMagic(*contents, kSampleBatchMagic)) {
-    return DumpSampleBatch(*contents);
+  return DumpContents(*contents);
+}
+
+int DumpContents(const std::string& contents) {
+  if (HasWireMagic(contents, kSampleBatchMagic)) {
+    return DumpSampleBatch(contents);
   }
-  if (HasWireMagic(*contents, kIncidentFileMagic)) {
-    return DumpIncidentFile(*contents);
+  if (HasWireMagic(contents, kIncidentFileMagic)) {
+    return DumpIncidentFile(contents);
   }
-  if (contents->rfind("CPAGCKP3", 0) == 0) {
-    return DumpCheckpoint(*contents);
+  if (HasWireMagic(contents, kNetStreamMagic)) {
+    return DumpNetStream(contents);
   }
-  if (contents->rfind("cpi2-", 0) == 0) {
+  if (contents.rfind("CPAGCKP3", 0) == 0) {
+    return DumpCheckpoint(contents);
+  }
+  if (contents.rfind("cpi2-", 0) == 0) {
     // A text-era artifact: already human-readable.
-    std::fwrite(contents->data(), 1, contents->size(), stdout);
+    std::fwrite(contents.data(), 1, contents.size(), stdout);
     return 0;
   }
-  std::fprintf(stderr, "%s: unrecognized format (no known magic)\n", path);
+  std::fprintf(stderr, "unrecognized format (no known magic)\n");
   return 1;
 }
 
@@ -127,7 +271,7 @@ int DumpFile(const char* path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file> [file...]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <file|-> [file...]\n", argv[0]);
     return 2;
   }
   int rc = 0;
