@@ -1,0 +1,450 @@
+// Cluster-scale control plane: flat aggregation + per-machine spec broadcast
+// vs the two-tier path (cell sketches -> CPI2SKT1 frames -> global merger ->
+// subscription fan-out), at 10k and 100k simulated machines.
+//
+// The flat design is the paper's: every sample lands in one SpecBuilder and
+// every build scans every machine per spec (platform check + push). With J
+// jobs per cluster and each machine running only a couple of them, that
+// broadcast does J x N spec deliveries per build; subscription fan-out does
+// only sum(popularity) ~ 2N.
+//
+// What gets timed: the GLOBAL aggregator's work per round — in the flat
+// design that is everything (ingest + build + broadcast, all on the one
+// machine that is the scaling bottleneck); in the tiered design the cells
+// are separate machines, so the global tier does only frame merge + build +
+// subscription fan-out. The cell-side work still runs (the frames must be
+// real) and is reported separately as cell_side_ms_per_round so nothing is
+// hidden — it just doesn't sit on the bottleneck machine's clock.
+//
+// Before timing anything it proves, on the same stream:
+//   - flat vs tiered: identical spec key set and num_samples, values within
+//     sketch quantization (the equivalence hash covers the exact parts);
+//   - tiered C=4 vs C=16: byte-identical specs AND delivery hashes (the
+//     bit-determinism contract of stats/sketch.h).
+// Any divergence exits nonzero — check-perf smoke-runs this gate.
+//
+// Writes BENCH_cluster_scale.json (one JSON line) unless --smoke, including
+// peak RSS (VmHWM) so the 100k-machine memory envelope is tracked.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common/report.h"
+#include "core/cell_aggregator.h"
+#include "core/spec_builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cpi2 {
+namespace {
+
+// One build interval's samples for N machines running 2 of J jobs each
+// (machine m runs jobs m%J and (m+1)%J, one task per (machine, job)).
+struct ClusterShape {
+  int machines = 0;
+  int jobs = 0;
+  std::vector<CpiSample> samples;            // one round, machine order
+  std::vector<std::vector<uint32_t>> subscribers;  // machines per job
+  std::vector<std::string> machine_platform;       // per-machine, for the scan
+};
+
+ClusterShape MakeCluster(int machines, int jobs) {
+  ClusterShape shape;
+  shape.machines = machines;
+  shape.jobs = jobs;
+  shape.subscribers.resize(static_cast<size_t>(jobs));
+  shape.samples.reserve(static_cast<size_t>(machines) * 2);
+  shape.machine_platform.assign(static_cast<size_t>(machines), "xeon");
+  Rng rng(23);
+  for (int m = 0; m < machines; ++m) {
+    for (int slot = 0; slot < 2; ++slot) {
+      const int job = (m + slot) % jobs;
+      shape.subscribers[static_cast<size_t>(job)].push_back(static_cast<uint32_t>(m));
+      CpiSample sample;
+      sample.jobname = StrFormat("job.%05d", job);
+      sample.platforminfo = "xeon";
+      sample.task = StrFormat("job.%05d/m%d", job, m);
+      sample.machine = StrFormat("m%d", m);
+      sample.timestamp = static_cast<MicroTime>(m) * 100;
+      sample.cpi = rng.Uniform(0.5, 4.0);
+      sample.cpu_usage = rng.Uniform(0.1, 2.0);
+      shape.samples.push_back(std::move(sample));
+    }
+  }
+  return shape;
+}
+
+Cpi2Params ScaleParams(int cells) {
+  Cpi2Params params;
+  // One round holds exactly one sample per (machine, job) task; the bench
+  // measures throughput, not the 24h eligibility bar.
+  params.min_tasks_for_spec = 2;
+  params.min_samples_per_task = 1;
+  params.flat_aggregation_path = (cells <= 0);
+  params.aggregation_cells = cells > 0 ? cells : 1;
+  return params;
+}
+
+// The per-delivery work a machine's agent does on a spec push, reduced to a
+// checksum so the compiler cannot drop the fan-out loop. Folds the exact
+// spec bits, so equal hashes mean byte-equal delivered state.
+inline uint64_t MixSpec(uint64_t h, uint32_t job, const CpiSpec& spec) {
+  auto fold = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV-1a step
+  };
+  fold(job);
+  fold(static_cast<uint64_t>(spec.num_samples));
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(double), "double folds as 64 bits");
+  std::memcpy(&bits, &spec.cpi_mean, sizeof(bits));
+  fold(bits);
+  std::memcpy(&bits, &spec.cpi_stddev, sizeof(bits));
+  fold(bits);
+  std::memcpy(&bits, &spec.cpu_usage_mean, sizeof(bits));
+  fold(bits);
+  return h;
+}
+
+struct RoundResult {
+  std::vector<CpiSpec> specs;
+  int64_t deliveries = 0;
+  uint64_t delivery_hash = 0;      // folded over (machine, spec bits)
+  double bottleneck_seconds = 0;   // time on the global aggregator's clock
+  double cell_seconds = 0;         // tiered only: cell-side ingest + encode
+};
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Flat: one SpecBuilder ingests everything, then every spec is broadcast to
+// every machine (the per-machine platform-check scan the tiered path
+// retires). All of it runs on the global aggregator.
+RoundResult FlatRound(SpecBuilder& builder, const ClusterShape& shape,
+                      std::vector<uint64_t>& machine_state) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const CpiSample& sample : shape.samples) {
+    builder.AddSample(sample);
+  }
+  RoundResult result;
+  result.specs = builder.BuildSpecs();
+  for (const CpiSpec& spec : result.specs) {
+    const uint32_t job = static_cast<uint32_t>(std::atoi(spec.jobname.c_str() + 4));
+    for (int m = 0; m < shape.machines; ++m) {
+      if (spec.platforminfo != shape.machine_platform[static_cast<size_t>(m)]) {
+        continue;  // the scan's per-machine filter (everything matches here)
+      }
+      machine_state[static_cast<size_t>(m)] =
+          MixSpec(machine_state[static_cast<size_t>(m)], job, spec);
+      ++result.deliveries;
+    }
+  }
+  result.bottleneck_seconds = Seconds(t0);
+  return result;
+}
+
+// Tiered: machines hash into cells, cells emit CPI2SKT1 frames, the merger
+// folds them and builds; fan-out touches only each job's subscribers.
+struct Tier {
+  std::vector<CellAggregator> cells;
+  GlobalMerger merger;
+  uint64_t version = 0;
+
+  explicit Tier(int cell_count)
+      : merger(ScaleParams(cell_count)) {
+    const Cpi2Params params = ScaleParams(cell_count);
+    cells.reserve(static_cast<size_t>(cell_count));
+    for (int c = 0; c < cell_count; ++c) {
+      cells.emplace_back(params, static_cast<uint32_t>(c));
+    }
+  }
+};
+
+RoundResult TieredRound(Tier& tier, const ClusterShape& shape,
+                        std::vector<uint64_t>& machine_state) {
+  // Cell-side: ingest + frame encode, one frame per cell. On real hardware
+  // this runs on the cell machines; it is timed separately.
+  const auto cell_t0 = std::chrono::steady_clock::now();
+  const size_t cell_count = tier.cells.size();
+  size_t index = 0;
+  for (const CpiSample& sample : shape.samples) {
+    // Two samples per machine, machine order: machine = index / 2.
+    tier.cells[(index / 2) % cell_count].AddSample(sample);
+    ++index;
+  }
+  std::vector<std::string> frames(cell_count);
+  for (size_t c = 0; c < cell_count; ++c) {
+    tier.cells[c].EmitFrame(&frames[c]);
+  }
+  RoundResult result;
+  result.cell_seconds = Seconds(cell_t0);
+
+  // Global side: merge the frames, build, fan out to subscribers only.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const std::string& frame : frames) {
+    const Status status = tier.merger.MergeFrame(frame);
+    if (!status.ok()) {
+      // A cell's own frame must always merge; anything else is a codec bug.
+      std::fprintf(stderr, "FATAL: partial frame rejected: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+  result.specs = tier.merger.BuildSpecs(++tier.version);
+  for (const CpiSpec& spec : result.specs) {
+    const uint32_t job = static_cast<uint32_t>(std::atoi(spec.jobname.c_str() + 4));
+    for (const uint32_t m : shape.subscribers[job]) {
+      machine_state[m] = MixSpec(machine_state[m], job, spec);
+      ++result.deliveries;
+    }
+  }
+  result.bottleneck_seconds = Seconds(t0);
+  return result;
+}
+
+// Exactness hash over the parts flat and tiered must agree on exactly:
+// ordered (jobname, platforminfo, num_samples).
+uint64_t ExactHash(const std::vector<CpiSpec>& specs) {
+  uint64_t h = 14695981039346656037ull;
+  for (const CpiSpec& spec : specs) {
+    for (const char c : spec.jobname + "|" + spec.platforminfo) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= static_cast<uint64_t>(spec.num_samples);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool ValuesWithinQuantization(const std::vector<CpiSpec>& flat,
+                              const std::vector<CpiSpec>& tiered) {
+  if (flat.size() != tiered.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < flat.size(); ++i) {
+    // 2^-20 quantization, amplified a little by the variance reconstruction.
+    const double tol = 1e-4;
+    if (std::fabs(flat[i].cpi_mean - tiered[i].cpi_mean) > tol ||
+        std::fabs(flat[i].cpi_stddev - tiered[i].cpi_stddev) > tol ||
+        std::fabs(flat[i].cpu_usage_mean - tiered[i].cpu_usage_mean) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Specs built (and distributed) per second of bottleneck-machine time over
+// repeated rounds; cell-side cost reported alongside.
+struct Throughput {
+  double specs_per_sec = 0.0;
+  double deliveries_per_round = 0.0;
+  double cell_ms_per_round = 0.0;
+};
+
+template <typename RoundFn>
+Throughput Measure(const ClusterShape& shape, RoundFn round, int min_reps,
+                   double min_seconds) {
+  std::vector<uint64_t> machine_state(static_cast<size_t>(shape.machines), 0);
+  int reps = 0;
+  int64_t specs = 0;
+  int64_t deliveries = 0;
+  double bottleneck = 0.0;
+  double cell = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    const RoundResult result = round(machine_state);
+    specs += static_cast<int64_t>(result.specs.size());
+    deliveries += result.deliveries;
+    bottleneck += result.bottleneck_seconds;
+    cell += result.cell_seconds;
+    ++reps;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  } while (reps < min_reps || elapsed < min_seconds);
+  Throughput out;
+  out.specs_per_sec = bottleneck > 0.0 ? static_cast<double>(specs) / bottleneck : 0.0;
+  out.deliveries_per_round = static_cast<double>(deliveries) / reps;
+  out.cell_ms_per_round = 1000.0 * cell / reps;
+  return out;
+}
+
+// Peak resident set (VmHWM) in MiB from /proc/self/status; 0 where absent.
+double PeakRssMib() {
+#ifdef __linux__
+  if (FILE* f = std::fopen("/proc/self/status", "r"); f != nullptr) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      long kb = 0;
+      if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) {
+        std::fclose(f);
+        return static_cast<double>(kb) / 1024.0;
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+  return 0.0;
+}
+
+struct ScalePoint {
+  int machines = 0;
+  double flat_specs_per_sec = 0.0;
+  double tiered_specs_per_sec = 0.0;
+  double speedup = 0.0;
+  double flat_deliveries = 0.0;
+  double tiered_deliveries = 0.0;
+  double cell_side_ms = 0.0;
+  bool equivalent = false;
+};
+
+ScalePoint RunScale(int machines, int jobs, int cells, int min_reps, double min_seconds) {
+  ScalePoint point;
+  point.machines = machines;
+  const ClusterShape shape = MakeCluster(machines, jobs);
+
+  // Equivalence gate on fresh state before any timing.
+  {
+    SpecBuilder flat_builder(ScaleParams(/*cells=*/0));
+    Tier tier_a(cells);
+    Tier tier_b(cells * 4);
+    std::vector<uint64_t> state_flat(static_cast<size_t>(machines), 0);
+    std::vector<uint64_t> state_a(static_cast<size_t>(machines), 0);
+    std::vector<uint64_t> state_b(static_cast<size_t>(machines), 0);
+    const RoundResult flat = FlatRound(flat_builder, shape, state_flat);
+    const RoundResult tiered_a = TieredRound(tier_a, shape, state_a);
+    const RoundResult tiered_b = TieredRound(tier_b, shape, state_b);
+    const bool flat_vs_tiered = !flat.specs.empty() &&
+                                ExactHash(flat.specs) == ExactHash(tiered_a.specs) &&
+                                ValuesWithinQuantization(flat.specs, tiered_a.specs);
+    // Different cell counts must agree to the byte: specs and the delivered
+    // per-machine state.
+    bool cells_bit_identical = tiered_a.specs.size() == tiered_b.specs.size() &&
+                               state_a == state_b;
+    for (size_t i = 0; cells_bit_identical && i < tiered_a.specs.size(); ++i) {
+      cells_bit_identical = tiered_a.specs[i].jobname == tiered_b.specs[i].jobname &&
+                            tiered_a.specs[i].num_samples == tiered_b.specs[i].num_samples &&
+                            tiered_a.specs[i].cpi_mean == tiered_b.specs[i].cpi_mean &&
+                            tiered_a.specs[i].cpi_stddev == tiered_b.specs[i].cpi_stddev &&
+                            tiered_a.specs[i].cpu_usage_mean == tiered_b.specs[i].cpu_usage_mean;
+    }
+    point.equivalent = flat_vs_tiered && cells_bit_identical;
+  }
+
+  SpecBuilder flat_builder(ScaleParams(/*cells=*/0));
+  std::vector<uint64_t> sink;
+  const Throughput flat = Measure(
+      shape,
+      [&](std::vector<uint64_t>& state) { return FlatRound(flat_builder, shape, state); },
+      min_reps, min_seconds);
+  Tier tier(cells);
+  const Throughput tiered = Measure(
+      shape,
+      [&](std::vector<uint64_t>& state) { return TieredRound(tier, shape, state); },
+      min_reps, min_seconds);
+
+  point.flat_specs_per_sec = flat.specs_per_sec;
+  point.tiered_specs_per_sec = tiered.specs_per_sec;
+  point.speedup = flat.specs_per_sec > 0.0 ? tiered.specs_per_sec / flat.specs_per_sec : 0.0;
+  point.flat_deliveries = flat.deliveries_per_round;
+  point.tiered_deliveries = tiered.deliveries_per_round;
+  point.cell_side_ms = tiered.cell_ms_per_round;
+  return point;
+}
+
+int Main(bool smoke) {
+  SetMinLogLevel(LogLevel::kWarning);
+  PrintHeader("cluster_scale",
+              "Two-tier aggregation (cells + CPI2SKT1 + subscription fan-out) vs "
+              "flat ingest + broadcast, at 10k and 100k machines");
+  PrintPaperClaim("section 3.1: CPI samples are aggregated for ~all machines in a "
+                  "cluster (tens of thousands); spec distribution must not scan "
+                  "every machine per spec");
+
+  const int jobs = smoke ? 50 : 2000;
+  const int cells = 4;
+  const int min_reps = smoke ? 1 : 3;
+  const double min_seconds = smoke ? 0.0 : 0.5;
+  std::vector<int> scales;
+  if (smoke) {
+    scales = {500};
+  } else {
+    scales = {10000, 100000};
+  }
+
+  bool all_equivalent = true;
+  bool speedup_ok = true;
+  std::string scale_json;
+  for (const int machines : scales) {
+    const ScalePoint point = RunScale(machines, jobs, cells, min_reps, min_seconds);
+    all_equivalent = all_equivalent && point.equivalent;
+    if (!smoke) {
+      // The acceptance bar: at 10k+ machines the tiered path must build-and-
+      // distribute at >= 5x the flat path's rate.
+      speedup_ok = speedup_ok && point.speedup >= 5.0;
+    }
+    PrintResult(StrFormat("flat_specs_per_sec_%dk", machines / 1000).c_str(),
+                point.flat_specs_per_sec);
+    PrintResult(StrFormat("tiered_specs_per_sec_%dk", machines / 1000).c_str(),
+                point.tiered_specs_per_sec);
+    PrintResult(StrFormat("speedup_%dk", machines / 1000).c_str(), point.speedup);
+    PrintResult(StrFormat("flat_deliveries_per_round_%dk", machines / 1000).c_str(),
+                point.flat_deliveries);
+    PrintResult(StrFormat("tiered_deliveries_per_round_%dk", machines / 1000).c_str(),
+                point.tiered_deliveries);
+    PrintResult(StrFormat("cell_side_ms_per_round_%dk", machines / 1000).c_str(),
+                point.cell_side_ms);
+    if (!scale_json.empty()) {
+      scale_json += ",";
+    }
+    scale_json += StrFormat(
+        "{\"machines\":%d,\"flat_specs_per_sec\":%.0f,\"tiered_specs_per_sec\":%.0f,"
+        "\"speedup\":%.2f,\"flat_deliveries_per_round\":%.0f,"
+        "\"tiered_deliveries_per_round\":%.0f,\"cell_side_ms_per_round\":%.1f,"
+        "\"equivalent\":%s}",
+        point.machines, point.flat_specs_per_sec, point.tiered_specs_per_sec, point.speedup,
+        point.flat_deliveries, point.tiered_deliveries, point.cell_side_ms,
+        point.equivalent ? "true" : "false");
+  }
+  const double peak_rss_mib = PeakRssMib();
+  PrintResult("peak_rss_mib", peak_rss_mib);
+  if (!all_equivalent) {
+    PrintResult("EQUIVALENCE_FAILED", 1.0);
+  }
+  if (!speedup_ok) {
+    PrintResult("SPEEDUP_BELOW_5X", 1.0);
+  }
+
+  const std::string json = StrFormat(
+      "{\"bench\":\"cluster_scale\",\"equivalent\":%s,\"jobs\":%d,\"cells\":%d,"
+      "\"peak_rss_mib\":%.1f,\"scales\":[%s]}",
+      all_equivalent ? "true" : "false", jobs, cells, peak_rss_mib, scale_json.c_str());
+  std::printf("%s\n", json.c_str());
+  if (!smoke) {
+    if (FILE* f = std::fopen("BENCH_cluster_scale.json", "w"); f != nullptr) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+  }
+  return (all_equivalent && speedup_ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cpi2
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  return cpi2::Main(smoke);
+}

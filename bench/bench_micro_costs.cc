@@ -11,6 +11,7 @@
 
 #include "core/aggregator.h"
 #include "core/antagonist_identifier.h"
+#include "stats/sketch.h"
 #include "core/correlation.h"
 #include "core/incident_log.h"
 #include "core/outlier_detector.h"
@@ -357,6 +358,96 @@ void BM_DecodeSampleBatch(benchmark::State& state) {
                           static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_DecodeSampleBatch)->Arg(64)->Arg(1000);
+
+// Per-sample cost of the mergeable integer sketch (DESIGN.md §16): quantize,
+// two 128-bit accumulations, one histogram bucket from double-bit inspection.
+// This is the cell tier's AddSample hot loop; compare against
+// BM_SpecBuilderAddSample for the flat path's per-sample cost.
+void BM_SketchInsert(benchmark::State& state) {
+  Rng rng(17);
+  // Pre-drawn values so the RNG is not part of the measured loop.
+  std::vector<double> cpi, usage;
+  for (int i = 0; i < 1024; ++i) {
+    cpi.push_back(rng.Uniform(0.5, 4.0));
+    usage.push_back(rng.Uniform(0.0, 2.0));
+  }
+  CpiSketch sketch;
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(cpi[i & 1023], usage[i & 1023]);
+    ++i;
+  }
+  benchmark::DoNotOptimize(sketch);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SketchInsert);
+
+// One cell→global merge: pure integer addition over the fixed-size state
+// (count, three 128-bit sums, 64+2 histogram cells). This is the entire
+// marginal cost of an extra aggregation tier per (job, platform) key.
+void BM_SketchMerge(benchmark::State& state) {
+  Rng rng(19);
+  CpiSketch partial;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    partial.Add(rng.Uniform(0.5, 4.0), rng.Uniform(0.0, 2.0));
+  }
+  CpiSketch total;
+  for (auto _ : state) {
+    total.Merge(partial);
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SketchMerge)->Arg(10)->Arg(1000);
+
+// Spec distribution per updated job: subscription fan-out (arg 1 = 0)
+// touches only that job's subscribers; the legacy broadcast (arg 1 = 1)
+// scans every machine and asks whether it runs the job. Arg 0 = machines;
+// 100 jobs, each machine running (and thus subscribed to) two of them, so
+// the subscriber list is ~2% of the cluster per job.
+void BM_SubscriptionFanout(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const bool broadcast = state.range(1) != 0;
+  constexpr int kJobs = 100;
+  std::vector<std::vector<int>> machine_jobs(static_cast<size_t>(machines));
+  std::vector<std::vector<int>> subscribers(kJobs);
+  for (int m = 0; m < machines; ++m) {
+    for (int job : {m % kJobs, (m + 1) % kJobs}) {
+      machine_jobs[static_cast<size_t>(m)].push_back(job);
+      subscribers[static_cast<size_t>(job)].push_back(m);
+    }
+  }
+  std::vector<uint64_t> delivered(static_cast<size_t>(machines) * kJobs, 0);
+  uint64_t version = 0;
+  int job = 0;
+  int64_t deliveries = 0;
+  for (auto _ : state) {
+    ++version;
+    if (broadcast) {
+      for (int m = 0; m < machines; ++m) {
+        for (int j : machine_jobs[static_cast<size_t>(m)]) {
+          if (j == job) {
+            delivered[static_cast<size_t>(m) * kJobs + static_cast<size_t>(j)] = version;
+            ++deliveries;
+          }
+        }
+      }
+    } else {
+      for (int m : subscribers[static_cast<size_t>(job)]) {
+        delivered[static_cast<size_t>(m) * kJobs + static_cast<size_t>(job)] = version;
+        ++deliveries;
+      }
+    }
+    job = (job + 1) % kJobs;
+  }
+  benchmark::DoNotOptimize(delivered.data());
+  state.SetItemsProcessed(deliveries);
+}
+BENCHMARK(BM_SubscriptionFanout)
+    ->Args({1000, 0})
+    ->Args({10000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 1});
 
 // Sampler bookkeeping for a full machine (the per-second agent cost outside
 // the counter windows themselves).

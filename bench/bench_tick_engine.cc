@@ -2,13 +2,15 @@
 //
 // Runs the full harness (machines + agents + aggregator) over a
 // representative 1000-machine cluster at several thread counts and reports
-// the machine-tick rate for each, plus the parallel speedup. The serial run
-// is also repeated with `legacy_task_layout` set, measuring the SoA tick
-// engine against the per-Task reference loop on the same scenario and
-// asserting their end states are bit-identical (the process exits nonzero
-// on a mismatch, so the perf-label smoke run doubles as an equivalence
-// gate). Writes a single JSON line to BENCH_tick_engine.json so CI can
-// track the perf trajectory across PRs.
+// the machine-tick rate for each, plus the parallel speedup. With
+// --with-legacy-layout the serial run is also repeated with
+// `legacy_task_layout` set, measuring the SoA tick engine against the
+// per-Task reference loop and asserting their end states are bit-identical
+// (nonzero exit on mismatch). Default runs skip the deprecated flag — §14's
+// retirement plan, stage 2: the equivalence claim is held by
+// ParallelDeterminismTest.LegacyTaskLayoutMatchesSoA and the fuzz-churn
+// test, not by every bench invocation. Writes a single JSON line to
+// BENCH_tick_engine.json so CI can track the perf trajectory across PRs.
 
 #include <chrono>
 #include <cstdio>
@@ -101,7 +103,7 @@ Measurement Measure(int threads, bool legacy_task_layout = false) {
   return m;
 }
 
-int Main(bool smoke) {
+int Main(bool smoke, bool with_legacy_layout) {
   SetMinLogLevel(LogLevel::kWarning);
   if (smoke) {
     g_machines = 16;
@@ -123,18 +125,20 @@ int Main(bool smoke) {
     PrintResult(StrFormat("machine_ticks_per_sec_threads_%d", m.threads), m.ticks_per_sec);
   }
 
-  // The same serial scenario through the legacy per-Task layout: the
-  // SoA/legacy throughput ratio is the tick-engine gain this repo tracks,
-  // and the end-state hashes prove the fast path changed nothing.
-  const Measurement legacy_serial = Measure(/*threads=*/1, /*legacy_task_layout=*/true);
-  PrintResult("machine_ticks_per_sec_serial_legacy_layout", legacy_serial.ticks_per_sec);
-  const bool identical = legacy_serial.state_hash == results[0].state_hash &&
-                         legacy_serial.samples == results[0].samples;
-  PrintResult("layout_equivalent", identical ? 1.0 : 0.0);
-
+  // Opt-in: the same serial scenario through the deprecated legacy per-Task
+  // layout, with the end-state hashes proving the fast path changed nothing.
+  Measurement legacy_serial;
+  bool identical = true;
   const double serial = results[0].ticks_per_sec;
-  if (legacy_serial.ticks_per_sec > 0.0) {
-    PrintResult("layout_speedup_serial", serial / legacy_serial.ticks_per_sec);
+  if (with_legacy_layout) {
+    legacy_serial = Measure(/*threads=*/1, /*legacy_task_layout=*/true);
+    PrintResult("machine_ticks_per_sec_serial_legacy_layout", legacy_serial.ticks_per_sec);
+    identical = legacy_serial.state_hash == results[0].state_hash &&
+                legacy_serial.samples == results[0].samples;
+    PrintResult("layout_equivalent", identical ? 1.0 : 0.0);
+    if (legacy_serial.ticks_per_sec > 0.0) {
+      PrintResult("layout_speedup_serial", serial / legacy_serial.ticks_per_sec);
+    }
   }
 
   std::string json = StrFormat(
@@ -150,13 +154,15 @@ int Main(bool smoke) {
     }
   }
   json += StrFormat(",\"ticks_per_sec_serial_layout_soa\":%.1f", serial);
-  json += StrFormat(",\"ticks_per_sec_serial_layout_legacy\":%.1f",
-                    legacy_serial.ticks_per_sec);
-  if (legacy_serial.ticks_per_sec > 0.0) {
-    json += StrFormat(",\"layout_speedup_serial\":%.3f",
-                      serial / legacy_serial.ticks_per_sec);
+  if (with_legacy_layout) {
+    json += StrFormat(",\"ticks_per_sec_serial_layout_legacy\":%.1f",
+                      legacy_serial.ticks_per_sec);
+    if (legacy_serial.ticks_per_sec > 0.0) {
+      json += StrFormat(",\"layout_speedup_serial\":%.3f",
+                        serial / legacy_serial.ticks_per_sec);
+    }
+    json += StrFormat(",\"identical\":%s", identical ? "true" : "false");
   }
-  json += StrFormat(",\"identical\":%s", identical ? "true" : "false");
   json += StrFormat(",\"samples_collected\":%lld}", static_cast<long long>(results[0].samples));
 
   std::printf("%s\n", json.c_str());
@@ -185,10 +191,14 @@ int Main(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool with_legacy_layout = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     }
+    if (std::strcmp(argv[i], "--with-legacy-layout") == 0) {
+      with_legacy_layout = true;
+    }
   }
-  return cpi2::Main(smoke);
+  return cpi2::Main(smoke, with_legacy_layout);
 }

@@ -1,0 +1,667 @@
+#include "core/cell_aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/string_util.h"
+#include "wire/framing.h"
+#include "wire/sketch_codec.h"
+
+namespace cpi2 {
+namespace {
+
+constexpr char kHierCheckpointMagic[] = "CPI2HAG1";
+
+// Record tags, matching the flat v3 checkpoint vocabulary (aggregator.cc):
+// M = metadata, W = dedup watermark, D = dedup window entries, H = history
+// entries, S = latest specs (here with a trailing version varint).
+constexpr uint8_t kMetaTag = 'M';
+constexpr uint8_t kWatermarkTag = 'W';
+constexpr uint8_t kDedupTag = 'D';
+constexpr uint8_t kHistoryTag = 'H';
+constexpr uint8_t kSpecTag = 'S';
+
+constexpr size_t kDedupEntriesPerRecord = 2048;
+
+struct ParsedHierCheckpoint {
+  bool have_meta = false;
+  MicroTime last_build = -1;
+  int64_t builds_completed = 0;
+  int64_t samples_seen = 0;
+  MicroTime watermark = 0;
+  struct DedupEntry {
+    MicroTime timestamp = 0;
+    std::string machine;
+    std::string task;
+  };
+  std::vector<DedupEntry> dedup_entries;
+  std::vector<SpecBuilder::HistoryEntry> history;
+  std::vector<GlobalMerger::VersionedSpec> latest_specs;
+};
+
+// All-or-nothing parse, mirroring the flat checkpoint loader: any damaged
+// record rejects the blob naming the record.
+Status ParseHierCheckpoint(std::string_view checkpoint, ParsedHierCheckpoint* parsed) {
+  WireReader reader(checkpoint.substr(kWireMagicSize));
+  int record_number = 0;
+  std::string_view payload;
+  while (true) {
+    ++record_number;
+    const FrameResult frame = ReadFramedRecord(reader, &payload);
+    if (frame == FrameResult::kEnd) {
+      return Status::Ok();
+    }
+    const auto damaged = [&](const char* what) {
+      return InvalidArgumentError(
+          StrFormat("hierarchical checkpoint record %d: %s", record_number, what));
+    };
+    if (frame == FrameResult::kCorrupt) {
+      return damaged("bad CRC");
+    }
+    if (frame == FrameResult::kTruncated) {
+      return damaged("truncated");
+    }
+    WireReader record(payload);
+    const uint8_t tag = record.GetByte();
+    switch (tag) {
+      case kMetaTag:
+        parsed->last_build = record.GetZigzag();
+        parsed->builds_completed = static_cast<int64_t>(record.GetVarint());
+        parsed->samples_seen = static_cast<int64_t>(record.GetVarint());
+        parsed->have_meta = true;
+        break;
+      case kWatermarkTag:
+        parsed->watermark = record.GetZigzag();
+        break;
+      case kDedupTag: {
+        const uint64_t name_count = record.GetVarint();
+        if (record.failed() || name_count > record.remaining()) {
+          return damaged("malformed dedup dictionary");
+        }
+        std::vector<std::string_view> names(static_cast<size_t>(name_count));
+        for (auto& name : names) {
+          name = record.GetString();
+        }
+        const uint64_t entry_count = record.GetVarint();
+        if (record.failed() || entry_count > record.remaining()) {
+          return damaged("malformed dedup entries");
+        }
+        MicroTime prev = 0;
+        for (uint64_t i = 0; i < entry_count; ++i) {
+          ParsedHierCheckpoint::DedupEntry entry;
+          const uint64_t machine_idx = record.GetVarint();
+          const uint64_t task_idx = record.GetVarint();
+          entry.timestamp = prev + record.GetZigzag();
+          prev = entry.timestamp;
+          if (record.failed() || machine_idx >= names.size() || task_idx >= names.size()) {
+            return damaged("malformed dedup entries");
+          }
+          entry.machine.assign(names[static_cast<size_t>(machine_idx)]);
+          entry.task.assign(names[static_cast<size_t>(task_idx)]);
+          parsed->dedup_entries.push_back(std::move(entry));
+        }
+        break;
+      }
+      case kHistoryTag: {
+        const uint64_t entry_count = record.GetVarint();
+        if (record.failed() || entry_count > record.remaining()) {
+          return damaged("malformed history entries");
+        }
+        for (uint64_t i = 0; i < entry_count; ++i) {
+          SpecBuilder::HistoryEntry entry;
+          entry.key.jobname.assign(record.GetString());
+          entry.key.platforminfo.assign(record.GetString());
+          entry.count = record.GetDouble();
+          entry.mean = record.GetDouble();
+          entry.m2 = record.GetDouble();
+          entry.usage_mean = record.GetDouble();
+          if (record.failed()) {
+            return damaged("malformed history entries");
+          }
+          parsed->history.push_back(std::move(entry));
+        }
+        break;
+      }
+      case kSpecTag: {
+        const uint64_t spec_count = record.GetVarint();
+        if (record.failed() || spec_count > record.remaining()) {
+          return damaged("malformed spec entries");
+        }
+        for (uint64_t i = 0; i < spec_count; ++i) {
+          GlobalMerger::VersionedSpec versioned;
+          versioned.spec.jobname.assign(record.GetString());
+          versioned.spec.platforminfo.assign(record.GetString());
+          versioned.spec.num_samples = static_cast<int64_t>(record.GetVarint());
+          versioned.spec.cpu_usage_mean = record.GetDouble();
+          versioned.spec.cpi_mean = record.GetDouble();
+          versioned.spec.cpi_stddev = record.GetDouble();
+          versioned.version = record.GetVarint();
+          if (record.failed()) {
+            return damaged("malformed spec entries");
+          }
+          parsed->latest_specs.push_back(std::move(versioned));
+        }
+        break;
+      }
+      default:
+        return damaged("unknown record tag");
+    }
+    if (record.failed()) {
+      return damaged("record underran its payload");
+    }
+  }
+}
+
+}  // namespace
+
+// --- CellAggregator ---------------------------------------------------------
+
+CellAggregator::CellAggregator(const Cpi2Params& params, uint32_t cell_id)
+    : params_(params), cell_id_(cell_id) {}
+
+void CellAggregator::AddSample(const CpiSample& sample) {
+  const IdKey key =
+      (static_cast<IdKey>(job_memo_.Intern(names_, sample.jobname)) << 32) |
+      platform_memo_.Intern(names_, sample.platforminfo);
+  Partial& partial = window_[key];
+  partial.sketch.Add(sample.cpi, sample.cpu_usage);
+  if (!sample.task.empty()) {
+    partial.task_samples.emplace_back(TaskIdentityHash(sample.task), 1);
+  }
+}
+
+void CellAggregator::EmitFrame(std::string* out) {
+  SketchFrame frame;
+  frame.cell_id = cell_id_;
+  frame.sequence = sequence_++;
+
+  // Emit partials in (jobname, platforminfo) order with a first-use name
+  // dictionary: the frame bytes become a pure function of the window's
+  // contents, independent of interner id assignment or map iteration order.
+  std::vector<IdKey> keys;
+  keys.reserve(window_.size());
+  for (const auto& [key, unused] : window_) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end(), [this](IdKey a, IdKey b) {
+    const std::string& job_a = names_.NameOf(static_cast<uint32_t>(a >> 32));
+    const std::string& job_b = names_.NameOf(static_cast<uint32_t>(b >> 32));
+    if (job_a != job_b) {
+      return job_a < job_b;
+    }
+    return names_.NameOf(static_cast<uint32_t>(a)) < names_.NameOf(static_cast<uint32_t>(b));
+  });
+
+  std::unordered_map<uint32_t, uint32_t> dict;  // interner id -> frame index
+  const auto frame_index = [&](uint32_t interned) {
+    const auto [it, inserted] = dict.try_emplace(interned, static_cast<uint32_t>(dict.size()));
+    if (inserted) {
+      frame.names.push_back(names_.NameOf(interned));
+    }
+    return it->second;
+  };
+
+  frame.partials.reserve(keys.size());
+  for (const IdKey key : keys) {
+    Partial& window_partial = window_.at(key);
+    SketchPartial partial;
+    partial.job = frame_index(static_cast<uint32_t>(key >> 32));
+    partial.platform = frame_index(static_cast<uint32_t>(key));
+    partial.sketch = window_partial.sketch;
+    // Canonicalize the per-sample append log: ascending hash, duplicate
+    // hashes collapsed by summing counts (what the old per-sample map did).
+    std::sort(window_partial.task_samples.begin(), window_partial.task_samples.end());
+    partial.task_samples.reserve(window_partial.task_samples.size());
+    for (const auto& [hash, count] : window_partial.task_samples) {
+      if (!partial.task_samples.empty() && partial.task_samples.back().first == hash) {
+        partial.task_samples.back().second += count;
+      } else {
+        partial.task_samples.emplace_back(hash, count);
+      }
+    }
+    frame.partials.push_back(std::move(partial));
+  }
+  EncodeSketchFrame(frame, out);
+  window_.clear();
+}
+
+void CellAggregator::DiscardWindow() { window_.clear(); }
+
+// --- GlobalMerger -----------------------------------------------------------
+
+GlobalMerger::GlobalMerger(const Cpi2Params& params) : params_(params) {}
+
+void GlobalMerger::MomentHistory::Decay(double weight) {
+  count *= weight;
+  m2 *= weight;
+}
+
+void GlobalMerger::MomentHistory::Merge(double other_count, double other_mean,
+                                        double other_m2, double other_usage) {
+  if (other_count <= 0.0) {
+    return;
+  }
+  if (count <= 0.0) {
+    count = other_count;
+    mean = other_mean;
+    m2 = other_m2;
+    usage_mean = other_usage;
+    return;
+  }
+  const double total = count + other_count;
+  const double delta = other_mean - mean;
+  m2 += other_m2 + delta * delta * count * other_count / total;
+  mean += delta * other_count / total;
+  usage_mean += (other_usage - usage_mean) * other_count / total;
+  count = total;
+}
+
+Status GlobalMerger::MergeFrame(std::string_view bytes) {
+  SketchFrame frame;
+  SketchFrameDecodeStats stats;
+  const Status status = DecodeSketchFrame(bytes, &frame, &stats);
+  partials_dropped_ += stats.records_skipped;
+  if (!status.ok()) {
+    ++partials_dropped_;  // the whole frame: at least its header is gone
+    return status;
+  }
+  for (SketchPartial& partial : frame.partials) {
+    const IdKey key = MakeKey(names_.Intern(frame.names[partial.job]),
+                              names_.Intern(frame.names[partial.platform]));
+    MergedPartial& merged = window_[key];
+    merged.sketch.Merge(partial.sketch);
+    if (merged.task_samples.empty()) {
+      merged.task_samples = std::move(partial.task_samples);
+      continue;
+    }
+    // Both sides are ascending by hash (the decoder enforces it for the
+    // incoming partial): linear merge, summing counts on hash collisions.
+    merge_scratch_.clear();
+    merge_scratch_.reserve(merged.task_samples.size() + partial.task_samples.size());
+    auto a = merged.task_samples.begin();
+    auto b = partial.task_samples.begin();
+    while (a != merged.task_samples.end() && b != partial.task_samples.end()) {
+      if (a->first < b->first) {
+        merge_scratch_.push_back(*a++);
+      } else if (b->first < a->first) {
+        merge_scratch_.push_back(*b++);
+      } else {
+        merge_scratch_.emplace_back(a->first, a->second + b->second);
+        ++a;
+        ++b;
+      }
+    }
+    merge_scratch_.insert(merge_scratch_.end(), a, merged.task_samples.end());
+    merge_scratch_.insert(merge_scratch_.end(), b, partial.task_samples.end());
+    merged.task_samples.swap(merge_scratch_);
+  }
+  return Status::Ok();
+}
+
+bool GlobalMerger::Eligible(const MergedPartial& merged) const {
+  // SpecBuilder::Eligible restated over the sketch: distinct tasks via the
+  // identity-hash union (exact across any cell partition), average samples
+  // per task from the sketch's total count.
+  if (static_cast<int>(merged.task_samples.size()) < params_.min_tasks_for_spec) {
+    return false;
+  }
+  const double average = static_cast<double>(merged.sketch.count()) /
+                         static_cast<double>(merged.task_samples.size());
+  return average >= static_cast<double>(params_.min_samples_per_task);
+}
+
+bool GlobalMerger::NameOrderLess(IdKey a, IdKey b) const {
+  const std::string& job_a = names_.NameOf(JobOf(a));
+  const std::string& job_b = names_.NameOf(JobOf(b));
+  if (job_a != job_b) {
+    return job_a < job_b;
+  }
+  return names_.NameOf(PlatformOf(a)) < names_.NameOf(PlatformOf(b));
+}
+
+template <typename Map>
+std::vector<GlobalMerger::IdKey> GlobalMerger::SortedKeys(const Map& map) const {
+  std::vector<IdKey> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, unused] : map) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end(), [this](IdKey a, IdKey b) { return NameOrderLess(a, b); });
+  return keys;
+}
+
+std::vector<CpiSpec> GlobalMerger::BuildSpecs(uint64_t version) {
+  // SpecBuilder::BuildShard's sequence, with the sketch supplying the
+  // window moments: decay all history first, then per-key merge + build.
+  for (auto& [key, history] : history_) {
+    history.Decay(params_.history_weight);
+  }
+  std::vector<IdKey> built;
+  for (auto& [key, merged] : window_) {
+    MomentHistory& history = history_[key];
+    const bool eligible_now = Eligible(merged);
+    history.Merge(static_cast<double>(merged.sketch.count()), merged.sketch.cpi_mean(),
+                  merged.sketch.cpi_m2(), merged.sketch.usage_mean());
+    if (!eligible_now) {
+      continue;
+    }
+    CpiSpec spec;
+    spec.jobname = names_.NameOf(JobOf(key));
+    spec.platforminfo = names_.NameOf(PlatformOf(key));
+    spec.num_samples = static_cast<int64_t>(history.count);
+    spec.cpu_usage_mean = history.usage_mean;
+    spec.cpi_mean = history.mean;
+    spec.cpi_stddev = std::sqrt(history.Variance());
+    latest_specs_[key] = VersionedSpec{std::move(spec), version};
+    built.push_back(key);
+  }
+  window_.clear();
+
+  std::sort(built.begin(), built.end(),
+            [this](IdKey a, IdKey b) { return NameOrderLess(a, b); });
+  std::vector<CpiSpec> specs;
+  specs.reserve(built.size());
+  for (const IdKey key : built) {
+    specs.push_back(latest_specs_.at(key).spec);
+  }
+  return specs;
+}
+
+std::optional<CpiSpec> GlobalMerger::GetSpec(const std::string& jobname,
+                                             const std::string& platforminfo) const {
+  const auto versioned = LatestSpec(jobname, platforminfo);
+  if (!versioned.has_value()) {
+    return std::nullopt;
+  }
+  return versioned->spec;
+}
+
+std::optional<GlobalMerger::VersionedSpec> GlobalMerger::LatestSpec(
+    const std::string& jobname, const std::string& platforminfo) const {
+  const auto job = names_.Find(jobname);
+  const auto platform = names_.Find(platforminfo);
+  if (!job.has_value() || !platform.has_value()) {
+    return std::nullopt;
+  }
+  const auto it = latest_specs_.find(MakeKey(*job, *platform));
+  if (it == latest_specs_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<SpecBuilder::HistoryEntry> GlobalMerger::SnapshotHistory() const {
+  std::vector<SpecBuilder::HistoryEntry> entries;
+  entries.reserve(history_.size());
+  for (const IdKey key : SortedKeys(history_)) {
+    const MomentHistory& history = history_.at(key);
+    SpecBuilder::HistoryEntry entry;
+    entry.key.jobname = names_.NameOf(JobOf(key));
+    entry.key.platforminfo = names_.NameOf(PlatformOf(key));
+    entry.count = history.count;
+    entry.mean = history.mean;
+    entry.m2 = history.m2;
+    entry.usage_mean = history.usage_mean;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<GlobalMerger::VersionedSpec> GlobalMerger::SnapshotLatestSpecs() const {
+  std::vector<VersionedSpec> specs;
+  specs.reserve(latest_specs_.size());
+  for (const IdKey key : SortedKeys(latest_specs_)) {
+    specs.push_back(latest_specs_.at(key));
+  }
+  return specs;
+}
+
+void GlobalMerger::RestoreSnapshot(
+    const std::vector<SpecBuilder::HistoryEntry>& history,
+    const std::vector<VersionedSpec>& latest_specs) {
+  history_.clear();
+  latest_specs_.clear();
+  window_.clear();
+  for (const SpecBuilder::HistoryEntry& entry : history) {
+    const IdKey key = MakeKey(names_.Intern(entry.key.jobname),
+                              names_.Intern(entry.key.platforminfo));
+    MomentHistory& moments = history_[key];
+    moments.count = entry.count;
+    moments.mean = entry.mean;
+    moments.m2 = entry.m2;
+    moments.usage_mean = entry.usage_mean;
+  }
+  for (const VersionedSpec& versioned : latest_specs) {
+    const IdKey key = MakeKey(names_.Intern(versioned.spec.jobname),
+                              names_.Intern(versioned.spec.platforminfo));
+    latest_specs_[key] = versioned;
+  }
+}
+
+// --- HierarchicalAggregator -------------------------------------------------
+
+HierarchicalAggregator::HierarchicalAggregator(const Cpi2Params& params)
+    : params_(params), merger_(params) {
+  const size_t cells =
+      params.aggregation_cells < 1 ? 1 : static_cast<size_t>(params.aggregation_cells);
+  cells_.reserve(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    cells_.emplace_back(params, static_cast<uint32_t>(i));
+  }
+  cell_down_.assign(cells, false);
+  cell_last_merge_.assign(cells, -1);
+  frame_scratch_.resize(cells);
+}
+
+void HierarchicalAggregator::AddSample(size_t cell, const CpiSample& sample) {
+  // Global dedup, byte-for-byte the flat Aggregator's logic: one watermark
+  // and one window regardless of the cell partition, so the set of dropped
+  // duplicates is identical to the flat path's for the same arrival stream.
+  if (params_.sample_dedup_window > 0 && !sample.machine.empty()) {
+    if (sample.timestamp > dedup_watermark_) {
+      dedup_watermark_ = sample.timestamp;
+      const MicroTime cutoff = dedup_watermark_ - params_.sample_dedup_window;
+      recent_samples_.erase(recent_samples_.begin(),
+                            recent_samples_.lower_bound(SampleKey{cutoff, 0, 0}));
+    }
+    if (!recent_samples_
+             .insert(SampleKey{sample.timestamp,
+                               machine_memo_.Intern(dedup_ids_, sample.machine),
+                               dedup_ids_.Intern(sample.task)})
+             .second) {
+      ++duplicates_dropped_;
+      return;
+    }
+  }
+  ++samples_seen_;
+  cells_[cell % cells_.size()].AddSample(sample);
+}
+
+void HierarchicalAggregator::Tick(MicroTime now) {
+  if (last_build_ < 0) {
+    last_build_ = now;
+    return;
+  }
+  if (now - last_build_ >= params_.spec_update_interval) {
+    ForceBuild(now);
+  }
+}
+
+std::vector<CpiSpec> HierarchicalAggregator::ForceBuild(MicroTime now) {
+  last_build_ = now;
+  ++builds_completed_;
+
+  // Frame encoding is per-cell independent work (sort + serialize), so it
+  // parallelizes; the fold below is serial but order-insensitive — sketch
+  // merging is associative and commutative, so any schedule yields the same
+  // merger state bit for bit.
+  const auto encode_cell = [this](size_t i) {
+    frame_scratch_[i].clear();
+    if (cell_down_[i]) {
+      cells_[i].DiscardWindow();  // a dead cell's window dies with it
+    } else {
+      cells_[i].EmitFrame(&frame_scratch_[i]);
+    }
+  };
+  if (pool_ != nullptr && cells_.size() > 1) {
+    pool_->ParallelFor(cells_.size(), encode_cell);
+  } else {
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      encode_cell(i);
+    }
+  }
+
+  cells_reporting_ = 0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (frame_scratch_[i].empty()) {
+      continue;
+    }
+    if (merger_.MergeFrame(frame_scratch_[i]).ok()) {
+      cell_last_merge_[i] = now;
+      ++cells_reporting_;
+    }
+  }
+  stalest_partial_age_ = 0;
+  for (const MicroTime last : cell_last_merge_) {
+    // A cell that has never reported is as stale as the whole run.
+    const MicroTime age = last < 0 ? now : now - last;
+    stalest_partial_age_ = std::max(stalest_partial_age_, age);
+  }
+
+  std::vector<CpiSpec> specs =
+      merger_.BuildSpecs(static_cast<uint64_t>(builds_completed_));
+  if (callback_) {
+    for (const CpiSpec& spec : specs) {
+      callback_(spec, static_cast<uint64_t>(builds_completed_));
+    }
+  }
+  return specs;
+}
+
+void HierarchicalAggregator::SetCellDown(size_t cell, bool down) {
+  if (cell < cell_down_.size()) {
+    cell_down_[cell] = down;
+  }
+}
+
+std::string HierarchicalAggregator::Checkpoint() const {
+  std::string out;
+  AppendWireMagic(&out, kHierCheckpointMagic);
+  std::string payload;
+  const auto frame_out = [&] {
+    AppendFramedRecord(&out, payload);
+    payload.clear();
+  };
+
+  WireWriter meta(&payload);
+  meta.PutByte(kMetaTag);
+  meta.PutZigzag(last_build_);
+  meta.PutVarint(static_cast<uint64_t>(builds_completed_));
+  meta.PutVarint(static_cast<uint64_t>(samples_seen_));
+  frame_out();
+
+  WireWriter watermark(&payload);
+  watermark.PutByte(kWatermarkTag);
+  watermark.PutZigzag(dedup_watermark_);
+  frame_out();
+
+  auto dedup_it = recent_samples_.begin();
+  while (dedup_it != recent_samples_.end()) {
+    std::unordered_map<uint32_t, uint32_t> local_ids;
+    std::string names_buf;
+    std::string entries_buf;
+    WireWriter names(&names_buf);
+    WireWriter entries(&entries_buf);
+    const auto local_index = [&](uint32_t interned) {
+      const auto [it, inserted] =
+          local_ids.try_emplace(interned, static_cast<uint32_t>(local_ids.size()));
+      if (inserted) {
+        names.PutString(dedup_ids_.NameOf(interned));
+      }
+      return it->second;
+    };
+    size_t count = 0;
+    MicroTime prev = 0;
+    for (; dedup_it != recent_samples_.end() && count < kDedupEntriesPerRecord;
+         ++dedup_it, ++count) {
+      entries.PutVarint(local_index(std::get<1>(*dedup_it)));
+      entries.PutVarint(local_index(std::get<2>(*dedup_it)));
+      entries.PutZigzag(std::get<0>(*dedup_it) - prev);
+      prev = std::get<0>(*dedup_it);
+    }
+    WireWriter record(&payload);
+    record.PutByte(kDedupTag);
+    record.PutVarint(local_ids.size());
+    payload.append(names_buf);
+    record.PutVarint(count);
+    payload.append(entries_buf);
+    frame_out();
+  }
+
+  const std::vector<SpecBuilder::HistoryEntry> history = merger_.SnapshotHistory();
+  if (!history.empty()) {
+    WireWriter record(&payload);
+    record.PutByte(kHistoryTag);
+    record.PutVarint(history.size());
+    for (const SpecBuilder::HistoryEntry& entry : history) {
+      record.PutString(entry.key.jobname);
+      record.PutString(entry.key.platforminfo);
+      record.PutDouble(entry.count);
+      record.PutDouble(entry.mean);
+      record.PutDouble(entry.m2);
+      record.PutDouble(entry.usage_mean);
+    }
+    frame_out();
+  }
+  const std::vector<GlobalMerger::VersionedSpec> specs = merger_.SnapshotLatestSpecs();
+  if (!specs.empty()) {
+    WireWriter record(&payload);
+    record.PutByte(kSpecTag);
+    record.PutVarint(specs.size());
+    for (const GlobalMerger::VersionedSpec& versioned : specs) {
+      record.PutString(versioned.spec.jobname);
+      record.PutString(versioned.spec.platforminfo);
+      record.PutVarint(static_cast<uint64_t>(versioned.spec.num_samples));
+      record.PutDouble(versioned.spec.cpu_usage_mean);
+      record.PutDouble(versioned.spec.cpi_mean);
+      record.PutDouble(versioned.spec.cpi_stddev);
+      record.PutVarint(versioned.version);
+    }
+    frame_out();
+  }
+  return out;
+}
+
+Status HierarchicalAggregator::Restore(const std::string& checkpoint) {
+  if (!HasWireMagic(checkpoint, kHierCheckpointMagic)) {
+    return InvalidArgumentError("hierarchical checkpoint: missing or wrong magic");
+  }
+  ParsedHierCheckpoint parsed;
+  const Status status = ParseHierCheckpoint(checkpoint, &parsed);
+  if (!status.ok()) {
+    return status;
+  }
+  if (!parsed.have_meta) {
+    return InvalidArgumentError("hierarchical checkpoint: missing metadata record");
+  }
+  merger_.RestoreSnapshot(parsed.history, parsed.latest_specs);
+  last_build_ = parsed.last_build;
+  builds_completed_ = parsed.builds_completed;
+  samples_seen_ = parsed.samples_seen;
+  recent_samples_.clear();
+  dedup_watermark_ = parsed.watermark;
+  for (const ParsedHierCheckpoint::DedupEntry& entry : parsed.dedup_entries) {
+    recent_samples_.insert(SampleKey{entry.timestamp, dedup_ids_.Intern(entry.machine),
+                                     dedup_ids_.Intern(entry.task)});
+  }
+  // The restart starts a new epoch: partials the cells accumulated against
+  // the pre-crash merger must not replay, exactly as a flat restore drops
+  // the builder's in-progress window.
+  for (CellAggregator& cell : cells_) {
+    cell.DiscardWindow();
+  }
+  return Status::Ok();
+}
+
+}  // namespace cpi2

@@ -110,6 +110,21 @@ struct Cpi2Params {
   // fault-RNG draws are bit-identical for any shard count; 1 reproduces the
   // single-map layout. Values < 1 are clamped to 1.
   int spec_shards = 8;
+  // Aggregation topology. The flat path is the paper's design: one
+  // Aggregator ingests every machine's samples directly. Clearing this flag
+  // selects the two-tier path (DESIGN.md §16): per-cell shard aggregators
+  // fold samples into mergeable integer sketches, ship CPI2SKT1 partial
+  // frames to a global merger, and the merger builds the same CpiSpecs the
+  // flat path produces — bit-identical across any cell count and thread
+  // count, equal to the flat path within sketch quantization (~2^-20
+  // relative). ParallelDeterminismTest holds both claims. Tiered mode also
+  // flips spec distribution from per-machine platform scans to subscription
+  // fan-out: machines register interest per job and the merger pushes only
+  // to subscribers, with versioned invalidation across restarts.
+  bool flat_aggregation_path = true;
+  // Cell count for the tiered path (ignored when flat_aggregation_path is
+  // set). Values < 1 are clamped to 1.
+  int aggregation_cells = 4;
   // Validation escape hatch, mirroring legacy_correlation_path: route
   // IncidentLog::Select / TopAntagonists through the reference O(n) scan
   // instead of the columnar segment store + posting lists. The two paths are

@@ -1,5 +1,7 @@
 #include "harness/cluster_harness.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace cpi2 {
@@ -15,6 +17,11 @@ constexpr uint64_t kDropSeedSalt = 0x5eed;
 Cluster::Options ClusterOptionsFor(const ClusterHarness::Options& options) {
   Cluster::Options merged = options.cluster;
   if (options.params.legacy_task_layout) {
+    // DESIGN.md §14 retirement, step 1: the SoA TaskTable has been the
+    // default (and proven bit-identical) since it landed; the escape hatch
+    // now warns on use and is no longer benchmarked.
+    CPI2_LOG(WARNING) << "params.legacy_task_layout is deprecated and slated for "
+                         "removal; the SoA task table is the only supported layout";
     merged.legacy_task_layout = true;
   }
   return merged;
@@ -37,7 +44,11 @@ ClusterHarness::ClusterHarness(Options options)
       cluster_(ClusterOptionsFor(options_)),
       aggregator_(options.params),
       incident_log_(options.params.legacy_forensics_path),
-      drop_rng_(options.cluster.seed ^ kDropSeedSalt) {}
+      drop_rng_(options.cluster.seed ^ kDropSeedSalt) {
+  if (!options_.params.flat_aggregation_path) {
+    hier_aggregator_ = std::make_unique<HierarchicalAggregator>(options_.params);
+  }
+}
 
 void ClusterHarness::WireAgents() {
   if (wired_) {
@@ -97,15 +108,23 @@ void ClusterHarness::WireAgents() {
     agents_[machine->name()] = std::move(agent);
   }
   // Spec push-back: every rebuilt spec goes through the fault plane, then to
-  // the agents on its platform; agents still verify the platform match
-  // themselves.
-  aggregator_.SetSpecCallback([this](const CpiSpec& spec) { OnSpecPush(spec); });
+  // the agents — the flat path broadcasts to the spec's platform, the tiered
+  // path fans out to the job's subscribers. Agents still verify the platform
+  // match themselves.
+  if (hier_aggregator_ != nullptr) {
+    hier_aggregator_->SetSpecCallback([this](const CpiSpec& spec, uint64_t version) {
+      OnSpecPushTiered(spec, version);
+    });
+    hier_aggregator_->SetThreadPool(cluster_.pool());
+  } else {
+    aggregator_.SetSpecCallback([this](const CpiSpec& spec) { OnSpecPush(spec); });
+  }
   // Batched sample flushes and per-shard spec builds ride the cluster's
   // pool (nullptr when threads == 1 — everything stays on this thread).
   // Both run in OnTick's serial merge phase, never inside a pool task.
   aggregator_.SetThreadPool(cluster_.pool());
   // A crash before the first checkpoint recovers to this pristine state.
-  empty_checkpoint_blob_ = aggregator_.Checkpoint();
+  empty_checkpoint_blob_ = AggregatorCheckpoint();
   cluster_.AddTickListener([this](MicroTime now) { OnTick(now); });
   cluster_.AddTickListener([this](MicroTime now) { traces_.OnTick(now); });
 }
@@ -150,6 +169,23 @@ void ClusterHarness::TickChannel(AgentChannel& channel, MicroTime now) {
       machine_agent->RemoveTask(name);
     }
     channel.synced_membership = version;
+
+    // Tiered path: the machine's job set is its subscription set. Recompute
+    // here (parallel phase, own channel only); the serial merge phase folds
+    // it into the global index when subs_dirty is set.
+    if (hier_aggregator_ != nullptr) {
+      std::vector<std::string> jobs;
+      jobs.reserve(machine_agent->Tasks().size());
+      for (const auto& [name, meta] : machine_agent->Tasks()) {
+        jobs.push_back(meta.jobname);
+      }
+      std::sort(jobs.begin(), jobs.end());
+      jobs.erase(std::unique(jobs.begin(), jobs.end()), jobs.end());
+      if (jobs != channel.sub_jobs) {
+        channel.sub_jobs = std::move(jobs);
+        channel.subs_dirty = true;
+      }
+    }
   }
 
   machine_agent->Tick(now);
@@ -166,7 +202,7 @@ DeliveryResult ClusterHarness::DeliverSample(size_t machine_index, const CpiSamp
     return DeliveryResult::kUnavailable;  // agent keeps it and backs off
   }
   ++samples_collected_;
-  aggregator_.AddSample(sample);
+  AggregatorAddSample(machine_index, sample);
   if (fault_plane_->DrawAckLost(static_cast<int>(machine_index))) {
     // The aggregator has the sample but the agent doesn't know: it will
     // retry, and the aggregator's dedup must absorb the duplicate.
@@ -219,6 +255,128 @@ void ClusterHarness::DeliverSpec(const CpiSpec& spec) {
   }
 }
 
+void ClusterHarness::DeliverSpecTiered(const CpiSpec& spec, uint64_t version) {
+  const auto it = subscribers_by_job_.find(spec.jobname);
+  if (it == subscribers_by_job_.end()) {
+    return;
+  }
+  for (size_t i : it->second) {
+    AgentChannel& channel = channels_[i];
+    if (channel.machine->platform().name != spec.platforminfo) {
+      continue;  // the job also runs on other platforms; not this spec
+    }
+    if (fault_plane_->AgentDown(static_cast<int>(i))) {
+      continue;  // dead process: versioned catch-up redelivers after restart
+    }
+    uint64_t& delivered = channel.delivered_versions[spec.jobname];
+    if (delivered == version) {
+      continue;  // subscriber already holds this build's spec
+    }
+    channel.agent->UpdateSpec(spec, cluster_.now());
+    delivered = version;
+    ++spec_pushes_delivered_;
+  }
+}
+
+void ClusterHarness::OnSpecPushTiered(const CpiSpec& spec, uint64_t version) {
+  if (fault_plane_->DrawSpecPushLost()) {
+    return;
+  }
+  if (fault_plane_->DrawSpecPushDelayed()) {
+    delayed_pushes_.push_back(
+        DelayedPush{cluster_.now() + fault_plane_->options().spec_push_delay, spec, version});
+    return;
+  }
+  DeliverSpecTiered(spec, version);
+  if (fault_plane_->DrawSpecPushDuplicated()) {
+    // Version bookkeeping absorbs the duplicate: every subscriber already
+    // holds `version`, so the redundant fan-out touches no agent.
+    DeliverSpecTiered(spec, version);
+  }
+}
+
+void ClusterHarness::UpdateSubscriptions(size_t i) {
+  AgentChannel& channel = channels_[i];
+  // Drop registrations for jobs the machine no longer runs.
+  for (const std::string& job : channel.registered_jobs) {
+    if (std::binary_search(channel.sub_jobs.begin(), channel.sub_jobs.end(), job)) {
+      continue;
+    }
+    const auto it = subscribers_by_job_.find(job);
+    if (it != subscribers_by_job_.end()) {
+      std::vector<size_t>& subs = it->second;
+      subs.erase(std::remove(subs.begin(), subs.end(), i), subs.end());
+      if (subs.empty()) {
+        subscribers_by_job_.erase(it);
+      }
+    }
+    channel.delivered_versions.erase(job);
+  }
+  // Register new interest; a fresh subscription needs the current spec.
+  for (const std::string& job : channel.sub_jobs) {
+    std::vector<size_t>& subs = subscribers_by_job_[job];
+    const auto pos = std::lower_bound(subs.begin(), subs.end(), i);
+    if (pos == subs.end() || *pos != i) {
+      subs.insert(pos, i);
+      channel.needs_catchup = true;
+    }
+  }
+  channel.registered_jobs = channel.sub_jobs;
+}
+
+void ClusterHarness::CatchUpChannel(size_t i, MicroTime now) {
+  AgentChannel& channel = channels_[i];
+  for (const std::string& job : channel.registered_jobs) {
+    const auto latest =
+        hier_aggregator_->LatestSpec(job, channel.machine->platform().name);
+    if (!latest.has_value()) {
+      continue;  // nothing built for this job yet
+    }
+    uint64_t& delivered = channel.delivered_versions[job];
+    if (delivered == latest->version) {
+      continue;
+    }
+    channel.agent->UpdateSpec(latest->spec, now);
+    delivered = latest->version;
+    ++spec_pushes_delivered_;
+  }
+  channel.needs_catchup = false;
+}
+
+void ClusterHarness::AggregatorAddSample(size_t machine_index, const CpiSample& sample) {
+  if (hier_aggregator_ != nullptr) {
+    // Cell assignment is by machine index; any fixed assignment works — the
+    // merged result is partition-invariant (stats/sketch.h).
+    hier_aggregator_->AddSample(machine_index, sample);
+  } else {
+    aggregator_.AddSample(sample);
+  }
+}
+
+void ClusterHarness::AggregatorTick(MicroTime now) {
+  if (hier_aggregator_ != nullptr) {
+    hier_aggregator_->Tick(now);
+  } else {
+    aggregator_.Tick(now);
+  }
+}
+
+std::string ClusterHarness::AggregatorCheckpoint() const {
+  return hier_aggregator_ != nullptr ? hier_aggregator_->Checkpoint()
+                                     : aggregator_.Checkpoint();
+}
+
+Status ClusterHarness::AggregatorRestore(const std::string& blob) {
+  return hier_aggregator_ != nullptr ? hier_aggregator_->Restore(blob)
+                                     : aggregator_.Restore(blob);
+}
+
+std::optional<CpiSpec> ClusterHarness::GetSpec(const std::string& jobname,
+                                               const std::string& platforminfo) const {
+  return hier_aggregator_ != nullptr ? hier_aggregator_->GetSpec(jobname, platforminfo)
+                                     : aggregator_.GetSpec(jobname, platforminfo);
+}
+
 void ClusterHarness::OnSpecPush(const CpiSpec& spec) {
   if (fault_plane_->DrawSpecPushLost()) {
     return;
@@ -249,6 +407,13 @@ void ClusterHarness::RestartAgent(AgentChannel& channel, MicroTime now) {
   // The restarted process has an empty task registry; force a full resync
   // on its next tick even if the machine's membership has not changed.
   channel.synced_membership = AgentChannel::kNeverSynced;
+  if (hier_aggregator_ != nullptr) {
+    // Versioned invalidation: the new process holds no specs, so every
+    // delivered version is void. The catch-up pass re-pushes current specs
+    // for its subscriptions once the agent is back up.
+    channel.delivered_versions.clear();
+    channel.needs_catchup = true;
+  }
 }
 
 void ClusterHarness::OnTick(MicroTime now) {
@@ -256,7 +421,12 @@ void ClusterHarness::OnTick(MicroTime now) {
   // apply the transitions that must precede agent ticking.
   fault_plane_->BeginTick(now);
   while (!delayed_pushes_.empty() && delayed_pushes_.front().due <= now) {
-    DeliverSpec(delayed_pushes_.front().spec);
+    const DelayedPush& push = delayed_pushes_.front();
+    if (hier_aggregator_ != nullptr) {
+      DeliverSpecTiered(push.spec, push.version);
+    } else {
+      DeliverSpec(push.spec);
+    }
     delayed_pushes_.pop_front();
   }
   for (size_t i = 0; i < channels_.size(); ++i) {
@@ -269,7 +439,7 @@ void ClusterHarness::OnTick(MicroTime now) {
     // checkpoint (or pristine, if it never checkpointed).
     const std::string& blob =
         last_checkpoint_blob_.empty() ? empty_checkpoint_blob_ : last_checkpoint_blob_;
-    const Status restored = aggregator_.Restore(blob);
+    const Status restored = AggregatorRestore(blob);
     if (restored.ok()) {
       ++aggregator_restores_;
     } else {
@@ -277,7 +447,7 @@ void ClusterHarness::OnTick(MicroTime now) {
     }
   }
   if (fault_plane_->CheckpointDue()) {
-    last_checkpoint_blob_ = aggregator_.Checkpoint();
+    last_checkpoint_blob_ = AggregatorCheckpoint();
     ++aggregator_checkpoints_;
   }
 
@@ -310,9 +480,23 @@ void ClusterHarness::OnTick(MicroTime now) {
       incident_log_.Add(incident);
     }
     channel.incidents.clear();
+    if (channel.subs_dirty) {
+      UpdateSubscriptions(i);
+      channel.subs_dirty = false;
+    }
   }
   if (!fault_plane_->AggregatorDown()) {
-    aggregator_.Tick(now);
+    AggregatorTick(now);
+  }
+  if (hier_aggregator_ != nullptr) {
+    // Catch-up after the tick (and any build it ran): a machine that just
+    // subscribed or restarted leaves this phase holding the newest spec of
+    // every job it runs.
+    for (size_t i = 0; i < channels_.size(); ++i) {
+      if (channels_[i].needs_catchup && !fault_plane_->AgentDown(static_cast<int>(i))) {
+        CatchUpChannel(i, now);
+      }
+    }
   }
 }
 
@@ -344,7 +528,14 @@ ClusterHealthReport ClusterHarness::Health() const {
   report.caps_cleared_on_restart = caps_cleared_on_restart_;
   report.aggregator_checkpoints = aggregator_checkpoints_;
   report.aggregator_restores = aggregator_restores_;
-  report.duplicates_dropped = aggregator_.duplicates_dropped();
+  if (hier_aggregator_ != nullptr) {
+    report.duplicates_dropped = hier_aggregator_->duplicates_dropped();
+    report.cells_reporting = hier_aggregator_->cells_reporting();
+    report.stalest_partial_age = hier_aggregator_->stalest_partial_age();
+    report.partials_dropped = hier_aggregator_->partials_dropped();
+  } else {
+    report.duplicates_dropped = aggregator_.duplicates_dropped();
+  }
   report.spec_pushes_delivered = spec_pushes_delivered_;
   return report;
 }
@@ -390,7 +581,11 @@ Status ClusterHarness::OperatorMigrate(const std::string& task) {
 
 void ClusterHarness::PrimeSpecs(MicroTime warmup) {
   RunFor(warmup);
-  aggregator_.ForceBuild(cluster_.now());
+  if (hier_aggregator_ != nullptr) {
+    hier_aggregator_->ForceBuild(cluster_.now());
+  } else {
+    aggregator_.ForceBuild(cluster_.now());
+  }
 }
 
 }  // namespace cpi2

@@ -29,9 +29,11 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/cell_aggregator.h"
 #include "core/cpi2.h"
 #include "perf/flaky_counter_source.h"
 #include "sim/cluster.h"
@@ -53,6 +55,12 @@ struct ClusterHealthReport {
   int64_t duplicates_dropped = 0;       // dedup absorbed a retried sample
   int64_t spec_pushes_delivered = 0;    // per-agent spec deliveries
   int64_t counter_glitches_injected = 0;
+  // Tiered-path rollups (zero on the flat path). Deliberately absent from
+  // flat-vs-tiered equivalence comparisons: they describe the aggregation
+  // topology, not the workload.
+  int64_t cells_reporting = 0;          // cells merged into the last build
+  MicroTime stalest_partial_age = 0;    // worst cell's partial age at last build
+  int64_t partials_dropped = 0;         // partial records the merger lost
 };
 
 class ClusterHarness {
@@ -73,7 +81,15 @@ class ClusterHarness {
   explicit ClusterHarness(Options options);
 
   Cluster& cluster() { return cluster_; }
+  // The flat-path aggregator (the paper's design). Only meaningful when
+  // params.flat_aggregation_path is set; tiered runs drive
+  // hierarchical_aggregator() instead.
   Aggregator& aggregator() { return aggregator_; }
+  // The tiered control plane; nullptr on the flat path.
+  HierarchicalAggregator* hierarchical_aggregator() { return hier_aggregator_.get(); }
+  // Path-independent spec lookup: whichever aggregation path is active.
+  std::optional<CpiSpec> GetSpec(const std::string& jobname,
+                                 const std::string& platforminfo) const;
   IncidentLog& incidents() { return incident_log_; }
   TraceRecorder& traces() { return traces_; }
   // The fault plane; valid after WireAgents.
@@ -141,12 +157,29 @@ class ClusterHarness {
     // Machine::membership_version() at the last registry sync; while it is
     // unchanged the per-tick reconciliation scan is skipped.
     uint64_t synced_membership = kNeverSynced;
+
+    // --- subscription fan-out state (tiered path only) ---------------------
+    // Jobs this machine currently runs, sorted unique — recomputed in
+    // TickChannel whenever the membership sync runs (parallel phase, own
+    // channel only) and folded into the global subscription index in the
+    // serial merge phase when `subs_dirty` is set.
+    std::vector<std::string> sub_jobs;
+    // Jobs currently registered for this machine in subscribers_by_job_.
+    std::vector<std::string> registered_jobs;
+    // Last spec version delivered to this machine, per job. Cleared on
+    // restart — the versioned invalidation that makes a restarted agent
+    // resubscribe and catch up instead of running on a stale (or no) spec.
+    std::map<std::string, uint64_t> delivered_versions;
+    bool subs_dirty = false;     // sub_jobs changed; index update pending
+    bool needs_catchup = false;  // deliver current specs at next serial phase
   };
 
-  // A spec push the fault plane delayed in flight.
+  // A spec push the fault plane delayed in flight. `version` rides along on
+  // the tiered path (0 and unused on the flat path).
   struct DelayedPush {
     MicroTime due = 0;
     CpiSpec spec;
+    uint64_t version = 0;
   };
 
   // Tick listener: advance the fault plane, sync agents' task registries
@@ -175,8 +208,28 @@ class ClusterHarness {
   // Fault-plane wrapper around one spec push. Draw order: lost, delayed,
   // duplicated.
   void OnSpecPush(const CpiSpec& spec);
-  // Hands `spec` to every up agent on its platform.
+  // Hands `spec` to every up agent on its platform (flat path: a platform
+  // broadcast).
   void DeliverSpec(const CpiSpec& spec);
+  // Tiered-path fault wrapper; same draw order as OnSpecPush.
+  void OnSpecPushTiered(const CpiSpec& spec, uint64_t version);
+  // Subscription fan-out: hands `spec` only to the up agents subscribed to
+  // its job (on the matching platform) that have not seen `version` yet.
+  void DeliverSpecTiered(const CpiSpec& spec, uint64_t version);
+  // Serial merge phase: reconciles subscribers_by_job_ with channel i's
+  // recomputed sub_jobs.
+  void UpdateSubscriptions(size_t i);
+  // Serial catch-up: delivers the current spec of every job channel i
+  // subscribes to whose version it has not seen (new subscription, agent
+  // restart, or merger restore). No fault-plane draws — this models the
+  // subscriber pulling state it knows it lacks, not a push in flight.
+  void CatchUpChannel(size_t i, MicroTime now);
+
+  // Aggregation-path dispatch helpers (flat vs tiered).
+  void AggregatorAddSample(size_t machine_index, const CpiSample& sample);
+  void AggregatorTick(MicroTime now);
+  std::string AggregatorCheckpoint() const;
+  Status AggregatorRestore(const std::string& blob);
 
   // Models the dead agent process coming back: clears kernel caps the old
   // process left behind (startup reconciliation), then cold-starts the
@@ -186,6 +239,9 @@ class ClusterHarness {
   Options options_;
   Cluster cluster_;
   Aggregator aggregator_;
+  // Non-null exactly when !params.flat_aggregation_path; the flat
+  // aggregator_ above then sits idle (it is cheap when unfed).
+  std::unique_ptr<HierarchicalAggregator> hier_aggregator_;
   IncidentLog incident_log_;
   TraceRecorder traces_;
   // Seeded from cluster.seed so experiments reseed with one knob; the xor
@@ -200,6 +256,9 @@ class ClusterHarness {
   // Channel indices grouped by platform, so spec push-back only visits
   // machines the spec applies to instead of broadcasting cluster-wide.
   std::map<std::string, std::vector<size_t>> channels_by_platform_;
+  // Subscription index (tiered path): channel indices subscribed to each
+  // job, kept sorted so fan-out visits machines in machine order.
+  std::map<std::string, std::vector<size_t>> subscribers_by_job_;
   std::deque<DelayedPush> delayed_pushes_;  // due-time order (FIFO insert)
   // Decode scratch for DeliverBatch (merge phase only): element and string
   // capacity is reused across every batch the harness receives.

@@ -1,0 +1,151 @@
+#include "stats/sketch.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace cpi2 {
+
+int64_t CpiSketch::Quantize(double value) {
+  if (std::isnan(value)) {
+    return 0;
+  }
+  const double scaled = value * kQuantScale;
+  if (scaled >= static_cast<double>(kQuantClamp)) {
+    return kQuantClamp;
+  }
+  if (scaled <= -static_cast<double>(kQuantClamp)) {
+    return -kQuantClamp;
+  }
+  return std::llround(scaled);
+}
+
+int CpiSketch::BucketOf(double cpi) {
+  if (!(cpi > 0.0) || std::isnan(cpi)) {
+    return -1;  // non-positive (or NaN) cpi is degenerate: underflow
+  }
+  if (std::isinf(cpi)) {
+    return kNumBuckets;
+  }
+  uint64_t bits;
+  std::memcpy(&bits, &cpi, sizeof(bits));
+  const int raw_exponent = static_cast<int>((bits >> 52) & 0x7ff);
+  if (raw_exponent == 0) {
+    return -1;  // subnormal: far below the bottom edge
+  }
+  // cpi = 1.mantissa * 2^octave with octave = e - 1023, so cpi lies in
+  // [2^octave, 2^(octave+1)). Sub-bucket from the top two mantissa bits.
+  const int octave = raw_exponent - 1023;
+  if (octave < kMinOctave) {
+    return -1;
+  }
+  if (octave >= kMinOctave + kNumOctaves) {
+    return kNumBuckets;
+  }
+  const int sub = static_cast<int>((bits >> 50) & 0x3);
+  return (octave - kMinOctave) * kBucketsPerOctave + sub;
+}
+
+double CpiSketch::BucketLowerEdge(int i) {
+  const int octave = kMinOctave + i / kBucketsPerOctave;
+  const int sub = i % kBucketsPerOctave;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kBucketsPerOctave, octave);
+}
+
+void CpiSketch::Add(double cpi, double usage) {
+  ++state_.count;
+  const int64_t cpi_q = Quantize(cpi);
+  state_.cpi_sum_q += cpi_q;
+  state_.cpi_sq_sum_q +=
+      static_cast<unsigned __int128>(static_cast<__int128>(cpi_q) * cpi_q);
+  state_.usage_sum_q += Quantize(usage);
+  const int bucket = BucketOf(cpi);
+  if (bucket < 0) {
+    ++state_.underflow;
+  } else if (bucket >= kNumBuckets) {
+    ++state_.overflow;
+  } else {
+    ++state_.buckets[static_cast<size_t>(bucket)];
+  }
+}
+
+void CpiSketch::Merge(const CpiSketch& other) {
+  state_.count += other.state_.count;
+  state_.cpi_sum_q += other.state_.cpi_sum_q;
+  state_.cpi_sq_sum_q += other.state_.cpi_sq_sum_q;
+  state_.usage_sum_q += other.state_.usage_sum_q;
+  state_.underflow += other.state_.underflow;
+  state_.overflow += other.state_.overflow;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    state_.buckets[static_cast<size_t>(i)] += other.state_.buckets[static_cast<size_t>(i)];
+  }
+}
+
+double CpiSketch::cpi_mean() const {
+  if (state_.count == 0) {
+    return 0.0;
+  }
+  return (static_cast<double>(state_.cpi_sum_q) / static_cast<double>(state_.count)) *
+         kInvQuantScale;
+}
+
+double CpiSketch::cpi_m2() const {
+  if (state_.count < 2) {
+    return 0.0;
+  }
+  const double sum = static_cast<double>(state_.cpi_sum_q);
+  const double sum_sq = static_cast<double>(state_.cpi_sq_sum_q);
+  const double n = static_cast<double>(state_.count);
+  const double m2_q = sum_sq - (sum / n) * sum;
+  return (m2_q > 0.0 ? m2_q : 0.0) * (kInvQuantScale * kInvQuantScale);
+}
+
+double CpiSketch::cpi_variance() const {
+  return state_.count > 1 ? cpi_m2() / static_cast<double>(state_.count - 1) : 0.0;
+}
+
+double CpiSketch::usage_mean() const {
+  if (state_.count == 0) {
+    return 0.0;
+  }
+  return (static_cast<double>(state_.usage_sum_q) / static_cast<double>(state_.count)) *
+         kInvQuantScale;
+}
+
+double CpiSketch::ApproxQuantile(double q) const {
+  if (state_.count == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(state_.count - 1)) + 1;
+  uint64_t seen = state_.underflow;
+  if (rank <= seen) {
+    return BucketLowerEdge(0);
+  }
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += state_.buckets[static_cast<size_t>(i)];
+    if (rank <= seen) {
+      const double lo = BucketLowerEdge(i);
+      const double hi =
+          i + 1 < kNumBuckets ? BucketLowerEdge(i + 1) : 2.0 * BucketLowerEdge(i);
+      return std::sqrt(lo * hi);
+    }
+  }
+  return BucketLowerEdge(kNumBuckets - 1);  // overflow: top edge
+}
+
+bool CpiSketch::operator==(const CpiSketch& other) const {
+  return state_.count == other.state_.count &&
+         state_.cpi_sum_q == other.state_.cpi_sum_q &&
+         state_.cpi_sq_sum_q == other.state_.cpi_sq_sum_q &&
+         state_.usage_sum_q == other.state_.usage_sum_q &&
+         state_.underflow == other.state_.underflow &&
+         state_.overflow == other.state_.overflow && state_.buckets == other.state_.buckets;
+}
+
+}  // namespace cpi2

@@ -1,0 +1,125 @@
+// Mergeable CPI sketch: the unit of state that crosses the cell → global
+// aggregation tier boundary (DESIGN.md §16).
+//
+// The flat SpecBuilder accumulates doubles with Welford's update, which is
+// numerically excellent but NOT associative: merging per-cell partials in a
+// different tree shape (or splitting the stream across a different cell
+// count) would perturb the last bits, and the determinism harness compares
+// observables bit for bit. The sketch therefore keeps every accumulator in
+// the integers, where addition is exactly associative and commutative:
+//
+//   - count                      uint64
+//   - sum of quantized cpi       int128  (cpi rounded to multiples of 2^-20)
+//   - sum of squared quantized   uint128
+//   - sum of quantized usage     int128
+//   - fixed log-scale histogram  uint64 per bucket (4 buckets per octave
+//                                covering cpi in [2^-4, 2^12), plus
+//                                underflow/overflow)
+//
+// Two sketches fed the same sample multiset — in any order, through any
+// partition into cells, merged in any tree shape — hold identical bits, so
+// their wire encodings (CPI2SKT1, wire/sketch_codec.h) are byte-identical.
+// The price is quantization: means/variances derived from the sketch agree
+// with the exact single-pass math to ~2^-20 relative, not to the last bit.
+// tests/stats/sketch_merge_test.cc holds both halves of that contract.
+
+#ifndef CPI2_STATS_SKETCH_H_
+#define CPI2_STATS_SKETCH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cpi2 {
+
+class CpiSketch {
+ public:
+  // Quantization step for cpi/usage values: 2^-20 (~1e-6). Exact powers of
+  // two keep the double<->fixed-point conversions exact scalings.
+  static constexpr int kQuantBits = 20;
+  static constexpr double kQuantScale = 1048576.0;  // 2^20
+  static constexpr double kInvQuantScale = 1.0 / kQuantScale;
+  // Quantized magnitudes clamp at 2^40 (value magnitude ~2^20, far beyond
+  // max_plausible_cpi), bounding every 128-bit sum away from overflow for
+  // any realistic sample count (2^80-sample headroom).
+  static constexpr int64_t kQuantClamp = int64_t{1} << 40;
+
+  // Log-scale CPI histogram: 4 buckets per octave, 16 octaves covering
+  // [2^-4, 2^12). Values outside land in underflow/overflow.
+  static constexpr int kBucketsPerOctave = 4;
+  static constexpr int kMinOctave = -4;  // lowest edge 2^-4
+  static constexpr int kNumOctaves = 16;
+  static constexpr int kNumBuckets = kBucketsPerOctave * kNumOctaves;
+
+  // The raw integer state: the unit of wire encoding and the object of the
+  // bit-identity guarantee. 128-bit sums are gcc/clang builtins; the wire
+  // codec splits them into two 64-bit varints.
+  struct RawState {
+    uint64_t count = 0;
+    __int128 cpi_sum_q = 0;
+    unsigned __int128 cpi_sq_sum_q = 0;
+    __int128 usage_sum_q = 0;
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+  };
+
+  CpiSketch() = default;
+
+  // Rounds a value to the nearest quantum (ties away from zero, llround
+  // semantics), clamped to +/-kQuantClamp quanta.
+  static int64_t Quantize(double value);
+
+  // Histogram bucket index for a cpi value, or -1 for underflow (including
+  // non-positive values) and kNumBuckets for overflow. Pure bit inspection
+  // of the double — no FP arithmetic, so it is trivially deterministic.
+  static int BucketOf(double cpi);
+
+  void Add(double cpi, double usage);
+
+  // Associative, commutative, integer-exact merge: (a ⊔ b) ⊔ c and
+  // a ⊔ (b ⊔ c) are bit-identical for any operand grouping or order.
+  void Merge(const CpiSketch& other);
+
+  uint64_t count() const { return state_.count; }
+  bool empty() const { return state_.count == 0; }
+
+  // Derived moments. Each is one fixed expression over the integer state, so
+  // identical state always yields identical doubles.
+  double cpi_mean() const;
+  // Sum of squared deviations from the mean (the Welford "m2" analogue),
+  // reconstructed exactly from the integer sums — the integer domain has no
+  // cancellation error, the only loss is the final double conversion.
+  double cpi_m2() const;
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double cpi_variance() const;
+  double usage_mean() const;
+
+  uint64_t bucket(int i) const { return state_.buckets[static_cast<size_t>(i)]; }
+  uint64_t underflow() const { return state_.underflow; }
+  uint64_t overflow() const { return state_.overflow; }
+
+  // Approximate quantile (q in [0, 1]) from the log histogram: the geometric
+  // midpoint of the bucket holding the q-th sample. Underflow resolves to
+  // the bottom edge, overflow to the top edge.
+  double ApproxQuantile(double q) const;
+
+  // Lower edge of bucket i: 2^(kMinOctave + i/4) * (1 + (i%4)/4), i.e. the
+  // value whose bucket index is exactly i.
+  static double BucketLowerEdge(int i);
+
+  const RawState& raw() const { return state_; }
+  void set_raw(const RawState& raw) { state_ = raw; }
+
+  bool operator==(const CpiSketch& other) const;
+  bool operator!=(const CpiSketch& other) const { return !(*this == other); }
+
+  void Reset() { state_ = RawState(); }
+
+ private:
+  RawState state_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_STATS_SKETCH_H_

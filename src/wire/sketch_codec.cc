@@ -1,0 +1,246 @@
+#include "wire/sketch_codec.h"
+
+#include <algorithm>
+
+#include "wire/framing.h"
+
+namespace cpi2 {
+namespace {
+
+constexpr uint8_t kHeaderTag = 'H';
+constexpr uint8_t kPartialTag = 'P';
+
+// Zigzag over 128 bits, same mapping as the 64-bit version in wire_codec.h.
+unsigned __int128 Zigzag128Encode(__int128 value) {
+  return (static_cast<unsigned __int128>(value) << 1) ^
+         static_cast<unsigned __int128>(value >> 127);
+}
+
+__int128 Zigzag128Decode(unsigned __int128 value) {
+  return static_cast<__int128>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+// 128-bit quantities travel as two 64-bit varints, low half first: the low
+// half carries all the entropy for realistic sums, so the high half is
+// nearly always the one-byte varint 0.
+void PutU128(WireWriter& writer, unsigned __int128 value) {
+  writer.PutVarint(static_cast<uint64_t>(value));
+  writer.PutVarint(static_cast<uint64_t>(value >> 64));
+}
+
+unsigned __int128 GetU128(WireReader& reader) {
+  const uint64_t lo = reader.GetVarint();
+  const uint64_t hi = reader.GetVarint();
+  return (static_cast<unsigned __int128>(hi) << 64) | lo;
+}
+
+void EncodePartial(WireWriter& writer, const SketchPartial& partial) {
+  writer.PutByte(kPartialTag);
+  writer.PutVarint(partial.job);
+  writer.PutVarint(partial.platform);
+  AppendSketch(writer, partial.sketch);
+  writer.PutVarint(partial.task_samples.size());
+  for (const auto& [hash, count] : partial.task_samples) {
+    writer.PutVarint(hash);
+    writer.PutVarint(static_cast<uint64_t>(count));
+  }
+}
+
+bool DecodePartial(std::string_view payload, size_t num_names,
+                   SketchPartial* partial) {
+  WireReader reader(payload);
+  if (reader.GetByte() != kPartialTag) {
+    return false;
+  }
+  const uint64_t job = reader.GetVarint();
+  const uint64_t platform = reader.GetVarint();
+  if (reader.failed() || job >= num_names || platform >= num_names) {
+    return false;
+  }
+  partial->job = static_cast<uint32_t>(job);
+  partial->platform = static_cast<uint32_t>(platform);
+  if (!ReadSketch(reader, &partial->sketch)) {
+    return false;
+  }
+  const uint64_t num_tasks = reader.GetVarint();
+  if (reader.failed() || num_tasks > reader.remaining()) {
+    return false;  // each entry is at least two bytes; cap before reserving
+  }
+  partial->task_samples.clear();
+  partial->task_samples.reserve(num_tasks);
+  uint64_t prev_hash = 0;
+  for (uint64_t i = 0; i < num_tasks; ++i) {
+    const uint64_t hash = reader.GetVarint();
+    const uint64_t count = reader.GetVarint();
+    if (i > 0 && hash <= prev_hash) {
+      return false;  // canonical encoding is strictly ascending by hash
+    }
+    prev_hash = hash;
+    partial->task_samples.emplace_back(hash, static_cast<int64_t>(count));
+  }
+  return !reader.failed() && reader.remaining() == 0;
+}
+
+}  // namespace
+
+uint64_t TaskIdentityHash(std::string_view task) {
+  uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  for (const char c : task) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+void AppendSketch(WireWriter& writer, const CpiSketch& sketch) {
+  const CpiSketch::RawState& raw = sketch.raw();
+  writer.PutVarint(raw.count);
+  PutU128(writer, Zigzag128Encode(raw.cpi_sum_q));
+  PutU128(writer, raw.cpi_sq_sum_q);
+  PutU128(writer, Zigzag128Encode(raw.usage_sum_q));
+  writer.PutVarint(raw.underflow);
+  writer.PutVarint(raw.overflow);
+  writer.PutVarint(CpiSketch::kNumBuckets);
+  for (int i = 0; i < CpiSketch::kNumBuckets; ++i) {
+    writer.PutVarint(raw.buckets[static_cast<size_t>(i)]);
+  }
+}
+
+bool ReadSketch(WireReader& reader, CpiSketch* sketch) {
+  CpiSketch::RawState raw;
+  raw.count = reader.GetVarint();
+  raw.cpi_sum_q = Zigzag128Decode(GetU128(reader));
+  raw.cpi_sq_sum_q = GetU128(reader);
+  raw.usage_sum_q = Zigzag128Decode(GetU128(reader));
+  raw.underflow = reader.GetVarint();
+  raw.overflow = reader.GetVarint();
+  if (reader.GetVarint() != CpiSketch::kNumBuckets || reader.failed()) {
+    return false;
+  }
+  for (int i = 0; i < CpiSketch::kNumBuckets; ++i) {
+    raw.buckets[static_cast<size_t>(i)] = reader.GetVarint();
+  }
+  if (reader.failed()) {
+    return false;
+  }
+  sketch->set_raw(raw);
+  return true;
+}
+
+void EncodeSketch(const CpiSketch& sketch, std::string* out) {
+  WireWriter writer(out);
+  AppendSketch(writer, sketch);
+}
+
+Status DecodeSketch(std::string_view bytes, CpiSketch* out) {
+  WireReader reader(bytes);
+  if (!ReadSketch(reader, out)) {
+    return InvalidArgumentError("malformed sketch encoding");
+  }
+  if (reader.remaining() != 0) {
+    return InvalidArgumentError("trailing bytes after sketch");
+  }
+  return Status::Ok();
+}
+
+void EncodeSketchFrame(const SketchFrame& frame, std::string* out) {
+  AppendWireMagic(out, kSketchFrameMagic);
+  std::string payload;
+  {
+    WireWriter writer(&payload);
+    writer.PutByte(kHeaderTag);
+    writer.PutVarint(frame.cell_id);
+    writer.PutVarint(frame.sequence);
+    writer.PutVarint(frame.names.size());
+    for (const std::string& name : frame.names) {
+      writer.PutString(name);
+    }
+    writer.PutVarint(frame.partials.size());
+  }
+  AppendFramedRecord(out, payload);
+  for (const SketchPartial& partial : frame.partials) {
+    payload.clear();
+    WireWriter writer(&payload);
+    EncodePartial(writer, partial);
+    AppendFramedRecord(out, payload);
+  }
+}
+
+Status DecodeSketchFrame(std::string_view bytes, SketchFrame* out,
+                         SketchFrameDecodeStats* stats) {
+  *out = SketchFrame();
+  if (!HasWireMagic(bytes, kSketchFrameMagic)) {
+    return InvalidArgumentError("not a CPI2SKT1 frame");
+  }
+  WireReader reader(bytes.substr(kWireMagicSize));
+  std::string_view payload;
+
+  // Header record: damage here loses the name dictionary, so the whole
+  // frame is unusable.
+  switch (ReadFramedRecord(reader, &payload)) {
+    case FrameResult::kRecord:
+      break;
+    case FrameResult::kEnd:
+      return InvalidArgumentError("CPI2SKT1 frame has no header record");
+    case FrameResult::kCorrupt:
+    case FrameResult::kTruncated:
+      return InvalidArgumentError("CPI2SKT1 header record damaged");
+  }
+  uint64_t declared_partials = 0;
+  {
+    WireReader header(payload);
+    if (header.GetByte() != kHeaderTag) {
+      return InvalidArgumentError("CPI2SKT1 first record is not a header");
+    }
+    out->cell_id = static_cast<uint32_t>(header.GetVarint());
+    out->sequence = header.GetVarint();
+    const uint64_t num_names = header.GetVarint();
+    if (header.failed() || num_names > header.remaining()) {
+      return InvalidArgumentError("CPI2SKT1 header malformed");
+    }
+    out->names.reserve(num_names);
+    for (uint64_t i = 0; i < num_names; ++i) {
+      out->names.emplace_back(header.GetString());
+    }
+    declared_partials = header.GetVarint();
+    if (header.failed() || header.remaining() != 0) {
+      return InvalidArgumentError("CPI2SKT1 header malformed");
+    }
+  }
+
+  // Partial records: skip-and-count, like the incident loader — one flipped
+  // byte costs one (job, platform) partial, not the cell's whole window.
+  bool done = false;
+  while (!done) {
+    switch (ReadFramedRecord(reader, &payload)) {
+      case FrameResult::kRecord: {
+        SketchPartial partial;
+        if (DecodePartial(payload, out->names.size(), &partial)) {
+          out->partials.push_back(std::move(partial));
+        } else if (stats != nullptr) {
+          ++stats->records_skipped;
+        }
+        break;
+      }
+      case FrameResult::kCorrupt:
+        if (stats != nullptr) {
+          ++stats->records_skipped;
+        }
+        break;
+      case FrameResult::kTruncated:
+        if (stats != nullptr) {
+          stats->records_skipped +=
+              static_cast<int64_t>(declared_partials) -
+              static_cast<int64_t>(out->partials.size());
+        }
+        done = true;
+        break;
+      case FrameResult::kEnd:
+        done = true;
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cpi2

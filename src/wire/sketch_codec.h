@@ -1,0 +1,93 @@
+// CPI2SKT1: the partial-spec frame a cell aggregator ships to the global
+// merger (DESIGN.md §16).
+//
+// Layout (framing.h conventions: 8-byte magic, then framed records, each
+// varint-length + payload + crc32):
+//
+//   magic "CPI2SKT1"
+//   record 'H': cell_id varint, sequence varint, name count varint,
+//               names (length-prefixed strings), partial count varint
+//   record 'P' (one per job x platform partial):
+//               job name-index varint, platform name-index varint,
+//               sketch (see below),
+//               task count varint, then per task:
+//                 identity-hash varint, sample count varint
+//                 (ascending hash order — the canonical encoding)
+//   sketch:     count varint,
+//               cpi_sum zigzag128 (lo/hi varints), cpi_sq_sum u128 (lo/hi),
+//               usage_sum zigzag128, underflow varint, overflow varint,
+//               bucket count varint (must equal kNumBuckets), bucket varints
+//
+// Task identity crosses the tier boundary as a 64-bit FNV-1a of the task
+// name: the merger only needs distinct-task counts for spec eligibility,
+// and a hash is partition-invariant (collisions collapse identically no
+// matter how the stream was split into cells) at a fraction of the bytes.
+//
+// Because the encoding is a pure function of the sketch's integer state and
+// the name-sorted emission order, two cells that saw the same samples for a
+// key produce byte-identical 'P' payloads — the wire-level face of the
+// sketch's bit-identical-merge guarantee.
+//
+// Decode policy mirrors the incident log: a damaged 'P' record is skipped
+// and counted (the merger loses one partial, not the frame); a damaged or
+// missing 'H' header rejects the frame.
+
+#ifndef CPI2_WIRE_SKETCH_CODEC_H_
+#define CPI2_WIRE_SKETCH_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stats/sketch.h"
+#include "util/status.h"
+#include "wire/wire_codec.h"
+
+namespace cpi2 {
+
+inline constexpr std::string_view kSketchFrameMagic = "CPI2SKT1";
+
+// 64-bit FNV-1a of a task name: the partition-invariant task identity used
+// for cross-cell distinct-task counting.
+uint64_t TaskIdentityHash(std::string_view task);
+
+struct SketchPartial {
+  uint32_t job = 0;       // index into SketchFrame::names
+  uint32_t platform = 0;  // index into SketchFrame::names
+  CpiSketch sketch;
+  // (task identity hash, sample count), ascending by hash.
+  std::vector<std::pair<uint64_t, int64_t>> task_samples;
+};
+
+struct SketchFrame {
+  uint32_t cell_id = 0;
+  uint64_t sequence = 0;  // cell-local emission counter
+  std::vector<std::string> names;
+  std::vector<SketchPartial> partials;
+};
+
+struct SketchFrameDecodeStats {
+  int64_t records_skipped = 0;  // damaged 'P' records dropped
+};
+
+void EncodeSketchFrame(const SketchFrame& frame, std::string* out);
+
+// Decodes a frame; *out is cleared first. Damaged partial records are
+// skipped and counted in `stats` (which may be nullptr); a bad magic or
+// header fails the whole frame.
+Status DecodeSketchFrame(std::string_view bytes, SketchFrame* out,
+                         SketchFrameDecodeStats* stats);
+
+// Bare sketch round-trip, used inside 'P' records and directly by the
+// merge-invariance tests and golden fixtures: identical sketch state <=>
+// identical bytes.
+void AppendSketch(WireWriter& writer, const CpiSketch& sketch);
+bool ReadSketch(WireReader& reader, CpiSketch* sketch);
+void EncodeSketch(const CpiSketch& sketch, std::string* out);
+Status DecodeSketch(std::string_view bytes, CpiSketch* out);
+
+}  // namespace cpi2
+
+#endif  // CPI2_WIRE_SKETCH_CODEC_H_

@@ -1,0 +1,191 @@
+// The two halves of the CpiSketch contract (stats/sketch.h):
+//  1. Bit-identity: any partition of a sample stream into cells, merged in
+//     any tree shape, yields a sketch whose state — and therefore whose
+//     CPI2SKT1 encoding — is byte-identical to the single-sketch reference.
+//  2. Tolerance: moments derived from the sketch agree with the exact
+//     single-pass (Welford) math to within the 2^-20 quantization step.
+
+#include "stats/sketch.h"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/streaming.h"
+#include "util/rng.h"
+#include "wire/sketch_codec.h"
+
+namespace cpi2 {
+namespace {
+
+struct SamplePoint {
+  double cpi = 0.0;
+  double usage = 0.0;
+};
+
+std::vector<SamplePoint> RandomStream(Rng& rng, int n) {
+  std::vector<SamplePoint> stream;
+  stream.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Log-uniform CPI over the histogram's range plus a tail outside it, so
+    // underflow/overflow buckets see traffic too.
+    const double octave = rng.Uniform(-6.0, 14.0);
+    SamplePoint point;
+    point.cpi = std::exp2(octave);
+    point.usage = rng.Uniform(0.0, 4.0);
+    stream.push_back(point);
+  }
+  return stream;
+}
+
+// Merges per-cell sketches in a random binary-tree order: repeatedly pick
+// two survivors at random and fold one into the other.
+CpiSketch MergeInRandomOrder(std::vector<CpiSketch> parts, Rng& rng) {
+  while (parts.size() > 1) {
+    const size_t a = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(parts.size()) - 1));
+    size_t b = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(parts.size()) - 2));
+    if (b >= a) {
+      ++b;
+    }
+    parts[a].Merge(parts[b]);
+    parts.erase(parts.begin() + static_cast<ptrdiff_t>(b));
+  }
+  return parts.empty() ? CpiSketch() : parts[0];
+}
+
+TEST(SketchMergeTest, AnyPartitionAnyMergeOrderIsByteIdentical) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(1, 400));
+    const int cells = static_cast<int>(rng.UniformInt(1, 16));
+    const std::vector<SamplePoint> stream = RandomStream(rng, n);
+
+    CpiSketch reference;
+    for (const SamplePoint& point : stream) {
+      reference.Add(point.cpi, point.usage);
+    }
+    std::string reference_bytes;
+    EncodeSketch(reference, &reference_bytes);
+
+    // Several random partitions and merge orders of the same stream.
+    for (int round = 0; round < 3; ++round) {
+      std::vector<CpiSketch> parts(static_cast<size_t>(cells));
+      for (const SamplePoint& point : stream) {
+        parts[static_cast<size_t>(rng.UniformInt(0, cells - 1))].Add(point.cpi, point.usage);
+      }
+      const CpiSketch merged = MergeInRandomOrder(std::move(parts), rng);
+      EXPECT_EQ(merged, reference) << "trial " << trial << " round " << round;
+      std::string merged_bytes;
+      EncodeSketch(merged, &merged_bytes);
+      EXPECT_EQ(merged_bytes, reference_bytes) << "trial " << trial << " round " << round;
+    }
+  }
+}
+
+TEST(SketchMergeTest, MomentsMatchExactMathWithinQuantization) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 2000));
+    CpiSketch sketch;
+    StreamingStats cpi_exact;
+    StreamingStats usage_exact;
+    for (int i = 0; i < n; ++i) {
+      const double cpi = rng.Uniform(0.2, 12.0);
+      const double usage = rng.Uniform(0.0, 2.0);
+      sketch.Add(cpi, usage);
+      cpi_exact.Add(cpi);
+      usage_exact.Add(usage);
+    }
+    ASSERT_EQ(static_cast<int64_t>(sketch.count()), cpi_exact.count());
+    // Quantization step is 2^-20 (~1e-6); means land within one step.
+    EXPECT_NEAR(sketch.cpi_mean(), cpi_exact.mean(), 2e-6);
+    EXPECT_NEAR(sketch.usage_mean(), usage_exact.mean(), 2e-6);
+    // Variance error scales with the value spread; 1e-4 absolute covers the
+    // [0.2, 12] range with two orders of magnitude of headroom.
+    EXPECT_NEAR(sketch.cpi_variance(), cpi_exact.variance(), 1e-4);
+  }
+}
+
+TEST(SketchMergeTest, BucketEdgesRoundTrip) {
+  for (int i = 0; i < CpiSketch::kNumBuckets; ++i) {
+    const double edge = CpiSketch::BucketLowerEdge(i);
+    EXPECT_EQ(CpiSketch::BucketOf(edge), i) << "lower edge of bucket " << i;
+    // Just below the edge falls into the previous bucket (or underflow).
+    const double below = std::nexttoward(edge, 0.0L);
+    EXPECT_EQ(CpiSketch::BucketOf(below), i - 1) << "below edge of bucket " << i;
+  }
+  EXPECT_EQ(CpiSketch::BucketOf(0.0), -1);
+  EXPECT_EQ(CpiSketch::BucketOf(-1.0), -1);
+  EXPECT_EQ(CpiSketch::BucketOf(1e-9), -1);
+  EXPECT_EQ(CpiSketch::BucketOf(4096.0), CpiSketch::kNumBuckets);  // 2^12: first past the top
+  EXPECT_EQ(CpiSketch::BucketOf(std::numeric_limits<double>::infinity()),
+            CpiSketch::kNumBuckets);
+  EXPECT_EQ(CpiSketch::BucketOf(std::numeric_limits<double>::quiet_NaN()), -1);
+}
+
+TEST(SketchMergeTest, QuantizeClampsAndZeroesNaN) {
+  EXPECT_EQ(CpiSketch::Quantize(std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(CpiSketch::Quantize(1e30), CpiSketch::kQuantClamp);
+  EXPECT_EQ(CpiSketch::Quantize(-1e30), -CpiSketch::kQuantClamp);
+  EXPECT_EQ(CpiSketch::Quantize(1.0), int64_t{1} << CpiSketch::kQuantBits);
+  EXPECT_EQ(CpiSketch::Quantize(0.0), 0);
+}
+
+TEST(SketchMergeTest, ApproxQuantileLandsInTheRightBucket) {
+  CpiSketch sketch;
+  for (int i = 0; i < 1000; ++i) {
+    sketch.Add(1.5, 0.5);  // bucket [1.5, 1.75)
+  }
+  const double median = sketch.ApproxQuantile(0.5);
+  EXPECT_GE(median, 1.5);
+  EXPECT_LT(median, 1.75);
+  EXPECT_EQ(sketch.ApproxQuantile(0.0), sketch.ApproxQuantile(1.0));  // one bucket
+}
+
+TEST(SketchMergeTest, CodecRoundTripsAndRejectsDamage) {
+  Rng rng(7);
+  CpiSketch sketch;
+  for (int i = 0; i < 500; ++i) {
+    sketch.Add(rng.Uniform(0.01, 5000.0), rng.Uniform(0.0, 3.0));
+  }
+  std::string bytes;
+  EncodeSketch(sketch, &bytes);
+
+  CpiSketch decoded;
+  ASSERT_TRUE(DecodeSketch(bytes, &decoded).ok());
+  EXPECT_EQ(decoded, sketch);
+
+  // Truncation at every prefix either fails or never yields a different
+  // sketch (the varint framing makes short prefixes unparseable).
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    CpiSketch damaged;
+    EXPECT_FALSE(DecodeSketch(std::string_view(bytes).substr(0, cut), &damaged).ok())
+        << "prefix length " << cut;
+  }
+  // Trailing garbage is an error, not silently ignored.
+  CpiSketch padded;
+  EXPECT_FALSE(DecodeSketch(bytes + "x", &padded).ok());
+}
+
+TEST(SketchMergeTest, EmptySketchIsWellBehaved) {
+  CpiSketch empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.cpi_mean(), 0.0);
+  EXPECT_EQ(empty.cpi_variance(), 0.0);
+  EXPECT_EQ(empty.usage_mean(), 0.0);
+  EXPECT_EQ(empty.ApproxQuantile(0.5), 0.0);
+
+  CpiSketch other;
+  other.Add(2.0, 1.0);
+  CpiSketch merged = empty;
+  merged.Merge(other);
+  EXPECT_EQ(merged, other);
+}
+
+}  // namespace
+}  // namespace cpi2

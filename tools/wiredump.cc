@@ -7,6 +7,8 @@
 //   CPI2NET1  captured socket stream -> one line per frame, with the BYTE
 //             OFFSET of any corrupt or truncated frame (triage for tcpdump
 //             captures of the agentd->aggregatord data plane)
+//   CPI2SKT1  partial-spec frame (cell -> global tier) -> one row per
+//             job x platform partial with the sketch's derived moments
 // Text-era files (cpi2-incidents-v1, cpi2-aggregator-ckpt-v*,
 // cpi2-samples-v1) are already human-readable and are echoed through.
 //
@@ -14,6 +16,7 @@
 //        wiredump -            (read one artifact from stdin)
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,6 +30,7 @@
 #include "wire/framing.h"
 #include "wire/incident_codec.h"
 #include "wire/sample_codec.h"
+#include "wire/sketch_codec.h"
 
 namespace {
 
@@ -102,6 +106,44 @@ int DumpCheckpoint(const std::string& contents) {
   std::printf("aggregator checkpoint (binary v3, %zu bytes) as text:\n%s",
               contents.size(), aggregator.Checkpoint().c_str());
   return 0;
+}
+
+int DumpSketchFrame(const std::string& contents) {
+  SketchFrame frame;
+  SketchFrameDecodeStats stats;
+  const Status status = DecodeSketchFrame(contents, &frame, &stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "undecodable sketch frame: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("sketch frame: cell=%u seq=%llu, %zu partials, %zu bytes",
+              frame.cell_id, static_cast<unsigned long long>(frame.sequence),
+              frame.partials.size(), contents.size());
+  if (stats.records_skipped > 0) {
+    std::printf(", %lld partials lost to damage",
+                static_cast<long long>(stats.records_skipped));
+  }
+  std::printf("\n");
+  std::printf("%-24s %-20s %10s %6s %8s %8s %8s %8s %8s\n", "job", "platform",
+              "samples", "tasks", "cpi_mean", "cpi_sd", "usage", "~p50", "~p99");
+  for (const SketchPartial& partial : frame.partials) {
+    const auto name = [&frame](uint32_t index) -> const char* {
+      return index < frame.names.size() ? frame.names[index].c_str() : "<bad-index>";
+    };
+    const CpiSketch& sketch = partial.sketch;
+    std::printf("%-24s %-20s %10llu %6zu %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+                name(partial.job), name(partial.platform),
+                static_cast<unsigned long long>(sketch.count()),
+                partial.task_samples.size(), sketch.cpi_mean(),
+                std::sqrt(sketch.cpi_variance()), sketch.usage_mean(),
+                sketch.ApproxQuantile(0.5), sketch.ApproxQuantile(0.99));
+    if (sketch.underflow() > 0 || sketch.overflow() > 0) {
+      std::printf("    histogram out of range: %llu underflow, %llu overflow\n",
+                  static_cast<unsigned long long>(sketch.underflow()),
+                  static_cast<unsigned long long>(sketch.overflow()));
+    }
+  }
+  return stats.records_skipped > 0 ? 1 : 0;
 }
 
 // Renders one CPI2NET1 frame payload as a single line.
@@ -254,6 +296,9 @@ int DumpContents(const std::string& contents) {
   }
   if (HasWireMagic(contents, kNetStreamMagic)) {
     return DumpNetStream(contents);
+  }
+  if (HasWireMagic(contents, kSketchFrameMagic)) {
+    return DumpSketchFrame(contents);
   }
   if (contents.rfind("CPAGCKP3", 0) == 0) {
     return DumpCheckpoint(contents);
