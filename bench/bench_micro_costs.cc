@@ -90,6 +90,43 @@ void BM_FusedCorrelation(benchmark::State& state) {
 }
 BENCHMARK(BM_FusedCorrelation)->Arg(10)->Arg(60)->Arg(600);
 
+// The batched one-pass kernel at suspect-table width: ONE victim-major sweep
+// scores `suspects` co-residents (each with its own usage series) against
+// the victim. Items processed = suspects, so items/sec here against
+// BM_FusedCorrelation's 1-suspect rate shows the per-suspect cost drop.
+void BM_BatchedCorrelation(benchmark::State& state) {
+  Rng rng(4);
+  TimeSeries victim;
+  const int samples = 60;
+  const int suspects = static_cast<int>(state.range(0));
+  std::vector<TimeSeries> usage(static_cast<size_t>(suspects));
+  {
+    TimeSeries first_usage;
+    MakeSeriesPair(samples, rng, &victim, &first_usage);
+    usage[0] = std::move(first_usage);
+  }
+  for (int s = 1; s < suspects; ++s) {
+    for (int i = -samples; i < samples; ++i) {
+      const MicroTime t = (static_cast<MicroTime>(i) + samples) * kMicrosPerSecond;
+      usage[static_cast<size_t>(s)].Append(t, rng.Uniform(0.0, 2.0));
+    }
+  }
+  std::vector<const TimeSeries*> pointers;
+  for (const TimeSeries& series : usage) {
+    pointers.push_back(&series);
+  }
+  const MicroTime begin = samples * kMicrosPerSecond;
+  const MicroTime end = 2 * samples * kMicrosPerSecond;
+  BatchedCorrelationScratch scratch;
+  for (auto _ : state) {
+    BatchedAntagonistCorrelation(victim, pointers.data(), pointers.size(), begin, end,
+                                 kMicrosPerSecond / 2, 2.0, &scratch);
+    benchmark::DoNotOptimize(scratch.correlation(0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * suspects);
+}
+BENCHMARK(BM_BatchedCorrelation)->Arg(10)->Arg(50)->Arg(200);
+
 // The paper's full analysis: one victim against ~50 suspects over a
 // 10-minute window (their ~100 us number).
 void BM_FullAnalysisAgainstSuspects(benchmark::State& state) {
@@ -128,7 +165,7 @@ void BM_OutlierDetectorObserve(benchmark::State& state) {
   MicroTime t = 0;
   for (auto _ : state) {
     sample.timestamp = (t += kMicrosPerMinute);
-    benchmark::DoNotOptimize(detector.Observe("job.0", sample, spec));
+    benchmark::DoNotOptimize(detector.Observe(/*key=*/0, sample, spec));
   }
 }
 BENCHMARK(BM_OutlierDetectorObserve);
@@ -198,12 +235,9 @@ void BM_SpecBuilderAddSample(benchmark::State& state) {
 BENCHMARK(BM_SpecBuilderAddSample);
 
 // One simulated-machine tick with a realistic tenant count: bounds the cost
-// of the whole interference model. Arg 0 = tasks; arg 1 selects the layout
-// (0 = SoA TaskTable, 1 = legacy per-Task loop) so the two tick engines
-// stay directly comparable at every population.
+// of the whole interference model. Arg = tasks on the machine.
 void BM_MachineTick(benchmark::State& state) {
-  const bool legacy = state.range(1) != 0;
-  Machine machine("m", ReferencePlatform(), 4, InterferenceParams(), legacy);
+  Machine machine("m", ReferencePlatform(), 4);
   const int tasks = static_cast<int>(state.range(0));
   for (int i = 0; i < tasks; ++i) {
     (void)machine.AddTask(StrFormat("t.%d", i), FillerServiceSpec(0.2));
@@ -214,13 +248,7 @@ void BM_MachineTick(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * tasks);
 }
-BENCHMARK(BM_MachineTick)
-    ->Args({10, 0})
-    ->Args({50, 0})
-    ->Args({100, 0})
-    ->Args({10, 1})
-    ->Args({50, 1})
-    ->Args({100, 1});
+BENCHMARK(BM_MachineTick)->Arg(10)->Arg(50)->Arg(100);
 
 // The batched interference kernel alone: one ComputeInterferenceBatch sweep
 // over n co-resident tasks (two name-order total reductions + one

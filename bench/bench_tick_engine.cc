@@ -2,14 +2,11 @@
 //
 // Runs the full harness (machines + agents + aggregator) over a
 // representative 1000-machine cluster at several thread counts and reports
-// the machine-tick rate for each, plus the parallel speedup. With
-// --with-legacy-layout the serial run is also repeated with
-// `legacy_task_layout` set, measuring the SoA tick engine against the
-// per-Task reference loop and asserting their end states are bit-identical
-// (nonzero exit on mismatch). Default runs skip the deprecated flag — §14's
-// retirement plan, stage 2: the equivalence claim is held by
-// ParallelDeterminismTest.LegacyTaskLayoutMatchesSoA and the fuzz-churn
-// test, not by every bench invocation. Writes a single JSON line to
+// the machine-tick rate for each, plus the parallel speedup. Thread counts
+// must agree on the pipeline sample totals (DETERMINISM_MISMATCH on the
+// console otherwise); the per-Task reference loop the SoA engine replaced
+// now lives in TaskTableTest.FuzzChurnMatchesReferenceTick, so this bench
+// measures only the one supported layout. Writes a single JSON line to
 // BENCH_tick_engine.json so CI can track the perf trajectory across PRs.
 
 #include <chrono>
@@ -40,7 +37,7 @@ struct Measurement {
 };
 
 // Order-sensitive digest of everything the tick engine computes per task;
-// any layout divergence — a differently-drawn RNG stream, a reassociated
+// any divergence — a differently-drawn RNG stream, a reassociated
 // FP product, a skipped task — lands in here.
 uint64_t HashClusterState(Cluster& cluster) {
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
@@ -71,11 +68,10 @@ uint64_t HashClusterState(Cluster& cluster) {
   return h;
 }
 
-Measurement Measure(int threads, bool legacy_task_layout = false) {
+Measurement Measure(int threads) {
   ClusterHarness::Options options;
   options.cluster.seed = 20130415;
   options.cluster.threads = threads;
-  options.params.legacy_task_layout = legacy_task_layout;
   ClusterHarness harness(options);
 
   ClusterMixOptions mix;
@@ -103,7 +99,7 @@ Measurement Measure(int threads, bool legacy_task_layout = false) {
   return m;
 }
 
-int Main(bool smoke, bool with_legacy_layout) {
+int Main(bool smoke) {
   SetMinLogLevel(LogLevel::kWarning);
   if (smoke) {
     g_machines = 16;
@@ -125,22 +121,8 @@ int Main(bool smoke, bool with_legacy_layout) {
     PrintResult(StrFormat("machine_ticks_per_sec_threads_%d", m.threads), m.ticks_per_sec);
   }
 
-  // Opt-in: the same serial scenario through the deprecated legacy per-Task
-  // layout, with the end-state hashes proving the fast path changed nothing.
-  Measurement legacy_serial;
-  bool identical = true;
+  bool deterministic = true;
   const double serial = results[0].ticks_per_sec;
-  if (with_legacy_layout) {
-    legacy_serial = Measure(/*threads=*/1, /*legacy_task_layout=*/true);
-    PrintResult("machine_ticks_per_sec_serial_legacy_layout", legacy_serial.ticks_per_sec);
-    identical = legacy_serial.state_hash == results[0].state_hash &&
-                legacy_serial.samples == results[0].samples;
-    PrintResult("layout_equivalent", identical ? 1.0 : 0.0);
-    if (legacy_serial.ticks_per_sec > 0.0) {
-      PrintResult("layout_speedup_serial", serial / legacy_serial.ticks_per_sec);
-    }
-  }
-
   std::string json = StrFormat(
       "{\"bench\":\"tick_engine\",\"machines\":%d,\"ticks\":%d", g_machines, g_ticks);
   for (const Measurement& m : results) {
@@ -149,20 +131,12 @@ int Main(bool smoke, bool with_legacy_layout) {
       PrintResult(StrFormat("speedup_threads_%d", m.threads), m.ticks_per_sec / serial);
       json += StrFormat(",\"speedup_t%d\":%.3f", m.threads, m.ticks_per_sec / serial);
     }
-    if (m.samples != results[0].samples) {
+    if (m.samples != results[0].samples || m.state_hash != results[0].state_hash) {
       PrintResult("DETERMINISM_MISMATCH_threads", m.threads);
+      deterministic = false;
     }
   }
-  json += StrFormat(",\"ticks_per_sec_serial_layout_soa\":%.1f", serial);
-  if (with_legacy_layout) {
-    json += StrFormat(",\"ticks_per_sec_serial_layout_legacy\":%.1f",
-                      legacy_serial.ticks_per_sec);
-    if (legacy_serial.ticks_per_sec > 0.0) {
-      json += StrFormat(",\"layout_speedup_serial\":%.3f",
-                        serial / legacy_serial.ticks_per_sec);
-    }
-    json += StrFormat(",\"identical\":%s", identical ? "true" : "false");
-  }
+  json += StrFormat(",\"deterministic\":%s", deterministic ? "true" : "false");
   json += StrFormat(",\"samples_collected\":%lld}", static_cast<long long>(results[0].samples));
 
   std::printf("%s\n", json.c_str());
@@ -173,13 +147,11 @@ int Main(bool smoke, bool with_legacy_layout) {
       std::fclose(f);
     }
   }
-  if (!identical) {
+  if (!deterministic) {
     std::fprintf(stderr,
-                 "FATAL: legacy_task_layout and SoA tick engines diverged "
-                 "(hash %llx vs %llx, samples %lld vs %lld)\n",
-                 static_cast<unsigned long long>(legacy_serial.state_hash),
+                 "FATAL: tick engine diverged across thread counts "
+                 "(serial hash %llx, samples %lld)\n",
                  static_cast<unsigned long long>(results[0].state_hash),
-                 static_cast<long long>(legacy_serial.samples),
                  static_cast<long long>(results[0].samples));
     return 1;
   }
@@ -191,14 +163,10 @@ int Main(bool smoke, bool with_legacy_layout) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  bool with_legacy_layout = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     }
-    if (std::strcmp(argv[i], "--with-legacy-layout") == 0) {
-      with_legacy_layout = true;
-    }
   }
-  return cpi2::Main(smoke, with_legacy_layout);
+  return cpi2::Main(smoke);
 }

@@ -67,7 +67,9 @@ int Run() {
     guilty_usage.Append(now, under_attack ? 2.5 : 0.0);
     innocent_usage.Append(now, 0.8);  // steady the whole time
 
-    const auto result = detector.Observe(sample.task, sample, spec);
+    // Detector state is keyed by a dense per-incarnation key (an Agent mints
+    // one per AddTask); here there is one task, so key 0.
+    const auto result = detector.Observe(/*key=*/0, sample, spec);
     threshold = result.threshold;
     if (result.anomaly) {
       anomaly = true;

@@ -1,5 +1,7 @@
 #include "core/agent.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace cpi2 {
@@ -22,18 +24,23 @@ void Agent::AddTask(const TaskMeta& meta, MicroTime now) {
   const uint32_t id = task_ids_.Intern(meta.task);
   TaskMeta& stored = tasks_[meta.task] = meta;
   stored.series_id = id;  // resolve the name once; the sample path reuses it
+  stored.detector_key = next_detector_key_++;  // fresh key per incarnation
   series_.emplace(id, TaskSeries{});
   sampler_.AddContainer(meta.task, now);
+  ++membership_version_;  // suspect table is stale until the next rebuild
 }
 
 void Agent::RemoveTask(const std::string& task) {
-  tasks_.erase(task);
+  if (const auto it = tasks_.find(task); it != tasks_.end()) {
+    detector_.ForgetTask(it->second.detector_key);
+    tasks_.erase(it);
+  }
   if (const auto id = task_ids_.Find(task); id.has_value()) {
     series_.erase(*id);
   }
   sampler_.RemoveContainer(task);
-  detector_.ForgetTask(task);
   enforcement_.ForgetTask(task);
+  ++membership_version_;  // suspect table is stale until the next rebuild
 }
 
 void Agent::UpdateSpec(const CpiSpec& spec, MicroTime now) {
@@ -69,6 +76,11 @@ void Agent::Restart(MicroTime now) {
   tasks_.clear();
   series_.clear();  // task_ids_ survives: ids are process-lifetime stable
   specs_.clear();
+  suspect_rows_.clear();
+  suspect_rows_version_ = ~0ull;  // rows pointed into the cleared registry
+  ++membership_version_;
+  // next_detector_key_ survives, like task_ids_: keys stay unique across the
+  // crash so a pre-crash ForgetTask can never hit a post-crash incarnation.
   sampler_.Clear();
   detector_.Clear();
   enforcement_.Reset();
@@ -373,7 +385,7 @@ void Agent::OnWindow(const std::string& container, const CounterDelta& delta) {
     }
   }
   const OutlierDetector::Result result =
-      detector_.Observe(container, sample, spec_it->second.spec, sigma_scale);
+      detector_.Observe(meta.detector_key, sample, spec_it->second.spec, sigma_scale);
   if (result.outlier) {
     ++outliers_flagged_;
   }
@@ -385,33 +397,93 @@ void Agent::OnWindow(const std::string& container, const CounterDelta& delta) {
   }
 }
 
+void Agent::RebuildSuspectTableIfStale() {
+  if (suspect_rows_version_ == membership_version_) {
+    return;  // Table still matches the registry; reuse it as-is.
+  }
+  suspect_rows_.clear();
+  suspect_rows_.reserve(tasks_.size());
+  for (const auto& [task, meta] : tasks_) {
+    const auto series_it = series_.find(meta.series_id);
+    AntagonistIdentifier::SuspectRow row;
+    row.task = &task;  // map nodes are stable; pointers outlive the rebuild
+    row.jobname = &meta.jobname;
+    row.workload_class = meta.workload_class;
+    row.priority = meta.priority;
+    // A task with no series slot scores as "no data" (null usage), exactly
+    // the per-suspect path's skip rule for a missing series.
+    row.usage = series_it != series_.end() ? &series_it->second.usage : nullptr;
+    suspect_rows_.push_back(row);
+  }
+  // tasks_ iterates in ascending name order, so the rows arrive name-sorted —
+  // the invariant AnalyzeBatched's integer tie-break leans on.
+  suspect_rows_version_ = membership_version_;
+}
+
 void Agent::HandleAnomaly(const TaskMeta& victim, const CpiSample& sample, double threshold,
                           const CpiSpec& spec) {
-  // Assemble every co-resident task as a suspect.
-  std::vector<AntagonistIdentifier::SuspectInput> inputs;
-  inputs.reserve(tasks_.size());
-  for (const auto& [task, meta] : tasks_) {
-    if (task == victim.task) {
-      continue;
-    }
-    const auto series_it = series_.find(meta.series_id);
-    if (series_it == series_.end()) {
-      continue;
-    }
-    AntagonistIdentifier::SuspectInput input;
-    input.task = task;
-    input.jobname = meta.jobname;
-    input.workload_class = meta.workload_class;
-    input.priority = meta.priority;
-    input.usage = &series_it->second.usage;
-    inputs.push_back(input);
-  }
   const auto victim_series = series_.find(victim.series_id);
   if (victim_series == series_.end()) {
     return;
   }
-  const std::vector<Suspect> ranked =
-      identifier_.Analyze(victim_series->second.cpi, threshold, inputs, sample.timestamp);
+
+  std::vector<Suspect> ranked;
+  if (options_.params.legacy_identification_path || options_.params.legacy_correlation_path) {
+    // Reference path: rebuild a SuspectInput vector from scratch (four string
+    // copies per co-resident task) and score suspects one Analyze loop
+    // iteration at a time. legacy_correlation_path implies this shape — the
+    // AlignSeries reference is per-suspect by construction.
+    std::vector<AntagonistIdentifier::SuspectInput> inputs;
+    inputs.reserve(tasks_.size());
+    for (const auto& [task, meta] : tasks_) {
+      if (task == victim.task) {
+        continue;
+      }
+      const auto series_it = series_.find(meta.series_id);
+      if (series_it == series_.end()) {
+        continue;
+      }
+      AntagonistIdentifier::SuspectInput input;
+      input.task = task;
+      input.jobname = meta.jobname;
+      input.workload_class = meta.workload_class;
+      input.priority = meta.priority;
+      input.usage = &series_it->second.usage;
+      inputs.push_back(input);
+    }
+    ranked = identifier_.Analyze(victim_series->second.cpi, threshold, inputs, sample.timestamp);
+  } else {
+    // Batched engine: sync the persistent suspect table if membership moved,
+    // then score every co-resident in one fused sweep. During an anomaly
+    // storm every victim after the first reuses the table and the kernel
+    // scratch untouched — the whole storm runs without a single allocation
+    // until incidents materialize.
+    RebuildSuspectTableIfStale();
+    const auto victim_row = std::lower_bound(
+        suspect_rows_.begin(), suspect_rows_.end(), victim.task,
+        [](const AntagonistIdentifier::SuspectRow& row, const std::string& name) {
+          return *row.task < name;
+        });
+    const size_t skip_row =
+        victim_row != suspect_rows_.end() && *victim_row->task == victim.task
+            ? static_cast<size_t>(victim_row - suspect_rows_.begin())
+            : AntagonistIdentifier::kNoSkip;
+    identifier_.AnalyzeBatched(victim_series->second.cpi, threshold, suspect_rows_, skip_row,
+                               sample.timestamp, &ranked_scratch_);
+    // Materialize Suspect records only now that an incident is actually
+    // being built; the analysis itself never copied a string.
+    ranked.reserve(ranked_scratch_.size());
+    for (const AntagonistIdentifier::RankedRef& ref : ranked_scratch_) {
+      const AntagonistIdentifier::SuspectRow& row = suspect_rows_[ref.row];
+      Suspect suspect;
+      suspect.task = *row.task;
+      suspect.jobname = *row.jobname;
+      suspect.workload_class = row.workload_class;
+      suspect.priority = row.priority;
+      suspect.correlation = ref.correlation;
+      ranked.push_back(std::move(suspect));
+    }
+  }
 
   Incident incident;
   incident.timestamp = sample.timestamp;

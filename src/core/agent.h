@@ -47,6 +47,12 @@ struct TaskMeta {
   // Agent-internal: the dense id keying this task's series bookkeeping,
   // filled by Agent::AddTask. Callers registering tasks leave the default.
   uint32_t series_id = 0;
+  // Agent-internal: the detector key for THIS incarnation of the task.
+  // Unlike series_id (interned per name, so a recycled name maps to the same
+  // id forever), detector keys are never reused across incarnations: a stale
+  // ForgetTask for a dead incarnation can never clobber the outlier history
+  // of a new task running under a recycled name.
+  uint32_t detector_key = 0;
 };
 
 // Outcome of one attempt to deliver a sample to the collection pipeline.
@@ -129,6 +135,11 @@ class Agent {
   // This is the membership source of truth, so callers syncing against a
   // machine can iterate it directly instead of shadow-tracking membership.
   const std::map<std::string, TaskMeta>& Tasks() const { return tasks_; }
+
+  // Bumped by every AddTask/RemoveTask/Restart. The suspect table rebuilds
+  // lazily when its built-against version falls behind this (the same idea
+  // as Machine::membership_version gating the harness registry sync).
+  uint64_t membership_version() const { return membership_version_; }
 
   // --- spec distribution (pushed from the aggregator) -----------------------
   // `now` stamps the spec's arrival time for staleness tracking; the
@@ -229,6 +240,10 @@ class Agent {
   void HandleAnomaly(const TaskMeta& victim, const CpiSample& sample, double threshold,
                      const CpiSpec& spec);
 
+  // Brings the persistent suspect table back in sync with tasks_ after a
+  // membership change. One pointer-gathering walk; no string copies.
+  void RebuildSuspectTableIfStale();
+
   Options options_;
   CpiSampler sampler_;
   OutlierDetector detector_;
@@ -245,6 +260,20 @@ class Agent {
   std::unordered_map<uint32_t, TaskSeries> series_;
   // Specs for this machine's platform, keyed by jobname.
   std::map<std::string, SpecEntry> specs_;
+
+  // Persistent suspect table (DESIGN.md §17): one name-sorted row per task,
+  // pointing into tasks_ keys/metadata (std::map nodes are stable) and
+  // series_ values (unordered_map values are stable). Rebuilt lazily — only
+  // when an anomaly fires after membership changed — and reused across every
+  // victim of an anomaly storm. ranked_scratch_ is the reusable batched
+  // analysis output.
+  std::vector<AntagonistIdentifier::SuspectRow> suspect_rows_;
+  uint64_t membership_version_ = 0;
+  uint64_t suspect_rows_version_ = ~0ull;  // stale until the first rebuild
+  std::vector<AntagonistIdentifier::RankedRef> ranked_scratch_;
+  // Next per-incarnation detector key (see TaskMeta::detector_key). Never
+  // reused and deliberately NOT reset by Restart, mirroring task_ids_.
+  uint32_t next_detector_key_ = 0;
 
   // Queues `sample` for delivery on whichever transport is installed,
   // evicting the oldest queued sample when the outbox is at capacity.

@@ -9,9 +9,12 @@
 #ifndef CPI2_CORE_ANTAGONIST_IDENTIFIER_H_
 #define CPI2_CORE_ANTAGONIST_IDENTIFIER_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/correlation.h"
 #include "core/incident.h"
 #include "core/params.h"
 #include "util/time_series.h"
@@ -31,6 +34,28 @@ class AntagonistIdentifier {
     const TimeSeries* usage = nullptr;
   };
 
+  // One row of a persistent suspect table (DESIGN.md §17): the interned twin
+  // of SuspectInput. Names are pointers into the owner's stable storage (the
+  // agent's task-registry nodes), the series pointer is cached once at
+  // registration — building an analysis input costs zero string copies and
+  // zero allocations. Rows must be kept sorted by ascending *task; the
+  // ranked output's tie-break leans on that.
+  struct SuspectRow {
+    const std::string* task = nullptr;
+    const std::string* jobname = nullptr;
+    WorkloadClass workload_class = WorkloadClass::kBatch;
+    JobPriority priority = JobPriority::kNonProduction;
+    const TimeSeries* usage = nullptr;
+  };
+
+  // One entry of a batched analysis result: a reference into the suspect
+  // table plus the score. Stays interned — the caller materializes Suspect
+  // strings only when an incident is actually built.
+  struct RankedRef {
+    uint32_t row = 0;
+    double correlation = 0.0;
+  };
+
   // Rate limiting: may an analysis run at `now`?
   bool Allowed(MicroTime now) const {
     return last_analysis_ < 0 || now - last_analysis_ >= params_.analysis_interval;
@@ -48,12 +73,37 @@ class AntagonistIdentifier {
   std::vector<Suspect> Analyze(const TimeSeries& victim_cpi, double cpi_threshold,
                                const std::vector<SuspectInput>& suspects, MicroTime now);
 
+  // The batched engine: scores every row of `rows` except `skip_row`
+  // (pass kNoSkip to score all) against the victim in ONE victim-major sweep
+  // (BatchedAntagonistCorrelation), ranking the results into *ranked —
+  // capacity reused, entries ordered exactly as Analyze orders its Suspects
+  // (correlation descending, ties by ascending task id; since rows are
+  // name-sorted the tie-break is an integer compare). Suspects with no
+  // aligned samples or a null series are skipped, as in Analyze. Records the
+  // analysis for rate-limiting. An anomaly storm calls this once per victim
+  // against the same rows and scratch: zero allocations at steady state.
+  static constexpr size_t kNoSkip = static_cast<size_t>(-1);
+  void AnalyzeBatched(const TimeSeries& victim_cpi, double cpi_threshold,
+                      const std::vector<SuspectRow>& rows, size_t skip_row, MicroTime now,
+                      std::vector<RankedRef>* ranked);
+
   int64_t analyses_run() const { return analyses_run_; }
 
  private:
   Cpi2Params params_;
   MicroTime last_analysis_ = -1;
   int64_t analyses_run_ = 0;
+  // Batched-path scratch, reused across analyses (and across the victims of
+  // one storm): the kernel's SoA columns plus the usage-pointer view the
+  // kernel consumes (skip_row's slot is nulled instead of compacting, so row
+  // indices and kernel indices coincide).
+  BatchedCorrelationScratch batch_scratch_;
+  std::vector<const TimeSeries*> batch_usages_;
+  // Ranking scratch: one branchless sort key per scoring suspect —
+  // sign-flipped correlation bits (descending double order) over the row
+  // index (ascending tie-break). See AnalyzeBatched for the encoding
+  // argument.
+  std::vector<unsigned __int128> rank_keys_;
 };
 
 }  // namespace cpi2

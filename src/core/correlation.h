@@ -12,7 +12,7 @@
 // it up; usage during healthy victim periods pushes it down. This is a
 // deliberately simple passive score: no throttle-probing of innocents.
 //
-// Two implementations of the same score:
+// Three implementations of the same score:
 //  - AntagonistCorrelation over a pre-aligned pair vector: the legacy
 //    reference path (pairs come from AlignSeries, which allocates and costs
 //    O(|a| log |b|)).
@@ -21,6 +21,21 @@
 //    allocations. Visits the identical pairs in the identical order with
 //    identical arithmetic, so the two paths are bit-identical
 //    (correlation_equivalence_test proves it on random series).
+//  - BatchedAntagonistCorrelation over one victim and MANY suspect series:
+//    ONE pass over the victim series snapshots the correlation window into
+//    dense scratch columns — timestamps plus each point's precomputed score
+//    factor — then a per-suspect monotone cursor (SoA count and accumulator
+//    columns) sweeps each suspect's ring a single time, recording the
+//    aligned (factor, usage) pairs; the fold is a branchless
+//    multiply-accumulate whose every product is the product the fused
+//    path's per-pair expression computes, so every score is bit-identical
+//    to a FusedAntagonistCorrelation call on that suspect
+//    (correlation_equivalence_test again). The kernel pays the alignment
+//    seek work once per suspect instead of twice, the victim window lookup,
+//    ring indexing, threshold branches and victim-side division once per
+//    BATCH instead of twice per suspect, and folds out of L1-resident
+//    scratch — this is the identification engine's anomaly-storm kernel
+//    (DESIGN.md §17).
 
 #ifndef CPI2_CORE_CORRELATION_H_
 #define CPI2_CORE_CORRELATION_H_
@@ -45,6 +60,47 @@ double AntagonistCorrelation(const std::vector<AlignedPair>& pairs, double cpi_t
 double FusedAntagonistCorrelation(const TimeSeries& victim_cpi, const TimeSeries& usage,
                                   MicroTime begin, MicroTime end, MicroTime tolerance,
                                   double cpi_threshold, size_t* aligned_pairs);
+
+// Reusable SoA scratch for BatchedAntagonistCorrelation. The per-suspect
+// columns (cursor, count, accumulator, score) are indexed by suspect; the
+// victim-snapshot and pair-recording buffers are sized by the window length
+// and reused for every suspect in the batch. Keep one instance alive across
+// calls (the agent does, per DESIGN.md §17) and the steady state allocates
+// nothing: an anomaly storm re-scores victim after victim out of the same
+// buffers.
+class BatchedCorrelationScratch {
+ public:
+  // Outputs of the last BatchedAntagonistCorrelation call.
+  double correlation(size_t suspect) const { return correlation_[suspect]; }
+  size_t aligned_pairs(size_t suspect) const { return count_[suspect]; }
+
+ private:
+  friend void BatchedAntagonistCorrelation(const TimeSeries&, const TimeSeries* const*,
+                                           size_t, MicroTime, MicroTime, MicroTime, double,
+                                           BatchedCorrelationScratch*);
+  std::vector<size_t> count_;        // per-suspect aligned-pair count
+  std::vector<double> correlation_;  // per-suspect final score
+  std::vector<MicroTime> victim_ts_;     // dense victim-window snapshot ...
+  std::vector<double> victim_factor_;    // ... with the per-point score factor
+  std::vector<double> pair_factor_;      // recorded factors, reused per suspect
+  std::vector<double> pair_usage_;       // recorded suspect usage, same layout
+};
+
+// Scores `n` suspects against one victim: one pass over the victim series
+// snapshots the window, then each suspect gets a single-seek sweep + fold.
+// usages[s] == nullptr (or an empty/non-overlapping series) yields
+// aligned_pairs(s) == 0 — the caller's skip-this-suspect rule, exactly as a
+// FusedAntagonistCorrelation call returning *aligned_pairs == 0 would.
+// Every returned correlation(s) is bit-identical to
+// FusedAntagonistCorrelation(victim_cpi, *usages[s], ...): each sweep visits
+// victim points in the same order, the per-suspect cursors pick the exact
+// indices the fused path's SeekNearestAdvance picks (CachedNearestCursor is
+// decision-equivalent), and the fold replays the recorded pairs with the
+// same expressions in the same order.
+void BatchedAntagonistCorrelation(const TimeSeries& victim_cpi,
+                                  const TimeSeries* const* usages, size_t n, MicroTime begin,
+                                  MicroTime end, MicroTime tolerance, double cpi_threshold,
+                                  BatchedCorrelationScratch* scratch);
 
 }  // namespace cpi2
 

@@ -2,9 +2,8 @@
 
 namespace cpi2 {
 
-OutlierDetector::Result OutlierDetector::Observe(const std::string& task,
-                                                 const CpiSample& sample, const CpiSpec& spec,
-                                                 double sigma_scale) {
+OutlierDetector::Result OutlierDetector::Observe(uint32_t key, const CpiSample& sample,
+                                                 const CpiSpec& spec, double sigma_scale) {
   Result result;
   result.threshold = spec.OutlierThreshold(sigma_scale * params_.outlier_sigmas);
 
@@ -20,16 +19,15 @@ OutlierDetector::Result OutlierDetector::Observe(const std::string& task,
   }
   result.outlier = true;
 
-  const uint32_t id = ids_.Intern(task);
-  if (id >= flags_.size()) {
-    flags_.resize(id + 1);
-    present_.resize(id + 1, 0);
+  if (key >= flags_.size()) {
+    flags_.resize(key + 1);
+    present_.resize(key + 1, 0);
   }
-  if (!present_[id]) {
-    present_[id] = 1;
+  if (!present_[key]) {
+    present_[key] = 1;
     ++tracked_;
   }
-  std::deque<MicroTime>& task_flags = flags_[id];
+  std::deque<MicroTime>& task_flags = flags_[key];
   task_flags.push_back(sample.timestamp);
   const MicroTime cutoff = sample.timestamp - params_.violation_window;
   while (!task_flags.empty() && task_flags.front() < cutoff) {
@@ -39,13 +37,12 @@ OutlierDetector::Result OutlierDetector::Observe(const std::string& task,
   return result;
 }
 
-void OutlierDetector::ForgetTask(const std::string& task) {
-  const std::optional<uint32_t> id = ids_.Find(task);
-  if (!id.has_value() || *id >= present_.size() || !present_[*id]) {
+void OutlierDetector::ForgetTask(uint32_t key) {
+  if (key >= present_.size() || !present_[key]) {
     return;
   }
-  flags_[*id].clear();
-  present_[*id] = 0;
+  flags_[key].clear();
+  present_[key] = 0;
   --tracked_;
 }
 

@@ -9,17 +9,22 @@
 #ifndef CPI2_CORE_OUTLIER_DETECTOR_H_
 #define CPI2_CORE_OUTLIER_DETECTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <string>
 #include <vector>
 
 #include "core/params.h"
 #include "core/types.h"
-#include "util/interner.h"
 
 namespace cpi2 {
 
+// Keyed by the caller's dense task key — the agent passes
+// TaskMeta::detector_key, minted fresh for every task *incarnation*. The
+// detector never sees a task name: Observe and ForgetTask are pure integer
+// indexing, and because keys are never reused, a stale ForgetTask for a dead
+// incarnation cannot clobber the history of a new task that happens to run
+// under a recycled name (outlier_detector_test holds the regression).
 class OutlierDetector {
  public:
   explicit OutlierDetector(const Cpi2Params& params) : params_(params) {}
@@ -36,21 +41,21 @@ class OutlierDetector {
     bool skipped_low_usage = false;
   };
 
-  // Scores one sample of `task` against its job's spec. `sigma_scale`
-  // widens the outlier threshold (mean + sigma_scale * outlier_sigmas *
-  // stddev); degraded modes pass > 1.0 when the spec is stale so that a
-  // drifting job does not trip on an outdated model.
-  Result Observe(const std::string& task, const CpiSample& sample, const CpiSpec& spec,
+  // Scores one sample of the task keyed `key` against its job's spec.
+  // `sigma_scale` widens the outlier threshold (mean + sigma_scale *
+  // outlier_sigmas * stddev); degraded modes pass > 1.0 when the spec is
+  // stale so that a drifting job does not trip on an outdated model.
+  Result Observe(uint32_t key, const CpiSample& sample, const CpiSpec& spec,
                  double sigma_scale);
-  Result Observe(const std::string& task, const CpiSample& sample, const CpiSpec& spec) {
-    return Observe(task, sample, spec, /*sigma_scale=*/1.0);
+  Result Observe(uint32_t key, const CpiSample& sample, const CpiSpec& spec) {
+    return Observe(key, sample, spec, /*sigma_scale=*/1.0);
   }
 
-  // Drops a task's flag history (task exited or moved away).
-  void ForgetTask(const std::string& task);
+  // Drops a task's flag history (task exited or moved away). A key never
+  // observed (or already forgotten) is a no-op.
+  void ForgetTask(uint32_t key);
 
   // Drops all flag history (agent restart: everything in memory is lost).
-  // Interned ids survive: they are stable name handles, not state.
   void Clear() {
     flags_.clear();
     present_.clear();
@@ -62,12 +67,11 @@ class OutlierDetector {
 
  private:
   Cpi2Params params_;
-  // Task names interned once; flag history lives in vectors indexed by id,
-  // so the hot Observe path never allocates or rebalances a map node.
-  StringInterner ids_;
-  // Per task id: timestamps of recent outlier flags, oldest first.
+  // Per task key: timestamps of recent outlier flags, oldest first. Keys
+  // index these vectors directly, so the hot Observe path never allocates
+  // or rebalances a map node (and never hashes a string).
   std::vector<std::deque<MicroTime>> flags_;
-  std::vector<uint8_t> present_;  // id currently has a flag history
+  std::vector<uint8_t> present_;  // key currently has a flag history
   size_t tracked_ = 0;            // == count of set bits in present_
 };
 

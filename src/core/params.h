@@ -54,6 +54,18 @@ struct Cpi2Params {
   // ParallelDeterminismTest.LegacyCorrelationPathMatchesFastPath hold the
   // proof — so this exists only to keep that claim checkable in CI.
   bool legacy_correlation_path = false;
+  // Validation escape hatch, one layer above legacy_correlation_path: route
+  // antagonist identification through the per-suspect loop — the agent
+  // rebuilds a SuspectInput vector (string copies and all) on every anomaly
+  // and AntagonistIdentifier::Analyze runs one FusedAntagonistCorrelation
+  // call per suspect — instead of the batched one-pass engine over the
+  // agent's persistent suspect table (DESIGN.md §17). Ranked output is
+  // bit-identical: ParallelDeterminismTest.BatchedIdentificationMatchesPerSuspect
+  // and bench_identification_storm's pre-timing check hold the proof.
+  // legacy_correlation_path implies this path (AlignSeries is per-suspect by
+  // construction), so the three identification tiers chain:
+  // batched ≡ per-suspect fused ≡ per-suspect AlignSeries.
+  bool legacy_identification_path = false;
 
   // --- enforcement (section 5) ----------------------------------------------
   // "0.01 CPU-sec/sec for low-importance ('best effort') batch jobs and 0.1
@@ -143,15 +155,6 @@ struct Cpi2Params {
   // loadable forever regardless of this flag.
   bool legacy_wire_path = false;
 
-  // --- machine tick engine (engineering; no paper counterpart) --------------
-  // Validation escape hatch, mirroring legacy_wire_path: run each simulated
-  // machine's tick loop over per-Task method calls instead of the
-  // structure-of-arrays TaskTable fast path. Both layouts draw the same RNG
-  // streams in the same order and every observable — samples, incidents,
-  // counters, health — is bit-identical, proven by
-  // ParallelDeterminismTest.LegacyTaskLayoutMatchesSoA and the in-bench
-  // equivalence check in bench_tick_engine.
-  bool legacy_task_layout = false;
   // Flush policy for the binary sample-batch transport. A batch seals when
   // it reaches wire_batch_max_samples, or at the first flush opportunity
   // once it is wire_batch_max_age old (0 = seal at every flush, which makes

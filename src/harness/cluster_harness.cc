@@ -11,22 +11,6 @@ namespace {
 // reproduces the stream the pre-fault-plane harness hard-coded.
 constexpr uint64_t kDropSeedSalt = 0x5eed;
 
-// The task-layout escape hatch lives in Cpi2Params next to its siblings
-// (legacy_correlation_path etc.), but machines are built by the Cluster;
-// fold it into the cluster options before construction.
-Cluster::Options ClusterOptionsFor(const ClusterHarness::Options& options) {
-  Cluster::Options merged = options.cluster;
-  if (options.params.legacy_task_layout) {
-    // DESIGN.md §14 retirement, step 1: the SoA TaskTable has been the
-    // default (and proven bit-identical) since it landed; the escape hatch
-    // now warns on use and is no longer benchmarked.
-    CPI2_LOG(WARNING) << "params.legacy_task_layout is deprecated and slated for "
-                         "removal; the SoA task table is the only supported layout";
-    merged.legacy_task_layout = true;
-  }
-  return merged;
-}
-
 }  // namespace
 
 TaskMeta MetaFromSpec(const std::string& task_name, const TaskSpec& spec) {
@@ -41,7 +25,7 @@ TaskMeta MetaFromSpec(const std::string& task_name, const TaskSpec& spec) {
 
 ClusterHarness::ClusterHarness(Options options)
     : options_(options),
-      cluster_(ClusterOptionsFor(options_)),
+      cluster_(options_.cluster),
       aggregator_(options.params),
       incident_log_(options.params.legacy_forensics_path),
       drop_rng_(options.cluster.seed ^ kDropSeedSalt) {

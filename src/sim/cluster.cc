@@ -15,8 +15,7 @@ void Cluster::AddMachines(const Platform& platform, int count) {
   for (int i = 0; i < count; ++i) {
     const std::string name =
         StrFormat("m%04d-%s", static_cast<int>(machines_.size()), platform.name.c_str());
-    machines_.push_back(std::make_unique<Machine>(name, platform, rng_(), options_.interference,
-                                                  options_.legacy_task_layout));
+    machines_.push_back(std::make_unique<Machine>(name, platform, rng_(), options_.interference));
   }
   machines_raw_.clear();
 }

@@ -34,9 +34,6 @@ class Cluster {
     MicroTime start_time = 0;
     Scheduler::Options scheduler;
     InterferenceParams interference;
-    // Run machines' tick loops over the legacy per-Task layout instead of
-    // the SoA TaskTable fast path (see Cpi2Params::legacy_task_layout).
-    bool legacy_task_layout = false;
     // Threads ticking the machines (and, via pool(), the harness agents).
     // 0 = hardware concurrency, 1 = the exact legacy serial path. Results
     // are identical for every value; only wall-clock time changes.

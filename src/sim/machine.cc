@@ -6,11 +6,10 @@
 namespace cpi2 {
 
 Machine::Machine(std::string name, Platform platform, uint64_t seed,
-                 InterferenceParams interference, bool legacy_task_layout)
+                 InterferenceParams interference)
     : name_(std::move(name)),
       platform_(std::move(platform)),
       interference_(interference),
-      legacy_layout_(legacy_task_layout),
       cycles_per_second_(platform_.CyclesPerSecond()),
       rng_(seed),
       table_(platform_, interference_) {}
@@ -60,78 +59,7 @@ void Machine::Tick(MicroTime now, MicroTime dt) {
     last_batch_satisfaction_ = 1.0;
     return;
   }
-  if (legacy_layout_) {
-    TickLegacy(now, tick_seconds);
-  } else {
-    TickSoa(now, tick_seconds);
-  }
-}
-
-void Machine::TickLegacy(MicroTime now, double tick_seconds) {
-  const std::vector<Task*>& tasks = Tasks();
-  const size_t n = tasks.size();
-
-  // 1. Demands, bounded by each task's hard cap.
-  std::vector<double>& limit = scratch_.limit;
-  std::vector<char>& latency_sensitive = scratch_.latency_sensitive;
-  limit.assign(n, 0.0);
-  latency_sensitive.assign(n, 0);
-  double ls_demand = 0.0;
-  double batch_demand = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double desired = tasks[i]->DesiredCpu(now);
-    limit[i] = std::min(desired, tasks[i]->cap());
-    latency_sensitive[i] = tasks[i]->spec().sched_class == WorkloadClass::kLatencySensitive;
-    (latency_sensitive[i] ? ls_demand : batch_demand) += limit[i];
-  }
-
-  // 2. Allocation: latency-sensitive first (scaled down only if they alone
-  // exceed the machine), batch shares what remains proportionally. This is
-  // the scheduling-priority part Linux *does* isolate well; caches are where
-  // isolation fails, and that is modelled in step 3.
-  const double capacity = static_cast<double>(platform_.cores);
-  const double ls_scale = ls_demand > capacity ? capacity / ls_demand : 1.0;
-  const double ls_used = std::min(ls_demand, capacity);
-  const double batch_capacity = capacity - ls_used;
-  const double batch_scale =
-      batch_demand > batch_capacity && batch_demand > 0.0 ? batch_capacity / batch_demand : 1.0;
-
-  std::vector<double>& alloc = scratch_.alloc;
-  alloc.assign(n, 0.0);
-  double used = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    alloc[i] = limit[i] * (latency_sensitive[i] ? ls_scale : batch_scale);
-    used += alloc[i];
-  }
-  last_utilization_ = capacity > 0.0 ? used / capacity : 0.0;
-  last_batch_satisfaction_ = batch_demand > 0.0 ? batch_scale : 1.0;
-
-  // 3. Interference.
-  std::vector<TaskLoad>& loads = scratch_.loads;
-  loads.assign(n, TaskLoad{});
-  for (size_t i = 0; i < n; ++i) {
-    const TaskSpec& spec = tasks[i]->spec();
-    loads[i] = {alloc[i], spec.cache_mb, spec.memory_intensity, spec.contention_sensitivity};
-  }
-  ComputeInterference(platform_, interference_, loads, &scratch_.effects);
-  const std::vector<InterferenceResult>& effects = scratch_.effects;
-
-  // 4. Accounting. The factors are applied one at a time to pin the RNG
-  // draw order (noise, then walk) — the order the SoA path reproduces.
-  for (size_t i = 0; i < n; ++i) {
-    double cpi = tasks[i]->BaseCpiOn(platform_);
-    cpi *= effects[i].cpi_multiplier;
-    cpi *= tasks[i]->CpiNoise();
-    cpi *= tasks[i]->CpiWalkFactor(now);
-    cpi *= tasks[i]->CpiStepFactor(now);
-    // Self-inflicted CPI inflation when a task barely runs (case 3): cold
-    // caches and wakeup overheads dominate at near-zero usage.
-    const double inflation = tasks[i]->spec().idle_cpi_inflation;
-    if (inflation > 0.0 && alloc[i] < 0.25) {
-      cpi *= 1.0 + inflation * (1.0 - alloc[i] / 0.25);
-    }
-    tasks[i]->Account(now, tick_seconds, alloc[i], cpi, effects[i].l3_mpi, platform_);
-  }
+  TickSoa(now, tick_seconds);
 }
 
 void Machine::TickSoa(MicroTime now, double tick_seconds) {
@@ -207,7 +135,10 @@ void Machine::TickSoa(MicroTime now, double tick_seconds) {
     (dc.latency_sensitive[k] ? ls_demand : batch_demand) += limit[k];
   }
 
-  // 2. Allocation (see TickLegacy for the policy). Element-wise, free to
+  // 2. Allocation: latency-sensitive first (scaled down only if they alone
+  // exceed the machine), batch shares what remains proportionally. This is
+  // the scheduling-priority part Linux *does* isolate well; caches are where
+  // isolation fails, and that is modelled in step 3. Element-wise, free to
   // vectorize; the utilization sum stays in name order.
   const double capacity = static_cast<double>(platform_.cores);
   const double ls_scale = ls_demand > capacity ? capacity / ls_demand : 1.0;

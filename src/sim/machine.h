@@ -15,12 +15,12 @@
 //   4. lets each task account the tick (counters, app metrics, cap
 //      reactions).
 //
-// Tasks live in a TaskTable (dense slots, parallel arrays). The default
-// tick path walks those arrays directly — batched demand/allocation/
-// interference/accounting passes in container-name order. The
-// `legacy_task_layout` constructor flag selects the original per-Task
-// method-call loop instead; both paths draw the same RNG streams in the
-// same order and are bit-identical in every observable (DESIGN.md §14).
+// Tasks live in a TaskTable (dense slots, parallel arrays). The tick path
+// walks those arrays directly — batched demand/allocation/interference/
+// accounting passes in container-name order. It is bit-identical in every
+// observable to the original per-Task method-call loop it replaced, which
+// survives as a straight-line reference implementation inside
+// TaskTableTest.FuzzChurnMatchesReferenceTick (DESIGN.md §14).
 
 #ifndef CPI2_SIM_MACHINE_H_
 #define CPI2_SIM_MACHINE_H_
@@ -43,8 +43,7 @@ namespace cpi2 {
 class Machine : public CounterSource, public CpuController {
  public:
   Machine(std::string name, Platform platform, uint64_t seed,
-          InterferenceParams interference = InterferenceParams(),
-          bool legacy_task_layout = false);
+          InterferenceParams interference = InterferenceParams());
 
   const std::string& name() const { return name_; }
   const Platform& platform() const { return platform_; }
@@ -102,15 +101,12 @@ class Machine : public CounterSource, public CpuController {
   std::optional<double> GetCap(const std::string& container) const override;
 
  private:
-  // The original per-Task method-call tick loop (legacy_task_layout=true).
-  void TickLegacy(MicroTime now, double tick_seconds);
-  // The SoA fast path: batched passes over the TaskTable arrays.
+  // The SoA tick: batched passes over the TaskTable arrays.
   void TickSoa(MicroTime now, double tick_seconds);
 
   std::string name_;
   Platform platform_;
   InterferenceParams interference_;
-  bool legacy_layout_;
   // platform_.CyclesPerSecond(), hoisted out of the accounting pass.
   double cycles_per_second_;
   Rng rng_;
@@ -120,11 +116,8 @@ class Machine : public CounterSource, public CpuController {
   // time per machine.
   struct TickScratch {
     std::vector<double> limit;
-    std::vector<char> latency_sensitive;  // legacy path only
     std::vector<double> alloc;
-    std::vector<TaskLoad> loads;                   // legacy path only
-    std::vector<InterferenceResult> effects;       // legacy path only
-    std::vector<double> cpi_multiplier;  // SoA interference outputs
+    std::vector<double> cpi_multiplier;  // interference outputs
     std::vector<double> l3_mpi;
   };
   TickScratch scratch_;

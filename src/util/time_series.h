@@ -138,11 +138,92 @@ inline WindowView View(const TimeSeries& series, MicroTime begin, MicroTime end)
   return WindowView(&series, lo, hi < lo ? lo : hi);
 }
 
-// Two-pointer nearest-match cursor for merge-join alignment. For a sequence
-// of non-decreasing query timestamps, Seek finds the index of the point the
-// legacy front-to-back NearestValue scan would pick (minimum distance,
-// latest point wins ties) while only ever advancing — amortized O(1) per
-// query, O(|queries| + |series|) for a whole alignment pass.
+inline MicroTime TimestampDistance(MicroTime a, MicroTime b) {
+  return a < b ? b - a : a - b;
+}
+
+// The monotone nearest-match advance shared by NearestCursor and the batched
+// correlation kernel (core/correlation.h). `*cursor` is the caller-held
+// position (start at 0); for a sequence of non-decreasing query timestamps
+// it advances to the index of the point the legacy front-to-back
+// NearestValue scan would pick (minimum distance, latest point wins ties)
+// and returns true when that point is within `tolerance`. One shared body so
+// the per-suspect and batched alignment paths cannot drift: amortized O(1)
+// per query, O(|queries| + |series|) for a whole alignment pass. `series`
+// must be non-empty.
+inline bool SeekNearestAdvance(const TimeSeries& series, MicroTime timestamp,
+                               MicroTime tolerance, size_t* cursor) {
+  const size_t size = series.size();
+  // Greedy advance: each step's distance is computed once and carried into
+  // the next comparison, so a whole alignment pass costs one distance per
+  // (query + advance), not three.
+  size_t next = *cursor;
+  MicroTime current = TimestampDistance(series[next].timestamp, timestamp);
+  while (next + 1 < size) {
+    const MicroTime candidate = TimestampDistance(series[next + 1].timestamp, timestamp);
+    if (candidate > current) {
+      break;
+    }
+    current = candidate;
+    ++next;
+  }
+  *cursor = next;
+  return current <= tolerance;
+}
+
+// Register-resident variant of SeekNearestAdvance for tight alignment
+// sweeps: carries the timestamps of series[next] and series[next + 1]
+// across queries, so a query that advances the cursor by one step costs a
+// single ring read (the new look-ahead) where the plain body pays three
+// (re-reading both neighbors, then the reject). Every comparison is the
+// comparison SeekNearestAdvance makes, on the same values, in the same
+// order — the cache only memoizes reads — so both cursors land on the same
+// index for every query. time_series_test pins that decision-equivalence
+// on random series, and the correlation equivalence suite pins the batched
+// kernel built on this cursor to the fused path built on the plain body.
+// `series` must be non-empty and outlive the cursor; `start` < size();
+// query timestamps must be non-decreasing.
+class CachedNearestCursor {
+ public:
+  CachedNearestCursor(const TimeSeries& series, size_t start)
+      : series_(&series),
+        next_(start),
+        size_(series.size()),
+        ts_next_(series[start].timestamp),
+        ts_ahead_(start + 1 < series.size() ? series[start + 1].timestamp : 0) {}
+
+  // Advances to the point SeekNearestAdvance would pick for `timestamp`
+  // (minimum distance, latest point wins ties) and returns true when it
+  // lies within `tolerance`. The chosen index is index().
+  bool Seek(MicroTime timestamp, MicroTime tolerance) {
+    MicroTime current = TimestampDistance(ts_next_, timestamp);
+    while (next_ + 1 < size_) {
+      const MicroTime candidate = TimestampDistance(ts_ahead_, timestamp);
+      if (candidate > current) {
+        break;
+      }
+      current = candidate;
+      ++next_;
+      ts_next_ = ts_ahead_;
+      if (next_ + 1 < size_) {
+        ts_ahead_ = (*series_)[next_ + 1].timestamp;
+      }
+    }
+    return current <= tolerance;
+  }
+
+  size_t index() const { return next_; }
+
+ private:
+  const TimeSeries* series_;
+  size_t next_;
+  size_t size_;
+  MicroTime ts_next_;   // (*series_)[next_].timestamp
+  MicroTime ts_ahead_;  // (*series_)[next_ + 1].timestamp when it exists
+};
+
+// Two-pointer nearest-match cursor for merge-join alignment: the per-series
+// object wrapper around SeekNearestAdvance.
 class NearestCursor {
  public:
   explicit NearestCursor(const TimeSeries& series) : series_(&series) {}
@@ -151,30 +232,15 @@ class NearestCursor {
   // index in `*index`. Returns true when that point is within `tolerance`.
   // Query timestamps must be non-decreasing across calls.
   bool Seek(MicroTime timestamp, MicroTime tolerance, size_t* index) {
-    const TimeSeries& series = *series_;
-    const size_t size = series.size();
-    if (size == 0) {
+    if (series_->empty()) {
       return false;
     }
-    // Greedy advance: each step's distance is computed once and carried into
-    // the next comparison, so a whole alignment pass costs one distance per
-    // (query + advance), not three.
-    MicroTime current = Distance(series[next_].timestamp, timestamp);
-    while (next_ + 1 < size) {
-      const MicroTime candidate = Distance(series[next_ + 1].timestamp, timestamp);
-      if (candidate > current) {
-        break;
-      }
-      current = candidate;
-      ++next_;
-    }
+    const bool hit = SeekNearestAdvance(*series_, timestamp, tolerance, &next_);
     *index = next_;
-    return current <= tolerance;
+    return hit;
   }
 
  private:
-  static MicroTime Distance(MicroTime a, MicroTime b) { return a < b ? b - a : a - b; }
-
   const TimeSeries* series_;
   size_t next_ = 0;
 };

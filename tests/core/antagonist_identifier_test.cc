@@ -136,5 +136,159 @@ TEST(AntagonistIdentifierTest, WindowRestrictsSamples) {
   EXPECT_GT(ranked[0].correlation, 0.4);
 }
 
+// --- batched engine ---------------------------------------------------------
+
+// Builds a name-sorted suspect table over parallel name/usage arrays. The
+// arrays must outlive the rows (the rows intern pointers into them), so the
+// caller owns them; names must already be in ascending order.
+std::vector<AntagonistIdentifier::SuspectRow> MakeRows(
+    const std::vector<std::string>& names, const std::vector<std::string>& jobs,
+    const std::vector<const TimeSeries*>& usages) {
+  std::vector<AntagonistIdentifier::SuspectRow> rows;
+  for (size_t i = 0; i < names.size(); ++i) {
+    AntagonistIdentifier::SuspectRow row;
+    row.task = &names[i];
+    row.jobname = &jobs[i];
+    row.workload_class = WorkloadClass::kBatch;
+    row.priority = JobPriority::kBestEffort;
+    row.usage = usages[i];
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST(AntagonistIdentifierTest, AnalyzeBatchedMatchesAnalyze) {
+  // The batched engine over an interned table returns the same tasks in the
+  // same order with bit-identical correlations as per-suspect Analyze.
+  const TimeSeries victim = PainfulVictim();
+  const TimeSeries guilty = ActiveDuring(5, 10);
+  const TimeSeries innocent = ActiveDuring(0, 5);
+  const TimeSeries constant = ActiveDuring(0, 10);
+
+  const std::vector<std::string> names = {"constant.0", "guilty.0", "innocent.0"};
+  const std::vector<std::string> jobs = {"constant", "guilty", "innocent"};
+  const auto rows = MakeRows(names, jobs, {&constant, &guilty, &innocent});
+
+  std::vector<AntagonistIdentifier::SuspectInput> inputs;
+  for (const auto& row : rows) {
+    inputs.push_back({*row.task, *row.jobname, row.workload_class, row.priority, row.usage});
+  }
+
+  AntagonistIdentifier batched(Cpi2Params{});
+  AntagonistIdentifier per_suspect(Cpi2Params{});
+  std::vector<AntagonistIdentifier::RankedRef> ranked;
+  batched.AnalyzeBatched(victim, 2.0, rows, AntagonistIdentifier::kNoSkip, 10 * kMinute,
+                         &ranked);
+  const auto reference = per_suspect.Analyze(victim, 2.0, inputs, 10 * kMinute);
+  ASSERT_EQ(ranked.size(), reference.size());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(*rows[ranked[i].row].task, reference[i].task) << "rank " << i;
+    EXPECT_EQ(ranked[i].correlation, reference[i].correlation) << "rank " << i;
+  }
+  EXPECT_EQ(batched.analyses_run(), 1);
+}
+
+TEST(AntagonistIdentifierTest, AnalyzeBatchedSkipsTheSkipRow) {
+  // skip_row excludes the victim's own row; the remaining ranking is what a
+  // table without that row would produce.
+  const TimeSeries victim = PainfulVictim();
+  const TimeSeries guilty = ActiveDuring(5, 10);
+  const TimeSeries self = ActiveDuring(0, 10);
+
+  const std::vector<std::string> names = {"guilty.0", "victim.0"};
+  const std::vector<std::string> jobs = {"guilty", "victim"};
+  const auto rows = MakeRows(names, jobs, {&guilty, &self});
+
+  AntagonistIdentifier identifier(Cpi2Params{});
+  std::vector<AntagonistIdentifier::RankedRef> ranked;
+  identifier.AnalyzeBatched(victim, 2.0, rows, /*skip_row=*/1, 10 * kMinute, &ranked);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(*rows[ranked[0].row].task, "guilty.0");
+
+  // kNoSkip scores the victim row like any other suspect.
+  identifier.AnalyzeBatched(victim, 2.0, rows, AntagonistIdentifier::kNoSkip,
+                            10 * kMinute, &ranked);
+  EXPECT_EQ(ranked.size(), 2u);
+}
+
+TEST(AntagonistIdentifierTest, AnalyzeBatchedBreaksTiesByRowOrder) {
+  // Identical scores rank by ascending row index == ascending task id (the
+  // table is name-sorted), mirroring Analyze's string tie-break.
+  const TimeSeries victim = PainfulVictim();
+  const TimeSeries usage_a = ActiveDuring(5, 10);
+  const TimeSeries usage_b = ActiveDuring(5, 10);
+
+  const std::vector<std::string> names = {"alpha.0", "zeta.0"};
+  const std::vector<std::string> jobs = {"alpha", "zeta"};
+  const auto rows = MakeRows(names, jobs, {&usage_a, &usage_b});
+
+  AntagonistIdentifier identifier(Cpi2Params{});
+  std::vector<AntagonistIdentifier::RankedRef> ranked;
+  identifier.AnalyzeBatched(victim, 2.0, rows, AntagonistIdentifier::kNoSkip,
+                            10 * kMinute, &ranked);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].correlation, ranked[1].correlation);
+  EXPECT_EQ(*rows[ranked[0].row].task, "alpha.0");
+  EXPECT_EQ(*rows[ranked[1].row].task, "zeta.0");
+}
+
+TEST(AntagonistIdentifierTest, AnalyzeBatchedReusesScratchAcrossVictims) {
+  // Storm shape: several victims scored back-to-back against the same table
+  // and identifier. Later calls (reused scratch) must match a fresh
+  // identifier's first call bit-for-bit.
+  const TimeSeries guilty = ActiveDuring(5, 10);
+  const TimeSeries innocent = ActiveDuring(0, 5);
+  const std::vector<std::string> names = {"guilty.0", "innocent.0"};
+  const std::vector<std::string> jobs = {"guilty", "innocent"};
+  const auto rows = MakeRows(names, jobs, {&guilty, &innocent});
+
+  Cpi2Params params;
+  params.analysis_interval = 0;  // storms ignore the 1/sec limiter
+  AntagonistIdentifier storm(params);
+  std::vector<AntagonistIdentifier::RankedRef> ranked;
+  std::vector<TimeSeries> victims;
+  for (int v = 0; v < 4; ++v) {
+    TimeSeries series;
+    for (int i = 0; i < 10; ++i) {
+      series.Append(i * kMinute, i < 5 ? 1.0 + 0.1 * v : 4.0 + 0.3 * v);
+    }
+    victims.push_back(std::move(series));
+  }
+  for (const TimeSeries& victim : victims) {
+    storm.AnalyzeBatched(victim, 2.0, rows, AntagonistIdentifier::kNoSkip, 10 * kMinute,
+                         &ranked);
+    AntagonistIdentifier fresh(params);
+    std::vector<AntagonistIdentifier::RankedRef> expected;
+    fresh.AnalyzeBatched(victim, 2.0, rows, AntagonistIdentifier::kNoSkip, 10 * kMinute,
+                         &expected);
+    ASSERT_EQ(ranked.size(), expected.size());
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      EXPECT_EQ(ranked[i].row, expected[i].row);
+      EXPECT_EQ(ranked[i].correlation, expected[i].correlation);
+    }
+  }
+  EXPECT_EQ(storm.analyses_run(), 4);
+}
+
+TEST(AntagonistIdentifierTest, AnalyzeBatchedSkipsNullAndNoOverlapRows) {
+  const TimeSeries victim = PainfulVictim();
+  TimeSeries stale;
+  stale.Append(0, 1.0);
+  const TimeSeries guilty = ActiveDuring(5, 10);
+
+  Cpi2Params params;
+  params.correlation_window = 3 * kMinute;  // stale falls outside
+  const std::vector<std::string> names = {"ghost.0", "guilty.0", "stale.0"};
+  const std::vector<std::string> jobs = {"ghost", "guilty", "stale"};
+  const auto rows = MakeRows(names, jobs, {nullptr, &guilty, &stale});
+
+  AntagonistIdentifier identifier(params);
+  std::vector<AntagonistIdentifier::RankedRef> ranked;
+  identifier.AnalyzeBatched(victim, 2.0, rows, AntagonistIdentifier::kNoSkip,
+                            10 * kMinute, &ranked);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(*rows[ranked[0].row].task, "guilty.0");
+}
+
 }  // namespace
 }  // namespace cpi2

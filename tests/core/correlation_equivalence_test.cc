@@ -126,6 +126,62 @@ TEST(CorrelationEquivalenceTest, EdgeShapes) {
   ExpectPathsAgree(dense, dense, 0, 100 * kSecond, tolerance, -1.0);
 }
 
+TEST(CorrelationEquivalenceTest, BatchedMatchesFusedOnRandomBatches) {
+  // The batched one-pass kernel must return, for every suspect in the batch,
+  // the exact double a standalone FusedAntagonistCorrelation call returns for
+  // that suspect — including null entries, empty series, and suspects with no
+  // overlap. Scratch is reused across trials so staleness bugs would surface.
+  std::mt19937_64 rng(20260809);
+  std::uniform_real_distribution<double> threshold_dist(0.5, 4.0);
+  BatchedCorrelationScratch scratch;
+  std::vector<TimeSeries> usages;
+  std::vector<const TimeSeries*> pointers;
+  TimeSeries empty;
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomSeriesOptions victim_options;
+    victim_options.max_jitter = (trial % 3 == 0) ? 2 * kSecond : 0;
+    const TimeSeries victim = RandomSeries(rng, victim_options, -0.5, 5.0);
+    const size_t n = 1 + trial % 37;  // batch sizes 1..37
+    usages.clear();
+    usages.reserve(n);  // no reallocation: pointers stay valid
+    pointers.clear();
+    for (size_t s = 0; s < n; ++s) {
+      RandomSeriesOptions usage_options;
+      usage_options.base_step = (s % 2 == 0) ? 10 * kSecond : 7 * kSecond;
+      usage_options.gap_probability = (s % 5 == 0) ? 0.6 : 0.2;
+      usage_options.max_jitter = 3 * kSecond;
+      usages.push_back(RandomSeries(rng, usage_options, 0.0, 3.0));
+      if (s % 11 == 3) {
+        pointers.push_back(nullptr);  // skipped slot, as AnalyzeBatched nulls skip_row
+      } else if (s % 13 == 5) {
+        pointers.push_back(&empty);
+      } else {
+        pointers.push_back(&usages.back());
+      }
+    }
+    const double threshold = threshold_dist(rng);
+    const MicroTime begin = (trial % 4) * 60 * kSecond;
+    const MicroTime end = 600 * kSecond - (trial % 7) * 30 * kSecond;
+    const MicroTime tolerance = (trial % 6) * kSecond;
+    BatchedAntagonistCorrelation(victim, pointers.data(), pointers.size(), begin, end,
+                                 tolerance, threshold, &scratch);
+    for (size_t s = 0; s < n; ++s) {
+      if (pointers[s] == nullptr) {
+        EXPECT_EQ(scratch.aligned_pairs(s), 0u) << "trial " << trial << " suspect " << s;
+        continue;
+      }
+      size_t aligned = 0;
+      const double fused = FusedAntagonistCorrelation(victim, *pointers[s], begin, end,
+                                                      tolerance, threshold, &aligned);
+      EXPECT_EQ(scratch.aligned_pairs(s), aligned) << "trial " << trial << " suspect " << s;
+      EXPECT_EQ(scratch.correlation(s), fused) << "trial " << trial << " suspect " << s;
+    }
+    if (HasFailure()) {
+      FAIL() << "diverged at trial " << trial;
+    }
+  }
+}
+
 TEST(CorrelationEquivalenceTest, FullAnalyzeMatchesAcrossPaths) {
   // End-to-end: the identifier's ranking (order, tasks, raw correlation
   // doubles) is identical with the flag on and off.

@@ -5,6 +5,11 @@
 namespace cpi2 {
 namespace {
 
+// Detector keys are dense integers minted by the agent per task
+// *incarnation* (TaskMeta::detector_key); the detector never sees a name.
+constexpr uint32_t kTask0 = 0;
+constexpr uint32_t kTask1 = 1;
+
 CpiSpec Spec(double mean, double stddev) {
   CpiSpec spec;
   spec.jobname = "job";
@@ -27,7 +32,7 @@ CpiSample Sample(MicroTime t, double cpi, double usage = 0.5) {
 
 TEST(OutlierDetectorTest, BelowThresholdIsNormal) {
   OutlierDetector detector(Cpi2Params{});
-  const auto result = detector.Observe("job.0", Sample(0, 2.3), Spec(2.0, 0.2));
+  const auto result = detector.Observe(kTask0, Sample(0, 2.3), Spec(2.0, 0.2));
   EXPECT_FALSE(result.outlier);
   EXPECT_FALSE(result.anomaly);
   EXPECT_DOUBLE_EQ(result.threshold, 2.4);  // mean + 2 sigma
@@ -35,7 +40,7 @@ TEST(OutlierDetectorTest, BelowThresholdIsNormal) {
 
 TEST(OutlierDetectorTest, AboveThresholdFlagsOutlier) {
   OutlierDetector detector(Cpi2Params{});
-  const auto result = detector.Observe("job.0", Sample(0, 2.5), Spec(2.0, 0.2));
+  const auto result = detector.Observe(kTask0, Sample(0, 2.5), Spec(2.0, 0.2));
   EXPECT_TRUE(result.outlier);
   EXPECT_FALSE(result.anomaly) << "one flag is not yet an anomaly";
 }
@@ -43,7 +48,7 @@ TEST(OutlierDetectorTest, AboveThresholdFlagsOutlier) {
 TEST(OutlierDetectorTest, LowUsageSamplesAreSkipped) {
   // Case 3: CPI inflation at near-idle usage must not count.
   OutlierDetector detector(Cpi2Params{});
-  const auto result = detector.Observe("job.0", Sample(0, 10.0, /*usage=*/0.1), Spec(2.0, 0.2));
+  const auto result = detector.Observe(kTask0, Sample(0, 10.0, /*usage=*/0.1), Spec(2.0, 0.2));
   EXPECT_FALSE(result.outlier);
   EXPECT_TRUE(result.skipped_low_usage);
 }
@@ -51,21 +56,21 @@ TEST(OutlierDetectorTest, LowUsageSamplesAreSkipped) {
 TEST(OutlierDetectorTest, ThreeViolationsInWindowIsAnomaly) {
   OutlierDetector detector(Cpi2Params{});
   const CpiSpec spec = Spec(2.0, 0.2);
-  EXPECT_FALSE(detector.Observe("job.0", Sample(0, 3.0), spec).anomaly);
+  EXPECT_FALSE(detector.Observe(kTask0, Sample(0, 3.0), spec).anomaly);
   EXPECT_FALSE(
-      detector.Observe("job.0", Sample(kMicrosPerMinute, 3.0), spec).anomaly);
+      detector.Observe(kTask0, Sample(kMicrosPerMinute, 3.0), spec).anomaly);
   EXPECT_TRUE(
-      detector.Observe("job.0", Sample(2 * kMicrosPerMinute, 3.0), spec).anomaly)
+      detector.Observe(kTask0, Sample(2 * kMicrosPerMinute, 3.0), spec).anomaly)
       << "third flag within 5 minutes completes the anomaly";
 }
 
 TEST(OutlierDetectorTest, OldFlagsAgeOutOfTheWindow) {
   OutlierDetector detector(Cpi2Params{});
   const CpiSpec spec = Spec(2.0, 0.2);
-  (void)detector.Observe("job.0", Sample(0, 3.0), spec);
-  (void)detector.Observe("job.0", Sample(kMicrosPerMinute, 3.0), spec);
+  (void)detector.Observe(kTask0, Sample(0, 3.0), spec);
+  (void)detector.Observe(kTask0, Sample(kMicrosPerMinute, 3.0), spec);
   // Third violation lands 6 minutes after the first: the first has aged out.
-  const auto result = detector.Observe("job.0", Sample(6 * kMicrosPerMinute, 3.0), spec);
+  const auto result = detector.Observe(kTask0, Sample(6 * kMicrosPerMinute, 3.0), spec);
   EXPECT_TRUE(result.outlier);
   EXPECT_FALSE(result.anomaly);
 }
@@ -75,32 +80,62 @@ TEST(OutlierDetectorTest, NormalSamplesDoNotResetTheWindow) {
   // still three flags within 5 minutes -> anomaly.
   OutlierDetector detector(Cpi2Params{});
   const CpiSpec spec = Spec(2.0, 0.2);
-  (void)detector.Observe("job.0", Sample(0, 3.0), spec);
-  (void)detector.Observe("job.0", Sample(kMicrosPerMinute, 3.0), spec);
-  (void)detector.Observe("job.0", Sample(2 * kMicrosPerMinute, 2.0), spec);
-  (void)detector.Observe("job.0", Sample(3 * kMicrosPerMinute, 2.0), spec);
-  EXPECT_TRUE(detector.Observe("job.0", Sample(4 * kMicrosPerMinute, 3.0), spec).anomaly);
+  (void)detector.Observe(kTask0, Sample(0, 3.0), spec);
+  (void)detector.Observe(kTask0, Sample(kMicrosPerMinute, 3.0), spec);
+  (void)detector.Observe(kTask0, Sample(2 * kMicrosPerMinute, 2.0), spec);
+  (void)detector.Observe(kTask0, Sample(3 * kMicrosPerMinute, 2.0), spec);
+  EXPECT_TRUE(detector.Observe(kTask0, Sample(4 * kMicrosPerMinute, 3.0), spec).anomaly);
 }
 
 TEST(OutlierDetectorTest, TasksAreIndependent) {
   OutlierDetector detector(Cpi2Params{});
   const CpiSpec spec = Spec(2.0, 0.2);
-  (void)detector.Observe("job.0", Sample(0, 3.0), spec);
-  (void)detector.Observe("job.0", Sample(kMicrosPerMinute, 3.0), spec);
-  // A different task's flag must not complete job.0's anomaly.
+  (void)detector.Observe(kTask0, Sample(0, 3.0), spec);
+  (void)detector.Observe(kTask0, Sample(kMicrosPerMinute, 3.0), spec);
+  // A different task's flag must not complete task 0's anomaly.
   EXPECT_FALSE(
-      detector.Observe("job.1", Sample(2 * kMicrosPerMinute, 3.0), spec).anomaly);
+      detector.Observe(kTask1, Sample(2 * kMicrosPerMinute, 3.0), spec).anomaly);
   EXPECT_EQ(detector.tracked_tasks(), 2u);
 }
 
 TEST(OutlierDetectorTest, ForgetTaskClearsHistory) {
   OutlierDetector detector(Cpi2Params{});
   const CpiSpec spec = Spec(2.0, 0.2);
-  (void)detector.Observe("job.0", Sample(0, 3.0), spec);
-  (void)detector.Observe("job.0", Sample(kMicrosPerMinute, 3.0), spec);
-  detector.ForgetTask("job.0");
+  (void)detector.Observe(kTask0, Sample(0, 3.0), spec);
+  (void)detector.Observe(kTask0, Sample(kMicrosPerMinute, 3.0), spec);
+  detector.ForgetTask(kTask0);
   EXPECT_FALSE(
-      detector.Observe("job.0", Sample(2 * kMicrosPerMinute, 3.0), spec).anomaly);
+      detector.Observe(kTask0, Sample(2 * kMicrosPerMinute, 3.0), spec).anomaly);
+}
+
+TEST(OutlierDetectorTest, ForgettingUnknownKeyIsANoOp) {
+  OutlierDetector detector(Cpi2Params{});
+  detector.ForgetTask(42);  // never observed; nothing to clear
+  EXPECT_EQ(detector.tracked_tasks(), 0u);
+}
+
+TEST(OutlierDetectorTest, StaleForgetCannotClobberRecycledName) {
+  // The recycled-name hazard the per-incarnation keys exist to kill: task
+  // "job.0" dies, a NEW task reusing the name "job.0" arrives, and only then
+  // does the removal path get around to forgetting the dead incarnation.
+  // Under name keying the late ForgetTask("job.0") would wipe the *new*
+  // task's flag history; with per-incarnation keys (the agent mints a fresh
+  // detector_key on every AddTask) it hits the dead key and is a no-op.
+  OutlierDetector detector(Cpi2Params{});
+  const CpiSpec spec = Spec(2.0, 0.2);
+  const uint32_t dead_incarnation = 7;
+  const uint32_t new_incarnation = 8;  // same name, fresh key
+
+  (void)detector.Observe(dead_incarnation, Sample(0, 3.0), spec);
+  // New incarnation accumulates two flags...
+  (void)detector.Observe(new_incarnation, Sample(kMicrosPerMinute, 3.0), spec);
+  (void)detector.Observe(new_incarnation, Sample(2 * kMicrosPerMinute, 3.0), spec);
+  // ...then the stale forget for the dead incarnation finally lands.
+  detector.ForgetTask(dead_incarnation);
+  // The new task's history survived: its third flag completes the anomaly.
+  EXPECT_TRUE(
+      detector.Observe(new_incarnation, Sample(3 * kMicrosPerMinute, 3.0), spec).anomaly)
+      << "stale ForgetTask clobbered the new incarnation's flag history";
 }
 
 TEST(OutlierDetectorTest, CustomSigmasAndViolations) {
@@ -109,9 +144,9 @@ TEST(OutlierDetectorTest, CustomSigmasAndViolations) {
   params.outlier_violations = 1;
   OutlierDetector detector(params);
   const CpiSpec spec = Spec(2.0, 0.2);
-  const auto mild = detector.Observe("job.0", Sample(0, 2.5), spec);
+  const auto mild = detector.Observe(kTask0, Sample(0, 2.5), spec);
   EXPECT_FALSE(mild.outlier) << "2.5 is below the 3-sigma threshold of 2.6";
-  const auto severe = detector.Observe("job.0", Sample(kMicrosPerMinute, 2.7), spec);
+  const auto severe = detector.Observe(kTask0, Sample(kMicrosPerMinute, 2.7), spec);
   EXPECT_TRUE(severe.outlier);
   EXPECT_TRUE(severe.anomaly) << "with violations=1 the first flag is an anomaly";
 }
@@ -121,7 +156,7 @@ TEST(OutlierDetectorTest, AnomalyStaysAssertedWhileViolationsContinue) {
   const CpiSpec spec = Spec(2.0, 0.2);
   for (int i = 0; i < 10; ++i) {
     const auto result =
-        detector.Observe("job.0", Sample(i * kMicrosPerMinute, 3.0), spec);
+        detector.Observe(kTask0, Sample(i * kMicrosPerMinute, 3.0), spec);
     if (i >= 2) {
       EXPECT_TRUE(result.anomaly) << "minute " << i;
     }

@@ -124,7 +124,7 @@ std::string SerializeForensics(const IncidentLog& log, MicroTime now) {
 RunResult RunScenario(int threads, bool with_faults = false,
                       bool legacy_correlation = false, int spec_shards = -1,
                       bool legacy_forensics = false, bool legacy_wire = false,
-                      double wire_corrupt_rate = 0.0, bool legacy_task_layout = false) {
+                      double wire_corrupt_rate = 0.0, bool legacy_identification = false) {
   ClusterHarness::Options options;
   options.cluster.seed = 7;
   options.cluster.threads = threads;
@@ -132,7 +132,7 @@ RunResult RunScenario(int threads, bool with_faults = false,
   options.params.legacy_correlation_path = legacy_correlation;
   options.params.legacy_forensics_path = legacy_forensics;
   options.params.legacy_wire_path = legacy_wire;
-  options.params.legacy_task_layout = legacy_task_layout;
+  options.params.legacy_identification_path = legacy_identification;
   if (spec_shards > 0) {
     options.params.spec_shards = spec_shards;
   }
@@ -405,60 +405,64 @@ TEST(ParallelDeterminismTest, LegacyWirePathMatchesBinary) {
   }
 }
 
-TEST(ParallelDeterminismTest, LegacyTaskLayoutMatchesSoA) {
-  // The SoA tick engine (the default) must change nothing observable
-  // relative to the legacy per-Task layout: same per-task RNG streams drawn
-  // in the same order, same FP expression shapes, so counters, samples,
-  // incidents, suspect correlations and health are bit-identical. Proven
-  // clean and under full fault load, serial and at every thread count the
-  // other determinism tests use.
-  const RunResult soa = RunScenario(/*threads=*/1, /*with_faults=*/false,
-                                    /*legacy_correlation=*/false, /*spec_shards=*/-1,
-                                    /*legacy_forensics=*/false, /*legacy_wire=*/false,
-                                    /*wire_corrupt_rate=*/0.0, /*legacy_task_layout=*/false);
-  // The scenario must exercise everything the layouts compute differently
-  // enough to diverge on: demand draws, interference math, incidents.
-  ASSERT_GT(soa.samples_collected, 0);
-  ASSERT_FALSE(soa.incidents.empty());
-  ASSERT_FALSE(soa.victim_spec.empty());
+TEST(ParallelDeterminismTest, BatchedIdentificationMatchesPerSuspect) {
+  // The batched one-pass identification engine (the default) must change
+  // nothing observable relative to the per-suspect fused loop: same ranked
+  // suspects with the same correlations to the last bit, same incidents,
+  // enforcement decisions and health counters. Proven clean and under full
+  // fault load, serial and at every thread count the other determinism
+  // tests use.
+  const RunResult batched = RunScenario(/*threads=*/1, /*with_faults=*/false,
+                                        /*legacy_correlation=*/false, /*spec_shards=*/-1,
+                                        /*legacy_forensics=*/false, /*legacy_wire=*/false,
+                                        /*wire_corrupt_rate=*/0.0,
+                                        /*legacy_identification=*/false);
+  // The scenario must fire real analyses so the ranked correlations (the
+  // doubles the two engines compute through different loop shapes) actually
+  // appear in the comparison.
+  ASSERT_GT(batched.samples_collected, 0);
+  ASSERT_FALSE(batched.incidents.empty());
+  ASSERT_FALSE(batched.victim_spec.empty());
   for (const int threads : {1, 2, 4, 0}) {
     const RunResult legacy =
         RunScenario(threads, /*with_faults=*/false,
                     /*legacy_correlation=*/false, /*spec_shards=*/-1,
                     /*legacy_forensics=*/false, /*legacy_wire=*/false,
-                    /*wire_corrupt_rate=*/0.0, /*legacy_task_layout=*/true);
-    EXPECT_EQ(soa.samples_collected, legacy.samples_collected) << threads;
-    EXPECT_EQ(soa.outliers, legacy.outliers) << threads;
-    EXPECT_EQ(soa.anomalies, legacy.anomalies) << threads;
-    EXPECT_EQ(soa.incidents_reported, legacy.incidents_reported) << threads;
-    EXPECT_EQ(soa.victim_spec, legacy.victim_spec) << threads;
-    EXPECT_EQ(soa.machine_state, legacy.machine_state) << threads;
-    EXPECT_EQ(soa.health, legacy.health) << threads;
-    EXPECT_EQ(soa.incidents, legacy.incidents) << threads;
-    EXPECT_EQ(soa.forensics, legacy.forensics) << threads;
+                    /*wire_corrupt_rate=*/0.0, /*legacy_identification=*/true);
+    EXPECT_EQ(batched.samples_collected, legacy.samples_collected) << threads;
+    EXPECT_EQ(batched.outliers, legacy.outliers) << threads;
+    EXPECT_EQ(batched.anomalies, legacy.anomalies) << threads;
+    EXPECT_EQ(batched.incidents_reported, legacy.incidents_reported) << threads;
+    EXPECT_EQ(batched.victim_spec, legacy.victim_spec) << threads;
+    EXPECT_EQ(batched.machine_state, legacy.machine_state) << threads;
+    EXPECT_EQ(batched.health, legacy.health) << threads;
+    EXPECT_EQ(batched.incidents, legacy.incidents) << threads;
+    EXPECT_EQ(batched.forensics, legacy.forensics) << threads;
   }
 
-  // Under full fault load: agent crashes force registry resyncs (the
-  // membership-version handshake), counter glitches feed garbage through,
-  // caps and cap behaviors fire — the layouts must still agree bit for bit.
-  const RunResult faulted_soa =
+  // Under full fault load: agent crashes clear the suspect table mid-run
+  // (membership-version invalidation), counter glitches feed garbage series
+  // into the analyses, task churn recycles names — the engines must still
+  // agree bit for bit.
+  const RunResult faulted_batched =
       RunScenario(/*threads=*/1, /*with_faults=*/true,
                   /*legacy_correlation=*/false, /*spec_shards=*/-1,
                   /*legacy_forensics=*/false, /*legacy_wire=*/false,
-                  /*wire_corrupt_rate=*/0.0, /*legacy_task_layout=*/false);
-  ASSERT_EQ(faulted_soa.health.find("crashes=0 "), std::string::npos) << faulted_soa.health;
+                  /*wire_corrupt_rate=*/0.0, /*legacy_identification=*/false);
+  ASSERT_EQ(faulted_batched.health.find("crashes=0 "), std::string::npos)
+      << faulted_batched.health;
   for (const int threads : {1, 2, 4, 0}) {
     const RunResult faulted_legacy =
         RunScenario(threads, /*with_faults=*/true,
                     /*legacy_correlation=*/false, /*spec_shards=*/-1,
                     /*legacy_forensics=*/false, /*legacy_wire=*/false,
-                    /*wire_corrupt_rate=*/0.0, /*legacy_task_layout=*/true);
-    EXPECT_EQ(faulted_soa.samples_collected, faulted_legacy.samples_collected) << threads;
-    EXPECT_EQ(faulted_soa.victim_spec, faulted_legacy.victim_spec) << threads;
-    EXPECT_EQ(faulted_soa.machine_state, faulted_legacy.machine_state) << threads;
-    EXPECT_EQ(faulted_soa.health, faulted_legacy.health) << threads;
-    EXPECT_EQ(faulted_soa.incidents, faulted_legacy.incidents) << threads;
-    EXPECT_EQ(faulted_soa.forensics, faulted_legacy.forensics) << threads;
+                    /*wire_corrupt_rate=*/0.0, /*legacy_identification=*/true);
+    EXPECT_EQ(faulted_batched.samples_collected, faulted_legacy.samples_collected) << threads;
+    EXPECT_EQ(faulted_batched.victim_spec, faulted_legacy.victim_spec) << threads;
+    EXPECT_EQ(faulted_batched.machine_state, faulted_legacy.machine_state) << threads;
+    EXPECT_EQ(faulted_batched.health, faulted_legacy.health) << threads;
+    EXPECT_EQ(faulted_batched.incidents, faulted_legacy.incidents) << threads;
+    EXPECT_EQ(faulted_batched.forensics, faulted_legacy.forensics) << threads;
   }
 }
 

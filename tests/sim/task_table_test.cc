@@ -1,15 +1,17 @@
 // Churn behaviour of the dense TaskTable: slot recycling, handle stability,
 // and — the property everything else leans on — bit-identical observables
-// between the SoA tick engine and the legacy per-Task layout under
-// arbitrary interleavings of arrivals, exits, caps, and removals.
+// between the SoA tick engine and a straight-line per-Task reference tick
+// under arbitrary interleavings of arrivals, exits, caps, and removals.
 
 #include "sim/task_table.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "sim/interference.h"
 #include "sim/machine.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -132,7 +134,7 @@ TEST(TaskTableTest, MembershipVersionTracksChurn) {
   EXPECT_NE(table.membership_version(), v1);
 }
 
-// --- legacy-vs-SoA fuzz cross-check ---------------------------------------
+// --- reference-vs-SoA fuzz cross-check ------------------------------------
 
 // A palette of specs covering every optional tick stage: plain, noisy,
 // bimodal, diurnal, walking demand, walking/stepping CPI, latency + TPS
@@ -200,9 +202,81 @@ std::vector<TaskSpec> SpecPalette() {
   return palette;
 }
 
-std::string SnapshotMachine(Machine& machine) {
-  std::string out = StrFormat("util=%.17g batch=%.17g n=%zu\n", machine.LastUtilization(),
-                              machine.LastBatchSatisfaction(), machine.task_count());
+// The retired Machine::TickLegacy body, preserved verbatim as a straight-line
+// reference over Task's public API: per-Task method calls in name order —
+// demand, two-class allocation, ComputeInterference, factor-at-a-time CPI and
+// Account. The SoA engine must reproduce every RNG draw and every FP result
+// of this loop bit for bit. `util`/`batch` return what Machine publishes as
+// LastUtilization/LastBatchSatisfaction.
+void ReferenceTick(Machine& machine, MicroTime now, MicroTime dt, double* util, double* batch) {
+  const double tick_seconds = MicrosToSeconds(dt);
+  if (machine.task_count() == 0 || tick_seconds <= 0.0) {
+    *util = 0.0;
+    *batch = 1.0;
+    return;
+  }
+  const Platform& platform = machine.platform();
+  const std::vector<Task*>& tasks = machine.Tasks();
+  const size_t n = tasks.size();
+
+  // 1. Demands, bounded by each task's hard cap.
+  std::vector<double> limit(n, 0.0);
+  std::vector<char> latency_sensitive(n, 0);
+  double ls_demand = 0.0;
+  double batch_demand = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double desired = tasks[i]->DesiredCpu(now);
+    limit[i] = std::min(desired, tasks[i]->cap());
+    latency_sensitive[i] = tasks[i]->spec().sched_class == WorkloadClass::kLatencySensitive;
+    (latency_sensitive[i] ? ls_demand : batch_demand) += limit[i];
+  }
+
+  // 2. Allocation: latency-sensitive first, batch shares the remainder.
+  const double capacity = static_cast<double>(platform.cores);
+  const double ls_scale = ls_demand > capacity ? capacity / ls_demand : 1.0;
+  const double ls_used = std::min(ls_demand, capacity);
+  const double batch_capacity = capacity - ls_used;
+  const double batch_scale =
+      batch_demand > batch_capacity && batch_demand > 0.0 ? batch_capacity / batch_demand : 1.0;
+
+  std::vector<double> alloc(n, 0.0);
+  double used = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    alloc[i] = limit[i] * (latency_sensitive[i] ? ls_scale : batch_scale);
+    used += alloc[i];
+  }
+  *util = capacity > 0.0 ? used / capacity : 0.0;
+  *batch = batch_demand > 0.0 ? batch_scale : 1.0;
+
+  // 3. Interference.
+  std::vector<TaskLoad> loads(n, TaskLoad{});
+  for (size_t i = 0; i < n; ++i) {
+    const TaskSpec& spec = tasks[i]->spec();
+    loads[i] = {alloc[i], spec.cache_mb, spec.memory_intensity, spec.contention_sensitivity};
+  }
+  std::vector<InterferenceResult> effects;
+  ComputeInterference(platform, InterferenceParams(), loads, &effects);
+
+  // 4. Accounting. The factors are applied one at a time to pin the RNG
+  // draw order (noise, then walk) — the order the SoA engine reproduces.
+  for (size_t i = 0; i < n; ++i) {
+    double cpi = tasks[i]->BaseCpiOn(platform);
+    cpi *= effects[i].cpi_multiplier;
+    cpi *= tasks[i]->CpiNoise();
+    cpi *= tasks[i]->CpiWalkFactor(now);
+    cpi *= tasks[i]->CpiStepFactor(now);
+    // Self-inflicted CPI inflation when a task barely runs (case 3).
+    const double inflation = tasks[i]->spec().idle_cpi_inflation;
+    if (inflation > 0.0 && alloc[i] < 0.25) {
+      cpi *= 1.0 + inflation * (1.0 - alloc[i] / 0.25);
+    }
+    tasks[i]->Account(now, tick_seconds, alloc[i], cpi, effects[i].l3_mpi, platform);
+  }
+}
+
+std::string SnapshotTasks(Machine& machine, double util, double batch) {
+  std::string out =
+      StrFormat("util=%.17g batch=%.17g n=%zu\n", util, batch, machine.task_count());
   for (Task* task : machine.Tasks()) {
     out += StrFormat(
         "%s cyc=%llu ins=%llu l2=%llu l3=%llu mem=%llu cpu=%.17g usage=%.17g "
@@ -218,16 +292,18 @@ std::string SnapshotMachine(Machine& machine) {
   return out;
 }
 
-TEST(TaskTableTest, FuzzChurnMatchesLegacyLayout) {
-  // Drive two machines — one per layout — through an identical randomized
-  // interleaving of arrivals, removals, caps, exits and ticks, comparing
-  // every observable bit for bit after every round. Any divergence in slot
-  // recycling, RNG stream handoff, or the batched tick math shows up here.
+TEST(TaskTableTest, FuzzChurnMatchesReferenceTick) {
+  // Drive two machines through an identical randomized interleaving of
+  // arrivals, removals, caps, exits and ticks — one via the SoA engine
+  // (Machine::Tick), the other via the in-test straight-line ReferenceTick —
+  // comparing every observable bit for bit after every round. Any divergence
+  // in slot recycling, RNG stream handoff, or the batched tick math shows up
+  // here.
   const std::vector<TaskSpec> palette = SpecPalette();
-  Machine soa("m", ReferencePlatform(), /*seed=*/42, InterferenceParams(),
-              /*legacy_task_layout=*/false);
-  Machine legacy("m", ReferencePlatform(), /*seed=*/42, InterferenceParams(),
-                 /*legacy_task_layout=*/true);
+  Machine soa("m", ReferencePlatform(), /*seed=*/42);
+  Machine reference("m", ReferencePlatform(), /*seed=*/42);
+  double ref_util = 0.0;
+  double ref_batch = 1.0;
 
   Rng fuzz(0xC0FFEE);  // drives the op sequence, not the machines
   MicroTime now = 0;
@@ -240,38 +316,38 @@ TEST(TaskTableTest, FuzzChurnMatchesLegacyLayout) {
       const TaskSpec& spec = palette[static_cast<size_t>(fuzz.UniformInt(
           0, static_cast<int64_t>(palette.size()) - 1))];
       ASSERT_TRUE(soa.AddTask(name, spec).ok());
-      ASSERT_TRUE(legacy.AddTask(name, spec).ok());
+      ASSERT_TRUE(reference.AddTask(name, spec).ok());
       live.push_back(name);
     } else if (op == 3 && live.size() > 2) {
       const size_t pick =
           static_cast<size_t>(fuzz.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
       ASSERT_TRUE(soa.RemoveTask(live[pick]).ok());
-      ASSERT_TRUE(legacy.RemoveTask(live[pick]).ok());
+      ASSERT_TRUE(reference.RemoveTask(live[pick]).ok());
       live.erase(live.begin() + static_cast<long>(pick));
     } else if (op == 4) {
       const size_t pick =
           static_cast<size_t>(fuzz.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
       ASSERT_TRUE(soa.SetCap(live[pick], 0.05).ok());
-      ASSERT_TRUE(legacy.SetCap(live[pick], 0.05).ok());
+      ASSERT_TRUE(reference.SetCap(live[pick], 0.05).ok());
     } else if (op == 5) {
       const size_t pick =
           static_cast<size_t>(fuzz.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
       (void)soa.RemoveCap(live[pick]);
-      (void)legacy.RemoveCap(live[pick]);
+      (void)reference.RemoveCap(live[pick]);
     }
     // Always advance time so walks, modes, and cap state machines move.
     const int ticks = 1 + static_cast<int>(fuzz.UniformInt(0, 4));
     for (int t = 0; t < ticks; ++t) {
       now += kMicrosPerSecond;
       soa.Tick(now, kMicrosPerSecond);
-      legacy.Tick(now, kMicrosPerSecond);
+      ReferenceTick(reference, now, kMicrosPerSecond, &ref_util, &ref_batch);
     }
     // Drain self-terminated tasks identically on both sides.
     const std::vector<Machine::ExitedTask> gone_soa = soa.DrainExited();
-    const std::vector<Machine::ExitedTask> gone_legacy = legacy.DrainExited();
-    ASSERT_EQ(gone_soa.size(), gone_legacy.size()) << "round " << round;
+    const std::vector<Machine::ExitedTask> gone_ref = reference.DrainExited();
+    ASSERT_EQ(gone_soa.size(), gone_ref.size()) << "round " << round;
     for (size_t i = 0; i < gone_soa.size(); ++i) {
-      ASSERT_EQ(gone_soa[i].name, gone_legacy[i].name) << "round " << round;
+      ASSERT_EQ(gone_soa[i].name, gone_ref[i].name) << "round " << round;
       for (auto it = live.begin(); it != live.end(); ++it) {
         if (*it == gone_soa[i].name) {
           live.erase(it);
@@ -279,7 +355,9 @@ TEST(TaskTableTest, FuzzChurnMatchesLegacyLayout) {
         }
       }
     }
-    ASSERT_EQ(SnapshotMachine(soa), SnapshotMachine(legacy)) << "round " << round;
+    ASSERT_EQ(SnapshotTasks(soa, soa.LastUtilization(), soa.LastBatchSatisfaction()),
+              SnapshotTasks(reference, ref_util, ref_batch))
+        << "round " << round;
   }
   // The fuzz must actually have churned slots for the comparison to bite.
   EXPECT_GT(next_task, 100);

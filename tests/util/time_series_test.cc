@@ -171,6 +171,46 @@ TEST(NearestCursorTest, MatchesNearestValueOnMonotoneQueries) {
   }
 }
 
+// CachedNearestCursor memoizes ring reads but must make every decision
+// SeekNearestAdvance makes: same index, same hit/miss, for every query.
+// Random series with gaps, duplicates and jitter; random warm starts.
+TEST(CachedNearestCursorTest, DecisionEquivalentToSeekNearestAdvance) {
+  uint64_t state = 20260809;
+  auto next_u32 = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>(state >> 33);
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    TimeSeries series;
+    MicroTime t = next_u32() % kMinute;
+    const size_t points = 1 + next_u32() % 40;
+    for (size_t i = 0; i < points; ++i) {
+      series.Append(t, static_cast<double>(i));
+      // Gaps, exact duplicates (latest-wins ties), and sub-sample jitter.
+      const uint32_t roll = next_u32() % 10;
+      if (roll == 0) {
+        t += 0;  // duplicate timestamp
+      } else if (roll < 3) {
+        t += next_u32() % (kMinute / 7);
+      } else {
+        t += kMinute / 2 + next_u32() % (3 * kMinute);
+      }
+    }
+    const size_t start = next_u32() % series.size();
+    size_t plain = start;
+    CachedNearestCursor cached(series, start);
+    MicroTime query = series[start].timestamp - kMinute + next_u32() % kMinute;
+    for (int q = 0; q < 30; ++q) {
+      const MicroTime tolerance = next_u32() % (2 * kMinute);
+      const bool plain_hit = SeekNearestAdvance(series, query, tolerance, &plain);
+      const bool cached_hit = cached.Seek(query, tolerance);
+      ASSERT_EQ(cached_hit, plain_hit) << "trial " << trial << " query " << query;
+      ASSERT_EQ(cached.index(), plain) << "trial " << trial << " query " << query;
+      query += next_u32() % (2 * kMinute);  // non-decreasing
+    }
+  }
+}
+
 TEST(AlignSeriesTest, PairsMatchingTimestamps) {
   TimeSeries a;
   TimeSeries b;
