@@ -89,6 +89,7 @@ void Agent::Restart(MicroTime now) {
   batch_encoder_.Reset();
   pending_count_ = 0;
   pending_consumed_ = 0;
+  queued_samples_ = 0;
   pending_opened_at_ = 0;
   outbox_retry_at_ = 0;
   outbox_attempts_ = 0;
@@ -180,20 +181,37 @@ void Agent::FlushOutboxBatched(MicroTime now) {
   if (now < outbox_retry_at_) {
     return;
   }
-  while (!batch_outbox_.empty()) {
-    EncodedSampleBatch& batch = batch_outbox_.front();
-    const BatchDeliveryOutcome outcome = batch_delivery_callback_(batch);
+  // Walk the queue by index instead of hammering the front: a windowed
+  // transport answers {in_flight} for batches riding the wire, and the pass
+  // advances past them to launch the next ones — up to the transport's
+  // window of batches are outstanding after one pass. With a plain
+  // (non-windowed) callback in_flight is never set, the index stays at 0,
+  // and this degenerates to the classic front-only stop-and-wait loop.
+  size_t idx = 0;
+  while (idx < batch_outbox_.size()) {
+    EncodedSampleBatch& batch = batch_outbox_[idx];
+    const BatchDeliveryOutcome outcome =
+        windowed_batch_delivery_callback_
+            ? windowed_batch_delivery_callback_(batch, idx)
+            : batch_delivery_callback_(batch);
+    if (outcome.in_flight) {
+      ++idx;  // sent, unsettled: nothing to account, keep the batch queued
+      continue;
+    }
     health_.samples_delivered += outcome.delivered;
     health_.samples_lost += outcome.lost;
-    batch.consumed += static_cast<size_t>(outcome.delivered) +
-                      static_cast<size_t>(outcome.lost);
+    const size_t settled = static_cast<size_t>(outcome.delivered) +
+                           static_cast<size_t>(outcome.lost);
+    batch.consumed += settled;
+    queued_samples_ -= settled;
     if (outcome.decode_failed) {
       // The bytes are damaged; retrying cannot help. Every unsettled sample
       // in the batch is gone.
       ++health_.wire_decode_errors;
       health_.samples_lost +=
           static_cast<int64_t>(batch.sample_count - batch.consumed);
-      batch_outbox_.pop_front();
+      queued_samples_ -= batch.sample_count - batch.consumed;
+      batch_outbox_.erase(batch_outbox_.begin() + static_cast<long>(idx));
       outbox_attempts_ = 0;
       outbox_retry_at_ = 0;
       continue;
@@ -208,21 +226,16 @@ void Agent::FlushOutboxBatched(MicroTime now) {
       ArmRetryBackoff(now);
       return;
     }
-    batch_outbox_.pop_front();
+    batch_outbox_.erase(batch_outbox_.begin() + static_cast<long>(idx));
     outbox_attempts_ = 0;
     outbox_retry_at_ = 0;
   }
 }
 
 size_t Agent::outbox_size() const {
-  if (!batch_delivery_callback_) {
-    return outbox_.size();
-  }
-  size_t queued = pending_count_ - pending_consumed_;
-  for (const EncodedSampleBatch& batch : batch_outbox_) {
-    queued += batch.sample_count - batch.consumed;
-  }
-  return queued;
+  // queued_samples_ is maintained at every enqueue/settle/evict, so this is
+  // O(1) — it sits in the per-sample feed loop of every caller.
+  return batch_delivery_callback_ ? queued_samples_ : outbox_.size();
 }
 
 void Agent::EnqueueSample(const CpiSample& sample) {
@@ -250,6 +263,7 @@ void Agent::EnqueueSample(const CpiSample& sample) {
     } else {
       ++pending_consumed_;
     }
+    --queued_samples_;
     ++health_.outbox_overflow_drops;
   }
   if (pending_count_ == 0) {
@@ -257,6 +271,7 @@ void Agent::EnqueueSample(const CpiSample& sample) {
   }
   batch_encoder_.Add(sample);
   ++pending_count_;
+  ++queued_samples_;
   ++health_.samples_enqueued;
   const int max_samples = options_.params.wire_batch_max_samples;
   if (max_samples > 0 && pending_count_ >= static_cast<size_t>(max_samples)) {

@@ -83,6 +83,10 @@ struct BatchDeliveryOutcome {
   int lost = 0;
   bool retry = false;
   bool decode_failed = false;
+  // Windowed transports only: the batch was sent (or already is on the
+  // wire) and its ack is pending — nothing settles, no backoff arms, and
+  // the flush pass moves on to the next queued batch.
+  bool in_flight = false;
 };
 
 // Degraded-mode counters for one agent. Every transition into (or event
@@ -123,6 +127,12 @@ class Agent {
   // Attempts to deliver one encoded batch (starting at `consumed`). Invoked
   // only from FlushOutbox (single-threaded).
   using BatchDeliveryCallback = std::function<BatchDeliveryOutcome(const EncodedSampleBatch&)>;
+  // Windowed variant for pipelined transports: `queue_index` is the batch's
+  // position in the outbox (0 = oldest). A transport with N outstanding
+  // batches answers {in_flight = true} for sent-but-unsettled batches, so
+  // one flush pass walks the queue and keeps up to N batches on the wire.
+  using WindowedBatchDeliveryCallback =
+      std::function<BatchDeliveryOutcome(const EncodedSampleBatch&, size_t queue_index)>;
 
   Agent(Options options, CounterSource* source, CpuController* controller);
 
@@ -183,6 +193,18 @@ class Agent {
   // installed; the batch callback wins when both are.
   void SetBatchDeliveryCallback(BatchDeliveryCallback callback) {
     batch_delivery_callback_ = std::move(callback);
+  }
+  // Pipelined transport: like SetBatchDeliveryCallback, but the flush pass
+  // walks the whole outbox, skipping over batches the transport reports as
+  // in flight — up to the transport's window of batches ride the wire
+  // concurrently instead of one per ack round-trip.
+  void SetWindowedBatchDeliveryCallback(WindowedBatchDeliveryCallback callback) {
+    windowed_batch_delivery_callback_ = std::move(callback);
+    // Batched mode is keyed off batch_delivery_callback_ everywhere else;
+    // install a front-only adapter so mode checks keep working.
+    batch_delivery_callback_ = [this](const EncodedSampleBatch& batch) {
+      return windowed_batch_delivery_callback_(batch, 0);
+    };
   }
 
   // Hands one externally produced sample straight to the delivery outbox,
@@ -292,6 +314,7 @@ class Agent {
   IncidentCallback incident_callback_;
   DeliveryCallback delivery_callback_;
   BatchDeliveryCallback batch_delivery_callback_;
+  WindowedBatchDeliveryCallback windowed_batch_delivery_callback_;
 
   // Samples awaiting delivery (FIFO, bounded by sample_outbox_capacity).
   std::deque<CpiSample> outbox_;
@@ -307,6 +330,10 @@ class Agent {
   size_t pending_count_ = 0;
   size_t pending_consumed_ = 0;
   MicroTime pending_opened_at_ = 0;
+  // Running count of unsettled queued samples across batch_outbox_ and the
+  // open batch — outbox_size() in O(1). The summation it replaces was two
+  // deque walks per offered sample (capacity check + caller feed loops).
+  size_t queued_samples_ = 0;
 
   MicroTime last_tick_ = 0;
   AgentHealth health_;

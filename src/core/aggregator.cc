@@ -283,15 +283,11 @@ void Aggregator::AddSample(const CpiSample& sample) {
       dedup_watermark_ = sample.timestamp;
       // Prune entries older than the window; timestamps only move forward,
       // so the set stays bounded by window x arrival rate.
-      const MicroTime cutoff = dedup_watermark_ - params_.sample_dedup_window;
-      recent_samples_.erase(recent_samples_.begin(),
-                            recent_samples_.lower_bound(SampleKey{cutoff, 0, 0}));
+      recent_samples_.PruneOlderThan(dedup_watermark_ - params_.sample_dedup_window);
     }
-    if (!recent_samples_
-             .insert(SampleKey{sample.timestamp,
-                               machine_memo_.Intern(dedup_ids_, sample.machine),
-                               dedup_ids_.Intern(sample.task)})
-             .second) {
+    if (!recent_samples_.Insert(sample.timestamp,
+                                machine_memo_.Intern(dedup_ids_, sample.machine),
+                                task_memo_.Intern(dedup_ids_, sample.task))) {
       ++duplicates_dropped_;
       return;
     }
@@ -335,10 +331,10 @@ void Aggregator::WriteCheckpointText(const CheckpointSink& sink) const {
                       static_cast<long long>(builds_completed_),
                       static_cast<long long>(builder_.samples_seen()));
   buffer += StrFormat("W\t%lld\n", static_cast<long long>(dedup_watermark_));
-  for (const SampleKey& key : recent_samples_) {
-    buffer += StrFormat("D\t%lld\t%s\t%s\n", static_cast<long long>(std::get<0>(key)),
-                        dedup_ids_.NameOf(std::get<1>(key)).c_str(),
-                        dedup_ids_.NameOf(std::get<2>(key)).c_str());
+  for (const DedupWindow::Entry& key : recent_samples_.SortedEntries()) {
+    buffer += StrFormat("D\t%lld\t%s\t%s\n", static_cast<long long>(key.timestamp),
+                        dedup_ids_.NameOf(key.machine).c_str(),
+                        dedup_ids_.NameOf(key.task).c_str());
     if (buffer.size() >= kSinkChunkBytes) {
       sink(buffer);
       buffer.clear();
@@ -405,8 +401,9 @@ void Aggregator::WriteCheckpointBinary(const CheckpointSink& sink) const {
   // Dedup window, chunked into framed records of bounded size; each record
   // carries its own machine/task-name dictionary and timestamp delta chain,
   // so records stay independently decodable.
-  auto dedup_it = recent_samples_.begin();
-  while (dedup_it != recent_samples_.end()) {
+  const std::vector<DedupWindow::Entry> dedup_entries = recent_samples_.SortedEntries();
+  auto dedup_it = dedup_entries.begin();
+  while (dedup_it != dedup_entries.end()) {
     std::unordered_map<uint32_t, uint32_t> local_ids;  // interner id -> record idx
     std::string names_buf;
     std::string entries_buf;
@@ -422,12 +419,12 @@ void Aggregator::WriteCheckpointBinary(const CheckpointSink& sink) const {
     };
     size_t count = 0;
     MicroTime prev = 0;
-    for (; dedup_it != recent_samples_.end() && count < kDedupEntriesPerRecord;
+    for (; dedup_it != dedup_entries.end() && count < kDedupEntriesPerRecord;
          ++dedup_it, ++count) {
-      entries.PutVarint(local_index(std::get<1>(*dedup_it)));
-      entries.PutVarint(local_index(std::get<2>(*dedup_it)));
-      entries.PutZigzag(std::get<0>(*dedup_it) - prev);
-      prev = std::get<0>(*dedup_it);
+      entries.PutVarint(local_index(dedup_it->machine));
+      entries.PutVarint(local_index(dedup_it->task));
+      entries.PutZigzag(dedup_it->timestamp - prev);
+      prev = dedup_it->timestamp;
     }
     WireWriter record(&payload);
     record.PutByte(kDedupTag);
@@ -526,11 +523,11 @@ Status Aggregator::Restore(const std::string& checkpoint) {
   builds_completed_ = parsed.builds_completed;
   // Dedup state comes back from the checkpoint (v1 blobs carry none, so a
   // v1 restore degrades to the old re-accept-after-crash behaviour).
-  recent_samples_.clear();
+  recent_samples_.Clear();
   dedup_watermark_ = parsed.watermark;
   for (const ParsedCheckpoint::DedupEntry& entry : parsed.dedup_entries) {
-    recent_samples_.insert(SampleKey{entry.timestamp, dedup_ids_.Intern(entry.machine),
-                                     dedup_ids_.Intern(entry.task)});
+    recent_samples_.Insert(entry.timestamp, dedup_ids_.Intern(entry.machine),
+                           dedup_ids_.Intern(entry.task));
   }
   return Status::Ok();
 }

@@ -33,12 +33,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <set>
 #include <string>
 #include <string_view>
-#include <tuple>
 #include <vector>
 
+#include "core/dedup_window.h"
 #include "core/params.h"
 #include "core/spec_builder.h"
 #include "core/types.h"
@@ -109,22 +108,21 @@ class Aggregator {
   void WriteCheckpointText(const CheckpointSink& sink) const;
   void WriteCheckpointBinary(const CheckpointSink& sink) const;
 
-  // Sample identity for dedup: timestamp first so pruning old entries is a
-  // single ordered-range erase. Machine and task are interned ids — the
-  // per-sample insert compares three integers instead of two heap strings.
-  using SampleKey = std::tuple<MicroTime, uint32_t, uint32_t>;
-
   Cpi2Params params_;
   SpecBuilder builder_;
   SpecCallback callback_;
   ThreadPool* pool_ = nullptr;  // borrowed; flush/build scheduling only
   StringInterner dedup_ids_;  // machine and task names share one id space
   InternMemo machine_memo_;   // batches deliver one machine's samples in a row
+  InternCache task_memo_;     // tasks rotate within a machine's batch
   MicroTime last_build_ = -1;
   int64_t builds_completed_ = 0;
   int64_t duplicates_dropped_ = 0;
-  std::set<SampleKey> recent_samples_;  // only used when dedup enabled
-  MicroTime dedup_watermark_ = 0;       // newest timestamp seen
+  // Sample identity for dedup is (timestamp, machine id, task id); the
+  // interned ids make the per-sample membership probe integer compares
+  // instead of string compares, and DedupWindow makes it allocation-free.
+  DedupWindow recent_samples_;     // only used when dedup enabled
+  MicroTime dedup_watermark_ = 0;  // newest timestamp seen
   // Per-shard checkpoint blob cache, keyed by the builder's shard versions.
   // Mutable: WriteCheckpoint is logically const and single-threaded (it runs
   // in the harness's serial phase).

@@ -461,15 +461,11 @@ void HierarchicalAggregator::AddSample(size_t cell, const CpiSample& sample) {
   if (params_.sample_dedup_window > 0 && !sample.machine.empty()) {
     if (sample.timestamp > dedup_watermark_) {
       dedup_watermark_ = sample.timestamp;
-      const MicroTime cutoff = dedup_watermark_ - params_.sample_dedup_window;
-      recent_samples_.erase(recent_samples_.begin(),
-                            recent_samples_.lower_bound(SampleKey{cutoff, 0, 0}));
+      recent_samples_.PruneOlderThan(dedup_watermark_ - params_.sample_dedup_window);
     }
-    if (!recent_samples_
-             .insert(SampleKey{sample.timestamp,
-                               machine_memo_.Intern(dedup_ids_, sample.machine),
-                               dedup_ids_.Intern(sample.task)})
-             .second) {
+    if (!recent_samples_.Insert(sample.timestamp,
+                                machine_memo_.Intern(dedup_ids_, sample.machine),
+                                task_memo_.Intern(dedup_ids_, sample.task))) {
       ++duplicates_dropped_;
       return;
     }
@@ -566,8 +562,9 @@ std::string HierarchicalAggregator::Checkpoint() const {
   watermark.PutZigzag(dedup_watermark_);
   frame_out();
 
-  auto dedup_it = recent_samples_.begin();
-  while (dedup_it != recent_samples_.end()) {
+  const std::vector<DedupWindow::Entry> dedup_entries = recent_samples_.SortedEntries();
+  auto dedup_it = dedup_entries.begin();
+  while (dedup_it != dedup_entries.end()) {
     std::unordered_map<uint32_t, uint32_t> local_ids;
     std::string names_buf;
     std::string entries_buf;
@@ -583,12 +580,12 @@ std::string HierarchicalAggregator::Checkpoint() const {
     };
     size_t count = 0;
     MicroTime prev = 0;
-    for (; dedup_it != recent_samples_.end() && count < kDedupEntriesPerRecord;
+    for (; dedup_it != dedup_entries.end() && count < kDedupEntriesPerRecord;
          ++dedup_it, ++count) {
-      entries.PutVarint(local_index(std::get<1>(*dedup_it)));
-      entries.PutVarint(local_index(std::get<2>(*dedup_it)));
-      entries.PutZigzag(std::get<0>(*dedup_it) - prev);
-      prev = std::get<0>(*dedup_it);
+      entries.PutVarint(local_index(dedup_it->machine));
+      entries.PutVarint(local_index(dedup_it->task));
+      entries.PutZigzag(dedup_it->timestamp - prev);
+      prev = dedup_it->timestamp;
     }
     WireWriter record(&payload);
     record.PutByte(kDedupTag);
@@ -649,11 +646,11 @@ Status HierarchicalAggregator::Restore(const std::string& checkpoint) {
   last_build_ = parsed.last_build;
   builds_completed_ = parsed.builds_completed;
   samples_seen_ = parsed.samples_seen;
-  recent_samples_.clear();
+  recent_samples_.Clear();
   dedup_watermark_ = parsed.watermark;
   for (const ParsedHierCheckpoint::DedupEntry& entry : parsed.dedup_entries) {
-    recent_samples_.insert(SampleKey{entry.timestamp, dedup_ids_.Intern(entry.machine),
-                                     dedup_ids_.Intern(entry.task)});
+    recent_samples_.Insert(entry.timestamp, dedup_ids_.Intern(entry.machine),
+                           dedup_ids_.Intern(entry.task));
   }
   // The restart starts a new epoch: partials the cells accumulated against
   // the pre-crash merger must not replay, exactly as a flat restore drops

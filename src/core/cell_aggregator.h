@@ -36,13 +36,12 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <set>
 #include <string>
 #include <string_view>
-#include <tuple>
 #include <unordered_map>
 #include <vector>
 
+#include "core/dedup_window.h"
 #include "core/params.h"
 #include "core/spec_builder.h"
 #include "core/types.h"
@@ -241,8 +240,6 @@ class HierarchicalAggregator {
   Status Restore(const std::string& checkpoint);
 
  private:
-  using SampleKey = std::tuple<MicroTime, uint32_t, uint32_t>;
-
   Cpi2Params params_;
   std::vector<CellAggregator> cells_;
   GlobalMerger merger_;
@@ -250,11 +247,12 @@ class HierarchicalAggregator {
   ThreadPool* pool_ = nullptr;  // borrowed; frame encoding only
   StringInterner dedup_ids_;
   InternMemo machine_memo_;
+  InternCache task_memo_;  // tasks rotate within a machine's batch
   MicroTime last_build_ = -1;
   int64_t builds_completed_ = 0;
   int64_t duplicates_dropped_ = 0;
   int64_t samples_seen_ = 0;
-  std::set<SampleKey> recent_samples_;
+  DedupWindow recent_samples_;
   MicroTime dedup_watermark_ = 0;
   std::vector<bool> cell_down_;
   std::vector<MicroTime> cell_last_merge_;  // -1 until a cell first reports

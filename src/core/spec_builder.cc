@@ -50,7 +50,7 @@ size_t SpecBuilder::Route(const CpiSample& sample) {
   staged.key = MakeKey(job_memo_.Intern(names_, sample.jobname),
                        platform_memo_.Intern(names_, sample.platforminfo));
   if (!sample.task.empty()) {
-    staged.task = names_.Intern(sample.task);
+    staged.task = task_memo_.Intern(names_, sample.task);
     staged.has_task = true;
   }
   staged.cpi = sample.cpi;

@@ -191,7 +191,11 @@ class SpecBuilder {
   StringInterner names_;
   // Samples arrive in per-machine batch runs: the platform repeats for a
   // whole batch and jobs cluster, so Route() memoizes both lookups.
-  InternMemo job_memo_, platform_memo_;
+  // Platform is near-constant per agent (one-entry memo); jobs and tasks
+  // rotate through a machine's working set, so they get the direct-mapped
+  // cache instead.
+  InternCache job_memo_, task_memo_;
+  InternMemo platform_memo_;
   std::vector<Shard> shards_;
   size_t staged_total_ = 0;
   int64_t samples_seen_ = 0;

@@ -7,18 +7,22 @@ namespace cpi2 {
 AgentTransport::AgentTransport(EventLoop* loop, Agent* agent, NetClient* client,
                                Options options)
     : loop_(loop), agent_(agent), client_(client), options_(options) {
-  agent_->SetBatchDeliveryCallback(
-      [this](const EncodedSampleBatch& batch) { return OnBatchDelivery(batch); });
+  if (options_.window < 1) {
+    options_.window = 1;
+  }
+  agent_->SetWindowedBatchDeliveryCallback(
+      [this](const EncodedSampleBatch& batch, size_t queue_index) {
+        return OnBatchDelivery(batch, queue_index);
+      });
   client_->set_frame_handler([this](std::string_view payload) { OnClientFrame(payload); });
   client_->set_ready_handler([this] { Flush(); });
   client_->set_down_handler([this](Connection::CloseReason) {
-    // The in-flight batch (if any) is unsettled: forget the seq so the next
-    // flush after reconnect re-sends the same bytes from the same cursor.
-    if (in_flight_) {
-      ++stats_.inflight_reset;
-      in_flight_ = false;
-    }
-    pending_ack_.reset();
+    // Every windowed batch (settled or not — a settled-but-unconsumed ack
+    // is re-earned after reconnect) is unresolved: forget the seqs so the
+    // next flush re-sends the same bytes from the same consumed cursors.
+    // The aggregator's dedup absorbs whatever it already counted.
+    stats_.inflight_reset += static_cast<int64_t>(window_.size());
+    window_.clear();
   });
 }
 
@@ -46,47 +50,86 @@ void AgentTransport::ArmFlushTimer() {
 
 void AgentTransport::Flush() { agent_->FlushOutbox(MonotonicNowMicros()); }
 
-BatchDeliveryOutcome AgentTransport::OnBatchDelivery(const EncodedSampleBatch& batch) {
+BatchDeliveryOutcome AgentTransport::OnBatchDelivery(const EncodedSampleBatch& batch,
+                                                     size_t queue_index) {
   BatchDeliveryOutcome outcome;
-  if (pending_ack_.has_value()) {
-    // Pass B: the in-flight batch's ack settles it. Clamp against what is
-    // still unsettled — overflow eviction may have advanced the consumed
-    // cursor while the batch was on the wire, and those samples were
-    // already accounted as overflow drops.
-    const BatchAckFrame ack = *pending_ack_;
-    pending_ack_.reset();
-    in_flight_ = false;
+  if (queue_index < window_.size()) {
+    // This batch is on the wire. Settled entries form a prefix of the
+    // window (acks are cumulative), so a settled entry is only ever
+    // consumed at index 0 — which keeps window_[i] mirroring outbox batch
+    // i as both sides pop their fronts together.
+    InflightBatch& entry = window_[queue_index];
+    if (!entry.settled) {
+      outcome.in_flight = true;
+      return outcome;
+    }
     const size_t remaining = batch.sample_count - batch.consumed;
-    outcome.delivered = static_cast<int>(
-        std::min<uint64_t>(ack.delivered, static_cast<uint64_t>(remaining)));
-    outcome.lost = static_cast<int>(std::min<uint64_t>(
-        ack.lost, static_cast<uint64_t>(remaining) - static_cast<uint64_t>(outcome.delivered)));
-    outcome.decode_failed = ack.decode_failed;
+    if (entry.implied) {
+      // A later ack on the same connection implies the aggregator processed
+      // this earlier seq in full (it acks in order).
+      outcome.delivered = static_cast<int>(remaining);
+    } else {
+      // Clamp against what is still unsettled — overflow eviction may have
+      // advanced the consumed cursor while the batch was on the wire, and
+      // those samples were already accounted as overflow drops.
+      outcome.delivered = static_cast<int>(
+          std::min<uint64_t>(entry.ack.delivered, static_cast<uint64_t>(remaining)));
+      outcome.lost = static_cast<int>(
+          std::min<uint64_t>(entry.ack.lost, static_cast<uint64_t>(remaining) -
+                                                 static_cast<uint64_t>(outcome.delivered)));
+      outcome.decode_failed = entry.ack.decode_failed;
+    }
     const size_t settled = static_cast<size_t>(outcome.delivered) +
                            static_cast<size_t>(outcome.lost);
-    outcome.retry = !ack.decode_failed && settled < remaining;
+    outcome.retry = !outcome.decode_failed && settled < remaining;
+    // Counted at consume time so every sent batch lands in exactly one
+    // bucket — batches_acked, implied_acks, or inflight_reset — and
+    // batches_sent equals their sum whenever the window is empty (the
+    // loopback campaign's balance assertion).
+    if (entry.implied) {
+      ++stats_.implied_acks;
+    } else {
+      ++stats_.batches_acked;
+    }
+    window_.erase(window_.begin() + static_cast<long>(queue_index));
+    if (outcome.retry) {
+      // Partially settled (cannot happen with our aggregator, which always
+      // processes a whole batch, but the wire allows it): the batch stays
+      // queued for re-send while later window entries now mirror the wrong
+      // queue positions — resynchronize by resetting the window; the
+      // re-sends are absorbed by dedup.
+      stats_.inflight_reset += static_cast<int64_t>(window_.size());
+      window_.clear();
+    }
     return outcome;
   }
-  if (in_flight_) {
-    outcome.retry = true;  // awaiting the ack; keep the batch queued
-    return outcome;
-  }
+
+  // Past the window's tail: this batch has not been sent on this
+  // connection. Launch it if a slot and the connection allow.
   if (!client_->ready()) {
     outcome.retry = true;
     return outcome;
   }
-  std::string payload;
-  BuildSampleBatchPayload(next_seq_, static_cast<uint64_t>(batch.consumed), batch.bytes,
-                          &payload);
-  if (!client_->SendFrame(payload)) {
+  if (window_.size() >= static_cast<size_t>(options_.window)) {
+    ++stats_.window_stalls;
+    outcome.retry = true;
+    return outcome;
+  }
+  char header[kSampleBatchHeaderMax];
+  const size_t header_size =
+      BuildSampleBatchHeader(next_seq_, static_cast<uint64_t>(batch.consumed), header);
+  if (!client_->SendFrameParts(std::string_view(header, header_size), batch.bytes)) {
     ++stats_.send_backpressure;
     outcome.retry = true;
     return outcome;
   }
-  in_flight_ = true;
-  in_flight_seq_ = next_seq_++;
+  InflightBatch entry;
+  entry.seq = next_seq_++;
+  window_.push_back(entry);
   ++stats_.batches_sent;
-  outcome.retry = true;  // outcome unknown until the ack lands
+  stats_.window_depth_peak =
+      std::max(stats_.window_depth_peak, static_cast<int64_t>(window_.size()));
+  outcome.in_flight = true;  // outcome unknown until the ack lands
   return outcome;
 }
 
@@ -97,14 +140,31 @@ void AgentTransport::OnClientFrame(std::string_view payload) {
       !ParseBatchAckPayload(payload, &ack)) {
     return;  // not for us; ignore rather than poison the connection
   }
-  if (!in_flight_ || ack.seq != in_flight_seq_) {
+  size_t match = window_.size();
+  for (size_t i = 0; i < window_.size(); ++i) {
+    if (!window_[i].settled && window_[i].seq == ack.seq) {
+      match = i;
+      break;
+    }
+  }
+  if (match == window_.size()) {
     ++stats_.stale_acks;
     return;
   }
-  ++stats_.batches_acked;
-  pending_ack_ = ack;
-  // Settle immediately: the next flush pass consumes the ack and, if the
-  // outbox has more, launches the next batch in the same pass.
+  // Cumulative settle: everything sent before the acked seq on this
+  // connection was processed first (the aggregator acks in order); if any
+  // of those acks went missing, this one vouches for them.
+  for (size_t i = 0; i < match; ++i) {
+    if (!window_[i].settled) {
+      window_[i].settled = true;
+      window_[i].implied = true;
+    }
+  }
+  window_[match].settled = true;
+  window_[match].ack = ack;
+  // Settle immediately: the next flush pass consumes the settled prefix
+  // and, if the outbox has more, launches replacement batches in the same
+  // pass.
   Flush();
 }
 

@@ -4,35 +4,46 @@
 // The impedance mismatch: Agent::FlushOutbox calls its delivery callback and
 // expects an immediate BatchDeliveryOutcome, but a socket send is only an
 // attempt — the real outcome arrives later as a BatchAck frame (or never,
-// if the connection dies). The bridge resolves it with a one-batch-in-flight
-// protocol:
+// if the connection dies). The bridge resolves it with a windowed pipeline
+// of up to Options::window outstanding batches:
 //
-//   1. Flush pass A: the front batch is not in flight → frame it
-//      (seq = next unique sequence number, consumed cursor, raw CPI2SMB1
-//      bytes), send it, record it as in-flight, answer {retry = true}.
-//      The agent arms its backoff and keeps the batch queued. (The daemon
-//      configures delivery_retry_backoff = 0: pacing comes from the ack
-//      round-trip, not from a timer race.)
-//   2. The BatchAck for that seq arrives → stash it, immediately flush.
-//   3. Flush pass B: the stashed ack settles the front batch — delivered /
-//      lost / decode_failed map straight onto BatchDeliveryOutcome. If the
-//      batch is fully settled the agent pops it and pass B continues with
-//      the next batch at step 1: the pipeline stays full without ever
-//      having two batches outstanding.
+//   1. A flush pass walks the outbox front-to-back. The entry at queue
+//      index i mirrors window_[i]. A batch past the window's end is
+//      launched: framed (seq = next unique sequence number, consumed
+//      cursor, raw CPI2SMB1 bytes scattered via SendFrameParts), recorded
+//      in window_, answered {in_flight = true} so the agent advances to the
+//      next batch without settling anything. A window-full or disconnected
+//      transport answers {retry = true} and the pass stops.
+//   2. A BatchAck arrives → the matching window entry is marked settled.
+//      Acks are cumulative: entries *before* the acked seq (sent earlier on
+//      the same connection, acked out from under us — the aggregator acks
+//      in order) are marked settled-by-implication, counted in
+//      implied_acks, and settle as delivered-in-full. A seq matching no
+//      window entry is a stale ack (reconnect raced it): counted, ignored.
+//   3. The flush pass after an ack finds window_[0] settled → consumes it:
+//      delivered / lost / decode_failed map onto BatchDeliveryOutcome
+//      (clamped against what is still unsettled — overflow eviction may
+//      have advanced the consumed cursor mid-flight), the agent pops the
+//      batch, and the freed window slot launches the next queued batch in
+//      the same pass. Settled entries form a prefix of the window, so
+//      consumption is always at index 0 and the queue↔window alignment is
+//      an invariant.
 //
-// Failure folding: a connection drop clears the in-flight marker without
-// settling anything, so after reconnect the SAME bytes re-send from the
-// same consumed cursor (a fresh seq) — the aggregator's dedup window drops
-// whatever it already counted. A stale ack (seq mismatch after a reconnect)
-// is counted and ignored. Send-side backpressure (connection queue full)
-// also answers {retry = true}: the agent's bounded outbox is the overflow
-// domain, exactly as in-process.
+// Failure folding: a connection drop clears the whole window without
+// settling anything (inflight_reset += entries), so after reconnect the
+// SAME bytes re-send from the same consumed cursors with fresh seqs — the
+// aggregator's dedup window drops whatever it already counted. At drain,
+// batches_sent == batches_acked + implied_acks + inflight_reset: every
+// launched batch either settled or was reset, which the loopback campaign
+// asserts as the window-accounting balance. Send-side backpressure
+// (connection queue full) also answers {retry = true}: the agent's bounded
+// outbox is the overflow domain, exactly as in-process.
 
 #ifndef CPI2_NET_AGENT_TRANSPORT_H_
 #define CPI2_NET_AGENT_TRANSPORT_H_
 
 #include <cstdint>
-#include <optional>
+#include <deque>
 
 #include "core/agent.h"
 #include "net/client.h"
@@ -47,14 +58,21 @@ class AgentTransport {
     // Periodic flush cadence; acks and reconnects also trigger flushes, so
     // this is the floor on latency for newly offered samples.
     MicroTime flush_interval = 50 * kMicrosPerMilli;
+    // Max batches on the wire awaiting acks. 1 = classic stop-and-wait.
+    int window = 8;
   };
 
   struct Stats {
     int64_t batches_sent = 0;        // frames handed to the connection
-    int64_t batches_acked = 0;       // acks matched to the in-flight seq
-    int64_t stale_acks = 0;          // seq mismatch (reconnect raced an ack)
+    int64_t batches_acked = 0;       // consumed after settling by their own ack
+    int64_t implied_acks = 0;        // consumed after a later cumulative ack settled them
+    // Balance invariant whenever the window is empty (e.g. at drain):
+    //   batches_sent == batches_acked + implied_acks + inflight_reset
+    int64_t stale_acks = 0;          // seq matching no window entry (reconnect race)
     int64_t send_backpressure = 0;   // connection queue full at send time
-    int64_t inflight_reset = 0;      // connection died with a batch in flight
+    int64_t window_stalls = 0;       // flush passes stopped by a full window
+    int64_t inflight_reset = 0;      // window entries cleared by a connection drop
+    int64_t window_depth_peak = 0;   // max simultaneously outstanding batches
   };
 
   // Borrows all three; they must outlive the transport. Installs the batch
@@ -72,10 +90,18 @@ class AgentTransport {
   void Flush();
 
   const Stats& stats() const { return stats_; }
-  bool in_flight() const { return in_flight_; }
+  bool in_flight() const { return !window_.empty(); }
+  size_t window_depth() const { return window_.size(); }
 
  private:
-  BatchDeliveryOutcome OnBatchDelivery(const EncodedSampleBatch& batch);
+  struct InflightBatch {
+    uint64_t seq = 0;
+    bool settled = false;   // ack (direct or implied) received, not yet consumed
+    bool implied = false;   // settled by a later cumulative ack
+    BatchAckFrame ack;      // valid when settled && !implied
+  };
+
+  BatchDeliveryOutcome OnBatchDelivery(const EncodedSampleBatch& batch, size_t queue_index);
   void OnClientFrame(std::string_view payload);
   void ArmFlushTimer();
 
@@ -85,9 +111,8 @@ class AgentTransport {
   Options options_;
 
   uint64_t next_seq_ = 1;
-  bool in_flight_ = false;
-  uint64_t in_flight_seq_ = 0;
-  std::optional<BatchAckFrame> pending_ack_;
+  // window_[i] mirrors outbox batch i; settled entries are a prefix.
+  std::deque<InflightBatch> window_;
 
   EventLoop::TimerId flush_timer_ = 0;
   bool stopped_ = false;

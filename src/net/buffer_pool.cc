@@ -1,0 +1,68 @@
+#include "net/buffer_pool.h"
+
+#include <algorithm>
+
+namespace cpi2 {
+
+void SlabRef::Release() {
+  if (slab_ == nullptr) {
+    return;
+  }
+  Slab* slab = slab_;
+  slab_ = nullptr;
+  if (--slab->refs_ > 0) {
+    return;
+  }
+  if (slab->pool_ != nullptr) {
+    slab->pool_->Recycle(slab);
+  } else {
+    delete slab;  // the pool died first; the slab frees itself
+  }
+}
+
+BufferPool::BufferPool(size_t slab_size) : slab_size_(slab_size) {}
+
+BufferPool::~BufferPool() {
+  for (Slab* slab : free_) {
+    delete slab;
+  }
+  // Slabs still referenced (a connection outliving its pool would be an
+  // owner bug, but the graveyard makes destruction order subtle): orphan
+  // them so their last SlabRef deletes instead of touching a dead pool.
+  for (Slab* slab : live_slabs_) {
+    slab->pool_ = nullptr;
+  }
+}
+
+SlabRef BufferPool::Acquire(size_t min_capacity) {
+  Slab* slab = nullptr;
+  if (min_capacity <= slab_size_) {
+    if (!free_.empty()) {
+      slab = free_.back();
+      free_.pop_back();
+      slab->used_ = 0;
+      ++stats_.slabs_reused;
+    } else {
+      slab = new Slab(this, slab_size_);
+      ++stats_.slabs_created;
+    }
+  } else {
+    slab = new Slab(this, min_capacity);
+    ++stats_.slabs_created;
+    ++stats_.oversize_slabs;
+  }
+  live_slabs_.push_back(slab);
+  return SlabRef(slab);
+}
+
+void BufferPool::Recycle(Slab* slab) {
+  live_slabs_.erase(std::find(live_slabs_.begin(), live_slabs_.end(), slab));
+  if (slab->capacity_ != slab_size_) {
+    delete slab;  // oversize one-off: not worth pooling
+    return;
+  }
+  slab->used_ = 0;
+  free_.push_back(slab);
+}
+
+}  // namespace cpi2

@@ -1,0 +1,139 @@
+// Pooled, reference-counted send slabs for the zero-copy network path.
+//
+// A Slab is a fixed-capacity byte arena that a Connection frames outgoing
+// records into directly: varint length, payload bytes, CRC trailer are
+// written at `used` and the cursor advances — no per-frame std::string, no
+// second copy of a sample batch that was already encoded once. A slab chain
+// (deque<SlabRef>) replaces the old deque<std::string> send queue and maps
+// 1:1 onto an iovec array for writev.
+//
+// Lifecycle: BufferPool::Acquire hands out a SlabRef (intrusive refcount);
+// when the last ref drops the slab returns to the pool's free list instead
+// of the allocator, so the steady state allocates nothing. A NetClient or
+// NetServer owns one pool shared by all of its connections; standalone
+// connections (tests) fall back to a connection-owned pool. Oversized
+// frames (> slab capacity) get a dedicated exact-size slab that is freed,
+// not pooled, on release.
+//
+// Slabs are single-writer: only the owning connection appends, and only
+// while the slab is the chain's tail. Flushed bytes are tracked by the
+// connection (front offset), never by the slab, so a slab can be mid-flush
+// at the front of the chain and still accept appends if it is also the tail.
+
+#ifndef CPI2_NET_BUFFER_POOL_H_
+#define CPI2_NET_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cpi2 {
+
+class BufferPool;
+
+// One pooled byte arena. data()[0 .. used) holds framed records.
+class Slab {
+ public:
+  char* data() { return bytes_.get(); }
+  const char* data() const { return bytes_.get(); }
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  size_t room() const { return capacity_ - used_; }
+
+  // Appends raw bytes; caller guarantees room.
+  char* Extend(size_t n) {
+    char* at = bytes_.get() + used_;
+    used_ += n;
+    return at;
+  }
+  // Rewinds the append cursor (injector truncation of the just-written
+  // frame; only ever applied to the chain's tail slab).
+  void Rewind(size_t new_used) { used_ = new_used; }
+
+ private:
+  friend class BufferPool;
+  friend class SlabRef;
+
+  Slab(BufferPool* pool, size_t capacity)
+      : bytes_(new char[capacity]), capacity_(capacity), pool_(pool) {}
+
+  std::unique_ptr<char[]> bytes_;
+  size_t capacity_;
+  size_t used_ = 0;
+  int refs_ = 0;
+  BufferPool* pool_;  // owner; nullptr once the pool died (slab self-frees)
+};
+
+// Intrusive refcounted handle; the last ref recycles the slab to its pool.
+class SlabRef {
+ public:
+  SlabRef() = default;
+  explicit SlabRef(Slab* slab) : slab_(slab) {
+    if (slab_ != nullptr) {
+      ++slab_->refs_;
+    }
+  }
+  SlabRef(const SlabRef& other) : SlabRef(other.slab_) {}
+  SlabRef(SlabRef&& other) noexcept : slab_(other.slab_) { other.slab_ = nullptr; }
+  SlabRef& operator=(SlabRef other) noexcept {
+    Slab* tmp = slab_;
+    slab_ = other.slab_;
+    other.slab_ = tmp;
+    return *this;
+  }
+  ~SlabRef() { Release(); }
+
+  Slab* get() const { return slab_; }
+  Slab* operator->() const { return slab_; }
+  explicit operator bool() const { return slab_ != nullptr; }
+
+  void Reset() { Release(); }
+
+ private:
+  void Release();
+
+  Slab* slab_ = nullptr;
+};
+
+// Free-list recycler for fixed-size slabs. Not thread-safe: one pool per
+// event loop, like everything else in src/net.
+class BufferPool {
+ public:
+  struct Stats {
+    int64_t slabs_created = 0;   // heap allocations (misses)
+    int64_t slabs_reused = 0;    // free-list hits
+    int64_t oversize_slabs = 0;  // dedicated exact-size slabs (not pooled)
+  };
+
+  static constexpr size_t kDefaultSlabSize = 64 * 1024;
+
+  explicit BufferPool(size_t slab_size = kDefaultSlabSize);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // A slab with at least `min_capacity` room. min_capacity <= slab_size()
+  // draws from the free list; larger requests get a dedicated slab sized
+  // exactly to the request (freed on release, never pooled).
+  SlabRef Acquire(size_t min_capacity);
+
+  size_t slab_size() const { return slab_size_; }
+  size_t free_count() const { return free_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class SlabRef;
+
+  void Recycle(Slab* slab);
+
+  size_t slab_size_;
+  std::vector<Slab*> free_;
+  std::vector<Slab*> live_slabs_;  // referenced slabs (pool-death handoff)
+  Stats stats_;
+};
+
+}  // namespace cpi2
+
+#endif  // CPI2_NET_BUFFER_POOL_H_

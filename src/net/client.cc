@@ -119,7 +119,11 @@ void NetClient::OnConnectWritable(uint32_t events) {
 
 void NetClient::OnConnectionEstablished(int fd) {
   state_ = State::kHandshaking;
-  connection_ = std::make_unique<Connection>(loop_, fd, options_.connection);
+  Connection::Options conn_options = options_.connection;
+  if (conn_options.pool == nullptr) {
+    conn_options.pool = &pool_;  // slabs recycle across reconnects
+  }
+  connection_ = std::make_unique<Connection>(loop_, fd, conn_options);
   connection_->set_frame_handler([this](std::string_view payload) { OnFrame(payload); });
   connection_->set_close_handler([this](Connection::CloseReason reason, bool) {
     OnConnectionClosed(reason);
@@ -249,6 +253,13 @@ bool NetClient::SendFrame(std::string_view payload) {
     return false;
   }
   return connection_->SendFrame(payload);
+}
+
+bool NetClient::SendFrameParts(std::string_view head, std::string_view body) {
+  if (state_ != State::kReady || connection_ == nullptr) {
+    return false;
+  }
+  return connection_->SendFrameParts(head, body);
 }
 
 }  // namespace cpi2

@@ -29,6 +29,7 @@
 #include <string>
 #include <string_view>
 
+#include "net/buffer_pool.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
 #include "net/fault_injector.h"
@@ -87,6 +88,9 @@ class NetClient {
   // Sends one frame if ready and the send queue has room. False = not
   // connected or backpressured; caller's outbox keeps the data.
   bool SendFrame(std::string_view payload);
+  // Scatter variant: payload = head + body, framed with a chained CRC so a
+  // pre-encoded body (sample batch bytes) is copied once, into the slab.
+  bool SendFrameParts(std::string_view head, std::string_view body);
 
   State state() const { return state_; }
   bool ready() const { return state_ == State::kReady; }
@@ -111,6 +115,9 @@ class NetClient {
 
   EventLoop* loop_;
   Options options_;
+  // Slab pool shared by this client's connections across reconnects;
+  // declared before the connections so it outlives their teardown.
+  BufferPool pool_;
   Rng jitter_rng_;
   State state_ = State::kIdle;
   int connect_fd_ = -1;  // in-flight nonblocking connect (pre-Connection)

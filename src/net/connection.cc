@@ -1,11 +1,24 @@
 #include "net/connection.h"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstring>
+
+#include "wire/wire_codec.h"
 
 namespace cpi2 {
+
+namespace {
+// iovec batch per sendmsg call. The chain rarely exceeds a handful of slabs;
+// 64 keeps the stack array small while staying far above the steady state.
+constexpr int kMaxIov = 64;
+// Bytes of ring space guaranteed to readv per loop iteration.
+constexpr size_t kReadChunk = 64 * 1024;
+}  // namespace
 
 const char* CloseReasonName(Connection::CloseReason reason) {
   switch (reason) {
@@ -26,7 +39,15 @@ const char* CloseReasonName(Connection::CloseReason reason) {
 }
 
 Connection::Connection(EventLoop* loop, int fd, const Options& options)
-    : loop_(loop), fd_(fd), options_(options) {}
+    : loop_(loop), fd_(fd), options_(options) {
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<BufferPool>(
+        options_.slab_size > 0 ? options_.slab_size : BufferPool::kDefaultSlabSize);
+    pool_ = owned_pool_.get();
+  }
+}
 
 Connection::~Connection() {
   if (!closed_) {
@@ -37,13 +58,19 @@ Connection::~Connection() {
   }
 }
 
+Slab* Connection::EnsureTailRoom(size_t room) {
+  if (send_slabs_.empty() || send_slabs_.back()->room() < room) {
+    send_slabs_.push_back(pool_->Acquire(room));
+  }
+  return send_slabs_.back().get();
+}
+
 void Connection::Start() {
   started_ = true;
   start_time_ = MonotonicNowMicros();
-  std::string magic;
-  AppendWireMagic(&magic, kNetStreamMagic);
-  send_queue_bytes_ += magic.size();
-  send_queue_.push_front(std::move(magic));
+  Slab* slab = EnsureTailRoom(kWireMagicSize);
+  std::memcpy(slab->Extend(kWireMagicSize), kNetStreamMagic, kWireMagicSize);
+  send_queue_bytes_ += kWireMagicSize;
   loop_->WatchFd(fd_, EventLoop::kReadable | EventLoop::kWritable,
                  [this](uint32_t events) { OnEvents(events); });
   if (options_.injector != nullptr && options_.injector->options().partition_period > 0) {
@@ -77,61 +104,96 @@ void Connection::UpdateInterest() {
     return;
   }
   uint32_t events = EventLoop::kReadable;
-  if (!send_queue_.empty() && !stalled_) {
+  if (send_queue_bytes_ > 0 && !stalled_) {
     events |= EventLoop::kWritable;
   }
   loop_->SetFdEvents(fd_, events);
 }
 
-bool Connection::SendFrame(std::string_view payload) {
+bool Connection::SendFrameParts(std::string_view head, std::string_view body) {
   if (closed_ || draining_) {
     ++stats_.send_rejects;
     return false;
   }
-  // The framed record is payload + ~6 bytes of envelope; bound against the
-  // payload size so the check can run before framing.
-  if (send_queue_bytes_ + payload.size() > options_.max_send_queue_bytes) {
+  const size_t payload_size = head.size() + body.size();
+  const size_t framed_size = FramedRecordSize(payload_size);
+  // Bound against the full framed record (envelope included): the queue can
+  // never exceed max_send_queue_bytes, not even by the ~6-byte envelope.
+  if (send_queue_bytes_ + framed_size > options_.max_send_queue_bytes) {
     ++stats_.send_rejects;
     return false;
   }
-  std::string record;
-  AppendNetFrame(&record, payload);
-
+  // One injector draw per accepted frame, before the bytes land — same
+  // order and same per-frame draw count as ever, so campaign schedules are
+  // unchanged run to run.
+  NetFaultInjector::Action action = NetFaultInjector::Action::kNone;
   if (options_.injector != nullptr) {
-    switch (options_.injector->DrawFrameAction()) {
-      case NetFaultInjector::Action::kNone:
-        break;
-      case NetFaultInjector::Action::kCorrupt: {
-        // Flip one bit after the CRC was computed: the receiver's verdict
-        // machinery, not ours, must catch it.
-        const size_t offset = options_.injector->DrawCorruptOffset(record.size());
-        record[offset] = static_cast<char>(record[offset] ^ 0x40);
-        break;
-      }
-      case NetFaultInjector::Action::kTruncate: {
-        record.resize(options_.injector->DrawTruncateLength(record.size()));
-        close_after_flush_ = true;
-        pending_close_reason_ = CloseReason::kInjectedReset;
-        break;
-      }
-      case NetFaultInjector::Action::kReset:
-        close_after_flush_ = true;
-        pending_close_reason_ = CloseReason::kInjectedReset;
-        break;
-      case NetFaultInjector::Action::kKillMidFrame:
-        // Half the frame, then the owner's hook (the daemons raise SIGKILL
-        // here: a deterministic "agent died mid-batch").
-        record.resize(record.size() / 2);
-        close_after_flush_ = true;
-        kill_after_flush_ = true;
-        pending_close_reason_ = CloseReason::kInjectedReset;
-        break;
+    action = options_.injector->DrawFrameAction();
+  }
+
+  // Frame straight into the tail slab: length varint, payload, CRC trailer.
+  Slab* slab = EnsureTailRoom(framed_size);
+  const size_t record_start = slab->used();
+  char* base = slab->Extend(framed_size);
+  char* p = base;
+  for (uint64_t v = payload_size; ; v >>= 7) {
+    if (v < 0x80) {
+      *p++ = static_cast<char>(v);
+      break;
     }
+    *p++ = static_cast<char>((v & 0x7f) | 0x80);
+  }
+  std::memcpy(p, head.data(), head.size());
+  p += head.size();
+  if (!body.empty()) {
+    std::memcpy(p, body.data(), body.size());
+    p += body.size();
+  }
+  // Chained CRC over head + body == CRC of the concatenated payload.
+  uint32_t crc = Crc32(head);
+  crc = Crc32(body, crc);
+  for (int i = 0; i < 4; ++i) {
+    *p++ = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+
+  // The record is the slab's last extent, so the injector mutates it in
+  // place: a corrupt draw flips one byte, a truncate/kill draw rewinds the
+  // slab cursor to keep only a prefix on the wire.
+  size_t queued_size = framed_size;
+  switch (action) {
+    case NetFaultInjector::Action::kNone:
+      break;
+    case NetFaultInjector::Action::kCorrupt: {
+      // Flip one bit after the CRC was computed: the receiver's verdict
+      // machinery, not ours, must catch it.
+      const size_t offset = options_.injector->DrawCorruptOffset(framed_size);
+      base[offset] = static_cast<char>(base[offset] ^ 0x40);
+      break;
+    }
+    case NetFaultInjector::Action::kTruncate: {
+      queued_size = options_.injector->DrawTruncateLength(framed_size);
+      slab->Rewind(record_start + queued_size);
+      close_after_flush_ = true;
+      pending_close_reason_ = CloseReason::kInjectedReset;
+      break;
+    }
+    case NetFaultInjector::Action::kReset:
+      close_after_flush_ = true;
+      pending_close_reason_ = CloseReason::kInjectedReset;
+      break;
+    case NetFaultInjector::Action::kKillMidFrame:
+      // Half the frame, then the owner's hook (the daemons raise SIGKILL
+      // here: a deterministic "agent died mid-batch").
+      queued_size = framed_size / 2;
+      slab->Rewind(record_start + queued_size);
+      close_after_flush_ = true;
+      kill_after_flush_ = true;
+      pending_close_reason_ = CloseReason::kInjectedReset;
+      break;
   }
 
   ++stats_.frames_sent;
-  send_queue_bytes_ += record.size();
-  send_queue_.push_back(std::move(record));
+  send_queue_bytes_ += queued_size;
   if (!stalled_ && options_.injector != nullptr) {
     const MicroTime stall = options_.injector->DrawStall();
     if (stall > 0) {
@@ -150,7 +212,7 @@ bool Connection::SendFrame(std::string_view payload) {
 
 void Connection::CloseWhenDrained() {
   draining_ = true;
-  if (send_queue_.empty()) {
+  if (send_queue_bytes_ == 0) {
     Close(CloseReason::kLocalClose);
   }
 }
@@ -177,6 +239,7 @@ void Connection::Close(CloseReason reason) {
   }
   close(fd_);
   fd_ = -1;
+  send_slabs_.clear();  // release slabs back to the pool
   if (close_handler_) {
     // One shot; the handler may delete us (owners defer with AddTimer(0)).
     CloseHandler handler = std::move(close_handler_);
@@ -217,12 +280,15 @@ void Connection::OnEvents(uint32_t events) {
 }
 
 void Connection::OnReadable() {
-  char buf[65536];
   while (true) {
-    const ssize_t n = read(fd_, buf, sizeof(buf));
+    // readv straight into the assembler's ring: no bounce buffer, no
+    // append — the frame decoder reads the same bytes in place.
+    struct iovec iov[2];
+    const int iovcnt = assembler_.WritableSpans(kReadChunk, iov);
+    const ssize_t n = readv(fd_, iov, iovcnt);
     if (n > 0) {
       stats_.bytes_received += n;
-      assembler_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      assembler_.CommitBytes(static_cast<size_t>(n));
       std::string_view payload;
       while (true) {
         const FrameAssembler::Result result = assembler_.Next(&payload);
@@ -243,7 +309,7 @@ void Connection::OnReadable() {
                                                           : CloseReason::kCorruptFrame);
         return;
       }
-      if (static_cast<size_t>(n) < sizeof(buf)) {
+      if (static_cast<size_t>(n) < kReadChunk) {
         return;  // drained the socket buffer
       }
       continue;
@@ -264,10 +330,29 @@ void Connection::OnReadable() {
 }
 
 void Connection::OnWritable() {
-  while (!send_queue_.empty()) {
-    const std::string& front = send_queue_.front();
-    const ssize_t n =
-        send(fd_, front.data() + front_offset_, front.size() - front_offset_, MSG_NOSIGNAL);
+  while (send_queue_bytes_ > 0) {
+    // One gathered sendmsg over the whole slab chain, resuming mid-slab at
+    // front_offset_; the kernel takes as much as fits and we account the
+    // partial write byte-exactly.
+    struct iovec iov[kMaxIov];
+    int iovcnt = 0;
+    size_t skip = front_offset_;
+    for (const SlabRef& slab : send_slabs_) {
+      if (iovcnt == kMaxIov) {
+        break;
+      }
+      const size_t len = slab->used() - skip;
+      if (len > 0) {
+        iov[iovcnt].iov_base = const_cast<char*>(slab->data() + skip);
+        iov[iovcnt].iov_len = len;
+        ++iovcnt;
+      }
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    const ssize_t n = sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         break;
@@ -286,15 +371,36 @@ void Connection::OnWritable() {
       return;
     }
     stats_.bytes_sent += n;
-    front_offset_ += static_cast<size_t>(n);
-    if (front_offset_ < front.size()) {
-      break;  // kernel buffer full mid-record
+    send_queue_bytes_ -= static_cast<size_t>(n);
+    // Advance the flush cursor across the chain, releasing fully-flushed
+    // slabs back to the pool.
+    size_t remaining = static_cast<size_t>(n);
+    while (!send_slabs_.empty()) {
+      Slab* front = send_slabs_.front().get();
+      const size_t avail = front->used() - front_offset_;
+      const size_t take = std::min(avail, remaining);
+      front_offset_ += take;
+      remaining -= take;
+      if (front_offset_ == front->used()) {
+        send_slabs_.pop_front();
+        front_offset_ = 0;
+        continue;
+      }
+      break;  // kernel buffer full mid-slab
     }
-    send_queue_bytes_ -= front.size();
-    send_queue_.pop_front();
-    front_offset_ = 0;
+    if (remaining > 0 || (send_queue_bytes_ > 0 && static_cast<size_t>(n) == 0)) {
+      break;  // defensive; cannot happen with consistent accounting
+    }
+    if (send_queue_bytes_ > 0 && iovcnt == kMaxIov) {
+      continue;  // more slabs than one iovec batch; keep flushing
+    }
+    if (send_queue_bytes_ > 0) {
+      // Partial write: the kernel buffer is full, wait for the next
+      // writable event rather than spinning on sendmsg.
+      break;
+    }
   }
-  if (send_queue_.empty()) {
+  if (send_queue_bytes_ == 0) {
     if (kill_after_flush_ && options_.injector != nullptr) {
       kill_after_flush_ = false;
       options_.injector->FireHook(NetFaultInjector::Action::kKillMidFrame);

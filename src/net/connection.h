@@ -8,16 +8,30 @@
 // or desynced inbound stream closes the connection with a verdict, and a
 // peer that disappears mid-frame is recorded as a truncated tail.
 //
+// Zero-copy data path: outgoing frames are written directly into pooled
+// slabs (varint length, payload, CRC trailer appended at the slab cursor —
+// no per-frame std::string), the slab chain flushes as one iovec batch per
+// sendmsg call with partial-write resume at any byte offset, and inbound
+// bytes land in the FrameAssembler's ring via readv and decode in place.
+// SendFrameParts scatters a small header plus a large already-encoded body
+// (a sample batch) into the slab with a chained CRC, so batch bytes are
+// copied exactly once after encoding.
+//
 // Backpressure contract: SendFrame never buffers beyond
 // Options::max_send_queue_bytes. When the queue is full it returns false
 // and counts a reject; the caller's outbox (Agent's bounded sample outbox)
-// is the overflow domain, not this queue. There is no hidden unbounded
-// buffer anywhere on the send path.
+// is the overflow domain, not this queue. The bound is checked against the
+// full framed record size (envelope included), so the queue can never
+// exceed its cap by even a byte. There is no hidden unbounded buffer
+// anywhere on the send path.
 //
 // The fault injector (when present) intercepts the write path: frames can
 // be corrupted post-CRC, truncated (connection dies mid-frame), or followed
 // by an abrupt reset; flushes can stall; partition windows freeze the fd's
-// interest set entirely. All draws are deterministic per endpoint seed.
+// interest set entirely. Each accepted frame is a contiguous extent in the
+// tail slab at draw time, so a corrupt draw flips a byte inside that extent
+// and a truncate draw rewinds the slab cursor — byte-for-byte the same
+// stream the old string-queue path produced, with the same draw order.
 
 #ifndef CPI2_NET_CONNECTION_H_
 #define CPI2_NET_CONNECTION_H_
@@ -25,9 +39,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "net/buffer_pool.h"
 #include "net/event_loop.h"
 #include "net/fault_injector.h"
 #include "net/frame.h"
@@ -49,6 +65,12 @@ class Connection {
     // Send-queue bound in bytes of framed records; SendFrame returns false
     // beyond it (backpressure, never unbounded buffering).
     size_t max_send_queue_bytes = 1 << 20;
+    // Borrowed slab pool, shared across an owner's connections; nullptr =
+    // the connection owns a private pool.
+    BufferPool* pool = nullptr;
+    // Slab size for the private pool when `pool` is nullptr (0 = default).
+    // Tests use small slabs to force multi-slab iovec chains.
+    size_t slab_size = 0;
     // Borrowed fault injector; nullptr = clean connection.
     NetFaultInjector* injector = nullptr;
   };
@@ -80,10 +102,16 @@ class Connection {
   // Registers with the loop and queues the stream magic. Call once.
   void Start();
 
-  // Frames `payload` and queues it. False = the send queue is full (or the
-  // connection is closed); the frame was NOT queued and the caller retries
-  // after draining — its own bounded buffer absorbs the overflow.
-  bool SendFrame(std::string_view payload);
+  // Frames `payload` directly into the tail slab and queues it. False = the
+  // send queue is full (or the connection is closed); the frame was NOT
+  // queued and the caller retries after draining — its own bounded buffer
+  // absorbs the overflow.
+  bool SendFrame(std::string_view payload) { return SendFrameParts(payload, {}); }
+
+  // Scatter variant: the frame's payload is `head` followed by `body`,
+  // framed as one record with a chained CRC — callers with a pre-encoded
+  // body (sample batch bytes) skip the concatenation copy.
+  bool SendFrameParts(std::string_view head, std::string_view body);
 
   // Closes now (flushes nothing further). Fires the close handler once.
   void Close(CloseReason reason);
@@ -102,6 +130,9 @@ class Connection {
   void OnReadable();
   void OnWritable();
   void UpdateInterest();
+  // Tail slab with at least `room` appendable bytes (acquiring a new slab
+  // from the pool when the current tail is too full).
+  Slab* EnsureTailRoom(size_t room);
   // True while an injector partition window blackholes this endpoint.
   bool Partitioned() const;
   void ArmPartitionTimer();
@@ -113,9 +144,11 @@ class Connection {
   FrameHandler frame_handler_;
   CloseHandler close_handler_;
 
-  std::deque<std::string> send_queue_;  // framed records (magic is front-queued)
-  size_t send_queue_bytes_ = 0;
-  size_t front_offset_ = 0;  // bytes of the front record already written
+  std::unique_ptr<BufferPool> owned_pool_;  // when Options::pool == nullptr
+  BufferPool* pool_ = nullptr;
+  std::deque<SlabRef> send_slabs_;  // framed records, coalesced into slabs
+  size_t send_queue_bytes_ = 0;     // unflushed bytes across the chain
+  size_t front_offset_ = 0;         // bytes of the front slab already written
 
   bool started_ = false;
   bool closed_ = false;

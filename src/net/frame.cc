@@ -24,6 +24,20 @@ void BuildSampleBatchPayload(uint64_t seq, uint64_t consumed, std::string_view b
   out->append(batch_bytes.data(), batch_bytes.size());
 }
 
+size_t BuildSampleBatchHeader(uint64_t seq, uint64_t consumed,
+                              char out[kSampleBatchHeaderMax]) {
+  char* p = out;
+  *p++ = static_cast<char>(FrameType::kSampleBatch);
+  for (uint64_t v : {seq, consumed}) {
+    while (v >= 0x80) {
+      *p++ = static_cast<char>((v & 0x7f) | 0x80);
+      v >>= 7;
+    }
+    *p++ = static_cast<char>(v);
+  }
+  return static_cast<size_t>(p - out);
+}
+
 void BuildBatchAckPayload(const BatchAckFrame& ack, std::string* out) {
   WireWriter writer(out);
   writer.PutByte(static_cast<uint8_t>(FrameType::kBatchAck));
@@ -135,53 +149,68 @@ bool ParseGoawayPayload(std::string_view payload, std::string_view* reason) {
 }
 
 void FrameAssembler::Feed(std::string_view data) {
-  buffer_.append(data.data(), data.size());
+  ring_.Append(data.data(), data.size());
 }
+
+int FrameAssembler::WritableSpans(size_t min_free, struct iovec out[2]) {
+  ring_.Reserve(min_free);
+  char* p0 = nullptr;
+  char* p1 = nullptr;
+  size_t n0 = 0, n1 = 0;
+  const int spans = ring_.WriteSpans(&p0, &n0, &p1, &n1);
+  if (spans >= 1) {
+    out[0].iov_base = p0;
+    out[0].iov_len = n0;
+  }
+  if (spans >= 2) {
+    out[1].iov_base = p1;
+    out[1].iov_len = n1;
+  }
+  return spans;
+}
+
+void FrameAssembler::CommitBytes(size_t n) { ring_.CommitWrite(n); }
 
 bool FrameAssembler::HasPartialFrame() const {
   if (poisoned_) {
     return false;  // the poison verdict, not truncation, describes this stream
   }
-  if (!saw_magic_) {
-    return pos_ < buffer_.size();  // a few bytes of magic count as partial
-  }
-  return pos_ < buffer_.size();
+  // pending_pop_ bytes belong to the last returned frame (consumed, popped
+  // lazily); anything beyond them is an unfinished frame — and a few bytes
+  // of magic count as partial too.
+  return ring_.size() > pending_pop_;
 }
 
 void FrameAssembler::Reset() {
-  buffer_.clear();
-  pos_ = 0;
+  ring_.Clear();
+  pending_pop_ = 0;
   stream_offset_ = 0;
   saw_magic_ = false;
   poisoned_ = false;
-}
-
-void FrameAssembler::Compact() {
-  // Shift out the consumed prefix once it dominates the buffer, so a
-  // long-lived connection doesn't grow its read buffer without bound.
-  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
-    buffer_.erase(0, pos_);
-    pos_ = 0;
-  }
 }
 
 FrameAssembler::Result FrameAssembler::Next(std::string_view* payload) {
   if (poisoned_) {
     return poison_verdict_;
   }
-  // Compact before parsing (never after): the returned payload view must
-  // stay valid until the caller's next call.
-  Compact();
+  // The previous call's frame is popped now — never earlier — so its
+  // payload view stayed valid until this call.
+  if (pending_pop_ > 0) {
+    ring_.PopFront(pending_pop_);
+    pending_pop_ = 0;
+  }
   if (!saw_magic_) {
-    if (buffer_.size() - pos_ < kWireMagicSize) {
+    if (ring_.size() < kWireMagicSize) {
       return Result::kNeedMore;
     }
-    if (std::memcmp(buffer_.data() + pos_, kNetStreamMagic, kWireMagicSize) != 0) {
-      poisoned_ = true;
-      poison_verdict_ = Result::kBadMagic;
-      return Result::kBadMagic;
+    for (size_t i = 0; i < kWireMagicSize; ++i) {
+      if (ring_[i] != static_cast<uint8_t>(kNetStreamMagic[i])) {
+        poisoned_ = true;
+        poison_verdict_ = Result::kBadMagic;
+        return Result::kBadMagic;
+      }
     }
-    pos_ += kWireMagicSize;
+    ring_.PopFront(kWireMagicSize);
     stream_offset_ += kWireMagicSize;
     saw_magic_ = true;
   }
@@ -189,12 +218,12 @@ FrameAssembler::Result FrameAssembler::Next(std::string_view* payload) {
   // (more bytes coming), not a failure.
   uint64_t length = 0;
   int shift = 0;
-  size_t cursor = pos_;
+  size_t cursor = 0;
   while (true) {
-    if (cursor >= buffer_.size()) {
+    if (cursor >= ring_.size()) {
       return Result::kNeedMore;
     }
-    const uint8_t byte = static_cast<uint8_t>(buffer_[cursor++]);
+    const uint8_t byte = ring_[cursor++];
     length |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       break;
@@ -212,25 +241,25 @@ FrameAssembler::Result FrameAssembler::Next(std::string_view* payload) {
     poisoned_ = true;
     return Result::kCorrupt;
   }
-  if (buffer_.size() - cursor < length + 4) {
+  if (ring_.size() - cursor < length + 4) {
     return Result::kNeedMore;
   }
-  const std::string_view frame_payload(buffer_.data() + cursor, length);
-  cursor += length;
+  // In-place view when the payload doesn't straddle the ring's wrap point;
+  // linearized into scratch_ otherwise. Valid until the next call pops it.
+  const char* payload_data = ring_.ContiguousView(cursor, length, &scratch_);
+  const std::string_view frame_payload(payload_data, length);
   uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, buffer_.data() + cursor, 4);
-  if constexpr (std::endian::native != std::endian::little) {
-    stored_crc = __builtin_bswap32(stored_crc);
+  for (size_t i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(ring_[cursor + length + i]) << (8 * i);
   }
-  cursor += 4;
   if (Crc32(frame_payload) != stored_crc) {
     // stream_offset_ still points at this frame's length byte: the offset
     // reported for the corrupt frame.
     poisoned_ = true;
     return Result::kCorrupt;
   }
-  stream_offset_ += cursor - pos_;
-  pos_ = cursor;
+  pending_pop_ = cursor + length + 4;
+  stream_offset_ += pending_pop_;
   *payload = frame_payload;
   return Result::kFrame;
 }

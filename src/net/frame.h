@@ -38,11 +38,14 @@
 #ifndef CPI2_NET_FRAME_H_
 #define CPI2_NET_FRAME_H_
 
+#include <sys/uio.h>
+
 #include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "util/clock.h"
+#include "util/ring_buffer.h"
 #include "wire/framing.h"
 
 namespace cpi2 {
@@ -99,6 +102,24 @@ inline void AppendNetFrame(std::string* out, std::string_view payload) {
   AppendFramedRecord(out, payload);
 }
 
+// Exact wire size of a framed record carrying `payload_size` payload bytes
+// (length varint + payload + fixed32 CRC) — what the send queue's
+// backpressure bound charges per frame.
+inline size_t FramedRecordSize(size_t payload_size) {
+  size_t varint_bytes = 1;
+  for (uint64_t v = payload_size; v >= 0x80; v >>= 7) {
+    ++varint_bytes;
+  }
+  return varint_bytes + payload_size + 4;
+}
+
+// Builds the SampleBatch payload *header* (tag + seq + consumed varints)
+// into a caller-owned stack buffer; the raw CPI2SMB1 batch bytes follow as
+// the scatter body of Connection::SendFrameParts. Returns the header size.
+inline constexpr size_t kSampleBatchHeaderMax = 1 + 10 + 10;
+size_t BuildSampleBatchHeader(uint64_t seq, uint64_t consumed,
+                              char out[kSampleBatchHeaderMax]);
+
 // --- payload parsers ------------------------------------------------------
 // Each returns false on a malformed payload (wrong tag, short buffer,
 // trailing garbage). The connection treats false exactly like a CRC failure.
@@ -110,8 +131,14 @@ bool ParseBatchAckPayload(std::string_view payload, BatchAckFrame* ack);
 bool ParseHeartbeatPayload(std::string_view payload, MicroTime* send_time, bool* is_ack);
 bool ParseGoawayPayload(std::string_view payload, std::string_view* reason);
 
-// Incremental decoder for one direction of a CPI2NET1 stream. Feed() bytes
-// as they arrive; Next() yields complete CRC-verified payloads.
+// Incremental decoder for one direction of a CPI2NET1 stream, backed by a
+// power-of-two ByteRing. The socket read path deposits bytes directly into
+// the ring (WritableSpans + CommitBytes feed readv; Feed() is the copy-in
+// path for tests and capture replay); Next() yields complete CRC-verified
+// payloads decoded in place — a payload is a zero-copy view into the ring
+// unless the frame straddles the wrap point, in which case it is linearized
+// into a reused scratch buffer. Consuming a frame is a head bump, never an
+// append + erase compaction.
 class FrameAssembler {
  public:
   enum class Result {
@@ -121,8 +148,14 @@ class FrameAssembler {
     kBadMagic,  // stream did not start with CPI2NET1
   };
 
-  // Appends raw socket bytes to the buffer.
+  // Appends raw socket bytes to the ring (copy-in path).
   void Feed(std::string_view data);
+
+  // Zero-copy ingest: exposes >= min_free writable bytes of the ring as up
+  // to two iovecs for readv. Returns the iovec count. Commit what the
+  // kernel actually wrote with CommitBytes.
+  int WritableSpans(size_t min_free, struct iovec out[2]);
+  void CommitBytes(size_t n);
 
   // Extracts the next frame. After kCorrupt or kBadMagic the assembler
   // latches: every further call returns the same verdict (callers must
@@ -141,11 +174,11 @@ class FrameAssembler {
   void Reset();
 
  private:
-  void Compact();
-
-  std::string buffer_;
-  size_t pos_ = 0;            // consumed prefix of buffer_
+  ByteRing ring_;
+  size_t pending_pop_ = 0;    // bytes of the last returned frame, popped lazily
+                              // so the payload view stays valid until the next call
   size_t stream_offset_ = 0;  // consumed bytes across the whole stream
+  std::string scratch_;       // linearization target for wrap-straddling frames
   bool saw_magic_ = false;
   bool poisoned_ = false;
   Result poison_verdict_ = Result::kCorrupt;

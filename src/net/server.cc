@@ -45,7 +45,11 @@ void NetServer::OnAcceptable() {
     Peer& peer = peers_[id];
     peer.id = id;
     peer.last_activity = MonotonicNowMicros();
-    peer.connection = std::make_unique<Connection>(loop_, fd.value(), options_.connection);
+    Connection::Options conn_options = options_.connection;
+    if (conn_options.pool == nullptr) {
+      conn_options.pool = &pool_;  // slabs recycle across all peers
+    }
+    peer.connection = std::make_unique<Connection>(loop_, fd.value(), conn_options);
     Peer* peer_ptr = &peer;
     peer.connection->set_frame_handler(
         [this, peer_ptr](std::string_view payload) { OnPeerFrame(peer_ptr, payload); });

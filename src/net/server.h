@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/buffer_pool.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
 #include "net/fault_injector.h"
@@ -111,6 +112,9 @@ class NetServer {
 
   EventLoop* loop_;
   Options options_;
+  // Slab pool shared by every peer connection; declared before the peer map
+  // and graveyard so it outlives their teardown.
+  BufferPool pool_;
   int listen_fd_ = -1;
   PeerId next_peer_id_ = 1;
   std::map<PeerId, Peer> peers_;

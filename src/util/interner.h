@@ -71,6 +71,48 @@ class InternMemo {
   bool valid_ = false;
 };
 
+// Direct-mapped 64-entry memo for Intern() call sites whose names rotate
+// through a small working set rather than repeating back-to-back (the task
+// names inside one machine's batch, the job names on a shared machine) —
+// where a one-entry InternMemo thrashes. The slot index is a three-byte
+// hash (length, first, last), so a hit costs one short string compare
+// instead of a full hash-and-probe of the name's every byte; a collision
+// just falls through to the real interner. Same staleness-free contract as
+// InternMemo: ids are stable for the interner's lifetime, one cache per
+// (call site, interner) pair.
+class InternCache {
+ public:
+  uint32_t Intern(StringInterner& interner, std::string_view name) {
+    Entry& entry = entries_[Slot(name)];
+    if (entry.valid && entry.name == name) {
+      return entry.id;
+    }
+    entry.id = interner.Intern(name);
+    entry.name.assign(name.data(), name.size());  // capacity retained
+    entry.valid = true;
+    return entry.id;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    uint32_t id = 0;
+    bool valid = false;
+  };
+
+  static size_t Slot(std::string_view name) {
+    size_t h = name.size();
+    if (!name.empty()) {
+      h = h * 131 + static_cast<uint8_t>(name.front());
+      h = h * 131 + static_cast<uint8_t>(name.back());
+    }
+    return h % entries_size;
+  }
+
+  static constexpr size_t entries_size = 64;
+  Entry entries_[entries_size];
+};
+
 }  // namespace cpi2
 
 #endif  // CPI2_UTIL_INTERNER_H_

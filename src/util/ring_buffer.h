@@ -9,6 +9,9 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 namespace cpi2 {
@@ -126,6 +129,145 @@ class GrowableRing {
   }
 
   std::vector<T> slots_;
+  size_t mask_ = 0;  // capacity - 1 once allocated (capacity is a power of two)
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+// Growable power-of-two byte ring for streaming I/O. The socket read path
+// writes into it directly (WriteSpans exposes the free region as up to two
+// spans for readv), the frame decoder reads from it in place (ReadSpan /
+// CopyOut), and consuming the front is a head bump — no append + erase
+// compaction, no per-read allocation once warm. Capacity doubles and never
+// shrinks; indexing is add-and-mask.
+class ByteRing {
+ public:
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+  size_t free_space() const { return slots_.size() - size_; }
+
+  // Ensures at least `min_free` writable bytes.
+  void Reserve(size_t min_free) {
+    if (free_space() >= min_free && !slots_.empty()) {
+      return;
+    }
+    size_t cap = slots_.empty() ? kMinCapacity : slots_.size();
+    while (cap - size_ < min_free) {
+      cap *= 2;
+    }
+    Rebase(cap);
+  }
+
+  // Exposes the free region as up to two contiguous spans (the ring wraps at
+  // most once). Returns the span count; total writable == free_space().
+  // Call Reserve() first to size the region, CommitWrite(n) after filling.
+  int WriteSpans(char** p0, size_t* n0, char** p1, size_t* n1) {
+    if (free_space() == 0) {
+      return 0;
+    }
+    if (size_ == 0) {
+      head_ = 0;  // empty: rebase so the whole ring is one writable span
+      *p0 = slots_.data();
+      *n0 = slots_.size();
+      return 1;
+    }
+    const size_t tail = (head_ + size_) & mask_;
+    const size_t head = head_ & mask_;
+    if (tail >= head && size_ > 0) {
+      // Used region is unwrapped: free space runs tail..end, then 0..head.
+      *p0 = slots_.data() + tail;
+      *n0 = slots_.size() - tail;
+      if (head == 0) {
+        return 1;
+      }
+      *p1 = slots_.data();
+      *n1 = head;
+      return 2;
+    }
+    // Empty ring or wrapped used region: free space is one contiguous run.
+    *p0 = slots_.data() + tail;
+    *n0 = free_space();
+    return 1;
+  }
+
+  // Marks `n` bytes (written into the WriteSpans region, in order) as used.
+  void CommitWrite(size_t n) {
+    assert(n <= free_space());
+    size_ += n;
+  }
+
+  // Copy-in convenience for tests and file replay (Reserve + fill + commit).
+  void Append(const char* data, size_t n) {
+    Reserve(n);
+    char* p0 = nullptr;
+    char* p1 = nullptr;
+    size_t n0 = 0, n1 = 0;
+    WriteSpans(&p0, &n0, &p1, &n1);
+    const size_t first = n < n0 ? n : n0;
+    std::memcpy(p0, data, first);
+    if (n > first) {
+      std::memcpy(p1, data + first, n - first);
+    }
+    CommitWrite(n);
+  }
+
+  // Byte `i` positions from the oldest.
+  uint8_t operator[](size_t i) const {
+    assert(i < size_);
+    return static_cast<uint8_t>(slots_[(head_ + i) & mask_]);
+  }
+
+  // A contiguous view of [pos, pos+len). When the range does not cross the
+  // ring's wrap point this is a zero-copy pointer into the ring; otherwise
+  // the bytes are linearized into `*scratch`. Either way the pointer is
+  // valid until the next Reserve/Append/PopFront (or scratch reuse).
+  const char* ContiguousView(size_t pos, size_t len, std::string* scratch) const {
+    assert(pos + len <= size_);
+    const size_t start = (head_ + pos) & mask_;
+    if (start + len <= slots_.size()) {
+      return slots_.data() + start;
+    }
+    scratch->resize(len);
+    const size_t first = slots_.size() - start;
+    std::memcpy(scratch->data(), slots_.data() + start, first);
+    std::memcpy(scratch->data() + first, slots_.data(), len - first);
+    return scratch->data();
+  }
+
+  // Removes the oldest `n` bytes in O(1).
+  void PopFront(size_t n) {
+    assert(n <= size_);
+    head_ = (head_ + n) & mask_;
+    size_ -= n;
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 4096;
+
+  void Rebase(size_t new_capacity) {
+    std::vector<char> next(new_capacity);
+    const size_t start = head_ & mask_;
+    const size_t first = size_ > 0 && start + size_ > slots_.size()
+                             ? slots_.size() - start
+                             : size_;
+    if (first > 0) {
+      std::memcpy(next.data(), slots_.data() + start, first);
+    }
+    if (size_ > first) {
+      std::memcpy(next.data() + first, slots_.data(), size_ - first);
+    }
+    slots_ = std::move(next);
+    mask_ = new_capacity - 1;
+    head_ = 0;
+  }
+
+  std::vector<char> slots_;
   size_t mask_ = 0;  // capacity - 1 once allocated (capacity is a power of two)
   size_t head_ = 0;
   size_t size_ = 0;

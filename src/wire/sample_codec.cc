@@ -80,7 +80,9 @@ void SampleBatchEncoder::Reset() {
 }
 
 Status DecodeSampleBatch(std::string_view bytes, std::vector<CpiSample>* out) {
-  out->clear();
+  // No clear(): stale elements past sample_count are trimmed by the final
+  // resize, and keeping the existing elements alive is what lets AssignView
+  // reuse their string capacity on the hot path.
   if (!HasWireMagic(bytes, kSampleBatchMagic)) {
     return InvalidArgumentError("sample batch: bad magic");
   }
@@ -98,7 +100,10 @@ Status DecodeSampleBatch(std::string_view bytes, std::vector<CpiSample>* out) {
   if (reader.failed() || dict_count > reader.remaining()) {
     return InvalidArgumentError("sample batch: bad dictionary count");
   }
-  std::vector<std::string_view> dict(static_cast<size_t>(dict_count));
+  // Reused across calls: dictionary views are only live within this decode,
+  // and re-growing the vector per batch was a steady-state allocation.
+  static thread_local std::vector<std::string_view> dict;
+  dict.assign(static_cast<size_t>(dict_count), std::string_view());
   for (auto& entry : dict) {
     entry = reader.GetString();
   }

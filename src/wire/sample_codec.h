@@ -83,10 +83,13 @@ class SampleBatchEncoder {
   MicroTime prev_timestamp_ = 0;
 };
 
-// Decodes a batch into `*out` (cleared first; element/string capacity is
-// reused, so a caller decoding into the same scratch vector allocates only
-// on growth). Fails cleanly — never reads out of bounds — on a wrong magic,
-// a CRC mismatch (flipped byte), or a truncated buffer.
+// Decodes a batch into `*out`, resized to exactly the decoded count on
+// success. Existing elements (and their string capacity) are overwritten in
+// place, so a caller decoding into the same scratch vector allocates only
+// on growth — the steady-state decode path is allocation-free. Fails
+// cleanly — never reads out of bounds — on a wrong magic, a CRC mismatch
+// (flipped byte), or a truncated buffer; on failure `*out` holds
+// unspecified leftovers and must not be read.
 Status DecodeSampleBatch(std::string_view bytes, std::vector<CpiSample>* out);
 
 // Reference text encoding of the same batch ("cpi2-samples-v1" header, one

@@ -252,7 +252,9 @@ TEST(ClientServerTest, SendQueueBackpressureRejectsInsteadOfBuffering) {
   }
   EXPECT_GT(sent, 0);
   EXPECT_GT(rejected, 0);
-  EXPECT_LE(client.send_queue_bytes(), client_options.connection.max_send_queue_bytes + 1024);
+  // The admission bound counts the full framed record (length varint + CRC),
+  // so the queue can never exceed the cap — not even by the envelope bytes.
+  EXPECT_LE(client.send_queue_bytes(), client_options.connection.max_send_queue_bytes);
   EXPECT_GE(client.connection_stats().send_rejects, rejected);
 
   // Once the loop drains the queue, sends succeed again.
@@ -412,6 +414,172 @@ TEST(ClientServerTest, ServerRejectsNonHelloFirstFrame) {
   ASSERT_TRUE(RunUntil(loop, [&] { return server.stats().handshake_rejects >= 1; }));
   EXPECT_EQ(server.peer_count(), 0u);
   close(fd);
+}
+
+// Satellite regression for the admission bound: the cap must hold against
+// the FRAMED size (length varint + payload + CRC32), so a payload sized to
+// leave exactly zero slack for the envelope is rejected, and the queue
+// never exceeds the cap by even one byte no matter the send pattern.
+TEST(ClientServerTest, SendQueueCapCountsFramedEnvelopeExactly) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+  Connection::Options options;
+  options.max_send_queue_bytes = 4096;
+  Connection conn(&loop, fds[0], options);
+  conn.Start();  // queues the 8-byte stream magic
+
+  // Fill to exactly the cap, counting envelopes by hand; every accepted
+  // frame must keep the queue at or under the cap.
+  const std::string big(1000, 'a');
+  size_t expected = 8;  // magic
+  while (true) {
+    const size_t framed = FramedRecordSize(big.size());
+    if (expected + framed > options.max_send_queue_bytes) {
+      break;
+    }
+    ASSERT_TRUE(conn.SendFrame(big));
+    expected += framed;
+    ASSERT_LE(conn.send_queue_bytes(), options.max_send_queue_bytes);
+    ASSERT_EQ(conn.send_queue_bytes(), expected);
+  }
+  // Next frame of any size whose FRAMED size overshoots must bounce, even
+  // when the bare payload would still fit under the cap.
+  const size_t slack = options.max_send_queue_bytes - conn.send_queue_bytes();
+  if (slack >= 5) {
+    const std::string exactly_payload_sized(slack, 'b');  // framed size > slack
+    EXPECT_FALSE(conn.SendFrame(exactly_payload_sized));
+    EXPECT_LE(conn.send_queue_bytes(), options.max_send_queue_bytes);
+  }
+  EXPECT_GT(conn.stats().send_rejects, 0);
+  conn.Close(Connection::CloseReason::kLocalClose);
+  close(fds[1]);
+}
+
+// Satellite: a partial write must resume at the exact byte offset. A tiny
+// SO_SNDBUF forces sendmsg to stop mid-iovec and mid-frame, and a slab
+// size smaller than the frame gives every frame its own oversize slab —
+// the queue becomes a 60+-slab iovec chain, longer than one sendmsg's
+// iovec budget, so the resume path exercises the first-slab offset, the
+// chain walk, and the iovec-cap continuation.
+TEST(ClientServerTest, PartialWriteResumesByteExactAcrossSlabs) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+  const int tiny = 4096;
+  ASSERT_EQ(setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)), 0);
+
+  Connection::Options sender_options;
+  sender_options.slab_size = 512;  // 3000-byte frames each get an oversize slab
+  sender_options.max_send_queue_bytes = 1 << 20;
+  Connection sender(&loop, fds[0], sender_options);
+  Connection receiver(&loop, fds[1], Connection::Options{});
+
+  std::vector<std::string> received;
+  receiver.set_frame_handler([&](std::string_view payload) {
+    received.emplace_back(payload);
+  });
+  bool receiver_closed = false;
+  receiver.set_close_handler([&](Connection::CloseReason, bool) { receiver_closed = true; });
+
+  sender.Start();
+  receiver.Start();
+  const int kFrames = 64;
+  std::vector<std::string> expected;
+  for (int i = 0; i < kFrames; ++i) {
+    // Distinct pseudo-random bodies: any mis-resumed offset shows up as a
+    // content mismatch, not just a length error.
+    std::string payload(3000, '\0');
+    uint32_t x = 0x9E3779B9u * static_cast<uint32_t>(i + 1);
+    for (char& c : payload) {
+      x = x * 1664525u + 1013904223u;
+      c = static_cast<char>(x >> 24);
+    }
+    expected.push_back(payload);
+    ASSERT_TRUE(sender.SendFrame(payload)) << "frame " << i;
+  }
+  ASSERT_GT(sender.send_queue_bytes(), 0u) << "test needs a backlog to exercise resume";
+
+  ASSERT_TRUE(RunUntil(loop, [&] {
+    return received.size() == static_cast<size_t>(kFrames) || receiver_closed;
+  }));
+  ASSERT_FALSE(receiver_closed);
+  ASSERT_EQ(received.size(), static_cast<size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_EQ(received[i], expected[i]) << "frame " << i << " reassembled wrong";
+  }
+  EXPECT_EQ(sender.send_queue_bytes(), 0u) << "accounting must return to zero";
+  EXPECT_EQ(sender.stats().frames_sent, kFrames);
+  sender.Close(Connection::CloseReason::kLocalClose);
+}
+
+// The windowed transport must genuinely pipeline: multiple batches on the
+// wire at once, totals exact, and the window accounting balanced at drain.
+TEST(ClientServerTest, WindowedPipelineKeepsMultipleBatchesInFlight) {
+  EventLoop loop;
+  NetServer::Options server_options;
+  server_options.listen_address = "127.0.0.1:0";
+  NetServer server(&loop, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  MiniAggregator mini(&server);
+
+  TestAgent wire(&loop, "m1", server.bound_port());
+  ASSERT_TRUE(RunUntil(loop, [&] { return wire.client->ready(); }));
+
+  // 512 samples at 32 per batch = 16 batches; one flush pass launches a
+  // full window of them before any ack can arrive.
+  wire.OfferAndFlush(0, 512, "m1");
+  ASSERT_TRUE(RunUntil(loop, [&] {
+    return wire.agent->health().samples_delivered == 512 && !wire.transport->in_flight();
+  }));
+  const AgentTransport::Stats& stats = wire.transport->stats();
+  EXPECT_EQ(mini.accepted(), 512);
+  EXPECT_EQ(mini.duplicates(), 0);
+  EXPECT_GT(stats.window_depth_peak, 1) << "stop-and-wait snuck back in";
+  EXPECT_EQ(stats.batches_sent, stats.batches_acked + stats.implied_acks + stats.inflight_reset)
+      << "window accounting out of balance at drain";
+  EXPECT_EQ(stats.stale_acks, 0);
+}
+
+// Server death with a full window in flight: the reset folds every
+// outstanding batch back into the queue, the reconnect re-sends from the
+// same consumed cursors, and dedup keeps the totals exact.
+TEST(ClientServerTest, ServerDeathWithFullWindowKeepsTotalsExactAndBalanced) {
+  EventLoop loop;
+  NetServer::Options server_options;
+  server_options.listen_address = "127.0.0.1:0";
+  auto server = std::make_unique<NetServer>(&loop, server_options);
+  ASSERT_TRUE(server->Start().ok());
+  const int port = server->bound_port();
+  MiniAggregator mini(server.get());
+
+  TestAgent wire(&loop, "m1", port);
+  ASSERT_TRUE(RunUntil(loop, [&] { return wire.client->ready(); }));
+  wire.OfferAndFlush(0, 512, "m1");
+  ASSERT_TRUE(RunUntil(loop, [&] { return mini.accepted() >= 64; }));
+
+  // Kill the server while the window is (very likely) non-empty, then keep
+  // offering so the post-reconnect stream interleaves replays and news.
+  server->Stop();
+  server.reset();
+  wire.OfferAndFlush(512, 768, "m1");
+  loop.RunOnce(5 * kMicrosPerMilli);
+
+  NetServer::Options revive_options;
+  revive_options.listen_address = "127.0.0.1:" + std::to_string(port);
+  NetServer revived(&loop, revive_options);
+  ASSERT_TRUE(revived.Start().ok());
+  mini.Reattach(&revived);
+
+  ASSERT_TRUE(RunUntil(loop, [&] {
+    return wire.agent->health().samples_delivered == 768 && !wire.transport->in_flight();
+  }));
+  const AgentTransport::Stats& stats = wire.transport->stats();
+  EXPECT_EQ(mini.accepted(), 768) << "totals must stay exact across the outage";
+  EXPECT_GT(stats.window_depth_peak, 1);
+  EXPECT_GT(stats.inflight_reset, 0) << "the kill should have caught batches mid-window";
+  EXPECT_EQ(stats.batches_sent, stats.batches_acked + stats.implied_acks + stats.inflight_reset);
+  EXPECT_EQ(mini.decode_failures(), 0);
 }
 
 }  // namespace

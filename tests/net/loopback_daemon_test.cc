@@ -341,5 +341,86 @@ TEST_F(LoopbackDaemonTest, LateAggregatorOverflowConservation) {
   EXPECT_EQ(AggStat("duplicates_dropped"), 0);
 }
 
+// Pipelined window under SIGKILL: small batches and an 8-deep window keep
+// several unacked batches in flight when the injector kills the agent
+// mid-frame. The restarted agent replays from index 0; dedup absorbs every
+// replayed sample, the books close exactly, and the survivor's ack window
+// drains to the balance identity batches_sent == batches_acked +
+// implied_acks + inflight_reset.
+TEST_F(LoopbackDaemonTest, AgentSigkillWithFullWindowKeepsTotalsExactAndBalanced) {
+  DaemonProcess agg(CPI2_AGGREGATORD_PATH, AggregatorArgs());
+  agg.Start();
+
+  DaemonProcess doomed(CPI2_AGENTD_PATH,
+                       AgentArgs("m1", 500,
+                                 {"--batch=25", "--window=8",
+                                  "--faults=kill_mid_frame_after=12"}));
+  doomed.Start();
+  const int status = doomed.Wait();
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  ASSERT_TRUE(PollUntil([&] { return AggStat("truncated_tails") >= 1; }));
+  const int64_t accepted_before_restart = AggStat("samples_accepted");
+  ASSERT_LT(accepted_before_restart, 500);
+
+  DaemonProcess revived(CPI2_AGENTD_PATH,
+                        AgentArgs("m1", 500, {"--batch=25", "--window=8"}));
+  revived.Start();
+  ASSERT_TRUE(PollUntil([&] { return AgentDrained("m1"); }));
+  EXPECT_EQ(revived.Wait(), 0);
+  ASSERT_TRUE(PollUntil([&] { return AggStat("samples_accepted") == 500; }));
+
+  const std::string agg_json = ReadFileOrEmpty(StatsPath("agg"));
+  EXPECT_EQ(JsonInt(agg_json, "m1"), 500);
+  EXPECT_GE(JsonInt(agg_json, "duplicates_dropped"), accepted_before_restart)
+      << "every pre-kill sample must re-arrive and be dropped as a duplicate";
+
+  // The revived agent had 20 batches for an 8-deep window: it must actually
+  // have pipelined, and its drained window must balance exactly.
+  const std::string m1_json = ReadFileOrEmpty(StatsPath("m1"));
+  EXPECT_GT(JsonInt(m1_json, "window_depth_peak"), 1);
+  EXPECT_EQ(JsonInt(m1_json, "window_depth"), 0);
+  EXPECT_EQ(JsonInt(m1_json, "batches_sent"),
+            JsonInt(m1_json, "batches_acked") + JsonInt(m1_json, "implied_acks") +
+                JsonInt(m1_json, "inflight_reset"))
+      << "balance identity must hold at drain: " << m1_json;
+  EXPECT_EQ(JsonInt(m1_json, "samples_lost"), 0);
+}
+
+// Adversarial aggregator: after every real ack it floods the agent with
+// acks for sequence numbers that were never sent. The transport must count
+// every one as stale, settle nothing from them, and still deliver exact
+// totals with a balanced window.
+TEST_F(LoopbackDaemonTest, StaleAckFloodIsCountedAndChangesNothing) {
+  DaemonProcess agg(CPI2_AGGREGATORD_PATH, AggregatorArgs({"--stale-ack-flood=3"}));
+  agg.Start();
+
+  DaemonProcess m1(CPI2_AGENTD_PATH,
+                   AgentArgs("m1", 400, {"--batch=40", "--window=4"}));
+  m1.Start();
+  ASSERT_TRUE(PollUntil([&] { return AgentDrained("m1"); }));
+  EXPECT_EQ(m1.Wait(), 0);
+  ASSERT_TRUE(PollUntil([&] { return AggStat("samples_accepted") == 400; }));
+
+  const std::string agg_json = ReadFileOrEmpty(StatsPath("agg"));
+  EXPECT_EQ(JsonInt(agg_json, "m1"), 400);
+  EXPECT_EQ(JsonInt(agg_json, "duplicates_dropped"), 0);
+  const int64_t flooded = JsonInt(agg_json, "stale_acks_sent");
+  EXPECT_GE(flooded, 3) << "the flood must actually have been sent";
+
+  const std::string m1_json = ReadFileOrEmpty(StatsPath("m1"));
+  const int64_t stale = JsonInt(m1_json, "stale_acks");
+  EXPECT_GE(stale, 1) << "the agent must have seen and rejected flood acks";
+  EXPECT_LE(stale, flooded) << "it cannot reject more than were sent";
+  EXPECT_EQ(JsonInt(m1_json, "samples_delivered"), 400);
+  EXPECT_EQ(JsonInt(m1_json, "samples_lost"), 0);
+  EXPECT_EQ(JsonInt(m1_json, "window_depth"), 0);
+  EXPECT_EQ(JsonInt(m1_json, "batches_sent"),
+            JsonInt(m1_json, "batches_acked") + JsonInt(m1_json, "implied_acks") +
+                JsonInt(m1_json, "inflight_reset"))
+      << "stale acks must not perturb the balance identity: " << m1_json;
+}
+
 }  // namespace
 }  // namespace cpi2

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Perf floor gate: fresh BENCH_*.json vs the committed baselines.
+
+Each tracked benchmark has one HEADLINE metric (below). A full bench run
+writes BENCH_<name>.json into the build directory; this script compares
+every fresh file it finds against the committed copy at the repo root and
+fails (exit 1) when the headline metric regressed by more than the
+tolerance (default 10%). Benches that were not re-run are skipped — smoke
+runs (ctest -L perf) write no JSON, so a plain `make check-perf` only
+gates benches someone actually measured.
+
+Floor-update workflow (when a regression is intentional, or after an
+optimization raises the floor):
+
+  1. Quiesce the machine and run the full bench from the build dir:
+       ./bench/bench_rpc            # writes ./BENCH_rpc.json
+  2. Eyeball the fresh JSON, then promote it to the new floor:
+       cp BENCH_rpc.json ../BENCH_rpc.json
+  3. Commit the repo-root copy with a note on what moved and why.
+
+The committed file IS the floor — there is no separate thresholds file to
+drift out of sync.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# bench name -> (path to headline metric, human label). Paths walk dict
+# keys and list indices; every metric is higher-is-better. fault_resilience
+# is exactness-shaped (no throughput headline) and is deliberately absent.
+HEADLINES = {
+    "rpc": (["samples_per_sec"], "samples/s"),
+    "tick_engine": (["ticks_per_sec_t1"], "ticks/s (1 thread)"),
+    "control_plane": (["sharded_samples_per_sec"], "sharded samples/s"),
+    "wire_format": (["sizes", -1, "binary_decode_per_sec"], "binary decode/s (largest)"),
+    "antagonist_scale": (["cells", -1, "fast_per_sec"], "suspect windows/s (largest)"),
+    "cluster_scale": (["scales", -1, "tiered_specs_per_sec"], "tiered specs/s (largest)"),
+    "forensics_query": (["sizes", -1, "fast_select_by_job_per_sec"], "select-by-job/s (largest)"),
+    "identification_storm": (["cells", -1, "batched_per_sec"], "batched idents/s (largest)"),
+}
+
+
+def dig(blob, path):
+    for step in path:
+        try:
+            blob = blob[step]
+        except (KeyError, IndexError, TypeError):
+            return None
+    return blob if isinstance(blob, (int, float)) and not isinstance(blob, bool) else None
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"check_bench: cannot read {path}: {err}", file=sys.stderr)
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                        help="repo root holding the committed BENCH_*.json floors")
+    parser.add_argument("--build", default=".",
+                        help="build dir holding freshly emitted BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional regression (default 0.10)")
+    args = parser.parse_args()
+
+    fresh_files = sorted(
+        f for f in os.listdir(args.build)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if not fresh_files:
+        print("check_bench: no fresh BENCH_*.json in build dir — nothing to compare "
+              "(full bench runs write them; smoke runs do not)")
+        return 0
+
+    failures = []
+    for name in fresh_files:
+        bench = name[len("BENCH_"):-len(".json")]
+        fresh = load(os.path.join(args.build, name))
+        if fresh is None:
+            failures.append(f"{bench}: fresh file unreadable")
+            continue
+        if bench not in HEADLINES:
+            print(f"  {bench:24} (no headline metric tracked; skipped)")
+            continue
+        path, label = HEADLINES[bench]
+        committed_path = os.path.join(args.repo, name)
+        committed = load(committed_path) if os.path.exists(committed_path) else None
+        if committed is None:
+            print(f"  {bench:24} (no committed floor at {committed_path}; "
+                  f"commit the fresh file to create one)")
+            continue
+        new = dig(fresh, path)
+        old = dig(committed, path)
+        if new is None or old is None:
+            failures.append(f"{bench}: headline metric {'.'.join(map(str, path))} "
+                            f"missing ({'fresh' if new is None else 'committed'} side)")
+            continue
+        floor = old * (1.0 - args.tolerance)
+        delta = new / old - 1.0 if old else float("inf")
+        verdict = "OK" if new >= floor else "REGRESSED"
+        print(f"  {bench:24} {label}: {new:,.0f} vs floor {old:,.0f} "
+              f"({delta:+.1%}) [{verdict}]")
+        if new < floor:
+            failures.append(
+                f"{bench}: {label} {new:,.0f} is below {floor:,.0f} "
+                f"(committed {old:,.0f} - {args.tolerance:.0%}); if intentional, "
+                f"update the floor: cp {os.path.join(args.build, name)} {committed_path}")
+
+    if failures:
+        print("\ncheck_bench: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_bench: all compared benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

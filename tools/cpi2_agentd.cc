@@ -25,6 +25,8 @@
 //   --jobs=N             distinct synthetic jobnames (default 4)
 //   --outbox=N           agent outbox capacity in samples (default 4096)
 //   --batch=N            samples per wire batch (default 64)
+//   --window=N           max batches in flight awaiting acks (default 8;
+//                        1 = classic stop-and-wait)
 //   --stats=PATH         JSON stats file, rewritten every --stats-ms
 //   --stats-ms=MS        stats rewrite cadence (default 50)
 //   --faults=SPEC        NetFaultInjector spec (see fault_injector.h); a
@@ -67,6 +69,7 @@ struct Flags {
   int64_t jobs = 4;
   int64_t outbox = 4096;
   int64_t batch = 64;
+  int64_t window = 8;
   std::string stats_path;
   int64_t stats_ms = 50;
   std::string faults;
@@ -159,6 +162,7 @@ int Run(const Flags& flags) {
   NetClient client(&loop, client_options);
 
   AgentTransport::Options transport_options;
+  transport_options.window = static_cast<int>(flags.window);
   AgentTransport transport(&loop, &agent, &client, transport_options);
 
   client.Start();
@@ -202,9 +206,14 @@ int Run(const Flags& flags) {
          << "  \"outbox\": " << agent.outbox_size() << ",\n"
          << "  \"batches_sent\": " << ts.batches_sent << ",\n"
          << "  \"batches_acked\": " << ts.batches_acked << ",\n"
+         << "  \"implied_acks\": " << ts.implied_acks << ",\n"
          << "  \"stale_acks\": " << ts.stale_acks << ",\n"
          << "  \"send_backpressure\": " << ts.send_backpressure << ",\n"
+         << "  \"window_stalls\": " << ts.window_stalls << ",\n"
          << "  \"inflight_reset\": " << ts.inflight_reset << ",\n"
+         << "  \"window\": " << flags.window << ",\n"
+         << "  \"window_depth\": " << transport.window_depth() << ",\n"
+         << "  \"window_depth_peak\": " << ts.window_depth_peak << ",\n"
          << "  \"connect_attempts\": " << cs.connect_attempts << ",\n"
          << "  \"connects_completed\": " << cs.connects_completed << ",\n"
          << "  \"disconnects\": " << cs.disconnects << ",\n"
@@ -268,6 +277,7 @@ int main(int argc, char** argv) {
         cpi2::ParseFlag(arg, "jobs", &flags.jobs) ||
         cpi2::ParseFlag(arg, "outbox", &flags.outbox) ||
         cpi2::ParseFlag(arg, "batch", &flags.batch) ||
+        cpi2::ParseFlag(arg, "window", &flags.window) ||
         cpi2::ParseFlag(arg, "stats", &flags.stats_path) ||
         cpi2::ParseFlag(arg, "stats-ms", &flags.stats_ms) ||
         cpi2::ParseFlag(arg, "faults", &flags.faults) ||

@@ -30,6 +30,11 @@
 //   --faults=SPEC          NetFaultInjector spec applied to *outgoing*
 //                          frames (acks) — lets campaigns damage the
 //                          reverse path too
+//   --stale-ack-flood=N    adversarial mode: after every real ack, send N
+//                          extra BatchAck frames with sequence numbers no
+//                          agent ever used. The agent's windowed transport
+//                          must count and ignore every one (stale_acks)
+//                          without perturbing delivery totals
 
 #include <csignal>
 #include <cstdint>
@@ -65,6 +70,7 @@ struct Flags {
   int64_t heartbeat_timeout_ms = 3000;
   int64_t drain_ms = 500;
   std::string faults;
+  int64_t stale_ack_flood = 0;
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name, std::string* out) {
@@ -223,6 +229,8 @@ int Run(const Flags& flags) {
   server_options.connection.injector = injector.get();
   NetServer server(&loop, server_options);
 
+  int64_t stale_acks_sent = 0;
+
   const auto save_state = [&]() -> bool {
     if (flags.state_path.empty()) {
       return true;
@@ -279,6 +287,19 @@ int Run(const Flags& flags) {
     std::string reply;
     BuildBatchAckPayload(ack, &reply);
     server.SendToPeer(peer.id, reply);
+    // Adversarial flood: acks for sequences far beyond anything in flight.
+    // Sequence numbers start at 1 and count batches, so offsetting by 2^40
+    // can never collide with a live window entry.
+    for (int64_t i = 0; i < flags.stale_ack_flood; ++i) {
+      BatchAckFrame stale;
+      stale.seq = seq + (uint64_t{1} << 40) + static_cast<uint64_t>(i);
+      stale.delivered = 1;
+      reply.clear();  // the builder appends; each flood frame stands alone
+      BuildBatchAckPayload(stale, &reply);
+      if (server.SendToPeer(peer.id, reply)) {
+        ++stale_acks_sent;
+      }
+    }
   });
 
   const Status started = server.Start();
@@ -311,6 +332,7 @@ int Run(const Flags& flags) {
          << "  \"truncated_tails\": " << ss.truncated_tails << ",\n"
          << "  \"idle_peer_reaps\": " << ss.idle_peer_reaps << ",\n"
          << "  \"goaways_sent\": " << ss.goaways_sent << ",\n"
+         << "  \"stale_acks_sent\": " << stale_acks_sent << ",\n"
          << "  \"peers\": " << server.peer_count() << ",\n"
          << "  \"lame_duck\": " << (server.lame_duck() ? "true" : "false") << ",\n"
          << "  \"per_machine\": {";
@@ -369,7 +391,8 @@ int main(int argc, char** argv) {
         cpi2::ParseFlag(arg, "dedup-window-us", &flags.dedup_window_us) ||
         cpi2::ParseFlag(arg, "heartbeat-timeout-ms", &flags.heartbeat_timeout_ms) ||
         cpi2::ParseFlag(arg, "drain-ms", &flags.drain_ms) ||
-        cpi2::ParseFlag(arg, "faults", &flags.faults)) {
+        cpi2::ParseFlag(arg, "faults", &flags.faults) ||
+        cpi2::ParseFlag(arg, "stale-ack-flood", &flags.stale_ack_flood)) {
       continue;
     }
     std::fprintf(stderr, "cpi2-aggregatord: unknown flag %s\n", arg.c_str());

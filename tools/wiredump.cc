@@ -12,8 +12,13 @@
 // Text-era files (cpi2-incidents-v1, cpi2-aggregator-ckpt-v*,
 // cpi2-samples-v1) are already human-readable and are echoed through.
 //
-// Usage: wiredump <file> [file...]
+// Usage: wiredump [--summary] <file> [file...]
 //        wiredump -            (read one artifact from stdin)
+//
+// --summary suppresses per-record output: CPI2NET1 streams get a per-type
+// frame/byte table plus corrupt/truncated tallies and total samples carried
+// (triage for multi-megabyte captures of the pipelined path); the other
+// formats print just their headline counts.
 
 #include <algorithm>
 #include <cmath>
@@ -36,6 +41,8 @@ namespace {
 
 using namespace cpi2;  // NOLINT: tool brevity
 
+bool g_summary = false;
+
 int DumpSampleBatch(const std::string& contents) {
   std::vector<CpiSample> samples;
   const Status status = DecodeSampleBatch(contents, &samples);
@@ -48,6 +55,9 @@ int DumpSampleBatch(const std::string& contents) {
               samples.empty() ? 0.0
                               : static_cast<double>(contents.size()) /
                                     static_cast<double>(samples.size()));
+  if (g_summary) {
+    return 0;
+  }
   std::printf("%-14s %-24s %-20s %-14s %8s %8s %10s\n", "timestamp", "task", "job",
               "machine", "cpu", "cpi", "l3miss/i");
   for (const CpiSample& sample : samples) {
@@ -77,6 +87,9 @@ int DumpIncidentFile(const std::string& contents) {
   for (const std::string& reason : stats.skip_reasons) {
     std::printf("  !! %s\n", reason.c_str());
   }
+  if (g_summary) {
+    return 0;
+  }
   for (const Incident& incident : incidents) {
     std::printf("t=%-14lld %-12s victim=%s cpi=%.3f thr=%.3f action=%d target=%s\n",
                 static_cast<long long>(incident.timestamp), incident.machine.c_str(),
@@ -103,6 +116,11 @@ int DumpCheckpoint(const std::string& contents) {
     std::fprintf(stderr, "undecodable checkpoint: %s\n", status.ToString().c_str());
     return 1;
   }
+  if (g_summary) {
+    std::printf("aggregator checkpoint (binary v3, %zu bytes): restores cleanly\n",
+                contents.size());
+    return 0;
+  }
   std::printf("aggregator checkpoint (binary v3, %zu bytes) as text:\n%s",
               contents.size(), aggregator.Checkpoint().c_str());
   return 0;
@@ -124,6 +142,9 @@ int DumpSketchFrame(const std::string& contents) {
                 static_cast<long long>(stats.records_skipped));
   }
   std::printf("\n");
+  if (g_summary) {
+    return stats.records_skipped > 0 ? 1 : 0;
+  }
   std::printf("%-24s %-20s %10s %6s %8s %8s %8s %8s %8s\n", "job", "platform",
               "samples", "tasks", "cpi_mean", "cpi_sd", "usage", "~p50", "~p99");
   for (const SketchPartial& partial : frame.partials) {
@@ -222,6 +243,75 @@ void PrintNetFrame(size_t offset, std::string_view payload) {
   }
 }
 
+// Per-frame-type rollup for --summary: one row per type, wire bytes
+// measured as consumed stream offset (varint length + payload + CRC).
+struct NetStreamSummary {
+  struct Tally {
+    size_t frames = 0;
+    size_t bytes = 0;
+  };
+  static constexpr size_t kTypes = 9;  // 8 known labels + unknown
+  Tally by_type[kTypes];
+  size_t batches = 0;
+  size_t samples_carried = 0;
+  size_t inner_undecodable = 0;
+
+  static size_t Slot(std::string_view payload) {
+    FrameType type;
+    if (!ParseFrameType(payload, &type)) {
+      return kTypes - 1;
+    }
+    switch (type) {
+      case FrameType::kHello: return 0;
+      case FrameType::kHelloAck: return 1;
+      case FrameType::kSampleBatch: return 2;
+      case FrameType::kBatchAck: return 3;
+      case FrameType::kHeartbeat: return 4;
+      case FrameType::kHeartbeatAck: return 5;
+      case FrameType::kGoaway: return 6;
+    }
+    return 7;  // valid tag the switch doesn't know (future type)
+  }
+
+  void Add(std::string_view payload, size_t wire_bytes) {
+    const size_t slot = Slot(payload);
+    ++by_type[slot].frames;
+    by_type[slot].bytes += wire_bytes;
+    if (slot == 2) {
+      ++batches;
+      uint64_t seq = 0;
+      uint64_t consumed = 0;
+      std::string_view raw;
+      std::vector<CpiSample> samples;
+      if (ParseSampleBatchPayload(payload, &seq, &consumed, &raw) &&
+          DecodeSampleBatch(raw, &samples).ok()) {
+        samples_carried += samples.size();
+      } else {
+        ++inner_undecodable;
+      }
+    }
+  }
+
+  void Print() const {
+    static const char* kLabels[kTypes] = {"hello",     "hello-ack", "batch",
+                                          "batch-ack", "ping",      "pong",
+                                          "goaway",    "future",    "unknown"};
+    std::printf("%-12s %10s %14s\n", "type", "frames", "bytes");
+    for (size_t i = 0; i < kTypes; ++i) {
+      if (by_type[i].frames == 0) {
+        continue;
+      }
+      std::printf("%-12s %10zu %14zu\n", kLabels[i], by_type[i].frames,
+                  by_type[i].bytes);
+    }
+    std::printf("batches carried %zu samples", samples_carried);
+    if (inner_undecodable > 0) {
+      std::printf(" (%zu inner batches undecodable)", inner_undecodable);
+    }
+    std::printf("\n");
+  }
+};
+
 // Walks one direction of a captured CPI2NET1 socket stream with the same
 // FrameAssembler a live connection uses, so the verdicts (and their byte
 // offsets) are exactly what the receiving daemon would have counted.
@@ -229,6 +319,7 @@ int DumpNetStream(const std::string& contents) {
   std::printf("CPI2NET1 stream: %zu bytes\n", contents.size());
   FrameAssembler assembler;
   assembler.Feed(contents);
+  NetStreamSummary summary;
   size_t frames = 0;
   int rc = 0;
   while (true) {
@@ -240,7 +331,11 @@ int DumpNetStream(const std::string& contents) {
     const FrameAssembler::Result result = assembler.Next(&payload);
     if (result == FrameAssembler::Result::kFrame) {
       ++frames;
-      PrintNetFrame(offset, payload);
+      if (g_summary) {
+        summary.Add(payload, assembler.stream_offset() - offset);
+      } else {
+        PrintNetFrame(offset, payload);
+      }
       continue;
     }
     if (result == FrameAssembler::Result::kNeedMore) {
@@ -260,6 +355,9 @@ int DumpNetStream(const std::string& contents) {
                 assembler.stream_offset());
     rc = 1;
     break;
+  }
+  if (g_summary) {
+    summary.Print();
   }
   std::printf("%zu frames decoded\n", frames);
   return rc;
@@ -315,13 +413,25 @@ int DumpContents(const std::string& contents) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file|-> [file...]\n", argv[0]);
-    return 2;
+  // Flags first regardless of position, so `wiredump cap --summary` and
+  // `wiredump --summary cap` behave the same.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--summary") {
+      g_summary = true;
+    }
   }
   int rc = 0;
+  int files = 0;
   for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--summary") {
+      continue;
+    }
+    ++files;
     rc |= DumpFile(argv[i]);
+  }
+  if (files == 0) {
+    std::fprintf(stderr, "usage: %s [--summary] <file|-> [file...]\n", argv[0]);
+    return 2;
   }
   return rc;
 }
